@@ -1,0 +1,140 @@
+// Command flexbench regenerates every table and figure of the paper's
+// evaluation:
+//
+//	flexbench                  # full suite at the default (scaled) geometry
+//	flexbench -exp fig8a       # one experiment
+//	flexbench -full            # the paper's exact 16 GB geometry (slow)
+//	flexbench -requests 200000 # longer runs
+//
+// Experiments: fig1, table1, fig4a, fig4b, fig8a, fig8b, fig8c, summary, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flexftl/internal/experiments"
+	"flexftl/internal/nand"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig1|table1|fig4a|fig4b|fig8a|fig8b|fig8c|summary|all")
+		requests = flag.Int("requests", 150000, "host requests per Figure 8 run")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		full     = flag.Bool("full", false, "use the paper's 16 GB geometry (slow)")
+		blocks   = flag.Int("fig4-blocks", 90, "blocks per order for Figure 4")
+		serial   = flag.Bool("serial", false, "disable parallel simulation runs")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *exp, *requests, *seed, *full, *blocks, !*serial); err != nil {
+		fmt.Fprintln(os.Stderr, "flexbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Blocks int, parallel bool) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+
+	if want("fig1") {
+		experiments.Rule(w, "Figure 1")
+		experiments.RenderFig1(w, nand.DefaultTiming())
+		if err := experiments.RenderFig1Distributions(w, seed); err != nil {
+			return err
+		}
+	}
+	if want("table1") {
+		experiments.Rule(w, "Table 1")
+		rows, err := experiments.RunTable1(1<<20, 50000, seed)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable1(w, rows)
+	}
+	if want("fig4a") || want("fig4b") || (exp == "fig4") {
+		experiments.Rule(w, "Figure 4")
+		cfg := experiments.DefaultFig4Config()
+		cfg.Blocks = fig4Blocks
+		start := time.Now()
+		res, err := experiments.RunFig4(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig4(w, res)
+		fmt.Fprintf(w, "  (%d blocks/order simulated in %v)\n", cfg.Blocks, time.Since(start).Round(time.Millisecond))
+	}
+	if want("fig4tlc") {
+		experiments.Rule(w, "TLC extension (Section 1 claim)")
+		cfg := experiments.DefaultFig4TLCConfig()
+		res, err := experiments.RunFig4TLC(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig4TLC(w, res)
+	}
+	if want("sensitivity") {
+		experiments.Rule(w, "Sensitivity sweeps (environment knobs)")
+		res, err := experiments.RunSensitivity(experiments.DefaultSensitivityConfig())
+		if err != nil {
+			return err
+		}
+		experiments.RenderSensitivity(w, res)
+	}
+	if want("stress") {
+		experiments.Rule(w, "Lifetime stress sweep (Figure 4(b) extended to a curve)")
+		pts, err := experiments.RunStressSweep(experiments.DefaultStressSweepConfig())
+		if err != nil {
+			return err
+		}
+		experiments.RenderStressSweep(w, pts)
+	}
+	if want("ablation") {
+		experiments.Rule(w, "flexFTL ablations (DESIGN.md §5)")
+		cfg := experiments.DefaultAblationConfig()
+		cfg.Seed = seed
+		res, err := experiments.RunAblations(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderAblations(w, res)
+	}
+	if want("fig8a") || want("fig8b") || want("fig8c") || want("summary") || exp == "fig8" {
+		geometry := experiments.EvalGeometry()
+		if full {
+			geometry = nand.DefaultGeometry()
+		}
+		cfg := experiments.Fig8Config{Geometry: geometry, Requests: requests, Seed: seed, Parallel: parallel}
+		experiments.Rule(w, fmt.Sprintf("Figure 8 (%s, %d requests/run)", geometry, requests))
+		start := time.Now()
+		res, err := experiments.RunFig8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(4 FTLs x 5 workloads simulated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if want("fig8a") || exp == "fig8" {
+			experiments.RenderFig8a(w, res)
+			fmt.Fprintln(w)
+		}
+		if want("fig8b") || exp == "fig8" {
+			experiments.RenderFig8b(w, res)
+			fmt.Fprintln(w)
+		}
+		if want("fig8c") || exp == "fig8" {
+			experiments.RenderFig8c(w, res)
+			fmt.Fprintln(w)
+		}
+		if want("summary") || exp == "fig8" {
+			experiments.RenderFig8Summary(w, res)
+		}
+	}
+	switch exp {
+	case "all", "fig1", "table1", "fig4", "fig4a", "fig4b", "fig4tlc",
+		"fig8", "fig8a", "fig8b", "fig8c", "summary", "ablation", "stress", "sensitivity":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "fig1", 100, 1, false, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "LSB page program", "4.0x"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "table1", 100, 1, false, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OLTP", "Fileserver", "Very high"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig4Tiny(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "fig4a", 100, 1, false, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 4", "RPSfull", "ECC failure"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "figZZ", 100, 1, false, 2, true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

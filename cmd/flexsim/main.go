@@ -1,0 +1,170 @@
+// Command flexsim runs one FTL against one workload and reports the
+// measurements:
+//
+//	flexsim -ftl flexFTL -workload Varmail -requests 100000
+//	flexsim -ftl pageFTL -workload NTRX -trace out.csv   # also dump the trace
+//	flexsim -ftl flexFTL -replay out.csv                 # replay a trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"flexftl/internal/core"
+	"flexftl/internal/experiments"
+	"flexftl/internal/ftl"
+	"flexftl/internal/ftl/flexftl"
+	"flexftl/internal/ftl/pageftl"
+	"flexftl/internal/ftl/parityftl"
+	"flexftl/internal/ftl/rtfftl"
+	"flexftl/internal/nand"
+	"flexftl/internal/ssd"
+	"flexftl/internal/workload"
+)
+
+func main() {
+	var (
+		ftlName  = flag.String("ftl", "flexFTL", "FTL scheme: pageFTL|parityFTL|rtfFTL|flexFTL")
+		wlName   = flag.String("workload", "Varmail", "workload: OLTP|NTRX|Webserver|Varmail|Fileserver")
+		requests = flag.Int("requests", 100000, "host requests")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		full     = flag.Bool("full", false, "use the paper's 16 GB geometry")
+		trace    = flag.String("trace", "", "write the generated workload as CSV to this file")
+		replay   = flag.String("replay", "", "replay a CSV trace file instead of generating")
+		gcPolicy = flag.String("gc", "greedy", "GC victim policy: greedy|costbenefit")
+		predict  = flag.Bool("predictive-bgc", false, "enable the Section 6 future-write predictor (flexFTL only)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *ftlName, *wlName, *requests, *seed, *full, *trace, *replay, *gcPolicy, *predict); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", err)
+		os.Exit(1)
+	}
+}
+
+// buildFTL extends experiments.BuildFTL with the CLI-only policy knobs.
+func buildFTL(name string, g nand.Geometry, gcPolicy string, predictive bool) (ftl.FTL, error) {
+	cfg := ftl.DefaultConfig()
+	switch gcPolicy {
+	case "greedy":
+	case "costbenefit":
+		cfg.GC = ftl.GCCostBenefit
+	default:
+		return nil, fmt.Errorf("unknown GC policy %q (greedy|costbenefit)", gcPolicy)
+	}
+	rules := core.FPS
+	if name == "flexFTL" {
+		rules = core.RPS
+	}
+	dev, err := nand.NewDevice(nand.Config{Geometry: g, Timing: nand.DefaultTiming(), Rules: rules})
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "pageFTL":
+		return pageftl.New(dev, cfg)
+	case "parityFTL":
+		return parityftl.New(dev, cfg)
+	case "rtfFTL":
+		return rtfftl.New(dev, cfg)
+	case "flexFTL":
+		params := flexftl.DefaultParams()
+		params.PredictiveBGC = predictive
+		return flexftl.New(dev, cfg, params)
+	default:
+		return nil, fmt.Errorf("unknown FTL %q", name)
+	}
+}
+
+func findProfile(name string) (workload.Profile, error) {
+	for _, p := range workload.All() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return workload.Profile{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func run(w io.Writer, ftlName, wlName string, requests int, seed uint64, full bool, trace, replay, gcPolicy string, predictive bool) error {
+	geometry := experiments.EvalGeometry()
+	if full {
+		geometry = nand.DefaultGeometry()
+	}
+	f, err := buildFTL(ftlName, geometry, gcPolicy, predictive)
+	if err != nil {
+		return err
+	}
+	sys, err := ssd.New(f, ssd.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "device   : %s (%s rules)\n", geometry, f.Device().Rules().Name())
+	fmt.Fprintf(w, "ftl      : %s, logical space %d pages\n", f.Name(), f.LogicalPages())
+
+	var gen workload.Generator
+	switch {
+	case replay != "":
+		file, err := os.Open(replay)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		gen, err = workload.NewCSVReplay(file, replay)
+		if err != nil {
+			return err
+		}
+	default:
+		prof, err := findProfile(wlName)
+		if err != nil {
+			return err
+		}
+		gen, err = workload.New(prof, f.LogicalPages(), requests, seed)
+		if err != nil {
+			return err
+		}
+		if trace != "" {
+			file, err := os.Create(trace)
+			if err != nil {
+				return err
+			}
+			n, err := workload.WriteCSV(file, gen)
+			if cerr := file.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "trace    : wrote %d requests to %s\n", n, trace)
+			// Regenerate for the run itself (the writer consumed gen).
+			gen, err = workload.New(prof, f.LogicalPages(), requests, seed)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	if _, err := sys.Prefill(); err != nil {
+		return err
+	}
+	res, err := sys.Run(gen)
+	if err != nil {
+		return err
+	}
+	m := res.Metrics
+	st := res.Stats
+	fmt.Fprintf(w, "workload : %s, %d requests (%d reads / %d writes)\n",
+		res.Workload, m.Requests, m.Reads, m.Writes)
+	fmt.Fprintf(w, "IOPS     : %.0f (active %v, makespan %v)\n", m.IOPS, m.ActiveTime, m.Makespan)
+	fmt.Fprintf(w, "write BW : mean %.1f MB/s, peak(p99) %.1f MB/s\n",
+		m.MeanWriteBandwidthMBs, m.PeakWriteBandwidthMBs)
+	fmt.Fprintf(w, "response : %s us\n", m.ResponseTime)
+	fmt.Fprintf(w, "  reads  : %s us\n", m.ReadResponse)
+	fmt.Fprintf(w, "  writes : %s us\n", m.WriteResponse)
+	fmt.Fprintf(w, "programs : host %d (LSB %d / MSB %d), GC copies %d, backups %d, pads %d\n",
+		st.HostWrites, st.HostWritesLSB, st.HostWritesMSB, st.GCCopies, st.BackupWrites, st.PadWrites)
+	fmt.Fprintf(w, "erases   : %d (WA %.2f), GC: %d foreground / %d background\n",
+		st.Erases, st.WriteAmplification(), st.ForegroundGCs, st.BackgroundGCs)
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "flexFTL", "Varmail", 3000, 7, false, "", "", "greedy", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"flexFTL", "IOPS", "erases", "Varmail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownFTL(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nopeFTL", "Varmail", 100, 1, false, "", "", "greedy", false); err == nil {
+		t.Error("unknown FTL accepted")
+	}
+}
+
+func TestRunUnknownGCPolicy(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "pageFTL", "OLTP", 100, 1, false, "", "", "nope", false); err == nil {
+		t.Error("unknown GC policy accepted")
+	}
+}
+
+func TestRunCostBenefitAndPredictive(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "flexFTL", "OLTP", 1000, 1, false, "", "", "costbenefit", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "pageFTL", "nope", 100, 1, false, "", "", "greedy", false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestTraceDumpAndReplay: -trace writes a CSV, -replay reproduces the exact
+// run from it.
+func TestTraceDumpAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.csv")
+	var a strings.Builder
+	if err := run(&a, "pageFTL", "OLTP", 2000, 3, false, trace, "", "greedy", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var b strings.Builder
+	if err := run(&b, "pageFTL", "", 0, 0, false, "", trace, "greedy", false); err != nil {
+		t.Fatal(err)
+	}
+	pick := func(out, key string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, key) {
+				return line
+			}
+		}
+		return ""
+	}
+	for _, key := range []string{"IOPS", "programs", "erases"} {
+		la, lb := pick(a.String(), key), pick(b.String(), key)
+		if la == "" || la != lb {
+			t.Errorf("replay diverged on %q:\n gen   : %s\n replay: %s", key, la, lb)
+		}
+	}
+}

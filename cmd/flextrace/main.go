@@ -1,0 +1,179 @@
+// Command flextrace generates, inspects and converts workload traces:
+//
+//	flextrace gen -workload Varmail -requests 100000 -o varmail.bin
+//	flextrace gen -workload OLTP -format csv -o oltp.csv
+//	flextrace stat varmail.bin
+//	flextrace convert varmail.bin varmail.csv
+//
+// Binary traces use the compact fxt1 format (21 bytes/record); CSV traces
+// are "arrival_us,op,page,pages" with a header, importable from external
+// sources.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flexftl/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flextrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  flextrace gen -workload <name> [-requests N] [-space PAGES] [-seed S] [-format bin|csv] -o FILE
+  flextrace stat FILE
+  flextrace convert SRC DST`)
+}
+
+func findProfile(name string) (workload.Profile, error) {
+	for _, p := range workload.All() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return workload.Profile{}, fmt.Errorf("unknown workload %q (have OLTP, NTRX, Webserver, Varmail, Fileserver)", name)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		wlName   = fs.String("workload", "Varmail", "workload profile")
+		requests = fs.Int("requests", 100000, "requests to generate")
+		space    = fs.Int64("space", 1<<20, "logical space in pages")
+		seed     = fs.Uint64("seed", 42, "generator seed")
+		format   = fs.String("format", "", "bin or csv (default: by file extension)")
+		out      = fs.String("o", "", "output file (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -o is required")
+	}
+	prof, err := findProfile(*wlName)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.New(prof, *space, *requests, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	var n int
+	if formatOf(*format, *out) == "csv" {
+		n, err = workload.WriteCSV(f, gen)
+	} else {
+		n, err = workload.WriteBinary(f, gen)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %s requests to %s\n", n, prof.Name, *out)
+	return nil
+}
+
+func formatOf(explicit, path string) string {
+	if explicit != "" {
+		return explicit
+	}
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		return "csv"
+	}
+	return "bin"
+}
+
+// open returns a replay generator for a trace file of either format.
+func open(path string) (workload.Generator, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	name := filepath.Base(path)
+	if formatOf("", path) == "csv" {
+		gen, err := workload.NewCSVReplay(f, name)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return gen, f.Close, nil
+	}
+	gen, err := workload.NewBinaryReplay(f, name)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return gen, f.Close, nil
+}
+
+func cmdStat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stat: exactly one trace file expected")
+	}
+	gen, closer, err := open(args[0])
+	if err != nil {
+		return err
+	}
+	defer closer()
+	fmt.Printf("trace      : %s\n%s\n", args[0], workload.Summarize(gen))
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("convert: SRC and DST expected")
+	}
+	gen, closer, err := open(args[0])
+	if err != nil {
+		return err
+	}
+	defer closer()
+	dst, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	var n int
+	if formatOf("", args[1]) == "csv" {
+		n, err = workload.WriteCSV(dst, gen)
+	} else {
+		n, err = workload.WriteBinary(dst, gen)
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %d requests: %s -> %s\n", n, args[0], args[1])
+	return nil
+}

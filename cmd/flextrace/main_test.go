@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenStatConvert(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "w.bin")
+	csv := filepath.Join(dir, "w.csv")
+
+	if err := cmdGen([]string{"-workload", "NTRX", "-requests", "500", "-o", bin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStat([]string{bin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{bin, csv}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStat([]string{csv}); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip back to binary.
+	bin2 := filepath.Join(dir, "w2.bin")
+	if err := cmdConvert([]string{csv, bin2}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(bin2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("binary -> csv -> binary round trip not identical")
+	}
+}
+
+func TestGenRequiresOutput(t *testing.T) {
+	if err := cmdGen([]string{"-workload", "OLTP"}); err == nil {
+		t.Error("missing -o accepted")
+	}
+}
+
+func TestGenUnknownWorkload(t *testing.T) {
+	if err := cmdGen([]string{"-workload", "nope", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestStatMissingFile(t *testing.T) {
+	if err := cmdStat([]string{"/does/not/exist"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdStat(nil); err == nil {
+		t.Error("no args accepted")
+	}
+}
+
+func TestConvertArity(t *testing.T) {
+	if err := cmdConvert([]string{"one"}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestFormatOf(t *testing.T) {
+	if formatOf("", "x.csv") != "csv" || formatOf("", "x.bin") != "bin" ||
+		formatOf("csv", "x.bin") != "csv" {
+		t.Error("format detection wrong")
+	}
+}

@@ -1,0 +1,59 @@
+// Burst: the Section 1 motivation scenario. A burst of writes arrives in a
+// short interval; an FPS FTL must interleave slow MSB programs, while
+// flexFTL (RPS + 2PO) services the whole burst on fast LSB pages — peak
+// write bandwidth close to SLC speed. The example measures the same burst
+// against pageFTL and flexFTL and prints the drain times.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexftl/internal/experiments"
+	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
+	"flexftl/internal/sim"
+)
+
+func drainBurst(scheme string, burstPages int) (sim.Time, ftl.Stats) {
+	g := nand.Geometry{
+		Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 64,
+		WordLinesPerBlock: 32, PageSizeBytes: 4096, SpareBytes: 64,
+	}
+	f, err := experiments.BuildFTL(scheme, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// All pages of the burst are submitted at t=0 with a saturated buffer
+	// (utilization 1.0): the policy manager sees maximum write pressure.
+	var last sim.Time
+	for i := 0; i < burstPages; i++ {
+		done, err := f.Write(ftl.LPN(i), 0, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if done > last {
+			last = done
+		}
+	}
+	return last, f.Stats()
+}
+
+func main() {
+	const burst = 256 // pages, striped over 4 chips
+	fmt.Printf("burst of %d pages submitted at t=0 (4 chips, buffer saturated):\n\n", burst)
+	var flexTime sim.Time
+	for _, scheme := range []string{"pageFTL", "parityFTL", "rtfFTL", "flexFTL"} {
+		drain, st := drainBurst(scheme, burst)
+		mbs := float64(burst) * 4096 / (1 << 20) / drain.Seconds()
+		fmt.Printf("  %-10s drained in %8v  (%5.1f MB/s)  LSB %3d / MSB %3d, backups %d\n",
+			scheme, drain, mbs, st.HostWritesLSB, st.HostWritesMSB, st.BackupWrites)
+		if scheme == "flexFTL" {
+			flexTime = drain
+		}
+	}
+	fmt.Printf("\nflexFTL serves the burst entirely on LSB pages (%v per page program),\n",
+		nand.DefaultTiming().ProgLSB)
+	fmt.Printf("so its drain time (%v) approaches the SLC-speed floor; the FPS FTLs\n", flexTime)
+	fmt.Println("must spend one 4x-slower MSB program per word line mid-burst.")
+}

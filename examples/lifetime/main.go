@@ -1,0 +1,55 @@
+// Lifetime: the Figure 8(b) story in miniature — the same write-intensive
+// workload against all four FTLs, comparing block erasures and write
+// amplification. The backup strategy is the differentiator: pageFTL writes
+// no backups (and would lose data on power-off), parityFTL pays one parity
+// page per two LSB pages, rtfFTL pays that plus padding, and flexFTL pays a
+// single parity page per block.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexftl/internal/experiments"
+	"flexftl/internal/ssd"
+	"flexftl/internal/workload"
+)
+
+func main() {
+	geometry := experiments.EvalGeometry()
+	prof := workload.NTRX() // write-dominant, very intense
+	const requests = 60000
+
+	fmt.Printf("workload: %s (%d requests) on %s\n\n", prof.Name, requests, geometry)
+	fmt.Printf("  %-10s %8s %8s %10s %10s %8s\n", "ftl", "erases", "backups", "backup/W", "WA", "IOPS")
+	for _, scheme := range experiments.Schemes() {
+		f, err := experiments.BuildFTL(scheme, geometry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := ssd.New(f, ssd.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Prefill(); err != nil {
+			log.Fatal(err)
+		}
+		gen, err := workload.New(prof, f.LogicalPages(), requests, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats
+		perHostWrite := float64(st.BackupWrites) / float64(st.HostWrites)
+		wear := f.Device().Wear()
+		fmt.Printf("  %-10s %8d %8d %10.4f %10.2f %8.0f   wear max/mean %.1fx\n",
+			scheme, st.Erases, st.BackupWrites, perHostWrite,
+			st.WriteAmplification(), res.Metrics.IOPS, wear.Imbalance)
+	}
+	fmt.Println("\nflexFTL's per-block parity makes its backup overhead ~1/W per LSB page")
+	fmt.Println("(W = LSB pages per block) versus 1/2 for the FPS pre-backup schemes, which")
+	fmt.Println("is where its erase-count advantage — device lifetime — comes from.")
+}

@@ -1,0 +1,87 @@
+// TLC: the paper's Section 1 claim — "our proposed technique can be
+// applicable for other NAND devices such as TLC NAND devices with a similar
+// program scheme" — run as a working system. A 3-bit device enforces the
+// generalized relaxed constraints; the n-phase flexFTL serves a burst on
+// fast level-0 pages, then a power cut during the finest refinement destroys
+// TWO earlier pages of the word line, and both are rebuilt from their
+// per-phase parity pages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexftl/internal/ftl"
+	"flexftl/internal/ftl/nflex"
+	"flexftl/internal/nandn"
+	"flexftl/internal/sim"
+)
+
+func main() {
+	g := nandn.TLCGeometry()
+	g.BlocksPerChip = 32
+	g.WordLinesPerBlock = 8
+	dev, err := nandn.NewDevice(g, nandn.TLCTiming())
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := nflex.New(dev, ftl.DefaultConfig(), nflex.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm := dev.Timing()
+	fmt.Println("device :", g)
+	fmt.Printf("timing : level programs %v / %v / %v (the MLC asymmetry, one level deeper)\n\n",
+		tm.Prog[0], tm.Prog[1], tm.Prog[2])
+
+	// 1. A saturated burst runs at level-0 speed.
+	const burst = 64
+	var last sim.Time
+	for i := 0; i < burst; i++ {
+		done, err := f.Write(ftl.LPN(i), 0, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if done > last {
+			last = done
+		}
+	}
+	st := f.Stats()
+	fmt.Printf("burst  : %d pages drained in %v — all on level-0 pages (%v each): %v\n",
+		burst, last, tm.Prog[0], st.HostByLevel)
+
+	// 2. Push one chip through its refinement phases and cut power during a
+	// level-2 (finest) program.
+	now := last
+	lpn := ftl.LPN(burst)
+	for f.Device().BlockProgrammed(0, 0) == 0 || !level2InFlight(f) {
+		now, err = f.Write(lpn, now, 0.01) // sleepy buffer -> deep phases
+		if err != nil {
+			log.Fatal(err)
+		}
+		lpn++
+	}
+	n := f.Device().InjectPowerLoss(0, activeLevel2Block(f))
+	fmt.Printf("\npower cut during a level-2 refinement: %d pages of the word line destroyed\n", n)
+	fmt.Println("(the finest program is destructive to BOTH earlier bits of the cell)")
+
+	// 3. Recovery rebuilds every destroyed page from its phase parity.
+	rep, err := f.Recover(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery: %d page reads in %v; recovered LPNs %v, dropped in-flight %v\n",
+		rep.PagesRead, rep.Duration(), rep.Recovered, rep.Dropped)
+	for _, l := range rep.Recovered {
+		if _, err := f.Read(l, rep.End); err != nil {
+			log.Fatalf("LPN %d not actually recovered: %v", l, err)
+		}
+	}
+	fmt.Printf("verified: all %d recovered pages read back correctly\n", len(rep.Recovered))
+	fmt.Printf("backup cost so far: %d parity pages for %d host writes (per-block-per-phase)\n",
+		f.Stats().BackupWrites, f.Stats().HostWrites)
+}
+
+func level2InFlight(f *nflex.FTL) bool { return f.ActivePhaseProgress(0, 2) > 0 }
+
+func activeLevel2Block(f *nflex.FTL) int { return f.ActivePhaseBlock(0, 2) }

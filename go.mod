@@ -1,0 +1,3 @@
+module flexftl
+
+go 1.22

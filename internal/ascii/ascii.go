@@ -1,0 +1,234 @@
+// Package ascii renders the evaluation's figures as terminal graphics:
+// multi-series CDF curves (Figure 8(c)) and box plots (Figure 4). The
+// renderers are deterministic, fixed-width, and dependency-free, so
+// flexbench output can be diffed across runs.
+package ascii
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"flexftl/internal/stats"
+)
+
+// Series is one labeled curve: for CDFs, Points are (x, cumulative p).
+type Series struct {
+	Label  string
+	Points [][2]float64
+}
+
+// markers distinguish up to six series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// PlotCDF draws cumulative-distribution curves on a width x height grid.
+// The x axis spans [0, xmax] where xmax is the largest sample; the y axis is
+// 0..1.
+func PlotCDF(w io.Writer, title, xlabel string, series []Series, width, height int) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmax := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p[0] > xmax {
+				xmax = p[0]
+			}
+		}
+	}
+	if xmax <= 0 {
+		xmax = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int(p[0] / xmax * float64(width-1))
+			row := height - 1 - int(p[1]*float64(height-1)+0.5)
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = m
+		}
+	}
+	fmt.Fprintln(w, title)
+	for r, line := range grid {
+		yval := float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(w, "  %4.2f |%s|\n", yval, string(line))
+	}
+	fmt.Fprintf(w, "       %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "       0%s%.1f  (%s)\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.1f", xmax))), xmax, xlabel)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	fmt.Fprintf(w, "       legend: %s\n", strings.Join(legend, "   "))
+}
+
+// Box is one labeled five-number summary.
+type Box struct {
+	Label   string
+	Summary stats.FiveNum
+}
+
+// PlotBoxes draws horizontal box plots sharing one axis:
+//
+//	label |----[==|==]-----|
+//
+// with '-' whiskers, '=' the interquartile box and '|' the median.
+func PlotBoxes(w io.Writer, title, xlabel string, boxes []Box, width int) {
+	if width < 30 {
+		width = 30
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		if b.Summary.Min < lo {
+			lo = b.Summary.Min
+		}
+		if b.Summary.Max > hi {
+			hi = b.Summary.Max
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	span := hi - lo
+	col := func(v float64) int {
+		c := int((v - lo) / span * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	labelW := 0
+	for _, b := range boxes {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	fmt.Fprintln(w, title)
+	for _, b := range boxes {
+		line := []byte(strings.Repeat(" ", width))
+		cMin, cQ1, cMed, cQ3, cMax := col(b.Summary.Min), col(b.Summary.Q1),
+			col(b.Summary.Median), col(b.Summary.Q3), col(b.Summary.Max)
+		for c := cMin; c <= cMax; c++ {
+			line[c] = '-'
+		}
+		for c := cQ1; c <= cQ3; c++ {
+			line[c] = '='
+		}
+		line[cMed] = '|'
+		fmt.Fprintf(w, "  %-*s |%s|\n", labelW, b.Label, string(line))
+	}
+	fmt.Fprintf(w, "  %-*s %s\n", labelW, "", strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "  %-*s %.3g%s%.3g  (%s)\n", labelW, "",
+		lo, strings.Repeat(" ", maxInt(1, width-14)), hi, xlabel)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Population is one labeled sample set for histogram plotting.
+type Population struct {
+	Label  string
+	Values []float64
+}
+
+// PlotHistogram draws the populations' densities over a shared axis, one
+// marker per population — the Figure 1 threshold-voltage-distribution view.
+// Optional refs are vertical reference lines (read thresholds).
+func PlotHistogram(w io.Writer, title, xlabel string, pops []Population, refs []float64, width, height int) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pops {
+		for _, v := range p.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	for _, r := range refs {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	span := hi - lo
+	// Bucket counts per population.
+	counts := make([][]int, len(pops))
+	maxCount := 1
+	for pi, p := range pops {
+		counts[pi] = make([]int, width)
+		for _, v := range p.Values {
+			c := int((v - lo) / span * float64(width-1))
+			if c < 0 {
+				c = 0
+			}
+			if c >= width {
+				c = width - 1
+			}
+			counts[pi][c]++
+			if counts[pi][c] > maxCount {
+				maxCount = counts[pi][c]
+			}
+		}
+	}
+	refCols := map[int]bool{}
+	for _, r := range refs {
+		refCols[int((r-lo)/span*float64(width-1))] = true
+	}
+	fmt.Fprintln(w, title)
+	for row := height - 1; row >= 0; row-- {
+		threshold := float64(row) / float64(height) * float64(maxCount)
+		line := []byte(strings.Repeat(" ", width))
+		for col := range line {
+			if refCols[col] {
+				line[col] = '.'
+			}
+		}
+		for pi := range pops {
+			m := markers[pi%len(markers)]
+			for col, c := range counts[pi] {
+				if float64(c) > threshold {
+					line[col] = m
+				}
+			}
+		}
+		fmt.Fprintf(w, "  |%s|\n", string(line))
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "  %.2f%s%.2f  (%s; '.' = read references)\n",
+		lo, strings.Repeat(" ", maxInt(1, width-8)), hi, xlabel)
+	var legend []string
+	for pi, p := range pops {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[pi%len(markers)], p.Label))
+	}
+	fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "  "))
+}

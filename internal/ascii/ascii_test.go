@@ -1,0 +1,96 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+
+	"flexftl/internal/stats"
+)
+
+func TestPlotCDFBasics(t *testing.T) {
+	series := []Series{
+		{Label: "a", Points: [][2]float64{{10, 0.25}, {20, 0.5}, {30, 0.75}, {40, 1.0}}},
+		{Label: "b", Points: [][2]float64{{5, 0.5}, {10, 1.0}}},
+	}
+	var sb strings.Builder
+	PlotCDF(&sb, "test cdf", "MB/s", series, 40, 10)
+	out := sb.String()
+	for _, want := range []string{"test cdf", "MB/s", "* a", "o b", "1.00", "0.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the grid.
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Error("series markers missing from grid")
+	}
+	// Deterministic.
+	var sb2 strings.Builder
+	PlotCDF(&sb2, "test cdf", "MB/s", series, 40, 10)
+	if sb2.String() != out {
+		t.Error("plot not deterministic")
+	}
+}
+
+func TestPlotCDFDegenerate(t *testing.T) {
+	var sb strings.Builder
+	PlotCDF(&sb, "empty", "x", nil, 5, 2) // tiny sizes clamp, no series
+	if !strings.Contains(sb.String(), "empty") {
+		t.Error("title missing")
+	}
+	// Zero-valued points must not panic or divide by zero.
+	PlotCDF(&sb, "zeros", "x", []Series{{Label: "z", Points: [][2]float64{{0, 0}}}}, 30, 8)
+}
+
+func TestPlotBoxes(t *testing.T) {
+	boxes := []Box{
+		{Label: "FPS", Summary: stats.FiveNum{Min: 1, Q1: 2, Median: 3, Q3: 4, Max: 5}},
+		{Label: "RPSfull", Summary: stats.FiveNum{Min: 1.1, Q1: 2.1, Median: 3, Q3: 4.1, Max: 5.1}},
+	}
+	var sb strings.Builder
+	PlotBoxes(&sb, "widths", "V", boxes, 40)
+	out := sb.String()
+	for _, want := range []string{"widths", "FPS", "RPSfull", "=", "|", "-", "(V)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotHistogram(t *testing.T) {
+	pops := []Population{
+		{Label: "E", Values: []float64{-2, -2.1, -1.9, -2, -2}},
+		{Label: "P3", Values: []float64{2.8, 2.9, 2.7, 2.8}},
+	}
+	var sb strings.Builder
+	PlotHistogram(&sb, "vth", "V", pops, []float64{0.5}, 40, 6)
+	out := sb.String()
+	for _, want := range []string{"vth", "* E", "o P3", "read references", "(V;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	if !strings.ContainsRune(out, '.') {
+		t.Error("reference line missing")
+	}
+}
+
+func TestPlotHistogramDegenerate(t *testing.T) {
+	var sb strings.Builder
+	PlotHistogram(&sb, "flat", "x", []Population{{Label: "a", Values: []float64{1, 1, 1}}}, nil, 10, 2)
+	if !strings.Contains(sb.String(), "flat") {
+		t.Error("title missing")
+	}
+	PlotHistogram(&sb, "empty", "x", nil, nil, 10, 2)
+}
+
+func TestPlotBoxesDegenerate(t *testing.T) {
+	var sb strings.Builder
+	// All-equal summaries: span collapses; must not panic.
+	PlotBoxes(&sb, "flat", "x", []Box{
+		{Label: "a", Summary: stats.FiveNum{Min: 2, Q1: 2, Median: 2, Q3: 2, Max: 2}},
+	}, 10)
+	if !strings.Contains(sb.String(), "flat") {
+		t.Error("title missing")
+	}
+}

@@ -1,0 +1,126 @@
+// Package buffer models the host-side write buffer of the storage
+// controller. flexFTL's policy manager reads its utilization u to decide
+// between fast LSB-page writes (u high: burst in progress, drain quickly)
+// and slow MSB-page writes (u low: sporadic traffic, spend the cheap pages).
+//
+// The buffer holds page-sized entries. Entries are admitted at their arrival
+// time and released when the flash program that drains them completes, so
+// utilization at any instant reflects how far the device has fallen behind
+// the host — exactly the signal Section 3.2 describes.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"flexftl/internal/sim"
+)
+
+// ErrFull is returned by TryAdmit when the buffer has no free slot.
+var ErrFull = errors.New("buffer: full")
+
+// Entry is one buffered page write.
+type Entry struct {
+	LPN      int64    // logical page number
+	Arrived  sim.Time // host submission time
+	released bool
+}
+
+// Buffer is a fixed-capacity FIFO of page writes with released-slot
+// accounting. Not safe for concurrent use (the simulator is single-threaded
+// over virtual time).
+type Buffer struct {
+	capacity int
+	entries  []*Entry
+	// occupied counts admitted-but-not-released entries; len(entries) can
+	// be larger transiently because released entries are compacted lazily.
+	occupied int
+	peakOcc  int
+	admitted int64
+}
+
+// New returns a buffer holding up to capacity page entries.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Buffer{capacity: capacity}
+}
+
+// Capacity returns the slot count.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Occupied returns the number of pages currently held.
+func (b *Buffer) Occupied() int { return b.occupied }
+
+// PeakOccupied returns the high-water mark.
+func (b *Buffer) PeakOccupied() int { return b.peakOcc }
+
+// Admitted returns the total number of pages ever admitted.
+func (b *Buffer) Admitted() int64 { return b.admitted }
+
+// Utilization returns u in [0,1]: occupied slots over capacity.
+func (b *Buffer) Utilization() float64 {
+	return float64(b.occupied) / float64(b.capacity)
+}
+
+// Free returns the number of free slots.
+func (b *Buffer) Free() int { return b.capacity - b.occupied }
+
+// TryAdmit appends a page write, failing with ErrFull when no slot is free.
+// The returned entry is the handle to release later.
+func (b *Buffer) TryAdmit(lpn int64, now sim.Time) (*Entry, error) {
+	if b.occupied >= b.capacity {
+		return nil, ErrFull
+	}
+	e := &Entry{LPN: lpn, Arrived: now}
+	b.entries = append(b.entries, e)
+	b.occupied++
+	b.admitted++
+	if b.occupied > b.peakOcc {
+		b.peakOcc = b.occupied
+	}
+	return e, nil
+}
+
+// Release frees the slot held by e (its flash program completed). Releasing
+// twice is a simulator bug and errors.
+func (b *Buffer) Release(e *Entry) error {
+	if e == nil {
+		return errors.New("buffer: Release(nil)")
+	}
+	if e.released {
+		return fmt.Errorf("buffer: double release of LPN %d", e.LPN)
+	}
+	e.released = true
+	b.occupied--
+	b.compact()
+	return nil
+}
+
+// compact drops a released prefix so the FIFO view stays cheap.
+func (b *Buffer) compact() {
+	i := 0
+	for i < len(b.entries) && b.entries[i].released {
+		i++
+	}
+	if i > 0 {
+		b.entries = append(b.entries[:0], b.entries[i:]...)
+	}
+}
+
+// Oldest returns the earliest admitted un-released entry, or nil when empty.
+func (b *Buffer) Oldest() *Entry {
+	for _, e := range b.entries {
+		if !e.released {
+			return e
+		}
+	}
+	return nil
+}
+
+// Reset empties the buffer (used between benchmark phases).
+func (b *Buffer) Reset() {
+	b.entries = b.entries[:0]
+	b.occupied = 0
+}

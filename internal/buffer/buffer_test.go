@@ -1,0 +1,158 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"flexftl/internal/rng"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAdmitRelease(t *testing.T) {
+	b := New(2)
+	e1, err := b.TryAdmit(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Occupied() != 1 || b.Utilization() != 0.5 || b.Free() != 1 {
+		t.Errorf("occ=%d u=%v free=%d", b.Occupied(), b.Utilization(), b.Free())
+	}
+	e2, err := b.TryAdmit(101, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TryAdmit(102, 6); !errors.Is(err, ErrFull) {
+		t.Errorf("overfull admit err = %v", err)
+	}
+	if err := b.Release(e1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Occupied() != 1 {
+		t.Errorf("occ after release = %d", b.Occupied())
+	}
+	if err := b.Release(e1); err == nil {
+		t.Error("double release succeeded")
+	}
+	if err := b.Release(nil); err == nil {
+		t.Error("nil release succeeded")
+	}
+	if err := b.Release(e2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Occupied() != 0 || b.PeakOccupied() != 2 || b.Admitted() != 2 {
+		t.Errorf("final state occ=%d peak=%d admitted=%d", b.Occupied(), b.PeakOccupied(), b.Admitted())
+	}
+}
+
+func TestOldestFIFO(t *testing.T) {
+	b := New(4)
+	e1, _ := b.TryAdmit(1, 10)
+	e2, _ := b.TryAdmit(2, 20)
+	if got := b.Oldest(); got != e1 {
+		t.Errorf("Oldest = %+v, want first entry", got)
+	}
+	if err := b.Release(e1); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Oldest(); got != e2 {
+		t.Errorf("Oldest after release = %+v, want second entry", got)
+	}
+	if err := b.Release(e2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Oldest() != nil {
+		t.Error("Oldest on empty buffer non-nil")
+	}
+}
+
+func TestOutOfOrderRelease(t *testing.T) {
+	// Flash programs can complete out of admission order (different chips);
+	// the buffer must cope.
+	b := New(3)
+	e1, _ := b.TryAdmit(1, 0)
+	e2, _ := b.TryAdmit(2, 0)
+	e3, _ := b.TryAdmit(3, 0)
+	if err := b.Release(e2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Occupied() != 2 || b.Oldest() != e1 {
+		t.Error("middle release broke accounting")
+	}
+	if err := b.Release(e1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Oldest() != e3 {
+		t.Error("Oldest should skip released entries")
+	}
+	if err := b.Release(e3); err != nil {
+		t.Fatal(err)
+	}
+	// Slots fully recycled.
+	for i := 0; i < 3; i++ {
+		if _, err := b.TryAdmit(int64(i), 1); err != nil {
+			t.Fatalf("re-admission %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(2)
+	if _, err := b.TryAdmit(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if b.Occupied() != 0 || b.Oldest() != nil {
+		t.Error("Reset did not clear buffer")
+	}
+}
+
+// Property: occupancy always equals admits minus releases and never exceeds
+// capacity, under random interleavings.
+func TestOccupancyInvariantProperty(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%32)
+		src := rng.New(seed)
+		b := New(capacity)
+		var live []*Entry
+		admits, releases := 0, 0
+		for op := 0; op < 300; op++ {
+			if len(live) > 0 && src.Bool(0.5) {
+				i := src.Intn(len(live))
+				if b.Release(live[i]) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				releases++
+			} else {
+				e, err := b.TryAdmit(int64(op), 0)
+				if errors.Is(err, ErrFull) {
+					if len(live) != capacity {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				live = append(live, e)
+				admits++
+			}
+			if b.Occupied() != admits-releases || b.Occupied() > capacity || b.Occupied() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import "flexftl/internal/rng"
+
+// FPSOrder returns the canonical fixed program sequence of Figure 2(b):
+// LSB(0), LSB(1), MSB(0), LSB(2), MSB(1), ..., LSB(W-1), MSB(W-2), MSB(W-1).
+// It is the unique complete order satisfying Constraints 1-4.
+func FPSOrder(wordLines int) []Page {
+	order := make([]Page, 0, 2*wordLines)
+	order = append(order, Page{WL: 0, Type: LSB})
+	if wordLines == 1 {
+		return append(order, Page{WL: 0, Type: MSB})
+	}
+	for wl := 1; wl < wordLines; wl++ {
+		order = append(order, Page{WL: wl, Type: LSB})
+		order = append(order, Page{WL: wl - 1, Type: MSB})
+	}
+	return append(order, Page{WL: wordLines - 1, Type: MSB})
+}
+
+// RPSFullOrder returns the RPSfull order of Figure 3(a): all LSB pages in
+// word-line order, then all MSB pages in word-line order. This is the 2PO
+// (two-phase ordering) flexFTL adopts — a block is a "fast block" while its
+// LSB half is being filled and a "slow block" afterwards.
+func RPSFullOrder(wordLines int) []Page {
+	order := make([]Page, 0, 2*wordLines)
+	for wl := 0; wl < wordLines; wl++ {
+		order = append(order, Page{WL: wl, Type: LSB})
+	}
+	for wl := 0; wl < wordLines; wl++ {
+		order = append(order, Page{WL: wl, Type: MSB})
+	}
+	return order
+}
+
+// RPSHalfOrder returns an instance of the half-and-half interleave of
+// Figure 3(b): the first half of the LSB pages are written in a row, then
+// LSB and MSB writes alternate, and the block finishes with the remaining
+// MSB pages.
+func RPSHalfOrder(wordLines int) []Page {
+	half := wordLines / 2
+	if half == 0 {
+		half = 1
+	}
+	order := make([]Page, 0, 2*wordLines)
+	for wl := 0; wl < half && wl < wordLines; wl++ {
+		order = append(order, Page{WL: wl, Type: LSB})
+	}
+	msb := 0
+	for wl := half; wl < wordLines; wl++ {
+		order = append(order, Page{WL: wl, Type: LSB})
+		if msb <= wl-1 { // C3: MSB(k) needs LSB(k+1), satisfied since msb+1 <= wl
+			order = append(order, Page{WL: msb, Type: MSB})
+			msb++
+		}
+	}
+	for ; msb < wordLines; msb++ {
+		order = append(order, Page{WL: msb, Type: MSB})
+	}
+	return order
+}
+
+// RandomRPSOrder returns a uniformly random-ish legal RPS order (Figure 3(c))
+// by repeatedly picking one of the legal next pages. Useful for property
+// tests and for demonstrating scheme flexibility.
+func RandomRPSOrder(src *rng.Source, wordLines int) []Page {
+	s := NewBlockState(wordLines)
+	order := make([]Page, 0, 2*wordLines)
+	for !s.Full() {
+		legal := LegalNext(RPS, s)
+		p := legal[src.Intn(len(legal))]
+		s.Mark(p)
+		order = append(order, p)
+	}
+	return order
+}
+
+// RandomUnconstrainedOrder returns a uniformly random permutation of the
+// block's pages, ignoring every constraint. Real devices forbid such orders;
+// the reliability study uses it to reproduce the Figure 2(a) worst case.
+func RandomUnconstrainedOrder(src *rng.Source, wordLines int) []Page {
+	order := make([]Page, 0, 2*wordLines)
+	for wl := 0; wl < wordLines; wl++ {
+		order = append(order, Page{WL: wl, Type: LSB}, Page{WL: wl, Type: MSB})
+	}
+	src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// WorstCaseOrder returns an unconstrained order realizing the Figure 2(a)
+// worst case: even word lines are fully programmed (LSB then MSB) before any
+// odd word line, so every interior even word line later suffers all four
+// neighbour programs — LSB(k-1), MSB(k-1), LSB(k+1), MSB(k+1) — as
+// aggressors after its own MSB program. Real devices forbid this order.
+func WorstCaseOrder(wordLines int) []Page {
+	order := make([]Page, 0, 2*wordLines)
+	for wl := 0; wl < wordLines; wl += 2 {
+		order = append(order, Page{WL: wl, Type: LSB}, Page{WL: wl, Type: MSB})
+	}
+	for wl := 1; wl < wordLines; wl += 2 {
+		order = append(order, Page{WL: wl, Type: LSB}, Page{WL: wl, Type: MSB})
+	}
+	return order
+}
+
+// TwoPhase reports, for a block being filled under 2PO (RPSfull), which page
+// comes next after n pages have been programmed. The first WordLines
+// programs are LSB(0..W-1); the rest are MSB(0..W-1).
+func TwoPhase(wordLines, programmed int) (Page, bool) {
+	if programmed < 0 || programmed >= 2*wordLines {
+		return Page{}, false
+	}
+	if programmed < wordLines {
+		return Page{WL: programmed, Type: LSB}, true
+	}
+	return Page{WL: programmed - wordLines, Type: MSB}, true
+}
+
+// AggressorCounts computes, for each word line, how many neighbour page
+// programs (to WL(k-1) or WL(k+1)) occur after MSB(k) is programmed in the
+// given order. The paper's reliability argument is that the total cell-to-
+// cell interference on WL(k) is proportional to this count; both FPS and any
+// legal RPS order bound it by 1 (only MSB(k+1)), while unconstrained orders
+// reach 4.
+func AggressorCounts(wordLines int, order []Page) []int {
+	pos := make(map[Page]int, len(order))
+	for i, p := range order {
+		pos[p] = i
+	}
+	counts := make([]int, wordLines)
+	for wl := 0; wl < wordLines; wl++ {
+		msbPos, ok := pos[Page{WL: wl, Type: MSB}]
+		if !ok {
+			counts[wl] = -1 // MSB never programmed; no settled 4-state data
+			continue
+		}
+		n := 0
+		for _, nb := range []int{wl - 1, wl + 1} {
+			if nb < 0 || nb >= wordLines {
+				continue
+			}
+			for _, t := range []PageType{LSB, MSB} {
+				if p, ok := pos[Page{WL: nb, Type: t}]; ok && p > msbPos {
+					n++
+				}
+			}
+		}
+		counts[wl] = n
+	}
+	return counts
+}
+
+// MaxAggressors returns the maximum aggressor count over fully programmed
+// word lines of the order.
+func MaxAggressors(wordLines int, order []Page) int {
+	max := 0
+	for _, c := range AggressorCounts(wordLines, order) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

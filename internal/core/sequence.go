@@ -1,0 +1,336 @@
+// Package core implements the program-sequence formalism of Park et al.,
+// "Improving Performance and Lifetime of NAND Storage Systems Using Relaxed
+// Program Sequence" (DAC 2016): the four program-order constraints of the
+// vendor fixed program sequence (FPS), the relaxed program sequence (RPS)
+// obtained by dropping the over-specified Constraint 4, legality checking
+// for arbitrary page program orders, and the canonical orders the paper
+// studies (the FPS interleave, RPSfull, RPShalf and random RPS orders).
+//
+// Terminology follows the paper. A 2-bit MLC block has W word lines; word
+// line k carries two pages, LSB(k) and MSB(k). A "program order" is a
+// sequence of the 2W pages of a block; a "rule set" decides which next page
+// programs are legal given the set already programmed.
+package core
+
+import "fmt"
+
+// PageType distinguishes the fast LSB page from the slow MSB page of a word
+// line.
+type PageType uint8
+
+const (
+	// LSB is the least-significant-bit page of a word line. Programming it
+	// only needs two coarse Vth states, so it is fast (~500 us on 2X-nm MLC).
+	LSB PageType = iota
+	// MSB is the most-significant-bit page. Programming it refines the cell
+	// into four Vth states, which is slow (~2000 us) and destructive to the
+	// paired LSB data while in progress.
+	MSB
+)
+
+// String returns "LSB" or "MSB".
+func (t PageType) String() string {
+	switch t {
+	case LSB:
+		return "LSB"
+	case MSB:
+		return "MSB"
+	default:
+		return fmt.Sprintf("PageType(%d)", uint8(t))
+	}
+}
+
+// Page identifies one page within a block by word line and type.
+type Page struct {
+	WL   int      // word-line index, 0-based
+	Type PageType // LSB or MSB
+}
+
+// String formats the page the way the paper writes it, e.g. "LSB(3)".
+func (p Page) String() string { return fmt.Sprintf("%s(%d)", p.Type, p.WL) }
+
+// Index maps a page to a dense index in [0, 2*wordLines): all LSB pages
+// first, then all MSB pages. This is the internal bitmap layout, not a
+// program order.
+func (p Page) Index(wordLines int) int {
+	if p.Type == LSB {
+		return p.WL
+	}
+	return wordLines + p.WL
+}
+
+// PageFromIndex inverts Page.Index.
+func PageFromIndex(idx, wordLines int) Page {
+	if idx < wordLines {
+		return Page{WL: idx, Type: LSB}
+	}
+	return Page{WL: idx - wordLines, Type: MSB}
+}
+
+// BlockState tracks which pages of a block have been programmed, so that a
+// rule set can decide the legality of the next program. The zero value is
+// not usable; call NewBlockState.
+type BlockState struct {
+	wordLines  int
+	lsb        []bool
+	msb        []bool
+	programmed int
+}
+
+// NewBlockState returns an all-erased state for a block with the given
+// number of word lines.
+func NewBlockState(wordLines int) *BlockState {
+	if wordLines <= 0 {
+		panic("core: block needs at least one word line")
+	}
+	return &BlockState{
+		wordLines: wordLines,
+		lsb:       make([]bool, wordLines),
+		msb:       make([]bool, wordLines),
+	}
+}
+
+// WordLines returns the number of word lines in the block.
+func (s *BlockState) WordLines() int { return s.wordLines }
+
+// Pages returns the total number of pages (2 per word line).
+func (s *BlockState) Pages() int { return 2 * s.wordLines }
+
+// Programmed returns how many pages have been programmed so far.
+func (s *BlockState) Programmed() int { return s.programmed }
+
+// Full reports whether every page of the block has been programmed.
+func (s *BlockState) Full() bool { return s.programmed == 2*s.wordLines }
+
+// Written reports whether the given page has been programmed.
+func (s *BlockState) Written(p Page) bool {
+	if p.WL < 0 || p.WL >= s.wordLines {
+		return false
+	}
+	if p.Type == LSB {
+		return s.lsb[p.WL]
+	}
+	return s.msb[p.WL]
+}
+
+// Mark records the page as programmed. It panics on double programming or an
+// out-of-range word line: NAND cannot program a page twice without an erase,
+// so this is a simulator bug, not a recoverable condition.
+func (s *BlockState) Mark(p Page) {
+	if p.WL < 0 || p.WL >= s.wordLines {
+		panic(fmt.Sprintf("core: word line %d out of range [0,%d)", p.WL, s.wordLines))
+	}
+	if s.Written(p) {
+		panic(fmt.Sprintf("core: double program of %v", p))
+	}
+	if p.Type == LSB {
+		s.lsb[p.WL] = true
+	} else {
+		s.msb[p.WL] = true
+	}
+	s.programmed++
+}
+
+// Reset returns the state to all-erased (models a block erase).
+func (s *BlockState) Reset() {
+	for i := range s.lsb {
+		s.lsb[i] = false
+		s.msb[i] = false
+	}
+	s.programmed = 0
+}
+
+// Clone returns an independent copy of the state.
+func (s *BlockState) Clone() *BlockState {
+	c := NewBlockState(s.wordLines)
+	copy(c.lsb, s.lsb)
+	copy(c.msb, s.msb)
+	c.programmed = s.programmed
+	return c
+}
+
+// ConstraintViolation describes which paper constraint a proposed program
+// would violate and which prerequisite page is missing.
+type ConstraintViolation struct {
+	Constraint int  // 1..4, as numbered in the paper (Section 2.2)
+	Page       Page // the page whose program was attempted
+	Missing    Page // the prerequisite page that has not been written
+}
+
+// Error implements error.
+func (v *ConstraintViolation) Error() string {
+	return fmt.Sprintf("core: programming %v violates Constraint %d: %v not yet written",
+		v.Page, v.Constraint, v.Missing)
+}
+
+// RuleSet is a program-sequence scheme: it decides whether programming page
+// p next is legal given the block state.
+type RuleSet interface {
+	// Name identifies the scheme ("FPS", "RPS", "Unconstrained").
+	Name() string
+	// Check returns nil if programming p next is legal, or a
+	// *ConstraintViolation describing the first violated constraint.
+	Check(s *BlockState, p Page) error
+}
+
+// fpsRules enforces Constraints 1-4; rpsRules enforces Constraints 1-3.
+type fpsRules struct{}
+type rpsRules struct{}
+
+// unconstrainedRules allows any order. It exists to reproduce the worst-case
+// interference study of Figure 2(a): real devices forbid it.
+type unconstrainedRules struct{}
+
+// FPS is the vendor fixed program sequence rule set (Constraints 1-4). Under
+// FPS exactly one program order exists for a block, the canonical interleave
+// of Figure 2(b).
+var FPS RuleSet = fpsRules{}
+
+// RPS is the paper's relaxed program sequence rule set (Constraints 1-3).
+// Constraint 4 — "before LSB(k), MSB(k-2) must be written" — is dropped
+// because programming WL(k-2) does not interfere with WL(k).
+var RPS RuleSet = rpsRules{}
+
+// Unconstrained allows any page order. Only the reliability study uses it.
+var Unconstrained RuleSet = unconstrainedRules{}
+
+func (fpsRules) Name() string           { return "FPS" }
+func (rpsRules) Name() string           { return "RPS" }
+func (unconstrainedRules) Name() string { return "Unconstrained" }
+
+// checkCommon enforces Constraints 1-3, shared by FPS and RPS:
+//
+//	C1: LSB(k) requires LSB(k-1)              (k >= 1)
+//	C2: MSB(k) requires MSB(k-1)              (k >= 1)
+//	C3: MSB(k) requires LSB(k+1)              (k >= 0, vacuous on the last WL)
+func checkCommon(s *BlockState, p Page) error {
+	if p.WL < 0 || p.WL >= s.wordLines {
+		return fmt.Errorf("core: word line %d out of range [0,%d)", p.WL, s.wordLines)
+	}
+	if s.Written(p) {
+		return fmt.Errorf("core: page %v already programmed", p)
+	}
+	switch p.Type {
+	case LSB:
+		if p.WL >= 1 {
+			prereq := Page{WL: p.WL - 1, Type: LSB}
+			if !s.Written(prereq) {
+				return &ConstraintViolation{Constraint: 1, Page: p, Missing: prereq}
+			}
+		}
+	case MSB:
+		if p.WL >= 1 {
+			prereq := Page{WL: p.WL - 1, Type: MSB}
+			if !s.Written(prereq) {
+				return &ConstraintViolation{Constraint: 2, Page: p, Missing: prereq}
+			}
+		}
+		// MSB(k) additionally requires its own LSB to have been written:
+		// multi-level programming refines the LSB-programmed transient state,
+		// so there is nothing to refine otherwise. The paper's Constraint 2
+		// chain plus Constraint 3 imply this on every legal order; we check
+		// it explicitly so single illegal probes are also rejected.
+		lsbSelf := Page{WL: p.WL, Type: LSB}
+		if !s.Written(lsbSelf) {
+			return &ConstraintViolation{Constraint: 3, Page: p, Missing: lsbSelf}
+		}
+		if p.WL+1 < s.wordLines {
+			prereq := Page{WL: p.WL + 1, Type: LSB}
+			if !s.Written(prereq) {
+				return &ConstraintViolation{Constraint: 3, Page: p, Missing: prereq}
+			}
+		}
+	}
+	return nil
+}
+
+func (rpsRules) Check(s *BlockState, p Page) error { return checkCommon(s, p) }
+
+func (fpsRules) Check(s *BlockState, p Page) error {
+	if err := checkCommon(s, p); err != nil {
+		return err
+	}
+	// C4: LSB(k) requires MSB(k-2) (k >= 2). This is the over-specified
+	// constraint RPS removes.
+	if p.Type == LSB && p.WL >= 2 {
+		prereq := Page{WL: p.WL - 2, Type: MSB}
+		if !s.Written(prereq) {
+			return &ConstraintViolation{Constraint: 4, Page: p, Missing: prereq}
+		}
+	}
+	return nil
+}
+
+func (unconstrainedRules) Check(s *BlockState, p Page) error {
+	if p.WL < 0 || p.WL >= s.wordLines {
+		return fmt.Errorf("core: word line %d out of range [0,%d)", p.WL, s.wordLines)
+	}
+	if s.Written(p) {
+		return fmt.Errorf("core: page %v already programmed", p)
+	}
+	return nil
+}
+
+// ValidateOrder checks a complete program order of a block (it must mention
+// every page exactly once) against a rule set. It returns the index of the
+// first illegal program and the error, or (-1, nil) when the order is legal.
+func ValidateOrder(rules RuleSet, wordLines int, order []Page) (int, error) {
+	s := NewBlockState(wordLines)
+	for i, p := range order {
+		if err := rules.Check(s, p); err != nil {
+			return i, err
+		}
+		s.Mark(p)
+	}
+	if !s.Full() {
+		return len(order), fmt.Errorf("core: order covers %d of %d pages", s.Programmed(), s.Pages())
+	}
+	return -1, nil
+}
+
+// LegalNext returns every page whose program is legal under the rule set in
+// the given state, in (LSB by word line, then MSB by word line) order.
+func LegalNext(rules RuleSet, s *BlockState) []Page {
+	var out []Page
+	for wl := 0; wl < s.wordLines; wl++ {
+		p := Page{WL: wl, Type: LSB}
+		if rules.Check(s, p) == nil {
+			out = append(out, p)
+		}
+	}
+	for wl := 0; wl < s.wordLines; wl++ {
+		p := Page{WL: wl, Type: MSB}
+		if rules.Check(s, p) == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CountOrders counts the number of complete legal program orders of a block
+// under the rule set, by exhaustive search. It is exponential and intended
+// for small word-line counts in tests (FPS must give exactly 1; RPS grows
+// combinatorially).
+func CountOrders(rules RuleSet, wordLines int) int {
+	s := NewBlockState(wordLines)
+	var rec func() int
+	rec = func() int {
+		if s.Full() {
+			return 1
+		}
+		total := 0
+		for _, p := range LegalNext(rules, s) {
+			s.Mark(p)
+			total += rec()
+			// Undo the mark directly; Reset would lose the prefix.
+			if p.Type == LSB {
+				s.lsb[p.WL] = false
+			} else {
+				s.msb[p.WL] = false
+			}
+			s.programmed--
+		}
+		return total
+	}
+	return rec()
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"flexftl/internal/rng"
+)
+
+func TestPageIndexRoundTrip(t *testing.T) {
+	const wl = 8
+	seen := make(map[int]bool)
+	for k := 0; k < wl; k++ {
+		for _, typ := range []PageType{LSB, MSB} {
+			p := Page{WL: k, Type: typ}
+			idx := p.Index(wl)
+			if idx < 0 || idx >= 2*wl {
+				t.Fatalf("index %d out of range for %v", idx, p)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d duplicated", idx)
+			}
+			seen[idx] = true
+			if back := PageFromIndex(idx, wl); back != p {
+				t.Fatalf("round trip %v -> %d -> %v", p, idx, back)
+			}
+		}
+	}
+}
+
+func TestPageString(t *testing.T) {
+	if got := (Page{WL: 3, Type: LSB}).String(); got != "LSB(3)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Page{WL: 0, Type: MSB}).String(); got != "MSB(0)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestBlockStateBasics(t *testing.T) {
+	s := NewBlockState(4)
+	if s.Pages() != 8 || s.WordLines() != 4 {
+		t.Fatal("geometry wrong")
+	}
+	p := Page{WL: 0, Type: LSB}
+	if s.Written(p) {
+		t.Error("fresh state reports page written")
+	}
+	s.Mark(p)
+	if !s.Written(p) || s.Programmed() != 1 {
+		t.Error("Mark not reflected")
+	}
+	s.Reset()
+	if s.Written(p) || s.Programmed() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestBlockStateDoubleProgramPanics(t *testing.T) {
+	s := NewBlockState(2)
+	s.Mark(Page{WL: 0, Type: LSB})
+	defer func() {
+		if recover() == nil {
+			t.Error("double program did not panic")
+		}
+	}()
+	s.Mark(Page{WL: 0, Type: LSB})
+}
+
+func TestBlockStateClone(t *testing.T) {
+	s := NewBlockState(3)
+	s.Mark(Page{WL: 0, Type: LSB})
+	c := s.Clone()
+	c.Mark(Page{WL: 1, Type: LSB})
+	if s.Written(Page{WL: 1, Type: LSB}) {
+		t.Error("clone mutated original")
+	}
+	if !c.Written(Page{WL: 0, Type: LSB}) {
+		t.Error("clone lost state")
+	}
+}
+
+// TestFPSCanonicalOrder verifies Figure 2(b): the canonical interleave is
+// legal under FPS, and it is the unique complete FPS order.
+func TestFPSCanonicalOrder(t *testing.T) {
+	for _, wl := range []int{1, 2, 3, 4, 6, 8} {
+		order := FPSOrder(wl)
+		if len(order) != 2*wl {
+			t.Fatalf("wl=%d: FPSOrder length %d", wl, len(order))
+		}
+		if i, err := ValidateOrder(FPS, wl, order); err != nil {
+			t.Fatalf("wl=%d: canonical FPS order illegal at %d: %v", wl, i, err)
+		}
+	}
+	// Spot check the exact Figure 2(b) numbering for 6 word lines:
+	// 0:LSB0 1:LSB1 2:MSB0 3:LSB2 4:MSB1 5:LSB3 6:MSB2 ...
+	want := []Page{
+		{0, LSB}, {1, LSB}, {0, MSB}, {2, LSB}, {1, MSB}, {3, LSB},
+		{2, MSB}, {4, LSB}, {3, MSB}, {5, LSB}, {4, MSB}, {5, MSB},
+	}
+	got := FPSOrder(6)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FPSOrder(6)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFPSOrderIsUnique(t *testing.T) {
+	for _, wl := range []int{1, 2, 3, 4, 5} {
+		if n := CountOrders(FPS, wl); n != 1 {
+			t.Errorf("wl=%d: FPS admits %d orders, want exactly 1", wl, n)
+		}
+	}
+}
+
+func TestRPSAdmitsManyOrders(t *testing.T) {
+	// With 2 word lines RPS is still forced (L0,L1,M0,M1); flexibility
+	// appears from 3 word lines on and grows combinatorially.
+	if n := CountOrders(RPS, 2); n != 1 {
+		t.Errorf("wl=2: RPS admits %d orders, want exactly 1", n)
+	}
+	counts := map[int]int{}
+	for _, wl := range []int{3, 4, 5} {
+		counts[wl] = CountOrders(RPS, wl)
+		if counts[wl] <= 1 {
+			t.Errorf("wl=%d: RPS admits %d orders, want > 1", wl, counts[wl])
+		}
+	}
+	if counts[4] <= counts[3] || counts[5] <= counts[4] {
+		t.Errorf("RPS order count not growing: %v", counts)
+	}
+}
+
+// TestRPSOrders verifies Figure 3: RPSfull, RPShalf and random legal orders
+// all satisfy Constraints 1-3 but (except degenerate sizes) violate FPS.
+func TestRPSOrders(t *testing.T) {
+	for _, wl := range []int{2, 4, 6, 8, 64, 128} {
+		for name, order := range map[string][]Page{
+			"RPSfull": RPSFullOrder(wl),
+			"RPShalf": RPSHalfOrder(wl),
+		} {
+			if i, err := ValidateOrder(RPS, wl, order); err != nil {
+				t.Errorf("wl=%d %s: illegal under RPS at %d: %v", wl, name, i, err)
+			}
+			if wl >= 4 {
+				if _, err := ValidateOrder(FPS, wl, order); err == nil {
+					t.Errorf("wl=%d %s: unexpectedly legal under FPS", wl, name)
+				} else {
+					var cv *ConstraintViolation
+					if !errors.As(err, &cv) || cv.Constraint != 4 {
+						t.Errorf("wl=%d %s: expected Constraint 4 violation, got %v", wl, name, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRandomRPSOrdersLegal(t *testing.T) {
+	src := rng.New(1)
+	for i := 0; i < 50; i++ {
+		wl := 2 + src.Intn(16)
+		order := RandomRPSOrder(src, wl)
+		if idx, err := ValidateOrder(RPS, wl, order); err != nil {
+			t.Fatalf("random RPS order illegal at %d: %v (order %v)", idx, err, order)
+		}
+	}
+}
+
+func TestConstraintViolationDetails(t *testing.T) {
+	s := NewBlockState(4)
+	// LSB(1) before LSB(0): Constraint 1.
+	err := RPS.Check(s, Page{WL: 1, Type: LSB})
+	var cv *ConstraintViolation
+	if !errors.As(err, &cv) || cv.Constraint != 1 || cv.Missing != (Page{WL: 0, Type: LSB}) {
+		t.Errorf("C1 violation not reported correctly: %v", err)
+	}
+	// MSB(0) with nothing written: Constraint 3 (missing LSB(0) itself).
+	err = RPS.Check(s, Page{WL: 0, Type: MSB})
+	if !errors.As(err, &cv) || cv.Constraint != 3 {
+		t.Errorf("C3 violation not reported correctly: %v", err)
+	}
+	s.Mark(Page{WL: 0, Type: LSB})
+	// MSB(0) still needs LSB(1): Constraint 3.
+	err = RPS.Check(s, Page{WL: 0, Type: MSB})
+	if !errors.As(err, &cv) || cv.Constraint != 3 || cv.Missing != (Page{WL: 1, Type: LSB}) {
+		t.Errorf("C3 (neighbour) violation not reported correctly: %v", err)
+	}
+	s.Mark(Page{WL: 1, Type: LSB})
+	if err := RPS.Check(s, Page{WL: 0, Type: MSB}); err != nil {
+		t.Errorf("MSB(0) should be legal now: %v", err)
+	}
+	// Constraint 2: MSB(1) before MSB(0).
+	s.Mark(Page{WL: 2, Type: LSB})
+	err = RPS.Check(s, Page{WL: 1, Type: MSB})
+	if !errors.As(err, &cv) || cv.Constraint != 2 {
+		t.Errorf("C2 violation not reported correctly: %v", err)
+	}
+	// Constraint 4 under FPS: LSB(2) already written above was fine because
+	// we only probed; rebuild and check C4 explicitly.
+	s2 := NewBlockState(4)
+	s2.Mark(Page{WL: 0, Type: LSB})
+	s2.Mark(Page{WL: 1, Type: LSB})
+	err = FPS.Check(s2, Page{WL: 2, Type: LSB})
+	if !errors.As(err, &cv) || cv.Constraint != 4 || cv.Missing != (Page{WL: 0, Type: MSB}) {
+		t.Errorf("C4 violation not reported correctly: %v", err)
+	}
+	if err := RPS.Check(s2, Page{WL: 2, Type: LSB}); err != nil {
+		t.Errorf("RPS must allow LSB(2) here (Constraint 4 dropped): %v", err)
+	}
+}
+
+func TestMSBRequiresOwnLSBOnLastWordLine(t *testing.T) {
+	// On the last word line Constraint 3 is vacuous; the device still cannot
+	// program MSB before LSB of the same word line.
+	s := NewBlockState(2)
+	s.Mark(Page{WL: 0, Type: LSB})
+	s.Mark(Page{WL: 1, Type: LSB})
+	s.Mark(Page{WL: 0, Type: MSB})
+	// Erase-less trick: build a state where LSB(1) is missing.
+	s2 := NewBlockState(2)
+	s2.Mark(Page{WL: 0, Type: LSB})
+	if err := RPS.Check(s2, Page{WL: 1, Type: MSB}); err == nil {
+		t.Error("MSB(1) legal without LSB(1)")
+	}
+}
+
+func TestLegalNext(t *testing.T) {
+	s := NewBlockState(3)
+	legal := LegalNext(RPS, s)
+	if len(legal) != 1 || legal[0] != (Page{WL: 0, Type: LSB}) {
+		t.Fatalf("fresh block legal set = %v, want [LSB(0)]", legal)
+	}
+	s.Mark(Page{WL: 0, Type: LSB})
+	s.Mark(Page{WL: 1, Type: LSB})
+	legal = LegalNext(RPS, s)
+	// Now LSB(2) and MSB(0) are both legal under RPS.
+	want := map[Page]bool{{WL: 2, Type: LSB}: true, {WL: 0, Type: MSB}: true}
+	if len(legal) != 2 || !want[legal[0]] || !want[legal[1]] {
+		t.Fatalf("legal set = %v, want LSB(2)+MSB(0)", legal)
+	}
+	// Under FPS, LSB(2) is blocked by C4; only MSB(0) legal.
+	legal = LegalNext(FPS, s)
+	if len(legal) != 1 || legal[0] != (Page{WL: 0, Type: MSB}) {
+		t.Fatalf("FPS legal set = %v, want [MSB(0)]", legal)
+	}
+}
+
+func TestTwoPhase(t *testing.T) {
+	const wl = 4
+	for n := 0; n < 2*wl; n++ {
+		p, ok := TwoPhase(wl, n)
+		if !ok {
+			t.Fatalf("TwoPhase(%d,%d) not ok", wl, n)
+		}
+		if n < wl {
+			if p != (Page{WL: n, Type: LSB}) {
+				t.Errorf("TwoPhase(%d,%d) = %v", wl, n, p)
+			}
+		} else if p != (Page{WL: n - wl, Type: MSB}) {
+			t.Errorf("TwoPhase(%d,%d) = %v", wl, n, p)
+		}
+	}
+	if _, ok := TwoPhase(wl, 2*wl); ok {
+		t.Error("TwoPhase past the end reported ok")
+	}
+	if _, ok := TwoPhase(wl, -1); ok {
+		t.Error("TwoPhase(-1) reported ok")
+	}
+	// The 2PO sequence must be exactly RPSfull.
+	full := RPSFullOrder(wl)
+	for n := 0; n < 2*wl; n++ {
+		p, _ := TwoPhase(wl, n)
+		if p != full[n] {
+			t.Errorf("TwoPhase(%d) = %v, RPSfull[%d] = %v", n, p, n, full[n])
+		}
+	}
+}
+
+// Property: every complete legal RPS order has max aggressor count <= 1 —
+// the paper's reliability invariant (Section 2.2).
+func TestRPSAggressorBoundProperty(t *testing.T) {
+	f := func(seed uint64, wlRaw uint8) bool {
+		wl := 2 + int(wlRaw%14)
+		order := RandomRPSOrder(rng.New(seed), wl)
+		return MaxAggressors(wl, order) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random RPS orders are always complete permutations of the block.
+func TestRandomRPSOrderCompleteProperty(t *testing.T) {
+	f := func(seed uint64, wlRaw uint8) bool {
+		wl := 1 + int(wlRaw%16)
+		order := RandomRPSOrder(rng.New(seed), wl)
+		if len(order) != 2*wl {
+			return false
+		}
+		seen := map[Page]bool{}
+		for _, p := range order {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggressorCounts(t *testing.T) {
+	const wl = 8
+	for name, order := range map[string][]Page{
+		"FPS":     FPSOrder(wl),
+		"RPSfull": RPSFullOrder(wl),
+		"RPShalf": RPSHalfOrder(wl),
+	} {
+		counts := AggressorCounts(wl, order)
+		for k, c := range counts {
+			limit := 1
+			if k == wl-1 {
+				limit = 0 // last word line has no MSB(k+1) aggressor
+			}
+			if c > limit {
+				t.Errorf("%s: WL(%d) aggressor count %d > %d", name, k, c, limit)
+			}
+		}
+	}
+}
+
+// TestUnconstrainedOrderWorstCase reproduces the Figure 2(a) argument: an
+// unconstrained order can expose a word line to 4 aggressor programs.
+func TestUnconstrainedOrderWorstCase(t *testing.T) {
+	const wl = 8
+	order := WorstCaseOrder(wl)
+	if i, err := ValidateOrder(Unconstrained, wl, order); err != nil {
+		t.Fatalf("worst-case order invalid at %d: %v", i, err)
+	}
+	if _, err := ValidateOrder(RPS, wl, order); err == nil {
+		t.Error("worst-case order must be illegal under RPS")
+	}
+	if got := MaxAggressors(wl, order); got != 4 {
+		t.Errorf("worst-case max aggressors = %d, want 4", got)
+	}
+	counts := AggressorCounts(wl, order)
+	for k := 2; k < wl-1; k += 2 {
+		if counts[k] != 4 {
+			t.Errorf("interior even WL(%d) aggressors = %d, want 4", k, counts[k])
+		}
+	}
+}
+
+func TestPartialOrderAggressors(t *testing.T) {
+	// A block whose MSBs were never written reports -1 counts.
+	order := []Page{{0, LSB}, {1, LSB}}
+	counts := AggressorCounts(2, order)
+	if counts[0] != -1 || counts[1] != -1 {
+		t.Errorf("counts = %v, want [-1 -1]", counts)
+	}
+}
+
+func TestValidateOrderIncomplete(t *testing.T) {
+	if _, err := ValidateOrder(RPS, 2, []Page{{0, LSB}}); err == nil {
+		t.Error("incomplete order accepted")
+	}
+}
+
+func TestRuleSetNames(t *testing.T) {
+	if FPS.Name() != "FPS" || RPS.Name() != "RPS" || Unconstrained.Name() != "Unconstrained" {
+		t.Error("rule set names wrong")
+	}
+}
+
+func TestRandomUnconstrainedOrderComplete(t *testing.T) {
+	src := rng.New(5)
+	order := RandomUnconstrainedOrder(src, 10)
+	if len(order) != 20 {
+		t.Fatalf("len = %d", len(order))
+	}
+	if i, err := ValidateOrder(Unconstrained, 10, order); err != nil {
+		t.Fatalf("invalid at %d: %v", i, err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package ecc models the error-correction envelope of the storage
+// controller: a BCH-like code corrects up to T bit errors per codeword;
+// beyond that the page read is uncorrectable. The reliability experiments
+// use it to translate the vth model's raw bit error rates into page-failure
+// probabilities, closing the loop between Figure 4(b) and the FTL-level
+// uncorrectable-read behaviour the backup schemes defend against.
+package ecc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Code describes an ECC configuration.
+type Code struct {
+	// CodewordBits is the protected payload size per codeword.
+	CodewordBits int
+	// CorrectableBits is T, the maximum number of correctable bit errors
+	// per codeword.
+	CorrectableBits int
+}
+
+// Default40BitPer1K mirrors a typical 2X-nm MLC requirement: 40 bits
+// correctable per 1KB codeword.
+func Default40BitPer1K() Code {
+	return Code{CodewordBits: 8192, CorrectableBits: 40}
+}
+
+// Validate rejects degenerate configurations.
+func (c Code) Validate() error {
+	if c.CodewordBits <= 0 {
+		return fmt.Errorf("ecc: codeword must have positive size, got %d", c.CodewordBits)
+	}
+	if c.CorrectableBits < 0 || c.CorrectableBits >= c.CodewordBits {
+		return fmt.Errorf("ecc: correctable bits %d outside [0,%d)", c.CorrectableBits, c.CodewordBits)
+	}
+	return nil
+}
+
+// Correctable reports whether a codeword with the given number of bit
+// errors is recoverable.
+func (c Code) Correctable(bitErrors int) bool {
+	return bitErrors >= 0 && bitErrors <= c.CorrectableBits
+}
+
+// CodewordsPerPage returns how many codewords cover a page of the given
+// byte size (rounding up).
+func (c Code) CodewordsPerPage(pageBytes int) int {
+	bits := pageBytes * 8
+	return (bits + c.CodewordBits - 1) / c.CodewordBits
+}
+
+// PageFailureProb returns the probability that a page of the given size is
+// uncorrectable when each bit flips independently with probability ber.
+// Computed as 1 - P(codeword ok)^codewords with a numerically careful
+// binomial tail.
+func (c Code) PageFailureProb(ber float64, pageBytes int) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	cwOK := c.codewordOKProb(ber)
+	n := c.CodewordsPerPage(pageBytes)
+	return 1 - math.Pow(cwOK, float64(n))
+}
+
+// codewordOKProb computes P(errors <= T) for Binomial(CodewordBits, ber),
+// summing log-space terms to avoid underflow at realistic BERs.
+func (c Code) codewordOKProb(ber float64) float64 {
+	n := c.CodewordBits
+	logP := math.Log(ber)
+	logQ := math.Log1p(-ber)
+	// Accumulate terms of the binomial pmf from k=0..T.
+	total := 0.0
+	logChoose := 0.0 // log C(n,0)
+	for k := 0; k <= c.CorrectableBits; k++ {
+		if k > 0 {
+			logChoose += math.Log(float64(n-k+1)) - math.Log(float64(k))
+		}
+		total += math.Exp(logChoose + float64(k)*logP + float64(n-k)*logQ)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}

@@ -1,0 +1,106 @@
+package ecc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultCode(t *testing.T) {
+	c := Default40BitPer1K()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Correctable(0) || !c.Correctable(40) {
+		t.Error("in-budget error counts rejected")
+	}
+	if c.Correctable(41) || c.Correctable(-1) {
+		t.Error("out-of-budget error counts accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Code{
+		{CodewordBits: 0, CorrectableBits: 1},
+		{CodewordBits: 10, CorrectableBits: -1},
+		{CodewordBits: 10, CorrectableBits: 10},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid code accepted: %+v", c)
+		}
+	}
+}
+
+func TestCodewordsPerPage(t *testing.T) {
+	c := Default40BitPer1K()
+	if got := c.CodewordsPerPage(4096); got != 4 {
+		t.Errorf("4KB page covers %d codewords, want 4", got)
+	}
+	if got := c.CodewordsPerPage(1025); got != 2 {
+		t.Errorf("1025B page covers %d codewords, want 2 (round up)", got)
+	}
+}
+
+func TestPageFailureProbEdges(t *testing.T) {
+	c := Default40BitPer1K()
+	if got := c.PageFailureProb(0, 4096); got != 0 {
+		t.Errorf("BER 0 fails with prob %g", got)
+	}
+	if got := c.PageFailureProb(1, 4096); got != 1 {
+		t.Errorf("BER 1 fails with prob %g", got)
+	}
+}
+
+func TestPageFailureProbMonotone(t *testing.T) {
+	c := Default40BitPer1K()
+	prev := -1.0
+	for _, ber := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1} {
+		p := c.PageFailureProb(ber, 4096)
+		if p < prev-1e-12 { // tolerate float underflow noise near 0
+			t.Errorf("failure prob not monotone at BER %g: %g < %g", ber, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Errorf("failure prob %g out of [0,1]", p)
+		}
+		prev = p
+	}
+}
+
+func TestPageFailureProbRegimes(t *testing.T) {
+	c := Default40BitPer1K()
+	// Well inside the correction budget: 8192 bits x 1e-4 = 0.8 expected
+	// errors vs 40 correctable — failure must be negligible.
+	if p := c.PageFailureProb(1e-4, 4096); p > 1e-12 {
+		t.Errorf("BER 1e-4 fails with prob %g, want ~0", p)
+	}
+	// Far beyond the budget: 8192 x 2e-2 = 164 expected errors.
+	if p := c.PageFailureProb(2e-2, 4096); p < 0.999 {
+		t.Errorf("BER 2e-2 fails with prob %g, want ~1", p)
+	}
+	// Around the knee (expected errors == T) failure is order 0.5.
+	knee := 40.0 / 8192.0
+	if p := c.PageFailureProb(knee, 1024); p < 0.2 || p > 0.8 {
+		t.Errorf("knee failure prob = %g, want mid-range", p)
+	}
+}
+
+func TestStrongerCodeFailsLess(t *testing.T) {
+	weak := Code{CodewordBits: 8192, CorrectableBits: 10}
+	strong := Code{CodewordBits: 8192, CorrectableBits: 60}
+	ber := 2e-3
+	pw := weak.PageFailureProb(ber, 4096)
+	ps := strong.PageFailureProb(ber, 4096)
+	if ps >= pw {
+		t.Errorf("stronger code fails more: weak %g, strong %g", pw, ps)
+	}
+}
+
+func TestCodewordOKProbNumericalStability(t *testing.T) {
+	c := Default40BitPer1K()
+	for _, ber := range []float64{1e-9, 1e-7, 1e-5} {
+		p := c.PageFailureProb(ber, 4096)
+		if math.IsNaN(p) || p < 0 {
+			t.Errorf("BER %g produced unstable prob %g", ber, p)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flexftl/internal/core"
+	"flexftl/internal/ftl"
+	"flexftl/internal/ftl/flexftl"
+	"flexftl/internal/nand"
+	"flexftl/internal/ssd"
+	"flexftl/internal/workload"
+)
+
+// Ablations quantify flexFTL's design choices (DESIGN.md §5) by re-running
+// the bursty Varmail workload with one knob changed at a time.
+
+// AblationConfig parameterizes the sweep.
+type AblationConfig struct {
+	Geometry nand.Geometry
+	Requests int
+	Seed     uint64
+}
+
+// DefaultAblationConfig keeps the sweep quick but distinguishable.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{Geometry: EvalGeometry(), Requests: 40000, Seed: 42}
+}
+
+// AblationRow is one variant's outcome.
+type AblationRow struct {
+	Name          string
+	IOPS          float64
+	PeakMBs       float64
+	Erases        int64
+	ForegroundGCs int64
+	BackupPerWrit float64
+	HostLSBShare  float64
+}
+
+// AblationResult carries the sweep.
+type AblationResult struct {
+	Config AblationConfig
+	Rows   []AblationRow
+}
+
+// RunAblations executes the variant sweep.
+func RunAblations(cfg AblationConfig) (AblationResult, error) {
+	variants := []struct {
+		name   string
+		mutate func(*flexftl.Params, *ftl.Config)
+	}{
+		{"flexFTL (paper settings)", func(p *flexftl.Params, c *ftl.Config) {}},
+		{"quota 0.1% (near-FPS)", func(p *flexftl.Params, c *ftl.Config) { p.QuotaFraction = 0.001 }},
+		{"quota 100% (unbounded)", func(p *flexftl.Params, c *ftl.Config) { p.QuotaFraction = 1.0 }},
+		{"BGC copies via LSB", func(p *flexftl.Params, c *ftl.Config) { p.BGCCopyLSB = true }},
+		{"predictive BGC (Section 6)", func(p *flexftl.Params, c *ftl.Config) { p.PredictiveBGC = true }},
+		{"cost-benefit GC victims", func(p *flexftl.Params, c *ftl.Config) { c.GC = ftl.GCCostBenefit }},
+	}
+	res := AblationResult{Config: cfg}
+	prof := workload.Varmail()
+	for _, v := range variants {
+		dev, err := nand.NewDevice(nand.Config{
+			Geometry: cfg.Geometry, Timing: nand.DefaultTiming(), Rules: core.RPS,
+		})
+		if err != nil {
+			return res, err
+		}
+		params := flexftl.DefaultParams()
+		ftlCfg := ftl.DefaultConfig()
+		v.mutate(&params, &ftlCfg)
+		f, err := flexftl.New(dev, ftlCfg, params)
+		if err != nil {
+			return res, err
+		}
+		sys, err := ssd.New(f, ssd.DefaultConfig())
+		if err != nil {
+			return res, err
+		}
+		if _, err := sys.Prefill(); err != nil {
+			return res, fmt.Errorf("ablation %q: %w", v.name, err)
+		}
+		gen, err := workload.New(prof, f.LogicalPages(), cfg.Requests, cfg.Seed)
+		if err != nil {
+			return res, err
+		}
+		run, err := sys.Run(gen)
+		if err != nil {
+			return res, fmt.Errorf("ablation %q: %w", v.name, err)
+		}
+		st := run.Stats
+		row := AblationRow{
+			Name:          v.name,
+			IOPS:          run.Metrics.IOPS,
+			PeakMBs:       run.Metrics.PeakWriteBandwidthMBs,
+			Erases:        st.Erases,
+			ForegroundGCs: st.ForegroundGCs,
+		}
+		if st.HostWrites > 0 {
+			row.BackupPerWrit = float64(st.BackupWrites) / float64(st.HostWrites)
+			row.HostLSBShare = float64(st.HostWritesLSB) / float64(st.HostWrites)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RenderAblations prints the sweep.
+func RenderAblations(w io.Writer, res AblationResult) {
+	fmt.Fprintf(w, "flexFTL design-choice ablations (Varmail, %d requests)\n", res.Config.Requests)
+	fmt.Fprintf(w, "  %-28s %8s %9s %8s %7s %10s %9s\n",
+		"variant", "IOPS", "peakMB/s", "erases", "fg GCs", "backup/wr", "LSB share")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "  %-28s %8.0f %9.1f %8d %7d %10.4f %9.2f\n",
+			r.Name, r.IOPS, r.PeakMBs, r.Erases, r.ForegroundGCs, r.BackupPerWrit, r.HostLSBShare)
+	}
+}

@@ -1,0 +1,69 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 4 plus the Section 2 reliability study), shared
+// by cmd/flexbench and the root-level benchmarks. Each driver is
+// deterministic given its seed and returns structured results that the
+// render helpers format in the paper's layout.
+package experiments
+
+import (
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/ftl"
+	"flexftl/internal/ftl/flexftl"
+	"flexftl/internal/ftl/pageftl"
+	"flexftl/internal/ftl/parityftl"
+	"flexftl/internal/ftl/rtfftl"
+	"flexftl/internal/nand"
+)
+
+// Schemes returns the four FTLs of the evaluation, in the paper's order.
+func Schemes() []string {
+	return []string{"pageFTL", "parityFTL", "rtfFTL", "flexFTL"}
+}
+
+// Baseline is the normalization reference of Figures 8(a) and 8(b).
+const Baseline = "pageFTL"
+
+// EvalGeometry is the scaled evaluation configuration: the paper limits its
+// BlueDBM to 16 GB "for fast evaluations"; we scale one step further (512 MB,
+// same channel/chip structure) so the full matrix reruns in seconds. The
+// FTL-relative results are geometry-stable; cmd/flexbench -full uses the
+// paper's exact 16 GB geometry.
+func EvalGeometry() nand.Geometry {
+	return nand.Geometry{
+		Channels:          4,
+		ChipsPerChannel:   2,
+		BlocksPerChip:     128,
+		WordLinesPerBlock: 64,
+		PageSizeBytes:     4096,
+		SpareBytes:        64,
+	}
+}
+
+// BuildFTL constructs a scheme over a fresh device with the right rule set:
+// flexFTL runs on an RPS device, the three comparison FTLs on stock FPS
+// devices.
+func BuildFTL(scheme string, g nand.Geometry) (ftl.FTL, error) {
+	rules := core.FPS
+	if scheme == "flexFTL" {
+		rules = core.RPS
+	}
+	dev, err := nand.NewDevice(nand.Config{Geometry: g, Timing: nand.DefaultTiming(), Rules: rules})
+	if err != nil {
+		return nil, err
+	}
+	cfg := ftl.DefaultConfig()
+	switch scheme {
+	case "pageFTL":
+		return pageftl.New(dev, cfg)
+	case "parityFTL":
+		return parityftl.New(dev, cfg)
+	case "rtfFTL":
+		return rtfftl.New(dev, cfg)
+	case "flexFTL":
+		return flexftl.New(dev, cfg, flexftl.DefaultParams())
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
+	}
+}

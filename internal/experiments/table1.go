@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"flexftl/internal/sim"
+	"flexftl/internal/workload"
+)
+
+// Table1Row reports one workload's empirically measured characteristics —
+// the regenerated Table 1 plus the quantities behind its qualitative labels.
+type Table1Row struct {
+	Name          string
+	ReadFraction  float64 // measured read share
+	Intensity     workload.Intensity
+	IdleFraction  float64 // share of the trace spent in >5 ms gaps
+	MeanReqPages  float64 // mean request size
+	MeanIOPSOffer float64 // offered request rate during the trace
+}
+
+// RunTable1 generates each workload and measures its characteristics.
+func RunTable1(space int64, requests int, seed uint64) ([]Table1Row, error) {
+	const idleGap = 5 * sim.Millisecond
+	var rows []Table1Row
+	for _, p := range workload.All() {
+		gen, err := workload.New(p, space, requests, seed)
+		if err != nil {
+			return nil, err
+		}
+		reads, pages := 0, 0
+		var idle, last sim.Time
+		var prev sim.Time
+		first := true
+		n := 0
+		for {
+			req, ok := gen.Next()
+			if !ok {
+				break
+			}
+			n++
+			pages += req.Pages
+			if req.Op == workload.OpRead {
+				reads++
+			}
+			if !first && req.Arrival-prev > idleGap {
+				idle += req.Arrival - prev
+			}
+			prev = req.Arrival
+			last = req.Arrival
+			first = false
+		}
+		row := Table1Row{
+			Name:         p.Name,
+			ReadFraction: float64(reads) / float64(n),
+			Intensity:    p.Intensity,
+			MeanReqPages: float64(pages) / float64(n),
+		}
+		if last > 0 {
+			row.IdleFraction = float64(idle) / float64(last)
+			row.MeanIOPSOffer = float64(n) / last.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,239 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flexftl/internal/nand"
+	"flexftl/internal/sim"
+)
+
+// ErrUnmapped is returned by reads of logical pages that were never written.
+var ErrUnmapped = errors.New("ftl: read of unmapped LPN")
+
+// Base carries the state and helpers shared by the four FTL
+// implementations: device handle, mapping table, per-chip pools, counters,
+// payload token generation and the common GC engine.
+type Base struct {
+	Dev   *nand.Device
+	Map   *Mapper
+	Cfg   Config
+	Pools []*FreePool
+	St    Stats
+
+	seq  int64    // global write sequence number (payload uniqueness)
+	rr   int      // round-robin chip cursor for host writes
+	inGC bool     // guards against GC re-entry through alloc callbacks
+	bg   bgVictim // in-progress background-GC victim (survives idle windows)
+	hyst bool     // background-GC hysteresis latch
+}
+
+// NewBase wires a Base for the device under the config.
+func NewBase(dev *nand.Device, cfg Config) (*Base, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := dev.Geometry()
+	logical := cfg.LogicalPages(g)
+	if logical <= 0 {
+		return nil, fmt.Errorf("ftl: geometry too small for over-provisioning %v", cfg.OPFraction)
+	}
+	b := &Base{
+		Dev:   dev,
+		Map:   NewMapper(g, logical),
+		Cfg:   cfg,
+		Pools: make([]*FreePool, g.Chips()),
+	}
+	for c := range b.Pools {
+		b.Pools[c] = NewFreePool(c, g.BlocksPerChip)
+		b.Pools[c].Policy = cfg.GC
+	}
+	return b, nil
+}
+
+// Device returns the NAND device.
+func (b *Base) Device() *nand.Device { return b.Dev }
+
+// Stats returns the counter snapshot.
+func (b *Base) Stats() Stats { return b.St }
+
+// ResetCounters zeroes the statistics (used after a warm-up/prefill phase so
+// measurements cover steady state only).
+func (b *Base) ResetCounters() { b.St = Stats{} }
+
+// LogicalPages returns the host-visible page count.
+func (b *Base) LogicalPages() int64 { return b.Map.LogicalPages() }
+
+// NextChip advances the round-robin cursor for host write placement.
+func (b *Base) NextChip() int {
+	c := b.rr
+	b.rr = (b.rr + 1) % b.Dev.Geometry().Chips()
+	return c
+}
+
+// TokenSize is the payload size of the deterministic page tokens the FTLs
+// write: 8 bytes of LPN + 8 bytes of global sequence number. Real 4 KB
+// payloads carry no additional information for the simulation, so pages
+// store just the token — the parity algebra is unaffected (XOR over tokens
+// is XOR over the zero-padded pages).
+const TokenSize = 16
+
+// Token builds the payload for a host write, advancing the sequence number.
+func (b *Base) Token(lpn LPN) []byte {
+	b.seq++
+	buf := make([]byte, TokenSize)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(lpn))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(b.seq))
+	return buf
+}
+
+// TokenLPN extracts the LPN from a token payload.
+func TokenLPN(data []byte) (LPN, bool) {
+	if len(data) < 8 {
+		return -1, false
+	}
+	return LPN(binary.LittleEndian.Uint64(data[0:8])), true
+}
+
+// SpareForLPN encodes the reverse-map entry programmed into a data page's
+// spare area.
+func SpareForLPN(lpn LPN) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(lpn))
+	return buf
+}
+
+// LPNFromSpare decodes SpareForLPN.
+func LPNFromSpare(spare []byte) (LPN, bool) {
+	if len(spare) < 8 {
+		return -1, false
+	}
+	return LPN(binary.LittleEndian.Uint64(spare[:8])), true
+}
+
+// TotalFreeBlocks sums the free lists over all chips.
+func (b *Base) TotalFreeBlocks() int {
+	total := 0
+	for _, p := range b.Pools {
+		total += p.FreeCount()
+	}
+	return total
+}
+
+// BelowGCThreshold reports whether free space has dropped under the
+// background-GC trigger (10% of total blocks by default).
+func (b *Base) BelowGCThreshold() bool {
+	return float64(b.TotalFreeBlocks()) < b.Cfg.GCFreeFraction*float64(b.Dev.Geometry().TotalBlocks())
+}
+
+// BGCWanted is the hysteretic background-GC condition: collection starts
+// when free space drops under the trigger threshold and keeps going until a
+// 1.5x cushion is rebuilt, so a single write burst cannot immediately push
+// the system back into foreground reclaim.
+func (b *Base) BGCWanted() bool {
+	total := float64(b.Dev.Geometry().TotalBlocks())
+	free := float64(b.TotalFreeBlocks())
+	if free < b.Cfg.GCFreeFraction*total {
+		b.hyst = true
+	} else if free >= 1.5*b.Cfg.GCFreeFraction*total {
+		b.hyst = false
+	}
+	return b.hyst
+}
+
+// AllocFunc programs one relocated page during GC using the FTL's own page
+// placement policy. It must update the mapping (Mapper.Update) itself and
+// must not recurse into GC — the engine guarantees a free reserve.
+type AllocFunc func(chip int, lpn LPN, data, spare []byte, now sim.Time) (sim.Time, error)
+
+// CollectVictim relocates every valid page of the victim block through
+// alloc, erases it, and returns it to the chip's free pool. The victim must
+// be on the chip's full list. It returns the completion time of the erase.
+func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (sim.Time, error) {
+	if b.inGC {
+		return now, fmt.Errorf("ftl: re-entrant GC on chip %d", chip)
+	}
+	b.inGC = true
+	defer func() { b.inGC = false }()
+
+	addr := nand.BlockAddr{Chip: chip, Block: victim}
+	b.Pools[chip].TakeFull(victim)
+	g := b.Dev.Geometry()
+	for _, ppn := range b.Map.ValidPages(addr) {
+		lpn, ok := b.Map.LPNAt(ppn)
+		if !ok {
+			continue // invalidated by an earlier iteration (cannot happen for distinct LPNs)
+		}
+		pa := g.AddrOfPPN(ppn)
+		data, spare, t, err := b.Dev.Read(pa, now)
+		if err != nil {
+			// Abort the collection but keep the victim on the candidate
+			// list — its remaining valid pages must not be leaked.
+			b.Pools[chip].PushFull(victim)
+			return now, fmt.Errorf("ftl: GC read %v: %w", pa, err)
+		}
+		now = t
+		now, err = alloc(chip, lpn, data, spare, now)
+		if err != nil {
+			b.Pools[chip].PushFull(victim)
+			return now, fmt.Errorf("ftl: GC relocation of LPN %d: %w", lpn, err)
+		}
+		b.St.GCCopies++
+	}
+	b.Map.ClearBlock(addr)
+	done, err := b.Dev.Erase(addr, now)
+	if err != nil {
+		if errors.Is(err, nand.ErrBadBlock) {
+			// Worn out: the block leaves service instead of returning to
+			// the free pool; capacity shrinks by one block.
+			b.St.RetiredBlocks++
+			return now, nil
+		}
+		return now, err
+	}
+	b.St.Erases++
+	b.Pools[chip].PushFree(victim)
+	return done, nil
+}
+
+// EraseAndFree erases a block that is already off all lists (e.g. a retired
+// backup block) and returns it to the free pool. A worn-out block retires
+// silently (capacity shrinks).
+func (b *Base) EraseAndFree(chip, blk int, now sim.Time) (sim.Time, error) {
+	done, err := b.Dev.Erase(nand.BlockAddr{Chip: chip, Block: blk}, now)
+	if err != nil {
+		if errors.Is(err, nand.ErrBadBlock) {
+			b.St.RetiredBlocks++
+			return now, nil
+		}
+		return now, err
+	}
+	b.St.Erases++
+	b.Pools[chip].PushFree(blk)
+	return done, nil
+}
+
+// Trim invalidates a logical page — the host discard path shared by every
+// FTL. Purely a mapping operation: the freed physical page becomes a GC
+// opportunity. Completion is immediate (metadata only).
+func (b *Base) Trim(lpn LPN, now sim.Time) (sim.Time, error) {
+	if b.Map.Invalidate(lpn) {
+		b.St.HostTrims++
+	}
+	return now, nil
+}
+
+// ReadLPN performs the shared host-read path.
+func (b *Base) ReadLPN(lpn LPN, now sim.Time) (sim.Time, error) {
+	ppn, ok := b.Map.Lookup(lpn)
+	if !ok {
+		return now, fmt.Errorf("%w: %d", ErrUnmapped, lpn)
+	}
+	_, _, done, err := b.Dev.Read(b.Dev.Geometry().AddrOfPPN(ppn), now)
+	if err != nil {
+		return now, err
+	}
+	b.St.HostReads++
+	return done, nil
+}

@@ -1,0 +1,223 @@
+package flexftl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
+	"flexftl/internal/sim"
+)
+
+// programAs writes one page of the requested type on the chip, falling back
+// to the other type when the requested one is infeasible, and maintaining
+// the 2PO block life cycle of Figure 6.
+func (f *FTL) programAs(chip int, useLSB bool, lpn ftl.LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	st := &f.chips[chip]
+	if useLSB {
+		// Opening a new fast block must leave at least one free block for
+		// the parity-backup writer; redirect to a slow page otherwise.
+		if st.afb == -1 && f.Pools[chip].FreeCount() <= 1 {
+			useLSB = false
+		}
+	}
+	if !useLSB && len(st.sbq) == 0 {
+		useLSB = true // no slow block exists (footnote 1)
+	}
+	if useLSB {
+		return f.programLSB(chip, lpn, data, spare, now, fromGC)
+	}
+	return f.programMSB(chip, lpn, data, spare, now, fromGC)
+}
+
+// programLSB writes the next LSB page of the active fast block.
+func (f *FTL) programLSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	st := &f.chips[chip]
+	if st.afb == -1 {
+		blk, ok := f.Pools[chip].PopFree()
+		if !ok {
+			return now, fmt.Errorf("flexftl: chip %d out of free blocks for a fast block", chip)
+		}
+		st.afb, st.afbPos = blk, 0
+		st.pbuf.Reset()
+	}
+	addr := nand.PageAddr{
+		BlockAddr: nand.BlockAddr{Chip: chip, Block: st.afb},
+		Page:      core.Page{WL: st.afbPos, Type: core.LSB},
+	}
+	done, err := f.Dev.Program(addr, data, spare, now)
+	if err != nil {
+		return now, err
+	}
+	f.Map.Update(lpn, f.Dev.Geometry().PPNOf(addr))
+	if err := st.pbuf.Add(data); err != nil {
+		return done, err
+	}
+	if fromGC {
+		f.St.GCCopiesLSB++
+	} else {
+		f.St.HostWritesLSB++
+	}
+	// q tracks the LSB budget: host writes always move it; GC relocations
+	// only when running in background (Section 3.2 credits q increases to
+	// the *background* collector).
+	if !fromGC || f.inBGC {
+		f.q--
+	}
+	st.afbPos++
+	if st.afbPos == f.Dev.Geometry().WordLinesPerBlock {
+		// Fast block complete: queue it as a slow block first so the block
+		// pool state stays consistent even if the parity write fails, then
+		// persist its parity page (Figure 7(a)).
+		full := st.afb
+		snapshot := st.pbuf.Snapshot()
+		st.pbuf.Reset()
+		st.sbq = append(st.sbq, full)
+		st.afb = -1
+		done, err = f.writeBlockParity(chip, full, snapshot, done)
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// programMSB writes the next MSB page of the active slow block (the head of
+// the slow block queue).
+func (f *FTL) programMSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	st := &f.chips[chip]
+	if len(st.sbq) == 0 {
+		return now, fmt.Errorf("flexftl: chip %d has no slow block for an MSB write", chip)
+	}
+	blk := st.sbq[0]
+	addr := nand.PageAddr{
+		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
+		Page:      core.Page{WL: st.asbPos, Type: core.MSB},
+	}
+	done, err := f.Dev.Program(addr, data, spare, now)
+	if err != nil {
+		return now, err
+	}
+	// Deliberately no AckProgram here: the paired LSB page is protected by
+	// the block's parity page, and the recovery procedure (recovery.go)
+	// reconstructs it after a power cut. This is the point of the design —
+	// no per-MSB backup writes.
+	f.Map.Update(lpn, f.Dev.Geometry().PPNOf(addr))
+	if fromGC {
+		f.St.GCCopiesMSB++
+	} else {
+		f.St.HostWritesMSB++
+	}
+	// q is a quota: writes and background-GC copies replenish it, but never
+	// beyond its initial budget — otherwise long idle phases would bank an
+	// unbounded LSB surplus, and the blocks created by that surplus carry
+	// GC-filled (cold, long-valid) MSB halves that put a floor under every
+	// future victim's valid count.
+	if (!fromGC || f.inBGC) && f.q < f.q0 {
+		f.q++
+	}
+	st.asbPos++
+	if st.asbPos == f.Dev.Geometry().WordLinesPerBlock {
+		// Slow block complete: its parity backup is no longer needed.
+		f.invalidateParity(chip, blk)
+		f.Dev.AckProgram(addr.BlockAddr)
+		f.Pools[chip].PushFull(blk)
+		st.sbq = st.sbq[1:]
+		st.asbPos = 0
+	}
+	return done, nil
+}
+
+// spareForBlock encodes the inverse mapping (backup page -> protected block)
+// stored in the parity page's spare area.
+func spareForBlock(blk int) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(blk))
+	return buf
+}
+
+// blockFromSpare decodes spareForBlock.
+func blockFromSpare(spare []byte) (int, bool) {
+	if len(spare) < 8 {
+		return -1, false
+	}
+	return int(binary.LittleEndian.Uint64(spare[:8])), true
+}
+
+// writeBlockParity programs the accumulated parity page of a completed fast
+// block into the chip's backup block, on an LSB page, with the protected
+// block's number in the spare area (Figure 7(a)).
+func (f *FTL) writeBlockParity(chip, fastBlk int, parityPage []byte, now sim.Time) (sim.Time, error) {
+	st := &f.chips[chip]
+	bk := &st.backup
+	if bk.cur == -1 {
+		blk, ok := f.Pools[chip].PopFree()
+		if !ok {
+			return now, fmt.Errorf("flexftl: chip %d has no free block for parity backups", chip)
+		}
+		bk.cur, bk.pos = blk, 0
+	}
+	addr := nand.PageAddr{
+		BlockAddr: nand.BlockAddr{Chip: chip, Block: bk.cur},
+		Page:      core.Page{WL: bk.pos, Type: core.LSB},
+	}
+	done, err := f.Dev.Program(addr, parityPage, spareForBlock(fastBlk), now)
+	if err != nil {
+		return now, err
+	}
+	f.St.BackupWrites++
+	f.refs[f.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: fastBlk})] = parityRef{
+		backupBlk: bk.cur,
+		page:      bk.pos,
+	}
+	bk.live[bk.cur]++
+	bk.pos++
+	if bk.pos == f.Dev.Geometry().WordLinesPerBlock {
+		// All LSB pages of the backup block used: retire it. It is erased
+		// once every parity in it is invalidated.
+		bk.retired = append(bk.retired, bk.cur)
+		bk.cur = -1
+	}
+	return done, nil
+}
+
+// invalidateParity marks the parity page of a completed slow block stale and
+// recycles retired backup blocks that no longer protect anything. Recycling
+// happens lazily at the next opportunity the chip timeline offers (the
+// caller's `now` is not extended — erase cost is charged through EraseAndFree
+// at the completion time of the MSB program that freed it).
+func (f *FTL) invalidateParity(chip, blk int) {
+	st := &f.chips[chip]
+	flat := f.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})
+	ref, ok := f.refs[flat]
+	if !ok {
+		return
+	}
+	delete(f.refs, flat)
+	st.backup.live[ref.backupBlk]--
+	f.recycleRetiredBackups(chip)
+}
+
+// recycleRetiredBackups erases retired backup blocks whose parities are all
+// stale. The erase is queued on the chip timeline at time 0 semantics: we
+// charge it via the device, which serializes it after whatever the chip is
+// doing.
+func (f *FTL) recycleRetiredBackups(chip int) {
+	st := &f.chips[chip]
+	kept := st.backup.retired[:0]
+	for _, blk := range st.backup.retired {
+		if st.backup.live[blk] == 0 {
+			delete(st.backup.live, blk)
+			// Device serializes the erase after current chip work.
+			if _, err := f.EraseAndFree(chip, blk, f.Dev.ChipReadyAt(chip)); err != nil {
+				// An erase failure here means a retired-block accounting
+				// bug; surface it loudly in tests.
+				panic(fmt.Sprintf("flexftl: recycling backup block %d on chip %d: %v", blk, chip, err))
+			}
+			continue
+		}
+		kept = append(kept, blk)
+	}
+	st.backup.retired = kept
+}

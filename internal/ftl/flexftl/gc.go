@@ -1,0 +1,86 @@
+package flexftl
+
+import (
+	"flexftl/internal/ftl"
+	"flexftl/internal/sim"
+)
+
+// gcAlloc relocates one valid page during GC. Per Section 3.2, the
+// *background* collector copies valid pages using MSB pages — consuming the
+// cheap slow pages and raising the quota q. Foreground collections (inside
+// the write path) alternate page types instead: draining the slow queue
+// there would force subsequent host writes onto LSB pages and destabilize
+// the two-phase balance.
+func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time) (sim.Time, error) {
+	useLSB := false
+	switch {
+	case f.inBGC:
+		useLSB = f.params.BGCCopyLSB // ablation: default false = MSB copies
+	default:
+		st := &f.chips[chip]
+		st.toggle = !st.toggle
+		useLSB = st.toggle
+	}
+	// Relocations take a fresh sequence number so a flash-scan rebuild can
+	// always tell the live copy from the not-yet-erased original.
+	return f.programAs(chip, useLSB, lpn, f.Token(lpn), spare, now, true)
+}
+
+// foregroundGC reclaims blocks inline only when the write path has no
+// alternative: MSB writes consume no free blocks, so as long as a slow block
+// exists the policy redirects traffic there instead of stalling. Foreground
+// collection therefore runs only when LSB capacity is genuinely required
+// (no slow block) with a thin pool, or when the pool is at the emergency
+// level needed by the parity-backup writer.
+func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
+	needsLSB := len(f.chips[chip].sbq) == 0
+	reserve := f.Cfg.MinFreeBlocksPerChip
+	for (needsLSB && f.Pools[chip].FreeCount() < reserve+1) ||
+		f.Pools[chip].FreeCount() < 2 {
+		victim, ok := f.pickVictim(chip)
+		if !ok {
+			break
+		}
+		var err error
+		now, err = f.CollectVictim(chip, victim, now, f.gcAlloc)
+		if err != nil {
+			return now, err
+		}
+		f.St.ForegroundGCs++
+	}
+	return now, nil
+}
+
+// pickVictim wraps the pool's greedy choice.
+func (f *FTL) pickVictim(chip int) (int, bool) {
+	return f.Pools[chip].PickVictim(f.Map, f.Dev.Geometry().PagesPerBlock())
+}
+
+// Idle invokes the background garbage collector (Section 3.2): when free
+// space is below the threshold, victims are collected incrementally with
+// their valid pages copied through MSB pages, reclaiming free (future LSB)
+// blocks while increasing q for future bursts. Only these background copies
+// move q — foreground GC relocations are excluded, matching the paper's
+// "the background garbage collector cannot increase q due to little idle
+// times" observation for OLTP/NTRX.
+func (f *FTL) Idle(now, until sim.Time) {
+	f.inBGC = true
+	defer func() { f.inBGC = false }()
+	shouldRun := f.BGCWanted
+	if f.pred != nil {
+		// Section 6 extension: the idle window closes the active period and
+		// the collector reclaims until the *predicted* next burst fits in
+		// free fast capacity (on top of the base cushion).
+		f.pred.PeriodEnd()
+		shouldRun = func() bool {
+			if f.BGCWanted() {
+				return true
+			}
+			w := f.Dev.Geometry().LSBPagesPerBlock()
+			freeLSB := float64(f.TotalFreeBlocks() * w)
+			reserve := f.Cfg.GCFreeFraction * float64(f.Dev.Geometry().TotalBlocks()) * float64(w)
+			return freeLSB < f.pred.PredictedPages()+reserve
+		}
+	}
+	f.RunBackgroundGC(now, until, shouldRun, f.gcAlloc)
+}

@@ -1,0 +1,48 @@
+package flexftl
+
+// writePredictor estimates the write volume of the next active period from
+// an exponentially weighted moving average of past periods — the "page
+// cache-based future write predictor" direction the paper sketches in its
+// conclusion (Section 6, citing Hahn et al.'s just-in-time GC). flexFTL's
+// background collector uses the estimate to size its reclaim target: instead
+// of stopping at a fixed free-space cushion, it frees enough fast capacity
+// to absorb the predicted burst entirely on LSB pages.
+type writePredictor struct {
+	alpha  float64 // EWMA smoothing factor
+	ewma   float64 // smoothed pages-per-active-period
+	cur    int64   // pages written in the current period
+	primed bool
+}
+
+// newWritePredictor returns a predictor with the given smoothing factor in
+// (0, 1]; larger alpha adapts faster.
+func newWritePredictor(alpha float64) *writePredictor {
+	return &writePredictor{alpha: alpha}
+}
+
+// ObserveWrite records one host page write in the current active period.
+func (w *writePredictor) ObserveWrite() { w.cur++ }
+
+// PeriodEnd closes the current active period (called when an idle window
+// begins) and folds its volume into the estimate.
+func (w *writePredictor) PeriodEnd() {
+	if w.cur == 0 {
+		return // idle ticks without traffic carry no information
+	}
+	if !w.primed {
+		w.ewma = float64(w.cur)
+		w.primed = true
+	} else {
+		w.ewma = w.alpha*float64(w.cur) + (1-w.alpha)*w.ewma
+	}
+	w.cur = 0
+}
+
+// PredictedPages returns the expected write volume of the next active
+// period (0 until the first period completes).
+func (w *writePredictor) PredictedPages() float64 {
+	if !w.primed {
+		return 0
+	}
+	return w.ewma
+}

@@ -1,0 +1,117 @@
+package flexftl
+
+import (
+	"testing"
+
+	"flexftl/internal/core"
+	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
+	"flexftl/internal/rng"
+	"flexftl/internal/sim"
+)
+
+func TestWritePredictorEWMA(t *testing.T) {
+	p := newWritePredictor(0.5)
+	if p.PredictedPages() != 0 {
+		t.Error("unprimed predictor predicts nonzero")
+	}
+	for i := 0; i < 100; i++ {
+		p.ObserveWrite()
+	}
+	p.PeriodEnd()
+	if got := p.PredictedPages(); got != 100 {
+		t.Errorf("first period prediction = %v, want 100 (prime with first sample)", got)
+	}
+	for i := 0; i < 200; i++ {
+		p.ObserveWrite()
+	}
+	p.PeriodEnd()
+	if got := p.PredictedPages(); got != 150 {
+		t.Errorf("prediction = %v, want 150 (alpha 0.5)", got)
+	}
+	// Empty periods carry no signal.
+	p.PeriodEnd()
+	if got := p.PredictedPages(); got != 150 {
+		t.Errorf("empty period changed prediction to %v", got)
+	}
+}
+
+func TestWritePredictorConverges(t *testing.T) {
+	p := newWritePredictor(0.3)
+	for period := 0; period < 50; period++ {
+		for i := 0; i < 500; i++ {
+			p.ObserveWrite()
+		}
+		p.PeriodEnd()
+	}
+	if got := p.PredictedPages(); got < 499 || got > 501 {
+		t.Errorf("steady-state prediction = %v, want ~500", got)
+	}
+}
+
+// TestPredictiveBGCReclaimsDeeper: with the predictor enabled and a bursty
+// history, the collector keeps more free fast capacity than the fixed
+// cushion alone.
+func TestPredictiveBGCReclaimsDeeper(t *testing.T) {
+	build := func(predictive bool) *FTL {
+		dev, err := nand.NewDevice(nand.Config{
+			Geometry: nand.TestGeometry(), Timing: nand.DefaultTiming(), Rules: core.RPS,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := DefaultParams()
+		params.PredictiveBGC = predictive
+		f, err := New(dev, ftl.DefaultConfig(), params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	run := func(f *FTL) int {
+		src := rng.New(5)
+		logical := f.LogicalPages()
+		z := rng.NewZipf(src, int(logical), 0.9)
+		now := sim.Time(0)
+		// Bursts of ~400 page writes separated by generous idle windows.
+		for burst := 0; burst < 12; burst++ {
+			for i := 0; i < 400; i++ {
+				done, err := f.Write(ftl.LPN(z.Next()), now, 0.9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				now = done
+			}
+			f.Idle(now, now+30*sim.Second)
+			now += 30 * sim.Second
+		}
+		return f.TotalFreeBlocks()
+	}
+	fixed := run(build(false))
+	predictive := run(build(true))
+	if predictive < fixed {
+		t.Errorf("predictive BGC kept fewer free blocks (%d) than the fixed cushion (%d)",
+			predictive, fixed)
+	}
+}
+
+// TestPredictorDefaultAlphaFallback: invalid alpha falls back to the default
+// rather than failing construction.
+func TestPredictorDefaultAlphaFallback(t *testing.T) {
+	dev, err := nand.NewDevice(nand.Config{
+		Geometry: nand.TestGeometry(), Timing: nand.DefaultTiming(), Rules: core.RPS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.PredictiveBGC = true
+	params.PredictorAlpha = -1
+	f, err := New(dev, ftl.DefaultConfig(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.pred == nil || f.pred.alpha != 0.3 {
+		t.Errorf("alpha fallback not applied: %+v", f.pred)
+	}
+}

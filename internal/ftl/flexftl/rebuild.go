@@ -1,0 +1,129 @@
+package flexftl
+
+import (
+	"errors"
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
+	"flexftl/internal/sim"
+)
+
+// RebuildReport summarizes a full mapping-table reconstruction.
+type RebuildReport struct {
+	PagesScanned int
+	Mapped       int64
+	Mismatches   int64 // entries that disagreed with the pre-rebuild table
+	Start, End   sim.Time
+}
+
+// Duration returns the scan's elapsed virtual time.
+func (r RebuildReport) Duration() sim.Time { return r.End - r.Start }
+
+// RebuildMapping reconstructs the logical-to-physical table from flash
+// alone: every programmed data page carries its LPN in the spare area and a
+// monotone global sequence number in its payload token, so scanning all
+// pages and keeping the highest-sequence version per LPN yields the current
+// map. This is the full-reboot path a host-level FTL needs when its RAM
+// table is gone (the paper's recovery discussion assumes the map; this
+// closes that assumption).
+//
+// The scan respects device timing (every page is read), chips proceeding in
+// parallel. Backup-block parity pages identify themselves by their spare
+// layout (block-number inverse mapping) and their position outside the data
+// pools; they are excluded by consulting the FTL's backup-block lists, which
+// a real implementation would persist in a tiny superblock.
+func (f *FTL) RebuildMapping(now sim.Time) (RebuildReport, error) {
+	rep := RebuildReport{Start: now}
+	g := f.Dev.Geometry()
+
+	old := f.Map
+	fresh := ftl.NewMapper(g, f.LogicalPages())
+	bestSeq := make(map[ftl.LPN]uint64)
+
+	end := now
+	for chip := 0; chip < g.Chips(); chip++ {
+		chipNow := now
+		backup := f.backupBlockSet(chip)
+		for blk := 0; blk < g.BlocksPerChip; blk++ {
+			if backup[blk] {
+				continue
+			}
+			for idx := 0; idx < g.PagesPerBlock(); idx++ {
+				page := core.PageFromIndex(idx, g.WordLinesPerBlock)
+				addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: blk}, Page: page}
+				if !f.Dev.IsProgrammed(addr) {
+					continue
+				}
+				data, spare, t, err := f.Dev.Read(addr, chipNow)
+				rep.PagesScanned++
+				chipNow = t
+				if err != nil {
+					if errors.Is(err, nand.ErrUncorrectable) {
+						continue // lost page; parity recovery handles it separately
+					}
+					return rep, fmt.Errorf("flexftl: rebuild read %v: %w", addr, err)
+				}
+				lpn, ok := ftl.LPNFromSpare(spare)
+				if !ok || lpn < 0 || int64(lpn) >= f.LogicalPages() {
+					continue // not a data page (e.g. padding)
+				}
+				tokLPN, ok := ftl.TokenLPN(data)
+				if !ok || tokLPN != lpn {
+					continue // payload disagrees with spare: not a live data page
+				}
+				seq := tokenSeq(data)
+				if prev, exists := bestSeq[lpn]; exists && seq <= prev {
+					continue
+				}
+				// Update re-points the LPN, invalidating any older copy the
+				// scan found earlier.
+				fresh.Update(lpn, g.PPNOf(addr))
+				bestSeq[lpn] = seq
+			}
+		}
+		if chipNow > end {
+			end = chipNow
+		}
+	}
+	rep.End = end
+
+	// Compare against the in-RAM table (when it survived) for diagnostics.
+	for lpn := ftl.LPN(0); int64(lpn) < f.LogicalPages(); lpn++ {
+		oldPPN, oldOK := old.Lookup(lpn)
+		newPPN, newOK := fresh.Lookup(lpn)
+		if oldOK != newOK || (oldOK && oldPPN != newPPN) {
+			rep.Mismatches++
+		}
+	}
+	rep.Mapped = fresh.Mapped()
+	f.Map = fresh
+	return rep, nil
+}
+
+// backupBlockSet returns the chip's backup blocks (current + retired) —
+// the superblock metadata a real FTL persists.
+func (f *FTL) backupBlockSet(chip int) map[int]bool {
+	set := make(map[int]bool)
+	bk := &f.chips[chip].backup
+	if bk.cur != -1 {
+		set[bk.cur] = true
+	}
+	for _, b := range bk.retired {
+		set[b] = true
+	}
+	return set
+}
+
+// tokenSeq extracts the global sequence number from a payload token.
+func tokenSeq(data []byte) uint64 {
+	if len(data) < 16 {
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(data[8+i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,245 @@
+package flexftl
+
+import (
+	"errors"
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
+	"flexftl/internal/parity"
+	"flexftl/internal/sim"
+)
+
+// RecoveryReport summarizes a reboot-time error recovery pass (Section 3.3,
+// Figure 7(b)).
+type RecoveryReport struct {
+	// PagesRead counts the LSB page reads of the scan (active slow blocks
+	// and active fast blocks) plus parity page reads.
+	PagesRead int
+	// Recovered lists the LPNs whose LSB data was reconstructed from the
+	// per-block parity page.
+	Recovered []ftl.LPN
+	// Dropped lists the LPNs of interrupted MSB programs: those writes were
+	// never acknowledged to the host, so their data is (correctly) lost.
+	Dropped []ftl.LPN
+	// Start and End delimit the recovery pass in virtual time. Chips scan
+	// in parallel; End-Start is the reboot-time overhead the paper bounds
+	// at ~82 ms of page reads.
+	Start, End sim.Time
+}
+
+// Duration returns the recovery pass's elapsed virtual time.
+func (r RecoveryReport) Duration() sim.Time { return r.End - r.Start }
+
+// Recover runs the reboot-time procedure after a sudden power-off: for every
+// active slow block it re-reads all LSB pages while recomputing the
+// accumulated parity; an ECC-uncorrectable page is reconstructed from the
+// saved per-block parity page and re-written; the partially accumulated
+// parity of every active fast block is recomputed as well.
+func (f *FTL) Recover(now sim.Time) (RecoveryReport, error) {
+	rep := RecoveryReport{Start: now}
+	end := now
+	for chip := range f.chips {
+		chipEnd, err := f.recoverChip(chip, now, &rep)
+		if err != nil {
+			return rep, err
+		}
+		if chipEnd > end {
+			end = chipEnd
+		}
+	}
+	rep.End = end
+	return rep, nil
+}
+
+func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time, error) {
+	st := &f.chips[chip]
+	g := f.Dev.Geometry()
+	wl := g.WordLinesPerBlock
+
+	// 1. Drop the interrupted MSB write, if any: its program never
+	// completed, so the host was never acknowledged.
+	if len(st.sbq) > 0 && st.asbPos > 0 {
+		blk := st.sbq[0]
+		msbAddr := nand.PageAddr{
+			BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
+			Page:      core.Page{WL: st.asbPos - 1, Type: core.MSB},
+		}
+		if f.Dev.IsCorrupted(msbAddr) {
+			if lpn, ok := f.Map.LPNAt(g.PPNOf(msbAddr)); ok {
+				f.Map.Invalidate(lpn)
+				rep.Dropped = append(rep.Dropped, lpn)
+			}
+		}
+	}
+
+	// 2. Scan the active slow block: read every LSB page, recomputing the
+	// accumulated parity; reconstruct at most one lost page.
+	if len(st.sbq) > 0 {
+		blk := st.sbq[0]
+		var survivors [][]byte
+		lostWL := -1
+		for k := 0; k < wl; k++ {
+			addr := nand.PageAddr{
+				BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
+				Page:      core.Page{WL: k, Type: core.LSB},
+			}
+			data, _, t, err := f.Dev.Read(addr, now)
+			rep.PagesRead++
+			now = t
+			switch {
+			case err == nil:
+				survivors = append(survivors, data)
+			case errors.Is(err, nand.ErrUncorrectable):
+				if lostWL != -1 {
+					return now, fmt.Errorf("flexftl: chip %d block %d lost two LSB pages (%d and %d); parity covers one", chip, blk, lostWL, k)
+				}
+				lostWL = k
+			default:
+				return now, fmt.Errorf("flexftl: recovery read %v: %w", addr, err)
+			}
+		}
+		if lostWL != -1 {
+			var err error
+			now, err = f.reconstructLSB(chip, blk, lostWL, survivors, now, rep)
+			if err != nil {
+				return now, err
+			}
+		}
+	}
+
+	// 3. Recompute the partial parity accumulation of the active fast block.
+	if st.afb != -1 && st.afbPos > 0 {
+		st.pbuf.Reset()
+		for k := 0; k < st.afbPos; k++ {
+			addr := nand.PageAddr{
+				BlockAddr: nand.BlockAddr{Chip: chip, Block: st.afb},
+				Page:      core.Page{WL: k, Type: core.LSB},
+			}
+			data, _, t, err := f.Dev.Read(addr, now)
+			rep.PagesRead++
+			now = t
+			if err != nil {
+				return now, fmt.Errorf("flexftl: fast-block rescan %v: %w", addr, err)
+			}
+			if err := st.pbuf.Add(data); err != nil {
+				return now, err
+			}
+		}
+	}
+	return now, nil
+}
+
+// reconstructLSB rebuilds the lost LSB page from the saved parity page and
+// the surviving LSB pages, then re-writes the data if it was still valid.
+func (f *FTL) reconstructLSB(chip, blk, lostWL int, survivors [][]byte, now sim.Time, rep *RecoveryReport) (sim.Time, error) {
+	g := f.Dev.Geometry()
+	var parityPage []byte
+	flat := f.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})
+	if ref, ok := f.refs[flat]; ok {
+		// Fast path: the in-memory ref locates the parity page directly.
+		parityAddr := nand.PageAddr{
+			BlockAddr: nand.BlockAddr{Chip: chip, Block: ref.backupBlk},
+			Page:      core.Page{WL: ref.page, Type: core.LSB},
+		}
+		page, spare, t, err := f.Dev.Read(parityAddr, now)
+		rep.PagesRead++
+		now = t
+		if err != nil {
+			return now, fmt.Errorf("flexftl: reading parity page %v: %w", parityAddr, err)
+		}
+		if got, ok := blockFromSpare(spare); !ok || got != blk {
+			return now, fmt.Errorf("flexftl: parity page %v inverse-maps to block %v, want %d", parityAddr, got, blk)
+		}
+		parityPage = page
+	} else {
+		// Metadata-loss path: the per-block ref table did not survive the
+		// reboot, so locate the parity page the way the paper's inverse
+		// mapping intends — scan the chip's backup blocks and match the
+		// protected-block number in each parity page's spare area. The
+		// newest match wins (block numbers recur across generations).
+		var err error
+		parityPage, now, err = f.scanForParity(chip, blk, now, rep)
+		if err != nil {
+			return now, err
+		}
+	}
+	if len(parityPage) > ftl.TokenSize {
+		parityPage = parityPage[:ftl.TokenSize]
+	}
+	recovered, err := parity.Recover(parityPage, survivors)
+	if err != nil {
+		return now, err
+	}
+
+	// If the lost page held live data, re-home it; the recovered token
+	// carries its LPN.
+	lostAddr := nand.PageAddr{
+		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
+		Page:      core.Page{WL: lostWL, Type: core.LSB},
+	}
+	lpn, live := f.Map.LPNAt(g.PPNOf(lostAddr))
+	if !live {
+		return now, nil // stale page: parity recomputation is all we needed
+	}
+	if tokLPN, ok := ftl.TokenLPN(recovered); !ok || tokLPN != lpn {
+		return now, fmt.Errorf("flexftl: recovered payload LPN %v does not match mapping %v", tokLPN, lpn)
+	}
+	now, err = f.programAs(chip, true, lpn, recovered, ftl.SpareForLPN(lpn), now, false)
+	if err != nil {
+		return now, fmt.Errorf("flexftl: re-homing recovered LPN %d: %w", lpn, err)
+	}
+	rep.Recovered = append(rep.Recovered, lpn)
+	return now, nil
+}
+
+// scanForParity walks the chip's backup blocks in write order — the retired
+// ring first, then the current block's written prefix — reading each parity
+// page's spare area and keeping the newest page whose inverse mapping names
+// the protected block. Only the backup-block list itself (a tiny superblock
+// structure any FTL persists) is assumed to survive the reboot.
+func (f *FTL) scanForParity(chip, protectedBlk int, now sim.Time, rep *RecoveryReport) ([]byte, sim.Time, error) {
+	bk := &f.chips[chip].backup
+	w := f.Dev.Geometry().WordLinesPerBlock
+	type candidate struct {
+		blk   int
+		pages int
+	}
+	var scan []candidate
+	for _, blk := range bk.retired {
+		scan = append(scan, candidate{blk, w})
+	}
+	if bk.cur != -1 {
+		scan = append(scan, candidate{bk.cur, bk.pos})
+	}
+	var found []byte
+	for _, c := range scan {
+		for p := 0; p < c.pages; p++ {
+			addr := nand.PageAddr{
+				BlockAddr: nand.BlockAddr{Chip: chip, Block: c.blk},
+				Page:      core.Page{WL: p, Type: core.LSB},
+			}
+			page, spare, t, err := f.Dev.Read(addr, now)
+			rep.PagesRead++
+			now = t
+			if err != nil {
+				continue // unreadable backup page: keep scanning
+			}
+			if got, ok := blockFromSpare(spare); ok && got == protectedBlk {
+				found = page // later matches supersede earlier ones
+			}
+		}
+	}
+	if found == nil {
+		return nil, now, fmt.Errorf("flexftl: no parity page for block %d found on chip %d's backup blocks", protectedBlk, chip)
+	}
+	return found, now, nil
+}
+
+// ForgetParityRefs drops the in-memory parity location table, simulating a
+// reboot that lost runtime metadata; subsequent recoveries must locate
+// parity pages by scanning backup-block spare areas.
+func (f *FTL) ForgetParityRefs() {
+	f.refs = make(map[int]parityRef)
+}

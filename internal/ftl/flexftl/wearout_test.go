@@ -1,0 +1,80 @@
+package flexftl
+
+import (
+	"testing"
+
+	"flexftl/internal/core"
+	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
+	"flexftl/internal/rng"
+	"flexftl/internal/sim"
+)
+
+// TestWearOutRetiresBlocksGracefully: with a tiny erase budget, blocks wear
+// out mid-run; the FTL must retire them (shrinking capacity) and keep
+// serving I/O rather than failing.
+func TestWearOutRetiresBlocksGracefully(t *testing.T) {
+	dev, err := nand.NewDevice(nand.Config{
+		Geometry:    nand.TestGeometry(),
+		Timing:      nand.DefaultTiming(),
+		Rules:       core.RPS,
+		EraseBudget: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(dev, ftl.DefaultConfig(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(91)
+	logical := f.LogicalPages()
+	z := rng.NewZipf(src, int(logical), 0.95)
+	now := sim.Time(0)
+	wrote := int64(0)
+	for i := int64(0); i < 6*logical; i++ {
+		done, werr := f.Write(ftl.LPN(z.Next()), now, src.Float64())
+		if werr != nil {
+			// Once enough capacity has retired, running out of space is a
+			// legitimate end state — but only after real progress and with
+			// retirements recorded.
+			break
+		}
+		wrote++
+		now = done
+		if i%555 == 554 {
+			f.Idle(now, now+200*sim.Millisecond)
+			now += 200 * sim.Millisecond
+		}
+	}
+	st := f.Stats()
+	if st.RetiredBlocks == 0 {
+		t.Fatalf("no blocks retired despite erase budget 4 (erases %d)", st.Erases)
+	}
+	if wrote < logical {
+		t.Errorf("FTL failed after only %d writes (logical %d)", wrote, logical)
+	}
+	// Retired blocks must not be double-counted as free: pools plus named
+	// holders plus retirements cover the device.
+	g := dev.Geometry()
+	var accounted int64
+	for chip := 0; chip < g.Chips(); chip++ {
+		accounted += int64(f.Pools[chip].FreeCount() + f.Pools[chip].FullCount())
+		if f.chips[chip].afb != -1 {
+			accounted++
+		}
+		accounted += int64(len(f.chips[chip].sbq))
+		if f.chips[chip].backup.cur != -1 {
+			accounted++
+		}
+		accounted += int64(len(f.chips[chip].backup.retired))
+	}
+	if f.Base.BackgroundVictimActive() {
+		accounted++
+	}
+	total := int64(g.TotalBlocks())
+	if accounted+st.RetiredBlocks != total {
+		t.Errorf("block accounting: %d live + %d retired != %d total",
+			accounted, st.RetiredBlocks, total)
+	}
+}

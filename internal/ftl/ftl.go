@@ -1,0 +1,124 @@
+// Package ftl defines the flash-translation-layer interface shared by the
+// four FTLs the paper compares (pageFTL, parityFTL, rtfFTL, flexFTL) and the
+// infrastructure they build on: the page-level mapping table with per-block
+// valid accounting, chip selection, free-block pools and greedy garbage-
+// collection victim selection.
+package ftl
+
+import (
+	"fmt"
+
+	"flexftl/internal/nand"
+	"flexftl/internal/sim"
+)
+
+// LPN is a logical page number in the host address space.
+type LPN int64
+
+// Stats aggregates the counters every FTL reports. All page counts are page
+// programs unless stated otherwise.
+type Stats struct {
+	HostReads     int64 // host-issued page reads
+	HostWrites    int64 // host-issued page writes
+	HostTrims     int64 // host-issued page discards
+	HostWritesLSB int64 // of which serviced with LSB pages
+	HostWritesMSB int64 // of which serviced with MSB pages
+	GCCopies      int64 // valid-page copies performed by garbage collection
+	GCCopiesLSB   int64
+	GCCopiesMSB   int64
+	BackupWrites  int64 // parity or copy backup page programs
+	PadWrites     int64 // dummy programs spending unwanted pages (rtfFTL's return-to-fast padding)
+	Erases        int64 // block erases (the Figure 8(b) lifetime metric)
+	RetiredBlocks int64 // blocks retired after exceeding the erase budget
+	ForegroundGCs int64 // GC invocations that stalled a host write
+	BackgroundGCs int64 // GC invocations during idle windows
+}
+
+// TotalPrograms returns all page programs the FTL caused.
+func (s Stats) TotalPrograms() int64 {
+	return s.HostWrites + s.GCCopies + s.BackupWrites + s.PadWrites
+}
+
+// WriteAmplification returns total programs per host write.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.TotalPrograms()) / float64(s.HostWrites)
+}
+
+// FTL is a flash translation layer bound to a NAND device. Implementations
+// are single-threaded over virtual time, like the device.
+type FTL interface {
+	// Name identifies the scheme ("pageFTL", "parityFTL", "rtfFTL",
+	// "flexFTL").
+	Name() string
+	// Write services a host write of one logical page at virtual time now.
+	// util is the current write-buffer utilization in [0,1] (flexFTL's
+	// policy input; others ignore it). It returns the completion time of
+	// the page program, including any foreground GC or backup work the
+	// write triggered.
+	Write(lpn LPN, now sim.Time, util float64) (sim.Time, error)
+	// Read services a host read of one logical page, returning completion
+	// time. Reading an unwritten LPN is an error.
+	Read(lpn LPN, now sim.Time) (sim.Time, error)
+	// Trim invalidates a logical page (host discard/delete). It is a
+	// mapping-table operation with no flash I/O; trimming an unmapped LPN
+	// is a harmless no-op.
+	Trim(lpn LPN, now sim.Time) (sim.Time, error)
+	// Idle offers the FTL a background window [now, until): it may run
+	// background GC, stopping once the window is exhausted.
+	Idle(now, until sim.Time)
+	// Stats returns the counter snapshot.
+	Stats() Stats
+	// Device exposes the underlying NAND device (for erasure counts and
+	// geometry).
+	Device() *nand.Device
+	// LogicalPages returns the size of the host-visible address space.
+	LogicalPages() int64
+}
+
+// Config carries the knobs shared by all four FTL implementations.
+type Config struct {
+	// OPFraction is the over-provisioning fraction: the host-visible space
+	// is (1-OPFraction) of raw capacity. Default 0.125.
+	OPFraction float64
+	// GCFreeFraction triggers background GC when the free-block fraction
+	// drops below it. The paper uses 10%.
+	GCFreeFraction float64
+	// MinFreeBlocksPerChip triggers foreground GC when a chip's free list
+	// shrinks below it.
+	MinFreeBlocksPerChip int
+	// GC selects the victim heuristic (default GCGreedy, the paper's
+	// policy; GCCostBenefit for the ablation).
+	GC GCPolicy
+}
+
+// DefaultConfig mirrors the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		OPFraction:           0.125,
+		GCFreeFraction:       0.10,
+		MinFreeBlocksPerChip: 2,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.OPFraction <= 0 || c.OPFraction >= 0.9 {
+		return fmt.Errorf("ftl: over-provisioning fraction %v outside (0,0.9)", c.OPFraction)
+	}
+	if c.GCFreeFraction <= 0 || c.GCFreeFraction >= 1 {
+		return fmt.Errorf("ftl: GC free fraction %v outside (0,1)", c.GCFreeFraction)
+	}
+	if c.MinFreeBlocksPerChip < 1 {
+		return fmt.Errorf("ftl: MinFreeBlocksPerChip %d < 1", c.MinFreeBlocksPerChip)
+	}
+	return nil
+}
+
+// LogicalPages computes the host-visible page count for a geometry under
+// this config.
+func (c Config) LogicalPages(g nand.Geometry) int64 {
+	return int64(float64(g.TotalPages()) * (1 - c.OPFraction))
+}

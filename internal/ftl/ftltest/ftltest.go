@@ -1,0 +1,318 @@
+// Package ftltest is a conformance suite run against every FTL
+// implementation: write/read round trips, overwrite invalidation, sustained
+// writing far past device capacity (forcing garbage collection), idle-window
+// background GC, and determinism. Each FTL's test package invokes Run with a
+// fixture constructor; scheme-specific behaviour (backup accounting, 2PO
+// invariants, recovery) stays in the scheme's own tests.
+package ftltest
+
+import (
+	"testing"
+
+	"flexftl/internal/ftl"
+	"flexftl/internal/rng"
+	"flexftl/internal/sim"
+	"flexftl/internal/workload"
+)
+
+// Fixture bundles an FTL with its Base for white-box assertions.
+type Fixture struct {
+	F ftl.FTL
+	B *ftl.Base
+	// IdleConsumesFree marks schemes whose idle work legitimately converts
+	// free blocks into pre-positioned capacity (rtfFTL's return-to-fast
+	// padding); for them the idle test asserts erase progress instead of a
+	// higher free count.
+	IdleConsumesFree bool
+}
+
+// Maker constructs a fresh fixture (device included) for one subtest.
+type Maker func(t testing.TB) Fixture
+
+// Run executes the conformance suite.
+func Run(t *testing.T, mk Maker) {
+	t.Run("WriteReadBack", func(t *testing.T) { testWriteReadBack(t, mk) })
+	t.Run("CompletionMonotonePerIssue", func(t *testing.T) { testMonotone(t, mk) })
+	t.Run("OverwriteInvalidates", func(t *testing.T) { testOverwrite(t, mk) })
+	t.Run("SustainedWritesForceGC", func(t *testing.T) { testSustainedGC(t, mk) })
+	t.Run("IdleReclaimsFreeBlocks", func(t *testing.T) { testIdleReclaim(t, mk) })
+	t.Run("Determinism", func(t *testing.T) { testDeterminism(t, mk) })
+	t.Run("ReadUnmappedFails", func(t *testing.T) { testReadUnmapped(t, mk) })
+	t.Run("TrimInvalidates", func(t *testing.T) { testTrim(t, mk) })
+	t.Run("StatsConsistency", func(t *testing.T) { testStatsConsistency(t, mk) })
+	t.Run("WorkloadSoak", func(t *testing.T) { testWorkloadSoak(t, mk) })
+}
+
+// testWorkloadSoak drives the FTL with a realistic mixed request stream
+// (reads, writes, trims, bursts, idle windows) from the Varmail generator —
+// the closest thing to production traffic the suite exercises.
+func testWorkloadSoak(t *testing.T, mk Maker) {
+	fx := mk(t)
+	gen, err := workload.New(workload.Varmail(), fx.F.LogicalPages(), 4000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	var lastArrival sim.Time
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if req.Arrival > lastArrival+5*sim.Millisecond && now < req.Arrival {
+			fx.F.Idle(now, req.Arrival)
+			now = req.Arrival
+		}
+		lastArrival = req.Arrival
+		if req.Arrival > now {
+			now = req.Arrival
+		}
+		for p := 0; p < req.Pages; p++ {
+			lpn := ftl.LPN((req.Page + int64(p)) % fx.F.LogicalPages())
+			var err error
+			switch req.Op {
+			case workload.OpWrite:
+				now, err = fx.F.Write(lpn, now, 0.5)
+			case workload.OpTrim:
+				now, err = fx.F.Trim(lpn, now)
+			default:
+				if _, lookupErr := fx.F.Read(lpn, now); lookupErr != nil {
+					err = nil // unmapped reads are the runner's concern
+				}
+			}
+			if err != nil {
+				t.Fatalf("soak %v LPN %d: %v", req.Op, lpn, err)
+			}
+		}
+	}
+	st := fx.F.Stats()
+	if st.HostWrites == 0 || st.HostTrims == 0 {
+		t.Errorf("soak exercised too little: %+v", st)
+	}
+	// Cross-check against the device as always.
+	if dev := fx.F.Device().Counts(); dev.Programs() != st.TotalPrograms() {
+		t.Errorf("device programs %d != FTL programs %d", dev.Programs(), st.TotalPrograms())
+	}
+}
+
+func testTrim(t *testing.T, mk Maker) {
+	fx := mk(t)
+	now, err := fx.F.Write(5, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trimming an unmapped LPN is a harmless no-op.
+	if _, err := fx.F.Trim(99, now); err != nil {
+		t.Fatalf("trim of unmapped LPN errored: %v", err)
+	}
+	done, err := fx.F.Trim(5, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < now {
+		t.Error("trim completed before issue")
+	}
+	if _, err := fx.F.Read(5, done); err == nil {
+		t.Error("trimmed LPN still readable")
+	}
+	st := fx.F.Stats()
+	if st.HostTrims != 1 {
+		t.Errorf("trims = %d, want 1 (no-op trims uncounted)", st.HostTrims)
+	}
+	if fx.B.Map.Mapped() != 0 {
+		t.Errorf("mapped = %d after trim", fx.B.Map.Mapped())
+	}
+	// The freed page becomes GC-visible as an invalid page.
+	// (Write again to confirm the FTL still functions.)
+	if _, err := fx.F.Write(5, done, 0.5); err != nil {
+		t.Fatalf("write after trim: %v", err)
+	}
+}
+
+func testWriteReadBack(t *testing.T, mk Maker) {
+	fx := mk(t)
+	now := sim.Time(0)
+	const n = 64
+	for lpn := ftl.LPN(0); lpn < n; lpn++ {
+		done, err := fx.F.Write(lpn, now, 0.5)
+		if err != nil {
+			t.Fatalf("write LPN %d: %v", lpn, err)
+		}
+		if done < now {
+			t.Fatalf("write completed before issue: %v < %v", done, now)
+		}
+		now = done
+	}
+	for lpn := ftl.LPN(0); lpn < n; lpn++ {
+		done, err := fx.F.Read(lpn, now)
+		if err != nil {
+			t.Fatalf("read LPN %d: %v", lpn, err)
+		}
+		now = done
+	}
+	st := fx.F.Stats()
+	if st.HostWrites != n || st.HostReads != n {
+		t.Errorf("stats = %+v, want %d writes and reads", st, n)
+	}
+}
+
+func testMonotone(t *testing.T, mk Maker) {
+	fx := mk(t)
+	prev := sim.Time(0)
+	for lpn := ftl.LPN(0); lpn < 32; lpn++ {
+		done, err := fx.F.Write(lpn, prev, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done <= prev {
+			t.Fatalf("completion %v not after issue %v", done, prev)
+		}
+		prev = done
+	}
+}
+
+func testOverwrite(t *testing.T, mk Maker) {
+	fx := mk(t)
+	now := sim.Time(0)
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		done, err := fx.F.Write(7, now, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if fx.B.Map.Mapped() != 1 {
+		t.Errorf("mapped pages = %d after overwriting one LPN, want 1", fx.B.Map.Mapped())
+	}
+	if _, err := fx.F.Read(7, now); err != nil {
+		t.Errorf("read after overwrites: %v", err)
+	}
+}
+
+// testSustainedGC writes 3x the logical space with a skewed pattern; the FTL
+// must keep servicing writes (GC reclaiming blocks) without error.
+func testSustainedGC(t *testing.T, mk Maker) {
+	fx := mk(t)
+	src := rng.New(42)
+	logical := fx.F.LogicalPages()
+	z := rng.NewZipf(src, int(logical), 0.9)
+	now := sim.Time(0)
+	writes := 3 * int(logical)
+	for i := 0; i < writes; i++ {
+		lpn := ftl.LPN(z.Next())
+		done, err := fx.F.Write(lpn, now, 0.5)
+		if err != nil {
+			t.Fatalf("write %d (LPN %d): %v", i, lpn, err)
+		}
+		now = done
+	}
+	st := fx.F.Stats()
+	if st.Erases == 0 {
+		t.Error("no erases after writing 3x logical capacity")
+	}
+	if st.GCCopies == 0 {
+		t.Error("no GC copies despite skewed overwrites")
+	}
+	if wa := st.WriteAmplification(); wa < 1 {
+		t.Errorf("write amplification %v < 1", wa)
+	}
+	// The device's own erase counter must agree with the FTL's.
+	if dev := fx.F.Device().Counts().Erases; dev != st.Erases {
+		t.Errorf("device erases %d != FTL erases %d", dev, st.Erases)
+	}
+}
+
+func testIdleReclaim(t *testing.T, mk Maker) {
+	fx := mk(t)
+	src := rng.New(7)
+	logical := fx.F.LogicalPages()
+	z := rng.NewZipf(src, int(logical), 0.9)
+	now := sim.Time(0)
+	// Fill until free space drops below the background-GC threshold.
+	for i := 0; i < 3*int(logical) && !fx.B.BelowGCThreshold(); i++ {
+		done, err := fx.F.Write(ftl.LPN(z.Next()), now, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if !fx.B.BelowGCThreshold() {
+		t.Skip("workload did not push free space below threshold on this geometry")
+	}
+	before := fx.B.TotalFreeBlocks()
+	erasesBefore := fx.F.Stats().Erases
+	fx.F.Idle(now, now+10*sim.Second)
+	after := fx.B.TotalFreeBlocks()
+	if fx.IdleConsumesFree {
+		if fx.F.Stats().Erases <= erasesBefore {
+			t.Errorf("idle made no erase progress: %d erases", fx.F.Stats().Erases)
+		}
+		return
+	}
+	if after <= before {
+		t.Errorf("idle GC did not reclaim blocks: %d -> %d", before, after)
+	}
+	if fx.F.Stats().BackgroundGCs == 0 {
+		t.Error("no background GC invocations recorded")
+	}
+}
+
+func testDeterminism(t *testing.T, mk Maker) {
+	run := func() ftl.Stats {
+		fx := mk(t)
+		src := rng.New(99)
+		logical := fx.F.LogicalPages()
+		now := sim.Time(0)
+		for i := 0; i < int(logical); i++ {
+			lpn := ftl.LPN(src.Int63n(logical))
+			done, err := fx.F.Write(lpn, now, src.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = done
+			if i%1000 == 999 {
+				fx.F.Idle(now, now+100*sim.Millisecond)
+			}
+		}
+		return fx.F.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different stats:\n%+v\n%+v", a, b)
+	}
+}
+
+func testReadUnmapped(t *testing.T, mk Maker) {
+	fx := mk(t)
+	if _, err := fx.F.Read(3, 0); err == nil {
+		t.Error("read of never-written LPN succeeded")
+	}
+}
+
+func testStatsConsistency(t *testing.T, mk Maker) {
+	fx := mk(t)
+	src := rng.New(5)
+	logical := fx.F.LogicalPages()
+	now := sim.Time(0)
+	for i := 0; i < 2*int(logical); i++ {
+		done, err := fx.F.Write(ftl.LPN(src.Int63n(logical)), now, src.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	st := fx.F.Stats()
+	if st.HostWritesLSB+st.HostWritesMSB != st.HostWrites {
+		t.Errorf("host write type split %d+%d != %d",
+			st.HostWritesLSB, st.HostWritesMSB, st.HostWrites)
+	}
+	if st.GCCopiesLSB+st.GCCopiesMSB != st.GCCopies {
+		t.Errorf("GC copy type split %d+%d != %d", st.GCCopiesLSB, st.GCCopiesMSB, st.GCCopies)
+	}
+	// Device-level program counts must equal the FTL's accounting.
+	dev := fx.F.Device().Counts()
+	if dev.Programs() != st.TotalPrograms() {
+		t.Errorf("device programs %d != FTL programs %d", dev.Programs(), st.TotalPrograms())
+	}
+}

@@ -1,0 +1,145 @@
+package ftl
+
+import (
+	"fmt"
+
+	"flexftl/internal/nand"
+)
+
+// Mapper is the page-level mapping table: LPN -> PPN with the inverse map
+// and per-block valid-page accounting garbage collection needs.
+type Mapper struct {
+	geo        nand.Geometry
+	l2p        []nand.PPN // logical to physical; InvalidPPN when unmapped
+	p2l        []LPN      // physical to logical; -1 when free/invalid
+	validCount []int32    // valid pages per flat block
+	mapped     int64      // currently mapped logical pages
+}
+
+// NewMapper builds a mapper for logicalPages host pages over the geometry.
+func NewMapper(g nand.Geometry, logicalPages int64) *Mapper {
+	if logicalPages <= 0 || logicalPages > int64(g.TotalPages()) {
+		panic(fmt.Sprintf("ftl: logical pages %d outside (0,%d]", logicalPages, g.TotalPages()))
+	}
+	m := &Mapper{
+		geo:        g,
+		l2p:        make([]nand.PPN, logicalPages),
+		p2l:        make([]LPN, g.TotalPages()),
+		validCount: make([]int32, g.TotalBlocks()),
+	}
+	for i := range m.l2p {
+		m.l2p[i] = nand.InvalidPPN
+	}
+	for i := range m.p2l {
+		m.p2l[i] = -1
+	}
+	return m
+}
+
+// LogicalPages returns the host-visible page count.
+func (m *Mapper) LogicalPages() int64 { return int64(len(m.l2p)) }
+
+// Mapped returns how many logical pages currently have a mapping.
+func (m *Mapper) Mapped() int64 { return m.mapped }
+
+// blockOf returns the flat block index of a PPN.
+func (m *Mapper) blockOf(ppn nand.PPN) int {
+	return int(int64(ppn) / int64(m.geo.PagesPerBlock()))
+}
+
+// FlatBlock returns the flat index of a block address.
+func (m *Mapper) FlatBlock(a nand.BlockAddr) int {
+	return a.Chip*m.geo.BlocksPerChip + a.Block
+}
+
+// BlockOfFlat inverts FlatBlock.
+func (m *Mapper) BlockOfFlat(flat int) nand.BlockAddr {
+	return nand.BlockAddr{Chip: flat / m.geo.BlocksPerChip, Block: flat % m.geo.BlocksPerChip}
+}
+
+// Lookup returns the current physical page of an LPN.
+func (m *Mapper) Lookup(lpn LPN) (nand.PPN, bool) {
+	if lpn < 0 || int64(lpn) >= int64(len(m.l2p)) {
+		return nand.InvalidPPN, false
+	}
+	ppn := m.l2p[lpn]
+	return ppn, ppn != nand.InvalidPPN
+}
+
+// Update maps lpn to newPPN, invalidating any previous mapping. It returns
+// the superseded PPN (InvalidPPN if none).
+func (m *Mapper) Update(lpn LPN, newPPN nand.PPN) nand.PPN {
+	if lpn < 0 || int64(lpn) >= int64(len(m.l2p)) {
+		panic(fmt.Sprintf("ftl: LPN %d out of range [0,%d)", lpn, len(m.l2p)))
+	}
+	if newPPN < 0 || int64(newPPN) >= int64(len(m.p2l)) {
+		panic(fmt.Sprintf("ftl: PPN %d out of range", newPPN))
+	}
+	if m.p2l[newPPN] != -1 {
+		panic(fmt.Sprintf("ftl: PPN %d already holds LPN %d", newPPN, m.p2l[newPPN]))
+	}
+	old := m.l2p[lpn]
+	if old != nand.InvalidPPN {
+		m.p2l[old] = -1
+		m.validCount[m.blockOf(old)]--
+	} else {
+		m.mapped++
+	}
+	m.l2p[lpn] = newPPN
+	m.p2l[newPPN] = lpn
+	m.validCount[m.blockOf(newPPN)]++
+	return old
+}
+
+// Invalidate drops the mapping of lpn (host trim). It reports whether a
+// mapping existed.
+func (m *Mapper) Invalidate(lpn LPN) bool {
+	if lpn < 0 || int64(lpn) >= int64(len(m.l2p)) {
+		return false
+	}
+	old := m.l2p[lpn]
+	if old == nand.InvalidPPN {
+		return false
+	}
+	m.l2p[lpn] = nand.InvalidPPN
+	m.p2l[old] = -1
+	m.validCount[m.blockOf(old)]--
+	m.mapped--
+	return true
+}
+
+// LPNAt returns the logical page stored at a physical page, if the page is
+// valid.
+func (m *Mapper) LPNAt(ppn nand.PPN) (LPN, bool) {
+	if ppn < 0 || int64(ppn) >= int64(len(m.p2l)) {
+		return -1, false
+	}
+	lpn := m.p2l[ppn]
+	return lpn, lpn != -1
+}
+
+// ValidCount returns the number of valid pages in a block.
+func (m *Mapper) ValidCount(a nand.BlockAddr) int {
+	return int(m.validCount[m.FlatBlock(a)])
+}
+
+// ValidPages lists the valid physical pages of a block in page-index order.
+func (m *Mapper) ValidPages(a nand.BlockAddr) []nand.PPN {
+	base := nand.PPN(int64(m.FlatBlock(a)) * int64(m.geo.PagesPerBlock()))
+	var out []nand.PPN
+	for i := 0; i < m.geo.PagesPerBlock(); i++ {
+		ppn := base + nand.PPN(i)
+		if m.p2l[ppn] != -1 {
+			out = append(out, ppn)
+		}
+	}
+	return out
+}
+
+// ClearBlock asserts a block holds no valid pages and is about to be erased.
+// GC must have relocated everything first; anything else is a bug.
+func (m *Mapper) ClearBlock(a nand.BlockAddr) {
+	if n := m.ValidCount(a); n != 0 {
+		panic(fmt.Sprintf("ftl: erasing block %v with %d valid pages", a, n))
+	}
+}

@@ -1,0 +1,364 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flexftl/internal/nand"
+	"flexftl/internal/rng"
+)
+
+func testMapper(t *testing.T) (*Mapper, nand.Geometry) {
+	t.Helper()
+	g := nand.TestGeometry()
+	return NewMapper(g, int64(g.TotalPages()/2)), g
+}
+
+func TestNewMapperPanicsOnBadSize(t *testing.T) {
+	g := nand.TestGeometry()
+	for _, n := range []int64{0, -1, int64(g.TotalPages()) + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("logicalPages=%d accepted", n)
+				}
+			}()
+			NewMapper(g, n)
+		}()
+	}
+}
+
+func TestMapperUpdateLookup(t *testing.T) {
+	m, _ := testMapper(t)
+	if _, ok := m.Lookup(5); ok {
+		t.Error("unmapped LPN resolves")
+	}
+	old := m.Update(5, 100)
+	if old != nand.InvalidPPN {
+		t.Errorf("first update superseded %v", old)
+	}
+	ppn, ok := m.Lookup(5)
+	if !ok || ppn != 100 {
+		t.Errorf("Lookup = %v,%v", ppn, ok)
+	}
+	if lpn, ok := m.LPNAt(100); !ok || lpn != 5 {
+		t.Errorf("LPNAt = %v,%v", lpn, ok)
+	}
+	if m.Mapped() != 1 {
+		t.Errorf("Mapped = %d", m.Mapped())
+	}
+	// Overwrite invalidates the old PPN.
+	old = m.Update(5, 200)
+	if old != 100 {
+		t.Errorf("superseded = %v, want 100", old)
+	}
+	if _, ok := m.LPNAt(100); ok {
+		t.Error("stale PPN still valid")
+	}
+	if m.Mapped() != 1 {
+		t.Errorf("Mapped after overwrite = %d", m.Mapped())
+	}
+}
+
+func TestMapperValidCounts(t *testing.T) {
+	m, g := testMapper(t)
+	perBlock := g.PagesPerBlock()
+	blk0 := nand.BlockAddr{Chip: 0, Block: 0}
+	// Fill block 0 with LPNs 0..perBlock-1.
+	for i := 0; i < perBlock; i++ {
+		m.Update(LPN(i), nand.PPN(i))
+	}
+	if m.ValidCount(blk0) != perBlock {
+		t.Errorf("valid = %d, want %d", m.ValidCount(blk0), perBlock)
+	}
+	// Rewriting half of them elsewhere drops the count.
+	base := nand.PPN(int64(perBlock))
+	for i := 0; i < perBlock/2; i++ {
+		m.Update(LPN(i), base+nand.PPN(i))
+	}
+	if m.ValidCount(blk0) != perBlock/2 {
+		t.Errorf("valid after overwrite = %d, want %d", m.ValidCount(blk0), perBlock/2)
+	}
+	pages := m.ValidPages(blk0)
+	if len(pages) != perBlock/2 {
+		t.Errorf("ValidPages = %d entries", len(pages))
+	}
+}
+
+func TestMapperInvalidate(t *testing.T) {
+	m, _ := testMapper(t)
+	m.Update(7, 42)
+	if !m.Invalidate(7) {
+		t.Error("Invalidate of mapped LPN returned false")
+	}
+	if m.Invalidate(7) {
+		t.Error("double Invalidate returned true")
+	}
+	if m.Invalidate(-1) || m.Invalidate(1<<40) {
+		t.Error("out-of-range Invalidate returned true")
+	}
+	if _, ok := m.Lookup(7); ok {
+		t.Error("invalidated LPN still resolves")
+	}
+	if m.Mapped() != 0 {
+		t.Errorf("Mapped = %d", m.Mapped())
+	}
+}
+
+func TestMapperDoubleMapPPNPanics(t *testing.T) {
+	m, _ := testMapper(t)
+	m.Update(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("mapping two LPNs to one PPN did not panic")
+		}
+	}()
+	m.Update(2, 10)
+}
+
+func TestMapperClearBlockPanicsOnValidPages(t *testing.T) {
+	m, _ := testMapper(t)
+	m.Update(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("ClearBlock with valid pages did not panic")
+		}
+	}()
+	m.ClearBlock(nand.BlockAddr{Chip: 0, Block: 0})
+}
+
+func TestFlatBlockRoundTrip(t *testing.T) {
+	m, g := testMapper(t)
+	for chip := 0; chip < g.Chips(); chip++ {
+		for blk := 0; blk < g.BlocksPerChip; blk++ {
+			a := nand.BlockAddr{Chip: chip, Block: blk}
+			if m.BlockOfFlat(m.FlatBlock(a)) != a {
+				t.Fatalf("flat round trip failed for %v", a)
+			}
+		}
+	}
+}
+
+// Property: after any sequence of updates/invalidates, the sum of per-block
+// valid counts equals Mapped(), and every l2p entry round-trips through p2l.
+func TestMapperConsistencyProperty(t *testing.T) {
+	g := nand.TestGeometry()
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		logical := int64(g.TotalPages() / 2)
+		m := NewMapper(g, logical)
+		nextPPN := 0
+		for op := 0; op < 500 && nextPPN < g.TotalPages(); op++ {
+			lpn := LPN(src.Int63n(logical))
+			if src.Bool(0.85) {
+				m.Update(lpn, nand.PPN(nextPPN))
+				nextPPN++
+			} else {
+				m.Invalidate(lpn)
+			}
+		}
+		var total int64
+		for flat := 0; flat < g.TotalBlocks(); flat++ {
+			total += int64(m.ValidCount(m.BlockOfFlat(flat)))
+		}
+		if total != m.Mapped() {
+			return false
+		}
+		for lpn := LPN(0); lpn < LPN(logical); lpn++ {
+			if ppn, ok := m.Lookup(lpn); ok {
+				back, ok2 := m.LPNAt(ppn)
+				if !ok2 || back != lpn {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreePool(t *testing.T) {
+	p := NewFreePool(0, 4)
+	if p.FreeCount() != 4 || p.FullCount() != 0 {
+		t.Fatal("fresh pool wrong")
+	}
+	b, ok := p.PopFree()
+	if !ok || b != 0 {
+		t.Fatalf("PopFree = %d,%v", b, ok)
+	}
+	p.PushFull(b)
+	if p.FullCount() != 1 {
+		t.Error("full count wrong")
+	}
+	p.TakeFull(b)
+	p.PushFree(b)
+	if p.FreeCount() != 4 {
+		t.Error("free count wrong after recycle")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := p.PopFree(); !ok {
+			t.Fatal("pool exhausted early")
+		}
+	}
+	if _, ok := p.PopFree(); ok {
+		t.Error("empty pool popped")
+	}
+}
+
+func TestTakeFullPanicsOnMissing(t *testing.T) {
+	p := NewFreePool(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("TakeFull of absent block did not panic")
+		}
+	}()
+	p.TakeFull(99)
+}
+
+func TestPickVictimGreedy(t *testing.T) {
+	g := nand.TestGeometry()
+	m := NewMapper(g, int64(g.TotalPages()/2))
+	p := NewFreePool(0, g.BlocksPerChip)
+	// Block 0: all valid. Block 1: half valid. Block 2: empty (all invalid).
+	perBlock := g.PagesPerBlock()
+	b0, _ := p.PopFree()
+	b1, _ := p.PopFree()
+	b2, _ := p.PopFree()
+	lpn := LPN(0)
+	fill := func(blk, valid int) {
+		base := nand.PPN(int64(blk) * int64(perBlock))
+		for i := 0; i < valid; i++ {
+			m.Update(lpn, base+nand.PPN(i))
+			lpn++
+		}
+	}
+	fill(b0, perBlock)
+	fill(b1, perBlock/2)
+	fill(b2, 0)
+	p.PushFull(b0)
+	p.PushFull(b1)
+	p.PushFull(b2)
+	v, ok := p.PickVictim(m, perBlock)
+	if !ok || v != b2 {
+		t.Errorf("victim = %d,%v, want block %d (all invalid)", v, ok, b2)
+	}
+	// After taking b2, the half-valid block is next.
+	p.TakeFull(b2)
+	v, ok = p.PickVictim(m, perBlock)
+	if !ok || v != b1 {
+		t.Errorf("victim = %d,%v, want block %d", v, ok, b1)
+	}
+	// A pool with only fully-valid blocks yields no victim.
+	p.TakeFull(b1)
+	if v, ok := p.PickVictim(m, perBlock); ok {
+		t.Errorf("fully-valid block chosen as victim: %d", v)
+	}
+}
+
+func TestPickVictimCostBenefit(t *testing.T) {
+	g := nand.TestGeometry()
+	m := NewMapper(g, int64(g.TotalPages()/2))
+	p := NewFreePool(0, g.BlocksPerChip)
+	p.Policy = GCCostBenefit
+	perBlock := g.PagesPerBlock()
+	b0, _ := p.PopFree() // old block, moderately dirty
+	b1, _ := p.PopFree() // young block, slightly dirtier
+	lpn := LPN(0)
+	fill := func(blk, valid int) {
+		base := nand.PPN(int64(blk) * int64(perBlock))
+		for i := 0; i < valid; i++ {
+			m.Update(lpn, base+nand.PPN(i))
+			lpn++
+		}
+	}
+	fill(b0, perBlock/2)   // 50% invalid
+	fill(b1, perBlock/2-1) // slightly more invalid
+	p.PushFull(b0)
+	// Age b0 by pushing/taking unrelated blocks to advance the clock.
+	for i := 0; i < 50; i++ {
+		bx, _ := p.PopFree()
+		p.PushFull(bx)
+		p.TakeFull(bx)
+		p.PushFree(bx)
+	}
+	p.PushFull(b1)
+	v, ok := p.PickVictim(m, perBlock)
+	if !ok || v != b0 {
+		t.Errorf("cost-benefit picked %d, want the aged block %d", v, b0)
+	}
+	// Greedy would pick the dirtier young block.
+	p.Policy = GCGreedy
+	v, ok = p.PickVictim(m, perBlock)
+	if !ok || v != b1 {
+		t.Errorf("greedy picked %d, want the dirtiest block %d", v, b1)
+	}
+}
+
+func TestGCPolicyString(t *testing.T) {
+	if GCGreedy.String() != "greedy" || GCCostBenefit.String() != "cost-benefit" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{HostWrites: 10, GCCopies: 5, BackupWrites: 5}
+	if s.TotalPrograms() != 20 {
+		t.Errorf("TotalPrograms = %d", s.TotalPrograms())
+	}
+	if s.WriteAmplification() != 2.0 {
+		t.Errorf("WA = %v", s.WriteAmplification())
+	}
+	if (Stats{}).WriteAmplification() != 0 {
+		t.Error("WA of zero stats != 0")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{OPFraction: 0, GCFreeFraction: 0.1, MinFreeBlocksPerChip: 1},
+		{OPFraction: 0.95, GCFreeFraction: 0.1, MinFreeBlocksPerChip: 1},
+		{OPFraction: 0.1, GCFreeFraction: 0, MinFreeBlocksPerChip: 1},
+		{OPFraction: 0.1, GCFreeFraction: 1.5, MinFreeBlocksPerChip: 1},
+		{OPFraction: 0.1, GCFreeFraction: 0.1, MinFreeBlocksPerChip: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestTokenHelpers(t *testing.T) {
+	g := nand.TestGeometry()
+	dev, err := nand.NewDevice(nand.Config{Geometry: g, Timing: nand.DefaultTiming()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBase(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok1 := b.Token(42)
+	tok2 := b.Token(42)
+	if string(tok1) == string(tok2) {
+		t.Error("tokens for successive writes identical (sequence not advancing)")
+	}
+	if lpn, ok := TokenLPN(tok1); !ok || lpn != 42 {
+		t.Errorf("TokenLPN = %v,%v", lpn, ok)
+	}
+	if _, ok := TokenLPN([]byte{1}); ok {
+		t.Error("short token decoded")
+	}
+	sp := SpareForLPN(123)
+	if lpn, ok := LPNFromSpare(sp); !ok || lpn != 123 {
+		t.Errorf("LPNFromSpare = %v,%v", lpn, ok)
+	}
+	if _, ok := LPNFromSpare(nil); ok {
+		t.Error("nil spare decoded")
+	}
+}

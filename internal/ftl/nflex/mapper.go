@@ -1,0 +1,148 @@
+package nflex
+
+import (
+	"fmt"
+
+	"flexftl/internal/ftl"
+	"flexftl/internal/nandn"
+	"flexftl/internal/nlevel"
+)
+
+// mapper is the page-level mapping table over the n-level geometry; a small
+// sibling of ftl.Mapper (which is typed to the 2-bit device).
+type mapper struct {
+	g       nandn.Geometry
+	logical int64
+	l2p     []int64 // -1 unmapped
+	p2l     []ftl.LPN
+	valid   []int32 // per flat block
+}
+
+func newMapper(g nandn.Geometry, logical int64) *mapper {
+	m := &mapper{
+		g:       g,
+		logical: logical,
+		l2p:     make([]int64, logical),
+		p2l:     make([]ftl.LPN, g.TotalPages()),
+		valid:   make([]int32, g.TotalBlocks()),
+	}
+	for i := range m.l2p {
+		m.l2p[i] = -1
+	}
+	for i := range m.p2l {
+		m.p2l[i] = -1
+	}
+	return m
+}
+
+// ppnOf flattens a page address.
+func (m *mapper) ppnOf(a nandn.PageAddr) int64 {
+	pp := int64(m.g.PagesPerBlock())
+	return (int64(a.Chip)*int64(m.g.BlocksPerChip)+int64(a.Block))*pp +
+		int64(m.g.Scheme().Index(a.Page))
+}
+
+// addrOf inverts ppnOf.
+func (m *mapper) addrOf(ppn int64) nandn.PageAddr {
+	pp := int64(m.g.PagesPerBlock())
+	idx := int(ppn % pp)
+	flat := ppn / pp
+	return nandn.PageAddr{
+		Chip:  int(flat / int64(m.g.BlocksPerChip)),
+		Block: int(flat % int64(m.g.BlocksPerChip)),
+		Page:  m.g.Scheme().PageAt(idx),
+	}
+}
+
+func (m *mapper) flatBlock(chip, blk int) int { return chip*m.g.BlocksPerChip + blk }
+
+func (m *mapper) lookup(lpn ftl.LPN) (int64, bool) {
+	if lpn < 0 || int64(lpn) >= m.logical {
+		return -1, false
+	}
+	ppn := m.l2p[lpn]
+	return ppn, ppn >= 0
+}
+
+func (m *mapper) lpnAt(ppn int64) (ftl.LPN, bool) {
+	if ppn < 0 || ppn >= int64(len(m.p2l)) {
+		return -1, false
+	}
+	lpn := m.p2l[ppn]
+	return lpn, lpn >= 0
+}
+
+func (m *mapper) update(lpn ftl.LPN, ppn int64) {
+	if lpn < 0 || int64(lpn) >= m.logical {
+		panic(fmt.Sprintf("nflex: LPN %d out of range", lpn))
+	}
+	if m.p2l[ppn] != -1 {
+		panic(fmt.Sprintf("nflex: PPN %d already mapped", ppn))
+	}
+	if old := m.l2p[lpn]; old >= 0 {
+		m.p2l[old] = -1
+		m.valid[int(old)/m.g.PagesPerBlock()]--
+	}
+	m.l2p[lpn] = ppn
+	m.p2l[ppn] = lpn
+	m.valid[int(ppn)/m.g.PagesPerBlock()]++
+}
+
+func (m *mapper) invalidate(lpn ftl.LPN) bool {
+	if lpn < 0 || int64(lpn) >= m.logical {
+		return false
+	}
+	old := m.l2p[lpn]
+	if old < 0 {
+		return false
+	}
+	m.l2p[lpn] = -1
+	m.p2l[old] = -1
+	m.valid[int(old)/m.g.PagesPerBlock()]--
+	return true
+}
+
+func (m *mapper) validCount(chip, blk int) int { return int(m.valid[m.flatBlock(chip, blk)]) }
+
+// pool adapter: ftl.FreePool.PickVictim needs an *ftl.Mapper; nflex keeps
+// its own greedy selection instead.
+func (m *mapper) pickVictim(pool *ftl.FreePool, chip, pagesPerBlock int) (int, bool) {
+	best, bestInvalid := -1, 0
+	for _, b := range pool.FullBlocks() {
+		if inv := pagesPerBlock - m.validCount(chip, b); inv > bestInvalid {
+			best, bestInvalid = b, inv
+		}
+	}
+	return best, best != -1
+}
+
+// validPPNs lists the valid physical pages of a block from a resume cursor.
+func (m *mapper) nextValid(chip, blk, fromIdx int) (int64, int, bool) {
+	base := int64(m.flatBlock(chip, blk)) * int64(m.g.PagesPerBlock())
+	for i := fromIdx; i < m.g.PagesPerBlock(); i++ {
+		if m.p2l[base+int64(i)] >= 0 {
+			return base + int64(i), i, true
+		}
+	}
+	return -1, m.g.PagesPerBlock(), false
+}
+
+// spareBlockNo encodes the inverse mapping for parity pages.
+func spareBlockNo(blk, level int) []byte {
+	buf := make([]byte, 16)
+	putU64(buf[0:8], uint64(blk))
+	putU64(buf[8:16], uint64(level))
+	return buf
+}
+
+func blockNoFromSpare(spare []byte) (blk, level int, ok bool) {
+	if len(spare) < 16 {
+		return -1, -1, false
+	}
+	return int(getU64(spare[0:8])), int(getU64(spare[8:16])), true
+}
+
+// pageFor builds a page address.
+func pageFor(chip, blk, wl, level int) nandn.PageAddr {
+	return nandn.PageAddr{Chip: chip, Block: blk, Page: nlevel.Page{WL: wl, Level: level}}
+}

@@ -1,0 +1,314 @@
+// Package nflex generalizes flexFTL to n-bit NAND (TLC, QLC) over the
+// internal/nandn device — the working form of the paper's Section 1 claim
+// that RPS "can be applicable for other NAND devices such as TLC NAND
+// devices with a similar program scheme".
+//
+// The two-phase ordering becomes n-phase ordering (nPO): a block is filled
+// with all its level-0 pages first (the fast phase), then all level-1
+// pages, ..., then the finest level. The block pool manager keeps one
+// active block per phase per chip, with FIFO queues feeding phases 1..n-1.
+// Every non-final phase leaves one XOR parity page behind (the per-block
+// parity scheme, once per phase), so a power cut during any refinement —
+// which destroys all of the word line's earlier bits — is recoverable
+// without per-write backups.
+package nflex
+
+import (
+	"fmt"
+
+	"flexftl/internal/ftl"
+	"flexftl/internal/nandn"
+	"flexftl/internal/parity"
+	"flexftl/internal/sim"
+)
+
+// Params are the policy knobs (the n-level analogue of flexftl.Params).
+type Params struct {
+	UHigh, ULow   float64
+	QuotaFraction float64 // of the device's total level-0 pages
+}
+
+// DefaultParams mirrors flexFTL's settings.
+func DefaultParams() Params {
+	return Params{UHigh: 0.8, ULow: 0.1, QuotaFraction: 0.05}
+}
+
+// Validate rejects inconsistent parameters.
+func (p Params) Validate() error {
+	if p.ULow < 0 || p.UHigh > 1 || p.ULow >= p.UHigh {
+		return fmt.Errorf("nflex: need 0 <= ulow < uhigh <= 1, got %v/%v", p.ULow, p.UHigh)
+	}
+	if p.QuotaFraction <= 0 || p.QuotaFraction > 1 {
+		return fmt.Errorf("nflex: quota fraction %v outside (0,1]", p.QuotaFraction)
+	}
+	return nil
+}
+
+// Stats mirrors the counters the MLC FTLs report, with per-level splits.
+type Stats struct {
+	HostReads     int64
+	HostWrites    int64
+	HostByLevel   []int64
+	GCCopies      int64
+	BackupWrites  int64
+	Erases        int64
+	ForegroundGCs int64
+	BackgroundGCs int64
+}
+
+// parityRef locates a phase parity page.
+type parityRef struct {
+	backupBlk int
+	page      int // level-0 word line within the backup block
+}
+
+type backupState struct {
+	cur     int
+	pos     int
+	live    map[int]int
+	retired []int
+}
+
+// phaseCursor tracks the active block of one phase on one chip.
+type phaseCursor struct {
+	blk int // -1 when none
+	pos int // next word line of this phase
+}
+
+type chipState struct {
+	phases []phaseCursor // [level]; level 0 is the fast phase
+	queues [][]int       // [level] FIFO of blocks awaiting that phase (levels 1..n-1 used)
+	pbuf   []*parity.Buffer
+	backup backupState
+	toggle int // rotation for the mid-utilization band
+}
+
+// FTL is the n-phase flexFTL.
+type FTL struct {
+	dev    *nandn.Device
+	params Params
+	cfg    ftl.Config
+	m      *mapper
+	pools  []*ftl.FreePool
+	chips  []chipState
+	st     Stats
+	q      int64
+	q0     int64
+	refs   map[int]map[int]parityRef // flat block -> level -> parity location
+	seq    int64
+	rr     int
+	inBGC  bool
+	bg     bgState
+}
+
+type bgState struct {
+	chip, blk, nextIdx int
+	active             bool
+}
+
+// New builds an nflex FTL over the device.
+func New(dev *nandn.Device, cfg ftl.Config, params Params) (*FTL, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := dev.Geometry()
+	logical := int64(float64(g.TotalPages()) * (1 - cfg.OPFraction))
+	if logical <= 0 {
+		return nil, fmt.Errorf("nflex: geometry too small")
+	}
+	f := &FTL{
+		dev:    dev,
+		params: params,
+		cfg:    cfg,
+		m:      newMapper(g, logical),
+		pools:  make([]*ftl.FreePool, g.Chips()),
+		chips:  make([]chipState, g.Chips()),
+		refs:   make(map[int]map[int]parityRef),
+	}
+	totalL0 := int64(g.TotalBlocks()) * int64(g.WordLinesPerBlock)
+	f.q = int64(params.QuotaFraction * float64(totalL0))
+	if f.q < 1 {
+		f.q = 1
+	}
+	f.q0 = f.q
+	for c := range f.chips {
+		f.pools[c] = ftl.NewFreePool(c, g.BlocksPerChip)
+		cs := chipState{
+			phases: make([]phaseCursor, g.Levels),
+			queues: make([][]int, g.Levels),
+			pbuf:   make([]*parity.Buffer, g.Levels),
+			backup: backupState{cur: -1, live: make(map[int]int)},
+		}
+		for l := range cs.phases {
+			cs.phases[l] = phaseCursor{blk: -1}
+			cs.pbuf[l] = parity.New(ftl.TokenSize)
+		}
+		f.chips[c] = cs
+	}
+	return f, nil
+}
+
+// Name identifies the scheme.
+func (f *FTL) Name() string { return fmt.Sprintf("nflexFTL(%d-level)", f.dev.Geometry().Levels) }
+
+// Device returns the n-level device.
+func (f *FTL) Device() *nandn.Device { return f.dev }
+
+// Stats returns the counters.
+func (f *FTL) Stats() Stats {
+	s := f.st
+	s.HostByLevel = append([]int64(nil), f.st.HostByLevel...)
+	return s
+}
+
+// Quota returns the current level-0 budget q.
+func (f *FTL) Quota() int64 { return f.q }
+
+// ActivePhaseBlock returns the chip's active block for a phase (-1 if none).
+func (f *FTL) ActivePhaseBlock(chip, level int) int { return f.chips[chip].phases[level].blk }
+
+// ActivePhaseProgress returns how many word lines of the chip's active
+// phase-level block are programmed.
+func (f *FTL) ActivePhaseProgress(chip, level int) int {
+	if f.chips[chip].phases[level].blk == -1 {
+		return 0
+	}
+	return f.chips[chip].phases[level].pos
+}
+
+// LogicalPages returns the host-visible space.
+func (f *FTL) LogicalPages() int64 { return f.m.logical }
+
+// TotalFreeBlocks sums free lists.
+func (f *FTL) TotalFreeBlocks() int {
+	n := 0
+	for _, p := range f.pools {
+		n += p.FreeCount()
+	}
+	return n
+}
+
+func (f *FTL) token(lpn ftl.LPN) []byte {
+	f.seq++
+	buf := make([]byte, ftl.TokenSize)
+	putU64(buf[0:8], uint64(lpn))
+	putU64(buf[8:16], uint64(f.seq))
+	return buf
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// Write services a host page write with the utilization-driven phase policy.
+func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
+	chip := f.rr
+	f.rr = (f.rr + 1) % f.dev.Geometry().Chips()
+	var err error
+	now, err = f.foregroundGC(chip, now)
+	if err != nil {
+		return now, err
+	}
+	level := f.chooseLevel(chip, util)
+	done, err := f.programAt(chip, level, lpn, f.token(lpn), ftl.SpareForLPN(lpn), now, false)
+	if err != nil {
+		return now, err
+	}
+	f.st.HostWrites++
+	return done, nil
+}
+
+// Read services a host page read.
+func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
+	ppn, ok := f.m.lookup(lpn)
+	if !ok {
+		return now, fmt.Errorf("%w: %d", ftl.ErrUnmapped, lpn)
+	}
+	_, _, done, err := f.dev.Read(f.m.addrOf(ppn), now)
+	if err != nil {
+		return now, err
+	}
+	f.st.HostReads++
+	return done, nil
+}
+
+// Trim invalidates a logical page.
+func (f *FTL) Trim(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
+	f.m.invalidate(lpn)
+	return now, nil
+}
+
+// chooseLevel picks the program phase for a host write: level 0 while a
+// high-utilization burst has budget, the deepest feedable phase when the
+// buffer is sleepy, and a rotation over all phases in between.
+func (f *FTL) chooseLevel(chip int, util float64) int {
+	cs := &f.chips[chip]
+	levels := f.dev.Geometry().Levels
+	deepest := f.deepestAvailable(chip)
+	if deepest == 0 {
+		return 0 // nothing queued beyond phase 0 (footnote-1 corner case)
+	}
+	if f.fastBudget(chip) <= 0 {
+		return deepest
+	}
+	switch {
+	case util > f.params.UHigh:
+		if f.q > 0 {
+			return 0
+		}
+	case util < f.params.ULow:
+		return deepest
+	}
+	// Rotate across all phases with work available.
+	for i := 0; i < levels; i++ {
+		cs.toggle = (cs.toggle + 1) % levels
+		if cs.toggle == 0 || f.phaseAvailable(chip, cs.toggle) {
+			return cs.toggle
+		}
+	}
+	return 0
+}
+
+// phaseAvailable reports whether phase l (l >= 1) has an active block or a
+// queued one.
+func (f *FTL) phaseAvailable(chip, l int) bool {
+	cs := &f.chips[chip]
+	return cs.phases[l].blk != -1 || len(cs.queues[l]) > 0
+}
+
+// deepestAvailable returns the highest-index phase with work, or 0.
+func (f *FTL) deepestAvailable(chip int) int {
+	for l := f.dev.Geometry().Levels - 1; l >= 1; l-- {
+		if f.phaseAvailable(chip, l) {
+			return l
+		}
+	}
+	return 0
+}
+
+// fastBudget is the level-0 capacity available without eating the reserve.
+func (f *FTL) fastBudget(chip int) int {
+	cs := &f.chips[chip]
+	w := f.dev.Geometry().WordLinesPerBlock
+	budget := 0
+	if cs.phases[0].blk != -1 {
+		budget += w - cs.phases[0].pos
+	}
+	if spare := f.pools[chip].FreeCount() - f.cfg.MinFreeBlocksPerChip - 1; spare > 0 {
+		budget += spare * w
+	}
+	return budget
+}

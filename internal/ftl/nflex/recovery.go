@@ -1,0 +1,177 @@
+package nflex
+
+import (
+	"errors"
+	"fmt"
+
+	"flexftl/internal/ftl"
+	"flexftl/internal/nandn"
+	"flexftl/internal/parity"
+	"flexftl/internal/sim"
+)
+
+// RecoveryReport summarizes an n-level reboot recovery pass.
+type RecoveryReport struct {
+	PagesRead  int
+	Recovered  []ftl.LPN
+	Dropped    []ftl.LPN
+	Start, End sim.Time
+}
+
+// Duration returns the elapsed virtual time.
+func (r RecoveryReport) Duration() sim.Time { return r.End - r.Start }
+
+// Recover runs the generalized reboot procedure: for every chip and every
+// phase with a partially programmed active block, re-read the phase's pages
+// rebuilding the partial parity accumulation; an interrupted refinement at
+// level i has destroyed the word line's pages at levels 0..i-1, each of
+// which is reconstructed from its own phase parity page.
+func (f *FTL) Recover(now sim.Time) (RecoveryReport, error) {
+	rep := RecoveryReport{Start: now}
+	end := now
+	for chip := range f.chips {
+		t, err := f.recoverChip(chip, now, &rep)
+		if err != nil {
+			return rep, err
+		}
+		if t > end {
+			end = t
+		}
+	}
+	rep.End = end
+	return rep, nil
+}
+
+func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time, error) {
+	g := f.dev.Geometry()
+	cs := &f.chips[chip]
+
+	for level := g.Levels - 1; level >= 1; level-- {
+		cur := cs.phases[level]
+		if cur.blk == -1 || cur.pos == 0 {
+			continue
+		}
+		blk := cur.blk
+		wl := cur.pos - 1 // the word line whose refinement may have been cut
+
+		// Drop the interrupted write if its page was destroyed.
+		inFlight := pageFor(chip, blk, wl, level)
+		if lpn, ok := f.m.lpnAt(f.m.ppnOf(inFlight)); ok {
+			if _, _, t, err := f.dev.Read(inFlight, now); err != nil {
+				now = t
+				rep.PagesRead++
+				if errors.Is(err, nandn.ErrUncorrectable) {
+					f.m.invalidate(lpn)
+					rep.Dropped = append(rep.Dropped, lpn)
+				}
+			} else {
+				now = advance(now, t)
+				rep.PagesRead++
+				continue // refinement completed safely; nothing below is lost
+			}
+		}
+
+		// Reconstruct each destroyed earlier-level page of this block from
+		// its phase parity.
+		for lvl := 0; lvl < level; lvl++ {
+			var err error
+			now, err = f.reconstructPhasePage(chip, blk, lvl, now, rep)
+			if err != nil {
+				return now, err
+			}
+		}
+	}
+
+	// Rebuild partial parity accumulations for every active phase.
+	for level := 0; level < g.Levels-1; level++ {
+		cur := cs.phases[level]
+		if cur.blk == -1 || cur.pos == 0 {
+			continue
+		}
+		cs.pbuf[level].Reset()
+		for wl := 0; wl < cur.pos; wl++ {
+			data, _, t, err := f.dev.Read(pageFor(chip, cur.blk, wl, level), now)
+			rep.PagesRead++
+			now = t
+			if err != nil {
+				if errors.Is(err, nandn.ErrUncorrectable) {
+					continue // will have been handled above
+				}
+				return now, fmt.Errorf("nflex: parity rebuild read: %w", err)
+			}
+			if err := cs.pbuf[level].Add(data); err != nil {
+				return now, err
+			}
+		}
+	}
+	return now, nil
+}
+
+// reconstructPhasePage scans the block's level-lvl pages, reconstructs the
+// (at most one) unreadable page from the phase parity, and re-homes its data
+// if still live.
+func (f *FTL) reconstructPhasePage(chip, blk, lvl int, now sim.Time, rep *RecoveryReport) (sim.Time, error) {
+	g := f.dev.Geometry()
+	var survivors [][]byte
+	lostWL := -1
+	for wl := 0; wl < g.WordLinesPerBlock; wl++ {
+		data, _, t, err := f.dev.Read(pageFor(chip, blk, wl, lvl), now)
+		rep.PagesRead++
+		now = t
+		switch {
+		case err == nil:
+			survivors = append(survivors, data)
+		case errors.Is(err, nandn.ErrUncorrectable):
+			if lostWL != -1 {
+				return now, fmt.Errorf("nflex: two pages lost in phase %d of chip%d/blk%d", lvl, chip, blk)
+			}
+			lostWL = wl
+		default:
+			return now, fmt.Errorf("nflex: recovery read: %w", err)
+		}
+	}
+	if lostWL == -1 {
+		return now, nil
+	}
+	ref, ok := f.refs[f.m.flatBlock(chip, blk)][lvl]
+	if !ok {
+		return now, fmt.Errorf("nflex: no phase-%d parity recorded for chip%d/blk%d", lvl, chip, blk)
+	}
+	parityPage, spare, t, err := f.dev.Read(pageFor(chip, ref.backupBlk, ref.page, 0), now)
+	rep.PagesRead++
+	now = t
+	if err != nil {
+		return now, fmt.Errorf("nflex: reading phase parity: %w", err)
+	}
+	if b, l, ok := blockNoFromSpare(spare); !ok || b != blk || l != lvl {
+		return now, fmt.Errorf("nflex: parity inverse-map mismatch: got blk %d lvl %d", b, l)
+	}
+	if len(parityPage) > ftl.TokenSize {
+		parityPage = parityPage[:ftl.TokenSize]
+	}
+	recovered, err := parity.Recover(parityPage, survivors)
+	if err != nil {
+		return now, err
+	}
+	lostPPN := f.m.ppnOf(pageFor(chip, blk, lostWL, lvl))
+	lpn, live := f.m.lpnAt(lostPPN)
+	if !live {
+		return now, nil
+	}
+	if tok := ftl.LPN(getU64(recovered[0:8])); tok != lpn {
+		return now, fmt.Errorf("nflex: recovered payload LPN %d != mapping %d", tok, lpn)
+	}
+	now, err = f.programAt(chip, 0, lpn, recovered, ftl.SpareForLPN(lpn), now, false)
+	if err != nil {
+		return now, fmt.Errorf("nflex: re-homing recovered LPN %d: %w", lpn, err)
+	}
+	rep.Recovered = append(rep.Recovered, lpn)
+	return now, nil
+}
+
+func advance(now, t sim.Time) sim.Time {
+	if t > now {
+		return t
+	}
+	return now
+}

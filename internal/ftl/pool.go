@@ -1,0 +1,125 @@
+package ftl
+
+import (
+	"fmt"
+
+	"flexftl/internal/nand"
+)
+
+// GCPolicy selects the garbage-collection victim heuristic.
+type GCPolicy int
+
+const (
+	// GCGreedy picks the block with the most invalid pages — the paper's
+	// policy ("chooses a victim block with the largest number of invalid
+	// pages").
+	GCGreedy GCPolicy = iota
+	// GCCostBenefit weighs invalid count by block age (time since it
+	// became a GC candidate), the classic cost-benefit heuristic: old
+	// blocks with moderate garbage beat young blocks still accumulating
+	// invalidations. Exposed for ablation against the paper's choice.
+	GCCostBenefit
+)
+
+// String names the policy.
+func (p GCPolicy) String() string {
+	if p == GCCostBenefit {
+		return "cost-benefit"
+	}
+	return "greedy"
+}
+
+// FreePool manages the free and full block lists of one chip. Every FTL
+// keeps one per chip; the lists hold in-chip block indices.
+type FreePool struct {
+	chip   int
+	free   []int
+	full   []int
+	fullAt []int64 // logical age stamp when the block joined the full list
+	clock  int64
+	Policy GCPolicy
+}
+
+// NewFreePool starts with every block of the chip free except those the FTL
+// reserves (the caller pops reservations itself).
+func NewFreePool(chip, blocksPerChip int) *FreePool {
+	p := &FreePool{chip: chip, free: make([]int, 0, blocksPerChip)}
+	for b := 0; b < blocksPerChip; b++ {
+		p.free = append(p.free, b)
+	}
+	return p
+}
+
+// FreeCount returns the number of free blocks.
+func (p *FreePool) FreeCount() int { return len(p.free) }
+
+// FullCount returns the number of full (GC-candidate) blocks.
+func (p *FreePool) FullCount() int { return len(p.full) }
+
+// PopFree takes a free block, or (-1, false) when exhausted.
+func (p *FreePool) PopFree() (int, bool) {
+	if len(p.free) == 0 {
+		return -1, false
+	}
+	b := p.free[0]
+	p.free = p.free[1:]
+	return b, true
+}
+
+// PushFree returns an erased block to the free list.
+func (p *FreePool) PushFree(b int) { p.free = append(p.free, b) }
+
+// PushFull records a fully written block as a GC candidate.
+func (p *FreePool) PushFull(b int) {
+	p.clock++
+	p.full = append(p.full, b)
+	p.fullAt = append(p.fullAt, p.clock)
+}
+
+// TakeFull removes a specific block from the full list (it was chosen as a
+// GC victim). It panics if the block is not there: collecting a block GC
+// does not own corrupts the pools.
+func (p *FreePool) TakeFull(b int) {
+	for i, v := range p.full {
+		if v == b {
+			p.full = append(p.full[:i], p.full[i+1:]...)
+			p.fullAt = append(p.fullAt[:i], p.fullAt[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("ftl: block %d not in full list of chip %d", b, p.chip))
+}
+
+// FullBlocks returns the full list (caller must not mutate).
+func (p *FreePool) FullBlocks() []int { return p.full }
+
+// PickVictim returns the best GC candidate under the pool's policy, or
+// (-1, false) when no candidate has at least one invalid page. Ties break
+// toward the oldest (FIFO) entry, keeping runs deterministic.
+func (p *FreePool) PickVictim(m *Mapper, pagesPerBlock int) (int, bool) {
+	best := -1
+	bestScore := 0.0
+	for i, b := range p.full {
+		invalid := pagesPerBlock - m.ValidCount(nand.BlockAddr{Chip: p.chip, Block: b})
+		if invalid <= 0 {
+			continue
+		}
+		var score float64
+		switch p.Policy {
+		case GCCostBenefit:
+			// benefit/cost * age: u = valid fraction; (1-u)/(1+u) * age.
+			u := 1 - float64(invalid)/float64(pagesPerBlock)
+			age := float64(p.clock - p.fullAt[i] + 1)
+			score = (1 - u) / (1 + u) * age
+		default:
+			score = float64(invalid)
+		}
+		if score > bestScore {
+			best, bestScore = b, score
+		}
+	}
+	if best == -1 {
+		return -1, false
+	}
+	return best, true
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"flexftl/internal/sim"
+)
+
+func TestNewCollectorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCollector(0, sim.Second) },
+		func() { NewCollector(4096, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCountsAndIOPS(t *testing.T) {
+	c := NewCollector(4096, 50*sim.Millisecond)
+	c.RecordRead(1, 0, 100)
+	c.RecordWrite(2, 100, 150, 1100)
+	c.AddActive(2 * sim.Second)
+	res := c.Finalize()
+	if res.Requests != 2 || res.Reads != 1 || res.Writes != 1 {
+		t.Errorf("counts: %+v", res)
+	}
+	if res.PagesRead != 1 || res.PagesWrit != 2 {
+		t.Errorf("pages: %+v", res)
+	}
+	if want := 1.0; res.IOPS != want {
+		t.Errorf("IOPS = %v, want %v (2 reqs / 2s active)", res.IOPS, want)
+	}
+	if res.Makespan != 1100 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestIOPSZeroActive(t *testing.T) {
+	c := NewCollector(4096, 50*sim.Millisecond)
+	c.RecordRead(1, 0, 10)
+	if res := c.Finalize(); res.IOPS != 0 {
+		t.Errorf("IOPS = %v without active time", res.IOPS)
+	}
+}
+
+func TestNegativeActiveIgnored(t *testing.T) {
+	c := NewCollector(4096, 50*sim.Millisecond)
+	c.AddActive(-5 * sim.Second)
+	if res := c.Finalize(); res.ActiveTime != 0 {
+		t.Errorf("active = %v", res.ActiveTime)
+	}
+}
+
+func TestBandwidthWindows(t *testing.T) {
+	const window = 100 * sim.Millisecond
+	c := NewCollector(1<<20, window) // 1 MB pages for easy arithmetic
+	// Two writes completing in window 0: 3 MB over 0.1 s = 30 MB/s.
+	c.RecordWrite(1, 0, 0, 10*sim.Millisecond)
+	c.RecordWrite(2, 0, 0, 20*sim.Millisecond)
+	// One write in window 5: 1 MB over 0.1 s = 10 MB/s.
+	c.RecordWrite(1, 0, 0, 510*sim.Millisecond)
+	res := c.Finalize()
+	if res.BandwidthCDF.N() != 2 {
+		t.Fatalf("windows = %d, want 2 (idle windows excluded)", res.BandwidthCDF.N())
+	}
+	if math.Abs(res.MeanWriteBandwidthMBs-20) > 1e-9 {
+		t.Errorf("mean BW = %v, want 20", res.MeanWriteBandwidthMBs)
+	}
+	if math.Abs(res.BandwidthCDF.Max()-30) > 1e-9 {
+		t.Errorf("max BW = %v, want 30", res.BandwidthCDF.Max())
+	}
+	if res.PeakWriteBandwidthMBs < 10 || res.PeakWriteBandwidthMBs > 30 {
+		t.Errorf("peak BW = %v", res.PeakWriteBandwidthMBs)
+	}
+}
+
+func TestResponseTimes(t *testing.T) {
+	c := NewCollector(4096, 50*sim.Millisecond)
+	c.RecordRead(1, 0, 100)         // 100 us
+	c.RecordWrite(1, 0, 300, 10000) // ack at 300 -> resp 300 us
+	res := c.Finalize()
+	if res.ResponseTime.Min != 100 || res.ResponseTime.Max != 300 {
+		t.Errorf("resp = %+v", res.ResponseTime)
+	}
+	if res.ReadResponse.Median != 100 {
+		t.Errorf("read resp = %+v", res.ReadResponse)
+	}
+	if res.WriteResponse.Median != 300 {
+		t.Errorf("write resp = %+v", res.WriteResponse)
+	}
+}
+
+func TestTrimRecording(t *testing.T) {
+	c := NewCollector(4096, 50*sim.Millisecond)
+	c.RecordTrim(4, 100, 100)
+	res := c.Finalize()
+	if res.Trims != 1 || res.Requests != 1 {
+		t.Errorf("trim counts: %+v", res)
+	}
+	if res.ResponseTime.Max != 0 {
+		t.Errorf("trim response = %+v (metadata op should be free)", res.ResponseTime)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	c := NewCollector(4096, 50*sim.Millisecond)
+	c.RecordWrite(1, 0, 1, 2)
+	c.AddActive(sim.Second)
+	if s := c.Finalize().String(); s == "" {
+		t.Error("empty summary")
+	}
+}

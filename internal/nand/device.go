@@ -1,0 +1,423 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/sim"
+)
+
+// Sentinel errors returned by device operations.
+var (
+	// ErrUncorrectable is returned by Read when the page's data was lost
+	// (e.g. the paired LSB page of an MSB program interrupted by power-off)
+	// and ECC cannot reconstruct it.
+	ErrUncorrectable = errors.New("nand: ECC-uncorrectable page")
+	// ErrNotProgrammed is returned by Read on an erased (never programmed)
+	// page.
+	ErrNotProgrammed = errors.New("nand: reading erased page")
+	// ErrBadBlock is returned for operations on a block retired after
+	// exceeding its erase budget (when a budget is configured).
+	ErrBadBlock = errors.New("nand: bad (retired) block")
+)
+
+// Config assembles everything needed to instantiate a Device.
+type Config struct {
+	Geometry Geometry
+	Timing   Timing
+	// Rules is the program-order scheme the device enforces. nil defaults
+	// to core.FPS, matching stock MLC parts; RPS devices pass core.RPS.
+	Rules core.RuleSet
+	// EraseBudget, when > 0, retires a block after that many erases,
+	// surfacing ErrBadBlock. 0 disables retirement (lifetime experiments
+	// count erases instead).
+	EraseBudget int
+}
+
+// DefaultConfig returns the paper's device with the given rule set.
+func DefaultConfig(rules core.RuleSet) Config {
+	return Config{Geometry: DefaultGeometry(), Timing: DefaultTiming(), Rules: rules}
+}
+
+// page holds the stored state of one physical page.
+type page struct {
+	programmed bool
+	corrupted  bool // data destroyed (power-off during paired MSB program)
+	data       []byte
+	spare      []byte
+}
+
+// block is the physical state of one erase block.
+type block struct {
+	state      *core.BlockState
+	pages      []page
+	eraseCount int
+	retired    bool
+	// msbInFlight notes an MSB program accepted but not yet power-safe;
+	// power-loss injection uses it to find the vulnerable paired LSB.
+	msbInFlight   bool
+	msbInFlightWL int
+}
+
+// chip carries the busy timeline and blocks of one die.
+type chip struct {
+	blocks  []block
+	readyAt sim.Time
+}
+
+// OpCounts tallies device operations, split by page type where relevant.
+type OpCounts struct {
+	Reads       int64
+	ProgramsLSB int64
+	ProgramsMSB int64
+	Erases      int64
+}
+
+// Programs returns total page programs.
+func (c OpCounts) Programs() int64 { return c.ProgramsLSB + c.ProgramsMSB }
+
+// Device is the NAND subsystem. It is not safe for concurrent use: the
+// simulator is single-threaded over a virtual clock by design, so that runs
+// are reproducible.
+type Device struct {
+	cfg      Config
+	rules    core.RuleSet
+	chips    []chip
+	chanFree []sim.Time // per-channel bus availability
+	counts   OpCounts
+	busyTime []sim.Time // accumulated busy time per chip (utilization metric)
+}
+
+// NewDevice builds a device from the configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	rules := cfg.Rules
+	if rules == nil {
+		rules = core.FPS
+	}
+	d := &Device{
+		cfg:      cfg,
+		rules:    rules,
+		chips:    make([]chip, cfg.Geometry.Chips()),
+		chanFree: make([]sim.Time, cfg.Geometry.Channels),
+		busyTime: make([]sim.Time, cfg.Geometry.Chips()),
+	}
+	for c := range d.chips {
+		blocks := make([]block, cfg.Geometry.BlocksPerChip)
+		for b := range blocks {
+			blocks[b] = block{
+				state: core.NewBlockState(cfg.Geometry.WordLinesPerBlock),
+				pages: make([]page, cfg.Geometry.PagesPerBlock()),
+			}
+		}
+		d.chips[c].blocks = blocks
+	}
+	return d, nil
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.cfg.Geometry }
+
+// Timing returns the device timing parameters.
+func (d *Device) Timing() Timing { return d.cfg.Timing }
+
+// Rules returns the enforced program-order scheme.
+func (d *Device) Rules() core.RuleSet { return d.rules }
+
+// Counts returns the operation counters.
+func (d *Device) Counts() OpCounts { return d.counts }
+
+// ChipReadyAt returns when the chip's cell array becomes free.
+func (d *Device) ChipReadyAt(chipID int) sim.Time { return d.chips[chipID].readyAt }
+
+// ChipBusyTime returns the accumulated cell-busy time of a chip, an input to
+// utilization metrics.
+func (d *Device) ChipBusyTime(chipID int) sim.Time { return d.busyTime[chipID] }
+
+func (d *Device) blockAt(a BlockAddr) (*block, error) {
+	g := d.cfg.Geometry
+	if a.Chip < 0 || a.Chip >= g.Chips() {
+		return nil, fmt.Errorf("nand: chip %d out of range [0,%d)", a.Chip, g.Chips())
+	}
+	if a.Block < 0 || a.Block >= g.BlocksPerChip {
+		return nil, fmt.Errorf("nand: block %d out of range [0,%d)", a.Block, g.BlocksPerChip)
+	}
+	return &d.chips[a.Chip].blocks[a.Block], nil
+}
+
+func (d *Device) pageAt(a PageAddr) (*block, *page, error) {
+	blk, err := d.blockAt(a.BlockAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	wl := d.cfg.Geometry.WordLinesPerBlock
+	if a.Page.WL < 0 || a.Page.WL >= wl {
+		return nil, nil, fmt.Errorf("nand: word line %d out of range [0,%d)", a.Page.WL, wl)
+	}
+	return blk, &blk.pages[a.Page.Index(wl)], nil
+}
+
+// progLatency returns the cell program latency for a page type.
+func (d *Device) progLatency(t core.PageType) sim.Time {
+	if t == core.LSB {
+		return d.cfg.Timing.ProgLSB
+	}
+	return d.cfg.Timing.ProgMSB
+}
+
+// Program writes data (and optional spare bytes) to the page, enforcing the
+// configured program-order scheme. It returns the virtual time at which the
+// program completes. Issue semantics: the transfer starts when both the
+// channel bus and the chip are free; the cell program then occupies the chip.
+func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time, error) {
+	blk, pg, err := d.pageAt(a)
+	if err != nil {
+		return now, err
+	}
+	if blk.retired {
+		return now, fmt.Errorf("%w: %v", ErrBadBlock, a.BlockAddr)
+	}
+	if err := d.rules.Check(blk.state, a.Page); err != nil {
+		return now, err
+	}
+	g := d.cfg.Geometry
+	if len(data) > g.PageSizeBytes {
+		return now, fmt.Errorf("nand: payload %dB exceeds page size %dB", len(data), g.PageSizeBytes)
+	}
+	if len(spare) > g.SpareBytes {
+		return now, fmt.Errorf("nand: spare payload %dB exceeds spare size %dB", len(spare), g.SpareBytes)
+	}
+
+	ch := g.ChannelOf(a.Chip)
+	c := &d.chips[a.Chip]
+	start := sim.MaxOf(now, sim.MaxOf(c.readyAt, d.chanFree[ch]))
+	xferDone := start + d.cfg.Timing.BusXfer
+	done := xferDone + d.progLatency(a.Page.Type)
+	d.chanFree[ch] = xferDone
+	c.readyAt = done
+	d.busyTime[a.Chip] += done - start
+
+	blk.state.Mark(a.Page)
+	pg.programmed = true
+	pg.corrupted = false
+	pg.data = append(pg.data[:0], data...)
+	pg.spare = append(pg.spare[:0], spare...)
+
+	if a.Page.Type == core.MSB {
+		d.counts.ProgramsMSB++
+		// While the MSB program is in flight the paired LSB data is in its
+		// destructive transient state. Record the window for power-loss
+		// injection; it closes at `done`.
+		blk.msbInFlight = true
+		blk.msbInFlightWL = a.Page.WL
+	} else {
+		d.counts.ProgramsLSB++
+		blk.msbInFlight = false
+	}
+	return done, nil
+}
+
+// AckProgram marks the most recent MSB program of the block as power-safe.
+// The storage layer calls it when the virtual clock passes the program's
+// completion time; between Program and AckProgram a power cut destroys the
+// paired LSB page.
+func (d *Device) AckProgram(a BlockAddr) {
+	if blk, err := d.blockAt(a); err == nil {
+		blk.msbInFlight = false
+	}
+}
+
+// Read returns a copy of the page payload and spare area, plus the
+// completion time. Reading an erased page or a corrupted page fails (the
+// latter with ErrUncorrectable, after paying the sensing latency, as a real
+// controller would).
+func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Time, err error) {
+	blk, pg, err := d.pageAt(a)
+	if err != nil {
+		return nil, nil, now, err
+	}
+	g := d.cfg.Geometry
+	ch := g.ChannelOf(a.Chip)
+	c := &d.chips[a.Chip]
+	start := sim.MaxOf(now, c.readyAt)
+	senseDone := start + d.cfg.Timing.Read
+	xferStart := sim.MaxOf(senseDone, d.chanFree[ch])
+	done = xferStart + d.cfg.Timing.BusXfer
+	d.chanFree[ch] = done
+	c.readyAt = done
+	d.busyTime[a.Chip] += done - start
+	d.counts.Reads++
+
+	if !pg.programmed {
+		return nil, nil, done, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
+	}
+	if pg.corrupted {
+		return nil, nil, done, fmt.Errorf("%w: %v", ErrUncorrectable, a)
+	}
+	_ = blk
+	return append([]byte(nil), pg.data...), append([]byte(nil), pg.spare...), done, nil
+}
+
+// Erase resets a block, increments its wear counter, and returns the
+// completion time. With an erase budget configured, blocks retire once worn
+// out.
+func (d *Device) Erase(a BlockAddr, now sim.Time) (sim.Time, error) {
+	blk, err := d.blockAt(a)
+	if err != nil {
+		return now, err
+	}
+	if blk.retired {
+		return now, fmt.Errorf("%w: %v", ErrBadBlock, a)
+	}
+	// A block at its erase budget fails the erase itself — the way real
+	// NAND surfaces wear-out — and is retired from service.
+	if d.cfg.EraseBudget > 0 && blk.eraseCount >= d.cfg.EraseBudget {
+		blk.retired = true
+		return now, fmt.Errorf("%w: %v worn out after %d erases", ErrBadBlock, a, blk.eraseCount)
+	}
+	c := &d.chips[a.Chip]
+	start := sim.MaxOf(now, c.readyAt)
+	done := start + d.cfg.Timing.Erase
+	c.readyAt = done
+	d.busyTime[a.Chip] += done - start
+
+	blk.state.Reset()
+	for i := range blk.pages {
+		blk.pages[i] = page{}
+	}
+	blk.eraseCount++
+	blk.msbInFlight = false
+	d.counts.Erases++
+	return done, nil
+}
+
+// EraseCount returns the wear counter of a block.
+func (d *Device) EraseCount(a BlockAddr) int {
+	blk, err := d.blockAt(a)
+	if err != nil {
+		return 0
+	}
+	return blk.eraseCount
+}
+
+// TotalErases sums wear over all blocks (equals Counts().Erases; kept as a
+// cross-check for tests).
+func (d *Device) TotalErases() int64 {
+	var total int64
+	for c := range d.chips {
+		for b := range d.chips[c].blocks {
+			total += int64(d.chips[c].blocks[b].eraseCount)
+		}
+	}
+	return total
+}
+
+// WearStats summarizes per-block erase counts — the wear-imbalance view of
+// the Figure 8(b) lifetime metric.
+type WearStats struct {
+	Min, Max int
+	Mean     float64
+	// Imbalance is Max/Mean (1.0 = perfectly even wear); 0 when unworn.
+	Imbalance float64
+}
+
+// Wear computes erase-count statistics over all blocks.
+func (d *Device) Wear() WearStats {
+	var st WearStats
+	first := true
+	total := 0
+	n := 0
+	for c := range d.chips {
+		for b := range d.chips[c].blocks {
+			e := d.chips[c].blocks[b].eraseCount
+			if first {
+				st.Min, st.Max = e, e
+				first = false
+			} else if e < st.Min {
+				st.Min = e
+			} else if e > st.Max {
+				st.Max = e
+			}
+			total += e
+			n++
+		}
+	}
+	if n > 0 {
+		st.Mean = float64(total) / float64(n)
+	}
+	if st.Mean > 0 {
+		st.Imbalance = float64(st.Max) / st.Mean
+	}
+	return st
+}
+
+// IsProgrammed reports whether a page holds data.
+func (d *Device) IsProgrammed(a PageAddr) bool {
+	_, pg, err := d.pageAt(a)
+	return err == nil && pg.programmed
+}
+
+// IsCorrupted reports whether a page's data was destroyed.
+func (d *Device) IsCorrupted(a PageAddr) bool {
+	_, pg, err := d.pageAt(a)
+	return err == nil && pg.corrupted
+}
+
+// BlockProgrammedPages returns how many pages of the block are programmed.
+func (d *Device) BlockProgrammedPages(a BlockAddr) int {
+	blk, err := d.blockAt(a)
+	if err != nil {
+		return 0
+	}
+	return blk.state.Programmed()
+}
+
+// BlockStateSnapshot returns a copy of the block's program-order state, for
+// inspection by FTLs and tests.
+func (d *Device) BlockStateSnapshot(a BlockAddr) *core.BlockState {
+	blk, err := d.blockAt(a)
+	if err != nil {
+		return nil
+	}
+	return blk.state.Clone()
+}
+
+// InjectPowerLoss simulates a sudden power-off at the given block. If an MSB
+// program is in flight (issued but not yet acknowledged as power-safe), its
+// paired LSB page loses its data — the destructive-program hazard of
+// Section 1 — and the interrupted MSB page itself is left ECC-uncorrectable
+// (its program never completed, so the host must treat that write as not
+// durable). It reports whether pages were corrupted.
+func (d *Device) InjectPowerLoss(a BlockAddr) bool {
+	blk, err := d.blockAt(a)
+	if err != nil || !blk.msbInFlight {
+		return false
+	}
+	wl := d.cfg.Geometry.WordLinesPerBlock
+	lsbIdx := core.Page{WL: blk.msbInFlightWL, Type: core.LSB}.Index(wl)
+	msbIdx := core.Page{WL: blk.msbInFlightWL, Type: core.MSB}.Index(wl)
+	blk.pages[lsbIdx].corrupted = true
+	blk.pages[msbIdx].corrupted = true
+	blk.msbInFlight = false
+	return true
+}
+
+// CorruptPage marks any programmed page as ECC-uncorrectable. Fault
+// injection for tests.
+func (d *Device) CorruptPage(a PageAddr) error {
+	_, pg, err := d.pageAt(a)
+	if err != nil {
+		return err
+	}
+	if !pg.programmed {
+		return fmt.Errorf("%w: cannot corrupt erased page %v", ErrNotProgrammed, a)
+	}
+	pg.corrupted = true
+	return nil
+}

@@ -1,0 +1,455 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flexftl/internal/core"
+	"flexftl/internal/rng"
+	"flexftl/internal/sim"
+)
+
+func testDevice(t *testing.T, rules core.RuleSet) *Device {
+	t.Helper()
+	d, err := NewDevice(Config{Geometry: TestGeometry(), Timing: DefaultTiming(), Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func addr(chip, block, wl int, typ core.PageType) PageAddr {
+	return PageAddr{BlockAddr: BlockAddr{Chip: chip, Block: block}, Page: core.Page{WL: wl, Type: typ}}
+}
+
+func TestNewDeviceRejectsBadConfig(t *testing.T) {
+	if _, err := NewDevice(Config{Geometry: Geometry{}, Timing: DefaultTiming()}); err == nil {
+		t.Error("zero geometry accepted")
+	}
+	if _, err := NewDevice(Config{Geometry: TestGeometry(), Timing: Timing{}}); err == nil {
+		t.Error("zero timing accepted")
+	}
+}
+
+func TestNilRulesDefaultsToFPS(t *testing.T) {
+	d := testDevice(t, nil)
+	if d.Rules().Name() != "FPS" {
+		t.Errorf("default rules = %s, want FPS", d.Rules().Name())
+	}
+}
+
+// TestLatencyAsymmetry reproduces the Figure 1 premise: an MSB program takes
+// 4x the LSB program on an idle chip.
+func TestLatencyAsymmetry(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	tm := d.Timing()
+	doneLSB, err := d.Program(addr(0, 0, 0, core.LSB), []byte("a"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneLSB != tm.BusXfer+tm.ProgLSB {
+		t.Errorf("LSB done = %v, want %v", doneLSB, tm.BusXfer+tm.ProgLSB)
+	}
+	// Fill prerequisites for MSB(0): LSB(1).
+	done2, err := d.Program(addr(0, 0, 1, core.LSB), []byte("b"), nil, doneLSB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneMSB, err := d.Program(addr(0, 0, 0, core.MSB), []byte("c"), nil, done2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doneMSB - done2; got != tm.BusXfer+tm.ProgMSB {
+		t.Errorf("MSB latency = %v, want %v", got, tm.BusXfer+tm.ProgMSB)
+	}
+}
+
+func TestProgramEnforcesRules(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	// MSB(0) first must fail under RPS (needs LSB(0), LSB(1)).
+	if _, err := d.Program(addr(0, 0, 0, core.MSB), nil, nil, 0); err == nil {
+		t.Fatal("illegal program accepted")
+	}
+	var cv *core.ConstraintViolation
+	_, err := d.Program(addr(0, 0, 1, core.LSB), nil, nil, 0)
+	if !errors.As(err, &cv) || cv.Constraint != 1 {
+		t.Fatalf("expected Constraint 1 violation, got %v", err)
+	}
+	// FPS device rejects RPSfull order at the third LSB.
+	df := testDevice(t, core.FPS)
+	mustProgram(t, df, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, df, addr(0, 0, 1, core.LSB), 0)
+	_, err = df.Program(addr(0, 0, 2, core.LSB), nil, nil, 0)
+	if !errors.As(err, &cv) || cv.Constraint != 4 {
+		t.Fatalf("FPS device must enforce Constraint 4, got %v", err)
+	}
+	// An RPS device accepts the same program.
+	dr := testDevice(t, core.RPS)
+	mustProgram(t, dr, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, dr, addr(0, 0, 1, core.LSB), 0)
+	mustProgram(t, dr, addr(0, 0, 2, core.LSB), 0)
+}
+
+func mustProgram(t *testing.T, d *Device, a PageAddr, now sim.Time) sim.Time {
+	t.Helper()
+	done, err := d.Program(a, []byte{byte(a.Page.WL)}, nil, now)
+	if err != nil {
+		t.Fatalf("program %v: %v", a, err)
+	}
+	return done
+}
+
+func TestReadBackPayloadAndSpare(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	data := []byte("hello page payload")
+	spare := []byte{0xde, 0xad}
+	if _, err := d.Program(addr(0, 0, 0, core.LSB), data, spare, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSpare, done, err := d.Read(addr(0, 0, 0, core.LSB), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || !bytes.Equal(gotSpare, spare) {
+		t.Error("read back mismatch")
+	}
+	if done <= 0 {
+		t.Error("read completion not after start")
+	}
+	// Mutating the returned slice must not affect the stored copy.
+	got[0] = 'X'
+	got2, _, _, _ := d.Read(addr(0, 0, 0, core.LSB), done)
+	if got2[0] != 'h' {
+		t.Error("Read returned aliased storage")
+	}
+}
+
+func TestReadErasedPage(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	_, _, _, err := d.Read(addr(0, 0, 0, core.LSB), 0)
+	if !errors.Is(err, ErrNotProgrammed) {
+		t.Errorf("err = %v, want ErrNotProgrammed", err)
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	big := make([]byte, TestGeometry().PageSizeBytes+1)
+	if _, err := d.Program(addr(0, 0, 0, core.LSB), big, nil, 0); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	spare := make([]byte, TestGeometry().SpareBytes+1)
+	if _, err := d.Program(addr(0, 0, 0, core.LSB), nil, spare, 0); err == nil {
+		t.Error("oversized spare accepted")
+	}
+}
+
+func TestChipSerialization(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	tm := d.Timing()
+	// Two programs to the same chip issued at t=0 must serialize.
+	d1 := mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	d2 := mustProgram(t, d, addr(0, 0, 1, core.LSB), 0)
+	if d2 <= d1 {
+		t.Errorf("same-chip programs overlapped: %v then %v", d1, d2)
+	}
+	want := 2 * (tm.BusXfer + tm.ProgLSB)
+	if d2 != want {
+		t.Errorf("second program done = %v, want %v", d2, want)
+	}
+}
+
+func TestDifferentChannelsParallel(t *testing.T) {
+	g := TestGeometry()
+	d := testDevice(t, core.RPS)
+	tm := d.Timing()
+	otherChip := g.ChipsPerChannel // first chip of channel 1
+	d1 := mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	d2 := mustProgram(t, d, addr(otherChip, 0, 0, core.LSB), 0)
+	if d1 != d2 || d1 != tm.BusXfer+tm.ProgLSB {
+		t.Errorf("cross-channel programs not parallel: %v vs %v", d1, d2)
+	}
+}
+
+func TestSameChannelBusContention(t *testing.T) {
+	g := TestGeometry()
+	if g.ChipsPerChannel < 2 {
+		t.Skip("needs 2 chips per channel")
+	}
+	d := testDevice(t, core.RPS)
+	tm := d.Timing()
+	// Chips 0 and 1 share channel 0: second transfer waits for the bus but
+	// the cell programs overlap.
+	d1 := mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	d2 := mustProgram(t, d, addr(1, 0, 0, core.LSB), 0)
+	if d1 != tm.BusXfer+tm.ProgLSB {
+		t.Errorf("first done = %v", d1)
+	}
+	if want := 2*tm.BusXfer + tm.ProgLSB; d2 != want {
+		t.Errorf("second done = %v, want %v (bus serialized, cells parallel)", d2, want)
+	}
+}
+
+func TestEraseResetsBlock(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	a := addr(0, 0, 0, core.LSB)
+	mustProgram(t, d, a, 0)
+	if !d.IsProgrammed(a) {
+		t.Fatal("page not programmed")
+	}
+	done, err := d.Erase(BlockAddr{Chip: 0, Block: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Error("erase has zero latency")
+	}
+	if d.IsProgrammed(a) {
+		t.Error("page survived erase")
+	}
+	if d.EraseCount(BlockAddr{Chip: 0, Block: 0}) != 1 {
+		t.Error("erase count not incremented")
+	}
+	// The page can be programmed again after the erase.
+	mustProgram(t, d, a, done)
+}
+
+func TestEraseBudgetRetiresBlock(t *testing.T) {
+	cfg := Config{Geometry: TestGeometry(), Timing: DefaultTiming(), Rules: core.RPS, EraseBudget: 2}
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba := BlockAddr{Chip: 0, Block: 0}
+	now := sim.Time(0)
+	for i := 0; i < 2; i++ {
+		now, err = d.Erase(ba, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Erase(ba, now); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("worn block erase err = %v, want ErrBadBlock", err)
+	}
+	if _, err := d.Program(addr(0, 0, 0, core.LSB), nil, nil, now); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("worn block program err = %v, want ErrBadBlock", err)
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 1, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 0, core.MSB), 0)
+	if _, _, _, err := d.Read(addr(0, 0, 0, core.LSB), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Erase(BlockAddr{Chip: 0, Block: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Counts()
+	if c.ProgramsLSB != 2 || c.ProgramsMSB != 1 || c.Reads != 1 || c.Erases != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.Programs() != 3 {
+		t.Errorf("Programs() = %d", c.Programs())
+	}
+	if d.TotalErases() != 1 {
+		t.Errorf("TotalErases() = %d", d.TotalErases())
+	}
+}
+
+func TestWearStats(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	if w := d.Wear(); w.Min != 0 || w.Max != 0 || w.Mean != 0 || w.Imbalance != 0 {
+		t.Errorf("fresh device wear = %+v", w)
+	}
+	now := sim.Time(0)
+	var err error
+	for i := 0; i < 3; i++ {
+		now, err = d.Erase(BlockAddr{Chip: 0, Block: 0}, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Erase(BlockAddr{Chip: 0, Block: 1}, now); err != nil {
+		t.Fatal(err)
+	}
+	w := d.Wear()
+	if w.Min != 0 || w.Max != 3 {
+		t.Errorf("wear min/max = %d/%d", w.Min, w.Max)
+	}
+	wantMean := 4.0 / float64(d.Geometry().TotalBlocks())
+	if w.Mean != wantMean {
+		t.Errorf("wear mean = %v, want %v", w.Mean, wantMean)
+	}
+	if w.Imbalance != 3/wantMean {
+		t.Errorf("imbalance = %v", w.Imbalance)
+	}
+}
+
+func TestPowerLossDuringMSBProgram(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	lsb0 := addr(0, 0, 0, core.LSB)
+	lsb1 := addr(0, 0, 1, core.LSB)
+	msb0 := addr(0, 0, 0, core.MSB)
+	mustProgram(t, d, lsb0, 0)
+	mustProgram(t, d, lsb1, 0)
+	mustProgram(t, d, msb0, 0)
+	// Power cut before the MSB program is acknowledged: LSB(0) is destroyed.
+	if !d.InjectPowerLoss(BlockAddr{Chip: 0, Block: 0}) {
+		t.Fatal("power loss found no in-flight MSB program")
+	}
+	if _, _, _, err := d.Read(lsb0, 0); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("paired LSB read err = %v, want ErrUncorrectable", err)
+	}
+	if _, _, _, err := d.Read(msb0, 0); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("interrupted MSB read err = %v, want ErrUncorrectable", err)
+	}
+	// LSB(1) is unaffected.
+	if _, _, _, err := d.Read(lsb1, 0); err != nil {
+		t.Errorf("unrelated LSB damaged: %v", err)
+	}
+}
+
+func TestAckProtectsAgainstPowerLoss(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 1, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 0, core.MSB), 0)
+	d.AckProgram(BlockAddr{Chip: 0, Block: 0})
+	if d.InjectPowerLoss(BlockAddr{Chip: 0, Block: 0}) {
+		t.Error("acknowledged MSB program still vulnerable")
+	}
+	if _, _, _, err := d.Read(addr(0, 0, 0, core.LSB), 0); err != nil {
+		t.Errorf("LSB damaged after safe completion: %v", err)
+	}
+}
+
+func TestLSBProgramClosesVulnerabilityWindow(t *testing.T) {
+	// A power cut while only LSB programs are in flight loses nothing that
+	// was previously durable (LSB programming is not destructive to other
+	// pages).
+	d := testDevice(t, core.RPS)
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	if d.InjectPowerLoss(BlockAddr{Chip: 0, Block: 0}) {
+		t.Error("LSB program flagged as destructive")
+	}
+}
+
+func TestCorruptPage(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	a := addr(0, 0, 0, core.LSB)
+	if err := d.CorruptPage(a); err == nil {
+		t.Error("corrupting erased page succeeded")
+	}
+	mustProgram(t, d, a, 0)
+	if err := d.CorruptPage(a); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsCorrupted(a) {
+		t.Error("IsCorrupted false after CorruptPage")
+	}
+	if _, _, _, err := d.Read(a, 0); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("read err = %v", err)
+	}
+	// Erase clears corruption.
+	if _, err := d.Erase(a.BlockAddr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.IsCorrupted(a) {
+		t.Error("corruption survived erase")
+	}
+}
+
+func TestOutOfRangeAddresses(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	cases := []PageAddr{
+		addr(-1, 0, 0, core.LSB),
+		addr(99, 0, 0, core.LSB),
+		addr(0, -1, 0, core.LSB),
+		addr(0, 999, 0, core.LSB),
+		addr(0, 0, -1, core.LSB),
+		addr(0, 0, 999, core.LSB),
+	}
+	for _, a := range cases {
+		if _, err := d.Program(a, nil, nil, 0); err == nil {
+			t.Errorf("program %v accepted", a)
+		}
+		if _, _, _, err := d.Read(a, 0); err == nil {
+			t.Errorf("read %v accepted", a)
+		}
+	}
+	if _, err := d.Erase(BlockAddr{Chip: 0, Block: -1}, 0); err == nil {
+		t.Error("erase of bad block address accepted")
+	}
+	if d.EraseCount(BlockAddr{Chip: -5, Block: 0}) != 0 {
+		t.Error("EraseCount of bad address nonzero")
+	}
+	if d.BlockStateSnapshot(BlockAddr{Chip: -5, Block: 0}) != nil {
+		t.Error("BlockStateSnapshot of bad address non-nil")
+	}
+}
+
+func TestBlockProgrammedPages(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	ba := BlockAddr{Chip: 0, Block: 0}
+	if d.BlockProgrammedPages(ba) != 0 {
+		t.Error("fresh block reports programmed pages")
+	}
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 1, core.LSB), 0)
+	if d.BlockProgrammedPages(ba) != 2 {
+		t.Errorf("programmed pages = %d, want 2", d.BlockProgrammedPages(ba))
+	}
+	snap := d.BlockStateSnapshot(ba)
+	if snap == nil || !snap.Written(core.Page{WL: 0, Type: core.LSB}) {
+		t.Error("snapshot missing programmed page")
+	}
+}
+
+func TestChipBusyTimeAccumulates(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	if d.ChipBusyTime(0) <= 0 {
+		t.Error("busy time not accumulated")
+	}
+	if d.ChipBusyTime(1) != 0 {
+		t.Error("idle chip accumulated busy time")
+	}
+	if d.ChipReadyAt(0) <= 0 {
+		t.Error("chip ready time not advanced")
+	}
+}
+
+// Property: a full RPSfull block fill is accepted by an RPS device and every
+// page reads back the written payload.
+func TestFullBlockFillProperty(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	g := d.Geometry()
+	src := rng.New(77)
+	payloads := make(map[core.Page]byte)
+	now := sim.Time(0)
+	for _, p := range core.RPSFullOrder(g.WordLinesPerBlock) {
+		b := byte(src.Intn(256))
+		payloads[p] = b
+		var err error
+		now, err = d.Program(PageAddr{BlockAddr: BlockAddr{0, 3}, Page: p}, []byte{b}, nil, now)
+		if err != nil {
+			t.Fatalf("program %v: %v", p, err)
+		}
+	}
+	if d.BlockProgrammedPages(BlockAddr{0, 3}) != g.PagesPerBlock() {
+		t.Fatal("block not full")
+	}
+	for p, want := range payloads {
+		got, _, _, err := d.Read(PageAddr{BlockAddr: BlockAddr{0, 3}, Page: p}, now)
+		if err != nil {
+			t.Fatalf("read %v: %v", p, err)
+		}
+		if got[0] != want {
+			t.Fatalf("page %v payload = %d, want %d", p, got[0], want)
+		}
+	}
+}

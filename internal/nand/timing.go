@@ -1,0 +1,49 @@
+package nand
+
+import (
+	"fmt"
+
+	"flexftl/internal/sim"
+)
+
+// Timing holds the operation latencies of the device. Defaults follow the
+// paper's 2X-nm MLC numbers: LSB program 500 us, MSB program 2000 us (4x),
+// page read 40 us, block erase 5 ms, and a bus transfer time for one page
+// (4 KB at 400 MB/s toggle DDR is ~10 us).
+type Timing struct {
+	Read    sim.Time // cell sensing time (tR)
+	ProgLSB sim.Time // LSB page program (tPROG_LSB)
+	ProgMSB sim.Time // MSB page program (tPROG_MSB)
+	Erase   sim.Time // block erase (tBERS)
+	BusXfer sim.Time // one page data transfer over the channel
+}
+
+// DefaultTiming returns the paper's 2X-nm MLC latencies.
+func DefaultTiming() Timing {
+	return Timing{
+		Read:    40 * sim.Microsecond,
+		ProgLSB: 500 * sim.Microsecond,
+		ProgMSB: 2000 * sim.Microsecond,
+		Erase:   5 * sim.Millisecond,
+		BusXfer: 10 * sim.Microsecond,
+	}
+}
+
+// Validate rejects non-positive or inverted latencies.
+func (t Timing) Validate() error {
+	switch {
+	case t.Read <= 0 || t.ProgLSB <= 0 || t.ProgMSB <= 0 || t.Erase <= 0:
+		return fmt.Errorf("nand: all operation latencies must be positive: %+v", t)
+	case t.BusXfer < 0:
+		return fmt.Errorf("nand: negative bus transfer time %v", t.BusXfer)
+	case t.ProgMSB < t.ProgLSB:
+		return fmt.Errorf("nand: MSB program (%v) faster than LSB (%v) contradicts MLC asymmetry",
+			t.ProgMSB, t.ProgLSB)
+	}
+	return nil
+}
+
+// Asymmetry returns tPROG_MSB / tPROG_LSB (4.0 for the defaults).
+func (t Timing) Asymmetry() float64 {
+	return float64(t.ProgMSB) / float64(t.ProgLSB)
+}

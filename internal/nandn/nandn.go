@@ -1,0 +1,365 @@
+// Package nandn models an n-bit-per-cell NAND subsystem (TLC, QLC) the way
+// internal/nand models 2-bit MLC: per-chip and per-channel busy timelines,
+// per-level program latencies (each refinement is slower), enforcement of
+// the generalized relaxed constraint set (internal/nlevel), payload storage
+// with spare areas, and sudden-power-off corruption — an interrupted
+// refinement at level i destroys all of the word line's previously stored
+// bits, so every page T_0(k)..T_(i-1)(k) becomes ECC-uncorrectable.
+//
+// It exists to run the paper's Section 1 applicability claim ("RPS applies
+// to TLC devices with a similar program scheme") as a working storage
+// system, not only as a reliability study.
+package nandn
+
+import (
+	"errors"
+	"fmt"
+
+	"flexftl/internal/nlevel"
+	"flexftl/internal/sim"
+)
+
+// Sentinel errors (mirroring internal/nand).
+var (
+	ErrUncorrectable = errors.New("nandn: ECC-uncorrectable page")
+	ErrNotProgrammed = errors.New("nandn: reading erased page")
+)
+
+// Geometry describes the physical organization.
+type Geometry struct {
+	Channels          int
+	ChipsPerChannel   int
+	BlocksPerChip     int
+	WordLinesPerBlock int
+	Levels            int // bits per cell
+	PageSizeBytes     int
+	SpareBytes        int
+}
+
+// TLCGeometry is a small 3-bit evaluation configuration.
+func TLCGeometry() Geometry {
+	return Geometry{
+		Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 64,
+		WordLinesPerBlock: 32, Levels: 3, PageSizeBytes: 4096, SpareBytes: 64,
+	}
+}
+
+// Validate rejects unusable geometries.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0 || g.ChipsPerChannel <= 0 || g.BlocksPerChip <= 0:
+		return fmt.Errorf("nandn: non-positive channel/chip/block counts: %+v", g)
+	case g.WordLinesPerBlock <= 0:
+		return fmt.Errorf("nandn: need >= 1 word line, got %d", g.WordLinesPerBlock)
+	case g.Levels < 2:
+		return fmt.Errorf("nandn: need >= 2 levels, got %d", g.Levels)
+	case g.PageSizeBytes <= 0 || g.SpareBytes < 0:
+		return fmt.Errorf("nandn: bad page/spare sizes: %+v", g)
+	}
+	return nil
+}
+
+// Chips returns the total die count.
+func (g Geometry) Chips() int { return g.Channels * g.ChipsPerChannel }
+
+// Scheme returns the per-block nlevel scheme.
+func (g Geometry) Scheme() nlevel.Scheme {
+	return nlevel.Scheme{Levels: g.Levels, WordLines: g.WordLinesPerBlock}
+}
+
+// PagesPerBlock returns Levels * WordLinesPerBlock.
+func (g Geometry) PagesPerBlock() int { return g.Levels * g.WordLinesPerBlock }
+
+// TotalBlocks returns the block count.
+func (g Geometry) TotalBlocks() int { return g.Chips() * g.BlocksPerChip }
+
+// TotalPages returns the physical page count.
+func (g Geometry) TotalPages() int { return g.TotalBlocks() * g.PagesPerBlock() }
+
+// ChannelOf maps a chip to its bus.
+func (g Geometry) ChannelOf(chip int) int { return chip / g.ChipsPerChannel }
+
+// String summarizes the geometry.
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dch x %dchips, %d blocks/chip, %d WL x %d bits (%d pages/block)",
+		g.Channels, g.ChipsPerChannel, g.BlocksPerChip, g.WordLinesPerBlock, g.Levels, g.PagesPerBlock())
+}
+
+// Timing holds per-level program latencies plus read/erase/transfer.
+type Timing struct {
+	Read    sim.Time
+	Prog    []sim.Time // per level, coarsest first; must be nondecreasing
+	Erase   sim.Time
+	BusXfer sim.Time
+}
+
+// TLCTiming returns plausible 3-bit latencies: refinements get slower as
+// placement gets finer (the same asymmetry Figure 1 shows for MLC, one level
+// deeper).
+func TLCTiming() Timing {
+	return Timing{
+		Read:    60 * sim.Microsecond,
+		Prog:    []sim.Time{400 * sim.Microsecond, 1100 * sim.Microsecond, 3000 * sim.Microsecond},
+		Erase:   6 * sim.Millisecond,
+		BusXfer: 10 * sim.Microsecond,
+	}
+}
+
+// Validate rejects inconsistent timings for the given level count.
+func (t Timing) Validate(levels int) error {
+	if len(t.Prog) != levels {
+		return fmt.Errorf("nandn: %d program latencies for %d levels", len(t.Prog), levels)
+	}
+	if t.Read <= 0 || t.Erase <= 0 || t.BusXfer < 0 {
+		return fmt.Errorf("nandn: non-positive base latencies: %+v", t)
+	}
+	for i, p := range t.Prog {
+		if p <= 0 {
+			return fmt.Errorf("nandn: non-positive program latency at level %d", i)
+		}
+		if i > 0 && p < t.Prog[i-1] {
+			return fmt.Errorf("nandn: level %d faster than level %d contradicts refinement asymmetry", i, i-1)
+		}
+	}
+	return nil
+}
+
+// PageAddr identifies a physical page.
+type PageAddr struct {
+	Chip  int
+	Block int
+	Page  nlevel.Page
+}
+
+// String formats the address.
+func (a PageAddr) String() string {
+	return fmt.Sprintf("chip%d/blk%d/%v", a.Chip, a.Block, a.Page)
+}
+
+type page struct {
+	programmed bool
+	corrupted  bool
+	data       []byte
+	spare      []byte
+}
+
+type block struct {
+	state      *nlevel.State
+	pages      []page
+	eraseCount int
+	// inFlight marks an unacknowledged refinement: level and word line.
+	inFlightLevel int // -1 when none
+	inFlightWL    int
+}
+
+type chip struct {
+	blocks  []block
+	readyAt sim.Time
+}
+
+// Device is the n-level NAND subsystem. Single-threaded over virtual time.
+type Device struct {
+	geo      Geometry
+	timing   Timing
+	enforce  bool // enforce the relaxed constraint set (always on; field kept for clarity)
+	chips    []chip
+	chanFree []sim.Time
+	reads    int64
+	programs []int64 // per level
+	erases   int64
+}
+
+// NewDevice builds a device enforcing the generalized relaxed rules.
+func NewDevice(g Geometry, t Timing) (*Device, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(g.Levels); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		geo:      g,
+		timing:   t,
+		enforce:  true,
+		chips:    make([]chip, g.Chips()),
+		chanFree: make([]sim.Time, g.Channels),
+		programs: make([]int64, g.Levels),
+	}
+	for c := range d.chips {
+		blocks := make([]block, g.BlocksPerChip)
+		for b := range blocks {
+			blocks[b] = block{
+				state:         nlevel.NewState(g.Scheme()),
+				pages:         make([]page, g.PagesPerBlock()),
+				inFlightLevel: -1,
+			}
+		}
+		d.chips[c].blocks = blocks
+	}
+	return d, nil
+}
+
+// Geometry returns the device shape.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Timing returns the latency set.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Programs returns per-level program counts.
+func (d *Device) Programs() []int64 { return append([]int64(nil), d.programs...) }
+
+// Erases returns the erase count.
+func (d *Device) Erases() int64 { return d.erases }
+
+// Reads returns the read count.
+func (d *Device) Reads() int64 { return d.reads }
+
+func (d *Device) blockAt(chipID, blk int) (*block, error) {
+	if chipID < 0 || chipID >= d.geo.Chips() || blk < 0 || blk >= d.geo.BlocksPerChip {
+		return nil, fmt.Errorf("nandn: block chip%d/blk%d out of range", chipID, blk)
+	}
+	return &d.chips[chipID].blocks[blk], nil
+}
+
+func (d *Device) pageAt(a PageAddr) (*block, *page, error) {
+	blk, err := d.blockAt(a.Chip, a.Block)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := d.geo.Scheme()
+	if a.Page.WL < 0 || a.Page.WL >= s.WordLines || a.Page.Level < 0 || a.Page.Level >= s.Levels {
+		return nil, nil, fmt.Errorf("nandn: page %v out of range", a.Page)
+	}
+	return blk, &blk.pages[s.Index(a.Page)], nil
+}
+
+// Program writes a page, enforcing the generalized relaxed order, and
+// returns the completion time. An in-flight refinement is recorded for
+// power-loss injection until AckProgram.
+func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time, error) {
+	blk, pg, err := d.pageAt(a)
+	if err != nil {
+		return now, err
+	}
+	if err := nlevel.CheckRelaxed(blk.state, a.Page); err != nil {
+		return now, err
+	}
+	if len(data) > d.geo.PageSizeBytes || len(spare) > d.geo.SpareBytes {
+		return now, fmt.Errorf("nandn: payload/spare too large for %v", a)
+	}
+	ch := d.geo.ChannelOf(a.Chip)
+	c := &d.chips[a.Chip]
+	start := sim.MaxOf(now, sim.MaxOf(c.readyAt, d.chanFree[ch]))
+	xferDone := start + d.timing.BusXfer
+	done := xferDone + d.timing.Prog[a.Page.Level]
+	d.chanFree[ch] = xferDone
+	c.readyAt = done
+
+	blk.state.Mark(a.Page)
+	pg.programmed = true
+	pg.corrupted = false
+	pg.data = append(pg.data[:0], data...)
+	pg.spare = append(pg.spare[:0], spare...)
+	d.programs[a.Page.Level]++
+
+	if a.Page.Level > 0 {
+		// Refinements are destructive to the word line's earlier bits
+		// while in flight.
+		blk.inFlightLevel = a.Page.Level
+		blk.inFlightWL = a.Page.WL
+	} else {
+		blk.inFlightLevel = -1
+	}
+	return done, nil
+}
+
+// AckProgram marks the block's in-flight refinement power-safe.
+func (d *Device) AckProgram(chipID, blk int) {
+	if b, err := d.blockAt(chipID, blk); err == nil {
+		b.inFlightLevel = -1
+	}
+}
+
+// Read returns the page payload/spare and completion time.
+func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Time, err error) {
+	_, pg, err := d.pageAt(a)
+	if err != nil {
+		return nil, nil, now, err
+	}
+	ch := d.geo.ChannelOf(a.Chip)
+	c := &d.chips[a.Chip]
+	start := sim.MaxOf(now, c.readyAt)
+	senseDone := start + d.timing.Read
+	xferStart := sim.MaxOf(senseDone, d.chanFree[ch])
+	done = xferStart + d.timing.BusXfer
+	d.chanFree[ch] = done
+	c.readyAt = done
+	d.reads++
+	if !pg.programmed {
+		return nil, nil, done, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
+	}
+	if pg.corrupted {
+		return nil, nil, done, fmt.Errorf("%w: %v", ErrUncorrectable, a)
+	}
+	return append([]byte(nil), pg.data...), append([]byte(nil), pg.spare...), done, nil
+}
+
+// Erase resets a block.
+func (d *Device) Erase(chipID, blk int, now sim.Time) (sim.Time, error) {
+	b, err := d.blockAt(chipID, blk)
+	if err != nil {
+		return now, err
+	}
+	c := &d.chips[chipID]
+	start := sim.MaxOf(now, c.readyAt)
+	done := start + d.timing.Erase
+	c.readyAt = done
+	b.state.Reset()
+	for i := range b.pages {
+		b.pages[i] = page{}
+	}
+	b.eraseCount++
+	b.inFlightLevel = -1
+	d.erases++
+	return done, nil
+}
+
+// InjectPowerLoss simulates a power cut at the block: an in-flight
+// refinement at level i destroys pages T_0(k)..T_(i-1)(k) of its word line
+// and leaves the interrupted page itself uncorrectable. It reports how many
+// pages were corrupted.
+func (d *Device) InjectPowerLoss(chipID, blk int) int {
+	b, err := d.blockAt(chipID, blk)
+	if err != nil || b.inFlightLevel < 1 {
+		return 0
+	}
+	s := d.geo.Scheme()
+	n := 0
+	for lvl := 0; lvl <= b.inFlightLevel; lvl++ {
+		pg := &b.pages[s.Index(nlevel.Page{WL: b.inFlightWL, Level: lvl})]
+		if pg.programmed && !pg.corrupted {
+			pg.corrupted = true
+			n++
+		}
+	}
+	b.inFlightLevel = -1
+	return n
+}
+
+// BlockProgrammed returns how many pages of the block are programmed.
+func (d *Device) BlockProgrammed(chipID, blk int) int {
+	b, err := d.blockAt(chipID, blk)
+	if err != nil {
+		return 0
+	}
+	return b.state.Programmed()
+}
+
+// EraseCount returns a block's wear.
+func (d *Device) EraseCount(chipID, blk int) int {
+	b, err := d.blockAt(chipID, blk)
+	if err != nil {
+		return 0
+	}
+	return b.eraseCount
+}

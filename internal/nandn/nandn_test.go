@@ -1,0 +1,267 @@
+package nandn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flexftl/internal/nlevel"
+	"flexftl/internal/sim"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	g := TLCGeometry()
+	g.BlocksPerChip = 8
+	g.WordLinesPerBlock = 4
+	d, err := NewDevice(g, TLCTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func pa(chip, blk, wl, lvl int) PageAddr {
+	return PageAddr{Chip: chip, Block: blk, Page: nlevel.Page{WL: wl, Level: lvl}}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := TLCGeometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := TLCGeometry()
+	bad.Levels = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("1-level geometry accepted")
+	}
+	bad = TLCGeometry()
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0-channel geometry accepted")
+	}
+	g := TLCGeometry()
+	if g.Chips() != 4 || g.PagesPerBlock() != 96 || g.TotalBlocks() != 256 {
+		t.Errorf("geometry arithmetic wrong: %+v", g)
+	}
+	if g.TotalPages() != 256*96 {
+		t.Error("TotalPages wrong")
+	}
+	if g.ChannelOf(3) != 1 {
+		t.Error("ChannelOf wrong")
+	}
+	if g.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := TLCTiming().Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := TLCTiming().Validate(2); err == nil {
+		t.Error("wrong level count accepted")
+	}
+	bad := TLCTiming()
+	bad.Prog = []sim.Time{1000, 500, 2000} // non-monotone
+	if err := bad.Validate(3); err == nil {
+		t.Error("non-monotone latencies accepted")
+	}
+	bad = TLCTiming()
+	bad.Read = 0
+	if err := bad.Validate(3); err == nil {
+		t.Error("zero read accepted")
+	}
+}
+
+func TestProgramEnforcesRelaxedRules(t *testing.T) {
+	d := testDevice(t)
+	// T1(0) straight away is illegal (refinement without T0).
+	if _, err := d.Program(pa(0, 0, 0, 1), nil, nil, 0); err == nil {
+		t.Fatal("illegal refinement accepted")
+	}
+	// The generalized 3-phase order must be fully accepted.
+	now := sim.Time(0)
+	for _, p := range nlevel.RelaxedFullOrder(d.Geometry().Scheme()) {
+		var err error
+		now, err = d.Program(PageAddr{Chip: 0, Block: 0, Page: p}, []byte{byte(p.WL)}, nil, now)
+		if err != nil {
+			t.Fatalf("program %v: %v", p, err)
+		}
+	}
+	if d.BlockProgrammed(0, 0) != d.Geometry().PagesPerBlock() {
+		t.Error("block not full after 3-phase fill")
+	}
+}
+
+func TestPerLevelLatencies(t *testing.T) {
+	d := testDevice(t)
+	tm := d.Timing()
+	done0, err := d.Program(pa(0, 0, 0, 0), nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done0 != tm.BusXfer+tm.Prog[0] {
+		t.Errorf("level-0 done = %v", done0)
+	}
+	done1, err := d.Program(pa(0, 0, 1, 0), nil, nil, done0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneRef, err := d.Program(pa(0, 0, 0, 1), nil, nil, done1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doneRef - done1; got != tm.BusXfer+tm.Prog[1] {
+		t.Errorf("level-1 latency = %v, want %v", got, tm.BusXfer+tm.Prog[1])
+	}
+	counts := d.Programs()
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 0 {
+		t.Errorf("program counts = %v", counts)
+	}
+}
+
+func TestReadBackAndErase(t *testing.T) {
+	d := testDevice(t)
+	data, spare := []byte("tlc payload"), []byte{0xaa}
+	if _, err := d.Program(pa(0, 0, 0, 0), data, spare, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSpare, done, err := d.Read(pa(0, 0, 0, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || !bytes.Equal(gotSpare, spare) || done <= 0 {
+		t.Error("read back mismatch")
+	}
+	if _, _, _, err := d.Read(pa(0, 0, 1, 0), done); !errors.Is(err, ErrNotProgrammed) {
+		t.Errorf("erased read err = %v", err)
+	}
+	if _, err := d.Erase(0, 0, done); err != nil {
+		t.Fatal(err)
+	}
+	if d.EraseCount(0, 0) != 1 || d.Erases() != 1 {
+		t.Error("erase accounting wrong")
+	}
+	if _, _, _, err := d.Read(pa(0, 0, 0, 0), done); !errors.Is(err, ErrNotProgrammed) {
+		t.Error("page survived erase")
+	}
+}
+
+// TestPowerLossDestroysEarlierBits: a cut during a level-2 (finest) program
+// destroys the word line's level-0 and level-1 pages too.
+func TestPowerLossDestroysEarlierBits(t *testing.T) {
+	d := testDevice(t)
+	s := d.Geometry().Scheme()
+	now := sim.Time(0)
+	var err error
+	// Program following the 3-phase order until the first level-2 page.
+	for _, p := range nlevel.RelaxedFullOrder(s) {
+		now, err = d.Program(PageAddr{Chip: 0, Block: 0, Page: p}, []byte{1}, nil, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Level == 2 && p.WL == 0 {
+			break
+		}
+	}
+	n := d.InjectPowerLoss(0, 0)
+	if n != 3 {
+		t.Fatalf("power loss corrupted %d pages, want 3 (T0,T1,T2 of WL0)", n)
+	}
+	for lvl := 0; lvl < 3; lvl++ {
+		if _, _, _, err := d.Read(pa(0, 0, 0, lvl), now); !errors.Is(err, ErrUncorrectable) {
+			t.Errorf("T%d(0) read err = %v, want uncorrectable", lvl, err)
+		}
+	}
+	// Other word lines unaffected.
+	if _, _, _, err := d.Read(pa(0, 0, 1, 0), now); err != nil {
+		t.Errorf("unrelated page damaged: %v", err)
+	}
+}
+
+func TestAckClosesWindow(t *testing.T) {
+	d := testDevice(t)
+	now := sim.Time(0)
+	var err error
+	now, err = d.Program(pa(0, 0, 0, 0), []byte{1}, nil, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err = d.Program(pa(0, 0, 1, 0), []byte{1}, nil, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = d.Program(pa(0, 0, 0, 1), []byte{1}, nil, now); err != nil {
+		t.Fatal(err)
+	}
+	d.AckProgram(0, 0)
+	if n := d.InjectPowerLoss(0, 0); n != 0 {
+		t.Errorf("acknowledged refinement still vulnerable: %d pages", n)
+	}
+}
+
+func TestLevel0NotDestructive(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Program(pa(0, 0, 0, 0), []byte{1}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.InjectPowerLoss(0, 0); n != 0 {
+		t.Errorf("level-0 program flagged destructive: %d", n)
+	}
+}
+
+func TestChannelContention(t *testing.T) {
+	d := testDevice(t)
+	tm := d.Timing()
+	// Chips 0 and 1 share channel 0.
+	d1, err := d.Program(pa(0, 0, 0, 0), nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d.Program(pa(1, 0, 0, 0), nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != tm.BusXfer+tm.Prog[0] || d2 != 2*tm.BusXfer+tm.Prog[0] {
+		t.Errorf("bus serialization wrong: %v, %v", d1, d2)
+	}
+	// Chip on the other channel is fully parallel.
+	d3, err := d.Program(pa(2, 0, 0, 0), nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 != d1 {
+		t.Errorf("cross-channel program not parallel: %v vs %v", d3, d1)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := testDevice(t)
+	for _, a := range []PageAddr{pa(-1, 0, 0, 0), pa(0, 99, 0, 0), pa(0, 0, 99, 0), pa(0, 0, 0, 9)} {
+		if _, err := d.Program(a, nil, nil, 0); err == nil {
+			t.Errorf("program %v accepted", a)
+		}
+		if _, _, _, err := d.Read(a, 0); err == nil {
+			t.Errorf("read %v accepted", a)
+		}
+	}
+	if _, err := d.Erase(0, -1, 0); err == nil {
+		t.Error("erase of bad block accepted")
+	}
+	if d.InjectPowerLoss(-1, 0) != 0 || d.BlockProgrammed(-1, 0) != 0 || d.EraseCount(9, 0) != 0 {
+		t.Error("out-of-range queries not zero")
+	}
+}
+
+func TestNewDeviceRejectsBadConfig(t *testing.T) {
+	bad := TLCGeometry()
+	bad.Levels = 0
+	if _, err := NewDevice(bad, TLCTiming()); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	tm := TLCTiming()
+	tm.Prog = tm.Prog[:2]
+	if _, err := NewDevice(TLCGeometry(), tm); err == nil {
+		t.Error("bad timing accepted")
+	}
+}

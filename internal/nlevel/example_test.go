@@ -1,0 +1,40 @@
+package nlevel_test
+
+import (
+	"fmt"
+	"strings"
+
+	"flexftl/internal/nlevel"
+)
+
+func render(order []nlevel.Page) string {
+	parts := make([]string, len(order))
+	for i, p := range order {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// The generalized relaxed rules admit an n-phase order — all level-0 pages,
+// then all level-1 pages, and so on — for TLC just as RPSfull does for MLC.
+func ExampleRelaxedFullOrder() {
+	s := nlevel.TLC(2)
+	order := nlevel.RelaxedFullOrder(s)
+	if i, err := nlevel.ValidateOrder(nlevel.CheckRelaxed, s, order); err != nil {
+		fmt.Println("illegal at", i, err)
+		return
+	}
+	fmt.Println(render(order))
+	fmt.Println("max late aggressors:", nlevel.MaxAggressors(s, order))
+	// Output:
+	// T0(0) T0(1) T1(0) T1(1) T2(0) T2(1)
+	// max late aggressors: 1
+}
+
+// The vendor staircase generalizes Figure 2(b): in round r the finest
+// in-range page of each diagonal is programmed first.
+func ExampleFixedOrder() {
+	fmt.Println(render(nlevel.FixedOrder(nlevel.MLC(3))))
+	// Output:
+	// T0(0) T0(1) T1(0) T0(2) T1(1) T1(2)
+}

@@ -1,0 +1,296 @@
+package nlevel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"flexftl/internal/core"
+	"flexftl/internal/rng"
+)
+
+func TestSchemeValidate(t *testing.T) {
+	if err := MLC(8).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := TLC(8).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Scheme{Levels: 1, WordLines: 4}).Validate(); err == nil {
+		t.Error("1-level scheme accepted")
+	}
+	if err := (Scheme{Levels: 2, WordLines: 0}).Validate(); err == nil {
+		t.Error("0-word-line scheme accepted")
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	s := TLC(5)
+	seen := map[int]bool{}
+	for l := 0; l < s.Levels; l++ {
+		for k := 0; k < s.WordLines; k++ {
+			p := Page{WL: k, Level: l}
+			idx := s.Index(p)
+			if seen[idx] {
+				t.Fatalf("index %d duplicated", idx)
+			}
+			seen[idx] = true
+			if s.PageAt(idx) != p {
+				t.Fatalf("round trip %v -> %d -> %v", p, idx, s.PageAt(idx))
+			}
+		}
+	}
+	if len(seen) != s.Pages() {
+		t.Errorf("covered %d of %d", len(seen), s.Pages())
+	}
+}
+
+func TestStateBasics(t *testing.T) {
+	st := NewState(MLC(4))
+	p := Page{WL: 0, Level: 0}
+	if st.Written(p) || st.Full() {
+		t.Error("fresh state wrong")
+	}
+	st.Mark(p)
+	if !st.Written(p) || st.Programmed() != 1 {
+		t.Error("Mark not reflected")
+	}
+	st.Reset()
+	if st.Written(p) || st.Programmed() != 0 {
+		t.Error("Reset failed")
+	}
+	if st.Written(Page{WL: -1, Level: 0}) || st.Written(Page{WL: 0, Level: 99}) {
+		t.Error("out-of-range Written true")
+	}
+}
+
+func TestMarkPanics(t *testing.T) {
+	st := NewState(MLC(2))
+	st.Mark(Page{WL: 0, Level: 0})
+	for _, p := range []Page{{WL: 0, Level: 0}, {WL: 9, Level: 0}} {
+		p := p
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mark(%v) did not panic", p)
+				}
+			}()
+			st.Mark(p)
+		}()
+	}
+}
+
+// TestMLCEquivalence: with 2 levels the generalized formalism must agree
+// with internal/core exactly — fixed order, RPSfull, and relaxed legality on
+// random probes.
+func TestMLCEquivalence(t *testing.T) {
+	const wl = 8
+	s := MLC(wl)
+
+	toCore := func(p Page) core.Page {
+		typ := core.LSB
+		if p.Level == 1 {
+			typ = core.MSB
+		}
+		return core.Page{WL: p.WL, Type: typ}
+	}
+
+	// Fixed order == core.FPSOrder.
+	fixed := FixedOrder(s)
+	coreFixed := core.FPSOrder(wl)
+	if len(fixed) != len(coreFixed) {
+		t.Fatalf("lengths differ: %d vs %d", len(fixed), len(coreFixed))
+	}
+	for i := range fixed {
+		if toCore(fixed[i]) != coreFixed[i] {
+			t.Fatalf("fixed[%d] = %v, core %v", i, fixed[i], coreFixed[i])
+		}
+	}
+
+	// RelaxedFullOrder == core.RPSFullOrder.
+	full := RelaxedFullOrder(s)
+	coreFull := core.RPSFullOrder(wl)
+	for i := range full {
+		if toCore(full[i]) != coreFull[i] {
+			t.Fatalf("full[%d] = %v, core %v", i, full[i], coreFull[i])
+		}
+	}
+
+	// Relaxed legality agrees with core.RPS along random prefixes.
+	src := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		order := RandomRelaxedOrder(src.Split(uint64(trial)), s)
+		st := NewState(s)
+		cst := core.NewBlockState(wl)
+		for _, p := range order {
+			// Before marking, probe every page and compare verdicts.
+			for idx := 0; idx < s.Pages(); idx++ {
+				probe := s.PageAt(idx)
+				a := CheckRelaxed(st, probe) == nil
+				b := core.RPS.Check(cst, toCore(probe)) == nil
+				if a != b {
+					t.Fatalf("legality disagrees for %v: nlevel %v, core %v", probe, a, b)
+				}
+			}
+			st.Mark(p)
+			cst.Mark(toCore(p))
+		}
+	}
+
+	// Order counts agree for small blocks.
+	for _, w := range []int{2, 3, 4} {
+		if got, want := CountRelaxedOrders(MLC(w)), core.CountOrders(core.RPS, w); got != want {
+			t.Errorf("wl=%d: nlevel counts %d orders, core %d", w, got, want)
+		}
+	}
+}
+
+func TestTLCFixedOrderLegalUnderRelaxed(t *testing.T) {
+	for _, wl := range []int{1, 2, 4, 8, 32} {
+		s := TLC(wl)
+		order := FixedOrder(s)
+		if len(order) != s.Pages() {
+			t.Fatalf("wl=%d: fixed order has %d pages, want %d", wl, len(order), s.Pages())
+		}
+		if i, err := ValidateOrder(CheckRelaxed, s, order); err != nil {
+			t.Fatalf("wl=%d: fixed order illegal under relaxed rules at %d: %v", wl, i, err)
+		}
+		if i, err := ValidateOrder(CheckFixed, s, order); err != nil {
+			t.Fatalf("wl=%d: fixed order rejects itself at %d: %v", wl, i, err)
+		}
+	}
+}
+
+func TestTLCRelaxedFullOrder(t *testing.T) {
+	s := TLC(16)
+	order := RelaxedFullOrder(s)
+	if i, err := ValidateOrder(CheckRelaxed, s, order); err != nil {
+		t.Fatalf("3-phase order illegal at %d: %v", i, err)
+	}
+	// The fixed checker must reject it early (it is not the staircase).
+	if _, err := ValidateOrder(CheckFixed, s, order); err == nil {
+		t.Fatal("3-phase order accepted by the fixed checker")
+	} else {
+		var v *Violation
+		if !errors.As(err, &v) || v.Kind != "fixed-order" {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+}
+
+func TestCheckRelaxedViolations(t *testing.T) {
+	s := TLC(4)
+	st := NewState(s)
+	var v *Violation
+	if err := CheckRelaxed(st, Page{WL: 1, Level: 0}); !errors.As(err, &v) || v.Kind != "chain" {
+		t.Errorf("chain violation not reported: %v", err)
+	}
+	if err := CheckRelaxed(st, Page{WL: 0, Level: 1}); !errors.As(err, &v) || v.Kind != "refinement" {
+		t.Errorf("refinement violation not reported: %v", err)
+	}
+	st.Mark(Page{WL: 0, Level: 0})
+	if err := CheckRelaxed(st, Page{WL: 0, Level: 1}); !errors.As(err, &v) || v.Kind != "shielding" {
+		t.Errorf("shielding violation not reported: %v", err)
+	}
+	st.Mark(Page{WL: 1, Level: 0})
+	if err := CheckRelaxed(st, Page{WL: 0, Level: 1}); err != nil {
+		t.Errorf("T1(0) should be legal: %v", err)
+	}
+	if err := CheckRelaxed(st, Page{WL: 9, Level: 0}); err == nil {
+		t.Error("out-of-range probe accepted")
+	}
+	if err := CheckRelaxed(st, Page{WL: 0, Level: 0}); err == nil {
+		t.Error("double program accepted")
+	}
+}
+
+// TestShieldingBoundsAggressors is the generalized reliability invariant:
+// every legal relaxed order leaves at most one late aggressor per word line,
+// for MLC, TLC and QLC alike.
+func TestShieldingBoundsAggressors(t *testing.T) {
+	f := func(seed uint64, levelsRaw, wlRaw uint8) bool {
+		levels := 2 + int(levelsRaw%3) // 2..4 bits
+		wl := 2 + int(wlRaw%8)
+		s := Scheme{Levels: levels, WordLines: wl}
+		order := RandomRelaxedOrder(rng.New(seed), s)
+		if i, err := ValidateOrder(CheckRelaxed, s, order); err != nil {
+			t.Logf("order invalid at %d: %v", i, err)
+			return false
+		}
+		return MaxAggressors(s, order) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedOrderAggressorsAlsoBounded(t *testing.T) {
+	for _, s := range []Scheme{MLC(16), TLC(16), {Levels: 4, WordLines: 16}} {
+		if got := MaxAggressors(s, FixedOrder(s)); got > 1 {
+			t.Errorf("%d-level fixed order max aggressors = %d", s.Levels, got)
+		}
+	}
+}
+
+func TestWorstCaseOrderAggressors(t *testing.T) {
+	for _, s := range []Scheme{MLC(8), TLC(8)} {
+		order := WorstCaseOrder(s)
+		if i, err := ValidateOrder(CheckRelaxed, s, order); err == nil {
+			t.Errorf("%d-level worst-case order legal under relaxed rules (index %d)", s.Levels, i)
+		}
+		want := 2 * s.Levels // both neighbours fully programmed late
+		got := MaxAggressors(s, order)
+		if got != want {
+			t.Errorf("%d-level worst-case max aggressors = %d, want %d", s.Levels, got, want)
+		}
+	}
+}
+
+func TestAggressorCountsPartial(t *testing.T) {
+	s := TLC(2)
+	counts := AggressorCounts(s, []Page{{WL: 0, Level: 0}})
+	if counts[0] != -1 || counts[1] != -1 {
+		t.Errorf("counts = %v, want [-1 -1]", counts)
+	}
+}
+
+func TestTLCRelaxedAdmitsManyOrders(t *testing.T) {
+	// TLC flexibility grows with word lines; the fixed sequence is 1.
+	a, b := CountRelaxedOrders(TLC(2)), CountRelaxedOrders(TLC(3))
+	if a < 1 || b <= a {
+		t.Errorf("TLC order counts not growing: wl2=%d wl3=%d", a, b)
+	}
+}
+
+// Property: random relaxed orders are complete permutations.
+func TestRandomRelaxedOrderComplete(t *testing.T) {
+	f := func(seed uint64, levelsRaw, wlRaw uint8) bool {
+		s := Scheme{Levels: 2 + int(levelsRaw%3), WordLines: 1 + int(wlRaw%8)}
+		order := RandomRelaxedOrder(rng.New(seed), s)
+		if len(order) != s.Pages() {
+			return false
+		}
+		seen := map[Page]bool{}
+		for _, p := range order {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Kind: "chain", Page: Page{WL: 1}, Missing: Page{WL: 0}}
+	if v.Error() == "" {
+		t.Error("empty error string")
+	}
+	v.Kind = "fixed-order"
+	if v.Error() == "" {
+		t.Error("empty fixed-order error string")
+	}
+}

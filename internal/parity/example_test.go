@@ -1,0 +1,35 @@
+package parity_test
+
+import (
+	"fmt"
+
+	"flexftl/internal/parity"
+)
+
+// One parity page protects any number of LSB pages: accumulate while
+// writing, reconstruct the single lost page from the survivors.
+func ExampleRecover() {
+	pages := [][]byte{
+		[]byte("page A"),
+		[]byte("page B"),
+		[]byte("page C"),
+		[]byte("page D"),
+	}
+	buf := parity.New(8)
+	for _, p := range pages {
+		if err := buf.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	saved := buf.Snapshot() // programmed to the backup block
+
+	// Power loss destroys page C; XOR the survivors with the parity page.
+	survivors := [][]byte{pages[0], pages[1], pages[3]}
+	recovered, err := parity.Recover(saved, survivors)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", recovered[:6])
+	// Output:
+	// page C
+}

@@ -1,0 +1,99 @@
+// Package parity implements the XOR parity-page accumulator used by the
+// paired-page backup schemes: flexFTL's per-block parity page (one parity
+// page protecting all LSB pages of a block, Section 3.3) and parityFTL's
+// per-2-pages pre-backup parity. XOR parity can reconstruct exactly one lost
+// page from the surviving members plus the parity page.
+package parity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrWidthMismatch is returned when a page of a different width is added to
+// a non-empty accumulator.
+var ErrWidthMismatch = errors.New("parity: page width mismatch")
+
+// Buffer accumulates the XOR of a set of equal-width pages. The zero value
+// (or New) is an empty accumulator. XOR's self-inverse property means Add is
+// also how a member is removed from the set.
+type Buffer struct {
+	acc   []byte
+	width int
+	count int
+}
+
+// New returns an empty accumulator for pages of the given width.
+func New(width int) *Buffer {
+	if width <= 0 {
+		panic("parity: width must be positive")
+	}
+	return &Buffer{acc: make([]byte, width), width: width}
+}
+
+// Width returns the page width.
+func (b *Buffer) Width() int { return b.width }
+
+// Count returns how many pages have been accumulated (net of removals: each
+// Add increments it, each Remove decrements it).
+func (b *Buffer) Count() int { return b.count }
+
+// Add XORs a page into the accumulator. Pages shorter than the width are
+// implicitly zero-padded, matching how a NAND page is programmed with a
+// short payload.
+func (b *Buffer) Add(page []byte) error {
+	if len(page) > b.width {
+		return fmt.Errorf("%w: page %dB, accumulator %dB", ErrWidthMismatch, len(page), b.width)
+	}
+	for i, v := range page {
+		b.acc[i] ^= v
+	}
+	b.count++
+	return nil
+}
+
+// Remove XORs a previously added page back out of the accumulator.
+func (b *Buffer) Remove(page []byte) error {
+	if len(page) > b.width {
+		return fmt.Errorf("%w: page %dB, accumulator %dB", ErrWidthMismatch, len(page), b.width)
+	}
+	if b.count == 0 {
+		return errors.New("parity: Remove on empty accumulator")
+	}
+	for i, v := range page {
+		b.acc[i] ^= v
+	}
+	b.count--
+	return nil
+}
+
+// Snapshot returns a copy of the current parity page — the bytes flexFTL
+// programs to the backup block once the last LSB page of the active fast
+// block is written.
+func (b *Buffer) Snapshot() []byte {
+	return append([]byte(nil), b.acc...)
+}
+
+// Reset clears the accumulator.
+func (b *Buffer) Reset() {
+	for i := range b.acc {
+		b.acc[i] = 0
+	}
+	b.count = 0
+}
+
+// Recover reconstructs the single missing page of a protected set: parity is
+// the saved parity page and survivors are every member except the lost one.
+// It is pure XOR algebra and does not need a Buffer.
+func Recover(parityPage []byte, survivors [][]byte) ([]byte, error) {
+	out := append([]byte(nil), parityPage...)
+	for _, s := range survivors {
+		if len(s) > len(out) {
+			return nil, fmt.Errorf("%w: survivor %dB, parity %dB", ErrWidthMismatch, len(s), len(out))
+		}
+		for i, v := range s {
+			out[i] ^= v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children with different labels produced the same first output")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const want = 250.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(want)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("Exp mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	const wantMean, wantSD = 10.0, 3.0
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Normal(wantMean, wantSD)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-wantMean) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~%v", mean, wantMean)
+	}
+	if math.Abs(sd-wantSD) > 0.05 {
+		t.Errorf("Normal stddev = %v, want ~%v", sd, wantSD)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(19)
+	const lo, hi = 10.0, 10000.0
+	for i := 0; i < 50000; i++ {
+		v := r.Pareto(1.2, lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// With alpha close to 1 the sample mean should sit far above the lower
+	// bound — i.e. the tail actually contributes.
+	r := New(23)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Pareto(1.1, 10, 1e6)
+	}
+	if mean := sum / n; mean < 30 {
+		t.Errorf("Pareto mean = %v, tail looks truncated", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	src := New(31)
+	const n = 1000
+	z := NewZipf(src, n, 0.99)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("Zipf rank %d out of [0,%d)", k, n)
+		}
+		counts[k]++
+	}
+	// Rank 0 must be the clear mode and the top decile should dominate.
+	if counts[0] < counts[n/2]*10 {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[mid]=%d", counts[0], counts[n/2])
+	}
+	top := 0
+	for i := 0; i < n/10; i++ {
+		top += counts[i]
+	}
+	if frac := float64(top) / draws; frac < 0.5 {
+		t.Errorf("top 10%% of ranks got %.2f of draws, want > 0.5", frac)
+	}
+}
+
+func TestZipfLowThetaFlatter(t *testing.T) {
+	srcA, srcB := New(37), New(37)
+	hot := func(theta float64, src *Source) float64 {
+		z := NewZipf(src, 100, theta)
+		c := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				c++
+			}
+		}
+		return float64(c) / draws
+	}
+	if h1, h2 := hot(0.5, srcA), hot(1.3, srcB); h1 >= h2 {
+		t.Errorf("theta=0.5 hot fraction %v >= theta=1.3 fraction %v", h1, h2)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(New(1), 0, 0.9) },
+		func() { NewZipf(New(1), 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Int63n stays within range for arbitrary positive bounds.
+func TestInt63nProperty(t *testing.T) {
+	r := New(41)
+	f := func(bound uint32) bool {
+		n := int64(bound%1000000) + 1
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package rng
+
+import "math"
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^theta. The workload generators use it to model the skewed
+// ("hot/cold") page-access locality of enterprise I/O traces: a small set of
+// logical pages absorbs most writes, which is what gives garbage collection
+// its invalid-page supply.
+//
+// The implementation uses the rejection-inversion sampler of Hörmann and
+// Derflinger, which needs O(1) state and no per-rank tables, so a 4M-page
+// address space costs nothing to set up.
+type Zipf struct {
+	src              *Source
+	n                float64
+	theta            float64
+	oneMinusTheta    float64
+	invOneMinusTheta float64
+	hIntegralX1      float64
+	hIntegralN       float64
+	s                float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent theta in (0, 1) ∪
+// (1, ∞). theta near 0 approaches uniform; common trace-fitting values are
+// 0.8–1.2.
+func NewZipf(src *Source, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if theta <= 0 {
+		panic("rng: Zipf requires theta > 0")
+	}
+	z := &Zipf{src: src, n: float64(n), theta: theta}
+	z.oneMinusTheta = 1 - theta
+	z.invOneMinusTheta = 1 / z.oneMinusTheta
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(z.n + 0.5)
+	z.s = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// h is the (unnormalized) density x^-theta.
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.theta * math.Log(x)) }
+
+// hIntegral is the antiderivative of h.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusTheta*logX) * logX
+}
+
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusTheta
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x stably.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x stably.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+}
+
+// Next returns the next Zipf-distributed rank in [0, n). Rank 0 is hottest.
+func (z *Zipf) Next() int {
+	if z.theta == 1 {
+		// Exponent exactly 1 is outside the sampler's domain; callers use
+		// 0.99/1.01 in practice, but guard anyway.
+		panic("rng: Zipf theta == 1 unsupported")
+	}
+	for {
+		u := z.hIntegralN + z.src.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.s || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k) - 1
+		}
+	}
+}

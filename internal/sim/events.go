@@ -1,0 +1,98 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled at a virtual time. Events that share the same
+// time fire in the order they were scheduled, which keeps the simulator
+// deterministic regardless of heap internals.
+type Event struct {
+	At  Time
+	Fn  func(now Time)
+	seq uint64
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Queue is a deterministic discrete-event queue driving a virtual clock.
+// The zero value is ready to use.
+type Queue struct {
+	heap eventHeap
+	now  Time
+	seq  uint64
+}
+
+// Now returns the current virtual time (the time of the most recently
+// dispatched event).
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// At schedules fn to run at time t. Scheduling in the past is a programming
+// error and panics: it would silently reorder causality.
+func (q *Queue) At(t Time, fn func(now Time)) {
+	if t < q.now {
+		panic("sim: event scheduled in the past")
+	}
+	q.seq++
+	heap.Push(&q.heap, &Event{At: t, Fn: fn, seq: q.seq})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (q *Queue) After(d Time, fn func(now Time)) { q.At(q.now+d, fn) }
+
+// Step dispatches the earliest pending event, advancing the clock to its
+// time. It reports whether an event was dispatched.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.heap).(*Event)
+	q.now = ev.At
+	ev.Fn(q.now)
+	return true
+}
+
+// Run dispatches events until the queue drains.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil dispatches events with At <= deadline, then advances the clock to
+// the deadline (if it is later than the last event).
+func (q *Queue) RunUntil(deadline Time) {
+	for len(q.heap) > 0 && q.heap[0].At <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// PeekTime returns the time of the earliest pending event and true, or zero
+// and false when the queue is empty.
+func (q *Queue) PeekTime() (Time, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].At, true
+}

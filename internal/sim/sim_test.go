@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0us"},
+		{999, "999us"},
+		{Millisecond, "1.000ms"},
+		{1500, "1.500ms"},
+		{Second, "1.000000s"},
+		{2*Second + 500*Millisecond, "2.500000s"},
+		{-250, "-250us"},
+		{MaxTime, "+inf"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := (3 * Millisecond).Millis(); got != 3.0 {
+		t.Errorf("Millis() = %v, want 3", got)
+	}
+}
+
+func TestMaxMinOf(t *testing.T) {
+	if MaxOf(3, 7) != 7 || MaxOf(7, 3) != 7 {
+		t.Error("MaxOf wrong")
+	}
+	if MinOf(3, 7) != 3 || MinOf(7, 3) != 3 {
+		t.Error("MinOf wrong")
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(30, func(Time) { got = append(got, 3) })
+	q.At(10, func(Time) { got = append(got, 1) })
+	q.At(20, func(Time) { got = append(got, 2) })
+	q.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("dispatch order = %v, want [1 2 3]", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", q.Now())
+	}
+}
+
+func TestQueueFIFOAtSameTime(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func(Time) { got = append(got, i) })
+	}
+	q.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events dispatched out of order: %v", got)
+		}
+	}
+}
+
+func TestQueueNestedScheduling(t *testing.T) {
+	var q Queue
+	var fired []Time
+	q.At(10, func(now Time) {
+		fired = append(fired, now)
+		q.After(5, func(now Time) { fired = append(fired, now) })
+	})
+	q.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestQueuePastSchedulePanics(t *testing.T) {
+	var q Queue
+	q.At(10, func(Time) {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	q.At(5, func(Time) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		q.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	q.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(12) fired %d events, want 2", len(fired))
+	}
+	if q.Now() != 12 {
+		t.Errorf("Now() = %v, want 12", q.Now())
+	}
+	if at, ok := q.PeekTime(); !ok || at != 15 {
+		t.Errorf("PeekTime() = %v,%v, want 15,true", at, ok)
+	}
+	q.RunUntil(100)
+	if len(fired) != 4 || q.Now() != 100 {
+		t.Errorf("after RunUntil(100): fired=%d now=%v", len(fired), q.Now())
+	}
+}
+
+func TestQueueEmptyStep(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue returned ok")
+	}
+}
+
+// Property: for any set of scheduled times, dispatch order is sorted and
+// stable within equal times.
+func TestQueueDispatchSortedProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q Queue
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		var got []stamp
+		for i, raw := range times {
+			at := Time(raw)
+			i := i
+			q.At(at, func(now Time) { got = append(got, stamp{now, i}) })
+		}
+		q.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package sim provides the deterministic virtual-time substrate used by the
+// NAND device model, the FTLs and the storage-system runner. All simulated
+// latencies are expressed in microseconds of virtual time; nothing in the
+// simulator reads the wall clock, so runs are bit-reproducible.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in microseconds since the start of the
+// simulation. Durations are also expressed as Time values.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. It is used as an
+// "infinitely far away" horizon for idle windows.
+const MaxTime Time = math.MaxInt64
+
+// String formats the time with an adaptive unit so that simulator logs stay
+// readable across nine orders of magnitude.
+func (t Time) String() string {
+	switch {
+	case t == MaxTime:
+		return "+inf"
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t < Millisecond:
+		return fmt.Sprintf("%dus", int64(t))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the time as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// MaxOf returns the later of two times.
+func MaxOf(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinOf returns the earlier of two times.
+func MinOf(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+// Package ssd is the storage-system runner: it drives a workload generator
+// through the host write buffer into an FTL on the shared virtual clock,
+// modelling buffered write-back (host acknowledgement at buffer admission,
+// backpressure when the buffer fills), read service, idle-window background
+// GC dispatch, and active-time accounting for the IOPS metric.
+package ssd
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"flexftl/internal/buffer"
+	"flexftl/internal/ftl"
+	"flexftl/internal/metrics"
+	"flexftl/internal/sim"
+	"flexftl/internal/workload"
+)
+
+// Config parameterizes the runner.
+type Config struct {
+	// BufferPages is the host write-buffer capacity in pages. The paper's
+	// policy thresholds (uhigh=80%, ulow=10%) act on this buffer.
+	BufferPages int
+	// BandwidthWindow is the write-bandwidth sampling window.
+	BandwidthWindow sim.Time
+	// IdleThreshold is the minimum arrival gap treated as an idle window
+	// (and offered to the FTL's background GC).
+	IdleThreshold sim.Time
+	// PrefillFraction of the logical space is written sequentially before
+	// measurement so runs start from a realistic steady state; counters
+	// reset afterwards.
+	PrefillFraction float64
+}
+
+// DefaultConfig returns the runner defaults.
+func DefaultConfig() Config {
+	return Config{
+		BufferPages:     128,
+		BandwidthWindow: 10 * sim.Millisecond,
+		IdleThreshold:   1 * sim.Millisecond,
+		PrefillFraction: 0.85,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.BufferPages <= 0:
+		return fmt.Errorf("ssd: buffer must hold at least one page, got %d", c.BufferPages)
+	case c.BandwidthWindow <= 0:
+		return fmt.Errorf("ssd: bandwidth window must be positive")
+	case c.IdleThreshold < 0:
+		return fmt.Errorf("ssd: negative idle threshold")
+	case c.PrefillFraction < 0 || c.PrefillFraction > 1:
+		return fmt.Errorf("ssd: prefill fraction %v outside [0,1]", c.PrefillFraction)
+	}
+	return nil
+}
+
+// RunResult bundles the measurements of one run.
+type RunResult struct {
+	FTLName  string
+	Workload string
+	Metrics  metrics.Result
+	Stats    ftl.Stats
+}
+
+// inflight tracks a buffered page whose program has not completed.
+type inflight struct {
+	done  sim.Time
+	entry *buffer.Entry
+}
+
+type inflightHeap []inflight
+
+func (h inflightHeap) Len() int            { return len(h) }
+func (h inflightHeap) Less(i, j int) bool  { return h[i].done < h[j].done }
+func (h inflightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *inflightHeap) Push(x interface{}) { *h = append(*h, x.(inflight)) }
+func (h *inflightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// System binds an FTL to the runner state.
+type System struct {
+	F   ftl.FTL
+	cfg Config
+
+	buf      *buffer.Buffer
+	pending  inflightHeap
+	prefillT sim.Time
+}
+
+// New builds a System. The FTL must be freshly constructed (the runner owns
+// its life cycle).
+func New(f ftl.FTL, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		F:   f,
+		cfg: cfg,
+		buf: buffer.New(cfg.BufferPages),
+	}, nil
+}
+
+// Prefill sequentially writes the configured fraction of the logical space
+// and resets the FTL counters, so measurement starts from steady state. It
+// returns the virtual time consumed.
+func (s *System) Prefill() (sim.Time, error) {
+	n := int64(float64(s.F.LogicalPages()) * s.cfg.PrefillFraction)
+	now := sim.Time(0)
+	for lpn := int64(0); lpn < n; lpn++ {
+		done, err := s.F.Write(ftl.LPN(lpn), now, 0.5)
+		if err != nil {
+			return now, fmt.Errorf("ssd: prefill LPN %d: %w", lpn, err)
+		}
+		now = done
+	}
+	if r, ok := s.F.(interface{ ResetCounters() }); ok {
+		r.ResetCounters()
+	}
+	s.prefillT = now
+	return now, nil
+}
+
+// releaseUpTo frees buffer slots whose programs completed by t.
+func (s *System) releaseUpTo(t sim.Time) error {
+	for len(s.pending) > 0 && s.pending[0].done <= t {
+		it := heap.Pop(&s.pending).(inflight)
+		if err := s.buf.Release(it.entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run drives the generator to completion and returns the measurements.
+// Arrivals are offset by the prefill time automatically.
+func (s *System) Run(gen workload.Generator) (RunResult, error) {
+	g := s.F.Device().Geometry()
+	col := metrics.NewCollector(g.PageSizeBytes, s.cfg.BandwidthWindow)
+	base := s.prefillT
+	logical := s.F.LogicalPages()
+
+	busyUntil := base
+	activeStart := sim.Time(-1)
+
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		arrival := base + req.Arrival
+		if activeStart < 0 {
+			activeStart = arrival
+		}
+		if err := s.releaseUpTo(arrival); err != nil {
+			return RunResult{}, err
+		}
+		// Idle window: the device has drained and the next request is far
+		// away — run background GC, then close the active interval.
+		if arrival > busyUntil+s.cfg.IdleThreshold {
+			s.F.Idle(busyUntil, arrival)
+			col.AddActive(busyUntil - activeStart)
+			activeStart = arrival
+		}
+
+		switch req.Op {
+		case workload.OpRead:
+			completion := arrival
+			for p := 0; p < req.Pages; p++ {
+				lpn := ftl.LPN((req.Page + int64(p)) % logical)
+				done, err := s.F.Read(lpn, arrival)
+				if err != nil {
+					if errors.Is(err, ftl.ErrUnmapped) {
+						continue // never-written page: served from the zero map
+					}
+					return RunResult{}, fmt.Errorf("ssd: read LPN %d: %w", lpn, err)
+				}
+				if done > completion {
+					completion = done
+				}
+			}
+			col.RecordRead(req.Pages, arrival, completion)
+			if completion > busyUntil {
+				busyUntil = completion
+			}
+		case workload.OpWrite:
+			admission := arrival
+			flushed := arrival
+			for p := 0; p < req.Pages; p++ {
+				lpn := ftl.LPN((req.Page + int64(p)) % logical)
+				// Backpressure: wait for the earliest in-flight program.
+				for s.buf.Free() == 0 {
+					if len(s.pending) == 0 {
+						return RunResult{}, fmt.Errorf("ssd: buffer full with nothing in flight")
+					}
+					it := heap.Pop(&s.pending).(inflight)
+					if it.done > admission {
+						admission = it.done
+					}
+					if err := s.buf.Release(it.entry); err != nil {
+						return RunResult{}, err
+					}
+				}
+				entry, err := s.buf.TryAdmit(int64(lpn), admission)
+				if err != nil {
+					return RunResult{}, err
+				}
+				util := s.buf.Utilization()
+				done, err := s.F.Write(lpn, admission, util)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("ssd: write LPN %d: %w", lpn, err)
+				}
+				heap.Push(&s.pending, inflight{done: done, entry: entry})
+				if done > flushed {
+					flushed = done
+				}
+			}
+			col.RecordWrite(req.Pages, arrival, admission, flushed)
+			if flushed > busyUntil {
+				busyUntil = flushed
+			}
+		case workload.OpTrim:
+			now := arrival
+			for p := 0; p < req.Pages; p++ {
+				lpn := ftl.LPN((req.Page + int64(p)) % logical)
+				done, err := s.F.Trim(lpn, now)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("ssd: trim LPN %d: %w", lpn, err)
+				}
+				now = done
+			}
+			col.RecordTrim(req.Pages, arrival, now)
+			if now > busyUntil {
+				busyUntil = now
+			}
+		default:
+			return RunResult{}, fmt.Errorf("ssd: unknown op %v", req.Op)
+		}
+	}
+	if activeStart >= 0 {
+		col.AddActive(busyUntil - activeStart)
+	}
+	if err := s.releaseUpTo(sim.MaxTime); err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{
+		FTLName:  s.F.Name(),
+		Workload: gen.Name(),
+		Metrics:  col.Finalize(),
+		Stats:    s.F.Stats(),
+	}, nil
+}

@@ -1,0 +1,252 @@
+package vth
+
+import (
+	"testing"
+
+	"flexftl/internal/nlevel"
+	"flexftl/internal/rng"
+	"flexftl/internal/stats"
+)
+
+func newNLevelModel(t *testing.T) *NLevelModel {
+	t.Helper()
+	p := DefaultNLevelParams()
+	p.CellsPerWordLine = 512
+	m, err := NewNLevelModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewNLevelModelValidation(t *testing.T) {
+	p := DefaultNLevelParams()
+	p.CellsPerWordLine = 0
+	if _, err := NewNLevelModel(p); err == nil {
+		t.Error("zero cells accepted")
+	}
+	p = DefaultNLevelParams()
+	p.ProgramSigma = 0
+	if _, err := NewNLevelModel(p); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	p = DefaultNLevelParams()
+	p.WindowHigh = p.WindowLow
+	if _, err := NewNLevelModel(p); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestNLevelRejectsBadOrders(t *testing.T) {
+	m := newNLevelModel(t)
+	s := nlevel.TLC(4)
+	if _, err := m.SimulateBlock(s, nlevel.FixedOrder(nlevel.TLC(3)), Fresh, rng.New(1)); err == nil {
+		t.Error("short order accepted")
+	}
+	dup := nlevel.FixedOrder(s)
+	dup[1] = dup[0]
+	if _, err := m.SimulateBlock(s, dup, Fresh, rng.New(1)); err == nil {
+		t.Error("duplicate page accepted")
+	}
+	bad := nlevel.FixedOrder(s)
+	bad[0] = nlevel.Page{WL: 99, Level: 0}
+	if _, err := m.SimulateBlock(s, bad, Fresh, rng.New(1)); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	if _, err := m.SimulateBlock(nlevel.Scheme{Levels: 1, WordLines: 2}, nil, Fresh, rng.New(1)); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+}
+
+func TestGrayDistanceBits(t *testing.T) {
+	// Voltage-adjacent states must differ in exactly one data bit for any
+	// cell depth.
+	for _, bits := range []int{2, 3, 4} {
+		for s := 0; s < (1<<bits)-1; s++ {
+			if d := grayDistanceBits(s, s+1, bits); d != 1 {
+				t.Errorf("bits=%d: states %d,%d differ in %d data bits, want 1", bits, s, s+1, d)
+			}
+		}
+		if grayDistanceBits(3, 3, bits) != 0 {
+			t.Error("identical states differ")
+		}
+	}
+}
+
+func TestClassifyNearest(t *testing.T) {
+	levels := []float64{0, 1, 2, 3}
+	cases := []struct {
+		v    float64
+		want int
+	}{{-5, 0}, {0.4, 0}, {0.6, 1}, {2.51, 3}, {99, 3}}
+	for _, c := range cases {
+		if got := classifyNearest(c.v, levels); got != c.want {
+			t.Errorf("classify(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestTLCFreshNearlyErrorFree: legal orders on a fresh TLC block stay below
+// the ECC envelope (TLC margins are ~1/2 MLC's, so the bound is looser).
+func TestTLCFreshNearlyErrorFree(t *testing.T) {
+	m := newNLevelModel(t)
+	s := nlevel.TLC(16)
+	for name, order := range map[string][]nlevel.Page{
+		"fixed":  nlevel.FixedOrder(s),
+		"3phase": nlevel.RelaxedFullOrder(s),
+	} {
+		res, err := m.SimulateBlock(s, order, Fresh, rng.New(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ber := res.BlockBER(); ber > 5e-3 {
+			t.Errorf("%s: fresh TLC BER %g too high", name, ber)
+		}
+	}
+}
+
+// TestTLCRelaxedMatchesFixed is the Figure 4 equivalence claim extended to
+// TLC: the relaxed 3-phase order's widths and BERs match the vendor
+// staircase statistically.
+func TestTLCRelaxedMatchesFixed(t *testing.T) {
+	m := newNLevelModel(t)
+	s := nlevel.TLC(32)
+	const blocks = 6
+	collect := func(order []nlevel.Page, seed uint64) (wp, ber []float64) {
+		for b := 0; b < blocks; b++ {
+			fresh, err := m.SimulateBlock(s, order, Fresh, rng.New(seed+uint64(b)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wp = append(wp, fresh.WPSums()...)
+			worn, err := m.SimulateBlock(s, order, WorstCase, rng.New(seed^uint64(b)+99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ber = append(ber, worn.BERs()...)
+		}
+		return
+	}
+	fixedWP, fixedBER := collect(nlevel.FixedOrder(s), 10)
+	relWP, relBER := collect(nlevel.RelaxedFullOrder(s), 20)
+	if a, b := stats.Mean(relWP), stats.Mean(fixedWP); a > b*1.03 {
+		t.Errorf("relaxed TLC mean WPi %.4f above fixed %.4f", a, b)
+	}
+	if a, b := stats.Mean(relBER), stats.Mean(fixedBER); a > b*1.3 {
+		t.Errorf("relaxed TLC mean BER %.3g well above fixed %.3g", a, b)
+	}
+}
+
+// TestTLCWorstCaseOrderWorse: the forbidden order inflates the width tails,
+// exactly as in MLC.
+func TestTLCWorstCaseOrderWorse(t *testing.T) {
+	p := DefaultNLevelParams()
+	p.CellsPerWordLine = 2048
+	m, err := NewNLevelModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nlevel.TLC(16)
+	fixed, err := m.SimulateBlock(s, nlevel.FixedOrder(s), Fresh, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := m.SimulateBlock(s, nlevel.WorstCaseOrder(s), Fresh, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := stats.Summarize(fixed.WPSums())
+	bb := stats.Summarize(bad.WPSums())
+	if bb.Max < fb.Max*1.05 {
+		t.Errorf("worst-case TLC max WPi %.4f not above fixed %.4f", bb.Max, fb.Max)
+	}
+	if got := nlevel.MaxAggressors(s, nlevel.WorstCaseOrder(s)); got != 6 {
+		t.Errorf("worst-case TLC aggressors = %d, want 6 (2 neighbours x 3 pages)", got)
+	}
+}
+
+// TestNLevelMatchesAggressorAnalysis: the model's aggressor counters agree
+// with the nlevel static analysis on every order type.
+func TestNLevelMatchesAggressorAnalysis(t *testing.T) {
+	m := newNLevelModel(t)
+	s := nlevel.TLC(8)
+	for name, order := range map[string][]nlevel.Page{
+		"fixed":  nlevel.FixedOrder(s),
+		"3phase": nlevel.RelaxedFullOrder(s),
+		"worst":  nlevel.WorstCaseOrder(s),
+		"random": nlevel.RandomRelaxedOrder(rng.New(9), s),
+	} {
+		res, err := m.SimulateBlock(s, order, Fresh, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nlevel.AggressorCounts(s, order)
+		for k, w := range res.WordLines {
+			if w.Aggressors != want[k] {
+				t.Errorf("%s WL(%d): model %d, analysis %d", name, k, w.Aggressors, want[k])
+			}
+		}
+	}
+}
+
+// TestMLCViaNLevelConsistency: the 2-level instantiation behaves like the
+// dedicated MLC model in the quantities that matter (zero-ish fresh BER,
+// stress raising it, FPS==RPS equivalence).
+func TestMLCViaNLevelConsistency(t *testing.T) {
+	m := newNLevelModel(t)
+	s := nlevel.MLC(16)
+	fresh, err := m.SimulateBlock(s, nlevel.FixedOrder(s), Fresh, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The evenly spaced 4-state instantiation has wider margins than the
+	// calibrated MLC model, so push the stress far past end of life to see
+	// errors at this sample size.
+	harsh := StressCondition{PECycles: 10000, RetentionYears: 3}
+	worn, err := m.SimulateBlock(s, nlevel.FixedOrder(s), harsh, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.BlockBER() > 1e-3 {
+		t.Errorf("fresh MLC-via-nlevel BER %g", fresh.BlockBER())
+	}
+	if worn.BlockBER() <= fresh.BlockBER() {
+		t.Errorf("harsh stress did not raise BER: fresh %g, worn %g", fresh.BlockBER(), worn.BlockBER())
+	}
+}
+
+// TestTLCWorseThanMLCAtEndOfLife: with the same physics, the 8-state part
+// must be less reliable than the 4-state part — the capacity/reliability
+// trade the multi-leveling technique makes (Section 1).
+func TestTLCWorseThanMLCAtEndOfLife(t *testing.T) {
+	m := newNLevelModel(t)
+	mlc, err := m.SimulateBlock(nlevel.MLC(16), nlevel.FixedOrder(nlevel.MLC(16)), WorstCase, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlc, err := m.SimulateBlock(nlevel.TLC(16), nlevel.FixedOrder(nlevel.TLC(16)), WorstCase, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlc.BlockBER() <= mlc.BlockBER() {
+		t.Errorf("TLC BER %g not above MLC %g at end of life", tlc.BlockBER(), mlc.BlockBER())
+	}
+}
+
+func TestNLevelResultAccessors(t *testing.T) {
+	m := newNLevelModel(t)
+	s := nlevel.TLC(4)
+	res, err := m.SimulateBlock(s, nlevel.FixedOrder(s), WorstCase, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WPSums()) != 4 || len(res.BERs()) != 4 {
+		t.Error("per-WL series wrong length")
+	}
+	if res.TotalBits != 3*512*4 {
+		t.Errorf("TotalBits = %d", res.TotalBits)
+	}
+	if (NLevelResult{}).BlockBER() != 0 {
+		t.Error("empty BlockBER != 0")
+	}
+}

@@ -1,0 +1,447 @@
+// Package vth is the threshold-voltage reliability model behind the
+// Figure 4 study: it Monte-Carlo-simulates programming a 2-bit MLC block
+// under a given page program order, accumulating cell-to-cell interference
+// from aggressor programs, and reports per-page Vth distribution widths
+// (WPi) and bit error rates under end-of-life stress (P/E cycling +
+// retention).
+//
+// The model encodes the paper's Section 2 argument directly: an MSB program
+// re-forms the word line's Vth distribution (clearing earlier disturbance),
+// so only neighbour programs occurring *after* MSB(k) widen WL(k)'s final
+// states. Orders that bound that aggressor count by 1 — the FPS interleave
+// and every legal RPS order — therefore produce statistically identical
+// widths, while unconstrained orders with up to 4 late aggressors blow the
+// distributions out.
+package vth
+
+import (
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/rng"
+)
+
+// State is one of the four final Vth states of a 2-bit MLC cell, ordered by
+// nominal voltage: E (erased, 11), P1 (01), P2 (00), P3 (10).
+type State int
+
+// The four MLC states.
+const (
+	StateE State = iota
+	StateP1
+	StateP2
+	StateP3
+	numStates
+)
+
+// String names the state with its Gray-coded bit pattern.
+func (s State) String() string {
+	switch s {
+	case StateE:
+		return "E(11)"
+	case StateP1:
+		return "P1(01)"
+	case StateP2:
+		return "P2(00)"
+	case StateP3:
+		return "P3(10)"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// StateOf maps an (lsb, msb) bit pair to the final state under the Gray
+// coding of Figure 1: 11->E, 01->P1, 00->P2, 10->P3 (bits written
+// lsb, msb with 1 = erased polarity).
+func StateOf(lsbBit, msbBit int) State {
+	switch {
+	case lsbBit == 1 && msbBit == 1:
+		return StateE
+	case lsbBit == 1 && msbBit == 0:
+		return StateP3
+	case lsbBit == 0 && msbBit == 0:
+		return StateP2
+	default: // lsb 0, msb 1
+		return StateP1
+	}
+}
+
+// Bits inverts StateOf.
+func (s State) Bits() (lsbBit, msbBit int) {
+	switch s {
+	case StateE:
+		return 1, 1
+	case StateP1:
+		return 0, 1
+	case StateP2:
+		return 0, 0
+	default:
+		return 1, 0
+	}
+}
+
+// Params are the physical constants of the model, in volts.
+type Params struct {
+	// Levels are the nominal program-verify targets of the four states.
+	Levels [4]float64
+	// TransientLevel is the Vth of the LSB-programmed intermediate state
+	// ("X0" in Figure 1).
+	TransientLevel float64
+	// ProgramSigma is the spread of a fresh program operation.
+	ProgramSigma float64
+	// CouplingRatio is the fraction of an aggressor cell's Vth increase
+	// that capacitively couples onto the aligned cell of a neighbouring
+	// word line (the cell-to-cell interference mechanism of Section 2.1).
+	CouplingRatio float64
+	// CouplingSigma is the per-cell relative spread of the coupling ratio
+	// (process variation in parasitic capacitance).
+	CouplingSigma float64
+	// CellsPerWordLine is the Monte-Carlo population per word line.
+	CellsPerWordLine int
+	// WearSigmaPerKCycle widens every state by this much per 1000 P/E
+	// cycles (oxide damage).
+	WearSigmaPerKCycle float64
+	// RetentionShiftPerYear moves programmed states down (charge loss) per
+	// year, scaled by how high the state sits.
+	RetentionShiftPerYear float64
+	// RetentionSigmaPerYear adds spread per year of retention.
+	RetentionSigmaPerYear float64
+}
+
+// DefaultParams returns constants calibrated so that (a) fresh FPS blocks
+// read back error-free, (b) the worst-case operating condition of the paper
+// (3K P/E + 1 year retention) lands the BER in the 1e-4..1e-2 decade of
+// Figure 4(b), and (c) four late aggressors measurably widen WPi.
+func DefaultParams() Params {
+	return Params{
+		Levels:                [4]float64{-2.6, 0.4, 1.6, 2.8},
+		TransientLevel:        0.9,
+		ProgramSigma:          0.11,
+		CouplingRatio:         0.035,
+		CouplingSigma:         0.012,
+		CellsPerWordLine:      2048,
+		WearSigmaPerKCycle:    0.035,
+		RetentionShiftPerYear: 0.22,
+		RetentionSigmaPerYear: 0.05,
+	}
+}
+
+// StressCondition describes an operating point for BER measurement.
+type StressCondition struct {
+	PECycles       int     // program/erase cycles endured
+	RetentionYears float64 // time since programming
+}
+
+// WorstCase is the paper's end-of-life condition: 3K P/E cycles and 1-year
+// retention.
+var WorstCase = StressCondition{PECycles: 3000, RetentionYears: 1}
+
+// Fresh is the begin-of-life condition.
+var Fresh = StressCondition{}
+
+// ReadReferences returns the three read thresholds (VRef1..VRef3) placed at
+// the midpoints between adjacent nominal levels.
+func (p Params) ReadReferences() [3]float64 {
+	var refs [3]float64
+	for i := 0; i < 3; i++ {
+		refs[i] = (p.Levels[i] + p.Levels[i+1]) / 2
+	}
+	return refs
+}
+
+// classify maps a Vth to the state a read would report.
+func classify(v float64, refs [3]float64) State {
+	switch {
+	case v < refs[0]:
+		return StateE
+	case v < refs[1]:
+		return StateP1
+	case v < refs[2]:
+		return StateP2
+	default:
+		return StateP3
+	}
+}
+
+// WordLineResult carries the per-word-line outputs of a block simulation.
+type WordLineResult struct {
+	WL int
+	// WPSum is the sum over the four states of the Vth distribution widths
+	// (max-min within the state's population), the paper's Figure 4(a)
+	// metric.
+	WPSum float64
+	// BER is the bit error rate of the word line's two pages under the
+	// stress condition supplied to SimulateBlock.
+	BER float64
+	// Aggressors is the number of neighbour programs after this WL's MSB
+	// program (the quantity RPS bounds at 1).
+	Aggressors int
+}
+
+// BlockResult aggregates a simulated block.
+type BlockResult struct {
+	Order     string
+	WordLines []WordLineResult
+	TotalBits int
+	TotalErrs int
+}
+
+// WPSums returns the per-word-line WPSum series.
+func (b BlockResult) WPSums() []float64 {
+	out := make([]float64, len(b.WordLines))
+	for i, w := range b.WordLines {
+		out[i] = w.WPSum
+	}
+	return out
+}
+
+// BERs returns the per-word-line BER series.
+func (b BlockResult) BERs() []float64 {
+	out := make([]float64, len(b.WordLines))
+	for i, w := range b.WordLines {
+		out[i] = w.BER
+	}
+	return out
+}
+
+// BlockBER returns the block-aggregate bit error rate.
+func (b BlockResult) BlockBER() float64 {
+	if b.TotalBits == 0 {
+		return 0
+	}
+	return float64(b.TotalErrs) / float64(b.TotalBits)
+}
+
+// Model is a reusable simulator with fixed parameters.
+type Model struct {
+	p Params
+}
+
+// NewModel validates the parameters and returns a Model.
+func NewModel(p Params) (*Model, error) {
+	if p.CellsPerWordLine <= 0 {
+		return nil, fmt.Errorf("vth: CellsPerWordLine must be positive, got %d", p.CellsPerWordLine)
+	}
+	if p.ProgramSigma <= 0 {
+		return nil, fmt.Errorf("vth: ProgramSigma must be positive, got %g", p.ProgramSigma)
+	}
+	for i := 0; i < 3; i++ {
+		if p.Levels[i] >= p.Levels[i+1] {
+			return nil, fmt.Errorf("vth: state levels must be increasing: %v", p.Levels)
+		}
+	}
+	return &Model{p: p}, nil
+}
+
+// Params returns the model constants.
+func (m *Model) Params() Params { return m.p }
+
+// blockCells is the raw pre-stress outcome of programming a block: per
+// word line, per cell, the final Vth and the intended state.
+type blockCells struct {
+	vth        [][]float64
+	target     [][]State
+	aggressors []int
+}
+
+// SimulateBlock programs a block of the given word-line count in the given
+// page order with random data, applies the stress condition, and returns
+// per-word-line WPi sums and BERs. The order must program every page of the
+// block exactly once (use core's order constructors).
+func (m *Model) SimulateBlock(wordLines int, order []core.Page, stress StressCondition, src *rng.Source) (BlockResult, error) {
+	cells, err := m.programBlock(wordLines, order, src)
+	if err != nil {
+		return BlockResult{}, err
+	}
+	return m.measure(cells, stress, src), nil
+}
+
+// programBlock runs the programming phase: cells are placed per the order,
+// accumulating aggressor coupling, and returned pre-stress.
+func (m *Model) programBlock(wordLines int, order []core.Page, src *rng.Source) (*blockCells, error) {
+	if len(order) != 2*wordLines {
+		return nil, fmt.Errorf("vth: order has %d pages, block has %d", len(order), 2*wordLines)
+	}
+	p := m.p
+	n := p.CellsPerWordLine
+
+	// Per-word-line cell arrays.
+	vth := make([][]float64, wordLines)  // current Vth per cell
+	target := make([][]State, wordLines) // intended final state per cell
+	lsbBits := make([][]int, wordLines)  // data of the LSB page
+	msbDone := make([]bool, wordLines)
+	lsbDone := make([]bool, wordLines)
+	aggressors := make([]int, wordLines)
+	for k := range vth {
+		vth[k] = make([]float64, n)
+		target[k] = make([]State, n)
+		lsbBits[k] = make([]int, n)
+		for c := 0; c < n; c++ {
+			vth[k][c] = p.Levels[StateE] + src.Normal(0, p.ProgramSigma)
+		}
+	}
+
+	// delta is scratch space for the per-cell Vth increase of the aggressor
+	// program, which couples onto the aligned cells of neighbouring word
+	// lines.
+	delta := make([]float64, n)
+
+	disturb := func(victim int) {
+		if victim < 0 || victim >= wordLines || !msbDone[victim] {
+			// Interference onto partially-programmed word lines is absorbed
+			// when their own MSB program re-forms the distribution, so only
+			// fully-programmed victims accumulate it.
+			return
+		}
+		aggressors[victim]++
+		for c := 0; c < n; c++ {
+			if delta[c] <= 0 {
+				continue
+			}
+			gamma := p.CouplingRatio + src.Normal(0, p.CouplingSigma)
+			if gamma < 0 {
+				gamma = 0
+			}
+			vth[victim][c] += delta[c] * gamma
+		}
+	}
+
+	seen := core.NewBlockState(wordLines)
+	for i, pg := range order {
+		if pg.WL < 0 || pg.WL >= wordLines {
+			return nil, fmt.Errorf("vth: order[%d]=%v out of range", i, pg)
+		}
+		if seen.Written(pg) {
+			return nil, fmt.Errorf("vth: order[%d]=%v programmed twice", i, pg)
+		}
+		seen.Mark(pg)
+		k := pg.WL
+		switch pg.Type {
+		case core.LSB:
+			for c := 0; c < n; c++ {
+				bit := src.Intn(2)
+				lsbBits[k][c] = bit
+				old := vth[k][c]
+				if bit == 0 { // programmed polarity: E -> transient X0
+					vth[k][c] = p.TransientLevel + src.Normal(0, p.ProgramSigma)
+				}
+				if d := vth[k][c] - old; d > 0 {
+					delta[c] = d
+				} else {
+					delta[c] = 0
+				}
+			}
+			lsbDone[k] = true
+		case core.MSB:
+			for c := 0; c < n; c++ {
+				msbBit := src.Intn(2)
+				st := StateOf(lsbBits[k][c], msbBit)
+				target[k][c] = st
+				// The MSB program re-places the cell at its final level with
+				// fresh program noise, clearing interference accumulated in
+				// the transient state.
+				old := vth[k][c]
+				vth[k][c] = p.Levels[st] + src.Normal(0, p.ProgramSigma)
+				if d := vth[k][c] - old; d > 0 {
+					delta[c] = d
+				} else {
+					delta[c] = 0
+				}
+			}
+			msbDone[k] = true
+		}
+		disturb(k - 1)
+		disturb(k + 1)
+	}
+	_ = lsbDone
+	return &blockCells{vth: vth, target: target, aggressors: aggressors}, nil
+}
+
+// stressCell applies wear widening and retention shift to one cell.
+func (m *Model) stressCell(v float64, st State, stress StressCondition, src *rng.Source) float64 {
+	p := m.p
+	if stress.PECycles > 0 {
+		v += src.Normal(0, p.WearSigmaPerKCycle*float64(stress.PECycles)/1000.0)
+	}
+	if stress.RetentionYears > 0 {
+		// Charge loss scales with how much charge the state holds.
+		frac := float64(st) / 3.0
+		v -= p.RetentionShiftPerYear * stress.RetentionYears * frac
+		v += src.Normal(0, p.RetentionSigmaPerYear*stress.RetentionYears)
+	}
+	return v
+}
+
+// measure applies stress and computes the per-word-line metrics.
+func (m *Model) measure(cells *blockCells, stress StressCondition, src *rng.Source) BlockResult {
+	p := m.p
+	n := p.CellsPerWordLine
+	wordLines := len(cells.vth)
+	vth, target, aggressors := cells.vth, cells.target, cells.aggressors
+	refs := p.ReadReferences()
+
+	res := BlockResult{Order: "", WordLines: make([]WordLineResult, wordLines)}
+	for k := 0; k < wordLines; k++ {
+		// Group cells by intended state for width measurement, after stress.
+		var minV, maxV [4]float64
+		var have [4]bool
+		errs := 0
+		for c := 0; c < n; c++ {
+			v := m.stressCell(vth[k][c], target[k][c], stress, src)
+			st := target[k][c]
+			if !have[st] {
+				minV[st], maxV[st] = v, v
+				have[st] = true
+			} else if v < minV[st] {
+				minV[st] = v
+			} else if v > maxV[st] {
+				maxV[st] = v
+			}
+			got := classify(v, refs)
+			if got != st {
+				gl, gm := got.Bits()
+				wl, wm := st.Bits()
+				if gl != wl {
+					errs++
+				}
+				if gm != wm {
+					errs++
+				}
+			}
+		}
+		wpSum := 0.0
+		for s := 0; s < 4; s++ {
+			if have[s] {
+				wpSum += maxV[s] - minV[s]
+			}
+		}
+		res.WordLines[k] = WordLineResult{
+			WL:         k,
+			WPSum:      wpSum,
+			BER:        float64(errs) / float64(2*n),
+			Aggressors: aggressors[k],
+		}
+		res.TotalBits += 2 * n
+		res.TotalErrs += errs
+	}
+	return res
+}
+
+// SampleWordLine programs a block under the given order, applies stress,
+// and returns word line wl's cell Vth values grouped by intended state —
+// the data behind the Figure 1 distribution diagram.
+func (m *Model) SampleWordLine(wordLines int, order []core.Page, wl int, stress StressCondition, src *rng.Source) (map[State][]float64, error) {
+	if wl < 0 || wl >= wordLines {
+		return nil, fmt.Errorf("vth: word line %d out of range [0,%d)", wl, wordLines)
+	}
+	cells, err := m.programBlock(wordLines, order, src)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[State][]float64)
+	for c := 0; c < m.p.CellsPerWordLine; c++ {
+		st := cells.target[wl][c]
+		out[st] = append(out[st], m.stressCell(cells.vth[wl][c], st, stress, src))
+	}
+	return out, nil
+}

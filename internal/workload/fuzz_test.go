@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryReplay: arbitrary bytes must never panic the binary decoder —
+// they either parse as records or terminate the stream.
+func FuzzBinaryReplay(f *testing.F) {
+	gen, err := New(OLTP(), 1000, 20, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if _, err := WriteBinary(&valid, gen); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("fxt1"))
+	f.Add([]byte("fxt1\x00\x01\x02"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		replay, err := NewBinaryReplay(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			req, ok := replay.Next()
+			if !ok {
+				break
+			}
+			if req.Pages < 0 {
+				t.Fatalf("negative page count decoded: %+v", req)
+			}
+		}
+	})
+}
+
+// FuzzCSVReplay: arbitrary text must never panic the CSV decoder.
+func FuzzCSVReplay(f *testing.F) {
+	gen, err := New(Varmail(), 1000, 20, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if _, err := WriteCSV(&valid, gen); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add("arrival_us,op,page,pages\n")
+	f.Add("arrival_us,op,page,pages\n1,W,2,3\nnot,a,row\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		replay, err := NewCSVReplay(bytes.NewReader([]byte(data)), "fuzz")
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, ok := replay.Next(); !ok {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"flexftl/internal/sim"
+)
+
+// TraceStats summarizes a request stream — the numbers `flextrace stat`
+// prints and the Table 1 verification consumes.
+type TraceStats struct {
+	Requests    int
+	Reads       int
+	Writes      int
+	Trims       int
+	ReadPages   int64
+	WritePages  int64
+	Span        sim.Time // last arrival
+	IdleTime    sim.Time // sum of gaps above IdleGapThreshold
+	MaxGap      sim.Time
+	UniquePages int // distinct first-page values touched
+}
+
+// IdleGapThreshold is the gap length counted as idle in TraceStats.
+const IdleGapThreshold = 5 * sim.Millisecond
+
+// Summarize drains a generator and computes its statistics.
+func Summarize(gen Generator) TraceStats {
+	var st TraceStats
+	var prev sim.Time
+	seen := make(map[int64]struct{})
+	first := true
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		st.Requests++
+		switch req.Op {
+		case OpRead:
+			st.Reads++
+			st.ReadPages += int64(req.Pages)
+		case OpTrim:
+			st.Trims++
+		default:
+			st.Writes++
+			st.WritePages += int64(req.Pages)
+		}
+		if !first {
+			gap := req.Arrival - prev
+			if gap > st.MaxGap {
+				st.MaxGap = gap
+			}
+			if gap > IdleGapThreshold {
+				st.IdleTime += gap
+			}
+		}
+		prev = req.Arrival
+		st.Span = req.Arrival
+		seen[req.Page] = struct{}{}
+		first = false
+	}
+	st.UniquePages = len(seen)
+	return st
+}
+
+// ReadFraction returns the request-level read share.
+func (s TraceStats) ReadFraction() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Reads) / float64(s.Requests)
+}
+
+// IdleFraction returns the share of the trace span spent in idle gaps.
+func (s TraceStats) IdleFraction() float64 {
+	if s.Span <= 0 {
+		return 0
+	}
+	return float64(s.IdleTime) / float64(s.Span)
+}
+
+// OfferedIOPS returns the average request rate over the span.
+func (s TraceStats) OfferedIOPS() float64 {
+	if s.Span <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / s.Span.Seconds()
+}
+
+// String renders a multi-line report.
+func (s TraceStats) String() string {
+	return fmt.Sprintf(
+		"requests   : %d (%d reads / %d writes / %d trims, R frac %.2f)\n"+
+			"pages      : %d read / %d written\n"+
+			"span       : %v (idle %.1f%%, max gap %v)\n"+
+			"offered    : %.0f IOPS\n"+
+			"unique pgs : %d",
+		s.Requests, s.Reads, s.Writes, s.Trims, s.ReadFraction(),
+		s.ReadPages, s.WritePages,
+		s.Span, 100*s.IdleFraction(), s.MaxGap,
+		s.OfferedIOPS(), s.UniquePages)
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"flexftl/internal/sim"
+)
+
+func TestSummarize(t *testing.T) {
+	reqs := []Request{
+		{Arrival: 0, Op: OpWrite, Page: 10, Pages: 2},
+		{Arrival: 100, Op: OpRead, Page: 10, Pages: 1},
+		{Arrival: 100 + 10*sim.Millisecond, Op: OpWrite, Page: 20, Pages: 3},
+	}
+	st := Summarize(&sliceGen{reqs: reqs})
+	if st.Requests != 3 || st.Reads != 1 || st.Writes != 2 {
+		t.Errorf("counts: %+v", st)
+	}
+	if st.ReadPages != 1 || st.WritePages != 5 {
+		t.Errorf("pages: %+v", st)
+	}
+	if st.UniquePages != 2 {
+		t.Errorf("unique = %d", st.UniquePages)
+	}
+	if st.IdleTime != 10*sim.Millisecond {
+		t.Errorf("idle = %v", st.IdleTime)
+	}
+	if st.MaxGap != 10*sim.Millisecond {
+		t.Errorf("max gap = %v", st.MaxGap)
+	}
+	if st.ReadFraction() != 1.0/3 {
+		t.Errorf("read frac = %v", st.ReadFraction())
+	}
+	if st.IdleFraction() <= 0.9 {
+		t.Errorf("idle frac = %v", st.IdleFraction())
+	}
+	if st.OfferedIOPS() <= 0 {
+		t.Error("offered IOPS zero")
+	}
+	if !strings.Contains(st.String(), "requests") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(&sliceGen{})
+	if st.ReadFraction() != 0 || st.IdleFraction() != 0 || st.OfferedIOPS() != 0 {
+		t.Error("empty trace ratios nonzero")
+	}
+}
+
+// sliceGen replays a fixed slice (test helper).
+type sliceGen struct {
+	reqs []Request
+	i    int
+}
+
+func (s *sliceGen) Name() string { return "slice" }
+func (s *sliceGen) Next() (Request, bool) {
+	if s.i >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"flexftl/internal/sim"
+)
+
+// Trace I/O: workloads can be captured to a compact binary stream (or a
+// human-readable CSV) and replayed later, so experiments are repeatable
+// across machines and external traces can be fed to the simulator.
+
+// traceMagic guards the binary format.
+var traceMagic = [4]byte{'f', 'x', 't', '1'}
+
+// ErrBadTrace is returned for malformed trace streams.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// WriteBinary captures every request from gen to w in the compact binary
+// format and returns the number of requests written.
+func WriteBinary(w io.Writer, gen Generator) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return 0, err
+	}
+	n := 0
+	var rec [21]byte
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(req.Arrival))
+		rec[8] = byte(req.Op)
+		binary.LittleEndian.PutUint64(rec[9:17], uint64(req.Page))
+		binary.LittleEndian.PutUint32(rec[17:21], uint32(req.Pages))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// binaryReplay replays a binary trace stream.
+type binaryReplay struct {
+	r    *bufio.Reader
+	name string
+	err  error
+}
+
+// NewBinaryReplay wraps a binary trace stream as a Generator.
+func NewBinaryReplay(r io.Reader, name string) (Generator, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	return &binaryReplay{r: br, name: name}, nil
+}
+
+// Name identifies the replayed trace.
+func (b *binaryReplay) Name() string { return b.name }
+
+// Next decodes the next record.
+func (b *binaryReplay) Next() (Request, bool) {
+	if b.err != nil {
+		return Request{}, false
+	}
+	var rec [21]byte
+	if _, err := io.ReadFull(b.r, rec[:]); err != nil {
+		b.err = err
+		return Request{}, false
+	}
+	return Request{
+		Arrival: sim.Time(binary.LittleEndian.Uint64(rec[0:8])),
+		Op:      Op(rec[8]),
+		Page:    int64(binary.LittleEndian.Uint64(rec[9:17])),
+		Pages:   int(binary.LittleEndian.Uint32(rec[17:21])),
+	}, true
+}
+
+// WriteCSV captures every request from gen to w as
+// "arrival_us,op,page,pages" lines with a header.
+func WriteCSV(w io.Writer, gen Generator) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "arrival_us,op,page,pages"); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d\n", int64(req.Arrival), req.Op, req.Page, req.Pages); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// csvReplay replays a CSV trace.
+type csvReplay struct {
+	sc   *bufio.Scanner
+	name string
+}
+
+// NewCSVReplay wraps a CSV trace stream as a Generator. The header line is
+// consumed immediately.
+func NewCSVReplay(r io.Reader, name string) (Generator, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty CSV", ErrBadTrace)
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "arrival_us,op,page,pages" {
+		return nil, fmt.Errorf("%w: unexpected header %q", ErrBadTrace, got)
+	}
+	return &csvReplay{sc: sc, name: name}, nil
+}
+
+// Name identifies the replayed trace.
+func (c *csvReplay) Name() string { return c.name }
+
+// Next parses the next line.
+func (c *csvReplay) Next() (Request, bool) {
+	for c.sc.Scan() {
+		line := strings.TrimSpace(c.sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return Request{}, false
+		}
+		arrival, err1 := strconv.ParseInt(parts[0], 10, 64)
+		page, err2 := strconv.ParseInt(parts[2], 10, 64)
+		pages, err3 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return Request{}, false
+		}
+		op := OpWrite
+		switch parts[1] {
+		case "R":
+			op = OpRead
+		case "T":
+			op = OpTrim
+		}
+		return Request{Arrival: sim.Time(arrival), Op: op, Page: page, Pages: pages}, true
+	}
+	return Request{}, false
+}
+
+// Limit caps a generator at n requests (useful for warm-up splits).
+func Limit(gen Generator, n int) Generator {
+	return &limited{gen: gen, remaining: n}
+}
+
+type limited struct {
+	gen       Generator
+	remaining int
+}
+
+func (l *limited) Name() string { return l.gen.Name() }
+
+func (l *limited) Next() (Request, bool) {
+	if l.remaining <= 0 {
+		return Request{}, false
+	}
+	l.remaining--
+	return l.gen.Next()
+}
