@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,16 +29,19 @@ func main() {
 		full     = flag.Bool("full", false, "use the paper's 16 GB geometry (slow)")
 		blocks   = flag.Int("fig4-blocks", 90, "blocks per order for Figure 4")
 		serial   = flag.Bool("serial", false, "disable parallel simulation runs")
+		metrics  = flag.String("metrics", "", "write per-experiment result snapshots as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exp, *requests, *seed, *full, *blocks, !*serial); err != nil {
+	if err := run(os.Stdout, *exp, *requests, *seed, *full, *blocks, !*serial, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "flexbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Blocks int, parallel bool) error {
+func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Blocks int, parallel bool, metricsPath string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
+	// snapshots collects each experiment's result object for -metrics.
+	snapshots := make(map[string]any)
 
 	if want("fig1") {
 		experiments.Rule(w, "Figure 1")
@@ -52,6 +56,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
+		snapshots["table1"] = rows
 		experiments.RenderTable1(w, rows)
 	}
 	if want("fig4a") || want("fig4b") || (exp == "fig4") {
@@ -63,6 +68,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
+		snapshots["fig4"] = res
 		experiments.RenderFig4(w, res)
 		fmt.Fprintf(w, "  (%d blocks/order simulated in %v)\n", cfg.Blocks, time.Since(start).Round(time.Millisecond))
 	}
@@ -73,6 +79,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
+		snapshots["fig4tlc"] = res
 		experiments.RenderFig4TLC(w, res)
 	}
 	if want("sensitivity") {
@@ -81,6 +88,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
+		snapshots["sensitivity"] = res
 		experiments.RenderSensitivity(w, res)
 	}
 	if want("stress") {
@@ -89,6 +97,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
+		snapshots["stress"] = pts
 		experiments.RenderStressSweep(w, pts)
 	}
 	if want("ablation") {
@@ -99,6 +108,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
+		snapshots["ablation"] = res
 		experiments.RenderAblations(w, res)
 	}
 	if want("fig8a") || want("fig8b") || want("fig8c") || want("summary") || exp == "fig8" {
@@ -113,6 +123,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
+		snapshots["fig8"] = res
 		fmt.Fprintf(w, "(4 FTLs x 5 workloads simulated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		if want("fig8a") || exp == "fig8" {
 			experiments.RenderFig8a(w, res)
@@ -133,8 +144,23 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 	switch exp {
 	case "all", "fig1", "table1", "fig4", "fig4a", "fig4b", "fig4tlc",
 		"fig8", "fig8a", "fig8b", "fig8c", "summary", "ablation", "stress", "sensitivity":
-		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	if metricsPath != "" {
+		if err := writeMetrics(metricsPath, snapshots); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics: wrote %d experiment snapshot(s) to %s\n", len(snapshots), metricsPath)
+	}
+	return nil
+}
+
+// writeMetrics dumps the collected experiment results as indented JSON.
+func writeMetrics(path string, snapshots map[string]any) error {
+	data, err := json.MarshalIndent(snapshots, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

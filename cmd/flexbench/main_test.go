@@ -1,13 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunFig1(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig1", 100, 1, false, 2, true); err != nil {
+	if err := run(&sb, "fig1", 100, 1, false, 2, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Figure 1", "LSB page program", "4.0x"} {
@@ -19,7 +22,7 @@ func TestRunFig1(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "table1", 100, 1, false, 2, true); err != nil {
+	if err := run(&sb, "table1", 100, 1, false, 2, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"OLTP", "Fileserver", "Very high"} {
@@ -31,7 +34,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunFig4Tiny(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig4a", 100, 1, false, 2, true); err != nil {
+	if err := run(&sb, "fig4a", 100, 1, false, 2, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Figure 4", "RPSfull", "ECC failure"} {
@@ -43,7 +46,30 @@ func TestRunFig4Tiny(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "figZZ", 100, 1, false, 2, true); err == nil {
+	if err := run(&sb, "figZZ", 100, 1, false, 2, true, ""); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunMetricsDump: -metrics writes a JSON object keyed by experiment.
+func TestRunMetricsDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var sb strings.Builder
+	if err := run(&sb, "table1", 100, 1, false, 2, true, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics dump not valid JSON: %v", err)
+	}
+	if _, ok := snap["table1"]; !ok {
+		t.Errorf("dump missing table1 snapshot: %v", snap)
+	}
+	if !strings.Contains(sb.String(), "metrics: wrote 1 experiment snapshot") {
+		t.Errorf("run output missing metrics summary:\n%s", sb.String())
 	}
 }

@@ -2,16 +2,26 @@
 // measurements:
 //
 //	flexsim -ftl flexFTL -workload Varmail -requests 100000
-//	flexsim -ftl pageFTL -workload NTRX -trace out.csv   # also dump the trace
-//	flexsim -ftl flexFTL -replay out.csv                 # replay a trace
+//	flexsim -ftl flexFTL -trace run.json -sample 10ms       # Chrome trace + series
+//	flexsim -ftl flexFTL -trace run.jsonl -trace-format jsonl
+//	flexsim -ftl pageFTL -workload NTRX -dump-workload t.csv # dump the workload
+//	flexsim -ftl flexFTL -replay t.csv                       # replay a dump
+//
+// A -trace file in the default chrome format loads directly in
+// chrome://tracing or https://ui.perfetto.dev; see docs/OBSERVABILITY.md.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"flexftl/internal/core"
 	"flexftl/internal/experiments"
@@ -21,24 +31,48 @@ import (
 	"flexftl/internal/ftl/parityftl"
 	"flexftl/internal/ftl/rtfftl"
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
+	"flexftl/internal/sim"
 	"flexftl/internal/ssd"
 	"flexftl/internal/workload"
 )
 
+// options bundles everything run needs; flags map onto it one to one.
+type options struct {
+	FTL          string
+	Workload     string
+	Requests     int
+	Seed         uint64
+	Full         bool
+	GCPolicy     string
+	Predictive   bool
+	DumpWorkload string        // write the generated workload as CSV
+	Replay       string        // replay a CSV workload instead of generating
+	Trace        string        // event-trace output file
+	TraceFormat  string        // chrome|jsonl
+	Sample       time.Duration // internal-state sampling cadence (0 = off)
+	SampleOut    string        // sampled series CSV output file
+	DebugAddr    string        // pprof/expvar HTTP listen address
+}
+
 func main() {
-	var (
-		ftlName  = flag.String("ftl", "flexFTL", "FTL scheme: pageFTL|parityFTL|rtfFTL|flexFTL")
-		wlName   = flag.String("workload", "Varmail", "workload: OLTP|NTRX|Webserver|Varmail|Fileserver")
-		requests = flag.Int("requests", 100000, "host requests")
-		seed     = flag.Uint64("seed", 42, "workload seed")
-		full     = flag.Bool("full", false, "use the paper's 16 GB geometry")
-		trace    = flag.String("trace", "", "write the generated workload as CSV to this file")
-		replay   = flag.String("replay", "", "replay a CSV trace file instead of generating")
-		gcPolicy = flag.String("gc", "greedy", "GC victim policy: greedy|costbenefit")
-		predict  = flag.Bool("predictive-bgc", false, "enable the Section 6 future-write predictor (flexFTL only)")
-	)
+	var o options
+	flag.StringVar(&o.FTL, "ftl", "flexFTL", "FTL scheme: pageFTL|parityFTL|rtfFTL|flexFTL")
+	flag.StringVar(&o.Workload, "workload", "Varmail", "workload: OLTP|NTRX|Webserver|Varmail|Fileserver")
+	flag.IntVar(&o.Requests, "requests", 100000, "host requests")
+	flag.Uint64Var(&o.Seed, "seed", 42, "workload seed")
+	flag.BoolVar(&o.Full, "full", false, "use the paper's 16 GB geometry")
+	flag.StringVar(&o.GCPolicy, "gc", "greedy", "GC victim policy: greedy|costbenefit")
+	flag.BoolVar(&o.Predictive, "predictive-bgc", false, "enable the Section 6 future-write predictor (flexFTL only)")
+	flag.StringVar(&o.DumpWorkload, "dump-workload", "", "write the generated workload as CSV to this file")
+	flag.StringVar(&o.Replay, "replay", "", "replay a CSV workload file instead of generating")
+	flag.StringVar(&o.Trace, "trace", "", "write an event trace of the run to this file")
+	flag.StringVar(&o.TraceFormat, "trace-format", "chrome", "event trace format: chrome|jsonl")
+	flag.DurationVar(&o.Sample, "sample", 0, "sample internal state (u, q, queue depths) on this virtual-time cadence")
+	flag.StringVar(&o.SampleOut, "sample-out", "", "write the sampled series as CSV to this file")
+	flag.StringVar(&o.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar metrics on this address")
 	flag.Parse()
-	if err := run(os.Stdout, *ftlName, *wlName, *requests, *seed, *full, *trace, *replay, *gcPolicy, *predict); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "flexsim:", err)
 		os.Exit(1)
 	}
@@ -87,12 +121,114 @@ func findProfile(name string) (workload.Profile, error) {
 	return workload.Profile{}, fmt.Errorf("unknown workload %q", name)
 }
 
-func run(w io.Writer, ftlName, wlName string, requests int, seed uint64, full bool, trace, replay, gcPolicy string, predictive bool) error {
+// debugRegistry is the registry the -debug-addr expvar endpoint snapshots.
+// expvar.Publish is process-global and rejects duplicate names, so the
+// published Func reads through this variable and publishing happens once.
+var (
+	debugMu       sync.Mutex
+	debugRegistry *obs.Registry
+	debugOnce     sync.Once
+)
+
+// serveDebug exposes net/http/pprof (via its init side effect on
+// http.DefaultServeMux) plus the simulator's metric registry under
+// /debug/vars as "flexsim.metrics".
+func serveDebug(addr string, reg *obs.Registry) {
+	debugMu.Lock()
+	debugRegistry = reg
+	debugMu.Unlock()
+	debugOnce.Do(func() {
+		expvar.Publish("flexsim.metrics", expvar.Func(func() any {
+			debugMu.Lock()
+			r := debugRegistry
+			debugMu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim: debug server:", err)
+		}
+	}()
+}
+
+// newRecorder assembles the observability stack the flags ask for. It
+// returns a nil recorder (tracing fully disabled) when no flag wants one.
+// The returned cleanup writes the sample CSV and closes the trace file.
+func newRecorder(w io.Writer, o options) (*obs.Recorder, func() error, error) {
+	if o.Trace == "" && o.Sample <= 0 && o.SampleOut == "" && o.DebugAddr == "" {
+		return nil, func() error { return nil }, nil
+	}
+
+	var ro obs.Options
+	var traceFile *os.File
+	if o.Trace != "" {
+		f, err := os.Create(o.Trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		traceFile = f
+		switch o.TraceFormat {
+		case "chrome":
+			ro.Sink = obs.NewChromeSink(f)
+		case "jsonl":
+			ro.Sink = obs.NewJSONLSink(f)
+		default:
+			f.Close()
+			return nil, nil, fmt.Errorf("unknown trace format %q (chrome|jsonl)", o.TraceFormat)
+		}
+	}
+
+	sample := o.Sample
+	if sample <= 0 && o.SampleOut != "" {
+		sample = 10 * time.Millisecond
+	}
+	if sample > 0 {
+		ro.Sampler = obs.NewSampler(sim.Time(sample / time.Microsecond))
+	}
+
+	rec := obs.NewRecorder(ro)
+	if o.DebugAddr != "" {
+		serveDebug(o.DebugAddr, rec.Registry())
+	}
+
+	cleanup := func() error {
+		err := rec.Close()
+		if traceFile != nil {
+			if cerr := traceFile.Close(); err == nil {
+				err = cerr
+			}
+			if err == nil {
+				fmt.Fprintf(w, "trace    : wrote %d events to %s (%s format)\n",
+					rec.Emitted(), o.Trace, o.TraceFormat)
+			}
+		}
+		if o.SampleOut != "" && err == nil {
+			f, serr := os.Create(o.SampleOut)
+			if serr != nil {
+				return serr
+			}
+			serr = rec.Sampler().WriteCSV(f)
+			if cerr := f.Close(); serr == nil {
+				serr = cerr
+			}
+			if serr != nil {
+				return serr
+			}
+			fmt.Fprintf(w, "samples  : wrote %d rows (%s) to %s\n",
+				len(rec.Sampler().Rows()), strings.Join(rec.Sampler().Names(), ","), o.SampleOut)
+		}
+		return err
+	}
+	return rec, cleanup, nil
+}
+
+func run(w io.Writer, o options) error {
 	geometry := experiments.EvalGeometry()
-	if full {
+	if o.Full {
 		geometry = nand.DefaultGeometry()
 	}
-	f, err := buildFTL(ftlName, geometry, gcPolicy, predictive)
+	f, err := buildFTL(o.FTL, geometry, o.GCPolicy, o.Predictive)
 	if err != nil {
 		return err
 	}
@@ -105,27 +241,27 @@ func run(w io.Writer, ftlName, wlName string, requests int, seed uint64, full bo
 
 	var gen workload.Generator
 	switch {
-	case replay != "":
-		file, err := os.Open(replay)
+	case o.Replay != "":
+		file, err := os.Open(o.Replay)
 		if err != nil {
 			return err
 		}
 		defer file.Close()
-		gen, err = workload.NewCSVReplay(file, replay)
+		gen, err = workload.NewCSVReplay(file, o.Replay)
 		if err != nil {
 			return err
 		}
 	default:
-		prof, err := findProfile(wlName)
+		prof, err := findProfile(o.Workload)
 		if err != nil {
 			return err
 		}
-		gen, err = workload.New(prof, f.LogicalPages(), requests, seed)
+		gen, err = workload.New(prof, f.LogicalPages(), o.Requests, o.Seed)
 		if err != nil {
 			return err
 		}
-		if trace != "" {
-			file, err := os.Create(trace)
+		if o.DumpWorkload != "" {
+			file, err := os.Create(o.DumpWorkload)
 			if err != nil {
 				return err
 			}
@@ -136,18 +272,25 @@ func run(w io.Writer, ftlName, wlName string, requests int, seed uint64, full bo
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "trace    : wrote %d requests to %s\n", n, trace)
+			fmt.Fprintf(w, "workload : wrote %d requests to %s\n", n, o.DumpWorkload)
 			// Regenerate for the run itself (the writer consumed gen).
-			gen, err = workload.New(prof, f.LogicalPages(), requests, seed)
+			gen, err = workload.New(prof, f.LogicalPages(), o.Requests, o.Seed)
 			if err != nil {
 				return err
 			}
 		}
 	}
 
+	rec, finishObs, err := newRecorder(w, o)
+	if err != nil {
+		return err
+	}
+
 	if _, err := sys.Prefill(); err != nil {
 		return err
 	}
+	// Attach after Prefill so traces and samples cover the measured run only.
+	sys.SetRecorder(rec)
 	res, err := sys.Run(gen)
 	if err != nil {
 		return err
@@ -166,5 +309,5 @@ func run(w io.Writer, ftlName, wlName string, requests int, seed uint64, full bo
 		st.HostWrites, st.HostWritesLSB, st.HostWritesMSB, st.GCCopies, st.BackupWrites, st.PadWrites)
 	fmt.Fprintf(w, "erases   : %d (WA %.2f), GC: %d foreground / %d background\n",
 		st.Erases, st.WriteAmplification(), st.ForegroundGCs, st.BackgroundGCs)
-	return nil
+	return finishObs()
 }

@@ -1,15 +1,18 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunSmall(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "flexFTL", "Varmail", 3000, 7, false, "", "", "greedy", false); err != nil {
+	o := options{FTL: "flexFTL", Workload: "Varmail", Requests: 3000, Seed: 7, GCPolicy: "greedy"}
+	if err := run(&sb, o); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -22,46 +25,47 @@ func TestRunSmall(t *testing.T) {
 
 func TestRunUnknownFTL(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "nopeFTL", "Varmail", 100, 1, false, "", "", "greedy", false); err == nil {
+	if err := run(&sb, options{FTL: "nopeFTL", Workload: "Varmail", Requests: 100, Seed: 1, GCPolicy: "greedy"}); err == nil {
 		t.Error("unknown FTL accepted")
 	}
 }
 
 func TestRunUnknownGCPolicy(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "pageFTL", "OLTP", 100, 1, false, "", "", "nope", false); err == nil {
+	if err := run(&sb, options{FTL: "pageFTL", Workload: "OLTP", Requests: 100, Seed: 1, GCPolicy: "nope"}); err == nil {
 		t.Error("unknown GC policy accepted")
 	}
 }
 
 func TestRunCostBenefitAndPredictive(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "flexFTL", "OLTP", 1000, 1, false, "", "", "costbenefit", true); err != nil {
+	o := options{FTL: "flexFTL", Workload: "OLTP", Requests: 1000, Seed: 1, GCPolicy: "costbenefit", Predictive: true}
+	if err := run(&sb, o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownWorkload(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "pageFTL", "nope", 100, 1, false, "", "", "greedy", false); err == nil {
+	if err := run(&sb, options{FTL: "pageFTL", Workload: "nope", Requests: 100, Seed: 1, GCPolicy: "greedy"}); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
 
-// TestTraceDumpAndReplay: -trace writes a CSV, -replay reproduces the exact
-// run from it.
-func TestTraceDumpAndReplay(t *testing.T) {
+// TestWorkloadDumpAndReplay: -dump-workload writes a CSV, -replay reproduces
+// the exact run from it.
+func TestWorkloadDumpAndReplay(t *testing.T) {
 	dir := t.TempDir()
-	trace := filepath.Join(dir, "t.csv")
+	dump := filepath.Join(dir, "t.csv")
 	var a strings.Builder
-	if err := run(&a, "pageFTL", "OLTP", 2000, 3, false, trace, "", "greedy", false); err != nil {
+	if err := run(&a, options{FTL: "pageFTL", Workload: "OLTP", Requests: 2000, Seed: 3, GCPolicy: "greedy", DumpWorkload: dump}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(trace); err != nil {
-		t.Fatalf("trace not written: %v", err)
+	if _, err := os.Stat(dump); err != nil {
+		t.Fatalf("workload dump not written: %v", err)
 	}
 	var b strings.Builder
-	if err := run(&b, "pageFTL", "", 0, 0, false, "", trace, "greedy", false); err != nil {
+	if err := run(&b, options{FTL: "pageFTL", GCPolicy: "greedy", Replay: dump}); err != nil {
 		t.Fatal(err)
 	}
 	pick := func(out, key string) string {
@@ -77,5 +81,85 @@ func TestTraceDumpAndReplay(t *testing.T) {
 		if la == "" || la != lb {
 			t.Errorf("replay diverged on %q:\n gen   : %s\n replay: %s", key, la, lb)
 		}
+	}
+}
+
+// TestRunWithChromeTrace: -trace produces a loadable Chrome trace and the
+// sampled series CSV carries the paper's internal-state columns.
+func TestRunWithChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.json")
+	samples := filepath.Join(dir, "series.csv")
+	var sb strings.Builder
+	o := options{
+		FTL: "flexFTL", Workload: "Varmail", Requests: 2000, Seed: 11, GCPolicy: "greedy",
+		Trace: trace, TraceFormat: "chrome", Sample: 5 * time.Millisecond, SampleOut: samples,
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+	csv, err := os.ReadFile(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(csv), "\n", 2)[0]
+	for _, col := range []string{"t_us", "u", "q", "sbq_depth", "free_blocks"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("sample CSV header %q missing column %q", header, col)
+		}
+	}
+	if !strings.Contains(sb.String(), "trace    : wrote") {
+		t.Errorf("run output missing trace summary:\n%s", sb.String())
+	}
+}
+
+// TestRunWithJSONLTrace: the jsonl format emits one JSON object per line.
+func TestRunWithJSONLTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	var sb strings.Builder
+	o := options{
+		FTL: "pageFTL", Workload: "OLTP", Requests: 500, Seed: 2, GCPolicy: "greedy",
+		Trace: trace, TraceFormat: "jsonl",
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("jsonl trace empty")
+	}
+	for i, line := range lines[:min(len(lines), 50)] {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+	}
+}
+
+func TestRunUnknownTraceFormat(t *testing.T) {
+	var sb strings.Builder
+	o := options{
+		FTL: "pageFTL", Workload: "OLTP", Requests: 100, Seed: 1, GCPolicy: "greedy",
+		Trace: filepath.Join(t.TempDir(), "x"), TraceFormat: "xml",
+	}
+	if err := run(&sb, o); err == nil {
+		t.Error("unknown trace format accepted")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -37,6 +38,7 @@ type Buffer struct {
 	occupied int
 	peakOcc  int
 	admitted int64
+	util     *obs.Gauge // observability: live utilization (nil when disabled)
 }
 
 // New returns a buffer holding up to capacity page entries.
@@ -45,6 +47,14 @@ func New(capacity int) *Buffer {
 		panic("buffer: capacity must be positive")
 	}
 	return &Buffer{capacity: capacity}
+}
+
+// Instrument attaches a gauge tracking utilization u on every admit and
+// release (the flexFTL policy input, live for registry snapshots). A nil
+// gauge detaches.
+func (b *Buffer) Instrument(g *obs.Gauge) {
+	b.util = g
+	g.Set(b.Utilization())
 }
 
 // Capacity returns the slot count.
@@ -80,6 +90,7 @@ func (b *Buffer) TryAdmit(lpn int64, now sim.Time) (*Entry, error) {
 	if b.occupied > b.peakOcc {
 		b.peakOcc = b.occupied
 	}
+	b.util.Set(b.Utilization())
 	return e, nil
 }
 
@@ -94,6 +105,7 @@ func (b *Buffer) Release(e *Entry) error {
 	}
 	e.released = true
 	b.occupied--
+	b.util.Set(b.Utilization())
 	b.compact()
 	return nil
 }
@@ -123,4 +135,5 @@ func (b *Buffer) Oldest() *Entry {
 func (b *Buffer) Reset() {
 	b.entries = b.entries[:0]
 	b.occupied = 0
+	b.util.Set(0)
 }

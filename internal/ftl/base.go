@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -21,6 +22,9 @@ type Base struct {
 	Cfg   Config
 	Pools []*FreePool
 	St    Stats
+	// Obs is the observability recorder threaded through the stack; nil
+	// (the default) disables all emission at zero cost.
+	Obs *obs.Recorder
 
 	seq  int64    // global write sequence number (payload uniqueness)
 	rr   int      // round-robin chip cursor for host writes
@@ -54,6 +58,14 @@ func NewBase(dev *nand.Device, cfg Config) (*Base, error) {
 
 // Device returns the NAND device.
 func (b *Base) Device() *nand.Device { return b.Dev }
+
+// SetRecorder attaches an observability recorder to the FTL and its device.
+// Every FTL embedding Base inherits it, so the runner can instrument any
+// scheme uniformly.
+func (b *Base) SetRecorder(r *obs.Recorder) {
+	b.Obs = r
+	b.Dev.SetRecorder(r)
+}
 
 // Stats returns the counter snapshot.
 func (b *Base) Stats() Stats { return b.St }
@@ -156,6 +168,7 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 	}
 	b.inGC = true
 	defer func() { b.inGC = false }()
+	gcStart, copiesBefore := now, b.St.GCCopies
 
 	addr := nand.BlockAddr{Chip: chip, Block: victim}
 	b.Pools[chip].TakeFull(victim)
@@ -188,12 +201,14 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 			// Worn out: the block leaves service instead of returning to
 			// the free pool; capacity shrinks by one block.
 			b.St.RetiredBlocks++
+			b.Obs.Span(obs.KindGCCollect, int32(chip), gcStart, now, int64(victim), b.St.GCCopies-copiesBefore)
 			return now, nil
 		}
 		return now, err
 	}
 	b.St.Erases++
 	b.Pools[chip].PushFree(victim)
+	b.Obs.Span(obs.KindGCCollect, int32(chip), gcStart, done, int64(victim), b.St.GCCopies-copiesBefore)
 	return done, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"flexftl/internal/core"
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -41,6 +42,7 @@ func (f *FTL) programLSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time
 		}
 		st.afb, st.afbPos = blk, 0
 		st.pbuf.Reset()
+		f.Obs.Instant(obs.KindBlockFast, int32(chip), now, int64(blk), int64(f.Pools[chip].FreeCount()))
 	}
 	addr := nand.PageAddr{
 		BlockAddr: nand.BlockAddr{Chip: chip, Block: st.afb},
@@ -75,6 +77,7 @@ func (f *FTL) programLSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time
 		st.pbuf.Reset()
 		st.sbq = append(st.sbq, full)
 		st.afb = -1
+		f.Obs.Instant(obs.KindBlockQueued, int32(chip), now, int64(full), int64(len(st.sbq)))
 		done, err = f.writeBlockParity(chip, full, snapshot, done)
 		if err != nil {
 			return done, err
@@ -125,6 +128,7 @@ func (f *FTL) programMSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time
 		f.Pools[chip].PushFull(blk)
 		st.sbq = st.sbq[1:]
 		st.asbPos = 0
+		f.Obs.Instant(obs.KindBlockFull, int32(chip), now, int64(blk), int64(len(st.sbq)))
 	}
 	return done, nil
 }
@@ -167,6 +171,7 @@ func (f *FTL) writeBlockParity(chip, fastBlk int, parityPage []byte, now sim.Tim
 		return now, err
 	}
 	f.St.BackupWrites++
+	f.Obs.Instant(obs.KindBackup, int32(chip), now, int64(fastBlk), int64(bk.cur))
 	f.refs[f.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: fastBlk})] = parityRef{
 		backupBlk: bk.cur,
 		page:      bk.pos,

@@ -22,6 +22,7 @@ import (
 
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/parity"
 	"flexftl/internal/sim"
 )
@@ -187,6 +188,13 @@ func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
 		return now, err
 	}
 	useLSB := f.choosePageType(chip, util)
+	if f.Obs != nil {
+		lsb := int64(0)
+		if useLSB {
+			lsb = 1
+		}
+		f.Obs.Instant(obs.KindPolicy, int32(chip), now, lsb, f.q)
+	}
 	done, err := f.programAs(chip, useLSB, lpn, f.Token(lpn), ftl.SpareForLPN(lpn), now, false)
 	if err != nil {
 		return now, err

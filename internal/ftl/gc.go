@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -60,6 +61,9 @@ func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc
 	perPage := t.Read + 2*t.BusXfer + t.ProgMSB
 	g := b.Dev.Geometry()
 	perBlock := g.PagesPerBlock()
+	if b.Obs != nil && b.bg.active {
+		b.Obs.Instant(obs.KindBGCResume, int32(b.bg.chip), now, int64(b.bg.blk), int64(b.bg.nextIdx))
+	}
 	for now < until {
 		if !b.bg.active {
 			if !shouldRun() {
@@ -72,6 +76,7 @@ func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc
 			b.Pools[chip].TakeFull(victim)
 			b.bg = bgVictim{chip: chip, blk: victim, active: true}
 			b.St.BackgroundGCs++
+			b.Obs.Instant(obs.KindBGCStart, int32(chip), now, int64(victim), int64(b.Pools[chip].FreeCount()))
 		}
 		addr := nand.BlockAddr{Chip: b.bg.chip, Block: b.bg.blk}
 		base := nand.PPN(int64(b.Map.FlatBlock(addr)) * int64(perBlock))
@@ -98,6 +103,7 @@ func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc
 			}
 			b.St.Erases++
 			b.Pools[b.bg.chip].PushFree(b.bg.blk)
+			b.Obs.Instant(obs.KindBGCFinish, int32(b.bg.chip), now, int64(b.bg.blk), int64(b.Pools[b.bg.chip].FreeCount()))
 			b.bg = bgVictim{}
 			now = done
 			continue

@@ -13,6 +13,7 @@ import (
 	"flexftl/internal/core"
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/parity"
 	"flexftl/internal/sim"
 )
@@ -165,6 +166,7 @@ func (f *FTL) writeBackup(chip int, page []byte, now sim.Time) (sim.Time, error)
 		return now, err
 	}
 	f.St.BackupWrites++
+	f.Obs.Instant(obs.KindBackup, int32(chip), now, int64(ring.cur), int64(ring.pos))
 	ring.pos++
 	if ring.pos == len(f.order) {
 		// Rotate: recycle the previous backup block. Its newest parity is

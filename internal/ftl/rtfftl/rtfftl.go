@@ -16,6 +16,7 @@ import (
 	"flexftl/internal/core"
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/parity"
 	"flexftl/internal/sim"
 )
@@ -236,6 +237,7 @@ func (f *FTL) writeBackup(chip int, data []byte, now sim.Time) (sim.Time, error)
 		return now, err
 	}
 	f.St.BackupWrites++
+	f.Obs.Instant(obs.KindBackup, int32(chip), now, int64(ring.cur), int64(ring.pos))
 	ring.pos++
 	if ring.pos == len(f.order) {
 		// A filled backup block's parities are long stale (their paired
@@ -268,6 +270,7 @@ func (f *FTL) padOneMSB(chip int, now sim.Time) (sim.Time, error) {
 	}
 	f.Dev.AckProgram(addr.BlockAddr)
 	f.St.PadWrites++
+	f.Obs.Instant(obs.KindPad, int32(chip), now, int64(cur.blk), int64(page.WL))
 	cur.pos++
 	if cur.pos == len(f.order) {
 		f.Pools[chip].PushFull(cur.blk)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flexftl/internal/core"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -87,6 +88,13 @@ type Device struct {
 	chanFree []sim.Time // per-channel bus availability
 	counts   OpCounts
 	busyTime []sim.Time // accumulated busy time per chip (utilization metric)
+
+	// Observability (nil when tracing is disabled).
+	rec         *obs.Recorder
+	histProgLSB *obs.Histogram
+	histProgMSB *obs.Histogram
+	histRead    *obs.Histogram
+	histErase   *obs.Histogram
 }
 
 // NewDevice builds a device from the configuration.
@@ -119,6 +127,19 @@ func NewDevice(cfg Config) (*Device, error) {
 		d.chips[c].blocks = blocks
 	}
 	return d, nil
+}
+
+// SetRecorder attaches an observability recorder: per-operation span events
+// (program, read, erase on chip tracks; transfers on channel tracks) and
+// service-time histograms. A nil recorder disables emission again. The
+// recorder only observes — timing and results are unchanged.
+func (d *Device) SetRecorder(r *obs.Recorder) {
+	d.rec = r
+	reg := r.Registry()
+	d.histProgLSB = reg.Histogram("nand.program_lsb_us")
+	d.histProgMSB = reg.Histogram("nand.program_msb_us")
+	d.histRead = reg.Histogram("nand.read_us")
+	d.histErase = reg.Histogram("nand.erase_us")
 }
 
 // Geometry returns the device geometry.
@@ -202,6 +223,15 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	d.chanFree[ch] = xferDone
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
+	if d.rec != nil {
+		d.rec.Span(obs.KindXfer, int32(ch), start, xferDone, int64(a.Chip), int64(a.Block))
+		kind, hist := obs.KindProgramLSB, d.histProgLSB
+		if a.Page.Type == core.MSB {
+			kind, hist = obs.KindProgramMSB, d.histProgMSB
+		}
+		d.rec.Span(kind, int32(a.Chip), xferDone, done, int64(a.Block), int64(a.Page.WL))
+		hist.Record(int64(done - start))
+	}
 
 	blk.state.Mark(a.Page)
 	pg.programmed = true
@@ -253,6 +283,11 @@ func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Ti
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
 	d.counts.Reads++
+	if d.rec != nil {
+		d.rec.Span(obs.KindRead, int32(a.Chip), start, senseDone, int64(a.Block), int64(a.Page.WL))
+		d.rec.Span(obs.KindXfer, int32(ch), xferStart, done, int64(a.Chip), int64(a.Block))
+		d.histRead.Record(int64(done - start))
+	}
 
 	if !pg.programmed {
 		return nil, nil, done, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
@@ -294,6 +329,10 @@ func (d *Device) Erase(a BlockAddr, now sim.Time) (sim.Time, error) {
 	blk.eraseCount++
 	blk.msbInFlight = false
 	d.counts.Erases++
+	if d.rec != nil {
+		d.rec.Span(obs.KindErase, int32(a.Chip), start, done, int64(a.Block), int64(blk.eraseCount))
+		d.histErase.Record(int64(done - start))
+	}
 	return done, nil
 }
 

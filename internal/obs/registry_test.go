@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("writes")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Errorf("counter = %d, want 10", got)
+	}
+	if r.Counter("writes") != c {
+		t.Error("counter not interned by name")
+	}
+	g := r.Gauge("u")
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Errorf("gauge = %v, want 0.75", got)
+	}
+	if r.Gauge("u") != g {
+		t.Error("gauge not interned by name")
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	// All no-ops, no panics.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	h.Record(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 ||
+		h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	cs, gs, hs := r.Names()
+	if cs != nil || gs != nil || hs != nil {
+		t.Error("nil registry names not empty")
+	}
+}
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose range contains it, and bucket
+	// indices must be non-decreasing in the value.
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	prev := -1
+	for _, v := range values {
+		i := histIndex(v)
+		if i < 0 || i >= histBucketCount {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Errorf("histIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if up := histUpper(i); up < v {
+			t.Errorf("histUpper(%d) = %d below value %d", i, up, v)
+		}
+	}
+	// Small values are exact.
+	for v := int64(0); v < histSubCount; v++ {
+		if got := histUpper(histIndex(v)); got != v {
+			t.Errorf("small value %d not exact: upper %d", v, got)
+		}
+	}
+}
+
+func TestHistogramStatsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-500.5) > 1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+	// Quantiles report a bucket upper bound: at most ~1/16 relative error.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := q * 1000
+		got := float64(h.Quantile(q))
+		if got < exact || got > exact*(1+1.0/float64(histHalfSub))+1 {
+			t.Errorf("q%.2f = %v, exact %v", q, got, exact)
+		}
+	}
+	if h.Quantile(0) < 1 {
+		t.Error("q0 must still cover at least one observation")
+	}
+	if h.Quantile(1) < 1000 {
+		t.Errorf("q1 = %d must bound the max", h.Quantile(1))
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := &Histogram{}
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative record not clamped: %+v", h.Snapshot())
+	}
+}
+
+func TestRegistrySnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(3)
+	r.Counter("a.count").Add(1)
+	r.Gauge("u").Set(0.5)
+	r.Histogram("lat").Record(7)
+	snap := r.Snapshot()
+	if snap.Counters["a.count"] != 1 || snap.Counters["b.count"] != 3 {
+		t.Errorf("counters: %v", snap.Counters)
+	}
+	if snap.Gauges["u"] != 0.5 {
+		t.Errorf("gauges: %v", snap.Gauges)
+	}
+	hs := snap.Histograms["lat"]
+	if hs.Count != 1 || hs.P50 != 7 {
+		t.Errorf("histogram snapshot: %+v", hs)
+	}
+	cs, gs, hsNames := r.Names()
+	if len(cs) != 2 || cs[0] != "a.count" || cs[1] != "b.count" {
+		t.Errorf("counter names not sorted: %v", cs)
+	}
+	if len(gs) != 1 || len(hsNames) != 1 {
+		t.Errorf("names: %v %v", gs, hsNames)
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"flexftl/internal/sim"
+)
+
+// Sampler records a multi-series time line of internal state (write-buffer
+// utilization u, LSB quota q, slow-block-queue depth, free blocks, ...) on
+// a virtual-time cadence. Probes are closures registered by the components
+// that own the state; Tick drives sampling from the event loop.
+//
+// The simulator has no timer interrupts, so sampling quantizes to the tick
+// sites (request boundaries in the runner): a sample is taken at the first
+// Tick at or after each cadence point. After an idle gap longer than the
+// cadence a single sample is taken — gaps are not backfilled, which keeps
+// long idle workloads from flooding the series with identical rows.
+type Sampler struct {
+	every   sim.Time
+	next    sim.Time
+	started bool
+	names   []string
+	probes  []func() float64
+	rows    []Sample
+}
+
+// Sample is one row of the series: the sample time and one value per
+// registered probe, in registration order.
+type Sample struct {
+	T sim.Time
+	V []float64
+}
+
+// NewSampler builds a sampler with the given cadence.
+func NewSampler(every sim.Time) *Sampler {
+	if every <= 0 {
+		panic("obs: sampler cadence must be positive")
+	}
+	return &Sampler{every: every}
+}
+
+// Register adds a named probe. Registration order fixes the column order.
+// Probes must be registered before the first Tick.
+func (s *Sampler) Register(name string, probe func() float64) {
+	if s == nil {
+		return
+	}
+	if s.started {
+		panic(fmt.Sprintf("obs: probe %q registered after sampling started", name))
+	}
+	s.names = append(s.names, name)
+	s.probes = append(s.probes, probe)
+}
+
+// Tick samples all probes if a cadence point has passed (nil-safe).
+func (s *Sampler) Tick(now sim.Time) {
+	if s == nil || len(s.probes) == 0 {
+		return
+	}
+	if s.started && now < s.next {
+		return
+	}
+	s.started = true
+	s.sample(now)
+	s.next = now + s.every
+}
+
+func (s *Sampler) sample(now sim.Time) {
+	v := make([]float64, len(s.probes))
+	for i, p := range s.probes {
+		v[i] = p()
+	}
+	s.rows = append(s.rows, Sample{T: now, V: v})
+}
+
+// Names returns the series names in column order.
+func (s *Sampler) Names() []string {
+	if s == nil {
+		return nil
+	}
+	return append([]string(nil), s.names...)
+}
+
+// Rows returns the recorded samples.
+func (s *Sampler) Rows() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.rows
+}
+
+// Series returns the recorded values of one named probe, or nil when the
+// name is unknown.
+func (s *Sampler) Series(name string) []float64 {
+	if s == nil {
+		return nil
+	}
+	col := -1
+	for i, n := range s.names {
+		if n == name {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	out := make([]float64, len(s.rows))
+	for i, row := range s.rows {
+		out[i] = row.V[col]
+	}
+	return out
+}
+
+// WriteCSV renders the series as CSV with a t_us time column.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	if _, err := fmt.Fprint(w, "t_us"); err != nil {
+		return err
+	}
+	for _, n := range s.names {
+		if _, err := fmt.Fprintf(w, ",%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, row := range s.rows {
+		if _, err := fmt.Fprintf(w, "%d", int64(row.T)); err != nil {
+			return err
+		}
+		for _, v := range row.V {
+			if _, err := fmt.Fprintf(w, ",%g", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"flexftl/internal/sim"
+)
+
+func TestSamplerCadence(t *testing.T) {
+	s := NewSampler(10)
+	x := 0.0
+	s.Register("x", func() float64 { x++; return x })
+
+	// First tick samples immediately, whatever the time.
+	s.Tick(3)
+	// Within the cadence window: skipped.
+	s.Tick(5)
+	s.Tick(12)
+	// At/after the next point (3+10=13): sampled.
+	s.Tick(13)
+	// Long idle gap: exactly one sample at the tick, no backfill.
+	s.Tick(1000)
+
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3: %+v", len(rows), rows)
+	}
+	wantT := []sim.Time{3, 13, 1000}
+	for i, r := range rows {
+		if r.T != wantT[i] {
+			t.Errorf("row %d at t=%d, want %d", i, r.T, wantT[i])
+		}
+	}
+	if got := s.Series("x"); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("series = %v", got)
+	}
+	if s.Series("missing") != nil {
+		t.Error("unknown series must be nil")
+	}
+}
+
+func TestSamplerColumnsAndCSV(t *testing.T) {
+	s := NewSampler(sim.Millisecond)
+	s.Register("u", func() float64 { return 0.25 })
+	s.Register("q", func() float64 { return 42 })
+	s.Tick(0)
+	s.Tick(2 * sim.Millisecond)
+
+	names := s.Names()
+	if len(names) != 2 || names[0] != "u" || names[1] != "q" {
+		t.Fatalf("names = %v", names)
+	}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %q", sb.String())
+	}
+	if lines[0] != "t_us,u,q" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,0.25,42" || lines[2] != "2000,0.25,42" {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+func TestSamplerRegisterAfterStartPanics(t *testing.T) {
+	s := NewSampler(1)
+	s.Register("x", func() float64 { return 0 })
+	s.Tick(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("late Register must panic")
+		}
+	}()
+	s.Register("y", func() float64 { return 0 })
+}
+
+func TestSamplerNilSafe(t *testing.T) {
+	var s *Sampler
+	s.Register("x", func() float64 { return 0 })
+	s.Tick(0)
+	if s.Rows() != nil || s.Names() != nil || s.Series("x") != nil {
+		t.Error("nil sampler must read empty")
+	}
+	if err := s.WriteCSV(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplerNoProbesNoRows(t *testing.T) {
+	s := NewSampler(1)
+	s.Tick(0)
+	s.Tick(10)
+	if len(s.Rows()) != 0 {
+		t.Error("probe-less sampler must record nothing")
+	}
+}
+
+func TestSamplerBadCadencePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive cadence must panic")
+		}
+	}()
+	NewSampler(0)
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Sink receives trace events from a Recorder. Implementations own their
+// output framing; Close finalizes it. WriteEvent is called in emission
+// order on the simulation thread.
+type Sink interface {
+	WriteEvent(e *Event) error
+	Close() error
+}
+
+// domainPID maps a track domain to the Chrome trace "process" that groups
+// its tracks: chips, channels and per-chip FTL timelines render as three
+// processes with one thread per track.
+func domainPID(d Domain) int { return int(d) + 1 }
+
+// domainProcessName labels the Chrome trace processes.
+func domainProcessName(d Domain) string {
+	switch d {
+	case DomainChip:
+		return "nand chips"
+	case DomainChannel:
+		return "channel buses"
+	case DomainFTL:
+		return "ftl (per chip)"
+	}
+	return "unknown"
+}
+
+// JSONLSink writes one self-describing JSON object per line:
+//
+//	{"name":"program_lsb","domain":"chip","track":3,"ts":120,"dur":900,"block":7,"wl":2}
+//
+// ts and dur are microseconds of virtual time; instants omit dur.
+type JSONLSink struct {
+	w *bufio.Writer
+}
+
+// NewJSONLSink wraps w in a line-oriented sink. The caller retains
+// ownership of any underlying file; Close only flushes.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteEvent writes one line.
+func (s *JSONLSink) WriteEvent(e *Event) error {
+	a, b := e.Kind.ArgNames()
+	var err error
+	if e.Phase == PhaseInstant {
+		_, err = fmt.Fprintf(s.w, "{\"name\":%q,\"domain\":%q,\"track\":%d,\"ts\":%d,%q:%d,%q:%d}\n",
+			e.Kind.Name(), e.Kind.TrackDomain().String(), e.Track, int64(e.Start), a, e.A, b, e.B)
+	} else {
+		_, err = fmt.Fprintf(s.w, "{\"name\":%q,\"domain\":%q,\"track\":%d,\"ts\":%d,\"dur\":%d,%q:%d,%q:%d}\n",
+			e.Kind.Name(), e.Kind.TrackDomain().String(), e.Track, int64(e.Start), int64(e.Dur), a, e.A, b, e.B)
+	}
+	return err
+}
+
+// Close flushes buffered output.
+func (s *JSONLSink) Close() error { return s.w.Flush() }
+
+// ChromeSink emits the Chrome trace_event JSON object format
+// ({"traceEvents":[...]}) that chrome://tracing and Perfetto load directly.
+// Spans become complete ("X") events, instants thread-scoped ("i") events;
+// timestamps are microseconds of virtual time, which is exactly the
+// trace_event unit. Close appends process/thread-name metadata for every
+// track seen, so chips and channels appear as named tracks.
+type ChromeSink struct {
+	w      *bufio.Writer
+	any    bool
+	tracks map[[2]int32]struct{} // (domain, track) pairs seen
+	err    error
+}
+
+// NewChromeSink wraps w in a trace_event sink and writes the header. The
+// caller retains ownership of any underlying file; Close only flushes.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{
+		w:      bufio.NewWriterSize(w, 1<<16),
+		tracks: make(map[[2]int32]struct{}),
+	}
+	_, s.err = s.w.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	return s
+}
+
+func (s *ChromeSink) sep() string {
+	if s.any {
+		return ",\n"
+	}
+	s.any = true
+	return ""
+}
+
+// WriteEvent appends one trace_event record.
+func (s *ChromeSink) WriteEvent(e *Event) error {
+	if s.err != nil {
+		return s.err
+	}
+	d := e.Kind.TrackDomain()
+	s.tracks[[2]int32{int32(d), e.Track}] = struct{}{}
+	a, b := e.Kind.ArgNames()
+	if e.Phase == PhaseInstant {
+		_, s.err = fmt.Fprintf(s.w, "%s{\"name\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":%d,\"tid\":%d,\"args\":{%q:%d,%q:%d}}",
+			s.sep(), e.Kind.Name(), int64(e.Start), domainPID(d), e.Track, a, e.A, b, e.B)
+	} else {
+		_, s.err = fmt.Fprintf(s.w, "%s{\"name\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{%q:%d,%q:%d}}",
+			s.sep(), e.Kind.Name(), int64(e.Start), int64(e.Dur), domainPID(d), e.Track, a, e.A, b, e.B)
+	}
+	return s.err
+}
+
+// Close writes the track-name metadata and the closing braces, then
+// flushes.
+func (s *ChromeSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	// Deterministic metadata order: sort the (domain, track) pairs.
+	keys := make([][2]int32, 0, len(s.tracks))
+	for k := range s.tracks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	seenDomain := make(map[int32]bool)
+	for _, k := range keys {
+		d, track := Domain(k[0]), k[1]
+		if !seenDomain[k[0]] {
+			seenDomain[k[0]] = true
+			if _, s.err = fmt.Fprintf(s.w, "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":%q}}",
+				s.sep(), domainPID(d), domainProcessName(d)); s.err != nil {
+				return s.err
+			}
+		}
+		if _, s.err = fmt.Fprintf(s.w, "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s %d\"}}",
+			s.sep(), domainPID(d), track, d.String(), track); s.err != nil {
+			return s.err
+		}
+	}
+	if _, s.err = s.w.WriteString("\n]}\n"); s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureEvents is a small, fixed event set covering every phase and domain.
+func fixtureEvents() []Event {
+	return []Event{
+		{Kind: KindXfer, Phase: PhaseSpan, Track: 0, Start: 100, Dur: 40, A: 2, B: 7},
+		{Kind: KindProgramLSB, Phase: PhaseSpan, Track: 2, Start: 140, Dur: 900, A: 7, B: 3},
+		{Kind: KindPolicy, Phase: PhaseInstant, Track: 2, Start: 140, A: 1, B: 64},
+		{Kind: KindRead, Phase: PhaseSpan, Track: 1, Start: 1040, Dur: 70, A: 5, B: 9},
+		{Kind: KindErase, Phase: PhaseSpan, Track: 2, Start: 1110, Dur: 3500, A: 7, B: 1},
+		{Kind: KindBlockQueued, Phase: PhaseInstant, Track: 2, Start: 4610, A: 7, B: 2},
+	}
+}
+
+func TestJSONLSinkWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for _, e := range fixtureEvents() {
+		e := e
+		if err := s.WriteEvent(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", n, err, sc.Text())
+		}
+		for _, key := range []string{"name", "domain", "track", "ts"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("line %d missing %q: %s", n, key, sc.Text())
+			}
+		}
+		n++
+	}
+	if n != len(fixtureEvents()) {
+		t.Errorf("wrote %d lines, want %d", n, len(fixtureEvents()))
+	}
+	// Spot checks: instants omit dur, spans carry it.
+	if bytes.Contains(buf.Bytes(), []byte(`"name":"policy","dur"`)) {
+		t.Error("instant carries dur")
+	}
+}
+
+func TestChromeSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	for _, e := range fixtureEvents() {
+		e := e
+		if err := s.WriteEvent(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Must parse as the trace_event JSON object format.
+	var trace struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args,omitempty"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("output not valid trace JSON: %v\n%s", err, buf.String())
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	// 6 events + metadata (3 process names, 4 distinct tracks).
+	if len(trace.TraceEvents) != 6+3+4 {
+		t.Errorf("trace has %d records", len(trace.TraceEvents))
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file; rerun with -update if intentional\ngot:\n%s", buf.String())
+	}
+}
+
+func TestChromeSinkTrackMetadata(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	e := Event{Kind: KindXfer, Phase: PhaseSpan, Track: 3, Start: 0, Dur: 10}
+	if err := s.WriteEvent(&e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"name":"process_name"`, `"channel buses"`, `"name":"thread_name"`, `"channel 3"`,
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("metadata missing %s in:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeSinkEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var trace map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v\n%s", err, buf.String())
+	}
+}

@@ -1,0 +1,186 @@
+package ssd
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"flexftl/internal/obs"
+	"flexftl/internal/sim"
+	"flexftl/internal/workload"
+)
+
+// runVarmail drives a fresh flexFTL system through a short Varmail run,
+// optionally under a recorder, and returns the measurements.
+func runVarmail(t *testing.T, rec *obs.Recorder) RunResult {
+	t.Helper()
+	sys := newSystem(t, "flexFTL")
+	if _, err := sys.Prefill(); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetRecorder(rec)
+	gen, err := workload.New(workload.Varmail(), sys.F.LogicalPages(), 2500, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTracingDoesNotChangeResults is the guard behind the observability
+// layer's core contract: the recorder only observes the virtual timeline, so
+// an instrumented run must produce results identical to an uninstrumented
+// one.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	plain := runVarmail(t, nil)
+
+	var buf bytes.Buffer
+	samp := obs.NewSampler(10 * sim.Millisecond)
+	rec := obs.NewRecorder(obs.Options{
+		Sink:    obs.NewChromeSink(&buf),
+		Sampler: samp,
+	})
+	traced := runVarmail(t, rec)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("tracing changed the results:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+	if rec.Emitted() == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	if len(samp.Rows()) == 0 {
+		t.Fatal("traced run sampled no rows")
+	}
+}
+
+// chromeRecord is one trace_event entry as the integration test reads it.
+type chromeRecord struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestChromeTraceEndToEnd runs a short flexFTL workload with a Chrome sink
+// and asserts the emitted trace is loadable: well-formed trace_event JSON,
+// named device tracks, and per-track monotonically non-decreasing
+// timestamps on the device domains (chips pid 1, channels pid 2), which the
+// device model guarantees by construction via its readyAt/chanFree
+// serialization.
+func TestChromeTraceEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	samp := obs.NewSampler(5 * sim.Millisecond)
+	rec := obs.NewRecorder(obs.Options{
+		Sink:    obs.NewChromeSink(&buf),
+		Sampler: samp,
+	})
+	runVarmail(t, rec)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace struct {
+		TraceEvents []chromeRecord `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	seenKind := make(map[string]int)
+	seenMeta := make(map[string]bool)
+	lastTS := make(map[[2]int]int64) // (pid, tid) -> last ts
+	for i, e := range trace.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if name, ok := e.Args["name"].(string); ok {
+				seenMeta[name] = true
+			}
+		case "X", "i":
+			seenKind[e.Name]++
+			key := [2]int{e.PID, e.TID}
+			// Device tracks (chips pid 1, channels pid 2) serialize ops, so
+			// their timelines must never step backwards. FTL decision events
+			// (pid 3) interleave completion-time and admission-time stamps
+			// and are exempt.
+			if e.PID == 1 || e.PID == 2 {
+				if last, ok := lastTS[key]; ok && e.TS < last {
+					t.Fatalf("record %d: track pid=%d tid=%d went backwards: %d after %d",
+						i, e.PID, e.TID, e.TS, last)
+				}
+				lastTS[key] = e.TS
+			}
+			if e.Ph == "X" && e.Dur < 0 {
+				t.Errorf("record %d: negative duration %d", i, e.Dur)
+			}
+		default:
+			t.Errorf("record %d: unexpected phase %q", i, e.Ph)
+		}
+	}
+
+	// A flexFTL Varmail run must exercise the core taxonomy.
+	for _, want := range []string{"program_lsb", "program_msb", "read", "bus_xfer", "policy", "block_fast_open"} {
+		if seenKind[want] == 0 {
+			t.Errorf("no %q events in trace (kinds: %v)", want, seenKind)
+		}
+	}
+	for _, want := range []string{"nand chips", "channel buses"} {
+		if !seenMeta[want] {
+			t.Errorf("missing %q process metadata", want)
+		}
+	}
+
+	// The sampler recorded the paper's internal-state series.
+	names := samp.Names()
+	has := func(n string) bool {
+		for _, x := range names {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"u", "free_blocks", "q", "sbq_depth"} {
+		if !has(want) {
+			t.Errorf("sampler missing series %q (got %v)", want, names)
+		}
+	}
+	if rows := samp.Rows(); len(rows) < 2 {
+		t.Errorf("only %d sample rows", len(rows))
+	}
+	if q := samp.Series("q"); len(q) > 0 && q[len(q)-1] < 0 {
+		t.Errorf("quota series negative: %v", q[len(q)-1])
+	}
+}
+
+// TestRegistryPopulatedByRun asserts the instrumented device feeds the
+// latency histograms and the buffer keeps its utilization gauge.
+func TestRegistryPopulatedByRun(t *testing.T) {
+	rec := obs.NewRecorder(obs.Options{})
+	runVarmail(t, rec)
+	snap := rec.Registry().Snapshot()
+	for _, want := range []string{"nand.program_lsb_us", "nand.read_us"} {
+		h, ok := snap.Histograms[want]
+		if !ok || h.Count == 0 {
+			t.Errorf("histogram %q empty (have %v)", want, snap.Histograms)
+		}
+		if ok && (h.P50 <= 0 || h.P99 < h.P50) {
+			t.Errorf("histogram %q quantiles implausible: %+v", want, h)
+		}
+	}
+	if _, ok := snap.Gauges["buffer.u"]; !ok {
+		t.Errorf("buffer.u gauge missing (have %v)", snap.Gauges)
+	}
+}

@@ -6,13 +6,13 @@
 package ssd
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
 	"flexftl/internal/buffer"
 	"flexftl/internal/ftl"
 	"flexftl/internal/metrics"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 	"flexftl/internal/workload"
 )
@@ -72,18 +72,56 @@ type inflight struct {
 	entry *buffer.Entry
 }
 
+// inflightHeap is a typed min-heap on completion time. The heap operations
+// are implemented directly (rather than through container/heap) so pushes
+// and pops move inflight values without boxing them into interfaces — this
+// is the runner's hot path, one push per buffered page program.
 type inflightHeap []inflight
 
-func (h inflightHeap) Len() int            { return len(h) }
-func (h inflightHeap) Less(i, j int) bool  { return h[i].done < h[j].done }
-func (h inflightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *inflightHeap) Push(x interface{}) { *h = append(*h, x.(inflight)) }
-func (h *inflightHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h inflightHeap) len() int { return len(h) }
+
+// push inserts it, sifting up to restore the heap order.
+func (h *inflightHeap) push(it inflight) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].done <= s[i].done {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest-completing entry. The vacated slot
+// is zeroed so the heap does not pin released buffer entries.
+func (h *inflightHeap) pop() inflight {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = inflight{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && s[r].done < s[l].done {
+			min = r
+		}
+		if s[i].done <= s[min].done {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // System binds an FTL to the runner state.
@@ -94,6 +132,7 @@ type System struct {
 	buf      *buffer.Buffer
 	pending  inflightHeap
 	prefillT sim.Time
+	obs      *obs.Recorder
 }
 
 // New builds a System. The FTL must be freshly constructed (the runner owns
@@ -129,10 +168,51 @@ func (s *System) Prefill() (sim.Time, error) {
 	return now, nil
 }
 
+// SetRecorder threads an observability recorder through the whole stack:
+// the FTL and device start emitting trace events, the buffer keeps a live
+// utilization gauge, and — when the recorder carries a sampler — the
+// runner registers the internal-state probes of the paper's Section 3
+// dynamics (write-buffer utilization u, free blocks, and for quota-driven
+// FTLs the LSB quota q and slow-block-queue depth) and ticks it at every
+// request. Call it after Prefill so traces cover the measured run only;
+// a nil recorder is a no-op. Tracing never changes results: the recorder
+// only observes the virtual timeline.
+func (s *System) SetRecorder(r *obs.Recorder) {
+	s.obs = r
+	if r == nil {
+		return
+	}
+	if fr, ok := s.F.(interface{ SetRecorder(r *obs.Recorder) }); ok {
+		fr.SetRecorder(r)
+	}
+	s.buf.Instrument(r.Registry().Gauge("buffer.u"))
+	samp := r.Sampler()
+	if samp == nil {
+		return
+	}
+	samp.Register("u", s.buf.Utilization)
+	if fb, ok := s.F.(interface{ TotalFreeBlocks() int }); ok {
+		samp.Register("free_blocks", func() float64 { return float64(fb.TotalFreeBlocks()) })
+	}
+	if q, ok := s.F.(interface{ Quota() int64 }); ok {
+		samp.Register("q", func() float64 { return float64(q.Quota()) })
+	}
+	if sq, ok := s.F.(interface{ SlowQueueLen(chip int) int }); ok {
+		chips := s.F.Device().Geometry().Chips()
+		samp.Register("sbq_depth", func() float64 {
+			total := 0
+			for c := 0; c < chips; c++ {
+				total += sq.SlowQueueLen(c)
+			}
+			return float64(total)
+		})
+	}
+}
+
 // releaseUpTo frees buffer slots whose programs completed by t.
 func (s *System) releaseUpTo(t sim.Time) error {
-	for len(s.pending) > 0 && s.pending[0].done <= t {
-		it := heap.Pop(&s.pending).(inflight)
+	for s.pending.len() > 0 && s.pending[0].done <= t {
+		it := s.pending.pop()
 		if err := s.buf.Release(it.entry); err != nil {
 			return err
 		}
@@ -160,6 +240,7 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 		if activeStart < 0 {
 			activeStart = arrival
 		}
+		s.obs.Sample(arrival)
 		if err := s.releaseUpTo(arrival); err != nil {
 			return RunResult{}, err
 		}
@@ -198,10 +279,10 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 				lpn := ftl.LPN((req.Page + int64(p)) % logical)
 				// Backpressure: wait for the earliest in-flight program.
 				for s.buf.Free() == 0 {
-					if len(s.pending) == 0 {
+					if s.pending.len() == 0 {
 						return RunResult{}, fmt.Errorf("ssd: buffer full with nothing in flight")
 					}
-					it := heap.Pop(&s.pending).(inflight)
+					it := s.pending.pop()
 					if it.done > admission {
 						admission = it.done
 					}
@@ -218,7 +299,7 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 				if err != nil {
 					return RunResult{}, fmt.Errorf("ssd: write LPN %d: %w", lpn, err)
 				}
-				heap.Push(&s.pending, inflight{done: done, entry: entry})
+				s.pending.push(inflight{done: done, entry: entry})
 				if done > flushed {
 					flushed = done
 				}
@@ -251,6 +332,7 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 	if err := s.releaseUpTo(sim.MaxTime); err != nil {
 		return RunResult{}, err
 	}
+	s.obs.Sample(busyUntil)
 	return RunResult{
 		FTLName:  s.F.Name(),
 		Workload: gen.Name(),
