@@ -479,3 +479,123 @@ func BenchmarkTLCExtension(b *testing.B) {
 		b.ReportMetric(overhead, "sim-backup/write")
 	})
 }
+
+// BenchmarkSimulateBlock pins the allocation-lean refactor: the legacy
+// allocate-per-call path against the reusable-arena path, same RNG stream
+// and results.
+func BenchmarkSimulateBlock(b *testing.B) {
+	const wl = 32
+	params := vth.DefaultParams()
+	params.CellsPerWordLine = 512
+	model, err := vth.NewModel(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := core.RPSFullOrder(wl)
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.SimulateBlock(wl, order, vth.WorstCase, rng.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		a := vth.NewArena()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.SimulateBlockArena(wl, order, vth.WorstCase, rng.New(uint64(i)), a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDeviceRead compares the copying page read against the
+// caller-buffer variant the FTL hot paths use.
+func BenchmarkDeviceRead(b *testing.B) {
+	dev, err := nand.NewDevice(nand.Config{
+		Geometry: benchGeometry(), Timing: nand.DefaultTiming(), Rules: core.RPS,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: 0, Block: 0}, Page: core.Page{WL: 0, Type: core.LSB}}
+	payload := make([]byte, 4096)
+	if _, err := dev.Program(a, payload, []byte{1, 2}, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("copy", func(b *testing.B) {
+		b.ReportAllocs()
+		now := sim.Time(0)
+		for i := 0; i < b.N; i++ {
+			_, _, done, err := dev.Read(a, now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now = done
+		}
+	})
+	b.Run("zerocopy", func(b *testing.B) {
+		var buf nand.PageBuf
+		b.ReportAllocs()
+		now := sim.Time(0)
+		for i := 0; i < b.N; i++ {
+			done, err := dev.ReadInto(a, &buf, now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now = done
+		}
+	})
+}
+
+// BenchmarkRunFig4 measures the Figure 4 driver end to end, serial vs the
+// full worker pool. The two produce byte-identical results; the ratio is
+// the experiment engine's speedup on this machine.
+func BenchmarkRunFig4(b *testing.B) {
+	cfg := experiments.Fig4Config{
+		Blocks: 8, WordLines: 16, Cells: 256, Seed: 5, IncludeWorstCase: true,
+	}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			cfg := cfg
+			cfg.Workers = w.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFig4(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunFig8 measures the evaluation matrix end to end, serial vs the
+// full worker pool.
+func BenchmarkRunFig8(b *testing.B) {
+	cfg := experiments.Fig8Config{Geometry: benchGeometry(), Requests: 2000, Seed: 7}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			cfg := cfg
+			cfg.Workers = w.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFig8(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@
 //	flexbench -exp fig8a       # one experiment
 //	flexbench -full            # the paper's exact 16 GB geometry (slow)
 //	flexbench -requests 200000 # longer runs
+//	flexbench -workers 1       # serial simulation runs
 //
 // Experiments: fig1, table1, fig4a, fig4b, fig8a, fig8b, fig8c, summary, all.
 package main
@@ -19,6 +20,7 @@ import (
 
 	"flexftl/internal/experiments"
 	"flexftl/internal/nand"
+	"flexftl/internal/par"
 )
 
 func main() {
@@ -28,20 +30,35 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		full     = flag.Bool("full", false, "use the paper's 16 GB geometry (slow)")
 		blocks   = flag.Int("fig4-blocks", 90, "blocks per order for Figure 4")
-		serial   = flag.Bool("serial", false, "disable parallel simulation runs")
+		workers  = flag.Int("workers", 0, "simulation workers per experiment (0 = all cores, 1 = serial)")
 		metrics  = flag.String("metrics", "", "write per-experiment result snapshots as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exp, *requests, *seed, *full, *blocks, !*serial, *metrics); err != nil {
+	if err := run(os.Stdout, *exp, *requests, *seed, *full, *blocks, *workers, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "flexbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Blocks int, parallel bool, metricsPath string) error {
+// runInfo records how an experiment executed, for the -metrics dump.
+type runInfo struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Blocks, workers int, metricsPath string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
-	// snapshots collects each experiment's result object for -metrics.
+	// snapshots collects each experiment's result object for -metrics;
+	// infos records worker count and wall-clock alongside.
 	snapshots := make(map[string]any)
+	infos := make(map[string]runInfo)
+	record := func(name string, start time.Time, workers int, result any) {
+		snapshots[name] = result
+		infos[name] = runInfo{
+			Workers: workers,
+			WallMS:  float64(time.Since(start).Microseconds()) / 1000,
+		}
+	}
 
 	if want("fig1") {
 		experiments.Rule(w, "Figure 1")
@@ -52,63 +69,75 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 	}
 	if want("table1") {
 		experiments.Rule(w, "Table 1")
+		start := time.Now()
 		rows, err := experiments.RunTable1(1<<20, 50000, seed)
 		if err != nil {
 			return err
 		}
-		snapshots["table1"] = rows
+		record("table1", start, 1, rows)
 		experiments.RenderTable1(w, rows)
 	}
 	if want("fig4a") || want("fig4b") || (exp == "fig4") {
 		experiments.Rule(w, "Figure 4")
 		cfg := experiments.DefaultFig4Config()
 		cfg.Blocks = fig4Blocks
+		cfg.Workers = workers
 		start := time.Now()
 		res, err := experiments.RunFig4(cfg)
 		if err != nil {
 			return err
 		}
-		snapshots["fig4"] = res
+		record("fig4", start, par.Workers(workers), res)
 		experiments.RenderFig4(w, res)
 		fmt.Fprintf(w, "  (%d blocks/order simulated in %v)\n", cfg.Blocks, time.Since(start).Round(time.Millisecond))
 	}
 	if want("fig4tlc") {
 		experiments.Rule(w, "TLC extension (Section 1 claim)")
 		cfg := experiments.DefaultFig4TLCConfig()
+		cfg.Workers = workers
+		start := time.Now()
 		res, err := experiments.RunFig4TLC(cfg)
 		if err != nil {
 			return err
 		}
-		snapshots["fig4tlc"] = res
+		record("fig4tlc", start, par.Workers(workers), res)
 		experiments.RenderFig4TLC(w, res)
 	}
 	if want("sensitivity") {
 		experiments.Rule(w, "Sensitivity sweeps (environment knobs)")
-		res, err := experiments.RunSensitivity(experiments.DefaultSensitivityConfig())
+		cfg := experiments.DefaultSensitivityConfig()
+		cfg.Workers = workers
+		start := time.Now()
+		res, err := experiments.RunSensitivity(cfg)
 		if err != nil {
 			return err
 		}
-		snapshots["sensitivity"] = res
+		record("sensitivity", start, par.Workers(workers), res)
 		experiments.RenderSensitivity(w, res)
 	}
 	if want("stress") {
 		experiments.Rule(w, "Lifetime stress sweep (Figure 4(b) extended to a curve)")
-		pts, err := experiments.RunStressSweep(experiments.DefaultStressSweepConfig())
+		cfg := experiments.DefaultStressSweepConfig()
+		cfg.Workers = workers
+		start := time.Now()
+		pts, err := experiments.RunStressSweep(cfg)
 		if err != nil {
 			return err
 		}
-		snapshots["stress"] = pts
+		record("stress", start, par.Workers(workers), pts)
 		experiments.RenderStressSweep(w, pts)
 	}
 	if want("ablation") {
 		experiments.Rule(w, "flexFTL ablations (DESIGN.md §5)")
 		cfg := experiments.DefaultAblationConfig()
 		cfg.Seed = seed
+		cfg.Workers = workers
+		start := time.Now()
 		res, err := experiments.RunAblations(cfg)
 		if err != nil {
 			return err
 		}
-		snapshots["ablation"] = res
+		record("ablation", start, par.Workers(workers), res)
 		experiments.RenderAblations(w, res)
 	}
 	if want("fig8a") || want("fig8b") || want("fig8c") || want("summary") || exp == "fig8" {
@@ -116,14 +145,14 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if full {
 			geometry = nand.DefaultGeometry()
 		}
-		cfg := experiments.Fig8Config{Geometry: geometry, Requests: requests, Seed: seed, Parallel: parallel}
+		cfg := experiments.Fig8Config{Geometry: geometry, Requests: requests, Seed: seed, Workers: workers}
 		experiments.Rule(w, fmt.Sprintf("Figure 8 (%s, %d requests/run)", geometry, requests))
 		start := time.Now()
 		res, err := experiments.RunFig8(cfg)
 		if err != nil {
 			return err
 		}
-		snapshots["fig8"] = res
+		record("fig8", start, par.Workers(workers), res)
 		fmt.Fprintf(w, "(4 FTLs x 5 workloads simulated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		if want("fig8a") || exp == "fig8" {
 			experiments.RenderFig8a(w, res)
@@ -148,10 +177,14 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	if metricsPath != "" {
+		n := len(snapshots)
+		if len(infos) > 0 {
+			snapshots["runinfo"] = infos
+		}
 		if err := writeMetrics(metricsPath, snapshots); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "metrics: wrote %d experiment snapshot(s) to %s\n", len(snapshots), metricsPath)
+		fmt.Fprintf(w, "metrics: wrote %d experiment snapshot(s) to %s\n", n, metricsPath)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"flexftl/internal/ftl"
 	"flexftl/internal/ftl/flexftl"
 	"flexftl/internal/nand"
+	"flexftl/internal/par"
 	"flexftl/internal/ssd"
 	"flexftl/internal/workload"
 )
@@ -20,6 +21,10 @@ type AblationConfig struct {
 	Geometry nand.Geometry
 	Requests int
 	Seed     uint64
+	// Workers bounds the variant fan-out (0 = all cores, 1 = serial);
+	// each variant is self-contained, so results are worker-count
+	// independent.
+	Workers int
 }
 
 // DefaultAblationConfig keeps the sweep quick but distinguishable.
@@ -59,34 +64,36 @@ func RunAblations(cfg AblationConfig) (AblationResult, error) {
 	}
 	res := AblationResult{Config: cfg}
 	prof := workload.Varmail()
-	for _, v := range variants {
+	rows := make([]AblationRow, len(variants))
+	err := par.Run(par.Workers(cfg.Workers), len(variants), func(_, i int) error {
+		v := variants[i]
 		dev, err := nand.NewDevice(nand.Config{
 			Geometry: cfg.Geometry, Timing: nand.DefaultTiming(), Rules: core.RPS,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
 		params := flexftl.DefaultParams()
 		ftlCfg := ftl.DefaultConfig()
 		v.mutate(&params, &ftlCfg)
 		f, err := flexftl.New(dev, ftlCfg, params)
 		if err != nil {
-			return res, err
+			return err
 		}
 		sys, err := ssd.New(f, ssd.DefaultConfig())
 		if err != nil {
-			return res, err
+			return err
 		}
 		if _, err := sys.Prefill(); err != nil {
-			return res, fmt.Errorf("ablation %q: %w", v.name, err)
+			return fmt.Errorf("ablation %q: %w", v.name, err)
 		}
 		gen, err := workload.New(prof, f.LogicalPages(), cfg.Requests, cfg.Seed)
 		if err != nil {
-			return res, err
+			return err
 		}
 		run, err := sys.Run(gen)
 		if err != nil {
-			return res, fmt.Errorf("ablation %q: %w", v.name, err)
+			return fmt.Errorf("ablation %q: %w", v.name, err)
 		}
 		st := run.Stats
 		row := AblationRow{
@@ -100,8 +107,13 @@ func RunAblations(cfg AblationConfig) (AblationResult, error) {
 			row.BackupPerWrit = float64(st.BackupWrites) / float64(st.HostWrites)
 			row.HostLSBShare = float64(st.HostWritesLSB) / float64(st.HostWrites)
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -17,7 +18,6 @@ func tinyFig8Config() Fig8Config {
 		},
 		Requests: 8000,
 		Seed:     7,
-		Parallel: true,
 	}
 }
 
@@ -396,11 +396,12 @@ func TestRunFig8Deterministic(t *testing.T) {
 	}
 	cfg := tinyFig8Config()
 	cfg.Requests = 3000
+	cfg.Workers = 8
 	a, err := RunFig8(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Parallel = false // concurrency must not affect results
+	cfg.Workers = 1 // concurrency must not affect results
 	b, err := RunFig8(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -413,5 +414,69 @@ func TestRunFig8Deterministic(t *testing.T) {
 				t.Errorf("%s/%s differs between parallel and serial runs", s, wl)
 			}
 		}
+	}
+}
+
+// TestRunFig4DeterministicAcrossWorkers: the parallel fan-out must be
+// byte-identical to the serial run — every block derives its own seed and
+// writes its own result slot.
+func TestRunFig4DeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultFig4Config()
+	cfg.Blocks, cfg.WordLines, cfg.Cells = 4, 8, 64
+	cfg.Workers = 8
+	a, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Config, b.Config = Fig4Config{}, Fig4Config{} // only Workers differs
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig4 differs between 8 workers and serial:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunFig4TLCDeterministicAcrossWorkers mirrors the MLC check for the
+// TLC study.
+func TestRunFig4TLCDeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultFig4TLCConfig()
+	cfg.Blocks, cfg.WordLines, cfg.Cells = 3, 8, 64
+	cfg.Workers = 8
+	a, err := RunFig4TLC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunFig4TLC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Config, b.Config = Fig4TLCConfig{}, Fig4TLCConfig{}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig4TLC differs between 8 workers and serial:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunStressSweepDeterministicAcrossWorkers: the sweep's ordered task
+// grid must make its output worker-count independent.
+func TestRunStressSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfg := StressSweepConfig{
+		WordLines: 8, Cells: 64, Blocks: 2, Seed: 5,
+		Cycles: []int{0, 3000}, Workers: 8,
+	}
+	a, err := RunStressSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunStressSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("stress sweep differs between 8 workers and serial:\n%+v\n%+v", a, b)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"flexftl/internal/core"
 	"flexftl/internal/ecc"
+	"flexftl/internal/par"
 	"flexftl/internal/rng"
 	"flexftl/internal/stats"
 	"flexftl/internal/vth"
@@ -21,6 +22,10 @@ type Fig4Config struct {
 	// IncludeWorstCase adds the forbidden unconstrained order for contrast
 	// (the Figure 2(a) motivation).
 	IncludeWorstCase bool
+	// Workers bounds the simulation fan-out: 0 uses every core, 1 runs
+	// serially. Results are identical for any value — every block derives
+	// its own seed.
+	Workers int
 }
 
 // DefaultFig4Config mirrors the paper's scale.
@@ -74,20 +79,40 @@ func RunFig4(cfg Fig4Config) (Fig4Result, error) {
 		orders = append(orders, namedOrder{"Unconstrained(worst)", core.WorstCaseOrder(cfg.WordLines)})
 	}
 	res := Fig4Result{Config: cfg}
+
+	// One task per (order, block), each writing its own slot; the
+	// aggregation below reads the slots in index order, so the result is
+	// identical for any worker count. Each worker reuses one arena across
+	// its blocks, keeping the fan-out allocation-lean.
+	type blockOut struct{ wps, bers []float64 }
+	workers := par.Workers(cfg.Workers)
+	scratch := par.MakeScratch(workers, vth.NewArena)
+	slots := make([]blockOut, len(orders)*cfg.Blocks)
+	err = par.Run(workers, len(slots), func(worker, task int) error {
+		oi, b := task/cfg.Blocks, task%cfg.Blocks
+		o := orders[oi]
+		seed := cfg.Seed + uint64(oi)*1_000_003 + uint64(b)
+		fresh, err := model.SimulateBlockArena(cfg.WordLines, o.pages, vth.Fresh, rng.New(seed), scratch[worker])
+		if err != nil {
+			return fmt.Errorf("fig4 %s block %d: %w", o.name, b, err)
+		}
+		wps := fresh.WPSums() // copy out before the arena is reused below
+		worn, err := model.SimulateBlockArena(cfg.WordLines, o.pages, vth.WorstCase, rng.New(seed^0x5deece66d), scratch[worker])
+		if err != nil {
+			return fmt.Errorf("fig4 %s block %d (stress): %w", o.name, b, err)
+		}
+		slots[task] = blockOut{wps: wps, bers: worn.BERs()}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
 	for oi, o := range orders {
 		var wps, bers []float64
 		for b := 0; b < cfg.Blocks; b++ {
-			seed := cfg.Seed + uint64(oi)*1_000_003 + uint64(b)
-			fresh, err := model.SimulateBlock(cfg.WordLines, o.pages, vth.Fresh, rng.New(seed))
-			if err != nil {
-				return res, fmt.Errorf("fig4 %s block %d: %w", o.name, b, err)
-			}
-			wps = append(wps, fresh.WPSums()...)
-			worn, err := model.SimulateBlock(cfg.WordLines, o.pages, vth.WorstCase, rng.New(seed^0x5deece66d))
-			if err != nil {
-				return res, fmt.Errorf("fig4 %s block %d (stress): %w", o.name, b, err)
-			}
-			bers = append(bers, worn.BERs()...)
+			out := slots[oi*cfg.Blocks+b]
+			wps = append(wps, out.wps...)
+			bers = append(bers, out.bers...)
 		}
 		berBox := stats.Summarize(bers)
 		res.Rows = append(res.Rows, Fig4Row{

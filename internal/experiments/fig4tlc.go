@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"flexftl/internal/nlevel"
+	"flexftl/internal/par"
 	"flexftl/internal/rng"
 	"flexftl/internal/stats"
 	"flexftl/internal/vth"
@@ -21,6 +22,9 @@ type Fig4TLCConfig struct {
 	WordLines int
 	Cells     int
 	Seed      uint64
+	// Workers bounds the fan-out (0 = all cores, 1 = serial); results are
+	// worker-count independent.
+	Workers int
 }
 
 // DefaultFig4TLCConfig mirrors the MLC study's scale.
@@ -61,20 +65,36 @@ func RunFig4TLC(cfg Fig4TLCConfig) (Fig4TLCResult, error) {
 		{"Unconstrained(worst)", nlevel.WorstCaseOrder(scheme)},
 	}
 	res := Fig4TLCResult{Config: cfg}
+
+	type blockOut struct{ wps, bers []float64 }
+	workers := par.Workers(cfg.Workers)
+	scratch := par.MakeScratch(workers, vth.NewArena)
+	slots := make([]blockOut, len(orders)*cfg.Blocks)
+	err = par.Run(workers, len(slots), func(worker, task int) error {
+		oi, b := task/cfg.Blocks, task%cfg.Blocks
+		o := orders[oi]
+		seed := cfg.Seed + uint64(oi)*7_000_003 + uint64(b)
+		fresh, err := model.SimulateBlockArena(scheme, o.pages, vth.Fresh, rng.New(seed), scratch[worker])
+		if err != nil {
+			return fmt.Errorf("fig4tlc %s block %d: %w", o.name, b, err)
+		}
+		wps := fresh.WPSums() // copy out before the arena is reused below
+		worn, err := model.SimulateBlockArena(scheme, o.pages, vth.WorstCase, rng.New(seed^0xabcdef), scratch[worker])
+		if err != nil {
+			return fmt.Errorf("fig4tlc %s block %d (stress): %w", o.name, b, err)
+		}
+		slots[task] = blockOut{wps: wps, bers: worn.BERs()}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
 	for oi, o := range orders {
 		var wps, bers []float64
 		for b := 0; b < cfg.Blocks; b++ {
-			seed := cfg.Seed + uint64(oi)*7_000_003 + uint64(b)
-			fresh, err := model.SimulateBlock(scheme, o.pages, vth.Fresh, rng.New(seed))
-			if err != nil {
-				return res, fmt.Errorf("fig4tlc %s block %d: %w", o.name, b, err)
-			}
-			wps = append(wps, fresh.WPSums()...)
-			worn, err := model.SimulateBlock(scheme, o.pages, vth.WorstCase, rng.New(seed^0xabcdef))
-			if err != nil {
-				return res, fmt.Errorf("fig4tlc %s block %d (stress): %w", o.name, b, err)
-			}
-			bers = append(bers, worn.BERs()...)
+			out := slots[oi*cfg.Blocks+b]
+			wps = append(wps, out.wps...)
+			bers = append(bers, out.bers...)
 		}
 		res.Rows = append(res.Rows, Fig4TLCRow{
 			Order: o.name,

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"flexftl/internal/metrics"
 	"flexftl/internal/nand"
+	"flexftl/internal/par"
 	"flexftl/internal/ssd"
 	"flexftl/internal/workload"
 )
@@ -16,7 +16,10 @@ type Fig8Config struct {
 	Geometry nand.Geometry
 	Requests int    // host requests per run
 	Seed     uint64 // workload seed (same trace for every FTL)
-	Parallel bool   // run the 20 simulations on multiple cores
+	// Workers bounds how many of the 20 simulations run at once
+	// (0 = all cores, 1 = serial); each simulation is self-contained, so
+	// the matrix is identical for any value.
+	Workers int
 }
 
 // DefaultFig8Config balances fidelity and wall-clock time. The request count
@@ -24,7 +27,7 @@ type Fig8Config struct {
 // enough to push the device into garbage collection, making the Figure 8(b)
 // erasure comparison meaningful on every workload.
 func DefaultFig8Config() Fig8Config {
-	return Fig8Config{Geometry: EvalGeometry(), Requests: 150000, Seed: 42, Parallel: true}
+	return Fig8Config{Geometry: EvalGeometry(), Requests: 150000, Seed: 42}
 }
 
 // Fig8Cell is one (scheme, workload) measurement.
@@ -128,28 +131,20 @@ func RunFig8(cfg Fig8Config) (Fig8Result, error) {
 		}
 	}
 
-	errs := make([]error, len(jobs))
 	cells := make([]*Fig8Cell, len(jobs))
-	if cfg.Parallel {
-		var wg sync.WaitGroup
-		for i, j := range jobs {
-			wg.Add(1)
-			go func(i int, j job) {
-				defer wg.Done()
-				cells[i], errs[i] = runOne(cfg, j.scheme, j.prof)
-			}(i, j)
-		}
-		wg.Wait()
-	} else {
-		for i, j := range jobs {
-			cells[i], errs[i] = runOne(cfg, j.scheme, j.prof)
-		}
-	}
-	for i, err := range errs {
+	err := par.Run(par.Workers(cfg.Workers), len(jobs), func(_, i int) error {
+		c, err := runOne(cfg, jobs[i].scheme, jobs[i].prof)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.Cells[cells[i].Scheme][cells[i].Workload] = cells[i]
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, c := range cells {
+		res.Cells[c.Scheme][c.Workload] = c
 	}
 
 	// Normalize to the baseline per workload.

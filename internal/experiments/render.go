@@ -53,7 +53,7 @@ func RenderFig1Distributions(w io.Writer, seed uint64) error {
 		}
 		var pops []ascii.Population
 		for s := vth.StateE; s <= vth.StateP3; s++ {
-			pops = append(pops, ascii.Population{Label: s.String(), Values: sample[s]})
+			pops = append(pops, ascii.Population{Label: s.String(), Values: sample.State(s)})
 		}
 		fmt.Fprintf(w, "\n  Vth distributions, %s:\n", cond.name)
 		ascii.PlotHistogram(w, "", "Vth, V", pops, refs[:], 64, 7)

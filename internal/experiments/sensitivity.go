@@ -9,6 +9,7 @@ import (
 	"flexftl/internal/ftl/flexftl"
 	"flexftl/internal/ftl/pageftl"
 	"flexftl/internal/nand"
+	"flexftl/internal/par"
 	"flexftl/internal/ssd"
 	"flexftl/internal/workload"
 )
@@ -38,6 +39,10 @@ type SensitivityConfig struct {
 	OPFractions []float64
 	// BufferSizes to sweep (OP fixed at the default).
 	BufferSizes []int
+	// Workers bounds the sweep fan-out (0 = all cores, 1 = serial); each
+	// point builds its own devices, so results are worker-count
+	// independent.
+	Workers int
 }
 
 // DefaultSensitivityConfig covers the interesting ranges.
@@ -113,27 +118,53 @@ func toPoint(setting string, flexR, pageR ssd.RunResult) SensitivityPoint {
 	return p
 }
 
-// RunSensitivity executes both sweeps.
+// RunSensitivity executes both sweeps. Every sweep point is one task in
+// the shared pool — each builds its own devices and FTLs, so points run
+// concurrently without sharing state.
 func RunSensitivity(cfg SensitivityConfig) (SensitivityResult, error) {
 	res := SensitivityResult{Config: cfg}
+	type sweepTask struct {
+		setting string
+		wrap    string // error-message prefix
+		ftlCfg  ftl.Config
+		runCfg  ssd.Config
+	}
+	var tasks []sweepTask
 	for _, op := range cfg.OPFractions {
 		ftlCfg := ftl.DefaultConfig()
 		ftlCfg.OPFraction = op
-		flexR, pageR, err := runPair(cfg.Geometry, cfg.Requests, cfg.Seed, ftlCfg, ssd.DefaultConfig())
-		if err != nil {
-			return res, fmt.Errorf("OP sweep %.3f: %w", op, err)
-		}
-		res.OP = append(res.OP, toPoint(fmt.Sprintf("OP %.1f%%", 100*op), flexR, pageR))
+		tasks = append(tasks, sweepTask{
+			setting: fmt.Sprintf("OP %.1f%%", 100*op),
+			wrap:    fmt.Sprintf("OP sweep %.3f", op),
+			ftlCfg:  ftlCfg,
+			runCfg:  ssd.DefaultConfig(),
+		})
 	}
 	for _, buf := range cfg.BufferSizes {
 		runCfg := ssd.DefaultConfig()
 		runCfg.BufferPages = buf
-		flexR, pageR, err := runPair(cfg.Geometry, cfg.Requests, cfg.Seed, ftl.DefaultConfig(), runCfg)
-		if err != nil {
-			return res, fmt.Errorf("buffer sweep %d: %w", buf, err)
-		}
-		res.Buffer = append(res.Buffer, toPoint(fmt.Sprintf("buffer %d pages", buf), flexR, pageR))
+		tasks = append(tasks, sweepTask{
+			setting: fmt.Sprintf("buffer %d pages", buf),
+			wrap:    fmt.Sprintf("buffer sweep %d", buf),
+			ftlCfg:  ftl.DefaultConfig(),
+			runCfg:  runCfg,
+		})
 	}
+	points := make([]SensitivityPoint, len(tasks))
+	err := par.Run(par.Workers(cfg.Workers), len(tasks), func(_, i int) error {
+		t := tasks[i]
+		flexR, pageR, err := runPair(cfg.Geometry, cfg.Requests, cfg.Seed, t.ftlCfg, t.runCfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.wrap, err)
+		}
+		points[i] = toPoint(t.setting, flexR, pageR)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.OP = points[:len(cfg.OPFractions)]
+	res.Buffer = points[len(cfg.OPFractions):]
 	return res, nil
 }
 

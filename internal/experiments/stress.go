@@ -6,6 +6,7 @@ import (
 
 	"flexftl/internal/core"
 	"flexftl/internal/ecc"
+	"flexftl/internal/par"
 	"flexftl/internal/rng"
 	"flexftl/internal/stats"
 	"flexftl/internal/vth"
@@ -33,6 +34,9 @@ type StressSweepConfig struct {
 	Blocks    int
 	Seed      uint64
 	Cycles    []int
+	// Workers bounds the fan-out (0 = all cores, 1 = serial); results are
+	// worker-count independent.
+	Workers int
 }
 
 // DefaultStressSweepConfig covers begin-of-life to 2x the paper's worst
@@ -52,32 +56,54 @@ func RunStressSweep(cfg StressSweepConfig) ([]StressPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	orders := map[string][]core.Page{
-		"FPS":     core.FPSOrder(cfg.WordLines),
-		"RPSfull": core.RPSFullOrder(cfg.WordLines),
+	// An ordered slice, not a map: every (cycle, order, block) triple maps
+	// to a fixed task index so the parallel fan-out is deterministic.
+	type namedOrder struct {
+		name  string
+		pages []core.Page
+	}
+	orders := []namedOrder{
+		{"FPS", core.FPSOrder(cfg.WordLines)},
+		{"RPSfull", core.RPSFullOrder(cfg.WordLines)},
 	}
 	code := ecc.Default40BitPer1K()
+
+	perCycle := len(orders) * cfg.Blocks
+	workers := par.Workers(cfg.Workers)
+	scratch := par.MakeScratch(workers, vth.NewArena)
+	slots := make([][]float64, len(cfg.Cycles)*perCycle)
+	err = par.Run(workers, len(slots), func(worker, task int) error {
+		ci, rem := task/perCycle, task%perCycle
+		oi, b := rem/cfg.Blocks, rem%cfg.Blocks
+		pe := cfg.Cycles[ci]
+		stress := vth.StressCondition{PECycles: pe, RetentionYears: 1}
+		res, err := model.SimulateBlockArena(cfg.WordLines, orders[oi].pages, stress,
+			rng.New(cfg.Seed+uint64(pe)*31+uint64(b)), scratch[worker])
+		if err != nil {
+			return fmt.Errorf("stress sweep %s @%d: %w", orders[oi].name, pe, err)
+		}
+		slots[task] = res.BERs()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []StressPoint
-	for _, pe := range cfg.Cycles {
+	for ci, pe := range cfg.Cycles {
 		pt := StressPoint{
 			PECycles:  pe,
 			MedianBER: make(map[string]float64),
 			PageFail:  make(map[string]float64),
 		}
-		stress := vth.StressCondition{PECycles: pe, RetentionYears: 1}
-		for name, order := range orders {
+		for oi, o := range orders {
 			var bers []float64
 			for b := 0; b < cfg.Blocks; b++ {
-				res, err := model.SimulateBlock(cfg.WordLines, order, stress,
-					rng.New(cfg.Seed+uint64(pe)*31+uint64(b)))
-				if err != nil {
-					return nil, fmt.Errorf("stress sweep %s @%d: %w", name, pe, err)
-				}
-				bers = append(bers, res.BERs()...)
+				bers = append(bers, slots[ci*perCycle+oi*cfg.Blocks+b]...)
 			}
 			med := stats.Quantile(bers, 0.5)
-			pt.MedianBER[name] = med
-			pt.PageFail[name] = code.PageFailureProb(med, 4096)
+			pt.MedianBER[o.name] = med
+			pt.PageFail[o.name] = code.PageFailureProb(med, 4096)
 		}
 		out = append(out, pt)
 	}

@@ -25,6 +25,12 @@ type Base struct {
 	// Obs is the observability recorder threaded through the stack; nil
 	// (the default) disables all emission at zero cost.
 	Obs *obs.Recorder
+	// Buf is the reusable page buffer for read paths that either discard
+	// the payload or hand it to Program (which copies) before the next
+	// read: host reads, GC relocation, recovery rescans. Sharing one
+	// buffer is safe because the FTLs are single-threaded per instance
+	// and no alloc callback performs a nested device read.
+	Buf nand.PageBuf
 
 	seq  int64    // global write sequence number (payload uniqueness)
 	rr   int      // round-robin chip cursor for host writes
@@ -179,7 +185,7 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 			continue // invalidated by an earlier iteration (cannot happen for distinct LPNs)
 		}
 		pa := g.AddrOfPPN(ppn)
-		data, spare, t, err := b.Dev.Read(pa, now)
+		t, err := b.Dev.ReadInto(pa, &b.Buf, now)
 		if err != nil {
 			// Abort the collection but keep the victim on the candidate
 			// list — its remaining valid pages must not be leaked.
@@ -187,7 +193,7 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 			return now, fmt.Errorf("ftl: GC read %v: %w", pa, err)
 		}
 		now = t
-		now, err = alloc(chip, lpn, data, spare, now)
+		now, err = alloc(chip, lpn, b.Buf.Data, b.Buf.Spare, now)
 		if err != nil {
 			b.Pools[chip].PushFull(victim)
 			return now, fmt.Errorf("ftl: GC relocation of LPN %d: %w", lpn, err)
@@ -245,7 +251,7 @@ func (b *Base) ReadLPN(lpn LPN, now sim.Time) (sim.Time, error) {
 	if !ok {
 		return now, fmt.Errorf("%w: %d", ErrUnmapped, lpn)
 	}
-	_, _, done, err := b.Dev.Read(b.Dev.Geometry().AddrOfPPN(ppn), now)
+	done, err := b.Dev.ReadInto(b.Dev.Geometry().AddrOfPPN(ppn), &b.Buf, now)
 	if err != nil {
 		return now, err
 	}

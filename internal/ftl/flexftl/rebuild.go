@@ -56,7 +56,7 @@ func (f *FTL) RebuildMapping(now sim.Time) (RebuildReport, error) {
 				if !f.Dev.IsProgrammed(addr) {
 					continue
 				}
-				data, spare, t, err := f.Dev.Read(addr, chipNow)
+				t, err := f.Dev.ReadInto(addr, &f.Buf, chipNow)
 				rep.PagesScanned++
 				chipNow = t
 				if err != nil {
@@ -65,6 +65,7 @@ func (f *FTL) RebuildMapping(now sim.Time) (RebuildReport, error) {
 					}
 					return rep, fmt.Errorf("flexftl: rebuild read %v: %w", addr, err)
 				}
+				data, spare := f.Buf.Data, f.Buf.Spare
 				lpn, ok := ftl.LPNFromSpare(spare)
 				if !ok || lpn < 0 || int64(lpn) >= f.LogicalPages() {
 					continue // not a data page (e.g. padding)

@@ -117,13 +117,13 @@ func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time
 				BlockAddr: nand.BlockAddr{Chip: chip, Block: st.afb},
 				Page:      core.Page{WL: k, Type: core.LSB},
 			}
-			data, _, t, err := f.Dev.Read(addr, now)
+			t, err := f.Dev.ReadInto(addr, &f.Buf, now)
 			rep.PagesRead++
 			now = t
 			if err != nil {
 				return now, fmt.Errorf("flexftl: fast-block rescan %v: %w", addr, err)
 			}
-			if err := st.pbuf.Add(data); err != nil {
+			if err := st.pbuf.Add(f.Buf.Data); err != nil {
 				return now, err
 			}
 		}
@@ -143,16 +143,16 @@ func (f *FTL) reconstructLSB(chip, blk, lostWL int, survivors [][]byte, now sim.
 			BlockAddr: nand.BlockAddr{Chip: chip, Block: ref.backupBlk},
 			Page:      core.Page{WL: ref.page, Type: core.LSB},
 		}
-		page, spare, t, err := f.Dev.Read(parityAddr, now)
+		t, err := f.Dev.ReadInto(parityAddr, &f.Buf, now)
 		rep.PagesRead++
 		now = t
 		if err != nil {
 			return now, fmt.Errorf("flexftl: reading parity page %v: %w", parityAddr, err)
 		}
-		if got, ok := blockFromSpare(spare); !ok || got != blk {
+		if got, ok := blockFromSpare(f.Buf.Spare); !ok || got != blk {
 			return now, fmt.Errorf("flexftl: parity page %v inverse-maps to block %v, want %d", parityAddr, got, blk)
 		}
-		parityPage = page
+		parityPage = f.Buf.Data
 	} else {
 		// Metadata-loss path: the per-block ref table did not survive the
 		// reboot, so locate the parity page the way the paper's inverse

@@ -111,7 +111,7 @@ func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc
 		if now+perPage > until {
 			return now
 		}
-		data, spare, tRead, err := b.Dev.Read(b.Dev.Geometry().AddrOfPPN(ppn), now)
+		tRead, err := b.Dev.ReadInto(b.Dev.Geometry().AddrOfPPN(ppn), &b.Buf, now)
 		if err != nil {
 			// Unreadable victim page (e.g. injected corruption): abandon
 			// the victim but return it to the candidate list so its valid
@@ -121,7 +121,7 @@ func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc
 			return now
 		}
 		now = tRead
-		now, err = alloc(b.bg.chip, lpn, data, spare, now)
+		now, err = alloc(b.bg.chip, lpn, b.Buf.Data, b.Buf.Spare, now)
 		if err != nil {
 			// A relocation failure mid-victim would leave FTL block state
 			// inconsistent; that is an allocator invariant violation, not a

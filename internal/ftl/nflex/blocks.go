@@ -184,11 +184,11 @@ func (f *FTL) collectVictim(chip, victim int, now sim.Time) (sim.Time, error) {
 		if !ok {
 			continue
 		}
-		data, _, t, err := f.dev.Read(f.m.addrOf(ppn), now)
+		t, err := f.dev.ReadInto(f.m.addrOf(ppn), &f.buf, now)
 		if err != nil {
 			return now, fmt.Errorf("nflex: GC read: %w", err)
 		}
-		now, err = f.gcAlloc(chip, lpn, data, t)
+		now, err = f.gcAlloc(chip, lpn, f.buf.Data, t)
 		if err != nil {
 			return now, err
 		}
@@ -274,13 +274,13 @@ func (f *FTL) Idle(now, until sim.Time) {
 		if !ok {
 			continue
 		}
-		data, _, t2, err := f.dev.Read(f.m.addrOf(ppn), now)
+		t2, err := f.dev.ReadInto(f.m.addrOf(ppn), &f.buf, now)
 		if err != nil {
 			f.pools[f.bg.chip].PushFull(f.bg.blk)
 			f.bg = bgState{}
 			return
 		}
-		now, err = f.gcAlloc(f.bg.chip, lpn, data, t2)
+		now, err = f.gcAlloc(f.bg.chip, lpn, f.buf.Data, t2)
 		if err != nil {
 			panic(fmt.Sprintf("nflex: background relocation failed: %v", err))
 		}

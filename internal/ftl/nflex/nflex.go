@@ -99,6 +99,10 @@ type FTL struct {
 	rr     int
 	inBGC  bool
 	bg     bgState
+	// buf is the reusable read buffer for host reads, GC relocation and
+	// recovery rescans; safe to share because the FTL is single-threaded
+	// and programAt copies the payload before the next read.
+	buf nandn.PageBuf
 }
 
 type bgState struct {
@@ -237,7 +241,7 @@ func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
 	if !ok {
 		return now, fmt.Errorf("%w: %d", ftl.ErrUnmapped, lpn)
 	}
-	_, _, done, err := f.dev.Read(f.m.addrOf(ppn), now)
+	done, err := f.dev.ReadInto(f.m.addrOf(ppn), &f.buf, now)
 	if err != nil {
 		return now, err
 	}

@@ -57,7 +57,7 @@ func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time
 		// Drop the interrupted write if its page was destroyed.
 		inFlight := pageFor(chip, blk, wl, level)
 		if lpn, ok := f.m.lpnAt(f.m.ppnOf(inFlight)); ok {
-			if _, _, t, err := f.dev.Read(inFlight, now); err != nil {
+			if t, err := f.dev.ReadInto(inFlight, &f.buf, now); err != nil {
 				now = t
 				rep.PagesRead++
 				if errors.Is(err, nandn.ErrUncorrectable) {
@@ -90,7 +90,7 @@ func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time
 		}
 		cs.pbuf[level].Reset()
 		for wl := 0; wl < cur.pos; wl++ {
-			data, _, t, err := f.dev.Read(pageFor(chip, cur.blk, wl, level), now)
+			t, err := f.dev.ReadInto(pageFor(chip, cur.blk, wl, level), &f.buf, now)
 			rep.PagesRead++
 			now = t
 			if err != nil {
@@ -99,7 +99,7 @@ func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time
 				}
 				return now, fmt.Errorf("nflex: parity rebuild read: %w", err)
 			}
-			if err := cs.pbuf[level].Add(data); err != nil {
+			if err := cs.pbuf[level].Add(f.buf.Data); err != nil {
 				return now, err
 			}
 		}
@@ -137,15 +137,16 @@ func (f *FTL) reconstructPhasePage(chip, blk, lvl int, now sim.Time, rep *Recove
 	if !ok {
 		return now, fmt.Errorf("nflex: no phase-%d parity recorded for chip%d/blk%d", lvl, chip, blk)
 	}
-	parityPage, spare, t, err := f.dev.Read(pageFor(chip, ref.backupBlk, ref.page, 0), now)
+	t, err := f.dev.ReadInto(pageFor(chip, ref.backupBlk, ref.page, 0), &f.buf, now)
 	rep.PagesRead++
 	now = t
 	if err != nil {
 		return now, fmt.Errorf("nflex: reading phase parity: %w", err)
 	}
-	if b, l, ok := blockNoFromSpare(spare); !ok || b != blk || l != lvl {
+	if b, l, ok := blockNoFromSpare(f.buf.Spare); !ok || b != blk || l != lvl {
 		return now, fmt.Errorf("nflex: parity inverse-map mismatch: got blk %d lvl %d", b, l)
 	}
+	parityPage := f.buf.Data
 	if len(parityPage) > ftl.TokenSize {
 		parityPage = parityPage[:ftl.TokenSize]
 	}

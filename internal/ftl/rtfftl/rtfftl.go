@@ -392,11 +392,11 @@ func (f *FTL) drainMSBSlots(chip int, now, until sim.Time) (sim.Time, error) {
 		if !ok {
 			return now, nil
 		}
-		data, spare, tRead, err := f.Dev.Read(g.AddrOfPPN(ppn), now)
+		tRead, err := f.Dev.ReadInto(g.AddrOfPPN(ppn), &f.Buf, now)
 		if err != nil {
 			return now, err
 		}
-		done, err := f.program(chip, lpn, data, spare, tRead, true, false)
+		done, err := f.program(chip, lpn, f.Buf.Data, f.Buf.Spare, tRead, true, false)
 		if err != nil {
 			return now, err
 		}

@@ -263,14 +263,12 @@ func (d *Device) AckProgram(a BlockAddr) {
 	}
 }
 
-// Read returns a copy of the page payload and spare area, plus the
-// completion time. Reading an erased page or a corrupted page fails (the
-// latter with ErrUncorrectable, after paying the sensing latency, as a real
-// controller would).
-func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Time, err error) {
-	blk, pg, err := d.pageAt(a)
+// readPage performs the timing, accounting and validity checks shared by
+// Read and ReadInto, returning the sensed page.
+func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
+	_, pg, err := d.pageAt(a)
 	if err != nil {
-		return nil, nil, now, err
+		return nil, now, err
 	}
 	g := d.cfg.Geometry
 	ch := g.ChannelOf(a.Chip)
@@ -278,7 +276,7 @@ func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Ti
 	start := sim.MaxOf(now, c.readyAt)
 	senseDone := start + d.cfg.Timing.Read
 	xferStart := sim.MaxOf(senseDone, d.chanFree[ch])
-	done = xferStart + d.cfg.Timing.BusXfer
+	done := xferStart + d.cfg.Timing.BusXfer
 	d.chanFree[ch] = done
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
@@ -290,13 +288,53 @@ func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Ti
 	}
 
 	if !pg.programmed {
-		return nil, nil, done, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
+		return nil, done, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
 	}
 	if pg.corrupted {
-		return nil, nil, done, fmt.Errorf("%w: %v", ErrUncorrectable, a)
+		return nil, done, fmt.Errorf("%w: %v", ErrUncorrectable, a)
 	}
-	_ = blk
+	return pg, done, nil
+}
+
+// Read returns a copy of the page payload and spare area, plus the
+// completion time. Reading an erased page or a corrupted page fails (the
+// latter with ErrUncorrectable, after paying the sensing latency, as a real
+// controller would).
+//
+// Read allocates two fresh slices per call; hot paths (host reads, GC
+// relocation, recovery scans) use ReadInto with a reusable PageBuf instead.
+func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Time, err error) {
+	pg, done, err := d.readPage(a, now)
+	if err != nil {
+		return nil, nil, done, err
+	}
 	return append([]byte(nil), pg.data...), append([]byte(nil), pg.spare...), done, nil
+}
+
+// PageBuf is a caller-owned destination for ReadInto. Its backing arrays
+// grow to the device's page/spare size on first use and are reused
+// afterwards, so steady-state reads through one PageBuf allocate nothing.
+type PageBuf struct {
+	// Data and Spare hold the last read's payload and spare area. They are
+	// overwritten (length reset) by every ReadInto.
+	Data, Spare []byte
+}
+
+// ReadInto is the zero-copy variant of Read: the payload and spare area
+// land in buf's reusable backing arrays instead of freshly allocated
+// slices. Timing, counters, tracing and error behaviour match Read exactly;
+// on error buf's slices are truncated to zero length. buf's contents are
+// valid until the next ReadInto with the same buf — callers that hand the
+// data onward (e.g. to Program, which copies) need no further copy.
+func (d *Device) ReadInto(a PageAddr, buf *PageBuf, now sim.Time) (done sim.Time, err error) {
+	pg, done, err := d.readPage(a, now)
+	if err != nil {
+		buf.Data, buf.Spare = buf.Data[:0], buf.Spare[:0]
+		return done, err
+	}
+	buf.Data = append(buf.Data[:0], pg.data...)
+	buf.Spare = append(buf.Spare[:0], pg.spare...)
+	return done, nil
 }
 
 // Erase resets a block, increments its wear counter, and returns the

@@ -453,3 +453,61 @@ func TestFullBlockFillProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestReadIntoMatchesRead(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	a := addr(0, 0, 0, core.LSB)
+	if _, err := d.Program(a, []byte("zero copy payload"), []byte{0x42, 0x24}, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, done1, err := d.Read(a, 0) // absorb the chip-busy wait
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, spare, doneRead, err := d.Read(a, done1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf PageBuf
+	doneInto, err := d.ReadInto(a, &buf, doneRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Data, data) || !bytes.Equal(buf.Spare, spare) {
+		t.Error("ReadInto payload differs from Read")
+	}
+	if lr, li := doneRead-done1, doneInto-doneRead; li != lr {
+		t.Errorf("ReadInto latency %v, Read latency %v", li, lr)
+	}
+
+	// Error behaviour matches Read, and the buffer is truncated.
+	if _, err := d.ReadInto(addr(0, 0, 1, core.LSB), &buf, doneInto); !errors.Is(err, ErrNotProgrammed) {
+		t.Errorf("erased ReadInto err = %v, want ErrNotProgrammed", err)
+	}
+	if len(buf.Data) != 0 || len(buf.Spare) != 0 {
+		t.Error("buffer not truncated after failed ReadInto")
+	}
+}
+
+func TestReadIntoZeroAllocs(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	a := addr(0, 0, 0, core.LSB)
+	if _, err := d.Program(a, []byte("zero copy payload"), []byte{0x42}, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf PageBuf
+	now := sim.Time(0)
+	if _, err := d.ReadInto(a, &buf, now); err != nil { // warm the buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		done, err := d.ReadInto(a, &buf, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	})
+	if allocs != 0 {
+		t.Errorf("ReadInto allocates %v times per read, want 0", allocs)
+	}
+}

@@ -280,28 +280,58 @@ func (d *Device) AckProgram(chipID, blk int) {
 	}
 }
 
-// Read returns the page payload/spare and completion time.
-func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Time, err error) {
+// readPage performs the timing and validity checks shared by Read and
+// ReadInto, returning the sensed page.
+func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
 	_, pg, err := d.pageAt(a)
 	if err != nil {
-		return nil, nil, now, err
+		return nil, now, err
 	}
 	ch := d.geo.ChannelOf(a.Chip)
 	c := &d.chips[a.Chip]
 	start := sim.MaxOf(now, c.readyAt)
 	senseDone := start + d.timing.Read
 	xferStart := sim.MaxOf(senseDone, d.chanFree[ch])
-	done = xferStart + d.timing.BusXfer
+	done := xferStart + d.timing.BusXfer
 	d.chanFree[ch] = done
 	c.readyAt = done
 	d.reads++
 	if !pg.programmed {
-		return nil, nil, done, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
+		return nil, done, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
 	}
 	if pg.corrupted {
-		return nil, nil, done, fmt.Errorf("%w: %v", ErrUncorrectable, a)
+		return nil, done, fmt.Errorf("%w: %v", ErrUncorrectable, a)
+	}
+	return pg, done, nil
+}
+
+// Read returns the page payload/spare and completion time.
+func (d *Device) Read(a PageAddr, now sim.Time) (data, spare []byte, done sim.Time, err error) {
+	pg, done, err := d.readPage(a, now)
+	if err != nil {
+		return nil, nil, done, err
 	}
 	return append([]byte(nil), pg.data...), append([]byte(nil), pg.spare...), done, nil
+}
+
+// PageBuf is a caller-owned destination for ReadInto; its backing arrays
+// are reused across reads, so steady-state reads allocate nothing.
+type PageBuf struct {
+	Data, Spare []byte
+}
+
+// ReadInto is the zero-copy variant of Read: payload and spare land in
+// buf's reusable backing arrays. Timing, counters and error behaviour
+// match Read; on error buf's slices are truncated to zero length.
+func (d *Device) ReadInto(a PageAddr, buf *PageBuf, now sim.Time) (done sim.Time, err error) {
+	pg, done, err := d.readPage(a, now)
+	if err != nil {
+		buf.Data, buf.Spare = buf.Data[:0], buf.Spare[:0]
+		return done, err
+	}
+	buf.Data = append(buf.Data[:0], pg.data...)
+	buf.Spare = append(buf.Spare[:0], pg.spare...)
+	return done, nil
 }
 
 // Erase resets a block.

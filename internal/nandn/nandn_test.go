@@ -265,3 +265,59 @@ func TestNewDeviceRejectsBadConfig(t *testing.T) {
 		t.Error("bad timing accepted")
 	}
 }
+
+func TestReadIntoMatchesRead(t *testing.T) {
+	d := testDevice(t)
+	a := pa(0, 0, 0, 0)
+	if _, err := d.Program(a, []byte("tlc zero copy"), []byte{0x7}, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, done1, err := d.Read(a, 0) // absorb the chip-busy wait
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, spare, doneRead, err := d.Read(a, done1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf PageBuf
+	doneInto, err := d.ReadInto(a, &buf, doneRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Data, data) || !bytes.Equal(buf.Spare, spare) {
+		t.Error("ReadInto payload differs from Read")
+	}
+	if lr, li := doneRead-done1, doneInto-doneRead; li != lr {
+		t.Errorf("ReadInto latency %v, Read latency %v", li, lr)
+	}
+	if _, err := d.ReadInto(pa(0, 0, 1, 0), &buf, doneInto); !errors.Is(err, ErrNotProgrammed) {
+		t.Errorf("erased ReadInto err = %v, want ErrNotProgrammed", err)
+	}
+	if len(buf.Data) != 0 || len(buf.Spare) != 0 {
+		t.Error("buffer not truncated after failed ReadInto")
+	}
+}
+
+func TestReadIntoZeroAllocs(t *testing.T) {
+	d := testDevice(t)
+	a := pa(0, 0, 0, 0)
+	if _, err := d.Program(a, []byte("tlc zero copy"), []byte{0x7}, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf PageBuf
+	now := sim.Time(0)
+	if _, err := d.ReadInto(a, &buf, now); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		done, err := d.ReadInto(a, &buf, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	})
+	if allocs != 0 {
+		t.Errorf("ReadInto allocates %v times per read, want 0", allocs)
+	}
+}

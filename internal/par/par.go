@@ -1,0 +1,127 @@
+// Package par is the shared parallel-execution engine of the experiment
+// drivers: a bounded worker pool over an indexed task space with
+// deterministic result collection.
+//
+// The design makes parallel runs byte-identical to serial ones:
+//
+//   - Tasks are identified by index; each task writes its outputs into
+//     pre-allocated, task-indexed slots, so results are ordered by task
+//     index no matter which worker ran them or in what interleaving.
+//   - Callbacks receive the worker index as well, so callers can keep one
+//     scratch arena (or other reusable state) per worker instead of
+//     allocating per task — a worker never runs two tasks concurrently.
+//   - Randomness must be derived per task (seed = f(task)), never drawn
+//     from a stream shared across tasks.
+//
+// Under that contract, Run(1, ...) and Run(N, ...) produce identical
+// results, which the experiment determinism tests assert.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n > 0 is used as given, anything
+// else (0 or negative) defaults to GOMAXPROCS. The experiment configs and
+// the flexbench -workers flag all funnel through this, so "unset" means
+// "use every core" everywhere.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn(worker, task) for every task in [0, n) on at most
+// Workers(workers) goroutines and blocks until all started tasks finish.
+//
+// Error aggregation is first-by-index: if tasks fail, Run returns the error
+// of the lowest-index failing task among those executed, and stops handing
+// out new tasks after the first failure is observed (tasks already running
+// complete). With workers <= 1 the tasks run inline on the calling
+// goroutine, in index order, stopping at the first error — no goroutines
+// are spawned, so serial runs stay trivially race- and scheduler-free.
+func Run(workers, n int, fn func(worker, task int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64 // task hand-out cursor
+		failed atomic.Bool  // set on first error; stops new hand-outs
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errAt  = -1 // lowest failing task index
+		errVal error
+	)
+	record := func(task int, err error) {
+		mu.Lock()
+		if errAt == -1 || task < errAt {
+			errAt, errVal = task, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(w)
+	for worker := 0; worker < w; worker++ {
+		go func(worker int) {
+			defer wg.Done()
+			for !failed.Load() {
+				task := int(next.Add(1)) - 1
+				if task >= n {
+					return
+				}
+				if err := fn(worker, task); err != nil {
+					record(task, err)
+					return
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	return errVal
+}
+
+// Map runs fn over [0, n) with Run's scheduling and error contract and
+// collects the results in task order. On error the returned slice is nil.
+func Map[T any](workers, n int, fn func(worker, task int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(worker, task int) error {
+		v, err := fn(worker, task)
+		if err != nil {
+			return err
+		}
+		out[task] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MakeScratch builds one scratch value per worker slot for a Run/Map call
+// with the same workers setting. Worker indexes passed to fn are always in
+// [0, Workers(workers)), so scratch[worker] is data-race-free: a worker
+// runs one task at a time.
+func MakeScratch[T any](workers int, build func() T) []T {
+	out := make([]T, Workers(workers))
+	for i := range out {
+		out[i] = build()
+	}
+	return out
+}

@@ -72,12 +72,13 @@ func NewNLevelModel(p NLevelParams) (*NLevelModel, error) {
 	return &NLevelModel{p: p}, nil
 }
 
-// levelTargets returns the nominal Vth levels after the (depth+1)-th of
-// `levels` refinement programs: 2^(depth+1) evenly spaced levels across the
-// window. After the final program these are the 2^levels state levels.
-func (m *NLevelModel) levelTargets(depth, levels int) []float64 {
+// levelTargets fills dst with the nominal Vth levels after the (depth+1)-th
+// refinement program: 2^(depth+1) evenly spaced levels across the window.
+// After the final program these are the 2^levels state levels. dst must
+// have capacity for 2^(depth+1) values; the filled prefix is returned.
+func (m *NLevelModel) levelTargets(dst []float64, depth int) []float64 {
 	n := 1 << (depth + 1)
-	out := make([]float64, n)
+	out := dst[:n]
 	span := m.p.WindowHigh - m.p.WindowLow
 	for i := 0; i < n; i++ {
 		out[i] = m.p.WindowLow + span*float64(i)/float64(n-1)
@@ -120,8 +121,17 @@ func (r NLevelResult) BlockBER() float64 {
 }
 
 // SimulateBlock programs a block under the given page order with random
-// data and measures per-word-line width sums and BERs under stress.
+// data and measures per-word-line width sums and BERs under stress. Each
+// call allocates fresh scratch; hot loops use SimulateBlockArena.
 func (m *NLevelModel) SimulateBlock(s nlevel.Scheme, order []nlevel.Page, stress StressCondition, src *rng.Source) (NLevelResult, error) {
+	return m.SimulateBlockArena(s, order, stress, src, NewArena())
+}
+
+// SimulateBlockArena is SimulateBlock on caller-owned scratch: zero
+// steady-state heap allocations with a warm arena. The result's WordLines
+// slice aliases arena memory and is valid until the arena's next
+// simulation. Results are identical to SimulateBlock's.
+func (m *NLevelModel) SimulateBlockArena(s nlevel.Scheme, order []nlevel.Page, stress StressCondition, src *rng.Source, a *Arena) (NLevelResult, error) {
 	if err := s.Validate(); err != nil {
 		return NLevelResult{}, err
 	}
@@ -131,25 +141,24 @@ func (m *NLevelModel) SimulateBlock(s nlevel.Scheme, order []nlevel.Page, stress
 	p := m.p
 	n := p.CellsPerWordLine
 	wl := s.WordLines
+	a.forNLevel(s, n)
 
-	vth := make([][]float64, wl)
-	state := make([][]int, wl) // current (coarse) state index per cell
-	depth := make([]int, wl)   // refinement programs applied to the WL
-	for k := range vth {
-		vth[k] = make([]float64, n)
-		state[k] = make([]int, n)
-		for c := 0; c < n; c++ {
-			vth[k][c] = p.WindowLow + src.Normal(0, p.ProgramSigma)
+	// Cell arrays are flat and strided: word line k's cell c is at k*n + c.
+	vth, state, depth := a.vth, a.state, a.depth
+	for k := 0; k < wl; k++ {
+		row := vth[k*n : (k+1)*n]
+		for c := range row {
+			row[c] = p.WindowLow + src.Normal(0, p.ProgramSigma)
 		}
 	}
-	aggressors := make([]int, wl)
-	delta := make([]float64, n)
+	delta := a.delta
 
 	disturb := func(victim int) {
 		if victim < 0 || victim >= wl || depth[victim] != s.Levels {
 			return // not finally programmed yet: its own refinements absorb it
 		}
-		aggressors[victim]++
+		a.aggr[victim]++
+		row := vth[victim*n : (victim+1)*n]
 		for c := 0; c < n; c++ {
 			if delta[c] <= 0 {
 				continue
@@ -158,32 +167,32 @@ func (m *NLevelModel) SimulateBlock(s nlevel.Scheme, order []nlevel.Page, stress
 			if gamma < 0 {
 				gamma = 0
 			}
-			vth[victim][c] += delta[c] * gamma
+			row[c] += delta[c] * gamma
 		}
 	}
 
-	seen := nlevel.NewState(s)
 	for i, pg := range order {
 		if pg.WL < 0 || pg.WL >= wl || pg.Level < 0 || pg.Level >= s.Levels {
 			return NLevelResult{}, fmt.Errorf("vth: order[%d]=%v out of range", i, pg)
 		}
-		if seen.Written(pg) {
+		if a.nseen.Written(pg) {
 			return NLevelResult{}, fmt.Errorf("vth: order[%d]=%v programmed twice", i, pg)
 		}
-		seen.Mark(pg)
+		a.nseen.Mark(pg)
 		k := pg.WL
-		targets := m.levelTargets(depth[k], s.Levels)
+		base := k * n
+		targets := m.levelTargets(a.levels, depth[k])
 		for c := 0; c < n; c++ {
 			// The new data bit splits the cell's current voltage region in
 			// two. The reflected-Gray mapping real parts use corresponds to
 			// XOR-ing the incoming bit with the current region's LSB, so
 			// voltage-adjacent final states always differ in one data bit.
-			bit := src.Intn(2)
-			newState := state[k][c]*2 + (bit ^ (state[k][c] & 1))
-			state[k][c] = newState
-			old := vth[k][c]
-			vth[k][c] = targets[newState] + src.Normal(0, p.ProgramSigma)
-			if d := vth[k][c] - old; d > 0 {
+			bit := int32(src.Intn(2))
+			newState := state[base+c]*2 + (bit ^ (state[base+c] & 1))
+			state[base+c] = newState
+			old := vth[base+c]
+			vth[base+c] = targets[newState] + src.Normal(0, p.ProgramSigma)
+			if d := vth[base+c] - old; d > 0 {
 				delta[c] = d
 			} else {
 				delta[c] = 0
@@ -198,26 +207,28 @@ func (m *NLevelModel) SimulateBlock(s nlevel.Scheme, order []nlevel.Page, stress
 	retShift := p.RetentionShiftPerYear * stress.RetentionYears
 	retSigma := p.RetentionSigmaPerYear * stress.RetentionYears
 	states := 1 << s.Levels
-	finals := m.levelTargets(s.Levels-1, s.Levels)
+	finals := m.levelTargets(a.levels, s.Levels-1)
 	bitsPerCell := s.Levels
 
-	res := NLevelResult{Scheme: s, WordLines: make([]WordLineResult, wl)}
+	res := NLevelResult{Scheme: s, WordLines: a.results[:wl]}
+	minV, maxV, have := a.minV, a.maxV, a.haveSt
 	for k := 0; k < wl; k++ {
-		minV := make([]float64, states)
-		maxV := make([]float64, states)
-		have := make([]bool, states)
+		for st := 0; st < states; st++ {
+			have[st] = false
+		}
 		errs := 0
+		base := k * n
 		for c := 0; c < n; c++ {
-			v := vth[k][c]
+			v := vth[base+c]
 			if wearSigma > 0 {
 				v += src.Normal(0, wearSigma)
 			}
 			if stress.RetentionYears > 0 {
-				frac := float64(state[k][c]) / float64(states-1)
+				frac := float64(state[base+c]) / float64(states-1)
 				v -= retShift * frac
 				v += src.Normal(0, retSigma)
 			}
-			st := state[k][c]
+			st := int(state[base+c])
 			if !have[st] {
 				minV[st], maxV[st] = v, v
 				have[st] = true
@@ -241,7 +252,7 @@ func (m *NLevelModel) SimulateBlock(s nlevel.Scheme, order []nlevel.Page, stress
 			WL:         k,
 			WPSum:      wp,
 			BER:        float64(errs) / float64(bitsPerCell*n),
-			Aggressors: aggressors[k],
+			Aggressors: a.aggr[k],
 		}
 		res.TotalBits += bitsPerCell * n
 		res.TotalErrs += errs

@@ -236,64 +236,60 @@ func NewModel(p Params) (*Model, error) {
 // Params returns the model constants.
 func (m *Model) Params() Params { return m.p }
 
-// blockCells is the raw pre-stress outcome of programming a block: per
-// word line, per cell, the final Vth and the intended state.
-type blockCells struct {
-	vth        [][]float64
-	target     [][]State
-	aggressors []int
-}
-
 // SimulateBlock programs a block of the given word-line count in the given
 // page order with random data, applies the stress condition, and returns
 // per-word-line WPi sums and BERs. The order must program every page of the
 // block exactly once (use core's order constructors).
+//
+// Each call allocates fresh scratch; hot loops (the Figure 4 drivers) use
+// SimulateBlockArena with a per-worker Arena instead.
 func (m *Model) SimulateBlock(wordLines int, order []core.Page, stress StressCondition, src *rng.Source) (BlockResult, error) {
-	cells, err := m.programBlock(wordLines, order, src)
-	if err != nil {
+	return m.SimulateBlockArena(wordLines, order, stress, src, NewArena())
+}
+
+// SimulateBlockArena is SimulateBlock running on caller-owned scratch: with
+// a warm arena the steady-state simulation performs zero heap allocations.
+// The result's WordLines slice aliases arena memory and is valid until the
+// arena's next simulation. Results are identical to SimulateBlock's for the
+// same inputs.
+func (m *Model) SimulateBlockArena(wordLines int, order []core.Page, stress StressCondition, src *rng.Source, a *Arena) (BlockResult, error) {
+	if err := m.programBlock(wordLines, order, src, a); err != nil {
 		return BlockResult{}, err
 	}
-	return m.measure(cells, stress, src), nil
+	return m.measure(wordLines, stress, src, a), nil
 }
 
 // programBlock runs the programming phase: cells are placed per the order,
-// accumulating aggressor coupling, and returned pre-stress.
-func (m *Model) programBlock(wordLines int, order []core.Page, src *rng.Source) (*blockCells, error) {
+// accumulating aggressor coupling, and left pre-stress in the arena. Cell
+// arrays are flat and strided: word line k's cell c is at k*cells + c.
+func (m *Model) programBlock(wordLines int, order []core.Page, src *rng.Source, a *Arena) error {
 	if len(order) != 2*wordLines {
-		return nil, fmt.Errorf("vth: order has %d pages, block has %d", len(order), 2*wordLines)
+		return fmt.Errorf("vth: order has %d pages, block has %d", len(order), 2*wordLines)
 	}
 	p := m.p
 	n := p.CellsPerWordLine
-
-	// Per-word-line cell arrays.
-	vth := make([][]float64, wordLines)  // current Vth per cell
-	target := make([][]State, wordLines) // intended final state per cell
-	lsbBits := make([][]int, wordLines)  // data of the LSB page
-	msbDone := make([]bool, wordLines)
-	lsbDone := make([]bool, wordLines)
-	aggressors := make([]int, wordLines)
-	for k := range vth {
-		vth[k] = make([]float64, n)
-		target[k] = make([]State, n)
-		lsbBits[k] = make([]int, n)
-		for c := 0; c < n; c++ {
-			vth[k][c] = p.Levels[StateE] + src.Normal(0, p.ProgramSigma)
+	a.forMLC(wordLines, n)
+	vth, target, lsbBits := a.vth, a.target, a.lsbBits
+	for k := 0; k < wordLines; k++ {
+		row := vth[k*n : (k+1)*n]
+		for c := range row {
+			row[c] = p.Levels[StateE] + src.Normal(0, p.ProgramSigma)
 		}
 	}
 
-	// delta is scratch space for the per-cell Vth increase of the aggressor
-	// program, which couples onto the aligned cells of neighbouring word
-	// lines.
-	delta := make([]float64, n)
+	// delta carries the per-cell Vth increase of the latest program, which
+	// couples onto the aligned cells of neighbouring word lines.
+	delta := a.delta
 
 	disturb := func(victim int) {
-		if victim < 0 || victim >= wordLines || !msbDone[victim] {
+		if victim < 0 || victim >= wordLines || !a.msbDone[victim] {
 			// Interference onto partially-programmed word lines is absorbed
 			// when their own MSB program re-forms the distribution, so only
 			// fully-programmed victims accumulate it.
 			return
 		}
-		aggressors[victim]++
+		a.aggr[victim]++
+		row := vth[victim*n : (victim+1)*n]
 		for c := 0; c < n; c++ {
 			if delta[c] <= 0 {
 				continue
@@ -302,59 +298,57 @@ func (m *Model) programBlock(wordLines int, order []core.Page, src *rng.Source) 
 			if gamma < 0 {
 				gamma = 0
 			}
-			vth[victim][c] += delta[c] * gamma
+			row[c] += delta[c] * gamma
 		}
 	}
 
-	seen := core.NewBlockState(wordLines)
 	for i, pg := range order {
 		if pg.WL < 0 || pg.WL >= wordLines {
-			return nil, fmt.Errorf("vth: order[%d]=%v out of range", i, pg)
+			return fmt.Errorf("vth: order[%d]=%v out of range", i, pg)
 		}
-		if seen.Written(pg) {
-			return nil, fmt.Errorf("vth: order[%d]=%v programmed twice", i, pg)
+		if a.seen.Written(pg) {
+			return fmt.Errorf("vth: order[%d]=%v programmed twice", i, pg)
 		}
-		seen.Mark(pg)
+		a.seen.Mark(pg)
 		k := pg.WL
+		base := k * n
 		switch pg.Type {
 		case core.LSB:
 			for c := 0; c < n; c++ {
 				bit := src.Intn(2)
-				lsbBits[k][c] = bit
-				old := vth[k][c]
+				lsbBits[base+c] = uint8(bit)
+				old := vth[base+c]
 				if bit == 0 { // programmed polarity: E -> transient X0
-					vth[k][c] = p.TransientLevel + src.Normal(0, p.ProgramSigma)
+					vth[base+c] = p.TransientLevel + src.Normal(0, p.ProgramSigma)
 				}
-				if d := vth[k][c] - old; d > 0 {
+				if d := vth[base+c] - old; d > 0 {
 					delta[c] = d
 				} else {
 					delta[c] = 0
 				}
 			}
-			lsbDone[k] = true
 		case core.MSB:
 			for c := 0; c < n; c++ {
 				msbBit := src.Intn(2)
-				st := StateOf(lsbBits[k][c], msbBit)
-				target[k][c] = st
+				st := StateOf(int(lsbBits[base+c]), msbBit)
+				target[base+c] = st
 				// The MSB program re-places the cell at its final level with
 				// fresh program noise, clearing interference accumulated in
 				// the transient state.
-				old := vth[k][c]
-				vth[k][c] = p.Levels[st] + src.Normal(0, p.ProgramSigma)
-				if d := vth[k][c] - old; d > 0 {
+				old := vth[base+c]
+				vth[base+c] = p.Levels[st] + src.Normal(0, p.ProgramSigma)
+				if d := vth[base+c] - old; d > 0 {
 					delta[c] = d
 				} else {
 					delta[c] = 0
 				}
 			}
-			msbDone[k] = true
+			a.msbDone[k] = true
 		}
 		disturb(k - 1)
 		disturb(k + 1)
 	}
-	_ = lsbDone
-	return &blockCells{vth: vth, target: target, aggressors: aggressors}, nil
+	return nil
 }
 
 // stressCell applies wear widening and retention shift to one cell.
@@ -372,23 +366,24 @@ func (m *Model) stressCell(v float64, st State, stress StressCondition, src *rng
 	return v
 }
 
-// measure applies stress and computes the per-word-line metrics.
-func (m *Model) measure(cells *blockCells, stress StressCondition, src *rng.Source) BlockResult {
+// measure applies stress and computes the per-word-line metrics from the
+// arena's programmed block.
+func (m *Model) measure(wordLines int, stress StressCondition, src *rng.Source, a *Arena) BlockResult {
 	p := m.p
 	n := p.CellsPerWordLine
-	wordLines := len(cells.vth)
-	vth, target, aggressors := cells.vth, cells.target, cells.aggressors
+	vth, target, aggressors := a.vth, a.target, a.aggr
 	refs := p.ReadReferences()
 
-	res := BlockResult{Order: "", WordLines: make([]WordLineResult, wordLines)}
+	res := BlockResult{Order: "", WordLines: a.results[:wordLines]}
 	for k := 0; k < wordLines; k++ {
 		// Group cells by intended state for width measurement, after stress.
 		var minV, maxV [4]float64
 		var have [4]bool
 		errs := 0
+		base := k * n
 		for c := 0; c < n; c++ {
-			v := m.stressCell(vth[k][c], target[k][c], stress, src)
-			st := target[k][c]
+			v := m.stressCell(vth[base+c], target[base+c], stress, src)
+			st := target[base+c]
 			if !have[st] {
 				minV[st], maxV[st] = v, v
 				have[st] = true
@@ -427,21 +422,59 @@ func (m *Model) measure(cells *blockCells, stress StressCondition, src *rng.Sour
 	return res
 }
 
+// WordLineSample holds one word line's post-stress cell voltages grouped by
+// intended state. The per-state groups are views into a single flat buffer
+// (no per-state map or repeated append growth).
+type WordLineSample struct {
+	byState [numStates][]float64
+}
+
+// State returns the voltages of cells targeted at st, in cell order.
+func (s *WordLineSample) State(st State) []float64 {
+	if st < 0 || st >= numStates {
+		return nil
+	}
+	return s.byState[st]
+}
+
+// Total returns the sampled cell count.
+func (s *WordLineSample) Total() int {
+	n := 0
+	for _, g := range s.byState {
+		n += len(g)
+	}
+	return n
+}
+
 // SampleWordLine programs a block under the given order, applies stress,
 // and returns word line wl's cell Vth values grouped by intended state —
 // the data behind the Figure 1 distribution diagram.
-func (m *Model) SampleWordLine(wordLines int, order []core.Page, wl int, stress StressCondition, src *rng.Source) (map[State][]float64, error) {
+func (m *Model) SampleWordLine(wordLines int, order []core.Page, wl int, stress StressCondition, src *rng.Source) (WordLineSample, error) {
 	if wl < 0 || wl >= wordLines {
-		return nil, fmt.Errorf("vth: word line %d out of range [0,%d)", wl, wordLines)
+		return WordLineSample{}, fmt.Errorf("vth: word line %d out of range [0,%d)", wl, wordLines)
 	}
-	cells, err := m.programBlock(wordLines, order, src)
-	if err != nil {
-		return nil, err
+	a := NewArena()
+	if err := m.programBlock(wordLines, order, src, a); err != nil {
+		return WordLineSample{}, err
 	}
-	out := make(map[State][]float64)
-	for c := 0; c < m.p.CellsPerWordLine; c++ {
-		st := cells.target[wl][c]
-		out[st] = append(out[st], m.stressCell(cells.vth[wl][c], st, stress, src))
+	// Bucket the word line's cells into one flat buffer: count, carve
+	// per-state sub-slices, then fill in cell order.
+	n := m.p.CellsPerWordLine
+	base := wl * n
+	var counts [numStates]int
+	for c := 0; c < n; c++ {
+		counts[a.target[base+c]]++
+	}
+	flat := make([]float64, n)
+	var out WordLineSample
+	off := 0
+	for st := State(0); st < numStates; st++ {
+		out.byState[st] = flat[off:off:(off + counts[st])]
+		off += counts[st]
+	}
+	for c := 0; c < n; c++ {
+		st := a.target[base+c]
+		out.byState[st] = append(out.byState[st], m.stressCell(a.vth[base+c], st, stress, src))
 	}
 	return out, nil
 }

@@ -274,9 +274,12 @@ func TestSampleWordLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	total := 0
-	for st, vals := range sample {
-		total += len(vals)
+	for st := StateE; st < numStates; st++ {
+		vals := sample.State(st)
+		if len(vals) == 0 {
+			t.Errorf("%v sampled no cells", st)
+			continue
+		}
 		// Fresh distributions sit near their nominal levels.
 		level := m.Params().Levels[st]
 		mean := stats.Mean(vals)
@@ -284,8 +287,11 @@ func TestSampleWordLine(t *testing.T) {
 			t.Errorf("%v mean %.2f far from level %.2f", st, mean, level)
 		}
 	}
-	if total != m.Params().CellsPerWordLine {
+	if total := sample.Total(); total != m.Params().CellsPerWordLine {
 		t.Errorf("sampled %d cells, want %d", total, m.Params().CellsPerWordLine)
+	}
+	if got := sample.State(State(9)); got != nil {
+		t.Errorf("out-of-range state returned %d values", len(got))
 	}
 	if _, err := m.SampleWordLine(wl, core.FPSOrder(wl), 99, Fresh, rng.New(1)); err == nil {
 		t.Error("out-of-range word line accepted")
@@ -307,7 +313,7 @@ func TestSampleWordLineStressWidens(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The P3 (highest) state's spread must grow under stress.
-	if f, w := stats.StdDev(fresh[StateP3]), stats.StdDev(worn[StateP3]); w <= f {
+	if f, w := stats.StdDev(fresh.State(StateP3)), stats.StdDev(worn.State(StateP3)); w <= f {
 		t.Errorf("stress did not widen P3: fresh sd %.3f, worn %.3f", f, w)
 	}
 }

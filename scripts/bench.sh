@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the performance-tracking benchmarks and writes a JSON snapshot.
+#
+#   scripts/bench.sh [output.json]
+#
+# The benchmark set pairs each optimized path with its baseline
+# (SimulateBlock legacy/arena, DeviceRead copy/zerocopy, RunFig4 and
+# RunFig8 at workers-1/workers-auto) plus the MapperUpdate hot path, so a
+# snapshot from any machine carries its own before/after comparison.
+set -eu
+out="${1:-BENCH_PR2.json}"
+pattern='BenchmarkSimulateBlock|BenchmarkDeviceRead|BenchmarkRunFig4|BenchmarkRunFig8$|BenchmarkMapperUpdate'
+benchtime="${BENCHTIME:-20x}"
+
+raw=$(go test -run=NONE -bench="$pattern" -benchmem -benchtime="$benchtime" .)
+echo "$raw"
+
+echo "$raw" | awk -v nproc="$(nproc)" '
+  /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = $3; bop = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+      if ($(i+1) == "B/op") bop = $i
+      if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+      name, ns, bop, allocs
+  }
+  END {
+    printf "\n  ],\n  \"cpu\": \"%s\",\n  \"cores\": %s\n}\n", cpu, nproc
+  }
+  BEGIN { printf "{\n  \"benchmarks\": [\n" }
+' > "$out"
+echo "wrote $out"
