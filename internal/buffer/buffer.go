@@ -39,6 +39,11 @@ type Buffer struct {
 	peakOcc  int
 	admitted int64
 	util     *obs.Gauge // observability: live utilization (nil when disabled)
+	// freeList recycles Entry allocations: compact() parks the released
+	// prefix here and TryAdmit reuses it, so steady-state admission allocates
+	// nothing. Reset deliberately does not recycle — callers may still hold
+	// unreleased handles across a Reset.
+	freeList []*Entry
 }
 
 // New returns a buffer holding up to capacity page entries.
@@ -83,7 +88,14 @@ func (b *Buffer) TryAdmit(lpn int64, now sim.Time) (*Entry, error) {
 	if b.occupied >= b.capacity {
 		return nil, ErrFull
 	}
-	e := &Entry{LPN: lpn, Arrived: now}
+	var e *Entry
+	if n := len(b.freeList); n > 0 {
+		e = b.freeList[n-1]
+		b.freeList = b.freeList[:n-1]
+		*e = Entry{LPN: lpn, Arrived: now}
+	} else {
+		e = &Entry{LPN: lpn, Arrived: now}
+	}
 	b.entries = append(b.entries, e)
 	b.occupied++
 	b.admitted++
@@ -117,6 +129,9 @@ func (b *Buffer) compact() {
 		i++
 	}
 	if i > 0 {
+		// Park the dropped prefix for reuse before the shift overwrites it;
+		// released entries are dead to callers (Release errors on reuse).
+		b.freeList = append(b.freeList, b.entries[:i]...)
 		b.entries = append(b.entries[:0], b.entries[i:]...)
 	}
 }

@@ -37,6 +37,14 @@ type Base struct {
 	inGC bool     // guards against GC re-entry through alloc callbacks
 	bg   bgVictim // in-progress background-GC victim (survives idle windows)
 	hyst bool     // background-GC hysteresis latch
+
+	// Scratch buffers for the per-write payload helpers and the GC
+	// valid-page scan. Safe for the same reason Buf is: the FTLs are
+	// single-threaded and Device.Program copies payload and spare before
+	// the next call can overwrite them.
+	tok  [TokenSize]byte
+	sp   [8]byte
+	ppns []nand.PPN
 }
 
 // NewBase wires a Base for the device under the config.
@@ -59,7 +67,42 @@ func NewBase(dev *nand.Device, cfg Config) (*Base, error) {
 		b.Pools[c] = NewFreePool(c, g.BlocksPerChip)
 		b.Pools[c].Policy = cfg.GC
 	}
+	b.wireVictimIndex()
 	return b, nil
+}
+
+// wireVictimIndex binds every pool's victim index to the current mapper's
+// valid counts and routes the mapper's change notifications back to the
+// owning pool. The bind closures read b.Map on every call, so they survive a
+// mapper swap (SetMapper) without rewiring.
+func (b *Base) wireVictimIndex() {
+	g := b.Dev.Geometry()
+	bpc := g.BlocksPerChip
+	for c, p := range b.Pools {
+		chip := c
+		p.Bind(g.PagesPerBlock(), func(blk int) int {
+			return b.Map.ValidCount(nand.BlockAddr{Chip: chip, Block: blk})
+		})
+	}
+	b.Map.SetValidHook(func(flat int) {
+		b.Pools[flat/bpc].NoteValidChange(flat % bpc)
+	})
+}
+
+// SetMapper swaps in a rebuilt mapping table (flash-scan rebuild), rewiring
+// the valid-count hook and reindexing every pool's victim buckets against
+// the new counts.
+func (b *Base) SetMapper(m *Mapper) {
+	b.Map = m
+	b.wireVictimIndex()
+}
+
+// SetVictimReference switches every pool between the indexed victim picker
+// and the retained reference linear scan (A/B determinism tests).
+func (b *Base) SetVictimReference(on bool) {
+	for _, p := range b.Pools {
+		p.Reference = on
+	}
 }
 
 // Device returns the NAND device.
@@ -98,12 +141,20 @@ func (b *Base) NextChip() int {
 const TokenSize = 16
 
 // Token builds the payload for a host write, advancing the sequence number.
+// The returned slice is a reusable scratch buffer, valid until the next
+// Token call; Device.Program copies it, so the write paths never retain it.
 func (b *Base) Token(lpn LPN) []byte {
 	b.seq++
-	buf := make([]byte, TokenSize)
-	binary.LittleEndian.PutUint64(buf[0:8], uint64(lpn))
-	binary.LittleEndian.PutUint64(buf[8:16], uint64(b.seq))
-	return buf
+	binary.LittleEndian.PutUint64(b.tok[0:8], uint64(lpn))
+	binary.LittleEndian.PutUint64(b.tok[8:16], uint64(b.seq))
+	return b.tok[:]
+}
+
+// Spare is the scratch-buffer variant of SpareForLPN for the per-write hot
+// path; valid until the next Spare call.
+func (b *Base) Spare(lpn LPN) []byte {
+	binary.LittleEndian.PutUint64(b.sp[:], uint64(lpn))
+	return b.sp[:]
 }
 
 // TokenLPN extracts the LPN from a token payload.
@@ -179,7 +230,11 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 	addr := nand.BlockAddr{Chip: chip, Block: victim}
 	b.Pools[chip].TakeFull(victim)
 	g := b.Dev.Geometry()
-	for _, ppn := range b.Map.ValidPages(addr) {
+	// The scratch reuse is safe against the mapping updates alloc performs:
+	// relocation only invalidates pages of this block after copying them,
+	// never adds pages to it, and the inGC guard rules out a nested scan.
+	b.ppns = b.Map.AppendValidPages(addr, b.ppns[:0])
+	for _, ppn := range b.ppns {
 		lpn, ok := b.Map.LPNAt(ppn)
 		if !ok {
 			continue // invalidated by an earlier iteration (cannot happen for distinct LPNs)

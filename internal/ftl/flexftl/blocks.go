@@ -23,7 +23,7 @@ func (f *FTL) programAs(chip int, useLSB bool, lpn ftl.LPN, data, spare []byte, 
 			useLSB = false
 		}
 	}
-	if !useLSB && len(st.sbq) == 0 {
+	if !useLSB && st.sbq.Len() == 0 {
 		useLSB = true // no slow block exists (footnote 1)
 	}
 	if useLSB {
@@ -73,11 +73,12 @@ func (f *FTL) programLSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time
 		// pool state stays consistent even if the parity write fails, then
 		// persist its parity page (Figure 7(a)).
 		full := st.afb
-		snapshot := st.pbuf.Snapshot()
+		f.psnap = st.pbuf.SnapshotInto(f.psnap)
+		snapshot := f.psnap
 		st.pbuf.Reset()
-		st.sbq = append(st.sbq, full)
+		st.sbq.Push(full)
 		st.afb = -1
-		f.Obs.Instant(obs.KindBlockQueued, int32(chip), now, int64(full), int64(len(st.sbq)))
+		f.Obs.Instant(obs.KindBlockQueued, int32(chip), now, int64(full), int64(st.sbq.Len()))
 		done, err = f.writeBlockParity(chip, full, snapshot, done)
 		if err != nil {
 			return done, err
@@ -90,10 +91,10 @@ func (f *FTL) programLSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time
 // the slow block queue).
 func (f *FTL) programMSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
 	st := &f.chips[chip]
-	if len(st.sbq) == 0 {
+	if st.sbq.Len() == 0 {
 		return now, fmt.Errorf("flexftl: chip %d has no slow block for an MSB write", chip)
 	}
-	blk := st.sbq[0]
+	blk := st.sbq.Front()
 	addr := nand.PageAddr{
 		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
 		Page:      core.Page{WL: st.asbPos, Type: core.MSB},
@@ -126,9 +127,9 @@ func (f *FTL) programMSB(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time
 		f.invalidateParity(chip, blk)
 		f.Dev.AckProgram(addr.BlockAddr)
 		f.Pools[chip].PushFull(blk)
-		st.sbq = st.sbq[1:]
+		st.sbq.PopFront()
 		st.asbPos = 0
-		f.Obs.Instant(obs.KindBlockFull, int32(chip), now, int64(blk), int64(len(st.sbq)))
+		f.Obs.Instant(obs.KindBlockFull, int32(chip), now, int64(blk), int64(st.sbq.Len()))
 	}
 	return done, nil
 }

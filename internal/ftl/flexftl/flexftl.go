@@ -89,7 +89,7 @@ type chipState struct {
 	afb    int            // active fast block, -1 when none
 	afbPos int            // next LSB word line of the AFB
 	pbuf   *parity.Buffer // accumulated parity of the AFB's LSB pages
-	sbq    []int          // slow block queue; head is the active slow block
+	sbq    ftl.IntQueue   // slow block queue; head is the active slow block
 	asbPos int            // next MSB word line of the head slow block
 	backup backupState
 	toggle bool // alternation state for the mid-utilization band
@@ -105,6 +105,7 @@ type FTL struct {
 	refs   map[int]parityRef // flat fast-block index -> parity location
 	inBGC  bool              // inside a background-GC window (q accounting)
 	pred   *writePredictor   // Section 6 extension (nil unless enabled)
+	psnap  []byte            // scratch for parity snapshots (Program copies)
 }
 
 var _ ftl.FTL = (*FTL)(nil)
@@ -163,15 +164,15 @@ func (f *FTL) InitialQuota() int64 { return f.q0 }
 
 // SlowQueueLen returns the slow block queue depth of a chip (tests and
 // metrics).
-func (f *FTL) SlowQueueLen(chip int) int { return len(f.chips[chip].sbq) }
+func (f *FTL) SlowQueueLen(chip int) int { return f.chips[chip].sbq.Len() }
 
 // ActiveSlowBlock returns the chip's active slow block (the head of its
 // slow block queue), or -1 when the queue is empty.
 func (f *FTL) ActiveSlowBlock(chip int) int {
-	if len(f.chips[chip].sbq) == 0 {
+	if f.chips[chip].sbq.Len() == 0 {
 		return -1
 	}
-	return f.chips[chip].sbq[0]
+	return f.chips[chip].sbq.Front()
 }
 
 // ActiveSlowProgress returns how many MSB pages of the active slow block
@@ -195,7 +196,7 @@ func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
 		}
 		f.Obs.Instant(obs.KindPolicy, int32(chip), now, lsb, f.q)
 	}
-	done, err := f.programAs(chip, useLSB, lpn, f.Token(lpn), ftl.SpareForLPN(lpn), now, false)
+	done, err := f.programAs(chip, useLSB, lpn, f.Token(lpn), f.Spare(lpn), now, false)
 	if err != nil {
 		return now, err
 	}
@@ -215,7 +216,7 @@ func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
 func (f *FTL) choosePageType(chip int, util float64) bool {
 	st := &f.chips[chip]
 	// Corner case (footnote 1): with no slow block MSB pages do not exist.
-	if len(st.sbq) == 0 {
+	if st.sbq.Len() == 0 {
 		return true
 	}
 	// Drain mode: with no fast capacity left beyond the GC reserve, spend

@@ -321,9 +321,9 @@ func TestBackupBlocksRecycled(t *testing.T) {
 		bk := &f.chips[c].backup
 		// Retired blocks awaiting recycling are bounded by the slow queue
 		// depth (their live parities) plus one in-flight.
-		if len(bk.retired) > len(f.chips[c].sbq)+1 {
+		if len(bk.retired) > f.chips[c].sbq.Len()+1 {
 			t.Errorf("chip %d: %d retired backup blocks for %d queued slow blocks",
-				c, len(bk.retired), len(f.chips[c].sbq))
+				c, len(bk.retired), f.chips[c].sbq.Len())
 		}
 	}
 }

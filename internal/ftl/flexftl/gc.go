@@ -33,7 +33,7 @@ func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time) (
 // (no slow block) with a thin pool, or when the pool is at the emergency
 // level needed by the parity-backup writer.
 func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
-	needsLSB := len(f.chips[chip].sbq) == 0
+	needsLSB := f.chips[chip].sbq.Len() == 0
 	reserve := f.Cfg.MinFreeBlocksPerChip
 	for (needsLSB && f.Pools[chip].FreeCount() < reserve+1) ||
 		f.Pools[chip].FreeCount() < 2 {
@@ -53,7 +53,7 @@ func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
 
 // pickVictim wraps the pool's greedy choice.
 func (f *FTL) pickVictim(chip int) (int, bool) {
-	return f.Pools[chip].PickVictim(f.Map, f.Dev.Geometry().PagesPerBlock())
+	return f.Pools[chip].PickVictim()
 }
 
 // Idle invokes the background garbage collector (Section 3.2): when free

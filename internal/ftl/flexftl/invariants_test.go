@@ -33,8 +33,8 @@ func auditBlocks(t *testing.T, f *FTL) {
 		// by elimination — account for the named holders first.
 		st := &f.chips[chip]
 		place(st.afb, "active-fast")
-		for _, b := range st.sbq {
-			place(b, "slow-queue")
+		for i := 0; i < st.sbq.Len(); i++ {
+			place(st.sbq.At(i), "slow-queue")
 		}
 		place(st.backup.cur, "backup-current")
 		for _, b := range st.backup.retired {
@@ -111,7 +111,7 @@ func TestInvariantsUnderHeavyWrites(t *testing.T) {
 func TestInvariantsAfterRecovery(t *testing.T) {
 	f := newFlex(t, nand.TestGeometry())
 	now := primeToMSBPhase(t, f)
-	f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq[0]})
+	f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq.Front()})
 	rep, err := f.Recover(now)
 	if err != nil {
 		t.Fatal(err)

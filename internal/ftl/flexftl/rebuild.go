@@ -99,7 +99,9 @@ func (f *FTL) RebuildMapping(now sim.Time) (RebuildReport, error) {
 		}
 	}
 	rep.Mapped = fresh.Mapped()
-	f.Map = fresh
+	// SetMapper (not a bare assignment) rewires the victim-index hook and
+	// re-buckets every pool against the fresh table's valid counts.
+	f.SetMapper(fresh)
 	return rep, nil
 }
 

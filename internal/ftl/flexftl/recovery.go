@@ -60,8 +60,8 @@ func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time
 
 	// 1. Drop the interrupted MSB write, if any: its program never
 	// completed, so the host was never acknowledged.
-	if len(st.sbq) > 0 && st.asbPos > 0 {
-		blk := st.sbq[0]
+	if st.sbq.Len() > 0 && st.asbPos > 0 {
+		blk := st.sbq.Front()
 		msbAddr := nand.PageAddr{
 			BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
 			Page:      core.Page{WL: st.asbPos - 1, Type: core.MSB},
@@ -76,8 +76,8 @@ func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time
 
 	// 2. Scan the active slow block: read every LSB page, recomputing the
 	// accumulated parity; reconstruct at most one lost page.
-	if len(st.sbq) > 0 {
-		blk := st.sbq[0]
+	if st.sbq.Len() > 0 {
+		blk := st.sbq.Front()
 		var survivors [][]byte
 		lostWL := -1
 		for k := 0; k < wl; k++ {

@@ -48,7 +48,7 @@ func TestPowerFailRecovery(t *testing.T) {
 
 	// Identify the vulnerable page: paired LSB of the last in-flight MSB.
 	chip := 0
-	blk := f.chips[chip].sbq[0]
+	blk := f.chips[chip].sbq.Front()
 	wl := f.chips[chip].asbPos - 1
 	lsbAddr := nand.PageAddr{
 		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
@@ -110,7 +110,7 @@ func TestRecoveryWithoutCrash(t *testing.T) {
 	f := newFlex(t, nand.TestGeometry())
 	now := primeToMSBPhase(t, f)
 	// Acknowledge the in-flight program (power did not fail).
-	f.Dev.AckProgram(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq[0]})
+	f.Dev.AckProgram(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq.Front()})
 	rep, err := f.Recover(now)
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +130,7 @@ func TestRecoveryStaleLSB(t *testing.T) {
 	now := primeToMSBPhase(t, f)
 	g := f.Dev.Geometry()
 	chip := 0
-	blk := f.chips[chip].sbq[0]
+	blk := f.chips[chip].sbq.Front()
 	wl := f.chips[chip].asbPos - 1
 	lsbPPN := g.PPNOf(nand.PageAddr{
 		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
@@ -171,7 +171,7 @@ func TestRecoveryReadOverhead(t *testing.T) {
 	now := primeToMSBPhase(t, f)
 	g := f.Dev.Geometry()
 	tm := f.Dev.Timing()
-	f.Dev.AckProgram(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq[0]})
+	f.Dev.AckProgram(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq.Front()})
 	rep, err := f.Recover(now)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ func TestRecoveryAfterMetadataLoss(t *testing.T) {
 	now := primeToMSBPhase(t, f)
 	g := f.Dev.Geometry()
 	chip := 0
-	blk := f.chips[chip].sbq[0]
+	blk := f.chips[chip].sbq.Front()
 	wl := f.chips[chip].asbPos - 1
 	lostLPN, live := f.Map.LPNAt(g.PPNOf(nand.PageAddr{
 		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
@@ -251,10 +251,10 @@ func TestScanPicksNewestParity(t *testing.T) {
 	}
 	// Find a chip mid-MSB-phase; force the crash and scan-based recovery.
 	for chip := 0; chip < g.Chips(); chip++ {
-		if len(f.chips[chip].sbq) == 0 || f.chips[chip].asbPos == 0 {
+		if f.chips[chip].sbq.Len() == 0 || f.chips[chip].asbPos == 0 {
 			continue
 		}
-		blk := f.chips[chip].sbq[0]
+		blk := f.chips[chip].sbq.Front()
 		if !f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: chip, Block: blk}) {
 			continue
 		}
@@ -279,7 +279,7 @@ func TestRecoveryDeterminism(t *testing.T) {
 	run := func() (RecoveryReport, error) {
 		f := newFlex(t, nand.TestGeometry())
 		now := primeToMSBPhase(t, f)
-		f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq[0]})
+		f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq.Front()})
 		return f.Recover(now)
 	}
 	a, errA := run()
@@ -323,8 +323,8 @@ func TestMultiChipPowerLoss(t *testing.T) {
 	_ = src
 	injected := 0
 	for chip := 0; chip < g.Chips(); chip++ {
-		if len(f.chips[chip].sbq) > 0 &&
-			f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: chip, Block: f.chips[chip].sbq[0]}) {
+		if f.chips[chip].sbq.Len() > 0 &&
+			f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: chip, Block: f.chips[chip].sbq.Front()}) {
 			injected++
 		}
 	}

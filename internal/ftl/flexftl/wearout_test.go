@@ -63,7 +63,7 @@ func TestWearOutRetiresBlocksGracefully(t *testing.T) {
 		if f.chips[chip].afb != -1 {
 			accounted++
 		}
-		accounted += int64(len(f.chips[chip].sbq))
+		accounted += int64(f.chips[chip].sbq.Len())
 		if f.chips[chip].backup.cur != -1 {
 			accounted++
 		}

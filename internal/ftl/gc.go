@@ -15,9 +15,8 @@ import (
 func PickNeediestVictim(b *Base) (chip, victim int, ok bool) {
 	bestChip, bestFree := -1, int(^uint(0)>>1)
 	bestVictim := -1
-	pagesPerBlock := b.Dev.Geometry().PagesPerBlock()
 	for c, pool := range b.Pools {
-		v, has := pool.PickVictim(b.Map, pagesPerBlock)
+		v, has := pool.PickVictim()
 		if !has {
 			continue
 		}
@@ -31,13 +30,20 @@ func PickNeediestVictim(b *Base) (chip, victim int, ok bool) {
 	return bestChip, bestVictim, true
 }
 
+// GCPageCopyCost is the virtual-time cost of relocating one valid page
+// during GC: a read, two bus transfers (out and back in), and a
+// pessimistic MSB program. EstimateGCCost and RunBackgroundGC both budget
+// from this single definition so the two cannot drift.
+func GCPageCopyCost(t nand.Timing) sim.Time {
+	return t.Read + 2*t.BusXfer + t.ProgMSB
+}
+
 // EstimateGCCost upper-bounds the virtual-time cost of collecting a victim
 // with the given valid-page count: each copy is a read plus (pessimistically)
 // an MSB program, plus the final erase. Foreground paths use it for
 // accounting; background GC is incremental and does not need it.
 func EstimateGCCost(t nand.Timing, validPages int) sim.Time {
-	per := t.Read + t.BusXfer*2 + t.ProgMSB
-	return sim.Time(validPages)*per + t.Erase
+	return sim.Time(validPages)*GCPageCopyCost(t) + t.Erase
 }
 
 // bgVictim tracks a background-GC victim across idle windows, so collection
@@ -58,7 +64,7 @@ type bgVictim struct {
 // returns the virtual time reached.
 func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc AllocFunc) sim.Time {
 	t := b.Dev.Timing()
-	perPage := t.Read + 2*t.BusXfer + t.ProgMSB
+	perPage := GCPageCopyCost(t)
 	g := b.Dev.Geometry()
 	perBlock := g.PagesPerBlock()
 	if b.Obs != nil && b.bg.active {

@@ -14,7 +14,14 @@ type Mapper struct {
 	p2l        []LPN      // physical to logical; -1 when free/invalid
 	validCount []int32    // valid pages per flat block
 	mapped     int64      // currently mapped logical pages
+	// onValidChange, when set, fires after every validCount mutation with
+	// the affected flat block — the mapper→pool notification keeping the
+	// GC victim index coherent. Nil (standalone mappers) costs nothing.
+	onValidChange func(flatBlock int)
 }
+
+// SetValidHook registers the valid-count change notification (nil detaches).
+func (m *Mapper) SetValidHook(fn func(flatBlock int)) { m.onValidChange = fn }
 
 // NewMapper builds a mapper for logicalPages host pages over the geometry.
 func NewMapper(g nand.Geometry, logicalPages int64) *Mapper {
@@ -81,13 +88,21 @@ func (m *Mapper) Update(lpn LPN, newPPN nand.PPN) nand.PPN {
 	old := m.l2p[lpn]
 	if old != nand.InvalidPPN {
 		m.p2l[old] = -1
-		m.validCount[m.blockOf(old)]--
+		oldBlk := m.blockOf(old)
+		m.validCount[oldBlk]--
+		if m.onValidChange != nil {
+			m.onValidChange(oldBlk)
+		}
 	} else {
 		m.mapped++
 	}
 	m.l2p[lpn] = newPPN
 	m.p2l[newPPN] = lpn
-	m.validCount[m.blockOf(newPPN)]++
+	newBlk := m.blockOf(newPPN)
+	m.validCount[newBlk]++
+	if m.onValidChange != nil {
+		m.onValidChange(newBlk)
+	}
 	return old
 }
 
@@ -103,8 +118,12 @@ func (m *Mapper) Invalidate(lpn LPN) bool {
 	}
 	m.l2p[lpn] = nand.InvalidPPN
 	m.p2l[old] = -1
-	m.validCount[m.blockOf(old)]--
+	oldBlk := m.blockOf(old)
+	m.validCount[oldBlk]--
 	m.mapped--
+	if m.onValidChange != nil {
+		m.onValidChange(oldBlk)
+	}
 	return true
 }
 
@@ -125,15 +144,33 @@ func (m *Mapper) ValidCount(a nand.BlockAddr) int {
 
 // ValidPages lists the valid physical pages of a block in page-index order.
 func (m *Mapper) ValidPages(a nand.BlockAddr) []nand.PPN {
+	return m.AppendValidPages(a, nil)
+}
+
+// AppendValidPages appends the valid physical pages of a block, in
+// page-index order, to dst and returns it — the allocation-free variant the
+// GC and recovery hot paths use with a reusable scratch slice.
+func (m *Mapper) AppendValidPages(a nand.BlockAddr, dst []nand.PPN) []nand.PPN {
 	base := nand.PPN(int64(m.FlatBlock(a)) * int64(m.geo.PagesPerBlock()))
-	var out []nand.PPN
 	for i := 0; i < m.geo.PagesPerBlock(); i++ {
 		ppn := base + nand.PPN(i)
 		if m.p2l[ppn] != -1 {
-			out = append(out, ppn)
+			dst = append(dst, ppn)
 		}
 	}
-	return out
+	return dst
+}
+
+// FirstValidPage returns the lowest-index valid physical page of a block.
+func (m *Mapper) FirstValidPage(a nand.BlockAddr) (nand.PPN, bool) {
+	base := nand.PPN(int64(m.FlatBlock(a)) * int64(m.geo.PagesPerBlock()))
+	for i := 0; i < m.geo.PagesPerBlock(); i++ {
+		ppn := base + nand.PPN(i)
+		if m.p2l[ppn] != -1 {
+			return ppn, true
+		}
+	}
+	return nand.InvalidPPN, false
 }
 
 // ClearBlock asserts a block holds no valid pages and is about to be erased.

@@ -237,22 +237,26 @@ func TestPickVictimGreedy(t *testing.T) {
 	fill(b0, perBlock)
 	fill(b1, perBlock/2)
 	fill(b2, 0)
+	p.Bind(perBlock, func(blk int) int {
+		return m.ValidCount(nand.BlockAddr{Chip: 0, Block: blk})
+	})
+	m.SetValidHook(func(flat int) { p.NoteValidChange(flat) })
 	p.PushFull(b0)
 	p.PushFull(b1)
 	p.PushFull(b2)
-	v, ok := p.PickVictim(m, perBlock)
+	v, ok := p.PickVictim()
 	if !ok || v != b2 {
 		t.Errorf("victim = %d,%v, want block %d (all invalid)", v, ok, b2)
 	}
 	// After taking b2, the half-valid block is next.
 	p.TakeFull(b2)
-	v, ok = p.PickVictim(m, perBlock)
+	v, ok = p.PickVictim()
 	if !ok || v != b1 {
 		t.Errorf("victim = %d,%v, want block %d", v, ok, b1)
 	}
 	// A pool with only fully-valid blocks yields no victim.
 	p.TakeFull(b1)
-	if v, ok := p.PickVictim(m, perBlock); ok {
+	if v, ok := p.PickVictim(); ok {
 		t.Errorf("fully-valid block chosen as victim: %d", v)
 	}
 }
@@ -275,6 +279,10 @@ func TestPickVictimCostBenefit(t *testing.T) {
 	}
 	fill(b0, perBlock/2)   // 50% invalid
 	fill(b1, perBlock/2-1) // slightly more invalid
+	p.Bind(perBlock, func(blk int) int {
+		return m.ValidCount(nand.BlockAddr{Chip: 0, Block: blk})
+	})
+	m.SetValidHook(func(flat int) { p.NoteValidChange(flat) })
 	p.PushFull(b0)
 	// Age b0 by pushing/taking unrelated blocks to advance the clock.
 	for i := 0; i < 50; i++ {
@@ -284,13 +292,13 @@ func TestPickVictimCostBenefit(t *testing.T) {
 		p.PushFree(bx)
 	}
 	p.PushFull(b1)
-	v, ok := p.PickVictim(m, perBlock)
+	v, ok := p.PickVictim()
 	if !ok || v != b0 {
 		t.Errorf("cost-benefit picked %d, want the aged block %d", v, b0)
 	}
 	// Greedy would pick the dirtier young block.
 	p.Policy = GCGreedy
-	v, ok = p.PickVictim(m, perBlock)
+	v, ok = p.PickVictim()
 	if !ok || v != b1 {
 		t.Errorf("greedy picked %d, want the dirtiest block %d", v, b1)
 	}
@@ -343,12 +351,14 @@ func TestTokenHelpers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tok1 := b.Token(42)
-	tok2 := b.Token(42)
-	if string(tok1) == string(tok2) {
+	// Token returns a reusable scratch buffer, so capture each value as a
+	// string before generating the next token.
+	tok1 := string(b.Token(42))
+	tok2 := string(b.Token(42))
+	if tok1 == tok2 {
 		t.Error("tokens for successive writes identical (sequence not advancing)")
 	}
-	if lpn, ok := TokenLPN(tok1); !ok || lpn != 42 {
+	if lpn, ok := TokenLPN([]byte(tok1)); !ok || lpn != 42 {
 		t.Errorf("TokenLPN = %v,%v", lpn, ok)
 	}
 	if _, ok := TokenLPN([]byte{1}); ok {

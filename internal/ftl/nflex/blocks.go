@@ -35,11 +35,10 @@ func (f *FTL) programAt(chip, level int, lpn ftl.LPN, data, spare []byte, now si
 			cur.blk, cur.pos = blk, 0
 			cs.pbuf[0].Reset()
 		} else {
-			if len(cs.queues[level]) == 0 {
+			if cs.queues[level].Len() == 0 {
 				return now, fmt.Errorf("nflex: chip %d has no block queued for phase %d", chip, level)
 			}
-			cur.blk, cur.pos = cs.queues[level][0], 0
-			cs.queues[level] = cs.queues[level][1:]
+			cur.blk, cur.pos = cs.queues[level].PopFront(), 0
 			cs.pbuf[level].Reset()
 		}
 	}
@@ -82,9 +81,10 @@ func (f *FTL) programAt(chip, level int, lpn ftl.LPN, data, spare []byte, now si
 		cur.blk = -1
 		if level < g.Levels-1 {
 			// Phase complete: persist its parity, queue for the next phase.
-			snapshot := cs.pbuf[level].Snapshot()
+			f.psnap = cs.pbuf[level].SnapshotInto(f.psnap)
+			snapshot := f.psnap
 			cs.pbuf[level].Reset()
-			cs.queues[level+1] = append(cs.queues[level+1], full)
+			cs.queues[level+1].Push(full)
 			done, err = f.writePhaseParity(chip, full, level, snapshot, done)
 			if err != nil {
 				return done, err
@@ -166,7 +166,7 @@ func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data []byte, now sim.Time) (sim.Tim
 			level = cs.toggle
 		}
 	}
-	return f.programAt(chip, level, lpn, data, ftl.SpareForLPN(lpn), now, true)
+	return f.programAt(chip, level, lpn, data, f.spare(lpn), now, true)
 }
 
 // collectVictim relocates a whole victim inline (foreground).
@@ -209,7 +209,7 @@ func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
 	needsFast := f.deepestAvailable(chip) == 0
 	reserve := f.cfg.MinFreeBlocksPerChip
 	for (needsFast && f.pools[chip].FreeCount() < reserve+1) || f.pools[chip].FreeCount() < 2 {
-		victim, ok := f.m.pickVictim(f.pools[chip], chip, f.dev.Geometry().PagesPerBlock())
+		victim, ok := f.pools[chip].PickVictim()
 		if !ok {
 			break
 		}
@@ -240,7 +240,7 @@ func (f *FTL) Idle(now, until sim.Time) {
 			}
 			best, bestChip := -1, -1
 			for c := range f.pools {
-				if v, ok := f.m.pickVictim(f.pools[c], c, g.PagesPerBlock()); ok {
+				if v, ok := f.pools[c].PickVictim(); ok {
 					if bestChip == -1 || f.pools[c].FreeCount() < f.pools[bestChip].FreeCount() {
 						best, bestChip = v, c
 					}

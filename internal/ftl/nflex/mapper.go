@@ -16,6 +16,10 @@ type mapper struct {
 	l2p     []int64 // -1 unmapped
 	p2l     []ftl.LPN
 	valid   []int32 // per flat block
+	// onValidChange mirrors ftl.Mapper's hook: it fires after every valid
+	// mutation with the affected flat block, keeping the pools' victim
+	// buckets coherent. Nil costs nothing.
+	onValidChange func(flat int)
 }
 
 func newMapper(g nandn.Geometry, logical int64) *mapper {
@@ -81,11 +85,19 @@ func (m *mapper) update(lpn ftl.LPN, ppn int64) {
 	}
 	if old := m.l2p[lpn]; old >= 0 {
 		m.p2l[old] = -1
-		m.valid[int(old)/m.g.PagesPerBlock()]--
+		oldBlk := int(old) / m.g.PagesPerBlock()
+		m.valid[oldBlk]--
+		if m.onValidChange != nil {
+			m.onValidChange(oldBlk)
+		}
 	}
 	m.l2p[lpn] = ppn
 	m.p2l[ppn] = lpn
-	m.valid[int(ppn)/m.g.PagesPerBlock()]++
+	newBlk := int(ppn) / m.g.PagesPerBlock()
+	m.valid[newBlk]++
+	if m.onValidChange != nil {
+		m.onValidChange(newBlk)
+	}
 }
 
 func (m *mapper) invalidate(lpn ftl.LPN) bool {
@@ -98,23 +110,15 @@ func (m *mapper) invalidate(lpn ftl.LPN) bool {
 	}
 	m.l2p[lpn] = -1
 	m.p2l[old] = -1
-	m.valid[int(old)/m.g.PagesPerBlock()]--
+	oldBlk := int(old) / m.g.PagesPerBlock()
+	m.valid[oldBlk]--
+	if m.onValidChange != nil {
+		m.onValidChange(oldBlk)
+	}
 	return true
 }
 
 func (m *mapper) validCount(chip, blk int) int { return int(m.valid[m.flatBlock(chip, blk)]) }
-
-// pool adapter: ftl.FreePool.PickVictim needs an *ftl.Mapper; nflex keeps
-// its own greedy selection instead.
-func (m *mapper) pickVictim(pool *ftl.FreePool, chip, pagesPerBlock int) (int, bool) {
-	best, bestInvalid := -1, 0
-	for _, b := range pool.FullBlocks() {
-		if inv := pagesPerBlock - m.validCount(chip, b); inv > bestInvalid {
-			best, bestInvalid = b, inv
-		}
-	}
-	return best, best != -1
-}
 
 // validPPNs lists the valid physical pages of a block from a resume cursor.
 func (m *mapper) nextValid(chip, blk, fromIdx int) (int64, int, bool) {

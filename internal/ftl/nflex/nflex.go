@@ -76,8 +76,8 @@ type phaseCursor struct {
 }
 
 type chipState struct {
-	phases []phaseCursor // [level]; level 0 is the fast phase
-	queues [][]int       // [level] FIFO of blocks awaiting that phase (levels 1..n-1 used)
+	phases []phaseCursor  // [level]; level 0 is the fast phase
+	queues []ftl.IntQueue // [level] FIFO of blocks awaiting that phase (levels 1..n-1 used)
 	pbuf   []*parity.Buffer
 	backup backupState
 	toggle int // rotation for the mid-utilization band
@@ -103,6 +103,11 @@ type FTL struct {
 	// recovery rescans; safe to share because the FTL is single-threaded
 	// and programAt copies the payload before the next read.
 	buf nandn.PageBuf
+	// tok/sp/psnap are per-write scratch buffers (Device.Program copies
+	// payload and spare, so each is valid until its next use).
+	tok   [ftl.TokenSize]byte
+	sp    [8]byte
+	psnap []byte
 }
 
 type bgState struct {
@@ -142,7 +147,7 @@ func New(dev *nandn.Device, cfg ftl.Config, params Params) (*FTL, error) {
 		f.pools[c] = ftl.NewFreePool(c, g.BlocksPerChip)
 		cs := chipState{
 			phases: make([]phaseCursor, g.Levels),
-			queues: make([][]int, g.Levels),
+			queues: make([]ftl.IntQueue, g.Levels),
 			pbuf:   make([]*parity.Buffer, g.Levels),
 			backup: backupState{cur: -1, live: make(map[int]int)},
 		}
@@ -152,7 +157,27 @@ func New(dev *nandn.Device, cfg ftl.Config, params Params) (*FTL, error) {
 		}
 		f.chips[c] = cs
 	}
+	// Wire the victim index: each pool's buckets track the mapper's valid
+	// counts, and mapper mutations notify the owning pool.
+	for c := range f.pools {
+		chip := c
+		f.pools[c].Bind(g.PagesPerBlock(), func(blk int) int {
+			return f.m.validCount(chip, blk)
+		})
+	}
+	bpc := g.BlocksPerChip
+	f.m.onValidChange = func(flat int) {
+		f.pools[flat/bpc].NoteValidChange(flat % bpc)
+	}
 	return f, nil
+}
+
+// SetVictimReference switches every pool between the indexed victim picker
+// and the retained reference linear scan (A/B determinism tests).
+func (f *FTL) SetVictimReference(on bool) {
+	for _, p := range f.pools {
+		p.Reference = on
+	}
 }
 
 // Name identifies the scheme.
@@ -197,10 +222,14 @@ func (f *FTL) TotalFreeBlocks() int {
 
 func (f *FTL) token(lpn ftl.LPN) []byte {
 	f.seq++
-	buf := make([]byte, ftl.TokenSize)
-	putU64(buf[0:8], uint64(lpn))
-	putU64(buf[8:16], uint64(f.seq))
-	return buf
+	putU64(f.tok[0:8], uint64(lpn))
+	putU64(f.tok[8:16], uint64(f.seq))
+	return f.tok[:]
+}
+
+func (f *FTL) spare(lpn ftl.LPN) []byte {
+	putU64(f.sp[:], uint64(lpn))
+	return f.sp[:]
 }
 
 func putU64(b []byte, v uint64) {
@@ -227,7 +256,7 @@ func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
 		return now, err
 	}
 	level := f.chooseLevel(chip, util)
-	done, err := f.programAt(chip, level, lpn, f.token(lpn), ftl.SpareForLPN(lpn), now, false)
+	done, err := f.programAt(chip, level, lpn, f.token(lpn), f.spare(lpn), now, false)
 	if err != nil {
 		return now, err
 	}
@@ -290,7 +319,7 @@ func (f *FTL) chooseLevel(chip int, util float64) int {
 // queued one.
 func (f *FTL) phaseAvailable(chip, l int) bool {
 	cs := &f.chips[chip]
-	return cs.phases[l].blk != -1 || len(cs.queues[l]) > 0
+	return cs.phases[l].blk != -1 || cs.queues[l].Len() > 0
 }
 
 // deepestAvailable returns the highest-index phase with work, or 0.

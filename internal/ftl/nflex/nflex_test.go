@@ -451,9 +451,10 @@ func auditNflex(t *testing.T, f *FTL) {
 		for l, cur := range cs.phases {
 			place(cur.blk, fmt.Sprintf("phase-%d-active", l))
 		}
-		for l, q := range cs.queues {
-			for _, b := range q {
-				place(b, fmt.Sprintf("phase-%d-queue", l))
+		for l := range cs.queues {
+			q := &cs.queues[l]
+			for i := 0; i < q.Len(); i++ {
+				place(q.At(i), fmt.Sprintf("phase-%d-queue", l))
 			}
 		}
 		place(cs.backup.cur, "backup-current")

@@ -1,0 +1,58 @@
+package nflex
+
+import (
+	"reflect"
+	"testing"
+
+	"flexftl/internal/ftl"
+	"flexftl/internal/rng"
+	"flexftl/internal/sim"
+)
+
+// TestVictimIndexMatchesReferenceNflex is the n-level determinism pin: two
+// FTLs driven by the identical write/trim/idle sequence — one on the indexed
+// victim picker, one on the reference linear scan — must end with the same
+// statistics and the same logical-to-physical mapping. nflex has its own
+// mapper and wiring, so the root ssd.Run DeepEqual tests do not cover it.
+func TestVictimIndexMatchesReferenceNflex(t *testing.T) {
+	run := func(reference bool) (Stats, []int64, []int) {
+		f := newTLC(t)
+		f.SetVictimReference(reference)
+		src := rng.New(29)
+		logical := f.LogicalPages()
+		now := sim.Time(0)
+		var err error
+		for i := int64(0); i < 3*logical; i++ {
+			lpn := ftl.LPN(src.Int63n(logical))
+			if src.Bool(0.15) {
+				now, err = f.Trim(lpn, now)
+			} else {
+				now, err = f.Write(lpn, now, src.Float64())
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%500 == 499 {
+				f.Idle(now, now+100*sim.Millisecond)
+				now += 100 * sim.Millisecond
+			}
+		}
+		l2p := append([]int64(nil), f.m.l2p...)
+		free := make([]int, len(f.pools))
+		for c := range f.pools {
+			free[c] = f.pools[c].FreeCount()
+		}
+		return f.Stats(), l2p, free
+	}
+	idxStats, idxMap, idxFree := run(false)
+	refStats, refMap, refFree := run(true)
+	if !reflect.DeepEqual(idxStats, refStats) {
+		t.Errorf("stats diverged:\nindexed:   %+v\nreference: %+v", idxStats, refStats)
+	}
+	if !reflect.DeepEqual(idxMap, refMap) {
+		t.Error("logical-to-physical mapping diverged between indexed and reference pickers")
+	}
+	if !reflect.DeepEqual(idxFree, refFree) {
+		t.Errorf("per-chip free counts diverged: indexed %v, reference %v", idxFree, refFree)
+	}
+}

@@ -54,7 +54,7 @@ func (f *FTL) Name() string { return "pageFTL" }
 // asymmetry oblivious).
 func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
 	chip := f.NextChip()
-	done, err := f.program(chip, lpn, f.Token(lpn), ftl.SpareForLPN(lpn), now, false)
+	done, err := f.program(chip, lpn, f.Token(lpn), f.Spare(lpn), now, false)
 	if err != nil {
 		return now, err
 	}
@@ -122,7 +122,7 @@ func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time) (
 // reserve (or no victim remains).
 func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
 	for f.Pools[chip].FreeCount() < f.Cfg.MinFreeBlocksPerChip {
-		victim, ok := f.Pools[chip].PickVictim(f.Map, f.Dev.Geometry().PagesPerBlock())
+		victim, ok := f.Pools[chip].PickVictim()
 		if !ok {
 			break
 		}

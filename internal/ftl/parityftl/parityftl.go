@@ -29,6 +29,7 @@ type FTL struct {
 	active []cursor
 	backup []backupRing
 	pbuf   []*parity.Buffer // per chip: parity of the LSB pair in flight
+	psnap  []byte           // scratch for parity snapshots (Program copies)
 }
 
 type cursor struct {
@@ -77,7 +78,7 @@ func (f *FTL) Name() string { return "parityFTL" }
 // Write services a host page write (util is ignored; parityFTL follows FPS).
 func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
 	chip := f.NextChip()
-	done, err := f.program(chip, lpn, f.Token(lpn), ftl.SpareForLPN(lpn), now, false)
+	done, err := f.program(chip, lpn, f.Token(lpn), f.Spare(lpn), now, false)
 	if err != nil {
 		return now, err
 	}
@@ -125,7 +126,8 @@ func (f *FTL) program(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time, f
 			return done, err
 		}
 		if f.pbuf[chip].Count() >= PairSize {
-			done, err = f.writeBackup(chip, f.pbuf[chip].Snapshot(), done)
+			f.psnap = f.pbuf[chip].SnapshotInto(f.psnap)
+			done, err = f.writeBackup(chip, f.psnap, done)
 			if err != nil {
 				return done, err
 			}
@@ -191,7 +193,7 @@ func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
 	// Keep one extra block of reserve beyond pageFTL: the backup ring can
 	// claim a block at any moment.
 	for f.Pools[chip].FreeCount() < f.Cfg.MinFreeBlocksPerChip+1 {
-		victim, ok := f.Pools[chip].PickVictim(f.Map, f.Dev.Geometry().PagesPerBlock())
+		victim, ok := f.Pools[chip].PickVictim()
 		if !ok {
 			break
 		}

@@ -1,0 +1,64 @@
+package ftl
+
+// IntQueue is a growable FIFO ring of ints, used for the free-block lists
+// and the FTLs' block-phase queues. Push and PopFront are O(1) and reuse the
+// backing array; the previous `s = s[1:]` idiom pinned the slice head, so
+// every Push after a pop grew the backing array forever.
+type IntQueue struct {
+	buf  []int
+	head int
+	n    int
+}
+
+// Len returns the number of queued values.
+func (q *IntQueue) Len() int { return q.n }
+
+// Front returns the oldest value without removing it.
+func (q *IntQueue) Front() int { return q.At(0) }
+
+// At returns the i-th value from the front (0 = oldest).
+func (q *IntQueue) At(i int) int {
+	if i < 0 || i >= q.n {
+		panic("ftl: IntQueue index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Push appends a value at the back.
+func (q *IntQueue) Push(v int) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// PopFront removes and returns the oldest value.
+func (q *IntQueue) PopFront() int {
+	if q.n == 0 {
+		panic("ftl: PopFront of empty IntQueue")
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if q.n == 0 {
+		q.head = 0
+	}
+	return v
+}
+
+// Cap returns the current backing-array capacity (tests assert it stays
+// bounded over many push/pop cycles).
+func (q *IntQueue) Cap() int { return len(q.buf) }
+
+func (q *IntQueue) grow() {
+	c := 2 * len(q.buf)
+	if c < 8 {
+		c = 8
+	}
+	nb := make([]int, c)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = nb, 0
+}

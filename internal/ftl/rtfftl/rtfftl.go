@@ -35,6 +35,7 @@ type FTL struct {
 	active [][]cursor // [chip][slot]; blk -1 when the slot awaits a block
 	backup []backupRing
 	pbuf   []*parity.Buffer // per chip: parity of the LSB pair in flight
+	psnap  []byte           // scratch for parity snapshots (Program copies)
 }
 
 type cursor struct {
@@ -91,7 +92,7 @@ func (f *FTL) Name() string { return "rtfFTL" }
 // active pool.
 func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
 	chip := f.NextChip()
-	done, err := f.program(chip, lpn, f.Token(lpn), ftl.SpareForLPN(lpn), now, false, true)
+	done, err := f.program(chip, lpn, f.Token(lpn), f.Spare(lpn), now, false, true)
 	if err != nil {
 		return now, err
 	}
@@ -164,7 +165,8 @@ func (f *FTL) program(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time, f
 			return done, err
 		}
 		if f.pbuf[chip].Count() >= PairSize {
-			done, err = f.writeBackup(chip, f.pbuf[chip].Snapshot(), done)
+			f.psnap = f.pbuf[chip].SnapshotInto(f.psnap)
+			done, err = f.writeBackup(chip, f.psnap, done)
 			if err != nil {
 				return done, err
 			}
@@ -287,7 +289,7 @@ func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time) (
 
 func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
 	for f.Pools[chip].FreeCount() < f.Cfg.MinFreeBlocksPerChip+1 {
-		victim, ok := f.Pools[chip].PickVictim(f.Map, f.Dev.Geometry().PagesPerBlock())
+		victim, ok := f.Pools[chip].PickVictim()
 		if !ok {
 			break
 		}
@@ -358,7 +360,7 @@ func (f *FTL) drainMSBSlots(chip int, now, until sim.Time) (sim.Time, error) {
 	t := f.Dev.Timing()
 	perPage := t.Read + 2*t.BusXfer + t.ProgMSB + t.ProgLSB // copy + possible backup
 	for now+perPage <= until && f.chipHasMSBNext(chip) {
-		victim, ok := f.Pools[chip].PickVictim(f.Map, g.PagesPerBlock())
+		victim, ok := f.Pools[chip].PickVictim()
 		if !ok {
 			// No relocation source: pad only down to a minimal burst
 			// readiness of two LSB-ready slots — wholesale padding would
@@ -373,8 +375,8 @@ func (f *FTL) drainMSBSlots(chip int, now, until sim.Time) (sim.Time, error) {
 			}
 			continue
 		}
-		pages := f.Map.ValidPages(nand.BlockAddr{Chip: chip, Block: victim})
-		if len(pages) == 0 {
+		ppn, hasValid := f.Map.FirstValidPage(nand.BlockAddr{Chip: chip, Block: victim})
+		if !hasValid {
 			// Fully invalid block: erase it instead; that is pure gain.
 			f.Pools[chip].TakeFull(victim)
 			f.Map.ClearBlock(nand.BlockAddr{Chip: chip, Block: victim})
@@ -387,7 +389,6 @@ func (f *FTL) drainMSBSlots(chip int, now, until sim.Time) (sim.Time, error) {
 			now = done
 			continue
 		}
-		ppn := pages[0]
 		lpn, ok := f.Map.LPNAt(ppn)
 		if !ok {
 			return now, nil

@@ -74,6 +74,14 @@ func (b *Buffer) Snapshot() []byte {
 	return append([]byte(nil), b.acc...)
 }
 
+// SnapshotInto is the allocation-free Snapshot variant: it copies the current
+// parity page into dst (reusing its capacity) and returns it. Callers on the
+// program hot path pass a per-FTL scratch slice; Device.Program copies the
+// payload, so the scratch may be reused immediately after.
+func (b *Buffer) SnapshotInto(dst []byte) []byte {
+	return append(dst[:0], b.acc...)
+}
+
 // Reset clears the accumulator.
 func (b *Buffer) Reset() {
 	for i := range b.acc {

@@ -5,11 +5,13 @@
 #
 # The benchmark set pairs each optimized path with its baseline
 # (SimulateBlock legacy/arena, DeviceRead copy/zerocopy, RunFig4 and
-# RunFig8 at workers-1/workers-auto) plus the MapperUpdate hot path, so a
-# snapshot from any machine carries its own before/after comparison.
+# RunFig8 at workers-1/workers-auto, PickVictim indexed/reference) plus the
+# MapperUpdate hot path and the end-to-end SSDRun family, so a snapshot from
+# any machine carries its own before/after comparison. Compare two snapshots
+# with scripts/benchdiff.sh.
 set -eu
-out="${1:-BENCH_PR2.json}"
-pattern='BenchmarkSimulateBlock|BenchmarkDeviceRead|BenchmarkRunFig4|BenchmarkRunFig8$|BenchmarkMapperUpdate'
+out="${1:-BENCH_PR3.json}"
+pattern='BenchmarkSimulateBlock|BenchmarkDeviceRead|BenchmarkRunFig4|BenchmarkRunFig8$|BenchmarkMapperUpdate|BenchmarkSSDRun|BenchmarkPickVictim'
 benchtime="${BENCHTIME:-20x}"
 
 raw=$(go test -run=NONE -bench="$pattern" -benchmem -benchtime="$benchtime" .)

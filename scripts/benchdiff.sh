@@ -1,0 +1,60 @@
+#!/bin/sh
+# Compares two bench.sh JSON snapshots benchmark by benchmark.
+#
+#   scripts/benchdiff.sh OLD.json NEW.json
+#
+# Prints ns/op, B/op, and allocs/op for every benchmark present in either
+# snapshot, with the percentage delta for those present in both. Report-only:
+# the exit status is always 0, so CI can surface regressions without gating
+# on machine-dependent timings.
+set -eu
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+
+# The snapshots are the fixed shape bench.sh emits: one benchmark object per
+# line. Extract "name ns bytes allocs" rows with awk rather than a JSON tool
+# so the script runs anywhere sh and awk do.
+extract() {
+    awk '
+      /"name":/ {
+        line = $0
+        name = line; sub(/.*"name": *"/, "", name); sub(/".*/, "", name)
+        ns = line; sub(/.*"ns_per_op": */, "", ns); sub(/[,}].*/, "", ns)
+        bop = line; sub(/.*"bytes_per_op": */, "", bop); sub(/[,}].*/, "", bop)
+        al = line; sub(/.*"allocs_per_op": */, "", al); sub(/[,}].*/, "", al)
+        print name, ns, bop, al
+      }
+    ' "$1"
+}
+
+{
+    extract "$old" | sed 's/^/OLD /'
+    extract "$new" | sed 's/^/NEW /'
+} | awk '
+  $1 == "OLD" { oldns[$2] = $3; oldb[$2] = $4; olda[$2] = $5; names[$2] = 1 }
+  $1 == "NEW" { newns[$2] = $3; newb[$2] = $4; newa[$2] = $5; names[$2] = 1 }
+  function delta(o, n) {
+    if (o == "" || n == "" || o == "null" || n == "null" || o + 0 == 0) return "     -"
+    return sprintf("%+6.1f%%", 100 * (n - o) / o)
+  }
+  function cell(v) { return (v == "" || v == "null") ? "-" : v }
+  END {
+    printf "%-55s %12s %12s %8s %10s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs", "delta"
+    for (n in names) order[++cnt] = n
+    # Insertion order of awk arrays is unspecified; sort by name for a
+    # stable, diffable report.
+    for (i = 1; i < cnt; i++)
+      for (j = i + 1; j <= cnt; j++)
+        if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
+    for (i = 1; i <= cnt; i++) {
+      n = order[i]
+      printf "%-55s %12s %12s %8s %5s>%-5s %8s\n", n,
+        cell(oldns[n]), cell(newns[n]), delta(oldns[n], newns[n]),
+        cell(olda[n]), cell(newa[n]), delta(olda[n], newa[n])
+    }
+  }
+'
