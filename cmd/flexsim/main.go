@@ -23,13 +23,9 @@ import (
 	"sync"
 	"time"
 
-	"flexftl/internal/core"
 	"flexftl/internal/experiments"
 	"flexftl/internal/ftl"
-	"flexftl/internal/ftl/flexftl"
-	"flexftl/internal/ftl/pageftl"
-	"flexftl/internal/ftl/parityftl"
-	"flexftl/internal/ftl/rtfftl"
+	_ "flexftl/internal/ftl/nflex" // registers the nflexTLC scheme
 	"flexftl/internal/nand"
 	"flexftl/internal/obs"
 	"flexftl/internal/sim"
@@ -55,9 +51,23 @@ type options struct {
 	DebugAddr    string        // pprof/expvar HTTP listen address
 }
 
+// listSchemes prints every registered FTL scheme with its rule set and
+// one-line description.
+func listSchemes(w io.Writer) {
+	for _, name := range ftl.Names() {
+		spec, _ := ftl.Lookup(name)
+		label := spec.Rules
+		if spec.Hybrid {
+			label += ", hybrid"
+		}
+		fmt.Fprintf(w, "%-18s %-12s %s\n", name, "("+label+")", spec.Description)
+	}
+}
+
 func main() {
 	var o options
-	flag.StringVar(&o.FTL, "ftl", "flexFTL", "FTL scheme: pageFTL|parityFTL|rtfFTL|flexFTL")
+	list := flag.Bool("list", false, "list registered FTL schemes and exit")
+	flag.StringVar(&o.FTL, "ftl", "flexFTL", "FTL scheme: "+strings.Join(ftl.Names(), "|"))
 	flag.StringVar(&o.Workload, "workload", "Varmail", "workload: OLTP|NTRX|Webserver|Varmail|Fileserver")
 	flag.IntVar(&o.Requests, "requests", 100000, "host requests")
 	flag.Uint64Var(&o.Seed, "seed", 42, "workload seed")
@@ -72,14 +82,19 @@ func main() {
 	flag.StringVar(&o.SampleOut, "sample-out", "", "write the sampled series as CSV to this file")
 	flag.StringVar(&o.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar metrics on this address")
 	flag.Parse()
+	if *list {
+		listSchemes(os.Stdout)
+		return
+	}
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "flexsim:", err)
 		os.Exit(1)
 	}
 }
 
-// buildFTL extends experiments.BuildFTL with the CLI-only policy knobs.
-func buildFTL(name string, g nand.Geometry, gcPolicy string, predictive bool) (ftl.FTL, error) {
+// buildFTL resolves the scheme through the ftl registry, layering the
+// CLI-only policy knobs onto the build environment.
+func buildFTL(name string, g nand.Geometry, gcPolicy string, predictive bool) (ftl.Host, error) {
 	cfg := ftl.DefaultConfig()
 	switch gcPolicy {
 	case "greedy":
@@ -88,28 +103,9 @@ func buildFTL(name string, g nand.Geometry, gcPolicy string, predictive bool) (f
 	default:
 		return nil, fmt.Errorf("unknown GC policy %q (greedy|costbenefit)", gcPolicy)
 	}
-	rules := core.FPS
-	if name == "flexFTL" {
-		rules = core.RPS
-	}
-	dev, err := nand.NewDevice(nand.Config{Geometry: g, Timing: nand.DefaultTiming(), Rules: rules})
-	if err != nil {
-		return nil, err
-	}
-	switch name {
-	case "pageFTL":
-		return pageftl.New(dev, cfg)
-	case "parityFTL":
-		return parityftl.New(dev, cfg)
-	case "rtfFTL":
-		return rtfftl.New(dev, cfg)
-	case "flexFTL":
-		params := flexftl.DefaultParams()
-		params.PredictiveBGC = predictive
-		return flexftl.New(dev, cfg, params)
-	default:
-		return nil, fmt.Errorf("unknown FTL %q", name)
-	}
+	flex := ftl.DefaultFlexParams()
+	flex.PredictiveBGC = predictive
+	return ftl.Build(name, ftl.BuildEnv{Geometry: g, Config: cfg, Flex: flex})
 }
 
 func findProfile(name string) (workload.Profile, error) {
@@ -236,7 +232,12 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "device   : %s (%s rules)\n", geometry, f.Device().Rules().Name())
+	spec, _ := ftl.Lookup(o.FTL)
+	if mlc, ok := f.(ftl.FTL); ok {
+		fmt.Fprintf(w, "device   : %s (%s rules)\n", mlc.Device().Geometry(), spec.Rules)
+	} else {
+		fmt.Fprintf(w, "device   : scheme-owned (%s rules)\n", spec.Rules)
+	}
 	fmt.Fprintf(w, "ftl      : %s, logical space %d pages\n", f.Name(), f.LogicalPages())
 
 	var gen workload.Generator

@@ -14,7 +14,7 @@
 //	internal/core        program-sequence formalism (the paper's device-level contribution)
 //	internal/nand        NAND device model (geometry, timing, order enforcement, power loss)
 //	internal/vth         threshold-voltage reliability Monte-Carlo (Figure 4)
-//	internal/ftl/...     shared FTL infrastructure and the four FTLs
+//	internal/ftl/...     the FTL kernel, policy registry and the five FTLs
 //	internal/ssd         storage-system runner (buffer, backpressure, idle GC dispatch)
 //	internal/workload    the five Table 1 workload generators + trace I/O
 //	internal/experiments one driver per table/figure

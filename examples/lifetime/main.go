@@ -1,5 +1,5 @@
 // Lifetime: the Figure 8(b) story in miniature — the same write-intensive
-// workload against all four FTLs, comparing block erasures and write
+// workload against all four MLC FTLs, comparing block erasures and write
 // amplification. The backup strategy is the differentiator: pageFTL writes
 // no backups (and would lose data on power-off), parityFTL pays one parity
 // page per two LSB pages, rtfFTL pays that plus padding, and flexFTL pays a

@@ -46,9 +46,8 @@ func main() {
 			last = done
 		}
 	}
-	st := f.Stats()
 	fmt.Printf("burst  : %d pages drained in %v — all on level-0 pages (%v each): %v\n",
-		burst, last, tm.Prog[0], st.HostByLevel)
+		burst, last, tm.Prog[0], f.HostWritesByLevel())
 
 	// 2. Push one chip through its refinement phases and cut power during a
 	// level-2 (finest) program.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"flexftl/internal/core"
 	"flexftl/internal/ftl"
 	"flexftl/internal/ftl/flexftl"
 	"flexftl/internal/nand"
@@ -49,34 +48,47 @@ type AblationResult struct {
 	Rows   []AblationRow
 }
 
-// RunAblations executes the variant sweep.
+// RunAblations executes the variant sweep: flexFTL with one knob changed at
+// a time, plus the registry's hybrid policy combinations — schemes that exist
+// only as Kernel configurations (no dedicated package, no paper counterpart).
 func RunAblations(cfg AblationConfig) (AblationResult, error) {
-	variants := []struct {
-		name   string
-		mutate func(*flexftl.Params, *ftl.Config)
-	}{
-		{"flexFTL (paper settings)", func(p *flexftl.Params, c *ftl.Config) {}},
-		{"quota 0.1% (near-FPS)", func(p *flexftl.Params, c *ftl.Config) { p.QuotaFraction = 0.001 }},
-		{"quota 100% (unbounded)", func(p *flexftl.Params, c *ftl.Config) { p.QuotaFraction = 1.0 }},
-		{"BGC copies via LSB", func(p *flexftl.Params, c *ftl.Config) { p.BGCCopyLSB = true }},
-		{"predictive BGC (Section 6)", func(p *flexftl.Params, c *ftl.Config) { p.PredictiveBGC = true }},
-		{"cost-benefit GC victims", func(p *flexftl.Params, c *ftl.Config) { c.GC = ftl.GCCostBenefit }},
+	type variant struct {
+		name  string
+		build func() (ftl.FTL, error)
+	}
+	flexVariant := func(mutate func(*flexftl.Params, *ftl.Config)) func() (ftl.FTL, error) {
+		return func() (ftl.FTL, error) {
+			params := flexftl.DefaultParams()
+			ftlCfg := ftl.DefaultConfig()
+			mutate(&params, &ftlCfg)
+			h, err := ftl.Build("flexFTL", ftl.BuildEnv{Geometry: cfg.Geometry, Config: ftlCfg, Flex: params})
+			if err != nil {
+				return nil, err
+			}
+			return h.(ftl.FTL), nil
+		}
+	}
+	variants := []variant{
+		{"flexFTL (paper settings)", flexVariant(func(p *flexftl.Params, c *ftl.Config) {})},
+		{"quota 0.1% (near-FPS)", flexVariant(func(p *flexftl.Params, c *ftl.Config) { p.QuotaFraction = 0.001 })},
+		{"quota 100% (unbounded)", flexVariant(func(p *flexftl.Params, c *ftl.Config) { p.QuotaFraction = 1.0 })},
+		{"BGC copies via LSB", flexVariant(func(p *flexftl.Params, c *ftl.Config) { p.BGCCopyLSB = true })},
+		{"predictive BGC (Section 6)", flexVariant(func(p *flexftl.Params, c *ftl.Config) { p.PredictiveBGC = true })},
+		{"cost-benefit GC victims", flexVariant(func(p *flexftl.Params, c *ftl.Config) { c.GC = ftl.GCCostBenefit })},
+	}
+	for _, name := range Hybrids() {
+		scheme := name
+		variants = append(variants, variant{
+			name:  scheme + " (hybrid)",
+			build: func() (ftl.FTL, error) { return BuildFTL(scheme, cfg.Geometry) },
+		})
 	}
 	res := AblationResult{Config: cfg}
 	prof := workload.Varmail()
 	rows := make([]AblationRow, len(variants))
 	err := par.Run(par.Workers(cfg.Workers), len(variants), func(_, i int) error {
 		v := variants[i]
-		dev, err := nand.NewDevice(nand.Config{
-			Geometry: cfg.Geometry, Timing: nand.DefaultTiming(), Rules: core.RPS,
-		})
-		if err != nil {
-			return err
-		}
-		params := flexftl.DefaultParams()
-		ftlCfg := ftl.DefaultConfig()
-		v.mutate(&params, &ftlCfg)
-		f, err := flexftl.New(dev, ftlCfg, params)
+		f, err := v.build()
 		if err != nil {
 			return err
 		}

@@ -8,18 +8,25 @@ package experiments
 import (
 	"fmt"
 
-	"flexftl/internal/core"
 	"flexftl/internal/ftl"
-	"flexftl/internal/ftl/flexftl"
-	"flexftl/internal/ftl/pageftl"
-	"flexftl/internal/ftl/parityftl"
-	"flexftl/internal/ftl/rtfftl"
 	"flexftl/internal/nand"
 )
 
-// Schemes returns the four FTLs of the evaluation, in the paper's order.
+// Schemes returns the four MLC FTLs of the evaluation, in the paper's order.
 func Schemes() []string {
 	return []string{"pageFTL", "parityFTL", "rtfFTL", "flexFTL"}
+}
+
+// Hybrids returns the registered policy combinations that exist only as
+// registry entries (no paper counterpart), in registration order.
+func Hybrids() []string {
+	var names []string
+	for _, name := range ftl.Names() {
+		if s, ok := ftl.Lookup(name); ok && s.Hybrid {
+			names = append(names, name)
+		}
+	}
+	return names
 }
 
 // Baseline is the normalization reference of Figures 8(a) and 8(b).
@@ -41,29 +48,23 @@ func EvalGeometry() nand.Geometry {
 	}
 }
 
-// BuildFTL constructs a scheme over a fresh device with the right rule set:
-// flexFTL runs on an RPS device, the three comparison FTLs on stock FPS
-// devices.
+// BuildFTL constructs a scheme over a fresh device through the ftl registry;
+// each spec brings the rule set its scheme needs (flexFTL an RPS device, the
+// comparison FTLs stock FPS devices).
 func BuildFTL(scheme string, g nand.Geometry) (ftl.FTL, error) {
-	rules := core.FPS
-	if scheme == "flexFTL" {
-		rules = core.RPS
-	}
-	dev, err := nand.NewDevice(nand.Config{Geometry: g, Timing: nand.DefaultTiming(), Rules: rules})
+	return BuildFTLWith(scheme, g, ftl.DefaultConfig())
+}
+
+// BuildFTLWith is BuildFTL with a caller-supplied FTL configuration (the
+// sensitivity sweeps vary over-provisioning).
+func BuildFTLWith(scheme string, g nand.Geometry, cfg ftl.Config) (ftl.FTL, error) {
+	h, err := ftl.Build(scheme, ftl.BuildEnv{Geometry: g, Config: cfg, Flex: ftl.DefaultFlexParams()})
 	if err != nil {
 		return nil, err
 	}
-	cfg := ftl.DefaultConfig()
-	switch scheme {
-	case "pageFTL":
-		return pageftl.New(dev, cfg)
-	case "parityFTL":
-		return parityftl.New(dev, cfg)
-	case "rtfFTL":
-		return rtfftl.New(dev, cfg)
-	case "flexFTL":
-		return flexftl.New(dev, cfg, flexftl.DefaultParams())
-	default:
-		return nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
+	f, ok := h.(ftl.FTL)
+	if !ok {
+		return nil, fmt.Errorf("experiments: scheme %q is not an MLC FTL", scheme)
 	}
+	return f, nil
 }

@@ -364,14 +364,20 @@ func TestRunAblationsSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 6 {
-		t.Fatalf("rows = %d", len(res.Rows))
+	if want := 6 + len(Hybrids()); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
 	}
 	byName := map[string]AblationRow{}
 	for _, r := range res.Rows {
 		byName[r.Name] = r
 		if r.IOPS <= 0 {
 			t.Errorf("%s: zero IOPS", r.Name)
+		}
+	}
+	// The registry's hybrid schemes ride along in the sweep.
+	for _, h := range Hybrids() {
+		if _, ok := byName[h+" (hybrid)"]; !ok {
+			t.Errorf("hybrid %q missing from ablation rows", h)
 		}
 	}
 	base := byName["flexFTL (paper settings)"]

@@ -11,7 +11,7 @@ import (
 )
 
 // Fig8Config parameterizes the main evaluation (Figures 8(a), 8(b), 8(c)):
-// four FTLs across the five Table 1 workloads.
+// four MLC FTLs across the five Table 1 workloads.
 type Fig8Config struct {
 	Geometry nand.Geometry
 	Requests int    // host requests per run

@@ -4,10 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"flexftl/internal/core"
 	"flexftl/internal/ftl"
-	"flexftl/internal/ftl/flexftl"
-	"flexftl/internal/ftl/pageftl"
 	"flexftl/internal/nand"
 	"flexftl/internal/par"
 	"flexftl/internal/ssd"
@@ -65,20 +62,7 @@ type SensitivityResult struct {
 
 func runPair(g nand.Geometry, requests int, seed uint64, ftlCfg ftl.Config, runCfg ssd.Config) (flexR, pageR ssd.RunResult, err error) {
 	build := func(scheme string) (ssd.RunResult, error) {
-		rules := core.FPS
-		if scheme == "flexFTL" {
-			rules = core.RPS
-		}
-		dev, err := nand.NewDevice(nand.Config{Geometry: g, Timing: nand.DefaultTiming(), Rules: rules})
-		if err != nil {
-			return ssd.RunResult{}, err
-		}
-		var f ftl.FTL
-		if scheme == "flexFTL" {
-			f, err = flexftl.New(dev, ftlCfg, flexftl.DefaultParams())
-		} else {
-			f, err = pageftl.New(dev, ftlCfg)
-		}
+		f, err := BuildFTLWith(scheme, g, ftlCfg)
 		if err != nil {
 			return ssd.RunResult{}, err
 		}

@@ -1,0 +1,326 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/nand"
+	"flexftl/internal/obs"
+	"flexftl/internal/parity"
+	"flexftl/internal/sim"
+)
+
+// BackupStrategy protects LSB data against the destructive paired-page MSB
+// program under sudden power-off. The kernel calls afterLSB on every LSB data
+// program; the two-phase order policy additionally drives the fast-block
+// life-cycle hooks (onFastOpen/onFastComplete/onSlowComplete) that the
+// per-block parity scheme needs. The interface is sealed — implementations
+// come from NoBackupStrategy / PairParityBackup / BlockParityBackup.
+type BackupStrategy interface {
+	init(k *Kernel) error
+	// extraReserve is how many free blocks beyond the GC minimum the
+	// foreground collector must keep available for the backup writer.
+	extraReserve() int
+	// afterLSB observes one completed LSB data program and may emit backup
+	// programs, returning the (possibly extended) completion time.
+	afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (sim.Time, error)
+	// onFastOpen fires when a two-phase fast block opens.
+	onFastOpen(k *Kernel, chip int)
+	// onFastComplete fires when a two-phase fast block fills (all LSB pages
+	// written); the per-block parity scheme persists the accumulated parity.
+	onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error)
+	// onSlowComplete fires when a two-phase slow block finishes its MSB
+	// phase, retiring any backup that protected it.
+	onSlowComplete(k *Kernel, chip, blk int)
+}
+
+// NoBackupStrategy returns the empty strategy: no pre-backup at all, the
+// paper's no-sudden-power-off baseline (pageFTL).
+func NoBackupStrategy() BackupStrategy { return noBackup{} }
+
+type noBackup struct{}
+
+func (noBackup) init(*Kernel) error { return nil }
+func (noBackup) extraReserve() int  { return 0 }
+func (noBackup) afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (sim.Time, error) {
+	return done, nil
+}
+func (noBackup) onFastOpen(*Kernel, int) {}
+func (noBackup) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error) {
+	return done, nil
+}
+func (noBackup) onSlowComplete(*Kernel, int, int) {}
+
+// PairParityBackup returns the adaptive paired-page pre-backup of Lee et al.
+// (TCAD 2014): under FPS at most pairSize LSB pages can share one parity
+// backup page before their paired MSB pages are programmed, so every
+// pairSize-th LSB program emits one parity page to a per-chip backup block
+// (parityFTL and rtfFTL use pairSize 2, the paper's footnote 4 bound).
+func PairParityBackup(pairSize int) BackupStrategy {
+	return &pairParity{pairSize: pairSize}
+}
+
+type pairParity struct {
+	pairSize int
+	order    []core.Page
+	ring     []backupRing     // per chip
+	pbuf     []*parity.Buffer // per chip: parity of the LSB pair in flight
+	psnap    []byte           // scratch for parity snapshots (Program copies)
+}
+
+// backupRing is a two-deep rotation of backup blocks: parity pages go to the
+// current block; when it fills, the previous one (whose parities have long
+// been superseded by completed MSB programs) is erased and freed.
+type backupRing struct {
+	cur  int // -1 when none
+	pos  int
+	prev int // -1 when none
+}
+
+func (b *pairParity) init(k *Kernel) error {
+	if b.pairSize < 1 {
+		return fmt.Errorf("ftl: parity pair size %d < 1", b.pairSize)
+	}
+	g := k.Dev.Geometry()
+	b.order = core.FPSOrder(g.WordLinesPerBlock)
+	b.ring = make([]backupRing, g.Chips())
+	b.pbuf = make([]*parity.Buffer, g.Chips())
+	for c := range b.ring {
+		b.ring[c] = backupRing{cur: -1, prev: -1}
+		// Pages carry TokenSize-byte payloads; the parity accumulator only
+		// needs that width.
+		b.pbuf[c] = parity.New(TokenSize)
+	}
+	return nil
+}
+
+// extraReserve keeps one block beyond the GC minimum: the backup ring can
+// claim a block at any moment.
+func (b *pairParity) extraReserve() int { return 1 }
+
+func (b *pairParity) afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (sim.Time, error) {
+	// Accumulate the pre-backup parity; every pairSize LSB pages emit one
+	// parity page before their paired MSB programs begin.
+	if err := b.pbuf[chip].Add(data); err != nil {
+		return done, err
+	}
+	if b.pbuf[chip].Count() >= b.pairSize {
+		var err error
+		b.psnap = b.pbuf[chip].SnapshotInto(b.psnap)
+		done, err = b.writeBackup(k, chip, b.psnap, done)
+		if err != nil {
+			return done, err
+		}
+		b.pbuf[chip].Reset()
+	}
+	return done, nil
+}
+
+// writeBackup programs one parity page into the chip's backup ring, rotating
+// blocks as they fill.
+func (b *pairParity) writeBackup(k *Kernel, chip int, page []byte, now sim.Time) (sim.Time, error) {
+	ring := &b.ring[chip]
+	if ring.cur == -1 {
+		blk, ok := k.Pools[chip].PopFree()
+		if !ok {
+			return now, fmt.Errorf("%s: chip %d has no free block for backups", k.name, chip)
+		}
+		ring.cur, ring.pos = blk, 0
+	}
+	addr := nand.PageAddr{
+		BlockAddr: nand.BlockAddr{Chip: chip, Block: ring.cur},
+		Page:      b.order[ring.pos],
+	}
+	done, err := k.Dev.Program(addr, page, nil, now)
+	if err != nil {
+		return now, err
+	}
+	k.St.BackupWrites++
+	k.Obs.Instant(obs.KindBackup, int32(chip), now, int64(ring.cur), int64(ring.pos))
+	ring.pos++
+	if ring.pos == len(b.order) {
+		// Rotate: recycle the previous backup block. Its newest parity is
+		// a full backup-block's worth of word lines old, far beyond the
+		// FPS paired-MSB window, so everything in it is stale.
+		if ring.prev != -1 {
+			done, err = k.EraseAndFree(chip, ring.prev, done)
+			if err != nil {
+				return done, err
+			}
+		}
+		ring.prev, ring.cur = ring.cur, -1
+	}
+	return done, nil
+}
+
+func (b *pairParity) onFastOpen(*Kernel, int) {}
+func (b *pairParity) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error) {
+	return done, nil
+}
+func (b *pairParity) onSlowComplete(*Kernel, int, int) {}
+
+// BlockParityBackup returns the paper's per-block parity scheme (Section
+// 3.3): one XOR parity page protects all LSB pages of a two-phase fast
+// block, written once when the fast block fills, invalidated when its slow
+// phase completes. It requires the two-phase order policy.
+func BlockParityBackup() BackupStrategy { return &blockParity{} }
+
+// parityRef locates the parity backup page protecting a fast block.
+type parityRef struct {
+	backupBlk int // in-chip block index of the backup block
+	page      int // LSB word-line index within the backup block
+}
+
+// backupState manages a chip's parity backup blocks: parity pages are
+// written to LSB pages only (footnote 2 of the paper — legal under RPS),
+// and a backup block is recycled once every parity page in it has been
+// invalidated by its slow block completing.
+type backupState struct {
+	cur     int         // current backup block, -1 when none
+	pos     int         // next LSB word line in cur
+	live    map[int]int // backup block -> count of still-needed parity pages
+	retired []int       // filled backup blocks awaiting live==0
+}
+
+type blockParity struct {
+	pbuf   []*parity.Buffer  // per chip: accumulated parity of the AFB's LSB pages
+	backup []backupState     // per chip
+	refs   map[int]parityRef // flat fast-block index -> parity location
+	psnap  []byte            // scratch for parity snapshots (Program copies)
+}
+
+func (b *blockParity) init(k *Kernel) error {
+	g := k.Dev.Geometry()
+	b.pbuf = make([]*parity.Buffer, g.Chips())
+	b.backup = make([]backupState, g.Chips())
+	b.refs = make(map[int]parityRef)
+	for c := range b.backup {
+		b.pbuf[c] = parity.New(TokenSize)
+		b.backup[c] = backupState{cur: -1, live: make(map[int]int)}
+	}
+	return nil
+}
+
+// extraReserve keeps one block for the parity-backup writer (the two-phase
+// foreground collector folds this into its own emergency level).
+func (b *blockParity) extraReserve() int { return 1 }
+
+func (b *blockParity) afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (sim.Time, error) {
+	if err := b.pbuf[chip].Add(data); err != nil {
+		return done, err
+	}
+	return done, nil
+}
+
+func (b *blockParity) onFastOpen(k *Kernel, chip int) { b.pbuf[chip].Reset() }
+
+func (b *blockParity) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error) {
+	b.psnap = b.pbuf[chip].SnapshotInto(b.psnap)
+	snapshot := b.psnap
+	b.pbuf[chip].Reset()
+	return b.writeBlockParity(k, chip, fastBlk, snapshot, done)
+}
+
+// writeBlockParity programs the accumulated parity page of a completed fast
+// block into the chip's backup block, on an LSB page, with the protected
+// block's number in the spare area (Figure 7(a)).
+func (b *blockParity) writeBlockParity(k *Kernel, chip, fastBlk int, parityPage []byte, now sim.Time) (sim.Time, error) {
+	bk := &b.backup[chip]
+	if bk.cur == -1 {
+		blk, ok := k.Pools[chip].PopFree()
+		if !ok {
+			return now, fmt.Errorf("%s: chip %d has no free block for parity backups", k.name, chip)
+		}
+		bk.cur, bk.pos = blk, 0
+	}
+	addr := nand.PageAddr{
+		BlockAddr: nand.BlockAddr{Chip: chip, Block: bk.cur},
+		Page:      core.Page{WL: bk.pos, Type: core.LSB},
+	}
+	done, err := k.Dev.Program(addr, parityPage, spareForBlock(fastBlk), now)
+	if err != nil {
+		return now, err
+	}
+	k.St.BackupWrites++
+	k.Obs.Instant(obs.KindBackup, int32(chip), now, int64(fastBlk), int64(bk.cur))
+	b.refs[k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: fastBlk})] = parityRef{
+		backupBlk: bk.cur,
+		page:      bk.pos,
+	}
+	bk.live[bk.cur]++
+	bk.pos++
+	if bk.pos == k.Dev.Geometry().WordLinesPerBlock {
+		// All LSB pages of the backup block used: retire it. It is erased
+		// once every parity in it is invalidated.
+		bk.retired = append(bk.retired, bk.cur)
+		bk.cur = -1
+	}
+	return done, nil
+}
+
+// onSlowComplete marks the parity page of a completed slow block stale and
+// recycles retired backup blocks that no longer protect anything. Recycling
+// happens lazily at the next opportunity the chip timeline offers (the
+// caller's completion time is not extended — erase cost is charged through
+// EraseAndFree at the chip-ready time after the MSB program that freed it).
+func (b *blockParity) onSlowComplete(k *Kernel, chip, blk int) {
+	flat := k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})
+	ref, ok := b.refs[flat]
+	if !ok {
+		return
+	}
+	delete(b.refs, flat)
+	b.backup[chip].live[ref.backupBlk]--
+	b.recycleRetired(k, chip)
+}
+
+// recycleRetired erases retired backup blocks whose parities are all stale.
+// The device serializes the erase after current chip work.
+func (b *blockParity) recycleRetired(k *Kernel, chip int) {
+	bk := &b.backup[chip]
+	kept := bk.retired[:0]
+	for _, blk := range bk.retired {
+		if bk.live[blk] == 0 {
+			delete(bk.live, blk)
+			if _, err := k.EraseAndFree(chip, blk, k.Dev.ChipReadyAt(chip)); err != nil {
+				// An erase failure here means a retired-block accounting
+				// bug; surface it loudly in tests.
+				panic(fmt.Sprintf("%s: recycling backup block %d on chip %d: %v", k.name, blk, chip, err))
+			}
+			continue
+		}
+		kept = append(kept, blk)
+	}
+	bk.retired = kept
+}
+
+// backupBlockSet returns the chip's backup blocks (current + retired) —
+// the superblock metadata a real FTL persists.
+func (b *blockParity) backupBlockSet(chip int) map[int]bool {
+	set := make(map[int]bool)
+	bk := &b.backup[chip]
+	if bk.cur != -1 {
+		set[bk.cur] = true
+	}
+	for _, blk := range bk.retired {
+		set[blk] = true
+	}
+	return set
+}
+
+// spareForBlock encodes the inverse mapping (backup page -> protected block)
+// stored in the parity page's spare area.
+func spareForBlock(blk int) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(blk))
+	return buf
+}
+
+// blockFromSpare decodes spareForBlock.
+func blockFromSpare(spare []byte) (int, bool) {
+	if len(spare) < 8 {
+		return -1, false
+	}
+	return int(binary.LittleEndian.Uint64(spare[:8])), true
+}

@@ -13,8 +13,8 @@ import (
 // ErrUnmapped is returned by reads of logical pages that were never written.
 var ErrUnmapped = errors.New("ftl: read of unmapped LPN")
 
-// Base carries the state and helpers shared by the four FTL
-// implementations: device handle, mapping table, per-chip pools, counters,
+// Base carries the state and helpers shared by every MLC kernel
+// configuration: device handle, mapping table, per-chip pools, counters,
 // payload token generation and the common GC engine.
 type Base struct {
 	Dev   *nand.Device
@@ -180,6 +180,9 @@ func LPNFromSpare(spare []byte) (LPN, bool) {
 	}
 	return LPN(binary.LittleEndian.Uint64(spare[:8])), true
 }
+
+// MappingHash fingerprints the current mapping state (see Mapper.StateHash).
+func (b *Base) MappingHash() uint64 { return b.Map.StateHash() }
 
 // TotalFreeBlocks sums the free lists over all chips.
 func (b *Base) TotalFreeBlocks() int {

@@ -15,249 +15,37 @@
 //     sudden power-off, written once when the fast block fills.
 //   - A background garbage collector that copies valid pages into MSB pages
 //     during idle times, reclaiming free LSB pages while raising q.
+//
+// The scheme is a pure configuration of the ftl kernel: the two-phase order
+// policy, per-block parity backup, and the adaptive u/q allocator (see
+// ftl.NewFlexFTL); the reboot-time recovery and rebuild procedures live in
+// the kernel as well (ftl's recover2po.go). This package exists for
+// import-path compatibility and scheme-local tests.
 package flexftl
 
 import (
-	"fmt"
-
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
-	"flexftl/internal/obs"
-	"flexftl/internal/parity"
-	"flexftl/internal/sim"
 )
 
 // Params are the policy-manager knobs of Section 3.2.
-type Params struct {
-	// UHigh and ULow are the write-buffer utilization thresholds. Above
-	// UHigh the policy prefers LSB writes (while q > 0); below ULow it
-	// prefers MSB writes; in between it alternates.
-	UHigh, ULow float64
-	// QuotaFraction sets the initial LSB quota q as a fraction of the
-	// device's total LSB pages. The paper uses 5%.
-	QuotaFraction float64
-	// BGCCopyLSB is an ablation switch: when set, the background garbage
-	// collector relocates valid pages through LSB pages instead of MSB
-	// pages, forfeiting the quota-replenishing effect of Section 3.2. The
-	// ablation benchmarks use it to quantify that design choice.
-	BGCCopyLSB bool
-	// PredictiveBGC enables the Section 6 extension: an EWMA future-write
-	// predictor sizes the background collector's reclaim target so the
-	// next burst's predicted volume fits in free fast capacity, instead of
-	// stopping at the fixed free-space cushion.
-	PredictiveBGC bool
-	// PredictorAlpha is the EWMA smoothing factor (default 0.3).
-	PredictorAlpha float64
-}
+type Params = ftl.FlexParams
 
 // DefaultParams mirrors the paper's evaluation settings: uhigh=80%,
 // ulow=10%, q0 = 5% of total LSB pages.
-func DefaultParams() Params {
-	return Params{UHigh: 0.8, ULow: 0.1, QuotaFraction: 0.05, PredictorAlpha: 0.3}
-}
-
-// Validate rejects inconsistent parameters.
-func (p Params) Validate() error {
-	if p.ULow < 0 || p.UHigh > 1 || p.ULow >= p.UHigh {
-		return fmt.Errorf("flexftl: need 0 <= ulow < uhigh <= 1, got %v/%v", p.ULow, p.UHigh)
-	}
-	if p.QuotaFraction <= 0 || p.QuotaFraction > 1 {
-		return fmt.Errorf("flexftl: quota fraction %v outside (0,1]", p.QuotaFraction)
-	}
-	return nil
-}
-
-// parityRef locates the parity backup page protecting a fast block.
-type parityRef struct {
-	backupBlk int // in-chip block index of the backup block
-	page      int // LSB word-line index within the backup block
-}
-
-// backupState manages a chip's parity backup blocks: parity pages are
-// written to LSB pages only (footnote 2 of the paper — legal under RPS),
-// and a backup block is recycled once every parity page in it has been
-// invalidated by its slow block completing.
-type backupState struct {
-	cur     int         // current backup block, -1 when none
-	pos     int         // next LSB word line in cur
-	live    map[int]int // backup block -> count of still-needed parity pages
-	retired []int       // filled backup blocks awaiting live==0
-}
-
-// chipState is the per-chip block bookkeeping of the block pool manager.
-type chipState struct {
-	afb    int            // active fast block, -1 when none
-	afbPos int            // next LSB word line of the AFB
-	pbuf   *parity.Buffer // accumulated parity of the AFB's LSB pages
-	sbq    ftl.IntQueue   // slow block queue; head is the active slow block
-	asbPos int            // next MSB word line of the head slow block
-	backup backupState
-	toggle bool // alternation state for the mid-utilization band
-}
+func DefaultParams() Params { return ftl.DefaultFlexParams() }
 
 // FTL is the RPS-aware flexFTL.
-type FTL struct {
-	*ftl.Base
-	params Params
-	chips  []chipState
-	q      int64             // LSB quota (global, like the paper's single q)
-	q0     int64             // initial quota, for observability
-	refs   map[int]parityRef // flat fast-block index -> parity location
-	inBGC  bool              // inside a background-GC window (q accounting)
-	pred   *writePredictor   // Section 6 extension (nil unless enabled)
-	psnap  []byte            // scratch for parity snapshots (Program copies)
-}
+type FTL = ftl.Kernel
 
-var _ ftl.FTL = (*FTL)(nil)
+// RecoveryReport summarizes a reboot-time error recovery pass.
+type RecoveryReport = ftl.RecoveryReport
+
+// RebuildReport summarizes a full mapping-table reconstruction.
+type RebuildReport = ftl.RebuildReport
 
 // New builds a flexFTL over the device. The device must enforce RPS (or be
 // unconstrained); a strict-FPS device rejects 2PO programming immediately.
 func New(dev *nand.Device, cfg ftl.Config, params Params) (*FTL, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
-	if dev.Rules().Name() == "FPS" {
-		return nil, fmt.Errorf("flexftl: device enforces FPS; flexFTL requires the RPS scheme")
-	}
-	base, err := ftl.NewBase(dev, cfg)
-	if err != nil {
-		return nil, err
-	}
-	g := dev.Geometry()
-	f := &FTL{
-		Base:   base,
-		params: params,
-		chips:  make([]chipState, g.Chips()),
-		refs:   make(map[int]parityRef),
-	}
-	totalLSB := int64(g.TotalBlocks()) * int64(g.LSBPagesPerBlock())
-	f.q = int64(params.QuotaFraction * float64(totalLSB))
-	if f.q < 1 {
-		f.q = 1
-	}
-	f.q0 = f.q
-	for c := range f.chips {
-		f.chips[c] = chipState{
-			afb:    -1,
-			pbuf:   parity.New(ftl.TokenSize),
-			backup: backupState{cur: -1, live: make(map[int]int)},
-		}
-	}
-	if params.PredictiveBGC {
-		alpha := params.PredictorAlpha
-		if alpha <= 0 || alpha > 1 {
-			alpha = 0.3
-		}
-		f.pred = newWritePredictor(alpha)
-	}
-	return f, nil
-}
-
-// Name identifies the scheme.
-func (f *FTL) Name() string { return "flexFTL" }
-
-// Quota returns the current LSB quota q.
-func (f *FTL) Quota() int64 { return f.q }
-
-// InitialQuota returns q's starting value.
-func (f *FTL) InitialQuota() int64 { return f.q0 }
-
-// SlowQueueLen returns the slow block queue depth of a chip (tests and
-// metrics).
-func (f *FTL) SlowQueueLen(chip int) int { return f.chips[chip].sbq.Len() }
-
-// ActiveSlowBlock returns the chip's active slow block (the head of its
-// slow block queue), or -1 when the queue is empty.
-func (f *FTL) ActiveSlowBlock(chip int) int {
-	if f.chips[chip].sbq.Len() == 0 {
-		return -1
-	}
-	return f.chips[chip].sbq.Front()
-}
-
-// ActiveSlowProgress returns how many MSB pages of the active slow block
-// have been programmed.
-func (f *FTL) ActiveSlowProgress(chip int) int { return f.chips[chip].asbPos }
-
-// Write services a host page write. util is the write-buffer utilization the
-// policy manager consumes.
-func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
-	chip := f.NextChip()
-	var err error
-	now, err = f.foregroundGC(chip, now)
-	if err != nil {
-		return now, err
-	}
-	useLSB := f.choosePageType(chip, util)
-	if f.Obs != nil {
-		lsb := int64(0)
-		if useLSB {
-			lsb = 1
-		}
-		f.Obs.Instant(obs.KindPolicy, int32(chip), now, lsb, f.q)
-	}
-	done, err := f.programAs(chip, useLSB, lpn, f.Token(lpn), f.Spare(lpn), now, false)
-	if err != nil {
-		return now, err
-	}
-	f.St.HostWrites++
-	if f.pred != nil {
-		f.pred.ObserveWrite()
-	}
-	return done, nil
-}
-
-// Read services a host page read.
-func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
-	return f.ReadLPN(lpn, now)
-}
-
-// choosePageType implements the Section 3.2 policy table.
-func (f *FTL) choosePageType(chip int, util float64) bool {
-	st := &f.chips[chip]
-	// Corner case (footnote 1): with no slow block MSB pages do not exist.
-	if st.sbq.Len() == 0 {
-		return true
-	}
-	// Drain mode: with no fast capacity left beyond the GC reserve, spend
-	// MSB pages — they consume no free blocks, and completing slow blocks
-	// feeds the GC candidate list.
-	if f.fastBudget(chip) <= 0 {
-		return false
-	}
-	alternate := func() bool {
-		st.toggle = !st.toggle
-		return st.toggle
-	}
-	switch {
-	case util > f.params.UHigh:
-		// Condition [C2] of Section 3.2: successive LSB writes must not
-		// degrade future bandwidth. The effective quota is q bounded by
-		// the chip's actual fast capacity (remaining AFB pages plus free
-		// blocks beyond the GC reserve) — spending past that would force
-		// foreground reclaim mid-burst.
-		if f.q > 0 {
-			return true
-		}
-		return alternate()
-	case util < f.params.ULow:
-		return false
-	default:
-		return alternate()
-	}
-}
-
-// fastBudget returns how many LSB pages the chip can still serve without
-// eating into the GC/backup block reserve.
-func (f *FTL) fastBudget(chip int) int {
-	st := &f.chips[chip]
-	w := f.Dev.Geometry().WordLinesPerBlock
-	budget := 0
-	if st.afb != -1 {
-		budget += w - st.afbPos
-	}
-	if spare := f.Pools[chip].FreeCount() - f.Cfg.MinFreeBlocksPerChip - 1; spare > 0 {
-		budget += spare * w
-	}
-	return budget
+	return ftl.NewFlexFTL(dev, cfg, params)
 }

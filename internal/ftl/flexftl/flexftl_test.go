@@ -317,13 +317,12 @@ func TestBackupBlocksRecycled(t *testing.T) {
 		}
 		now = done
 	}
-	for c := range f.chips {
-		bk := &f.chips[c].backup
+	for c := 0; c < f.Device().Geometry().Chips(); c++ {
 		// Retired blocks awaiting recycling are bounded by the slow queue
 		// depth (their live parities) plus one in-flight.
-		if len(bk.retired) > f.chips[c].sbq.Len()+1 {
+		if retired := f.RetiredBackupBlocks(c); retired > f.SlowQueueLen(c)+1 {
 			t.Errorf("chip %d: %d retired backup blocks for %d queued slow blocks",
-				c, len(bk.retired), f.chips[c].sbq.Len())
+				c, retired, f.SlowQueueLen(c))
 		}
 	}
 }

@@ -31,13 +31,12 @@ func auditBlocks(t *testing.T, f *FTL) {
 		pool := f.Pools[chip]
 		// Free and full lists: FreePool gives counts, not contents, so walk
 		// by elimination — account for the named holders first.
-		st := &f.chips[chip]
-		place(st.afb, "active-fast")
-		for i := 0; i < st.sbq.Len(); i++ {
-			place(st.sbq.At(i), "slow-queue")
+		place(f.ActiveFastBlock(chip), "active-fast")
+		for i := 0; i < f.SlowQueueLen(chip); i++ {
+			place(f.SlowQueueBlock(chip, i), "slow-queue")
 		}
-		place(st.backup.cur, "backup-current")
-		for _, b := range st.backup.retired {
+		place(f.BackupCurrentBlock(chip), "backup-current")
+		for _, b := range f.RetiredBackupBlockList(chip) {
 			place(b, "backup-retired")
 		}
 		for _, b := range pool.FullBlocks() {
@@ -111,7 +110,7 @@ func TestInvariantsUnderHeavyWrites(t *testing.T) {
 func TestInvariantsAfterRecovery(t *testing.T) {
 	f := newFlex(t, nand.TestGeometry())
 	now := primeToMSBPhase(t, f)
-	f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq.Front()})
+	f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: 0, Block: f.ActiveSlowBlock(0)})
 	rep, err := f.Recover(now)
 	if err != nil {
 		t.Fatal(err)

@@ -27,7 +27,7 @@ func primeToMSBPhase(t *testing.T, f *FTL) sim.Time {
 		now = done
 		lpn++
 	}
-	for f.chips[0].asbPos == 0 {
+	for f.ActiveSlowProgress(0) == 0 {
 		done, err := f.Write(lpn, now, 0.01)
 		if err != nil {
 			t.Fatal(err)
@@ -48,8 +48,8 @@ func TestPowerFailRecovery(t *testing.T) {
 
 	// Identify the vulnerable page: paired LSB of the last in-flight MSB.
 	chip := 0
-	blk := f.chips[chip].sbq.Front()
-	wl := f.chips[chip].asbPos - 1
+	blk := f.ActiveSlowBlock(chip)
+	wl := f.ActiveSlowProgress(chip) - 1
 	lsbAddr := nand.PageAddr{
 		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
 		Page:      pg(wl, false),
@@ -110,7 +110,7 @@ func TestRecoveryWithoutCrash(t *testing.T) {
 	f := newFlex(t, nand.TestGeometry())
 	now := primeToMSBPhase(t, f)
 	// Acknowledge the in-flight program (power did not fail).
-	f.Dev.AckProgram(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq.Front()})
+	f.Dev.AckProgram(nand.BlockAddr{Chip: 0, Block: f.ActiveSlowBlock(0)})
 	rep, err := f.Recover(now)
 	if err != nil {
 		t.Fatal(err)
@@ -130,8 +130,8 @@ func TestRecoveryStaleLSB(t *testing.T) {
 	now := primeToMSBPhase(t, f)
 	g := f.Dev.Geometry()
 	chip := 0
-	blk := f.chips[chip].sbq.Front()
-	wl := f.chips[chip].asbPos - 1
+	blk := f.ActiveSlowBlock(chip)
+	wl := f.ActiveSlowProgress(chip) - 1
 	lsbPPN := g.PPNOf(nand.PageAddr{
 		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
 		Page:      pg(wl, false),
@@ -171,7 +171,7 @@ func TestRecoveryReadOverhead(t *testing.T) {
 	now := primeToMSBPhase(t, f)
 	g := f.Dev.Geometry()
 	tm := f.Dev.Timing()
-	f.Dev.AckProgram(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq.Front()})
+	f.Dev.AckProgram(nand.BlockAddr{Chip: 0, Block: f.ActiveSlowBlock(0)})
 	rep, err := f.Recover(now)
 	if err != nil {
 		t.Fatal(err)
@@ -198,8 +198,8 @@ func TestRecoveryAfterMetadataLoss(t *testing.T) {
 	now := primeToMSBPhase(t, f)
 	g := f.Dev.Geometry()
 	chip := 0
-	blk := f.chips[chip].sbq.Front()
-	wl := f.chips[chip].asbPos - 1
+	blk := f.ActiveSlowBlock(chip)
+	wl := f.ActiveSlowProgress(chip) - 1
 	lostLPN, live := f.Map.LPNAt(g.PPNOf(nand.PageAddr{
 		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
 		Page:      pg(wl, false),
@@ -251,10 +251,10 @@ func TestScanPicksNewestParity(t *testing.T) {
 	}
 	// Find a chip mid-MSB-phase; force the crash and scan-based recovery.
 	for chip := 0; chip < g.Chips(); chip++ {
-		if f.chips[chip].sbq.Len() == 0 || f.chips[chip].asbPos == 0 {
+		if f.SlowQueueLen(chip) == 0 || f.ActiveSlowProgress(chip) == 0 {
 			continue
 		}
-		blk := f.chips[chip].sbq.Front()
+		blk := f.ActiveSlowBlock(chip)
 		if !f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: chip, Block: blk}) {
 			continue
 		}
@@ -279,7 +279,7 @@ func TestRecoveryDeterminism(t *testing.T) {
 	run := func() (RecoveryReport, error) {
 		f := newFlex(t, nand.TestGeometry())
 		now := primeToMSBPhase(t, f)
-		f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: 0, Block: f.chips[0].sbq.Front()})
+		f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: 0, Block: f.ActiveSlowBlock(0)})
 		return f.Recover(now)
 	}
 	a, errA := run()
@@ -311,7 +311,7 @@ func TestMultiChipPowerLoss(t *testing.T) {
 		lpn++
 	}
 	for chip := 0; chip < g.Chips(); chip++ {
-		for f.chips[chip].asbPos == 0 {
+		for f.ActiveSlowProgress(chip) == 0 {
 			done, err := f.Write(lpn, now, 0.01)
 			if err != nil {
 				t.Fatal(err)
@@ -323,8 +323,8 @@ func TestMultiChipPowerLoss(t *testing.T) {
 	_ = src
 	injected := 0
 	for chip := 0; chip < g.Chips(); chip++ {
-		if f.chips[chip].sbq.Len() > 0 &&
-			f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: chip, Block: f.chips[chip].sbq.Front()}) {
+		if f.SlowQueueLen(chip) > 0 &&
+			f.Dev.InjectPowerLoss(nand.BlockAddr{Chip: chip, Block: f.ActiveSlowBlock(chip)}) {
 			injected++
 		}
 	}

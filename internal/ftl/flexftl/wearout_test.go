@@ -60,14 +60,14 @@ func TestWearOutRetiresBlocksGracefully(t *testing.T) {
 	var accounted int64
 	for chip := 0; chip < g.Chips(); chip++ {
 		accounted += int64(f.Pools[chip].FreeCount() + f.Pools[chip].FullCount())
-		if f.chips[chip].afb != -1 {
+		if f.ActiveFastBlock(chip) != -1 {
 			accounted++
 		}
-		accounted += int64(f.chips[chip].sbq.Len())
-		if f.chips[chip].backup.cur != -1 {
+		accounted += int64(f.SlowQueueLen(chip))
+		if f.BackupCurrentBlock(chip) != -1 {
 			accounted++
 		}
-		accounted += int64(len(f.chips[chip].backup.retired))
+		accounted += int64(f.RetiredBackupBlocks(chip))
 	}
 	if f.Base.BackgroundVictimActive() {
 		accounted++

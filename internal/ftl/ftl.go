@@ -1,8 +1,13 @@
-// Package ftl defines the flash-translation-layer interface shared by the
-// four FTLs the paper compares (pageFTL, parityFTL, rtfFTL, flexFTL) and the
-// infrastructure they build on: the page-level mapping table with per-block
-// valid accounting, chip selection, free-block pools and greedy garbage-
-// collection victim selection.
+// Package ftl is the FTL kernel of the simulator: one engine (Kernel) that
+// owns the write/read/trim/GC/idle paths and the block life cycle,
+// parameterized by three sealed policy interfaces — OrderPolicy (page
+// placement under a program-sequence rule set), BackupStrategy (paired-page
+// power-cut protection) and AllocPolicy (LSB/MSB preference). The five FTLs
+// the repository evaluates (pageFTL, parityFTL, rtfFTL, flexFTL, and the
+// n-level nflex in its subpackage) are thin configurations of that kernel —
+// see schemes.go and the registry — on top of the shared infrastructure: the
+// page-level mapping table with per-block valid accounting, chip selection,
+// free-block pools and greedy garbage-collection victim selection.
 package ftl
 
 import (
@@ -47,11 +52,12 @@ func (s Stats) WriteAmplification() float64 {
 	return float64(s.TotalPrograms()) / float64(s.HostWrites)
 }
 
-// FTL is a flash translation layer bound to a NAND device. Implementations
-// are single-threaded over virtual time, like the device.
-type FTL interface {
-	// Name identifies the scheme ("pageFTL", "parityFTL", "rtfFTL",
-	// "flexFTL").
+// Host is the device-agnostic FTL surface the runner drives: every scheme in
+// the registry — MLC or n-level — implements it. Implementations are
+// single-threaded over virtual time, like the devices underneath them.
+type Host interface {
+	// Name identifies the scheme ("pageFTL", "flexFTL", "nflexFTL(3-level)",
+	// ...).
 	Name() string
 	// Write services a host write of one logical page at virtual time now.
 	// util is the current write-buffer utilization in [0,1] (flexFTL's
@@ -71,14 +77,22 @@ type FTL interface {
 	Idle(now, until sim.Time)
 	// Stats returns the counter snapshot.
 	Stats() Stats
-	// Device exposes the underlying NAND device (for erasure counts and
-	// geometry).
-	Device() *nand.Device
 	// LogicalPages returns the size of the host-visible address space.
 	LogicalPages() int64
+	// PageSize returns the data-page size in bytes (bandwidth accounting).
+	PageSize() int
 }
 
-// Config carries the knobs shared by all four FTL implementations.
+// FTL is a flash translation layer bound to an MLC NAND device — the Host
+// surface plus access to the device itself (for erasure counts, geometry and
+// fault injection).
+type FTL interface {
+	Host
+	// Device exposes the underlying NAND device.
+	Device() *nand.Device
+}
+
+// Config carries the knobs shared by every FTL implementation.
 type Config struct {
 	// OPFraction is the over-provisioning fraction: the host-visible space
 	// is (1-OPFraction) of raw capacity. Default 0.125.

@@ -2,8 +2,12 @@
 // implementation: write/read round trips, overwrite invalidation, sustained
 // writing far past device capacity (forcing garbage collection), idle-window
 // background GC, and determinism. Each FTL's test package invokes Run with a
-// fixture constructor; scheme-specific behaviour (backup accounting, 2PO
-// invariants, recovery) stays in the scheme's own tests.
+// fixture constructor, and the registry-wide conformance test (in this
+// package's external tests) drives every registered scheme through the same
+// checks — the full white-box suite for MLC kernels, the device-agnostic
+// RunHost subset for schemes that own their device. Scheme-specific
+// behaviour (backup accounting, 2PO invariants, recovery) stays in the
+// scheme's own tests.
 package ftltest
 
 import (
@@ -29,26 +33,50 @@ type Fixture struct {
 // Maker constructs a fresh fixture (device included) for one subtest.
 type Maker func(t testing.TB) Fixture
 
-// Run executes the conformance suite.
+// HostMaker constructs a fresh ftl.Host for one subtest. RunHost needs no
+// access to the device or the shared Base, so it covers schemes outside the
+// MLC kernel (nflexTLC) as well.
+type HostMaker func(t testing.TB) ftl.Host
+
+// Run executes the full conformance suite, including the white-box checks
+// that need the kernel's Base and device.
 func Run(t *testing.T, mk Maker) {
-	t.Run("WriteReadBack", func(t *testing.T) { testWriteReadBack(t, mk) })
-	t.Run("CompletionMonotonePerIssue", func(t *testing.T) { testMonotone(t, mk) })
+	t.Run("WriteReadBack", func(t *testing.T) { checkWriteReadBack(t, mk(t).F) })
+	t.Run("CompletionMonotonePerIssue", func(t *testing.T) { checkMonotone(t, mk(t).F) })
 	t.Run("OverwriteInvalidates", func(t *testing.T) { testOverwrite(t, mk) })
 	t.Run("SustainedWritesForceGC", func(t *testing.T) { testSustainedGC(t, mk) })
 	t.Run("IdleReclaimsFreeBlocks", func(t *testing.T) { testIdleReclaim(t, mk) })
-	t.Run("Determinism", func(t *testing.T) { testDeterminism(t, mk) })
-	t.Run("ReadUnmappedFails", func(t *testing.T) { testReadUnmapped(t, mk) })
+	t.Run("Determinism", func(t *testing.T) {
+		checkDeterminism(t, func() ftl.Host { return mk(t).F })
+	})
+	t.Run("ReadUnmappedFails", func(t *testing.T) { checkReadUnmapped(t, mk(t).F) })
 	t.Run("TrimInvalidates", func(t *testing.T) { testTrim(t, mk) })
 	t.Run("StatsConsistency", func(t *testing.T) { testStatsConsistency(t, mk) })
 	t.Run("WorkloadSoak", func(t *testing.T) { testWorkloadSoak(t, mk) })
 }
 
-// testWorkloadSoak drives the FTL with a realistic mixed request stream
+// RunHost executes the device-agnostic subset of the suite: every check that
+// needs only the ftl.Host surface. Registry entries that are not MLC kernels
+// get their conformance coverage through this entry point.
+func RunHost(t *testing.T, mk HostMaker) {
+	t.Run("WriteReadBack", func(t *testing.T) { checkWriteReadBack(t, mk(t)) })
+	t.Run("CompletionMonotonePerIssue", func(t *testing.T) { checkMonotone(t, mk(t)) })
+	t.Run("OverwriteReadsBack", func(t *testing.T) { checkOverwrite(t, mk(t)) })
+	t.Run("SustainedWritesForceGC", func(t *testing.T) { checkSustainedGC(t, mk(t)) })
+	t.Run("Determinism", func(t *testing.T) {
+		checkDeterminism(t, func() ftl.Host { return mk(t) })
+	})
+	t.Run("ReadUnmappedFails", func(t *testing.T) { checkReadUnmapped(t, mk(t)) })
+	t.Run("TrimInvalidates", func(t *testing.T) { checkTrim(t, mk(t)) })
+	t.Run("StatsConsistency", func(t *testing.T) { checkStatsConsistency(t, mk(t)) })
+	t.Run("WorkloadSoak", func(t *testing.T) { checkWorkloadSoak(t, mk(t)) })
+}
+
+// checkWorkloadSoak drives the FTL with a realistic mixed request stream
 // (reads, writes, trims, bursts, idle windows) from the Varmail generator —
 // the closest thing to production traffic the suite exercises.
-func testWorkloadSoak(t *testing.T, mk Maker) {
-	fx := mk(t)
-	gen, err := workload.New(workload.Varmail(), fx.F.LogicalPages(), 4000, 13)
+func checkWorkloadSoak(t *testing.T, f ftl.Host) ftl.Stats {
+	gen, err := workload.New(workload.Varmail(), f.LogicalPages(), 4000, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +88,7 @@ func testWorkloadSoak(t *testing.T, mk Maker) {
 			break
 		}
 		if req.Arrival > lastArrival+5*sim.Millisecond && now < req.Arrival {
-			fx.F.Idle(now, req.Arrival)
+			f.Idle(now, req.Arrival)
 			now = req.Arrival
 		}
 		lastArrival = req.Arrival
@@ -68,15 +96,15 @@ func testWorkloadSoak(t *testing.T, mk Maker) {
 			now = req.Arrival
 		}
 		for p := 0; p < req.Pages; p++ {
-			lpn := ftl.LPN((req.Page + int64(p)) % fx.F.LogicalPages())
+			lpn := ftl.LPN((req.Page + int64(p)) % f.LogicalPages())
 			var err error
 			switch req.Op {
 			case workload.OpWrite:
-				now, err = fx.F.Write(lpn, now, 0.5)
+				now, err = f.Write(lpn, now, 0.5)
 			case workload.OpTrim:
-				now, err = fx.F.Trim(lpn, now)
+				now, err = f.Trim(lpn, now)
 			default:
-				if _, lookupErr := fx.F.Read(lpn, now); lookupErr != nil {
+				if _, lookupErr := f.Read(lpn, now); lookupErr != nil {
 					err = nil // unmapped reads are the runner's concern
 				}
 			}
@@ -85,40 +113,53 @@ func testWorkloadSoak(t *testing.T, mk Maker) {
 			}
 		}
 	}
-	st := fx.F.Stats()
+	st := f.Stats()
 	if st.HostWrites == 0 || st.HostTrims == 0 {
 		t.Errorf("soak exercised too little: %+v", st)
 	}
+	return st
+}
+
+func testWorkloadSoak(t *testing.T, mk Maker) {
+	fx := mk(t)
+	st := checkWorkloadSoak(t, fx.F)
 	// Cross-check against the device as always.
 	if dev := fx.F.Device().Counts(); dev.Programs() != st.TotalPrograms() {
 		t.Errorf("device programs %d != FTL programs %d", dev.Programs(), st.TotalPrograms())
 	}
 }
 
-func testTrim(t *testing.T, mk Maker) {
-	fx := mk(t)
-	now, err := fx.F.Write(5, 0, 0.5)
+// checkTrim covers the host-visible trim contract: no-op trims are harmless
+// and uncounted, a real trim unmaps the LPN, and the FTL keeps working.
+func checkTrim(t *testing.T, f ftl.Host) sim.Time {
+	now, err := f.Write(5, 0, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Trimming an unmapped LPN is a harmless no-op.
-	if _, err := fx.F.Trim(99, now); err != nil {
+	if _, err := f.Trim(99, now); err != nil {
 		t.Fatalf("trim of unmapped LPN errored: %v", err)
 	}
-	done, err := fx.F.Trim(5, now)
+	done, err := f.Trim(5, now)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if done < now {
 		t.Error("trim completed before issue")
 	}
-	if _, err := fx.F.Read(5, done); err == nil {
+	if _, err := f.Read(5, done); err == nil {
 		t.Error("trimmed LPN still readable")
 	}
-	st := fx.F.Stats()
+	st := f.Stats()
 	if st.HostTrims != 1 {
 		t.Errorf("trims = %d, want 1 (no-op trims uncounted)", st.HostTrims)
 	}
+	return done
+}
+
+func testTrim(t *testing.T, mk Maker) {
+	fx := mk(t)
+	done := checkTrim(t, fx.F)
 	if fx.B.Map.Mapped() != 0 {
 		t.Errorf("mapped = %d after trim", fx.B.Map.Mapped())
 	}
@@ -129,12 +170,11 @@ func testTrim(t *testing.T, mk Maker) {
 	}
 }
 
-func testWriteReadBack(t *testing.T, mk Maker) {
-	fx := mk(t)
+func checkWriteReadBack(t *testing.T, f ftl.Host) {
 	now := sim.Time(0)
 	const n = 64
 	for lpn := ftl.LPN(0); lpn < n; lpn++ {
-		done, err := fx.F.Write(lpn, now, 0.5)
+		done, err := f.Write(lpn, now, 0.5)
 		if err != nil {
 			t.Fatalf("write LPN %d: %v", lpn, err)
 		}
@@ -144,23 +184,22 @@ func testWriteReadBack(t *testing.T, mk Maker) {
 		now = done
 	}
 	for lpn := ftl.LPN(0); lpn < n; lpn++ {
-		done, err := fx.F.Read(lpn, now)
+		done, err := f.Read(lpn, now)
 		if err != nil {
 			t.Fatalf("read LPN %d: %v", lpn, err)
 		}
 		now = done
 	}
-	st := fx.F.Stats()
+	st := f.Stats()
 	if st.HostWrites != n || st.HostReads != n {
 		t.Errorf("stats = %+v, want %d writes and reads", st, n)
 	}
 }
 
-func testMonotone(t *testing.T, mk Maker) {
-	fx := mk(t)
+func checkMonotone(t *testing.T, f ftl.Host) {
 	prev := sim.Time(0)
 	for lpn := ftl.LPN(0); lpn < 32; lpn++ {
-		done, err := fx.F.Write(lpn, prev, 0.5)
+		done, err := f.Write(lpn, prev, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,43 +210,48 @@ func testMonotone(t *testing.T, mk Maker) {
 	}
 }
 
-func testOverwrite(t *testing.T, mk Maker) {
-	fx := mk(t)
+// checkOverwrite repeatedly rewrites one LPN and confirms the latest version
+// stays readable.
+func checkOverwrite(t *testing.T, f ftl.Host) {
 	now := sim.Time(0)
 	const rounds = 50
 	for i := 0; i < rounds; i++ {
-		done, err := fx.F.Write(7, now, 0.5)
+		done, err := f.Write(7, now, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}
 		now = done
 	}
-	if fx.B.Map.Mapped() != 1 {
-		t.Errorf("mapped pages = %d after overwriting one LPN, want 1", fx.B.Map.Mapped())
-	}
-	if _, err := fx.F.Read(7, now); err != nil {
+	if _, err := f.Read(7, now); err != nil {
 		t.Errorf("read after overwrites: %v", err)
 	}
 }
 
-// testSustainedGC writes 3x the logical space with a skewed pattern; the FTL
-// must keep servicing writes (GC reclaiming blocks) without error.
-func testSustainedGC(t *testing.T, mk Maker) {
+func testOverwrite(t *testing.T, mk Maker) {
 	fx := mk(t)
+	checkOverwrite(t, fx.F)
+	if fx.B.Map.Mapped() != 1 {
+		t.Errorf("mapped pages = %d after overwriting one LPN, want 1", fx.B.Map.Mapped())
+	}
+}
+
+// checkSustainedGC writes 3x the logical space with a skewed pattern; the FTL
+// must keep servicing writes (GC reclaiming blocks) without error.
+func checkSustainedGC(t *testing.T, f ftl.Host) ftl.Stats {
 	src := rng.New(42)
-	logical := fx.F.LogicalPages()
+	logical := f.LogicalPages()
 	z := rng.NewZipf(src, int(logical), 0.9)
 	now := sim.Time(0)
 	writes := 3 * int(logical)
 	for i := 0; i < writes; i++ {
 		lpn := ftl.LPN(z.Next())
-		done, err := fx.F.Write(lpn, now, 0.5)
+		done, err := f.Write(lpn, now, 0.5)
 		if err != nil {
 			t.Fatalf("write %d (LPN %d): %v", i, lpn, err)
 		}
 		now = done
 	}
-	st := fx.F.Stats()
+	st := f.Stats()
 	if st.Erases == 0 {
 		t.Error("no erases after writing 3x logical capacity")
 	}
@@ -217,6 +261,12 @@ func testSustainedGC(t *testing.T, mk Maker) {
 	if wa := st.WriteAmplification(); wa < 1 {
 		t.Errorf("write amplification %v < 1", wa)
 	}
+	return st
+}
+
+func testSustainedGC(t *testing.T, mk Maker) {
+	fx := mk(t)
+	st := checkSustainedGC(t, fx.F)
 	// The device's own erase counter must agree with the FTL's.
 	if dev := fx.F.Device().Counts().Erases; dev != st.Erases {
 		t.Errorf("device erases %d != FTL erases %d", dev, st.Erases)
@@ -258,24 +308,24 @@ func testIdleReclaim(t *testing.T, mk Maker) {
 	}
 }
 
-func testDeterminism(t *testing.T, mk Maker) {
+func checkDeterminism(t *testing.T, mk func() ftl.Host) {
 	run := func() ftl.Stats {
-		fx := mk(t)
+		f := mk()
 		src := rng.New(99)
-		logical := fx.F.LogicalPages()
+		logical := f.LogicalPages()
 		now := sim.Time(0)
 		for i := 0; i < int(logical); i++ {
 			lpn := ftl.LPN(src.Int63n(logical))
-			done, err := fx.F.Write(lpn, now, src.Float64())
+			done, err := f.Write(lpn, now, src.Float64())
 			if err != nil {
 				t.Fatal(err)
 			}
 			now = done
 			if i%1000 == 999 {
-				fx.F.Idle(now, now+100*sim.Millisecond)
+				f.Idle(now, now+100*sim.Millisecond)
 			}
 		}
-		return fx.F.Stats()
+		return f.Stats()
 	}
 	a, b := run(), run()
 	if a != b {
@@ -283,26 +333,26 @@ func testDeterminism(t *testing.T, mk Maker) {
 	}
 }
 
-func testReadUnmapped(t *testing.T, mk Maker) {
-	fx := mk(t)
-	if _, err := fx.F.Read(3, 0); err == nil {
+func checkReadUnmapped(t *testing.T, f ftl.Host) {
+	if _, err := f.Read(3, 0); err == nil {
 		t.Error("read of never-written LPN succeeded")
 	}
 }
 
-func testStatsConsistency(t *testing.T, mk Maker) {
-	fx := mk(t)
+// checkStatsConsistency exercises a random write mix and verifies the
+// internal consistency of the Stats counters.
+func checkStatsConsistency(t *testing.T, f ftl.Host) ftl.Stats {
 	src := rng.New(5)
-	logical := fx.F.LogicalPages()
+	logical := f.LogicalPages()
 	now := sim.Time(0)
 	for i := 0; i < 2*int(logical); i++ {
-		done, err := fx.F.Write(ftl.LPN(src.Int63n(logical)), now, src.Float64())
+		done, err := f.Write(ftl.LPN(src.Int63n(logical)), now, src.Float64())
 		if err != nil {
 			t.Fatal(err)
 		}
 		now = done
 	}
-	st := fx.F.Stats()
+	st := f.Stats()
 	if st.HostWritesLSB+st.HostWritesMSB != st.HostWrites {
 		t.Errorf("host write type split %d+%d != %d",
 			st.HostWritesLSB, st.HostWritesMSB, st.HostWrites)
@@ -310,6 +360,12 @@ func testStatsConsistency(t *testing.T, mk Maker) {
 	if st.GCCopiesLSB+st.GCCopiesMSB != st.GCCopies {
 		t.Errorf("GC copy type split %d+%d != %d", st.GCCopiesLSB, st.GCCopiesMSB, st.GCCopies)
 	}
+	return st
+}
+
+func testStatsConsistency(t *testing.T, mk Maker) {
+	fx := mk(t)
+	st := checkStatsConsistency(t, fx.F)
 	// Device-level program counts must equal the FTL's accounting.
 	dev := fx.F.Device().Counts()
 	if dev.Programs() != st.TotalPrograms() {

@@ -1,0 +1,329 @@
+package ftl
+
+import (
+	"fmt"
+
+	"flexftl/internal/nand"
+	"flexftl/internal/sim"
+)
+
+// Kernel is the composable FTL engine: one write/read/trim/GC/idle machine
+// parameterized by three policies. The order policy owns page placement and
+// the block life cycle, the backup strategy owns paired-page power-cut
+// protection, and the allocation policy owns the LSB/MSB preference of every
+// program. Every scheme the paper evaluates — and any hybrid — is a Kernel
+// with a different policy triple (see schemes.go and the registry).
+type Kernel struct {
+	*Base
+	name  string
+	place OrderPolicy
+	bk    BackupStrategy
+	alloc AllocPolicy
+	// retokenizeGC makes GC relocations carry a fresh sequence number so a
+	// flash-scan rebuild can always tell the live copy from the
+	// not-yet-erased original (flexFTL's choice; the FPS schemes relocate
+	// payloads verbatim).
+	retokenizeGC bool
+	inBGC        bool            // inside a background-GC window (quota accounting)
+	pred         *writePredictor // Section 6 extension (nil unless enabled)
+}
+
+var _ FTL = (*Kernel)(nil)
+
+// KernelSpec bundles the policy triple and the kernel-level switches a
+// scheme constructor passes to NewKernel.
+type KernelSpec struct {
+	// Name identifies the scheme ("pageFTL", "flexFTL", ...).
+	Name string
+	// Order, Backup and Alloc are the three policies. All are required;
+	// use NoBackupStrategy() and FixedAllocPolicy(PrefOrder, PrefOrder)
+	// for schemes that don't care.
+	Order  OrderPolicy
+	Backup BackupStrategy
+	Alloc  AllocPolicy
+	// RetokenizeGC gives GC relocations fresh sequence numbers (see
+	// Kernel.retokenizeGC).
+	RetokenizeGC bool
+	// Predictive enables the EWMA future-write predictor that extends the
+	// background collector's reclaim target (Section 6).
+	Predictive bool
+	// PredictorAlpha is the EWMA smoothing factor (default 0.3).
+	PredictorAlpha float64
+}
+
+// NewKernel assembles an FTL from a policy triple over the device. Policies
+// initialize in placement, backup, allocation order; each may reject the
+// device or configuration.
+func NewKernel(dev *nand.Device, cfg Config, spec KernelSpec) (*Kernel, error) {
+	if spec.Order == nil || spec.Backup == nil || spec.Alloc == nil {
+		return nil, fmt.Errorf("ftl: kernel %q needs order, backup and allocation policies", spec.Name)
+	}
+	base, err := NewBase(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kernel{
+		Base:         base,
+		name:         spec.Name,
+		place:        spec.Order,
+		bk:           spec.Backup,
+		alloc:        spec.Alloc,
+		retokenizeGC: spec.RetokenizeGC,
+	}
+	if err := k.place.init(k); err != nil {
+		return nil, err
+	}
+	if err := k.bk.init(k); err != nil {
+		return nil, err
+	}
+	if err := k.alloc.init(k); err != nil {
+		return nil, err
+	}
+	if spec.Predictive {
+		alpha := spec.PredictorAlpha
+		if alpha <= 0 || alpha > 1 {
+			alpha = 0.3
+		}
+		k.pred = newWritePredictor(alpha)
+	}
+	return k, nil
+}
+
+// Name identifies the scheme.
+func (k *Kernel) Name() string { return k.name }
+
+// Write services a host page write. util is the write-buffer utilization the
+// allocation policy consumes (ignored by the fixed allocator).
+func (k *Kernel) Write(lpn LPN, now sim.Time, util float64) (sim.Time, error) {
+	chip := k.NextChip()
+	var err error
+	now, err = k.place.foregroundGC(k, chip, now)
+	if err != nil {
+		return now, err
+	}
+	pref := k.alloc.chooseHost(k, chip, util, now)
+	done, err := k.place.program(k, chip, pref, lpn, k.Token(lpn), k.Spare(lpn), now, false)
+	if err != nil {
+		return now, err
+	}
+	k.St.HostWrites++
+	if k.pred != nil {
+		k.pred.ObserveWrite()
+	}
+	return done, nil
+}
+
+// Read services a host page read.
+func (k *Kernel) Read(lpn LPN, now sim.Time) (sim.Time, error) {
+	return k.ReadLPN(lpn, now)
+}
+
+// Idle offers the kernel a background window: incremental GC under the
+// allocation policy's relocation preference, then the order policy's own
+// idle work (the return-to-fast MSB drain). The inBGC latch makes the
+// adaptive allocator credit these relocations to the quota q.
+func (k *Kernel) Idle(now, until sim.Time) {
+	k.inBGC = true
+	defer func() { k.inBGC = false }()
+	shouldRun := k.BGCWanted
+	if k.pred != nil {
+		// Section 6 extension: the idle window closes the active period and
+		// the collector reclaims until the *predicted* next burst fits in
+		// free fast capacity (on top of the base cushion).
+		k.pred.PeriodEnd()
+		shouldRun = func() bool {
+			if k.BGCWanted() {
+				return true
+			}
+			w := k.Dev.Geometry().LSBPagesPerBlock()
+			freeLSB := float64(k.TotalFreeBlocks() * w)
+			reserve := k.Cfg.GCFreeFraction * float64(k.Dev.Geometry().TotalBlocks()) * float64(w)
+			return freeLSB < k.pred.PredictedPages()+reserve
+		}
+	}
+	now = k.RunBackgroundGC(now, until, shouldRun, k.gcAlloc)
+	k.place.idleDrain(k, now, until)
+}
+
+// gcAlloc is the relocation path the shared GC engine calls for every valid
+// page it moves: the allocation policy picks the page type, then the order
+// policy places it.
+func (k *Kernel) gcAlloc(chip int, lpn LPN, data, spare []byte, now sim.Time) (sim.Time, error) {
+	pref := k.alloc.chooseGC(k, chip)
+	if k.retokenizeGC {
+		// A fresh sequence number lets a flash-scan rebuild always tell the
+		// live copy from the not-yet-erased original.
+		data = k.Token(lpn)
+	}
+	return k.place.program(k, chip, pref, lpn, data, spare, now, true)
+}
+
+// reserveGC is the plain foreground-reclaim loop the FPS order policies use:
+// collect victims until the chip holds its free reserve (or no victim
+// remains).
+func (k *Kernel) reserveGC(chip int, now sim.Time, reserve int) (sim.Time, error) {
+	for k.Pools[chip].FreeCount() < reserve {
+		victim, ok := k.Pools[chip].PickVictim()
+		if !ok {
+			break
+		}
+		var err error
+		now, err = k.CollectVictim(chip, victim, now, k.gcAlloc)
+		if err != nil {
+			return now, err
+		}
+		k.St.ForegroundGCs++
+	}
+	return now, nil
+}
+
+// noteData splits the per-page-type counters for one data program.
+func (k *Kernel) noteData(isLSB, fromGC bool) {
+	switch {
+	case isLSB && fromGC:
+		k.St.GCCopiesLSB++
+	case isLSB:
+		k.St.HostWritesLSB++
+	case fromGC:
+		k.St.GCCopiesMSB++
+	default:
+		k.St.HostWritesMSB++
+	}
+}
+
+// PageSize returns the data-page size in bytes (runner bandwidth input).
+func (k *Kernel) PageSize() int { return k.Dev.Geometry().PageSizeBytes }
+
+// Chips returns the chip count (runner track allocation).
+func (k *Kernel) Chips() int { return k.Dev.Geometry().Chips() }
+
+// --- Policy-state accessors -------------------------------------------------
+//
+// White-box tests and the recovery tooling inspect policy internals through
+// these; each degrades to a neutral value when the mounted policy has no such
+// state.
+
+// Quota returns the adaptive allocator's current LSB budget q (0 when the
+// fixed allocator is mounted).
+func (k *Kernel) Quota() int64 {
+	if a, ok := k.alloc.(*adaptiveAlloc); ok {
+		return a.q
+	}
+	return 0
+}
+
+// InitialQuota returns q's starting value (0 for the fixed allocator).
+func (k *Kernel) InitialQuota() int64 {
+	if a, ok := k.alloc.(*adaptiveAlloc); ok {
+		return a.q0
+	}
+	return 0
+}
+
+// SlowQueueLen returns the chip's slow block queue depth under two-phase
+// ordering (0 otherwise).
+func (k *Kernel) SlowQueueLen(chip int) int {
+	if o, ok := k.place.(*twoPhase); ok {
+		return o.chips[chip].sbq.Len()
+	}
+	return 0
+}
+
+// ActiveSlowBlock returns the chip's active slow block (the head of its slow
+// block queue), or -1 when there is none.
+func (k *Kernel) ActiveSlowBlock(chip int) int {
+	if o, ok := k.place.(*twoPhase); ok && o.chips[chip].sbq.Len() > 0 {
+		return o.chips[chip].sbq.Front()
+	}
+	return -1
+}
+
+// SlowQueueBlock returns the i-th block of the chip's slow block queue under
+// two-phase ordering (-1 otherwise). Index 0 is the active slow block.
+func (k *Kernel) SlowQueueBlock(chip, i int) int {
+	if o, ok := k.place.(*twoPhase); ok {
+		return o.chips[chip].sbq.At(i)
+	}
+	return -1
+}
+
+// ActiveSlowProgress returns how many MSB pages of the active slow block have
+// been programmed.
+func (k *Kernel) ActiveSlowProgress(chip int) int {
+	if o, ok := k.place.(*twoPhase); ok {
+		return o.chips[chip].asbPos
+	}
+	return 0
+}
+
+// ActiveFastBlock returns the chip's active fast block under two-phase
+// ordering, or -1 when there is none.
+func (k *Kernel) ActiveFastBlock(chip int) int {
+	if o, ok := k.place.(*twoPhase); ok {
+		return o.chips[chip].afb
+	}
+	return -1
+}
+
+// ActiveFastProgress returns how many LSB pages of the active fast block have
+// been programmed.
+func (k *Kernel) ActiveFastProgress(chip int) int {
+	if o, ok := k.place.(*twoPhase); ok && o.chips[chip].afb != -1 {
+		return o.chips[chip].afbPos
+	}
+	return 0
+}
+
+// BackupCurrentBlock returns the per-block parity strategy's open backup
+// block on the chip, or -1 when none (or another strategy is mounted).
+func (k *Kernel) BackupCurrentBlock(chip int) int {
+	if b, ok := k.bk.(*blockParity); ok {
+		return b.backup[chip].cur
+	}
+	return -1
+}
+
+// RetiredBackupBlocks returns how many filled backup blocks on the chip await
+// recycling under the per-block parity strategy.
+func (k *Kernel) RetiredBackupBlocks(chip int) int {
+	if b, ok := k.bk.(*blockParity); ok {
+		return len(b.backup[chip].retired)
+	}
+	return 0
+}
+
+// RetiredBackupBlockList returns a copy of the chip's retired parity backup
+// blocks awaiting recycling (nil when another strategy is mounted).
+func (k *Kernel) RetiredBackupBlockList(chip int) []int {
+	if b, ok := k.bk.(*blockParity); ok {
+		return append([]int(nil), b.backup[chip].retired...)
+	}
+	return nil
+}
+
+// BackupRing returns the pair-parity strategy's current and previous backup
+// blocks on the chip (-1, -1 when another strategy is mounted).
+func (k *Kernel) BackupRing(chip int) (cur, prev int) {
+	if b, ok := k.bk.(*pairParity); ok {
+		return b.ring[chip].cur, b.ring[chip].prev
+	}
+	return -1, -1
+}
+
+// PoolHasMSBNext reports whether the FPS-pool order has an active slot
+// waiting on an MSB page (false for other orders).
+func (k *Kernel) PoolHasMSBNext(chip int) bool {
+	if o, ok := k.place.(*fpsPool); ok {
+		return o.chipHasMSBNext(chip)
+	}
+	return false
+}
+
+// LSBReadySlots returns how many of the FPS-pool order's active slots will
+// next program an LSB page (0 for other orders).
+func (k *Kernel) LSBReadySlots(chip int) int {
+	if o, ok := k.place.(*fpsPool); ok {
+		return o.lsbReadyCount(chip)
+	}
+	return 0
+}

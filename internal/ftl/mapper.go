@@ -7,13 +7,16 @@ import (
 )
 
 // Mapper is the page-level mapping table: LPN -> PPN with the inverse map
-// and per-block valid-page accounting garbage collection needs.
+// and per-block valid-page accounting garbage collection needs. It is
+// geometry-agnostic — only block/page dimensions matter — so the same type
+// serves the 2-bit MLC kernel and the n-level nflex FTL.
 type Mapper struct {
-	geo        nand.Geometry
-	l2p        []nand.PPN // logical to physical; InvalidPPN when unmapped
-	p2l        []LPN      // physical to logical; -1 when free/invalid
-	validCount []int32    // valid pages per flat block
-	mapped     int64      // currently mapped logical pages
+	blocksPerChip int
+	pagesPerBlock int
+	l2p           []nand.PPN // logical to physical; InvalidPPN when unmapped
+	p2l           []LPN      // physical to logical; -1 when free/invalid
+	validCount    []int32    // valid pages per flat block
+	mapped        int64      // currently mapped logical pages
 	// onValidChange, when set, fires after every validCount mutation with
 	// the affected flat block — the mapper→pool notification keeping the
 	// GC victim index coherent. Nil (standalone mappers) costs nothing.
@@ -25,14 +28,24 @@ func (m *Mapper) SetValidHook(fn func(flatBlock int)) { m.onValidChange = fn }
 
 // NewMapper builds a mapper for logicalPages host pages over the geometry.
 func NewMapper(g nand.Geometry, logicalPages int64) *Mapper {
-	if logicalPages <= 0 || logicalPages > int64(g.TotalPages()) {
-		panic(fmt.Sprintf("ftl: logical pages %d outside (0,%d]", logicalPages, g.TotalPages()))
+	return NewMapperDims(g.Chips(), g.BlocksPerChip, g.PagesPerBlock(), logicalPages)
+}
+
+// NewMapperDims builds a mapper from raw dimensions — the device-agnostic
+// constructor n-level FTLs use (their geometry type differs, the mapping
+// arithmetic does not).
+func NewMapperDims(chips, blocksPerChip, pagesPerBlock int, logicalPages int64) *Mapper {
+	totalBlocks := chips * blocksPerChip
+	totalPages := int64(totalBlocks) * int64(pagesPerBlock)
+	if logicalPages <= 0 || logicalPages > totalPages {
+		panic(fmt.Sprintf("ftl: logical pages %d outside (0,%d]", logicalPages, totalPages))
 	}
 	m := &Mapper{
-		geo:        g,
-		l2p:        make([]nand.PPN, logicalPages),
-		p2l:        make([]LPN, g.TotalPages()),
-		validCount: make([]int32, g.TotalBlocks()),
+		blocksPerChip: blocksPerChip,
+		pagesPerBlock: pagesPerBlock,
+		l2p:           make([]nand.PPN, logicalPages),
+		p2l:           make([]LPN, totalPages),
+		validCount:    make([]int32, totalBlocks),
 	}
 	for i := range m.l2p {
 		m.l2p[i] = nand.InvalidPPN
@@ -51,17 +64,17 @@ func (m *Mapper) Mapped() int64 { return m.mapped }
 
 // blockOf returns the flat block index of a PPN.
 func (m *Mapper) blockOf(ppn nand.PPN) int {
-	return int(int64(ppn) / int64(m.geo.PagesPerBlock()))
+	return int(int64(ppn) / int64(m.pagesPerBlock))
 }
 
 // FlatBlock returns the flat index of a block address.
 func (m *Mapper) FlatBlock(a nand.BlockAddr) int {
-	return a.Chip*m.geo.BlocksPerChip + a.Block
+	return a.Chip*m.blocksPerChip + a.Block
 }
 
 // BlockOfFlat inverts FlatBlock.
 func (m *Mapper) BlockOfFlat(flat int) nand.BlockAddr {
-	return nand.BlockAddr{Chip: flat / m.geo.BlocksPerChip, Block: flat % m.geo.BlocksPerChip}
+	return nand.BlockAddr{Chip: flat / m.blocksPerChip, Block: flat % m.blocksPerChip}
 }
 
 // Lookup returns the current physical page of an LPN.
@@ -151,8 +164,8 @@ func (m *Mapper) ValidPages(a nand.BlockAddr) []nand.PPN {
 // page-index order, to dst and returns it — the allocation-free variant the
 // GC and recovery hot paths use with a reusable scratch slice.
 func (m *Mapper) AppendValidPages(a nand.BlockAddr, dst []nand.PPN) []nand.PPN {
-	base := nand.PPN(int64(m.FlatBlock(a)) * int64(m.geo.PagesPerBlock()))
-	for i := 0; i < m.geo.PagesPerBlock(); i++ {
+	base := nand.PPN(int64(m.FlatBlock(a)) * int64(m.pagesPerBlock))
+	for i := 0; i < m.pagesPerBlock; i++ {
 		ppn := base + nand.PPN(i)
 		if m.p2l[ppn] != -1 {
 			dst = append(dst, ppn)
@@ -163,14 +176,53 @@ func (m *Mapper) AppendValidPages(a nand.BlockAddr, dst []nand.PPN) []nand.PPN {
 
 // FirstValidPage returns the lowest-index valid physical page of a block.
 func (m *Mapper) FirstValidPage(a nand.BlockAddr) (nand.PPN, bool) {
-	base := nand.PPN(int64(m.FlatBlock(a)) * int64(m.geo.PagesPerBlock()))
-	for i := 0; i < m.geo.PagesPerBlock(); i++ {
+	base := nand.PPN(int64(m.FlatBlock(a)) * int64(m.pagesPerBlock))
+	for i := 0; i < m.pagesPerBlock; i++ {
 		ppn := base + nand.PPN(i)
 		if m.p2l[ppn] != -1 {
 			return ppn, true
 		}
 	}
 	return nand.InvalidPPN, false
+}
+
+// NextValidFrom scans a block for its next valid physical page at or after
+// page index fromIdx, returning the page, the index to resume from next call,
+// and whether one was found — the incremental-GC cursor walk.
+func (m *Mapper) NextValidFrom(a nand.BlockAddr, fromIdx int) (nand.PPN, int, bool) {
+	base := nand.PPN(int64(m.FlatBlock(a)) * int64(m.pagesPerBlock))
+	for i := fromIdx; i < m.pagesPerBlock; i++ {
+		ppn := base + nand.PPN(i)
+		if m.p2l[ppn] != -1 {
+			return ppn, i + 1, true
+		}
+	}
+	return nand.InvalidPPN, m.pagesPerBlock, false
+}
+
+// StateHash returns an FNV-1a digest of the mapping state (every l2p entry
+// followed by every per-block valid count) — the cheap fingerprint the
+// equivalence guards compare across refactors instead of serializing whole
+// tables.
+func (m *Mapper) StateHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime64
+		}
+	}
+	for _, ppn := range m.l2p {
+		mix(uint64(ppn))
+	}
+	for _, v := range m.validCount {
+		mix(uint64(uint32(v)))
+	}
+	return h
 }
 
 // ClearBlock asserts a block holds no valid pages and is about to be erased.

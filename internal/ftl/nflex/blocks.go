@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
 	"flexftl/internal/sim"
 )
 
@@ -48,14 +49,21 @@ func (f *FTL) programAt(chip, level int, lpn ftl.LPN, data, spare []byte, now si
 	if err != nil {
 		return now, err
 	}
-	f.m.update(lpn, f.m.ppnOf(addr))
+	f.m.Update(lpn, f.ppnOf(addr))
 	if fromGC {
 		f.st.GCCopies++
-	} else {
-		for len(f.st.HostByLevel) < g.Levels {
-			f.st.HostByLevel = append(f.st.HostByLevel, 0)
+		if level == 0 {
+			f.st.GCCopiesLSB++
+		} else {
+			f.st.GCCopiesMSB++
 		}
-		f.st.HostByLevel[level]++
+	} else {
+		f.byLevel[level]++
+		if level == 0 {
+			f.st.HostWritesLSB++
+		} else {
+			f.st.HostWritesMSB++
+		}
 	}
 	if level == 0 {
 		if !fromGC || f.inBGC {
@@ -116,7 +124,7 @@ func (f *FTL) writePhaseParity(chip, blk, level int, parityPage []byte, now sim.
 		return now, err
 	}
 	f.st.BackupWrites++
-	flat := f.m.flatBlock(chip, blk)
+	flat := f.flatBlock(chip, blk)
 	if f.refs[flat] == nil {
 		f.refs[flat] = make(map[int]parityRef)
 	}
@@ -134,7 +142,7 @@ func (f *FTL) writePhaseParity(chip, blk, level int, parityPage []byte, now sim.
 // recycles stale backup blocks.
 func (f *FTL) invalidateParities(chip, blk int) {
 	cs := &f.chips[chip]
-	flat := f.m.flatBlock(chip, blk)
+	flat := f.flatBlock(chip, blk)
 	for _, ref := range f.refs[flat] {
 		cs.backup.live[ref.backupBlk]--
 	}
@@ -172,19 +180,19 @@ func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data []byte, now sim.Time) (sim.Tim
 // collectVictim relocates a whole victim inline (foreground).
 func (f *FTL) collectVictim(chip, victim int, now sim.Time) (sim.Time, error) {
 	f.pools[chip].TakeFull(victim)
-	g := f.dev.Geometry()
+	a := nand.BlockAddr{Chip: chip, Block: victim}
 	idx := 0
 	for {
-		ppn, nextIdx, ok := f.m.nextValid(chip, victim, idx)
+		ppn, nextIdx, ok := f.m.NextValidFrom(a, idx)
 		if !ok {
 			break
 		}
-		idx = nextIdx + 1
-		lpn, ok := f.m.lpnAt(ppn)
+		idx = nextIdx
+		lpn, ok := f.m.LPNAt(ppn)
 		if !ok {
 			continue
 		}
-		t, err := f.dev.ReadInto(f.m.addrOf(ppn), &f.buf, now)
+		t, err := f.dev.ReadInto(f.addrOf(ppn), &f.buf, now)
 		if err != nil {
 			return now, fmt.Errorf("nflex: GC read: %w", err)
 		}
@@ -193,7 +201,6 @@ func (f *FTL) collectVictim(chip, victim int, now sim.Time) (sim.Time, error) {
 			return now, err
 		}
 	}
-	_ = g
 	done, err := f.dev.Erase(chip, victim, now)
 	if err != nil {
 		return now, err
@@ -253,7 +260,7 @@ func (f *FTL) Idle(now, until sim.Time) {
 			f.bg = bgState{chip: bestChip, blk: best, active: true}
 			f.st.BackgroundGCs++
 		}
-		ppn, nextIdx, ok := f.m.nextValid(f.bg.chip, f.bg.blk, f.bg.nextIdx)
+		ppn, nextIdx, ok := f.m.NextValidFrom(nand.BlockAddr{Chip: f.bg.chip, Block: f.bg.blk}, f.bg.nextIdx)
 		if !ok {
 			done, err := f.dev.Erase(f.bg.chip, f.bg.blk, now)
 			if err != nil {
@@ -269,12 +276,12 @@ func (f *FTL) Idle(now, until sim.Time) {
 		if now+perPage > until {
 			return
 		}
-		f.bg.nextIdx = nextIdx + 1
-		lpn, ok := f.m.lpnAt(ppn)
+		f.bg.nextIdx = nextIdx
+		lpn, ok := f.m.LPNAt(ppn)
 		if !ok {
 			continue
 		}
-		t2, err := f.dev.ReadInto(f.m.addrOf(ppn), &f.buf, now)
+		t2, err := f.dev.ReadInto(f.addrOf(ppn), &f.buf, now)
 		if err != nil {
 			f.pools[f.bg.chip].PushFull(f.bg.blk)
 			f.bg = bgState{}

@@ -1,134 +1,41 @@
 package nflex
 
 import (
-	"fmt"
-
-	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
 	"flexftl/internal/nandn"
 	"flexftl/internal/nlevel"
 )
 
-// mapper is the page-level mapping table over the n-level geometry; a small
-// sibling of ftl.Mapper (which is typed to the 2-bit device).
-type mapper struct {
-	g       nandn.Geometry
-	logical int64
-	l2p     []int64 // -1 unmapped
-	p2l     []ftl.LPN
-	valid   []int32 // per flat block
-	// onValidChange mirrors ftl.Mapper's hook: it fires after every valid
-	// mutation with the affected flat block, keeping the pools' victim
-	// buckets coherent. Nil costs nothing.
-	onValidChange func(flat int)
-}
+// The mapping table itself is the shared ftl.Mapper (constructed over this
+// device's dimensions via ftl.NewMapperDims); what is n-level specific is
+// only the address arithmetic between the mapper's flat PPN space and the
+// device's (chip, block, word line, level) pages, which lives here.
 
-func newMapper(g nandn.Geometry, logical int64) *mapper {
-	m := &mapper{
-		g:       g,
-		logical: logical,
-		l2p:     make([]int64, logical),
-		p2l:     make([]ftl.LPN, g.TotalPages()),
-		valid:   make([]int32, g.TotalBlocks()),
-	}
-	for i := range m.l2p {
-		m.l2p[i] = -1
-	}
-	for i := range m.p2l {
-		m.p2l[i] = -1
-	}
-	return m
-}
-
-// ppnOf flattens a page address.
-func (m *mapper) ppnOf(a nandn.PageAddr) int64 {
-	pp := int64(m.g.PagesPerBlock())
-	return (int64(a.Chip)*int64(m.g.BlocksPerChip)+int64(a.Block))*pp +
-		int64(m.g.Scheme().Index(a.Page))
+// ppnOf flattens an n-level page address into the shared mapper's PPN space.
+func ppnOf(g nandn.Geometry, a nandn.PageAddr) nand.PPN {
+	pp := int64(g.PagesPerBlock())
+	return nand.PPN((int64(a.Chip)*int64(g.BlocksPerChip)+int64(a.Block))*pp +
+		int64(g.Scheme().Index(a.Page)))
 }
 
 // addrOf inverts ppnOf.
-func (m *mapper) addrOf(ppn int64) nandn.PageAddr {
-	pp := int64(m.g.PagesPerBlock())
-	idx := int(ppn % pp)
-	flat := ppn / pp
+func addrOf(g nandn.Geometry, ppn nand.PPN) nandn.PageAddr {
+	pp := int64(g.PagesPerBlock())
+	idx := int(int64(ppn) % pp)
+	flat := int64(ppn) / pp
 	return nandn.PageAddr{
-		Chip:  int(flat / int64(m.g.BlocksPerChip)),
-		Block: int(flat % int64(m.g.BlocksPerChip)),
-		Page:  m.g.Scheme().PageAt(idx),
+		Chip:  int(flat / int64(g.BlocksPerChip)),
+		Block: int(flat % int64(g.BlocksPerChip)),
+		Page:  g.Scheme().PageAt(idx),
 	}
 }
 
-func (m *mapper) flatBlock(chip, blk int) int { return chip*m.g.BlocksPerChip + blk }
+func (f *FTL) ppnOf(a nandn.PageAddr) nand.PPN    { return ppnOf(f.dev.Geometry(), a) }
+func (f *FTL) addrOf(ppn nand.PPN) nandn.PageAddr { return addrOf(f.dev.Geometry(), ppn) }
 
-func (m *mapper) lookup(lpn ftl.LPN) (int64, bool) {
-	if lpn < 0 || int64(lpn) >= m.logical {
-		return -1, false
-	}
-	ppn := m.l2p[lpn]
-	return ppn, ppn >= 0
-}
-
-func (m *mapper) lpnAt(ppn int64) (ftl.LPN, bool) {
-	if ppn < 0 || ppn >= int64(len(m.p2l)) {
-		return -1, false
-	}
-	lpn := m.p2l[ppn]
-	return lpn, lpn >= 0
-}
-
-func (m *mapper) update(lpn ftl.LPN, ppn int64) {
-	if lpn < 0 || int64(lpn) >= m.logical {
-		panic(fmt.Sprintf("nflex: LPN %d out of range", lpn))
-	}
-	if m.p2l[ppn] != -1 {
-		panic(fmt.Sprintf("nflex: PPN %d already mapped", ppn))
-	}
-	if old := m.l2p[lpn]; old >= 0 {
-		m.p2l[old] = -1
-		oldBlk := int(old) / m.g.PagesPerBlock()
-		m.valid[oldBlk]--
-		if m.onValidChange != nil {
-			m.onValidChange(oldBlk)
-		}
-	}
-	m.l2p[lpn] = ppn
-	m.p2l[ppn] = lpn
-	newBlk := int(ppn) / m.g.PagesPerBlock()
-	m.valid[newBlk]++
-	if m.onValidChange != nil {
-		m.onValidChange(newBlk)
-	}
-}
-
-func (m *mapper) invalidate(lpn ftl.LPN) bool {
-	if lpn < 0 || int64(lpn) >= m.logical {
-		return false
-	}
-	old := m.l2p[lpn]
-	if old < 0 {
-		return false
-	}
-	m.l2p[lpn] = -1
-	m.p2l[old] = -1
-	oldBlk := int(old) / m.g.PagesPerBlock()
-	m.valid[oldBlk]--
-	if m.onValidChange != nil {
-		m.onValidChange(oldBlk)
-	}
-	return true
-}
-
-func (m *mapper) validCount(chip, blk int) int { return int(m.valid[m.flatBlock(chip, blk)]) }
-
-// validPPNs lists the valid physical pages of a block from a resume cursor.
-func (m *mapper) nextValid(chip, blk, fromIdx int) (int64, int, bool) {
-	base := int64(m.flatBlock(chip, blk)) * int64(m.g.PagesPerBlock())
-	for i := fromIdx; i < m.g.PagesPerBlock(); i++ {
-		if m.p2l[base+int64(i)] >= 0 {
-			return base + int64(i), i, true
-		}
-	}
-	return -1, m.g.PagesPerBlock(), false
+// flatBlock is the mapper's flat block index for a chip-local block.
+func (f *FTL) flatBlock(chip, blk int) int {
+	return f.m.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})
 }
 
 // spareBlockNo encodes the inverse mapping for parity pages.

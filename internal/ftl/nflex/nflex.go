@@ -11,12 +11,19 @@
 // parity scheme, once per phase), so a power cut during any refinement —
 // which destroys all of the word line's earlier bits — is recoverable
 // without per-write backups.
+//
+// The mapping table, free pools and victim selection are the shared kernel
+// infrastructure (ftl.Mapper, ftl.FreePool); only the n-phase ordering,
+// per-phase parity and the n-level recovery procedure are scheme-local. The
+// scheme registers itself as "nflexTLC" (a 3-bit device with the default TLC
+// timing) in the ftl registry.
 package nflex
 
 import (
 	"fmt"
 
 	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
 	"flexftl/internal/nandn"
 	"flexftl/internal/parity"
 	"flexftl/internal/sim"
@@ -44,16 +51,26 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Stats mirrors the counters the MLC FTLs report, with per-level splits.
-type Stats struct {
-	HostReads     int64
-	HostWrites    int64
-	HostByLevel   []int64
-	GCCopies      int64
-	BackupWrites  int64
-	Erases        int64
-	ForegroundGCs int64
-	BackgroundGCs int64
+func init() {
+	ftl.Register(ftl.Spec{
+		Name:  "nflexTLC",
+		Rules: "TLC-nPO",
+		Description: "n-phase flexFTL on a 3-bit device: nPO ordering, " +
+			"per-phase parity backups, utilization-driven level choice",
+		New: func(env ftl.BuildEnv) (ftl.Host, error) {
+			// The n-level scheme brings its own device: env.Geometry is
+			// MLC-typed and does not apply here.
+			dev, err := nandn.NewDevice(nandn.TLCGeometry(), nandn.TLCTiming())
+			if err != nil {
+				return nil, err
+			}
+			return New(dev, env.Config, Params{
+				UHigh:         env.Flex.UHigh,
+				ULow:          env.Flex.ULow,
+				QuotaFraction: env.Flex.QuotaFraction,
+			})
+		},
+	})
 }
 
 // parityRef locates a phase parity page.
@@ -85,20 +102,21 @@ type chipState struct {
 
 // FTL is the n-phase flexFTL.
 type FTL struct {
-	dev    *nandn.Device
-	params Params
-	cfg    ftl.Config
-	m      *mapper
-	pools  []*ftl.FreePool
-	chips  []chipState
-	st     Stats
-	q      int64
-	q0     int64
-	refs   map[int]map[int]parityRef // flat block -> level -> parity location
-	seq    int64
-	rr     int
-	inBGC  bool
-	bg     bgState
+	dev     *nandn.Device
+	params  Params
+	cfg     ftl.Config
+	m       *ftl.Mapper
+	pools   []*ftl.FreePool
+	chips   []chipState
+	st      ftl.Stats
+	byLevel []int64 // host writes per program level (the n-level LSB/MSB split)
+	q       int64
+	q0      int64
+	refs    map[int]map[int]parityRef // flat block -> level -> parity location
+	seq     int64
+	rr      int
+	inBGC   bool
+	bg      bgState
 	// buf is the reusable read buffer for host reads, GC relocation and
 	// recovery rescans; safe to share because the FTL is single-threaded
 	// and programAt copies the payload before the next read.
@@ -109,6 +127,8 @@ type FTL struct {
 	sp    [8]byte
 	psnap []byte
 }
+
+var _ ftl.Host = (*FTL)(nil)
 
 type bgState struct {
 	chip, blk, nextIdx int
@@ -129,13 +149,14 @@ func New(dev *nandn.Device, cfg ftl.Config, params Params) (*FTL, error) {
 		return nil, fmt.Errorf("nflex: geometry too small")
 	}
 	f := &FTL{
-		dev:    dev,
-		params: params,
-		cfg:    cfg,
-		m:      newMapper(g, logical),
-		pools:  make([]*ftl.FreePool, g.Chips()),
-		chips:  make([]chipState, g.Chips()),
-		refs:   make(map[int]map[int]parityRef),
+		dev:     dev,
+		params:  params,
+		cfg:     cfg,
+		m:       ftl.NewMapperDims(g.Chips(), g.BlocksPerChip, g.PagesPerBlock(), logical),
+		pools:   make([]*ftl.FreePool, g.Chips()),
+		chips:   make([]chipState, g.Chips()),
+		byLevel: make([]int64, g.Levels),
+		refs:    make(map[int]map[int]parityRef),
 	}
 	totalL0 := int64(g.TotalBlocks()) * int64(g.WordLinesPerBlock)
 	f.q = int64(params.QuotaFraction * float64(totalL0))
@@ -162,13 +183,13 @@ func New(dev *nandn.Device, cfg ftl.Config, params Params) (*FTL, error) {
 	for c := range f.pools {
 		chip := c
 		f.pools[c].Bind(g.PagesPerBlock(), func(blk int) int {
-			return f.m.validCount(chip, blk)
+			return f.m.ValidCount(nand.BlockAddr{Chip: chip, Block: blk})
 		})
 	}
 	bpc := g.BlocksPerChip
-	f.m.onValidChange = func(flat int) {
+	f.m.SetValidHook(func(flat int) {
 		f.pools[flat/bpc].NoteValidChange(flat % bpc)
-	}
+	})
 	return f, nil
 }
 
@@ -187,10 +208,12 @@ func (f *FTL) Name() string { return fmt.Sprintf("nflexFTL(%d-level)", f.dev.Geo
 func (f *FTL) Device() *nandn.Device { return f.dev }
 
 // Stats returns the counters.
-func (f *FTL) Stats() Stats {
-	s := f.st
-	s.HostByLevel = append([]int64(nil), f.st.HostByLevel...)
-	return s
+func (f *FTL) Stats() ftl.Stats { return f.st }
+
+// HostWritesByLevel returns the per-program-level split of host writes — the
+// n-level refinement of the kernel's LSB/MSB counters.
+func (f *FTL) HostWritesByLevel() []int64 {
+	return append([]int64(nil), f.byLevel...)
 }
 
 // Quota returns the current level-0 budget q.
@@ -209,7 +232,17 @@ func (f *FTL) ActivePhaseProgress(chip, level int) int {
 }
 
 // LogicalPages returns the host-visible space.
-func (f *FTL) LogicalPages() int64 { return f.m.logical }
+func (f *FTL) LogicalPages() int64 { return f.m.LogicalPages() }
+
+// PageSize returns the data-page size in bytes.
+func (f *FTL) PageSize() int { return f.dev.Geometry().PageSizeBytes }
+
+// Chips returns the chip count.
+func (f *FTL) Chips() int { return f.dev.Geometry().Chips() }
+
+// MappingHash fingerprints the mapping state (ftl.Mapper.StateHash) so
+// equivalence guards can pin it across refactors.
+func (f *FTL) MappingHash() uint64 { return f.m.StateHash() }
 
 // TotalFreeBlocks sums free lists.
 func (f *FTL) TotalFreeBlocks() int {
@@ -266,11 +299,11 @@ func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
 
 // Read services a host page read.
 func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
-	ppn, ok := f.m.lookup(lpn)
+	ppn, ok := f.m.Lookup(lpn)
 	if !ok {
 		return now, fmt.Errorf("%w: %d", ftl.ErrUnmapped, lpn)
 	}
-	done, err := f.dev.ReadInto(f.m.addrOf(ppn), &f.buf, now)
+	done, err := f.dev.ReadInto(f.addrOf(ppn), &f.buf, now)
 	if err != nil {
 		return now, err
 	}
@@ -280,7 +313,9 @@ func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
 
 // Trim invalidates a logical page.
 func (f *FTL) Trim(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
-	f.m.invalidate(lpn)
+	if f.m.Invalidate(lpn) {
+		f.st.HostTrims++
+	}
 	return now, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"flexftl/internal/ftl"
+	"flexftl/internal/nand"
 	"flexftl/internal/nandn"
 	"flexftl/internal/nlevel"
 	"flexftl/internal/rng"
@@ -74,12 +75,13 @@ func TestWriteReadBack(t *testing.T) {
 	if st.HostWrites != 100 || st.HostReads != 100 {
 		t.Errorf("stats: %+v", st)
 	}
+	byLevel := f.HostWritesByLevel()
 	var sum int64
-	for _, n := range st.HostByLevel {
+	for _, n := range byLevel {
 		sum += n
 	}
 	if sum != st.HostWrites {
-		t.Errorf("per-level split %v does not sum to %d", st.HostByLevel, st.HostWrites)
+		t.Errorf("per-level split %v does not sum to %d", byLevel, st.HostWrites)
 	}
 }
 
@@ -113,9 +115,8 @@ func TestHighUtilUsesFastPhase(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := f.Stats()
-	if st.HostByLevel[0] != int64(n) {
-		t.Errorf("fast-phase writes = %d of %d", st.HostByLevel[0], n)
+	if byLevel := f.HostWritesByLevel(); byLevel[0] != int64(n) {
+		t.Errorf("fast-phase writes = %d of %d", byLevel[0], n)
 	}
 	if f.Quota() != 0 {
 		t.Errorf("quota = %d after spending it exactly", f.Quota())
@@ -265,7 +266,7 @@ func TestFastPhaseBurstFaster(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	run := func() Stats {
+	run := func() ftl.Stats {
 		f := newTLC(t)
 		src := rng.New(23)
 		logical := f.LogicalPages()
@@ -320,7 +321,7 @@ func TestPowerFailRecoveryTLC(t *testing.T) {
 	// The two earlier-level pages of this word line.
 	var lostLPNs []ftl.LPN
 	for lvl := 0; lvl < 2; lvl++ {
-		if l, ok := f.m.lpnAt(f.m.ppnOf(pageFor(chip, blk, wl, lvl))); ok {
+		if l, ok := f.m.LPNAt(f.ppnOf(pageFor(chip, blk, wl, lvl))); ok {
 			lostLPNs = append(lostLPNs, l)
 		}
 	}
@@ -424,8 +425,8 @@ func TestQLCGenerality(t *testing.T) {
 	if st.Erases == 0 || st.BackupWrites == 0 {
 		t.Errorf("QLC run missing GC/backups: %+v", st)
 	}
-	if len(st.HostByLevel) != 4 {
-		t.Errorf("per-level split has %d entries", len(st.HostByLevel))
+	if byLevel := f.HostWritesByLevel(); len(byLevel) != 4 {
+		t.Errorf("per-level split has %d entries", len(byLevel))
 	}
 	auditNflex(t, f)
 }
@@ -473,14 +474,14 @@ func auditNflex(t *testing.T, f *FTL) {
 	var sum int64
 	for chip := 0; chip < g.Chips(); chip++ {
 		for blk := 0; blk < g.BlocksPerChip; blk++ {
-			sum += int64(f.m.validCount(chip, blk))
+			sum += int64(f.m.ValidCount(nand.BlockAddr{Chip: chip, Block: blk}))
 		}
 	}
 	var mapped int64
 	for lpn := ftl.LPN(0); int64(lpn) < f.LogicalPages(); lpn++ {
-		if ppn, ok := f.m.lookup(lpn); ok {
+		if ppn, ok := f.m.Lookup(lpn); ok {
 			mapped++
-			if back, ok2 := f.m.lpnAt(ppn); !ok2 || back != lpn {
+			if back, ok2 := f.m.LPNAt(ppn); !ok2 || back != lpn {
 				t.Fatalf("mapping round trip broken at LPN %d", lpn)
 			}
 		}
@@ -513,26 +514,27 @@ func TestInvariantsTLCHeavy(t *testing.T) {
 
 func TestMapperRoundTrip(t *testing.T) {
 	g := tinyGeometry()
-	m := newMapper(g, 100)
+	m := ftl.NewMapperDims(g.Chips(), g.BlocksPerChip, g.PagesPerBlock(), 100)
 	a := pageFor(1, 2, 3, 1)
-	ppn := m.ppnOf(a)
-	if m.addrOf(ppn) != a {
-		t.Fatalf("addr round trip: %v -> %d -> %v", a, ppn, m.addrOf(ppn))
+	ppn := ppnOf(g, a)
+	if addrOf(g, ppn) != a {
+		t.Fatalf("addr round trip: %v -> %d -> %v", a, ppn, addrOf(g, ppn))
 	}
-	m.update(5, ppn)
-	if got, ok := m.lookup(5); !ok || got != ppn {
+	m.Update(5, ppn)
+	if got, ok := m.Lookup(5); !ok || got != ppn {
 		t.Error("lookup failed")
 	}
-	if l, ok := m.lpnAt(ppn); !ok || l != 5 {
+	if l, ok := m.LPNAt(ppn); !ok || l != 5 {
 		t.Error("inverse lookup failed")
 	}
-	if m.validCount(1, 2) != 1 {
+	blkAddr := nand.BlockAddr{Chip: 1, Block: 2}
+	if m.ValidCount(blkAddr) != 1 {
 		t.Error("valid count wrong")
 	}
-	if !m.invalidate(5) || m.invalidate(5) {
+	if !m.Invalidate(5) || m.Invalidate(5) {
 		t.Error("invalidate semantics wrong")
 	}
-	if m.validCount(1, 2) != 0 {
+	if m.ValidCount(blkAddr) != 0 {
 		t.Error("valid count after invalidate")
 	}
 }

@@ -10,16 +10,9 @@ import (
 	"flexftl/internal/sim"
 )
 
-// RecoveryReport summarizes an n-level reboot recovery pass.
-type RecoveryReport struct {
-	PagesRead  int
-	Recovered  []ftl.LPN
-	Dropped    []ftl.LPN
-	Start, End sim.Time
-}
-
-// Duration returns the elapsed virtual time.
-func (r RecoveryReport) Duration() sim.Time { return r.End - r.Start }
+// RecoveryReport summarizes an n-level reboot recovery pass; it is the same
+// report the 2-bit kernel recovery produces.
+type RecoveryReport = ftl.RecoveryReport
 
 // Recover runs the generalized reboot procedure: for every chip and every
 // phase with a partially programmed active block, re-read the phase's pages
@@ -56,12 +49,12 @@ func (f *FTL) recoverChip(chip int, now sim.Time, rep *RecoveryReport) (sim.Time
 
 		// Drop the interrupted write if its page was destroyed.
 		inFlight := pageFor(chip, blk, wl, level)
-		if lpn, ok := f.m.lpnAt(f.m.ppnOf(inFlight)); ok {
+		if lpn, ok := f.m.LPNAt(f.ppnOf(inFlight)); ok {
 			if t, err := f.dev.ReadInto(inFlight, &f.buf, now); err != nil {
 				now = t
 				rep.PagesRead++
 				if errors.Is(err, nandn.ErrUncorrectable) {
-					f.m.invalidate(lpn)
+					f.m.Invalidate(lpn)
 					rep.Dropped = append(rep.Dropped, lpn)
 				}
 			} else {
@@ -133,7 +126,7 @@ func (f *FTL) reconstructPhasePage(chip, blk, lvl int, now sim.Time, rep *Recove
 	if lostWL == -1 {
 		return now, nil
 	}
-	ref, ok := f.refs[f.m.flatBlock(chip, blk)][lvl]
+	ref, ok := f.refs[f.flatBlock(chip, blk)][lvl]
 	if !ok {
 		return now, fmt.Errorf("nflex: no phase-%d parity recorded for chip%d/blk%d", lvl, chip, blk)
 	}
@@ -154,8 +147,8 @@ func (f *FTL) reconstructPhasePage(chip, blk, lvl int, now sim.Time, rep *Recove
 	if err != nil {
 		return now, err
 	}
-	lostPPN := f.m.ppnOf(pageFor(chip, blk, lostWL, lvl))
-	lpn, live := f.m.lpnAt(lostPPN)
+	lostPPN := f.ppnOf(pageFor(chip, blk, lostWL, lvl))
+	lpn, live := f.m.LPNAt(lostPPN)
 	if !live {
 		return now, nil
 	}

@@ -1,0 +1,554 @@
+package ftl
+
+import (
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/nand"
+	"flexftl/internal/obs"
+	"flexftl/internal/sim"
+)
+
+// OrderPolicy owns page placement: which block and which page each program
+// lands on, the block life cycle around it (free pool -> active -> full),
+// foreground reclaim, and any order-specific idle work. The interface is
+// sealed — implementations come from FPSOrderPolicy / FPSPoolOrderPolicy /
+// TwoPhaseOrderPolicy.
+type OrderPolicy interface {
+	init(k *Kernel) error
+	// program writes one data page on the chip under the policy's order,
+	// honoring pref where the order leaves a choice.
+	program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error)
+	// foregroundGC reclaims blocks inline until the chip can absorb the
+	// next program without stalling.
+	foregroundGC(k *Kernel, chip int, now sim.Time) (sim.Time, error)
+	// idleDrain runs order-specific idle work after background GC (the
+	// return-to-fast MSB drain; a no-op for the others).
+	idleDrain(k *Kernel, now, until sim.Time)
+	// fastBudget is how many LSB pages the chip can still serve without
+	// eating into the GC/backup reserve (adaptive allocation input).
+	fastBudget(k *Kernel, chip int) int
+	// slowAvailable reports whether an MSB page can be programmed at all.
+	slowAvailable(k *Kernel, chip int) bool
+}
+
+// cursor tracks one active block's program position.
+type cursor struct {
+	blk int // -1 when no active block
+	pos int
+}
+
+// FPSOrderPolicy returns the strict fixed-program-sequence order: one active
+// block per chip, pages written in the vendor FPS order (pageFTL and
+// parityFTL). Pref is ignored — FPS leaves no choice.
+func FPSOrderPolicy() OrderPolicy { return &fpsSingle{} }
+
+type fpsSingle struct {
+	order  []core.Page // the canonical FPS order, shared by every block
+	active []cursor    // per chip
+}
+
+func (o *fpsSingle) init(k *Kernel) error {
+	g := k.Dev.Geometry()
+	o.order = core.FPSOrder(g.WordLinesPerBlock)
+	o.active = make([]cursor, g.Chips())
+	for c := range o.active {
+		o.active[c] = cursor{blk: -1}
+	}
+	return nil
+}
+
+func (o *fpsSingle) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	cur := &o.active[chip]
+	if cur.blk == -1 {
+		blk, ok := k.Pools[chip].PopFree()
+		if !ok {
+			return now, fmt.Errorf("%s: chip %d out of free blocks", k.name, chip)
+		}
+		cur.blk, cur.pos = blk, 0
+	}
+	page := o.order[cur.pos]
+	addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: cur.blk}, Page: page}
+	done, err := k.Dev.Program(addr, data, spare, now)
+	if err != nil {
+		return now, err
+	}
+	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
+	if page.Type == core.LSB {
+		k.noteData(true, fromGC)
+		done, err = k.bk.afterLSB(k, chip, data, done)
+		if err != nil {
+			return done, err
+		}
+	} else {
+		k.noteData(false, fromGC)
+	}
+	k.alloc.onProgram(k, page.Type == core.LSB, fromGC)
+	cur.pos++
+	if cur.pos == len(o.order) {
+		k.Pools[chip].PushFull(cur.blk)
+		cur.blk = -1
+	}
+	return done, nil
+}
+
+func (o *fpsSingle) foregroundGC(k *Kernel, chip int, now sim.Time) (sim.Time, error) {
+	return k.reserveGC(chip, now, k.Cfg.MinFreeBlocksPerChip+k.bk.extraReserve())
+}
+
+func (o *fpsSingle) idleDrain(*Kernel, sim.Time, sim.Time) {}
+
+func (o *fpsSingle) fastBudget(k *Kernel, chip int) int {
+	budget := 0
+	if cur := o.active[chip]; cur.blk != -1 && o.order[cur.pos].Type == core.LSB {
+		budget++
+	}
+	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - 1; spare > 0 {
+		budget += spare
+	}
+	return budget
+}
+
+func (o *fpsSingle) slowAvailable(k *Kernel, chip int) bool {
+	cur := o.active[chip]
+	return cur.blk != -1 && o.order[cur.pos].Type == core.MSB
+}
+
+// FPSPoolOrderPolicy returns the return-to-fast order modeled on Grupp et
+// al.'s Harey Tortoise: each chip keeps a pool of slots active blocks under
+// FPS so successive writes can land on fast LSB pages, and the idle drain
+// aggressively consumes paired MSB pages so the pool "returns to fast"
+// (rtfFTL uses 8 slots).
+func FPSPoolOrderPolicy(slots int) OrderPolicy { return &fpsPool{slots: slots} }
+
+type fpsPool struct {
+	slots  int
+	order  []core.Page
+	active [][]cursor // [chip][slot]; blk -1 when the slot awaits a block
+}
+
+func (o *fpsPool) init(k *Kernel) error {
+	g := k.Dev.Geometry()
+	if o.slots < 1 {
+		return fmt.Errorf("%s: active pool needs at least one slot", k.name)
+	}
+	if g.BlocksPerChip < o.slots+k.Cfg.MinFreeBlocksPerChip+2 {
+		return fmt.Errorf("%s: %d blocks/chip too few for %d active blocks",
+			k.name, g.BlocksPerChip, o.slots)
+	}
+	o.order = core.FPSOrder(g.WordLinesPerBlock)
+	o.active = make([][]cursor, g.Chips())
+	for c := range o.active {
+		cs := make([]cursor, o.slots)
+		for s := range cs {
+			blk, ok := k.Pools[c].PopFree()
+			if !ok {
+				return fmt.Errorf("%s: chip %d cannot seed active pool", k.name, c)
+			}
+			cs[s] = cursor{blk: blk}
+		}
+		o.active[c] = cs
+	}
+	return nil
+}
+
+// pickSlot returns the index of the most-filled slot whose next page matches
+// wantLSB, or -1 if none. Concentrating writes in the fullest block keeps
+// data of similar age together (near-pageFTL victim quality); the pool's
+// breadth exists for LSB availability, not for striping.
+func (o *fpsPool) pickSlot(chip int, wantLSB bool) int {
+	best, bestPos := -1, -1
+	for s, cur := range o.active[chip] {
+		if cur.blk == -1 {
+			continue
+		}
+		if (o.order[cur.pos].Type == core.LSB) == wantLSB && cur.pos > bestPos {
+			best, bestPos = s, cur.pos
+		}
+	}
+	return best
+}
+
+func (o *fpsPool) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	var err error
+	now, err = o.refillSlots(k, chip, now)
+	if err != nil {
+		return now, err
+	}
+	wantLSB := pref != PrefSlow
+	slot := o.pickSlot(chip, wantLSB)
+	if slot == -1 {
+		slot = o.pickSlot(chip, !wantLSB)
+	}
+	if slot == -1 {
+		return now, fmt.Errorf("%s: chip %d has no programmable active block", k.name, chip)
+	}
+	cur := &o.active[chip][slot]
+	page := o.order[cur.pos]
+
+	addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: cur.blk}, Page: page}
+	done, err := k.Dev.Program(addr, data, spare, now)
+	if err != nil {
+		return now, err
+	}
+	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
+	if page.Type == core.LSB {
+		k.noteData(true, fromGC)
+		done, err = k.bk.afterLSB(k, chip, data, done)
+		if err != nil {
+			return done, err
+		}
+	} else {
+		k.Dev.AckProgram(addr.BlockAddr) // parity pre-backup covers the pair
+		k.noteData(false, fromGC)
+	}
+	k.alloc.onProgram(k, page.Type == core.LSB, fromGC)
+	cur.pos++
+	if cur.pos == len(o.order) {
+		k.Pools[chip].PushFull(cur.blk)
+		cur.blk = -1
+	}
+	return done, nil
+}
+
+// refillSlots tops up empty active slots from the free pool while keeping a
+// reserve for the backup ring and GC; with the pool at reserve it still
+// force-refills one slot so a program is always possible.
+func (o *fpsPool) refillSlots(k *Kernel, chip int, now sim.Time) (sim.Time, error) {
+	reserve := k.Cfg.MinFreeBlocksPerChip
+	for s := range o.active[chip] {
+		if o.active[chip][s].blk != -1 {
+			continue
+		}
+		if k.Pools[chip].FreeCount() <= reserve {
+			break // run with a shallower pool until GC frees blocks
+		}
+		blk, ok := k.Pools[chip].PopFree()
+		if !ok {
+			break
+		}
+		o.active[chip][s] = cursor{blk: blk}
+	}
+	// At least one slot must be usable.
+	for s := range o.active[chip] {
+		if o.active[chip][s].blk != -1 {
+			return now, nil
+		}
+	}
+	blk, ok := k.Pools[chip].PopFree()
+	if !ok {
+		return now, fmt.Errorf("%s: chip %d active pool empty and no free blocks", k.name, chip)
+	}
+	o.active[chip][0] = cursor{blk: blk}
+	return now, nil
+}
+
+// padOneMSB programs the first MSB-next slot with a dummy payload purely to
+// advance its cursor back to an LSB page. The padded page is born invalid —
+// capacity traded for burst readiness, the return-to-fast lifetime weakness.
+func (o *fpsPool) padOneMSB(k *Kernel, chip int, now sim.Time) (sim.Time, error) {
+	slot := o.pickSlot(chip, false)
+	if slot == -1 {
+		return now, nil
+	}
+	cur := &o.active[chip][slot]
+	page := o.order[cur.pos]
+	addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: cur.blk}, Page: page}
+	done, err := k.Dev.Program(addr, nil, nil, now)
+	if err != nil {
+		return now, err
+	}
+	k.Dev.AckProgram(addr.BlockAddr)
+	k.St.PadWrites++
+	k.Obs.Instant(obs.KindPad, int32(chip), now, int64(cur.blk), int64(page.WL))
+	cur.pos++
+	if cur.pos == len(o.order) {
+		k.Pools[chip].PushFull(cur.blk)
+		cur.blk = -1
+	}
+	return done, nil
+}
+
+func (o *fpsPool) foregroundGC(k *Kernel, chip int, now sim.Time) (sim.Time, error) {
+	return k.reserveGC(chip, now, k.Cfg.MinFreeBlocksPerChip+k.bk.extraReserve())
+}
+
+// lsbReadyCount counts active slots whose next page is an LSB page.
+func (o *fpsPool) lsbReadyCount(chip int) int {
+	n := 0
+	for _, cur := range o.active[chip] {
+		if cur.blk != -1 && o.order[cur.pos].Type == core.LSB {
+			n++
+		}
+	}
+	return n
+}
+
+// chipHasMSBNext reports whether the chip's active pool has a slot waiting
+// on an MSB page.
+func (o *fpsPool) chipHasMSBNext(chip int) bool {
+	for _, cur := range o.active[chip] {
+		if cur.blk != -1 && o.order[cur.pos].Type == core.MSB {
+			return true
+		}
+	}
+	return false
+}
+
+// idleDrain aggressively consumes pending paired MSB pages so subsequent
+// bursts land on fast LSB pages again — the return-to-fast drain.
+func (o *fpsPool) idleDrain(k *Kernel, now, until sim.Time) {
+	for chip := range o.active {
+		var err error
+		now, err = o.drainMSBSlots(k, chip, now, until)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// drainMSBSlots relocates valid pages from GC candidates into the chip's
+// MSB-next slots, one page at a time, until the pool is ready for a burst or
+// the idle window closes. When no relocation source exists, slots are padded
+// with dummy MSB programs, but only up to a minimal burst readiness — padding
+// burns capacity, so full return-to-fast is reserved for relocation-backed
+// drains.
+func (o *fpsPool) drainMSBSlots(k *Kernel, chip int, now, until sim.Time) (sim.Time, error) {
+	g := k.Dev.Geometry()
+	t := k.Dev.Timing()
+	perPage := t.Read + 2*t.BusXfer + t.ProgMSB + t.ProgLSB // copy + possible backup
+	for now+perPage <= until && o.chipHasMSBNext(chip) {
+		victim, ok := k.Pools[chip].PickVictim()
+		if !ok {
+			// No relocation source: pad only down to a minimal burst
+			// readiness of two LSB-ready slots — wholesale padding would
+			// waste capacity out of proportion to the bursts it serves.
+			if o.lsbReadyCount(chip) >= 2 {
+				return now, nil
+			}
+			var err error
+			now, err = o.padOneMSB(k, chip, now)
+			if err != nil {
+				return now, err
+			}
+			continue
+		}
+		ppn, hasValid := k.Map.FirstValidPage(nand.BlockAddr{Chip: chip, Block: victim})
+		if !hasValid {
+			// Fully invalid block: erase it instead; that is pure gain.
+			k.Pools[chip].TakeFull(victim)
+			k.Map.ClearBlock(nand.BlockAddr{Chip: chip, Block: victim})
+			done, err := k.Dev.Erase(nand.BlockAddr{Chip: chip, Block: victim}, now)
+			if err != nil {
+				return now, err
+			}
+			k.St.Erases++
+			k.Pools[chip].PushFree(victim)
+			now = done
+			continue
+		}
+		lpn, ok := k.Map.LPNAt(ppn)
+		if !ok {
+			return now, nil
+		}
+		tRead, err := k.Dev.ReadInto(g.AddrOfPPN(ppn), &k.Buf, now)
+		if err != nil {
+			return now, err
+		}
+		done, err := o.program(k, chip, PrefSlow, lpn, k.Buf.Data, k.Buf.Spare, tRead, true)
+		if err != nil {
+			return now, err
+		}
+		k.St.GCCopies++
+		now = done
+	}
+	return now, nil
+}
+
+func (o *fpsPool) fastBudget(k *Kernel, chip int) int {
+	budget := o.lsbReadyCount(chip)
+	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - 1; spare > 0 {
+		budget += spare
+	}
+	return budget
+}
+
+func (o *fpsPool) slowAvailable(k *Kernel, chip int) bool { return o.chipHasMSBNext(chip) }
+
+// TwoPhaseOrderPolicy returns the paper's 2PO block life cycle (Figure 6):
+// each block is first filled with LSB pages only (a "fast block"), then with
+// MSB pages only (a "slow block") — the RPSfull order of Figure 3(a). Free
+// pool -> one active fast block per chip -> slow block queue (FIFO) -> one
+// active slow block per chip -> full pool. Requires an RPS device.
+func TwoPhaseOrderPolicy() OrderPolicy { return &twoPhase{} }
+
+// twoPhaseChip is the per-chip block bookkeeping of the block pool manager.
+type twoPhaseChip struct {
+	afb    int      // active fast block, -1 when none
+	afbPos int      // next LSB word line of the AFB
+	sbq    IntQueue // slow block queue; head is the active slow block
+	asbPos int      // next MSB word line of the head slow block
+}
+
+type twoPhase struct {
+	chips []twoPhaseChip
+}
+
+func (o *twoPhase) init(k *Kernel) error {
+	if k.Dev.Rules().Name() == "FPS" {
+		return fmt.Errorf("%s: device enforces FPS; two-phase ordering requires the RPS scheme", k.name)
+	}
+	o.chips = make([]twoPhaseChip, k.Dev.Geometry().Chips())
+	for c := range o.chips {
+		o.chips[c] = twoPhaseChip{afb: -1}
+	}
+	return nil
+}
+
+// program writes one page of the requested type on the chip, falling back to
+// the other type when the requested one is infeasible, and maintaining the
+// 2PO block life cycle of Figure 6.
+func (o *twoPhase) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	st := &o.chips[chip]
+	useLSB := pref != PrefSlow
+	if useLSB {
+		// Opening a new fast block must leave at least one free block for
+		// the parity-backup writer; redirect to a slow page otherwise.
+		if st.afb == -1 && k.Pools[chip].FreeCount() <= 1 {
+			useLSB = false
+		}
+	}
+	if !useLSB && st.sbq.Len() == 0 {
+		useLSB = true // no slow block exists (footnote 1)
+	}
+	if useLSB {
+		return o.programLSB(k, chip, lpn, data, spare, now, fromGC)
+	}
+	return o.programMSB(k, chip, lpn, data, spare, now, fromGC)
+}
+
+// programLSB writes the next LSB page of the active fast block.
+func (o *twoPhase) programLSB(k *Kernel, chip int, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	st := &o.chips[chip]
+	if st.afb == -1 {
+		blk, ok := k.Pools[chip].PopFree()
+		if !ok {
+			return now, fmt.Errorf("%s: chip %d out of free blocks for a fast block", k.name, chip)
+		}
+		st.afb, st.afbPos = blk, 0
+		k.bk.onFastOpen(k, chip)
+		k.Obs.Instant(obs.KindBlockFast, int32(chip), now, int64(blk), int64(k.Pools[chip].FreeCount()))
+	}
+	addr := nand.PageAddr{
+		BlockAddr: nand.BlockAddr{Chip: chip, Block: st.afb},
+		Page:      core.Page{WL: st.afbPos, Type: core.LSB},
+	}
+	done, err := k.Dev.Program(addr, data, spare, now)
+	if err != nil {
+		return now, err
+	}
+	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
+	done, err = k.bk.afterLSB(k, chip, data, done)
+	if err != nil {
+		return done, err
+	}
+	k.noteData(true, fromGC)
+	k.alloc.onProgram(k, true, fromGC)
+	st.afbPos++
+	if st.afbPos == k.Dev.Geometry().WordLinesPerBlock {
+		// Fast block complete: queue it as a slow block first so the block
+		// pool state stays consistent even if the parity write fails, then
+		// persist its parity page (Figure 7(a)).
+		full := st.afb
+		st.sbq.Push(full)
+		st.afb = -1
+		k.Obs.Instant(obs.KindBlockQueued, int32(chip), now, int64(full), int64(st.sbq.Len()))
+		done, err = k.bk.onFastComplete(k, chip, full, done)
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// programMSB writes the next MSB page of the active slow block (the head of
+// the slow block queue).
+func (o *twoPhase) programMSB(k *Kernel, chip int, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	st := &o.chips[chip]
+	if st.sbq.Len() == 0 {
+		return now, fmt.Errorf("%s: chip %d has no slow block for an MSB write", k.name, chip)
+	}
+	blk := st.sbq.Front()
+	addr := nand.PageAddr{
+		BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
+		Page:      core.Page{WL: st.asbPos, Type: core.MSB},
+	}
+	done, err := k.Dev.Program(addr, data, spare, now)
+	if err != nil {
+		return now, err
+	}
+	// Deliberately no AckProgram here: the paired LSB page is protected by
+	// the block's parity page, and the recovery procedure (recover2po.go)
+	// reconstructs it after a power cut. This is the point of the design —
+	// no per-MSB backup writes.
+	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
+	k.noteData(false, fromGC)
+	k.alloc.onProgram(k, false, fromGC)
+	st.asbPos++
+	if st.asbPos == k.Dev.Geometry().WordLinesPerBlock {
+		// Slow block complete: its parity backup is no longer needed.
+		k.bk.onSlowComplete(k, chip, blk)
+		k.Dev.AckProgram(addr.BlockAddr)
+		k.Pools[chip].PushFull(blk)
+		st.sbq.PopFront()
+		st.asbPos = 0
+		k.Obs.Instant(obs.KindBlockFull, int32(chip), now, int64(blk), int64(st.sbq.Len()))
+	}
+	return done, nil
+}
+
+// foregroundGC reclaims blocks inline only when the write path has no
+// alternative: MSB writes consume no free blocks, so as long as a slow block
+// exists the policy redirects traffic there instead of stalling. Foreground
+// collection therefore runs only when LSB capacity is genuinely required
+// (no slow block) with a thin pool, or when the pool is at the emergency
+// level needed by the parity-backup writer.
+func (o *twoPhase) foregroundGC(k *Kernel, chip int, now sim.Time) (sim.Time, error) {
+	needsLSB := o.chips[chip].sbq.Len() == 0
+	reserve := k.Cfg.MinFreeBlocksPerChip
+	for (needsLSB && k.Pools[chip].FreeCount() < reserve+1) ||
+		k.Pools[chip].FreeCount() < 2 {
+		victim, ok := k.Pools[chip].PickVictim()
+		if !ok {
+			break
+		}
+		var err error
+		now, err = k.CollectVictim(chip, victim, now, k.gcAlloc)
+		if err != nil {
+			return now, err
+		}
+		k.St.ForegroundGCs++
+	}
+	return now, nil
+}
+
+func (o *twoPhase) idleDrain(*Kernel, sim.Time, sim.Time) {}
+
+// fastBudget returns how many LSB pages the chip can still serve without
+// eating into the GC/backup block reserve.
+func (o *twoPhase) fastBudget(k *Kernel, chip int) int {
+	st := &o.chips[chip]
+	w := k.Dev.Geometry().WordLinesPerBlock
+	budget := 0
+	if st.afb != -1 {
+		budget += w - st.afbPos
+	}
+	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - 1; spare > 0 {
+		budget += spare * w
+	}
+	return budget
+}
+
+func (o *twoPhase) slowAvailable(k *Kernel, chip int) bool {
+	return o.chips[chip].sbq.Len() > 0
+}

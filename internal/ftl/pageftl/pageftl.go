@@ -3,141 +3,22 @@
 // fixed program sequence and performs no paired-page backup — the paper uses
 // it as the performance ceiling of an FPS FTL under a no-sudden-power-off
 // assumption.
+//
+// The scheme is a pure configuration of the ftl kernel: the strict FPS order
+// policy, no backup strategy, and the fixed allocator (see ftl.NewPageFTL).
+// This package exists for import-path compatibility and scheme-local tests.
 package pageftl
 
 import (
-	"fmt"
-
-	"flexftl/internal/core"
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
-	"flexftl/internal/sim"
 )
 
 // FTL is the baseline page-mapping FTL.
-type FTL struct {
-	*ftl.Base
-	order  []core.Page // the canonical FPS order, shared by every block
-	active []cursor    // per chip
-}
-
-type cursor struct {
-	blk int // -1 when no active block
-	pos int
-}
-
-var _ ftl.FTL = (*FTL)(nil)
+type FTL = ftl.Kernel
 
 // New builds a pageFTL over the device. The device must enforce FPS (or a
 // superset such as RPS; pageFTL itself always programs in FPS order).
 func New(dev *nand.Device, cfg ftl.Config) (*FTL, error) {
-	base, err := ftl.NewBase(dev, cfg)
-	if err != nil {
-		return nil, err
-	}
-	g := dev.Geometry()
-	f := &FTL{
-		Base:   base,
-		order:  core.FPSOrder(g.WordLinesPerBlock),
-		active: make([]cursor, g.Chips()),
-	}
-	for c := range f.active {
-		f.active[c] = cursor{blk: -1}
-	}
-	return f, nil
-}
-
-// Name identifies the scheme.
-func (f *FTL) Name() string { return "pageFTL" }
-
-// Write services a host page write. util is ignored (pageFTL is performance-
-// asymmetry oblivious).
-func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
-	chip := f.NextChip()
-	done, err := f.program(chip, lpn, f.Token(lpn), f.Spare(lpn), now, false)
-	if err != nil {
-		return now, err
-	}
-	f.St.HostWrites++
-	return done, nil
-}
-
-// Read services a host page read.
-func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
-	return f.ReadLPN(lpn, now)
-}
-
-// program writes one page at the chip's FPS cursor, running foreground GC
-// first if the free pool is low (unless this program *is* GC relocation).
-func (f *FTL) program(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
-	if !fromGC {
-		var err error
-		now, err = f.foregroundGC(chip, now)
-		if err != nil {
-			return now, err
-		}
-	}
-	cur := &f.active[chip]
-	if cur.blk == -1 {
-		blk, ok := f.Pools[chip].PopFree()
-		if !ok {
-			return now, fmt.Errorf("pageftl: chip %d out of free blocks", chip)
-		}
-		cur.blk, cur.pos = blk, 0
-	}
-	page := f.order[cur.pos]
-	addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: cur.blk}, Page: page}
-	done, err := f.Dev.Program(addr, data, spare, now)
-	if err != nil {
-		return now, err
-	}
-	f.Map.Update(lpn, f.Dev.Geometry().PPNOf(addr))
-	if page.Type == core.LSB {
-		if fromGC {
-			f.St.GCCopiesLSB++
-		} else {
-			f.St.HostWritesLSB++
-		}
-	} else {
-		if fromGC {
-			f.St.GCCopiesMSB++
-		} else {
-			f.St.HostWritesMSB++
-		}
-	}
-	cur.pos++
-	if cur.pos == len(f.order) {
-		f.Pools[chip].PushFull(cur.blk)
-		cur.blk = -1
-	}
-	return done, nil
-}
-
-// gcAlloc is the relocation path used by the shared GC engine.
-func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time) (sim.Time, error) {
-	return f.program(chip, lpn, data, spare, now, true)
-}
-
-// foregroundGC reclaims blocks inline until the chip has its minimum free
-// reserve (or no victim remains).
-func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
-	for f.Pools[chip].FreeCount() < f.Cfg.MinFreeBlocksPerChip {
-		victim, ok := f.Pools[chip].PickVictim()
-		if !ok {
-			break
-		}
-		var err error
-		now, err = f.CollectVictim(chip, victim, now, f.gcAlloc)
-		if err != nil {
-			return now, err
-		}
-		f.St.ForegroundGCs++
-	}
-	return now, nil
-}
-
-// Idle runs incremental background GC while free space is below the
-// threshold, resuming partially collected victims across idle windows.
-func (f *FTL) Idle(now, until sim.Time) {
-	f.RunBackgroundGC(now, until, f.BGCWanted, f.gcAlloc)
+	return ftl.NewPageFTL(dev, cfg)
 }

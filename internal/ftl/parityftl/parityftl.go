@@ -5,17 +5,16 @@
 // LSB program emits one parity page to a per-chip backup block. This halves
 // the copy-backup overhead of a naive scheme but still costs ~0.5 extra
 // programs per word line — the gap flexFTL's per-block parity closes.
+//
+// The scheme is a pure configuration of the ftl kernel: the strict FPS order
+// policy, pair-parity pre-backup, and the fixed allocator (see
+// ftl.NewParityFTL). This package exists for import-path compatibility and
+// scheme-local tests.
 package parityftl
 
 import (
-	"fmt"
-
-	"flexftl/internal/core"
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
-	"flexftl/internal/obs"
-	"flexftl/internal/parity"
-	"flexftl/internal/sim"
 )
 
 // PairSize is how many LSB pages share one parity page under FPS (see the
@@ -23,191 +22,9 @@ import (
 const PairSize = 2
 
 // FTL is the parity pre-backup FTL.
-type FTL struct {
-	*ftl.Base
-	order  []core.Page
-	active []cursor
-	backup []backupRing
-	pbuf   []*parity.Buffer // per chip: parity of the LSB pair in flight
-	psnap  []byte           // scratch for parity snapshots (Program copies)
-}
-
-type cursor struct {
-	blk int
-	pos int
-}
-
-// backupRing is a two-deep rotation of backup blocks: parity pages go to the
-// current block; when it fills, the previous one (whose parities have long
-// been superseded by completed MSB programs) is erased and freed.
-type backupRing struct {
-	cur  int // -1 when none
-	pos  int
-	prev int // -1 when none
-}
-
-var _ ftl.FTL = (*FTL)(nil)
+type FTL = ftl.Kernel
 
 // New builds a parityFTL over the device.
 func New(dev *nand.Device, cfg ftl.Config) (*FTL, error) {
-	base, err := ftl.NewBase(dev, cfg)
-	if err != nil {
-		return nil, err
-	}
-	g := dev.Geometry()
-	f := &FTL{
-		Base:   base,
-		order:  core.FPSOrder(g.WordLinesPerBlock),
-		active: make([]cursor, g.Chips()),
-		backup: make([]backupRing, g.Chips()),
-		pbuf:   make([]*parity.Buffer, g.Chips()),
-	}
-	for c := range f.active {
-		f.active[c] = cursor{blk: -1}
-		f.backup[c] = backupRing{cur: -1, prev: -1}
-		// Pages carry TokenSize-byte payloads (see ftl.TokenSize); the
-		// parity accumulator only needs that width.
-		f.pbuf[c] = parity.New(ftl.TokenSize)
-	}
-	return f, nil
-}
-
-// Name identifies the scheme.
-func (f *FTL) Name() string { return "parityFTL" }
-
-// Write services a host page write (util is ignored; parityFTL follows FPS).
-func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
-	chip := f.NextChip()
-	done, err := f.program(chip, lpn, f.Token(lpn), f.Spare(lpn), now, false)
-	if err != nil {
-		return now, err
-	}
-	f.St.HostWrites++
-	return done, nil
-}
-
-// Read services a host page read.
-func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
-	return f.ReadLPN(lpn, now)
-}
-
-func (f *FTL) program(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
-	if !fromGC {
-		var err error
-		now, err = f.foregroundGC(chip, now)
-		if err != nil {
-			return now, err
-		}
-	}
-	cur := &f.active[chip]
-	if cur.blk == -1 {
-		blk, ok := f.Pools[chip].PopFree()
-		if !ok {
-			return now, fmt.Errorf("parityftl: chip %d out of free blocks", chip)
-		}
-		cur.blk, cur.pos = blk, 0
-	}
-	page := f.order[cur.pos]
-	addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: cur.blk}, Page: page}
-	done, err := f.Dev.Program(addr, data, spare, now)
-	if err != nil {
-		return now, err
-	}
-	f.Map.Update(lpn, f.Dev.Geometry().PPNOf(addr))
-	if page.Type == core.LSB {
-		if fromGC {
-			f.St.GCCopiesLSB++
-		} else {
-			f.St.HostWritesLSB++
-		}
-		// Accumulate the pre-backup parity; every PairSize LSB pages emit
-		// one parity page before their paired MSB programs begin.
-		if err := f.pbuf[chip].Add(data); err != nil {
-			return done, err
-		}
-		if f.pbuf[chip].Count() >= PairSize {
-			f.psnap = f.pbuf[chip].SnapshotInto(f.psnap)
-			done, err = f.writeBackup(chip, f.psnap, done)
-			if err != nil {
-				return done, err
-			}
-			f.pbuf[chip].Reset()
-		}
-	} else {
-		if fromGC {
-			f.St.GCCopiesMSB++
-		} else {
-			f.St.HostWritesMSB++
-		}
-	}
-	cur.pos++
-	if cur.pos == len(f.order) {
-		f.Pools[chip].PushFull(cur.blk)
-		cur.blk = -1
-	}
-	return done, nil
-}
-
-// writeBackup programs one parity page into the chip's backup ring,
-// rotating blocks as they fill.
-func (f *FTL) writeBackup(chip int, page []byte, now sim.Time) (sim.Time, error) {
-	ring := &f.backup[chip]
-	if ring.cur == -1 {
-		blk, ok := f.Pools[chip].PopFree()
-		if !ok {
-			return now, fmt.Errorf("parityftl: chip %d has no free block for backups", chip)
-		}
-		ring.cur, ring.pos = blk, 0
-	}
-	addr := nand.PageAddr{
-		BlockAddr: nand.BlockAddr{Chip: chip, Block: ring.cur},
-		Page:      f.order[ring.pos],
-	}
-	done, err := f.Dev.Program(addr, page, nil, now)
-	if err != nil {
-		return now, err
-	}
-	f.St.BackupWrites++
-	f.Obs.Instant(obs.KindBackup, int32(chip), now, int64(ring.cur), int64(ring.pos))
-	ring.pos++
-	if ring.pos == len(f.order) {
-		// Rotate: recycle the previous backup block. Its newest parity is
-		// a full backup-block's worth of word lines old, far beyond the
-		// FPS paired-MSB window, so everything in it is stale.
-		if ring.prev != -1 {
-			done, err = f.EraseAndFree(chip, ring.prev, done)
-			if err != nil {
-				return done, err
-			}
-		}
-		ring.prev, ring.cur = ring.cur, -1
-	}
-	return done, nil
-}
-
-func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time) (sim.Time, error) {
-	return f.program(chip, lpn, data, spare, now, true)
-}
-
-func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
-	// Keep one extra block of reserve beyond pageFTL: the backup ring can
-	// claim a block at any moment.
-	for f.Pools[chip].FreeCount() < f.Cfg.MinFreeBlocksPerChip+1 {
-		victim, ok := f.Pools[chip].PickVictim()
-		if !ok {
-			break
-		}
-		var err error
-		now, err = f.CollectVictim(chip, victim, now, f.gcAlloc)
-		if err != nil {
-			return now, err
-		}
-		f.St.ForegroundGCs++
-	}
-	return now, nil
-}
-
-// Idle runs incremental background GC exactly like pageFTL.
-func (f *FTL) Idle(now, until sim.Time) {
-	f.RunBackgroundGC(now, until, f.BGCWanted, f.gcAlloc)
+	return ftl.NewParityFTL(dev, cfg)
 }

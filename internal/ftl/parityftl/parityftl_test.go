@@ -108,12 +108,13 @@ func TestBackupBlocksRecycled(t *testing.T) {
 		}
 		now = done
 	}
-	for c := range f.backup {
+	for c := 0; c < fx.F.Device().Geometry().Chips(); c++ {
+		cur, prev := f.BackupRing(c)
 		depth := 0
-		if f.backup[c].cur != -1 {
+		if cur != -1 {
 			depth++
 		}
-		if f.backup[c].prev != -1 {
+		if prev != -1 {
 			depth++
 		}
 		if depth > 2 {

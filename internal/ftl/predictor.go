@@ -1,4 +1,4 @@
-package flexftl
+package ftl
 
 // writePredictor estimates the write volume of the next active period from
 // an exponentially weighted moving average of past periods — the "page

@@ -1,10 +1,9 @@
-package flexftl
+package ftl
 
 import (
 	"testing"
 
 	"flexftl/internal/core"
-	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
 	"flexftl/internal/rng"
 	"flexftl/internal/sim"
@@ -53,22 +52,22 @@ func TestWritePredictorConverges(t *testing.T) {
 // history, the collector keeps more free fast capacity than the fixed
 // cushion alone.
 func TestPredictiveBGCReclaimsDeeper(t *testing.T) {
-	build := func(predictive bool) *FTL {
+	build := func(predictive bool) *Kernel {
 		dev, err := nand.NewDevice(nand.Config{
 			Geometry: nand.TestGeometry(), Timing: nand.DefaultTiming(), Rules: core.RPS,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		params := DefaultParams()
+		params := DefaultFlexParams()
 		params.PredictiveBGC = predictive
-		f, err := New(dev, ftl.DefaultConfig(), params)
+		f, err := NewFlexFTL(dev, DefaultConfig(), params)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return f
 	}
-	run := func(f *FTL) int {
+	run := func(f *Kernel) int {
 		src := rng.New(5)
 		logical := f.LogicalPages()
 		z := rng.NewZipf(src, int(logical), 0.9)
@@ -76,7 +75,7 @@ func TestPredictiveBGCReclaimsDeeper(t *testing.T) {
 		// Bursts of ~400 page writes separated by generous idle windows.
 		for burst := 0; burst < 12; burst++ {
 			for i := 0; i < 400; i++ {
-				done, err := f.Write(ftl.LPN(z.Next()), now, 0.9)
+				done, err := f.Write(LPN(z.Next()), now, 0.9)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -104,10 +103,10 @@ func TestPredictorDefaultAlphaFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	params := DefaultParams()
+	params := DefaultFlexParams()
 	params.PredictiveBGC = true
 	params.PredictorAlpha = -1
-	f, err := New(dev, ftl.DefaultConfig(), params)
+	f, err := NewFlexFTL(dev, DefaultConfig(), params)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,185 @@
+package ftl
+
+import (
+	"fmt"
+
+	"flexftl/internal/core"
+	"flexftl/internal/nand"
+)
+
+// BuildEnv carries everything a registered FTL constructor may need. Specs
+// build their own device — the rule set an FTL requires (FPS vs RPS, MLC vs
+// TLC) is part of the scheme, not the caller's business.
+type BuildEnv struct {
+	// Geometry of the device to simulate (MLC schemes; the TLC scheme uses
+	// its own nandn geometry and ignores this).
+	Geometry nand.Geometry
+	// Config is the shared FTL configuration (over-provisioning, GC knobs).
+	Config Config
+	// Flex parameterizes the adaptive allocator for schemes that mount it.
+	Flex FlexParams
+}
+
+// Spec describes one registered FTL: its name, the program-order scheme its
+// device enforces, and a constructor.
+type Spec struct {
+	// Name is the registry key ("pageFTL", "flexFTL", "rtfFTL-adaptive", ...).
+	Name string
+	// Rules names the device rule set the scheme runs on ("FPS", "RPS", or a
+	// device-specific label like "TLC-nPO").
+	Rules string
+	// Description is a one-line summary for -list output.
+	Description string
+	// Hybrid marks policy combinations that exist only as registry entries
+	// (no paper counterpart); the ablation driver reports them separately.
+	Hybrid bool
+	// IdleSpendsFree marks schemes whose idle work consumes capacity (the
+	// return-to-fast padding); conformance tests relax free-space checks.
+	IdleSpendsFree bool
+	// New builds the FTL over a fresh device.
+	New func(env BuildEnv) (Host, error)
+}
+
+var registry = struct {
+	names []string
+	specs map[string]Spec
+}{specs: make(map[string]Spec)}
+
+// Register adds a spec to the registry. It is meant to be called from init
+// functions (the registry is not locked); registering a duplicate or an
+// incomplete spec panics.
+func Register(s Spec) {
+	if s.Name == "" || s.New == nil {
+		panic("ftl: Register needs a name and a constructor")
+	}
+	if _, dup := registry.specs[s.Name]; dup {
+		panic(fmt.Sprintf("ftl: duplicate registration of %q", s.Name))
+	}
+	registry.names = append(registry.names, s.Name)
+	registry.specs[s.Name] = s
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	s, ok := registry.specs[name]
+	return s, ok
+}
+
+// Names returns all registered names in registration order.
+func Names() []string {
+	return append([]string(nil), registry.names...)
+}
+
+// Build constructs the named FTL over a fresh device.
+func Build(name string, env BuildEnv) (Host, error) {
+	s, ok := registry.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("ftl: unknown scheme %q (have %v)", name, Names())
+	}
+	return s.New(env)
+}
+
+// mlcDevice builds the NAND device for an MLC scheme under the named rule
+// set.
+func mlcDevice(env BuildEnv, rules string) (*nand.Device, error) {
+	var rs core.RuleSet
+	switch rules {
+	case "FPS":
+		rs = core.FPS
+	case "RPS":
+		rs = core.RPS
+	default:
+		return nil, fmt.Errorf("ftl: unknown rule set %q", rules)
+	}
+	return nand.NewDevice(nand.Config{Geometry: env.Geometry, Timing: nand.DefaultTiming(), Rules: rs})
+}
+
+// mlcEntry wraps an MLC kernel constructor as a registry constructor.
+func mlcEntry(rules string, build func(dev *nand.Device, env BuildEnv) (*Kernel, error)) func(BuildEnv) (Host, error) {
+	return func(env BuildEnv) (Host, error) {
+		dev, err := mlcDevice(env, rules)
+		if err != nil {
+			return nil, err
+		}
+		return build(dev, env)
+	}
+}
+
+func init() {
+	// The four FTLs of the paper's evaluation, in the paper's order.
+	Register(Spec{
+		Name:        "pageFTL",
+		Rules:       "FPS",
+		Description: "baseline FPS page mapping, no paired-page backup",
+		New: mlcEntry("FPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			return NewPageFTL(dev, env.Config)
+		}),
+	})
+	Register(Spec{
+		Name:        "parityFTL",
+		Rules:       "FPS",
+		Description: "FPS with XOR parity pre-backup per LSB pair",
+		New: mlcEntry("FPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			return NewParityFTL(dev, env.Config)
+		}),
+	})
+	Register(Spec{
+		Name:           "rtfFTL",
+		Rules:          "FPS",
+		Description:    "return-to-fast active-block pool with pair parity",
+		IdleSpendsFree: true,
+		New: mlcEntry("FPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			return NewRTFFTL(dev, env.Config)
+		}),
+	})
+	Register(Spec{
+		Name:        "flexFTL",
+		Rules:       "RPS",
+		Description: "RPS two-phase ordering, block parity, adaptive u/q allocation",
+		New: mlcEntry("RPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			return NewFlexFTL(dev, env.Config, env.Flex)
+		}),
+	})
+
+	// Hybrids: policy combinations with no paper counterpart, possible only
+	// because every scheme is a Kernel configuration. They quantify one
+	// design axis each in the ablation driver.
+	Register(Spec{
+		Name:        "flexFTL-nobackup",
+		Rules:       "RPS",
+		Description: "flexFTL without parity backup (upper bound; unsafe under power cuts)",
+		Hybrid:      true,
+		New: mlcEntry("RPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			if err := env.Flex.Validate(); err != nil {
+				return nil, err
+			}
+			return NewKernel(dev, env.Config, KernelSpec{
+				Name:           "flexFTL-nobackup",
+				Order:          TwoPhaseOrderPolicy(),
+				Backup:         NoBackupStrategy(),
+				Alloc:          AdaptiveAllocPolicy(env.Flex),
+				RetokenizeGC:   true,
+				Predictive:     env.Flex.PredictiveBGC,
+				PredictorAlpha: env.Flex.PredictorAlpha,
+			})
+		}),
+	})
+	Register(Spec{
+		Name:           "rtfFTL-adaptive",
+		Rules:          "FPS",
+		Description:    "return-to-fast pool driven by the adaptive u/q allocator",
+		Hybrid:         true,
+		IdleSpendsFree: true,
+		New: mlcEntry("FPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			if err := env.Flex.Validate(); err != nil {
+				return nil, err
+			}
+			return NewKernel(dev, env.Config, KernelSpec{
+				Name:   "rtfFTL-adaptive",
+				Order:  FPSPoolOrderPolicy(8),
+				Backup: PairParityBackup(2),
+				Alloc:  AdaptiveAllocPolicy(env.Flex),
+			})
+		}),
+	})
+}

@@ -8,17 +8,16 @@
 // pages — which is the best an FPS FTL can do (the paper's footnote 4); the
 // scheme still erases more than parityFTL because the aggressive drain
 // spends pages (including padding writes when no relocation source exists).
+//
+// The scheme is a pure configuration of the ftl kernel: the FPS active-pool
+// order policy, pair-parity pre-backup, and the fixed fast/slow allocator
+// (see ftl.NewRTFFTL). This package exists for import-path compatibility and
+// scheme-local tests.
 package rtfftl
 
 import (
-	"fmt"
-
-	"flexftl/internal/core"
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
-	"flexftl/internal/obs"
-	"flexftl/internal/parity"
-	"flexftl/internal/sim"
 )
 
 // ActiveBlocksPerChip is the active pool depth of the paper's rtfFTL
@@ -29,380 +28,9 @@ const ActiveBlocksPerChip = 8
 const PairSize = 2
 
 // FTL is the return-to-fast FTL.
-type FTL struct {
-	*ftl.Base
-	order  []core.Page
-	active [][]cursor // [chip][slot]; blk -1 when the slot awaits a block
-	backup []backupRing
-	pbuf   []*parity.Buffer // per chip: parity of the LSB pair in flight
-	psnap  []byte           // scratch for parity snapshots (Program copies)
-}
-
-type cursor struct {
-	blk int
-	pos int
-}
-
-type backupRing struct {
-	cur  int
-	pos  int
-	prev int
-}
-
-var _ ftl.FTL = (*FTL)(nil)
+type FTL = ftl.Kernel
 
 // New builds an rtfFTL over the device.
 func New(dev *nand.Device, cfg ftl.Config) (*FTL, error) {
-	base, err := ftl.NewBase(dev, cfg)
-	if err != nil {
-		return nil, err
-	}
-	g := dev.Geometry()
-	if g.BlocksPerChip < ActiveBlocksPerChip+cfg.MinFreeBlocksPerChip+2 {
-		return nil, fmt.Errorf("rtfftl: %d blocks/chip too few for %d active blocks",
-			g.BlocksPerChip, ActiveBlocksPerChip)
-	}
-	f := &FTL{
-		Base:   base,
-		order:  core.FPSOrder(g.WordLinesPerBlock),
-		active: make([][]cursor, g.Chips()),
-		backup: make([]backupRing, g.Chips()),
-		pbuf:   make([]*parity.Buffer, g.Chips()),
-	}
-	for c := range f.active {
-		slots := make([]cursor, ActiveBlocksPerChip)
-		for s := range slots {
-			blk, ok := f.Pools[c].PopFree()
-			if !ok {
-				return nil, fmt.Errorf("rtfftl: chip %d cannot seed active pool", c)
-			}
-			slots[s] = cursor{blk: blk}
-		}
-		f.active[c] = slots
-		f.backup[c] = backupRing{cur: -1, prev: -1}
-		f.pbuf[c] = parity.New(ftl.TokenSize)
-	}
-	return f, nil
-}
-
-// Name identifies the scheme.
-func (f *FTL) Name() string { return "rtfFTL" }
-
-// Write services a host page write, preferring a fast LSB page from the
-// active pool.
-func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
-	chip := f.NextChip()
-	done, err := f.program(chip, lpn, f.Token(lpn), f.Spare(lpn), now, false, true)
-	if err != nil {
-		return now, err
-	}
-	f.St.HostWrites++
-	return done, nil
-}
-
-// Read services a host page read.
-func (f *FTL) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
-	return f.ReadLPN(lpn, now)
-}
-
-// pickSlot returns the index of the most-filled slot whose next page matches
-// wantLSB, or -1 if none. Concentrating writes in the fullest block keeps
-// data of similar age together (near-pageFTL victim quality); the pool's
-// breadth exists for LSB availability, not for striping.
-func (f *FTL) pickSlot(chip int, wantLSB bool) int {
-	best, bestPos := -1, -1
-	for s, cur := range f.active[chip] {
-		if cur.blk == -1 {
-			continue
-		}
-		if (f.order[cur.pos].Type == core.LSB) == wantLSB && cur.pos > bestPos {
-			best, bestPos = s, cur.pos
-		}
-	}
-	return best
-}
-
-// program writes one page on the chip. preferLSB selects the return-to-fast
-// preference (hosts prefer LSB; idle GC prefers MSB to drain slow pages).
-func (f *FTL) program(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time, fromGC, preferLSB bool) (sim.Time, error) {
-	if !fromGC {
-		var err error
-		now, err = f.foregroundGC(chip, now)
-		if err != nil {
-			return now, err
-		}
-	}
-	var err error
-	now, err = f.refillSlots(chip, now)
-	if err != nil {
-		return now, err
-	}
-	slot := f.pickSlot(chip, preferLSB)
-	if slot == -1 {
-		slot = f.pickSlot(chip, !preferLSB)
-	}
-	if slot == -1 {
-		return now, fmt.Errorf("rtfftl: chip %d has no programmable active block", chip)
-	}
-	cur := &f.active[chip][slot]
-	page := f.order[cur.pos]
-
-	addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: cur.blk}, Page: page}
-	done, err := f.Dev.Program(addr, data, spare, now)
-	if err != nil {
-		return now, err
-	}
-	f.Map.Update(lpn, f.Dev.Geometry().PPNOf(addr))
-	if page.Type == core.LSB {
-		if fromGC {
-			f.St.GCCopiesLSB++
-		} else {
-			f.St.HostWritesLSB++
-		}
-		// Pre-backup parity: every PairSize LSB programs emit one parity
-		// page, covering the paired-page hazard before the MSBs arrive.
-		if err := f.pbuf[chip].Add(data); err != nil {
-			return done, err
-		}
-		if f.pbuf[chip].Count() >= PairSize {
-			f.psnap = f.pbuf[chip].SnapshotInto(f.psnap)
-			done, err = f.writeBackup(chip, f.psnap, done)
-			if err != nil {
-				return done, err
-			}
-			f.pbuf[chip].Reset()
-		}
-	} else {
-		f.Dev.AckProgram(addr.BlockAddr) // parity pre-backup covers the pair
-		if fromGC {
-			f.St.GCCopiesMSB++
-		} else {
-			f.St.HostWritesMSB++
-		}
-	}
-	cur.pos++
-	if cur.pos == len(f.order) {
-		f.Pools[chip].PushFull(cur.blk)
-		cur.blk = -1
-	}
-	return done, nil
-}
-
-// refillSlots tops up empty active slots from the free pool while keeping a
-// reserve for the backup ring and GC; with the pool at reserve it still
-// force-refills one slot so a program is always possible.
-func (f *FTL) refillSlots(chip int, now sim.Time) (sim.Time, error) {
-	reserve := f.Cfg.MinFreeBlocksPerChip
-	for s := range f.active[chip] {
-		if f.active[chip][s].blk != -1 {
-			continue
-		}
-		if f.Pools[chip].FreeCount() <= reserve {
-			break // run with a shallower pool until GC frees blocks
-		}
-		blk, ok := f.Pools[chip].PopFree()
-		if !ok {
-			break
-		}
-		f.active[chip][s] = cursor{blk: blk}
-	}
-	// At least one slot must be usable.
-	for s := range f.active[chip] {
-		if f.active[chip][s].blk != -1 {
-			return now, nil
-		}
-	}
-	blk, ok := f.Pools[chip].PopFree()
-	if !ok {
-		return now, fmt.Errorf("rtfftl: chip %d active pool empty and no free blocks", chip)
-	}
-	f.active[chip][0] = cursor{blk: blk}
-	return now, nil
-}
-
-// writeBackup programs one parity page into the chip's backup ring.
-func (f *FTL) writeBackup(chip int, data []byte, now sim.Time) (sim.Time, error) {
-	ring := &f.backup[chip]
-	if ring.cur == -1 {
-		blk, ok := f.Pools[chip].PopFree()
-		if !ok {
-			return now, fmt.Errorf("rtfftl: chip %d has no free block for backups", chip)
-		}
-		ring.cur, ring.pos = blk, 0
-	}
-	addr := nand.PageAddr{
-		BlockAddr: nand.BlockAddr{Chip: chip, Block: ring.cur},
-		Page:      f.order[ring.pos],
-	}
-	done, err := f.Dev.Program(addr, data, nil, now)
-	if err != nil {
-		return now, err
-	}
-	f.St.BackupWrites++
-	f.Obs.Instant(obs.KindBackup, int32(chip), now, int64(ring.cur), int64(ring.pos))
-	ring.pos++
-	if ring.pos == len(f.order) {
-		// A filled backup block's parities are long stale (their paired
-		// MSB windows closed many word lines ago); recycle the previous.
-		if ring.prev != -1 {
-			done, err = f.EraseAndFree(chip, ring.prev, done)
-			if err != nil {
-				return done, err
-			}
-		}
-		ring.prev, ring.cur = ring.cur, -1
-	}
-	return done, nil
-}
-
-// padOneMSB programs the first MSB-next slot with a dummy payload purely to
-// advance its cursor back to an LSB page. The padded page is born invalid —
-// capacity traded for burst readiness, rtfFTL's lifetime weakness.
-func (f *FTL) padOneMSB(chip int, now sim.Time) (sim.Time, error) {
-	slot := f.pickSlot(chip, false)
-	if slot == -1 {
-		return now, nil
-	}
-	cur := &f.active[chip][slot]
-	page := f.order[cur.pos]
-	addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: cur.blk}, Page: page}
-	done, err := f.Dev.Program(addr, nil, nil, now)
-	if err != nil {
-		return now, err
-	}
-	f.Dev.AckProgram(addr.BlockAddr)
-	f.St.PadWrites++
-	f.Obs.Instant(obs.KindPad, int32(chip), now, int64(cur.blk), int64(page.WL))
-	cur.pos++
-	if cur.pos == len(f.order) {
-		f.Pools[chip].PushFull(cur.blk)
-		cur.blk = -1
-	}
-	return done, nil
-}
-
-// gcAlloc relocates a page, consuming MSB pages by preference — the
-// return-to-fast drain.
-func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data, spare []byte, now sim.Time) (sim.Time, error) {
-	return f.program(chip, lpn, data, spare, now, true, false)
-}
-
-func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
-	for f.Pools[chip].FreeCount() < f.Cfg.MinFreeBlocksPerChip+1 {
-		victim, ok := f.Pools[chip].PickVictim()
-		if !ok {
-			break
-		}
-		var err error
-		now, err = f.CollectVictim(chip, victim, now, f.gcAlloc)
-		if err != nil {
-			return now, err
-		}
-		f.St.ForegroundGCs++
-	}
-	return now, nil
-}
-
-// lsbReadyCount counts active slots whose next page is an LSB page.
-func (f *FTL) lsbReadyCount(chip int) int {
-	n := 0
-	for _, cur := range f.active[chip] {
-		if cur.blk != -1 && f.order[cur.pos].Type == core.LSB {
-			n++
-		}
-	}
-	return n
-}
-
-// chipHasMSBNext reports whether the chip's active pool has a slot waiting
-// on an MSB page.
-func (f *FTL) chipHasMSBNext(chip int) bool {
-	for _, cur := range f.active[chip] {
-		if cur.blk != -1 && f.order[cur.pos].Type == core.MSB {
-			return true
-		}
-	}
-	return false
-}
-
-// msbNextSlots reports whether any chip has an active slot waiting on an MSB
-// page (i.e. the pool has not fully "returned to fast").
-func (f *FTL) msbNextSlots() bool {
-	for chip := range f.active {
-		if f.chipHasMSBNext(chip) {
-			return true
-		}
-	}
-	return false
-}
-
-// Idle first reclaims space incrementally like the other FTLs, then
-// aggressively consumes pending paired MSB pages so subsequent bursts land
-// on fast LSB pages again — the return-to-fast drain.
-func (f *FTL) Idle(now, until sim.Time) {
-	now = f.RunBackgroundGC(now, until, f.BGCWanted, f.gcAlloc)
-	for chip := range f.active {
-		var err error
-		now, err = f.drainMSBSlots(chip, now, until)
-		if err != nil {
-			return
-		}
-	}
-}
-
-// drainMSBSlots relocates valid pages from GC candidates into the chip's
-// MSB-next slots, one page at a time, until the pool is ready for a burst or
-// the idle window closes. When no relocation source exists, slots are padded
-// with dummy MSB programs, but only up to half the pool — padding burns
-// capacity, so full return-to-fast is reserved for relocation-backed drains.
-func (f *FTL) drainMSBSlots(chip int, now, until sim.Time) (sim.Time, error) {
-	g := f.Dev.Geometry()
-	t := f.Dev.Timing()
-	perPage := t.Read + 2*t.BusXfer + t.ProgMSB + t.ProgLSB // copy + possible backup
-	for now+perPage <= until && f.chipHasMSBNext(chip) {
-		victim, ok := f.Pools[chip].PickVictim()
-		if !ok {
-			// No relocation source: pad only down to a minimal burst
-			// readiness of two LSB-ready slots — wholesale padding would
-			// waste capacity out of proportion to the bursts it serves.
-			if f.lsbReadyCount(chip) >= 2 {
-				return now, nil
-			}
-			var err error
-			now, err = f.padOneMSB(chip, now)
-			if err != nil {
-				return now, err
-			}
-			continue
-		}
-		ppn, hasValid := f.Map.FirstValidPage(nand.BlockAddr{Chip: chip, Block: victim})
-		if !hasValid {
-			// Fully invalid block: erase it instead; that is pure gain.
-			f.Pools[chip].TakeFull(victim)
-			f.Map.ClearBlock(nand.BlockAddr{Chip: chip, Block: victim})
-			done, err := f.Dev.Erase(nand.BlockAddr{Chip: chip, Block: victim}, now)
-			if err != nil {
-				return now, err
-			}
-			f.St.Erases++
-			f.Pools[chip].PushFree(victim)
-			now = done
-			continue
-		}
-		lpn, ok := f.Map.LPNAt(ppn)
-		if !ok {
-			return now, nil
-		}
-		tRead, err := f.Dev.ReadInto(g.AddrOfPPN(ppn), &f.Buf, now)
-		if err != nil {
-			return now, err
-		}
-		done, err := f.program(chip, lpn, f.Buf.Data, f.Buf.Spare, tRead, true, false)
-		if err != nil {
-			return now, err
-		}
-		f.St.GCCopies++
-		now = done
-	}
-	return now, nil
+	return ftl.NewRTFFTL(dev, cfg)
 }

@@ -109,7 +109,15 @@ func TestIdleReturnsToFast(t *testing.T) {
 		}
 		now = done
 	}
-	if !f.msbNextSlots() {
+	gPre := fx.F.Device().Geometry()
+	msbPending := false
+	for chip := 0; chip < gPre.Chips(); chip++ {
+		if f.PoolHasMSBNext(chip) {
+			msbPending = true
+			break
+		}
+	}
+	if !msbPending {
 		t.Skip("fill left the pool all-LSB already")
 	}
 	fx.F.Idle(now, now+20*sim.Second)
@@ -118,7 +126,7 @@ func TestIdleReturnsToFast(t *testing.T) {
 	g := fx.F.Device().Geometry()
 	const minReady = 2
 	for chip := 0; chip < g.Chips(); chip++ {
-		if got := f.lsbReadyCount(chip); got < minReady {
+		if got := f.LSBReadySlots(chip); got < minReady {
 			t.Errorf("chip %d only %d/%d slots LSB-ready after idle", chip, got, ActiveBlocksPerChip)
 		}
 	}

@@ -1,0 +1,64 @@
+package ftl
+
+import "flexftl/internal/nand"
+
+// This file expresses the paper's four MLC FTLs as kernel configurations —
+// each scheme is nothing but a policy triple. The subpackages (pageftl,
+// parityftl, rtfftl, flexftl) re-export these constructors for compatibility;
+// the registry exposes them (plus hybrids) by name.
+
+// NewPageFTL builds the baseline FPS page-mapping FTL: strict vendor program
+// order, no paired-page backup — the paper's performance ceiling for an FPS
+// FTL under a no-sudden-power-off assumption.
+func NewPageFTL(dev *nand.Device, cfg Config) (*Kernel, error) {
+	return NewKernel(dev, cfg, KernelSpec{
+		Name:   "pageFTL",
+		Order:  FPSOrderPolicy(),
+		Backup: NoBackupStrategy(),
+		Alloc:  FixedAllocPolicy(PrefOrder, PrefOrder),
+	})
+}
+
+// NewParityFTL builds the FPS FTL with parity-based pre-backup (the Section 2
+// countermeasure): every PairSize LSB programs emit one XOR parity page into
+// a per-chip backup ring, covering the paired-page hazard before the MSBs
+// arrive.
+func NewParityFTL(dev *nand.Device, cfg Config) (*Kernel, error) {
+	return NewKernel(dev, cfg, KernelSpec{
+		Name:   "parityFTL",
+		Order:  FPSOrderPolicy(),
+		Backup: PairParityBackup(2),
+		Alloc:  FixedAllocPolicy(PrefOrder, PrefOrder),
+	})
+}
+
+// NewRTFFTL builds the return-to-fast FTL modeled on Grupp et al.'s Harey
+// Tortoise: a pool of eight active FPS blocks per chip keeps LSB pages
+// available for bursts, idle time drains (or pads) pending MSB pages, and
+// pair parity covers the power-cut hazard.
+func NewRTFFTL(dev *nand.Device, cfg Config) (*Kernel, error) {
+	return NewKernel(dev, cfg, KernelSpec{
+		Name:   "rtfFTL",
+		Order:  FPSPoolOrderPolicy(8),
+		Backup: PairParityBackup(2),
+		Alloc:  FixedAllocPolicy(PrefFast, PrefSlow),
+	})
+}
+
+// NewFlexFTL builds the paper's RPS-aware FTL: two-phase ordering, per-block
+// parity backup, and the adaptive u/q page allocation of Section 3.2. The
+// device must enforce RPS (or be unconstrained).
+func NewFlexFTL(dev *nand.Device, cfg Config, p FlexParams) (*Kernel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return NewKernel(dev, cfg, KernelSpec{
+		Name:           "flexFTL",
+		Order:          TwoPhaseOrderPolicy(),
+		Backup:         BlockParityBackup(),
+		Alloc:          AdaptiveAllocPolicy(p),
+		RetokenizeGC:   true,
+		Predictive:     p.PredictiveBGC,
+		PredictorAlpha: p.PredictorAlpha,
+	})
+}

@@ -124,9 +124,11 @@ func (h *inflightHeap) pop() inflight {
 	return top
 }
 
-// System binds an FTL to the runner state.
+// System binds an FTL to the runner state. The runner needs only the
+// device-agnostic Host surface, so it drives the MLC kernels and the n-level
+// nflex scheme alike.
 type System struct {
-	F   ftl.FTL
+	F   ftl.Host
 	cfg Config
 
 	buf      *buffer.Buffer
@@ -137,7 +139,7 @@ type System struct {
 
 // New builds a System. The FTL must be freshly constructed (the runner owns
 // its life cycle).
-func New(f ftl.FTL, cfg Config) (*System, error) {
+func New(f ftl.Host, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -197,8 +199,10 @@ func (s *System) SetRecorder(r *obs.Recorder) {
 	if q, ok := s.F.(interface{ Quota() int64 }); ok {
 		samp.Register("q", func() float64 { return float64(q.Quota()) })
 	}
-	if sq, ok := s.F.(interface{ SlowQueueLen(chip int) int }); ok {
-		chips := s.F.Device().Geometry().Chips()
+	sq, okQ := s.F.(interface{ SlowQueueLen(chip int) int })
+	ch, okC := s.F.(interface{ Chips() int })
+	if okQ && okC {
+		chips := ch.Chips()
 		samp.Register("sbq_depth", func() float64 {
 			total := 0
 			for c := 0; c < chips; c++ {
@@ -223,8 +227,7 @@ func (s *System) releaseUpTo(t sim.Time) error {
 // Run drives the generator to completion and returns the measurements.
 // Arrivals are offset by the prefill time automatically.
 func (s *System) Run(gen workload.Generator) (RunResult, error) {
-	g := s.F.Device().Geometry()
-	col := metrics.NewCollector(g.PageSizeBytes, s.cfg.BandwidthWindow)
+	col := metrics.NewCollector(s.F.PageSize(), s.cfg.BandwidthWindow)
 	base := s.prefillT
 	logical := s.F.LogicalPages()
 
@@ -309,18 +312,23 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 				busyUntil = flushed
 			}
 		case workload.OpTrim:
-			now := arrival
+			// Trims of one request are independent mapping operations: all
+			// issue at arrival and the request completes when the slowest
+			// does (max-completion, like reads) — not chained head to tail.
+			completion := arrival
 			for p := 0; p < req.Pages; p++ {
 				lpn := ftl.LPN((req.Page + int64(p)) % logical)
-				done, err := s.F.Trim(lpn, now)
+				done, err := s.F.Trim(lpn, arrival)
 				if err != nil {
 					return RunResult{}, fmt.Errorf("ssd: trim LPN %d: %w", lpn, err)
 				}
-				now = done
+				if done > completion {
+					completion = done
+				}
 			}
-			col.RecordTrim(req.Pages, arrival, now)
-			if now > busyUntil {
-				busyUntil = now
+			col.RecordTrim(req.Pages, arrival, completion)
+			if completion > busyUntil {
+				busyUntil = completion
 			}
 		default:
 			return RunResult{}, fmt.Errorf("ssd: unknown op %v", req.Op)

@@ -231,6 +231,66 @@ func TestTrimsThroughRunner(t *testing.T) {
 	}
 }
 
+// trimStub is a minimal Host whose trims cost real virtual time; it pins
+// the runner's dispatch semantics for multi-page trim requests.
+type trimStub struct {
+	delta  sim.Time   // per-trim latency
+	issued []sim.Time // the `now` each Trim was issued at
+	st     ftl.Stats
+}
+
+func (s *trimStub) Name() string             { return "trimStub" }
+func (s *trimStub) LogicalPages() int64      { return 1024 }
+func (s *trimStub) PageSize() int            { return 4096 }
+func (s *trimStub) Idle(now, until sim.Time) {}
+func (s *trimStub) Stats() ftl.Stats         { return s.st }
+func (s *trimStub) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
+	s.st.HostWrites++
+	return now + s.delta, nil
+}
+func (s *trimStub) Read(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
+	s.st.HostReads++
+	return now + s.delta, nil
+}
+func (s *trimStub) Trim(lpn ftl.LPN, now sim.Time) (sim.Time, error) {
+	s.issued = append(s.issued, now)
+	s.st.HostTrims++
+	return now + s.delta, nil
+}
+
+// TestTrimMaxCompletion: the pages of one trim request are independent
+// mapping operations — all issue at the request's arrival and the request
+// completes when the slowest does, like reads. A regression here would chain
+// them head to tail and charge pages×delta instead of delta.
+func TestTrimMaxCompletion(t *testing.T) {
+	const delta = 100 * sim.Microsecond
+	stub := &trimStub{delta: delta}
+	sys, err := New(stub, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival := 5 * sim.Millisecond
+	reqs := []workload.Request{
+		{Arrival: arrival, Op: workload.OpTrim, Page: 0, Pages: 4},
+	}
+	res, err := sys.Run(&sliceGen{reqs: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stub.issued) != 4 {
+		t.Fatalf("trims issued = %d, want 4", len(stub.issued))
+	}
+	for i, at := range stub.issued {
+		if at != arrival {
+			t.Errorf("trim %d issued at %v, want arrival %v (serialized dispatch)", i, at, arrival)
+		}
+	}
+	// The request's response time is one trim latency, not four.
+	if got := res.Metrics.ResponseTime.Max; got != float64(delta) {
+		t.Errorf("trim response %v us, want %v us (max-completion)", got, float64(delta))
+	}
+}
+
 // TestResponseSplit: read and write response populations are separated.
 func TestResponseSplit(t *testing.T) {
 	sys := newSystem(t, "pageFTL")
