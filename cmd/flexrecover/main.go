@@ -1,8 +1,13 @@
-// Command flexrecover demonstrates the Section 3.3 sudden-power-off story
-// end to end: it drives flexFTL into its MSB phase, cuts power during an MSB
-// program on every chip (destroying the paired LSB pages), runs the
-// reboot-time recovery procedure, and verifies the lost data was rebuilt
-// from the per-block parity pages.
+// Command flexrecover runs the randomized sudden-power-off campaign of
+// internal/crash over the registry's FTL schemes: every trial drives a
+// seeded workload into steady state, cuts power at a random operation
+// boundary on a random chip, runs the scheme's reboot procedures, and
+// verifies the power-cut invariants (acknowledged data survives or the loss
+// is detected, parity reconstructs destroyed LSB pages, interrupted GC
+// relocations roll back, block accounting balances).
+//
+// A failing trial prints a one-line reproducer; the exit status is 1 when
+// any trial violates an invariant.
 package main
 
 import (
@@ -10,125 +15,181 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
-	"flexftl/internal/core"
+	"flexftl/internal/crash"
 	"flexftl/internal/experiments"
 	"flexftl/internal/ftl"
-	"flexftl/internal/ftl/flexftl"
 	"flexftl/internal/nand"
-	"flexftl/internal/sim"
+	"flexftl/internal/obs"
+
+	// Register the TLC scheme so -list shows the whole registry (it is not
+	// campaignable — its device model has no MLC destructive window — but
+	// the listing should say so rather than omit it).
+	_ "flexftl/internal/ftl/nflex"
 )
 
 func main() {
 	var (
-		full = flag.Bool("full", false, "use the paper's 16 GB geometry")
-		seed = flag.Uint64("seed", 1, "reserved for future randomized crash points")
+		schemes  = flag.String("ftl", "all", "comma-separated registry schemes, or \"all\"")
+		trials   = flag.Int("trials", 100, "crash trials per scheme")
+		seed     = flag.Uint64("seed", 1, "campaign master seed; trial i derives Split(seed, i+1)")
+		start    = flag.Int("start", 0, "first trial index (rerun one failing trial with -start N -trials 1)")
+		ops      = flag.Int("ops", 0, "post-prefill operation window the crash point is sampled from (0 = default)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); outcomes are identical at any value")
+		full     = flag.Bool("full", false, "use the larger evaluation geometry instead of the small test geometry")
+		sabotage = flag.String("sabotage", "none", "inject a deliberate fault: none, skip-recovery, corrupt-parity")
+		list     = flag.Bool("list", false, "list campaignable schemes and exit")
 	)
 	flag.Parse()
-	_ = seed
-	if err := run(os.Stdout, *full); err != nil {
+	sab, err := parseSabotage(*sabotage)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "flexrecover:", err)
+		os.Exit(2)
+	}
+	if *list {
+		listSchemes(os.Stdout)
+		return
+	}
+	var geometry nand.Geometry
+	if *full {
+		geometry = experiments.EvalGeometry()
+	}
+	failed, err := run(os.Stdout, runOpts{
+		schemes:  *schemes,
+		trials:   *trials,
+		seed:     *seed,
+		start:    *start,
+		ops:      *ops,
+		workers:  *workers,
+		geometry: geometry,
+		sabotage: sab,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexrecover:", err)
+		os.Exit(2)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, full bool) error {
-	geometry := experiments.EvalGeometry()
-	if full {
-		geometry = nand.DefaultGeometry()
+func parseSabotage(s string) (crash.Sabotage, error) {
+	switch s {
+	case "none":
+		return crash.SabotageNone, nil
+	case "skip-recovery":
+		return crash.SabotageSkipRecovery, nil
+	case "corrupt-parity":
+		return crash.SabotageCorruptParity, nil
+	default:
+		return 0, fmt.Errorf("unknown -sabotage %q (none, skip-recovery, corrupt-parity)", s)
 	}
-	f, err := experiments.BuildFTL("flexFTL", geometry)
+}
+
+func listSchemes(w io.Writer) {
+	for _, name := range ftl.Names() {
+		spec, _ := ftl.Lookup(name)
+		note := ""
+		if !crash.Campaignable(name) {
+			note = " (not campaignable: own device model)"
+		}
+		fmt.Fprintf(w, "%-18s backup=%-11s %s%s\n", name, spec.Backup, spec.Description, note)
+	}
+}
+
+type runOpts struct {
+	schemes  string
+	trials   int
+	seed     uint64
+	start    int
+	ops      int
+	workers  int
+	geometry nand.Geometry
+	sabotage crash.Sabotage
+}
+
+// run executes the campaign per scheme and reports; it returns whether any
+// trial violated an invariant.
+func run(w io.Writer, o runOpts) (failed bool, err error) {
+	names, err := resolveSchemes(o.schemes)
 	if err != nil {
-		return err
+		return false, err
 	}
-	flex := f.(*flexftl.FTL)
-	g := f.Device().Geometry()
-	fmt.Fprintf(w, "device: %s, RPS rules, flexFTL with per-block parity backup\n", g)
-
-	// Phase 1: fill fast blocks (high buffer utilization -> LSB writes).
-	now := sim.Time(0)
-	lpn := ftl.LPN(0)
-	for i := 0; i < g.Chips()*g.LSBPagesPerBlock(); i++ {
-		now, err = f.Write(lpn, now, 0.95)
+	reg := obs.NewRegistry()
+	for _, name := range names {
+		cfg := crash.Config{
+			Scheme:   name,
+			Geometry: o.geometry,
+			Ops:      o.ops,
+			Trials:   o.trials,
+			Seed:     o.seed,
+			Start:    o.start,
+			Workers:  o.workers,
+			Sabotage: o.sabotage,
+			Metrics:  reg,
+		}
+		rep, err := crash.Run(cfg)
 		if err != nil {
-			return err
+			return failed, err
 		}
-		lpn++
-	}
-	fmt.Fprintf(w, "phase 1: wrote %d LSB pages; every chip's fast block is full and its parity page saved\n", lpn)
-
-	// Phase 2: low utilization pushes MSB writes — the destructive phase.
-	msbStart := lpn
-	for chip := 0; chip < g.Chips(); chip++ {
-		for flex.SlowQueueLen(chip) > 0 && !msbInFlight(flex, chip) {
-			now, err = f.Write(lpn, now, 0.01)
-			if err != nil {
-				return err
+		spec, _ := ftl.Lookup(name)
+		fmt.Fprintf(w, "%-18s %4d trials  %3d cuts landed (%d during GC)  recovered %d  rolled back %d  dropped %d  violations %d\n",
+			name+" ("+spec.Backup+")", rep.Trials, rep.Injected, rep.FromGC,
+			rep.Recovered, rep.RolledBack, rep.Dropped, rep.Failed)
+		if f, bad := rep.FirstFailure(); bad {
+			failed = true
+			fmt.Fprintf(w, "  FIRST FAILURE: trial %d (crash op %d, chip %d):\n", f.Trial, f.CrashOp, f.Chip)
+			for _, v := range f.Violations {
+				fmt.Fprintf(w, "    - %s\n", v)
 			}
-			lpn++
+			fmt.Fprintf(w, "  reproduce: flexrecover %s\n", cfg.ReproArgs(f))
 		}
 	}
-	fmt.Fprintf(w, "phase 2: %d MSB writes issued; each chip now has an MSB program in flight\n", lpn-msbStart)
+	printRecoveryCost(w, reg)
+	return failed, nil
+}
 
-	// Power cut: every in-flight MSB program destroys its paired LSB page.
-	lost := 0
-	var lostLPNs []ftl.LPN
-	for chip := 0; chip < g.Chips(); chip++ {
-		blk := activeSlowBlock(flex, chip)
-		if blk < 0 {
+// resolveSchemes expands "all" to every campaignable registry scheme and
+// validates explicit names.
+func resolveSchemes(arg string) ([]string, error) {
+	if arg == "all" {
+		var names []string
+		for _, name := range ftl.Names() {
+			if crash.Campaignable(name) {
+				names = append(names, name)
+			}
+		}
+		return names, nil
+	}
+	var names []string
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
 			continue
 		}
-		addr := nand.BlockAddr{Chip: chip, Block: blk}
-		if f.Device().InjectPowerLoss(addr) {
-			lost++
-			wl := lastMSBWordLine(flex, chip)
-			ppn := g.PPNOf(nand.PageAddr{BlockAddr: addr, Page: core.Page{WL: wl, Type: core.LSB}})
-			if l, ok := flex.Map.LPNAt(ppn); ok {
-				lostLPNs = append(lostLPNs, l)
-			}
+		if _, ok := ftl.Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown scheme %q (try -list)", name)
 		}
-	}
-	fmt.Fprintf(w, "power cut! %d chips had MSB programs in flight; %d live LSB pages destroyed\n", lost, len(lostLPNs))
-	for _, l := range lostLPNs {
-		if _, err := f.Read(l, now); err == nil {
-			return fmt.Errorf("LPN %d still readable after power cut", l)
+		if !crash.Campaignable(name) {
+			return nil, fmt.Errorf("scheme %q is not campaignable (own device model)", name)
 		}
+		names = append(names, name)
 	}
-
-	// Reboot: the recovery procedure of Figure 7(b).
-	rep, err := flex.Recover(now)
-	if err != nil {
-		return err
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no schemes selected")
 	}
-	fmt.Fprintf(w, "recovery: read %d pages in %v (chips scan in parallel)\n", rep.PagesRead, rep.Duration())
-	fmt.Fprintf(w, "recovery: reconstructed %d LSB pages from parity, dropped %d unacknowledged MSB writes\n",
-		len(rep.Recovered), len(rep.Dropped))
-
-	for _, l := range lostLPNs {
-		if _, err := f.Read(l, rep.End); err != nil {
-			return fmt.Errorf("LPN %d not recovered: %w", l, err)
-		}
-	}
-	fmt.Fprintf(w, "verified: all %d lost pages read back correctly after recovery\n", len(lostLPNs))
-
-	// The Section 3.3 estimate for reference.
-	t := f.Device().Timing()
-	est := sim.Time(g.Chips()*2*g.LSBPagesPerBlock()) * t.Read
-	fmt.Fprintf(w, "paper's serial-read estimate for this geometry: %v of page reads (%d chips x 2 blocks x %d pages x %v)\n",
-		est, g.Chips(), g.LSBPagesPerBlock(), t.Read)
-	return nil
+	return names, nil
 }
 
-func msbInFlight(f *flexftl.FTL, chip int) bool {
-	return lastMSBWordLine(f, chip) >= 0
-}
-
-// lastMSBWordLine returns the word line of the chip's most recent MSB
-// program, or -1 when the slow phase has not started.
-func lastMSBWordLine(f *flexftl.FTL, chip int) int {
-	return f.ActiveSlowProgress(chip) - 1
-}
-
-func activeSlowBlock(f *flexftl.FTL, chip int) int {
-	return f.ActiveSlowBlock(chip)
+// printRecoveryCost summarizes the reboot-time overhead across every trial
+// that ran a recovery pass — the paper's Section 3.3 cost currency.
+func printRecoveryCost(w io.Writer, reg *obs.Registry) {
+	pages := reg.Histogram("crash.recovery_pages_read")
+	if pages.Count() == 0 {
+		return
+	}
+	us := reg.Histogram("crash.recovery_us")
+	fmt.Fprintf(w, "recovery cost over %d recovering trials: pages read p50<=%d max<=%d, virtual time p50<=%dus max<=%dus\n",
+		pages.Count(), pages.Quantile(0.5), pages.Max(), us.Quantile(0.5), us.Max())
 }

@@ -3,24 +3,77 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"flexftl/internal/crash"
 )
 
-// TestRunEndToEnd drives the full power-cut + recovery demonstration and
-// checks its verified milestones appear.
-func TestRunEndToEnd(t *testing.T) {
+// TestCampaignAllSchemes runs a small campaign over every campaignable
+// scheme and expects zero violations.
+func TestCampaignAllSchemes(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, false); err != nil {
+	failed, err := run(&sb, runOpts{schemes: "all", trials: 8, seed: 11, workers: 4})
+	if err != nil {
 		t.Fatal(err)
 	}
+	if failed {
+		t.Fatalf("campaign reported violations:\n%s", sb.String())
+	}
 	out := sb.String()
-	for _, want := range []string{
-		"parity page saved",
-		"power cut!",
-		"reconstructed",
-		"read back correctly after recovery",
-	} {
+	for _, want := range []string{"flexFTL (blockParity)", "pageFTL (none)", "recovery cost"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestSabotagedCampaignFails proves the harness exits nonzero when recovery
+// is deliberately broken.
+func TestSabotagedCampaignFails(t *testing.T) {
+	var sb strings.Builder
+	failed, err := run(&sb, runOpts{
+		schemes: "flexFTL", trials: 25, seed: 1234, workers: 4,
+		sabotage: crash.SabotageSkipRecovery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("sabotaged campaign passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "reproduce: flexrecover -ftl flexFTL") {
+		t.Errorf("missing reproducer line:\n%s", sb.String())
+	}
+}
+
+func TestResolveSchemes(t *testing.T) {
+	if _, err := resolveSchemes("no-such"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := resolveSchemes("nflexTLC"); err == nil {
+		t.Error("non-campaignable scheme accepted")
+	}
+	names, err := resolveSchemes(" flexFTL , pageFTL ")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("resolveSchemes = %v, %v", names, err)
+	}
+	all, err := resolveSchemes("all")
+	if err != nil || len(all) < 5 {
+		t.Fatalf("resolveSchemes(all) = %v, %v", all, err)
+	}
+	for _, n := range all {
+		if n == "nflexTLC" {
+			t.Error("\"all\" included the TLC scheme")
+		}
+	}
+}
+
+func TestListSchemes(t *testing.T) {
+	var sb strings.Builder
+	listSchemes(&sb)
+	out := sb.String()
+	for _, want := range []string{"flexFTL", "backup=blockParity", "nflexTLC", "not campaignable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q\n%s", want, out)
 		}
 	}
 }

@@ -33,6 +33,13 @@ type BackupStrategy interface {
 	// onSlowComplete fires when a two-phase slow block finishes its MSB
 	// phase, retiring any backup that protected it.
 	onSlowComplete(k *Kernel, chip, blk int)
+	// coversMSB reports whether the strategy's pre-backup makes a paired-page
+	// MSB program power-safe at issue time: the pair parity is persisted
+	// before the MSB program begins (the footnote-4 bound), so the order
+	// policy may acknowledge the destructive window immediately. Strategies
+	// returning false leave the window open until their own recovery story
+	// (or nothing, for NoBackupStrategy) takes over.
+	coversMSB() bool
 }
 
 // NoBackupStrategy returns the empty strategy: no pre-backup at all, the
@@ -51,6 +58,7 @@ func (noBackup) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim
 	return done, nil
 }
 func (noBackup) onSlowComplete(*Kernel, int, int) {}
+func (noBackup) coversMSB() bool                  { return false }
 
 // PairParityBackup returns the adaptive paired-page pre-backup of Lee et al.
 // (TCAD 2014): under FPS at most pairSize LSB pages can share one parity
@@ -136,6 +144,15 @@ func (b *pairParity) writeBackup(k *Kernel, chip int, page []byte, now sim.Time)
 	if err != nil {
 		return now, err
 	}
+	if addr.Page.Type == core.MSB {
+		// A backup-ring MSB program is power-safe at issue: a cut here can
+		// only destroy backup pages (the chip has one destructive window,
+		// so every data page survives), and a parity page is needed only
+		// when a data LSB it covers is destroyed — which the same cut
+		// cannot also do. Without this ack the ring would leave windows
+		// dangling that no recovery path ever closes.
+		k.Dev.AckProgram(addr.BlockAddr)
+	}
 	k.St.BackupWrites++
 	k.Obs.Instant(obs.KindBackup, int32(chip), now, int64(ring.cur), int64(ring.pos))
 	ring.pos++
@@ -160,6 +177,11 @@ func (b *pairParity) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time)
 }
 func (b *pairParity) onSlowComplete(*Kernel, int, int) {}
 
+// coversMSB: the pair's parity page is persisted before the paired MSB
+// program starts (afterLSB emits it every pairSize LSBs, the footnote-4
+// bound), so the destructive window is power-safe at issue time.
+func (b *pairParity) coversMSB() bool { return true }
+
 // BlockParityBackup returns the paper's per-block parity scheme (Section
 // 3.3): one XOR parity page protects all LSB pages of a two-phase fast
 // block, written once when the fast block fills, invalidated when its slow
@@ -172,15 +194,26 @@ type parityRef struct {
 	page      int // LSB word-line index within the backup block
 }
 
+// retiredBackup records one retired parity backup block together with how
+// many parity pages were actually written into it. Blocks normally retire
+// full, but a crash-time seal (RebuildParityRefs) retires the current block
+// at whatever fill it reached; recovery scans must not read past the fill —
+// phantom reads of never-programmed pages would inflate PagesRead and the
+// reboot-time estimate for no information.
+type retiredBackup struct {
+	blk  int
+	fill int // programmed LSB parity pages: word lines [0, fill)
+}
+
 // backupState manages a chip's parity backup blocks: parity pages are
 // written to LSB pages only (footnote 2 of the paper — legal under RPS),
 // and a backup block is recycled once every parity page in it has been
 // invalidated by its slow block completing.
 type backupState struct {
-	cur     int         // current backup block, -1 when none
-	pos     int         // next LSB word line in cur
-	live    map[int]int // backup block -> count of still-needed parity pages
-	retired []int       // filled backup blocks awaiting live==0
+	cur     int             // current backup block, -1 when none
+	pos     int             // next LSB word line in cur
+	live    map[int]int     // backup block -> count of still-needed parity pages
+	retired []retiredBackup // filled (or sealed) backup blocks awaiting live==0
 }
 
 type blockParity struct {
@@ -253,7 +286,7 @@ func (b *blockParity) writeBlockParity(k *Kernel, chip, fastBlk int, parityPage 
 	if bk.pos == k.Dev.Geometry().WordLinesPerBlock {
 		// All LSB pages of the backup block used: retire it. It is erased
 		// once every parity in it is invalidated.
-		bk.retired = append(bk.retired, bk.cur)
+		bk.retired = append(bk.retired, retiredBackup{blk: bk.cur, fill: bk.pos})
 		bk.cur = -1
 	}
 	return done, nil
@@ -280,17 +313,17 @@ func (b *blockParity) onSlowComplete(k *Kernel, chip, blk int) {
 func (b *blockParity) recycleRetired(k *Kernel, chip int) {
 	bk := &b.backup[chip]
 	kept := bk.retired[:0]
-	for _, blk := range bk.retired {
-		if bk.live[blk] == 0 {
-			delete(bk.live, blk)
-			if _, err := k.EraseAndFree(chip, blk, k.Dev.ChipReadyAt(chip)); err != nil {
+	for _, r := range bk.retired {
+		if bk.live[r.blk] == 0 {
+			delete(bk.live, r.blk)
+			if _, err := k.EraseAndFree(chip, r.blk, k.Dev.ChipReadyAt(chip)); err != nil {
 				// An erase failure here means a retired-block accounting
 				// bug; surface it loudly in tests.
-				panic(fmt.Sprintf("%s: recycling backup block %d on chip %d: %v", k.name, blk, chip, err))
+				panic(fmt.Sprintf("%s: recycling backup block %d on chip %d: %v", k.name, r.blk, chip, err))
 			}
 			continue
 		}
-		kept = append(kept, blk)
+		kept = append(kept, r)
 	}
 	bk.retired = kept
 }
@@ -303,11 +336,16 @@ func (b *blockParity) backupBlockSet(chip int) map[int]bool {
 	if bk.cur != -1 {
 		set[bk.cur] = true
 	}
-	for _, blk := range bk.retired {
-		set[blk] = true
+	for _, r := range bk.retired {
+		set[r.blk] = true
 	}
 	return set
 }
+
+// coversMSB: per-block parity protects LSB pages only; the destructive
+// window of each MSB program stays open until its slow block completes
+// (recover2po.go reconstructs the pair after a crash).
+func (b *blockParity) coversMSB() bool { return false }
 
 // spareForBlock encodes the inverse mapping (backup page -> protected block)
 // stored in the parity page's spare area.

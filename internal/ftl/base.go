@@ -165,6 +165,11 @@ func TokenLPN(data []byte) (LPN, bool) {
 	return LPN(binary.LittleEndian.Uint64(data[0:8])), true
 }
 
+// TokenSeq extracts the global sequence number from a token payload (0 for
+// short payloads). A crash-campaign verifier compares it against the floor
+// recorded per acknowledged write — see Seq.
+func TokenSeq(data []byte) uint64 { return tokenSeq(data) }
+
 // SpareForLPN encodes the reverse-map entry programmed into a data page's
 // spare area.
 func SpareForLPN(lpn LPN) []byte {
@@ -183,6 +188,23 @@ func LPNFromSpare(spare []byte) (LPN, bool) {
 
 // MappingHash fingerprints the current mapping state (see Mapper.StateHash).
 func (b *Base) MappingHash() uint64 { return b.Map.StateHash() }
+
+// Seq returns the global write sequence number of the most recently issued
+// token. A crash-campaign shadow model records it per acknowledged write:
+// any later copy of the same LPN (a GC relocation under retokenization)
+// carries a sequence at least this high, so a read-back below the recorded
+// floor exposes a stale-mapping bug.
+func (b *Base) Seq() int64 { return b.seq }
+
+// BackgroundVictim reports the in-progress background-GC victim (taken off
+// the full list, surviving across idle windows), for block-accounting
+// checks.
+func (b *Base) BackgroundVictim() (chip, blk int, ok bool) {
+	if !b.bg.active {
+		return 0, 0, false
+	}
+	return b.bg.chip, b.bg.blk, true
+}
 
 // TotalFreeBlocks sums the free lists over all chips.
 func (b *Base) TotalFreeBlocks() int {

@@ -296,9 +296,26 @@ func (k *Kernel) RetiredBackupBlocks(chip int) int {
 // blocks awaiting recycling (nil when another strategy is mounted).
 func (k *Kernel) RetiredBackupBlockList(chip int) []int {
 	if b, ok := k.bk.(*blockParity); ok {
-		return append([]int(nil), b.backup[chip].retired...)
+		out := make([]int, 0, len(b.backup[chip].retired))
+		for _, r := range b.backup[chip].retired {
+			out = append(out, r.blk)
+		}
+		return out
 	}
 	return nil
+}
+
+// RetiredBackupFill returns how many parity pages were written into the
+// chip's i-th retired backup block (-1 when out of range or another strategy
+// is mounted). Full retirement yields WordLinesPerBlock; a crash-time seal
+// can leave less.
+func (k *Kernel) RetiredBackupFill(chip, i int) int {
+	if b, ok := k.bk.(*blockParity); ok {
+		if ret := b.backup[chip].retired; i >= 0 && i < len(ret) {
+			return ret[i].fill
+		}
+	}
+	return -1
 }
 
 // BackupRing returns the pair-parity strategy's current and previous backup
@@ -326,4 +343,84 @@ func (k *Kernel) LSBReadySlots(chip int) int {
 		return o.lsbReadyCount(chip)
 	}
 	return 0
+}
+
+// BackupCoversMSB reports whether the mounted backup strategy makes MSB
+// programs power-safe at issue time (the crash campaign asserts such schemes
+// never present an open destructive window).
+func (k *Kernel) BackupCoversMSB() bool { return k.bk.coversMSB() }
+
+// LastMSB returns the chip's most recent MSB program under two-phase
+// ordering: its LPN, the physical page it superseded (InvalidPPN if none)
+// and whether it was a GC relocation. ok is false for other orders or before
+// the first MSB program.
+func (k *Kernel) LastMSB(chip int) (lpn LPN, prev nand.PPN, fromGC, ok bool) {
+	o, isTP := k.place.(*twoPhase)
+	if !isTP {
+		return 0, nand.InvalidPPN, false, false
+	}
+	st := &o.chips[chip]
+	if st.lastMSBPrev == nand.InvalidPPN && st.lastMSBLPN == 0 && st.asbPos == 0 && st.sbq.Len() == 0 {
+		return 0, nand.InvalidPPN, false, false
+	}
+	return st.lastMSBLPN, st.lastMSBPrev, st.lastMSBGC, true
+}
+
+// ParityRef locates the parity backup page protecting the given fast/slow
+// block under the per-block parity strategy (ok false otherwise). Fault
+// injection in the crash campaign uses it to corrupt a parity page and prove
+// the invariants notice.
+func (k *Kernel) ParityRef(chip, blk int) (backupBlk, page int, ok bool) {
+	if b, isBP := k.bk.(*blockParity); isBP {
+		if ref, found := b.refs[k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})]; found {
+			return ref.backupBlk, ref.page, true
+		}
+	}
+	return -1, -1, false
+}
+
+// AccountBlocks is the chip's block census: free and full pool sizes, active
+// data blocks held by the order policy, backup blocks held by the backup
+// strategy, and the in-flight background-GC victim (0 or 1). The crash
+// campaign asserts the five sum to BlocksPerChip (minus retired blocks) at
+// every crash point — leaked blocks are recovery-path bugs.
+func (k *Kernel) AccountBlocks(chip int) (free, full, active, backup, bg int) {
+	free = k.Pools[chip].FreeCount()
+	full = k.Pools[chip].FullCount()
+	switch o := k.place.(type) {
+	case *fpsSingle:
+		if o.active[chip].blk != -1 {
+			active++
+		}
+	case *fpsPool:
+		for _, cur := range o.active[chip] {
+			if cur.blk != -1 {
+				active++
+			}
+		}
+	case *twoPhase:
+		st := &o.chips[chip]
+		if st.afb != -1 {
+			active++
+		}
+		active += st.sbq.Len()
+	}
+	switch b := k.bk.(type) {
+	case *pairParity:
+		if b.ring[chip].cur != -1 {
+			backup++
+		}
+		if b.ring[chip].prev != -1 {
+			backup++
+		}
+	case *blockParity:
+		if b.backup[chip].cur != -1 {
+			backup++
+		}
+		backup += len(b.backup[chip].retired)
+	}
+	if c, _, ok := k.BackgroundVictim(); ok && c == chip {
+		bg++
+	}
+	return free, full, active, backup, bg
 }

@@ -53,8 +53,9 @@ func (p Params) Validate() error {
 
 func init() {
 	ftl.Register(ftl.Spec{
-		Name:  "nflexTLC",
-		Rules: "TLC-nPO",
+		Name:   "nflexTLC",
+		Rules:  "TLC-nPO",
+		Backup: "phaseParity",
 		Description: "n-phase flexFTL on a 3-bit device: nPO ordering, " +
 			"per-phase parity backups, utilization-driven level choice",
 		New: func(env ftl.BuildEnv) (ftl.Host, error) {

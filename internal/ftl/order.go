@@ -81,6 +81,11 @@ func (o *fpsSingle) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare
 			return done, err
 		}
 	} else {
+		if k.bk.coversMSB() {
+			// The pair's parity pre-backup is already on flash, so the
+			// destructive window is power-safe at issue time.
+			k.Dev.AckProgram(addr.BlockAddr)
+		}
 		k.noteData(false, fromGC)
 	}
 	k.alloc.onProgram(k, page.Type == core.LSB, fromGC)
@@ -199,7 +204,9 @@ func (o *fpsPool) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare [
 			return done, err
 		}
 	} else {
-		k.Dev.AckProgram(addr.BlockAddr) // parity pre-backup covers the pair
+		if k.bk.coversMSB() {
+			k.Dev.AckProgram(addr.BlockAddr) // parity pre-backup covers the pair
+		}
 		k.noteData(false, fromGC)
 	}
 	k.alloc.onProgram(k, page.Type == core.LSB, fromGC)
@@ -258,7 +265,11 @@ func (o *fpsPool) padOneMSB(k *Kernel, chip int, now sim.Time) (sim.Time, error)
 	if err != nil {
 		return now, err
 	}
-	k.Dev.AckProgram(addr.BlockAddr)
+	// A padded MSB pairs with a real LSB page, so the destructive window is
+	// only safe to close when the backup covers the pair.
+	if k.bk.coversMSB() {
+		k.Dev.AckProgram(addr.BlockAddr)
+	}
 	k.St.PadWrites++
 	k.Obs.Instant(obs.KindPad, int32(chip), now, int64(cur.blk), int64(page.WL))
 	cur.pos++
@@ -388,6 +399,17 @@ type twoPhaseChip struct {
 	afbPos int      // next LSB word line of the AFB
 	sbq    IntQueue // slow block queue; head is the active slow block
 	asbPos int      // next MSB word line of the head slow block
+
+	// Crash-recovery bookkeeping for the chip's open destructive window: the
+	// LPN of the most recent MSB program, the physical page it superseded
+	// (InvalidPPN if the LPN had no prior copy), and whether the program was
+	// a GC relocation. A power cut during that program loses the new copy;
+	// recovery rolls the mapping back to lastMSBPrev, which the device's
+	// erase barrier keeps intact while the window is open (GC relocations
+	// stay on-chip, and an on-chip erase would have closed the window).
+	lastMSBLPN  LPN
+	lastMSBPrev nand.PPN
+	lastMSBGC   bool
 }
 
 type twoPhase struct {
@@ -400,7 +422,7 @@ func (o *twoPhase) init(k *Kernel) error {
 	}
 	o.chips = make([]twoPhaseChip, k.Dev.Geometry().Chips())
 	for c := range o.chips {
-		o.chips[c] = twoPhaseChip{afb: -1}
+		o.chips[c] = twoPhaseChip{afb: -1, lastMSBPrev: nand.InvalidPPN}
 	}
 	return nil
 }
@@ -491,7 +513,9 @@ func (o *twoPhase) programMSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 	// the block's parity page, and the recovery procedure (recover2po.go)
 	// reconstructs it after a power cut. This is the point of the design —
 	// no per-MSB backup writes.
-	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
+	st.lastMSBLPN = lpn
+	st.lastMSBPrev = k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
+	st.lastMSBGC = fromGC
 	k.noteData(false, fromGC)
 	k.alloc.onProgram(k, false, fromGC)
 	st.asbPos++

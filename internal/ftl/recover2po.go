@@ -25,8 +25,15 @@ type RecoveryReport struct {
 	// Recovered lists the LPNs whose LSB data was reconstructed from the
 	// per-block parity page.
 	Recovered []LPN
-	// Dropped lists the LPNs of interrupted MSB programs: those writes were
-	// never acknowledged to the host, so their data is (correctly) lost.
+	// RolledBack lists LPNs of interrupted MSB programs whose superseded
+	// copy still existed on flash: the mapping was re-pointed at it. This is
+	// required when the interrupted program was a GC relocation — that data
+	// was acknowledged long ago and must survive — and strictly better than
+	// dropping for host writes.
+	RolledBack []LPN
+	// Dropped lists the LPNs of interrupted MSB programs with no surviving
+	// prior copy: those writes were never acknowledged to the host, so their
+	// data is (correctly) lost.
 	Dropped []LPN
 	// Start and End delimit the recovery pass in virtual time. Chips scan
 	// in parallel; End-Start is the reboot-time overhead the paper bounds
@@ -89,8 +96,11 @@ func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Ti
 	g := k.Dev.Geometry()
 	wl := g.WordLinesPerBlock
 
-	// 1. Drop the interrupted MSB write, if any: its program never
-	// completed, so the host was never acknowledged.
+	// 1. Handle the interrupted MSB write, if any: its program never
+	// completed, so its new copy is gone. If the copy it superseded still
+	// exists on flash the mapping rolls back to it — mandatory when the
+	// program was a GC relocation (that data was acknowledged long ago) —
+	// otherwise the LPN is dropped: the host was never acknowledged.
 	if st.sbq.Len() > 0 && st.asbPos > 0 {
 		blk := st.sbq.Front()
 		msbAddr := nand.PageAddr{
@@ -99,8 +109,7 @@ func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Ti
 		}
 		if k.Dev.IsCorrupted(msbAddr) {
 			if lpn, ok := k.Map.LPNAt(g.PPNOf(msbAddr)); ok {
-				k.Map.Invalidate(lpn)
-				rep.Dropped = append(rep.Dropped, lpn)
+				now = k.dropOrRollBack(st, chip, lpn, now, rep)
 			}
 		}
 	}
@@ -160,6 +169,49 @@ func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Ti
 		}
 	}
 	return now, nil
+}
+
+// dropOrRollBack resolves the mapping of an interrupted MSB program. The
+// two-phase order tracks, per chip, the physical page the most recent MSB
+// program superseded; if that copy still holds this LPN's data the mapping
+// rolls back to it. The superseded copy may even be the corrupted paired LSB
+// of the interrupted program itself (an in-block rewrite) — that page is
+// parity-recoverable, so the rollback stands and the step-2 scan re-homes
+// it. Only when no prior copy survives is the LPN dropped.
+func (k *Kernel) dropOrRollBack(st *twoPhaseChip, chip int, lpn LPN, now sim.Time, rep *RecoveryReport) sim.Time {
+	g := k.Dev.Geometry()
+	if st.lastMSBLPN == lpn && st.lastMSBPrev != nand.InvalidPPN {
+		prevAddr := g.AddrOfPPN(st.lastMSBPrev)
+		pairAddr := nand.PageAddr{
+			BlockAddr: nand.BlockAddr{Chip: chip, Block: st.sbq.Front()},
+			Page:      core.Page{WL: st.asbPos - 1, Type: core.LSB},
+		}
+		if prevAddr == pairAddr && k.Dev.IsCorrupted(prevAddr) {
+			// In-block rewrite: the prior copy is the destroyed pair itself.
+			// Parity reconstructs it, so point the mapping back at it now
+			// and let the slow-block scan re-home it under this LPN.
+			k.Map.Update(lpn, st.lastMSBPrev)
+			rep.RolledBack = append(rep.RolledBack, lpn)
+			return now
+		}
+		t, err := k.Dev.ReadInto(prevAddr, &k.Buf, now)
+		rep.PagesRead++
+		now = t
+		if err == nil {
+			// The token guards against the page having been erased and
+			// reprogrammed for another LPN (possible only for cross-chip
+			// prior copies of host writes; GC relocations stay on-chip,
+			// where the device's erase barrier keeps the copy intact).
+			if tokLPN, ok := TokenLPN(k.Buf.Data); ok && tokLPN == lpn {
+				k.Map.Update(lpn, st.lastMSBPrev)
+				rep.RolledBack = append(rep.RolledBack, lpn)
+				return now
+			}
+		}
+	}
+	k.Map.Invalidate(lpn)
+	rep.Dropped = append(rep.Dropped, lpn)
+	return now
 }
 
 // reconstructLSB rebuilds the lost LSB page from the saved parity page and
@@ -232,14 +284,16 @@ func (k *Kernel) reconstructLSB(tp *twoPhase, bp *blockParity, chip, blk, lostWL
 // structure any FTL persists) is assumed to survive the reboot.
 func (k *Kernel) scanForParity(bp *blockParity, chip, protectedBlk int, now sim.Time, rep *RecoveryReport) ([]byte, sim.Time, error) {
 	bk := &bp.backup[chip]
-	w := k.Dev.Geometry().WordLinesPerBlock
 	type candidate struct {
 		blk   int
 		pages int
 	}
 	var scan []candidate
-	for _, blk := range bk.retired {
-		scan = append(scan, candidate{blk, w})
+	for _, r := range bk.retired {
+		// Only the retired block's recorded fill was ever programmed;
+		// scanning the full word-line width would charge phantom reads of
+		// erased pages to the reboot-time budget.
+		scan = append(scan, candidate{r.blk, r.fill})
 	}
 	if bk.cur != -1 {
 		scan = append(scan, candidate{bk.cur, bk.pos})
@@ -275,6 +329,99 @@ func (k *Kernel) ForgetParityRefs() {
 	if bp, ok := k.bk.(*blockParity); ok {
 		bp.refs = make(map[int]parityRef)
 	}
+}
+
+// ParityScanReport summarizes a RebuildParityRefs pass.
+type ParityScanReport struct {
+	// PagesRead counts backup-block parity page reads (fills only — sealed
+	// and retired blocks are scanned to their recorded fill).
+	PagesRead int
+	// Restored is how many parity refs were reconstructed from spare areas.
+	Restored int
+	// Sealed counts partially written backup blocks retired at their
+	// crash-time fill.
+	Sealed int
+	// Recycled counts retired backup blocks whose parities all turned out
+	// stale and were erased back to the free pool.
+	Recycled   int
+	Start, End sim.Time
+}
+
+// Duration returns the scan's elapsed virtual time.
+func (r ParityScanReport) Duration() sim.Time { return r.End - r.Start }
+
+// RebuildParityRefs reconstructs the in-memory parity location table and the
+// backup blocks' live counts from flash, for a reboot that lost runtime
+// metadata (after ForgetParityRefs). Per chip it first seals the current
+// backup block at its crash-time fill — appending to a partially written
+// backup block after an unclean shutdown would risk the very pages the
+// backup exists to protect — then scans every written backup page's spare
+// area, restoring refs for the blocks still awaiting their slow phase (the
+// slow-block queue; newer parities supersede older generations of the same
+// block number). Retired backup blocks whose parities are all stale are
+// recycled — without this pass they would leak forever, since
+// onSlowComplete can no longer find their refs.
+func (k *Kernel) RebuildParityRefs(now sim.Time) (ParityScanReport, error) {
+	rep := ParityScanReport{Start: now}
+	tp, bp, err := k.recoveryPolicies()
+	if err != nil {
+		return rep, err
+	}
+	bp.refs = make(map[int]parityRef)
+	end := now
+	for chip := range tp.chips {
+		chipNow := now
+		bk := &bp.backup[chip]
+		if bk.cur != -1 {
+			if bk.pos > 0 {
+				bk.retired = append(bk.retired, retiredBackup{blk: bk.cur, fill: bk.pos})
+				rep.Sealed++
+			} else {
+				// Never written: straight back to the free pool.
+				k.Pools[chip].PushFree(bk.cur)
+			}
+			bk.cur, bk.pos = -1, 0
+		}
+		st := &tp.chips[chip]
+		need := make(map[int]bool, st.sbq.Len())
+		for i := 0; i < st.sbq.Len(); i++ {
+			need[st.sbq.At(i)] = true
+		}
+		bk.live = make(map[int]int, len(bk.retired))
+		for _, r := range bk.retired {
+			for p := 0; p < r.fill; p++ {
+				addr := nand.PageAddr{
+					BlockAddr: nand.BlockAddr{Chip: chip, Block: r.blk},
+					Page:      core.Page{WL: p, Type: core.LSB},
+				}
+				t, err := k.Dev.ReadInto(addr, &k.Buf, chipNow)
+				rep.PagesRead++
+				chipNow = t
+				if err != nil {
+					continue // unreadable backup page: keep scanning
+				}
+				protected, ok := blockFromSpare(k.Buf.Spare)
+				if !ok || !need[protected] {
+					continue
+				}
+				flat := k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: protected})
+				if old, dup := bp.refs[flat]; dup {
+					bk.live[old.backupBlk]-- // superseded by a newer generation
+				}
+				bp.refs[flat] = parityRef{backupBlk: r.blk, page: p}
+				bk.live[r.blk]++
+			}
+		}
+		before := len(bk.retired)
+		bp.recycleRetired(k, chip)
+		rep.Recycled += before - len(bk.retired)
+		if chipNow > end {
+			end = chipNow
+		}
+	}
+	rep.Restored = len(bp.refs)
+	rep.End = end
+	return rep, nil
 }
 
 // RebuildMapping reconstructs the logical-to-physical table from flash

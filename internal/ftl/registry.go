@@ -30,6 +30,12 @@ type Spec struct {
 	Rules string
 	// Description is a one-line summary for -list output.
 	Description string
+	// Backup names the scheme's power-cut protection ("none", "pairParity",
+	// "blockParity", or a device-specific label). The crash campaign derives
+	// its invariant mode from it: parity-backed schemes must preserve every
+	// acknowledged write across a power cut, "none" schemes must detect (not
+	// mask) the loss.
+	Backup string
 	// Hybrid marks policy combinations that exist only as registry entries
 	// (no paper counterpart); the ablation driver reports them separately.
 	Hybrid bool
@@ -109,6 +115,7 @@ func init() {
 	// The four FTLs of the paper's evaluation, in the paper's order.
 	Register(Spec{
 		Name:        "pageFTL",
+		Backup:      "none",
 		Rules:       "FPS",
 		Description: "baseline FPS page mapping, no paired-page backup",
 		New: mlcEntry("FPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
@@ -117,6 +124,7 @@ func init() {
 	})
 	Register(Spec{
 		Name:        "parityFTL",
+		Backup:      "pairParity",
 		Rules:       "FPS",
 		Description: "FPS with XOR parity pre-backup per LSB pair",
 		New: mlcEntry("FPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
@@ -125,6 +133,7 @@ func init() {
 	})
 	Register(Spec{
 		Name:           "rtfFTL",
+		Backup:         "pairParity",
 		Rules:          "FPS",
 		Description:    "return-to-fast active-block pool with pair parity",
 		IdleSpendsFree: true,
@@ -134,6 +143,7 @@ func init() {
 	})
 	Register(Spec{
 		Name:        "flexFTL",
+		Backup:      "blockParity",
 		Rules:       "RPS",
 		Description: "RPS two-phase ordering, block parity, adaptive u/q allocation",
 		New: mlcEntry("RPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
@@ -146,6 +156,7 @@ func init() {
 	// design axis each in the ablation driver.
 	Register(Spec{
 		Name:        "flexFTL-nobackup",
+		Backup:      "none",
 		Rules:       "RPS",
 		Description: "flexFTL without parity backup (upper bound; unsafe under power cuts)",
 		Hybrid:      true,
@@ -166,6 +177,7 @@ func init() {
 	})
 	Register(Spec{
 		Name:           "rtfFTL-adaptive",
+		Backup:         "pairParity",
 		Rules:          "FPS",
 		Description:    "return-to-fast pool driven by the adaptive u/q allocator",
 		Hybrid:         true,

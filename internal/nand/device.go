@@ -55,16 +55,25 @@ type block struct {
 	pages      []page
 	eraseCount int
 	retired    bool
-	// msbInFlight notes an MSB program accepted but not yet power-safe;
-	// power-loss injection uses it to find the vulnerable paired LSB.
-	msbInFlight   bool
-	msbInFlightWL int
+}
+
+// msbWindow is a chip's destructive-program window: the most recent MSB
+// program that the storage layer has not yet declared power-safe. While the
+// window is open a power cut destroys the MSB page and its paired LSB page.
+// A chip serializes its cell operations, so at most one window exists per
+// chip; a newer MSB program supersedes the previous window (the chip
+// timeline passed the older program before accepting the new one).
+type msbWindow struct {
+	blk  int
+	wl   int
+	open bool
 }
 
 // chip carries the busy timeline and blocks of one die.
 type chip struct {
 	blocks  []block
 	readyAt sim.Time
+	win     msbWindow
 }
 
 // OpCounts tallies device operations, split by page type where relevant.
@@ -241,26 +250,50 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 
 	if a.Page.Type == core.MSB {
 		d.counts.ProgramsMSB++
-		// While the MSB program is in flight the paired LSB data is in its
-		// destructive transient state. Record the window for power-loss
-		// injection; it closes at `done`.
-		blk.msbInFlight = true
-		blk.msbInFlightWL = a.Page.WL
+		// While the MSB program is unacknowledged the paired LSB data is in
+		// its destructive transient state. Record the window for power-loss
+		// injection; it stays open until AckProgram, a newer MSB program on
+		// the chip, or an erase on the chip. An LSB program does NOT close
+		// it: under interleaved FPS orders the hazard of a pending MSB is
+		// unaffected by LSB programs elsewhere on the chip.
+		c.win = msbWindow{blk: a.Block, wl: a.Page.WL, open: true}
 	} else {
 		d.counts.ProgramsLSB++
-		blk.msbInFlight = false
 	}
 	return done, nil
 }
 
-// AckProgram marks the most recent MSB program of the block as power-safe.
-// The storage layer calls it when the virtual clock passes the program's
-// completion time; between Program and AckProgram a power cut destroys the
-// paired LSB page.
+// AckProgram declares the block's most recent MSB program power-safe (its
+// data is covered by a backup, or the destructive phase is over). Between
+// Program and AckProgram a power cut destroys the paired LSB page. Acking a
+// block other than the window's is a no-op — the window belongs to whichever
+// block programmed last.
 func (d *Device) AckProgram(a BlockAddr) {
-	if blk, err := d.blockAt(a); err == nil {
-		blk.msbInFlight = false
+	if a.Chip < 0 || a.Chip >= len(d.chips) {
+		return
 	}
+	c := &d.chips[a.Chip]
+	if c.win.open && c.win.blk == a.Block {
+		c.win.open = false
+	}
+}
+
+// OpenMSBWindow reports the chip's open destructive window, if any: the
+// address of the unacknowledged MSB page whose pair a power cut would
+// destroy. Crash-injection harnesses use it to locate the vulnerable pages
+// before calling InjectPowerLoss.
+func (d *Device) OpenMSBWindow(chipID int) (PageAddr, bool) {
+	if chipID < 0 || chipID >= len(d.chips) {
+		return PageAddr{}, false
+	}
+	w := d.chips[chipID].win
+	if !w.open {
+		return PageAddr{}, false
+	}
+	return PageAddr{
+		BlockAddr: BlockAddr{Chip: chipID, Block: w.blk},
+		Page:      core.Page{WL: w.wl, Type: core.MSB},
+	}, true
 }
 
 // readPage performs the timing, accounting and validity checks shared by
@@ -365,7 +398,15 @@ func (d *Device) Erase(a BlockAddr, now sim.Time) (sim.Time, error) {
 		blk.pages[i] = page{}
 	}
 	blk.eraseCount++
-	blk.msbInFlight = false
+	// Erase barrier: the chip serialized this erase after any pending
+	// program, so that program's destructive transient is physically over by
+	// the time the erase begins. Closing the window here (unlike for LSB
+	// programs, where keeping it open merely over-approximates the hazard)
+	// matters for correctness: it guarantees that while a window is open, no
+	// erase has happened on the chip since the MSB was issued — so the
+	// previous copy of the interrupted page, always on the same chip for GC
+	// relocations, still exists for recovery to roll back to.
+	c.win.open = false
 	d.counts.Erases++
 	if d.rec != nil {
 		d.rec.Span(obs.KindErase, int32(a.Chip), start, done, int64(a.Block), int64(blk.eraseCount))
@@ -465,23 +506,28 @@ func (d *Device) BlockStateSnapshot(a BlockAddr) *core.BlockState {
 	return blk.state.Clone()
 }
 
-// InjectPowerLoss simulates a sudden power-off at the given block. If an MSB
-// program is in flight (issued but not yet acknowledged as power-safe), its
-// paired LSB page loses its data — the destructive-program hazard of
-// Section 1 — and the interrupted MSB page itself is left ECC-uncorrectable
-// (its program never completed, so the host must treat that write as not
-// durable). It reports whether pages were corrupted.
+// InjectPowerLoss simulates a sudden power-off at the given block. If the
+// chip's destructive window is open on that block (an MSB program issued but
+// not yet acknowledged as power-safe), the paired LSB page loses its data —
+// the destructive-program hazard of Section 1 — and the interrupted MSB page
+// itself is left ECC-uncorrectable (its program never completed, so the host
+// must treat that write as not durable). It reports whether pages were
+// corrupted.
 func (d *Device) InjectPowerLoss(a BlockAddr) bool {
 	blk, err := d.blockAt(a)
-	if err != nil || !blk.msbInFlight {
+	if err != nil {
+		return false
+	}
+	c := &d.chips[a.Chip]
+	if !c.win.open || c.win.blk != a.Block {
 		return false
 	}
 	wl := d.cfg.Geometry.WordLinesPerBlock
-	lsbIdx := core.Page{WL: blk.msbInFlightWL, Type: core.LSB}.Index(wl)
-	msbIdx := core.Page{WL: blk.msbInFlightWL, Type: core.MSB}.Index(wl)
+	lsbIdx := core.Page{WL: c.win.wl, Type: core.LSB}.Index(wl)
+	msbIdx := core.Page{WL: c.win.wl, Type: core.MSB}.Index(wl)
 	blk.pages[lsbIdx].corrupted = true
 	blk.pages[msbIdx].corrupted = true
-	blk.msbInFlight = false
+	c.win.open = false
 	return true
 }
 

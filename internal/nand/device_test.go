@@ -327,7 +327,7 @@ func TestAckProtectsAgainstPowerLoss(t *testing.T) {
 	}
 }
 
-func TestLSBProgramClosesVulnerabilityWindow(t *testing.T) {
+func TestLSBProgramOpensNoWindow(t *testing.T) {
 	// A power cut while only LSB programs are in flight loses nothing that
 	// was previously durable (LSB programming is not destructive to other
 	// pages).
@@ -335,6 +335,87 @@ func TestLSBProgramClosesVulnerabilityWindow(t *testing.T) {
 	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
 	if d.InjectPowerLoss(BlockAddr{Chip: 0, Block: 0}) {
 		t.Error("LSB program flagged as destructive")
+	}
+	if _, open := d.OpenMSBWindow(0); open {
+		t.Error("LSB program opened a destructive window")
+	}
+}
+
+func TestLSBProgramKeepsWindowOpen(t *testing.T) {
+	// Regression: an LSB program after an unacknowledged MSB program used to
+	// silently close the destructive window, hiding the power-loss hazard
+	// under interleaved FPS orders. The window must survive until AckProgram.
+	d := testDevice(t, core.RPS)
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 1, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 0, core.MSB), 0)
+	mustProgram(t, d, addr(0, 0, 2, core.LSB), 0) // interleaved LSB elsewhere
+	if w, open := d.OpenMSBWindow(0); !open || w != addr(0, 0, 0, core.MSB) {
+		t.Fatalf("window after interleaved LSB = %v (open=%v), want MSB(0) open", w, open)
+	}
+	if !d.InjectPowerLoss(BlockAddr{Chip: 0, Block: 0}) {
+		t.Fatal("power cut found no window despite unacked MSB program")
+	}
+	if _, _, _, err := d.Read(addr(0, 0, 0, core.LSB), 0); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("paired LSB read err = %v, want ErrUncorrectable", err)
+	}
+	// The interleaved LSB itself is unharmed.
+	if _, _, _, err := d.Read(addr(0, 0, 2, core.LSB), 0); err != nil {
+		t.Errorf("interleaved LSB damaged: %v", err)
+	}
+}
+
+func TestNewerMSBProgramSupersedesWindow(t *testing.T) {
+	// The chip serializes programs, so a second MSB program means the first
+	// completed; the window moves to the newest MSB program.
+	d := testDevice(t, core.RPS)
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 1, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 2, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 0, core.MSB), 0)
+	mustProgram(t, d, addr(0, 0, 1, core.MSB), 0)
+	w, open := d.OpenMSBWindow(0)
+	if !open || w != addr(0, 0, 1, core.MSB) {
+		t.Fatalf("window = %v (open=%v), want MSB(1) open", w, open)
+	}
+	if !d.InjectPowerLoss(BlockAddr{Chip: 0, Block: 0}) {
+		t.Fatal("no injection on open window")
+	}
+	// Only the newest pair is lost.
+	if _, _, _, err := d.Read(addr(0, 0, 1, core.LSB), 0); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("LSB(1) read err = %v, want ErrUncorrectable", err)
+	}
+	if _, _, _, err := d.Read(addr(0, 0, 0, core.LSB), 0); err != nil {
+		t.Errorf("LSB(0) of completed pair damaged: %v", err)
+	}
+}
+
+func TestEraseClosesChipWindow(t *testing.T) {
+	// The erase barrier: an erase anywhere on the chip serialized after the
+	// pending MSB program, so that program's destructive transient is over.
+	d := testDevice(t, core.RPS)
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 1, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 0, core.MSB), 0)
+	if _, err := d.Erase(BlockAddr{Chip: 0, Block: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, open := d.OpenMSBWindow(0); open {
+		t.Error("window survived an erase on the same chip")
+	}
+	if d.InjectPowerLoss(BlockAddr{Chip: 0, Block: 0}) {
+		t.Error("power cut corrupted pages after the erase barrier")
+	}
+}
+
+func TestAckOtherBlockLeavesWindowOpen(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	mustProgram(t, d, addr(0, 0, 0, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 1, core.LSB), 0)
+	mustProgram(t, d, addr(0, 0, 0, core.MSB), 0)
+	d.AckProgram(BlockAddr{Chip: 0, Block: 5}) // wrong block: no-op
+	if _, open := d.OpenMSBWindow(0); !open {
+		t.Error("ack of an unrelated block closed the window")
 	}
 }
 
