@@ -41,9 +41,13 @@ func main() {
 }
 
 // runInfo records how an experiment executed, for the -metrics dump.
+// Schemes lists the FTL registry names the experiment actually simulated
+// (empty for reliability-model and workload-characterization experiments,
+// which run no FTL).
 type runInfo struct {
-	Workers int     `json:"workers"`
-	WallMS  float64 `json:"wall_ms"`
+	Workers int      `json:"workers"`
+	WallMS  float64  `json:"wall_ms"`
+	Schemes []string `json:"schemes,omitempty"`
 }
 
 func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Blocks, workers int, metricsPath string) error {
@@ -52,11 +56,12 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 	// infos records worker count and wall-clock alongside.
 	snapshots := make(map[string]any)
 	infos := make(map[string]runInfo)
-	record := func(name string, start time.Time, workers int, result any) {
+	record := func(name string, start time.Time, workers int, schemes []string, result any) {
 		snapshots[name] = result
 		infos[name] = runInfo{
 			Workers: workers,
 			WallMS:  float64(time.Since(start).Microseconds()) / 1000,
+			Schemes: schemes,
 		}
 	}
 
@@ -74,7 +79,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
-		record("table1", start, 1, rows)
+		record("table1", start, 1, nil, rows)
 		experiments.RenderTable1(w, rows)
 	}
 	if want("fig4a") || want("fig4b") || (exp == "fig4") {
@@ -87,7 +92,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
-		record("fig4", start, par.Workers(workers), res)
+		record("fig4", start, par.Workers(workers), nil, res)
 		experiments.RenderFig4(w, res)
 		fmt.Fprintf(w, "  (%d blocks/order simulated in %v)\n", cfg.Blocks, time.Since(start).Round(time.Millisecond))
 	}
@@ -100,7 +105,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
-		record("fig4tlc", start, par.Workers(workers), res)
+		record("fig4tlc", start, par.Workers(workers), nil, res)
 		experiments.RenderFig4TLC(w, res)
 	}
 	if want("sensitivity") {
@@ -112,7 +117,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
-		record("sensitivity", start, par.Workers(workers), res)
+		record("sensitivity", start, par.Workers(workers), []string{"flexFTL", "pageFTL"}, res)
 		experiments.RenderSensitivity(w, res)
 	}
 	if want("stress") {
@@ -124,7 +129,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
-		record("stress", start, par.Workers(workers), pts)
+		record("stress", start, par.Workers(workers), nil, pts)
 		experiments.RenderStressSweep(w, pts)
 	}
 	if want("ablation") {
@@ -137,7 +142,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
-		record("ablation", start, par.Workers(workers), res)
+		record("ablation", start, par.Workers(workers), append([]string{"flexFTL"}, experiments.Hybrids()...), res)
 		experiments.RenderAblations(w, res)
 	}
 	if want("fig8a") || want("fig8b") || want("fig8c") || want("summary") || exp == "fig8" {
@@ -152,7 +157,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		if err != nil {
 			return err
 		}
-		record("fig8", start, par.Workers(workers), res)
+		record("fig8", start, par.Workers(workers), res.Schemes, res)
 		fmt.Fprintf(w, "(4 FTLs x 5 workloads simulated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		if want("fig8a") || exp == "fig8" {
 			experiments.RenderFig8a(w, res)

@@ -70,8 +70,9 @@ func TestRunMetricsDump(t *testing.T) {
 		t.Errorf("dump missing table1 snapshot: %v", snap)
 	}
 	var infos map[string]struct {
-		Workers int     `json:"workers"`
-		WallMS  float64 `json:"wall_ms"`
+		Workers int      `json:"workers"`
+		WallMS  float64  `json:"wall_ms"`
+		Schemes []string `json:"schemes"`
 	}
 	if err := json.Unmarshal(snap["runinfo"], &infos); err != nil {
 		t.Fatalf("runinfo missing or malformed: %v", err)
@@ -81,5 +82,39 @@ func TestRunMetricsDump(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "metrics: wrote 1 experiment snapshot") {
 		t.Errorf("run output missing metrics summary:\n%s", sb.String())
+	}
+}
+
+// TestRunMetricsSchemes: FTL-driving experiments stamp the scheme registry
+// names they simulated into their runinfo block.
+func TestRunMetricsSchemes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var sb strings.Builder
+	if err := run(&sb, "fig8a", 400, 1, false, 2, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	var infos map[string]struct {
+		Schemes []string `json:"schemes"`
+	}
+	if err := json.Unmarshal(snap["runinfo"], &infos); err != nil {
+		t.Fatal(err)
+	}
+	got := infos["fig8"].Schemes
+	if len(got) != 4 {
+		t.Fatalf("fig8 runinfo schemes = %v, want the 4 MLC FTLs", got)
+	}
+	want := map[string]bool{"pageFTL": true, "parityFTL": true, "rtfFTL": true, "flexFTL": true}
+	for _, s := range got {
+		if !want[s] {
+			t.Errorf("unexpected scheme %q in runinfo", s)
+		}
 	}
 }

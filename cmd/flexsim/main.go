@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -19,8 +20,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"flexftl/internal/experiments"
@@ -49,6 +52,8 @@ type options struct {
 	Sample       time.Duration // internal-state sampling cadence (0 = off)
 	SampleOut    string        // sampled series CSV output file
 	DebugAddr    string        // pprof/expvar HTTP listen address
+	ServeAfter   bool          // keep the debug server up after the run ends
+	Metrics      string        // structured run-result JSON output file
 }
 
 // listSchemes prints every registered FTL scheme with its rule set and
@@ -81,6 +86,8 @@ func main() {
 	flag.DurationVar(&o.Sample, "sample", 0, "sample internal state (u, q, queue depths) on this virtual-time cadence")
 	flag.StringVar(&o.SampleOut, "sample-out", "", "write the sampled series as CSV to this file")
 	flag.StringVar(&o.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar metrics on this address")
+	flag.BoolVar(&o.ServeAfter, "serve-after", false, "keep the -debug-addr server running after the run until interrupted")
+	flag.StringVar(&o.Metrics, "metrics", "", "write the run result (flexstat-readable JSON) to this file")
 	flag.Parse()
 	if *list {
 		listSchemes(os.Stdout)
@@ -219,7 +226,43 @@ func newRecorder(w io.Writer, o options) (*obs.Recorder, func() error, error) {
 	return rec, cleanup, nil
 }
 
+// writeMetrics dumps the run result (plus the registry snapshot when tracing
+// is on) as the same nested-JSON shape flexbench -metrics emits, so flexstat
+// report/compare reads either tool's output.
+func writeMetrics(path, scheme string, res ssd.RunResult, rec *obs.Recorder, wall time.Duration) error {
+	doc := map[string]any{
+		"single": res,
+		"runinfo": map[string]any{
+			"single": map[string]any{
+				"workers": 1,
+				"wall_ms": float64(wall) / float64(time.Millisecond),
+				"schemes": []string{scheme},
+			},
+		},
+	}
+	if rec != nil {
+		doc["registry"] = rec.Registry().Snapshot()
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// waitForSignal blocks until SIGINT/SIGTERM; a variable so tests can stub it.
+var waitForSignal = func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	signal.Stop(ch)
+}
+
 func run(w io.Writer, o options) error {
+	if o.ServeAfter && o.DebugAddr == "" {
+		return fmt.Errorf("-serve-after requires -debug-addr")
+	}
+	start := time.Now()
 	geometry := experiments.EvalGeometry()
 	if o.Full {
 		geometry = nand.DefaultGeometry()
@@ -310,5 +353,21 @@ func run(w io.Writer, o options) error {
 		st.HostWrites, st.HostWritesLSB, st.HostWritesMSB, st.GCCopies, st.BackupWrites, st.PadWrites)
 	fmt.Fprintf(w, "erases   : %d (WA %.2f), GC: %d foreground / %d background\n",
 		st.Erases, st.WriteAmplification(), st.ForegroundGCs, st.BackgroundGCs)
-	return finishObs()
+	lat := res.Latency
+	fmt.Fprintf(w, "latency  : write-ack p50/p95/p99/p999 = %.1f/%.1f/%.1f/%.1f us, read p99 = %.1f us (WAF %.3f)\n",
+		lat.WriteAck.P50, lat.WriteAck.P95, lat.WriteAck.P99, lat.WriteAck.P999, lat.Read.P99, res.WAF)
+	if o.Metrics != "" {
+		if err := writeMetrics(o.Metrics, o.FTL, res, rec, time.Since(start)); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics  : wrote run result to %s\n", o.Metrics)
+	}
+	if err := finishObs(); err != nil {
+		return err
+	}
+	if o.ServeAfter {
+		fmt.Fprintf(w, "debug    : serving pprof/expvar on %s until interrupted\n", o.DebugAddr)
+		waitForSignal()
+	}
+	return nil
 }

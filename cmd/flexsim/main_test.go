@@ -153,6 +153,121 @@ func TestRunWithJSONLTrace(t *testing.T) {
 	}
 }
 
+// TestRunMetricsDump: -metrics writes a flexstat-readable dump carrying the
+// run result, the runinfo scheme stamp, and (with tracing on) the registry.
+func TestRunMetricsDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var sb strings.Builder
+	o := options{
+		FTL: "flexFTL", Workload: "Varmail", Requests: 2000, Seed: 5, GCPolicy: "greedy",
+		Metrics: path, Sample: 5 * time.Millisecond,
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Single struct {
+			FTLName  string
+			Workload string
+			WAF      float64
+			Latency  struct {
+				WriteAck struct{ Count int64 }
+			}
+		} `json:"single"`
+		RunInfo map[string]struct {
+			Schemes []string `json:"schemes"`
+		} `json:"runinfo"`
+		Registry *struct {
+			Counters map[string]int64
+		} `json:"registry"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("metrics dump not valid JSON: %v", err)
+	}
+	if doc.Single.FTLName != "flexFTL" || doc.Single.Workload != "Varmail" {
+		t.Errorf("run result = %s/%s", doc.Single.FTLName, doc.Single.Workload)
+	}
+	if doc.Single.WAF < 1 {
+		t.Errorf("WAF = %v, want >= 1", doc.Single.WAF)
+	}
+	if doc.Single.Latency.WriteAck.Count == 0 {
+		t.Error("write-ack percentile count is zero")
+	}
+	if got := doc.RunInfo["single"].Schemes; len(got) != 1 || got[0] != "flexFTL" {
+		t.Errorf("runinfo schemes = %v", got)
+	}
+	if doc.Registry == nil {
+		t.Fatal("registry snapshot missing despite sampling being on")
+	}
+	if _, ok := doc.Registry.Counters["blame.gc_us"]; !ok {
+		t.Errorf("registry counters missing blame.gc_us: %v", doc.Registry.Counters)
+	}
+	if !strings.Contains(sb.String(), "latency  : write-ack") {
+		t.Errorf("run output missing latency line:\n%s", sb.String())
+	}
+}
+
+// TestRunMetricsDumpNoTracing: without any tracing flag the dump carries no
+// registry block but still has the run result.
+func TestRunMetricsDumpNoTracing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var sb strings.Builder
+	o := options{FTL: "pageFTL", Workload: "OLTP", Requests: 500, Seed: 2, GCPolicy: "greedy", Metrics: path}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["registry"]; ok {
+		t.Error("registry block present without tracing")
+	}
+	if _, ok := doc["single"]; !ok {
+		t.Error("single run result missing")
+	}
+}
+
+// TestServeAfterRequiresDebugAddr: -serve-after alone is a usage error.
+func TestServeAfterRequiresDebugAddr(t *testing.T) {
+	var sb strings.Builder
+	o := options{FTL: "pageFTL", Workload: "OLTP", Requests: 100, Seed: 1, GCPolicy: "greedy", ServeAfter: true}
+	if err := run(&sb, o); err == nil {
+		t.Error("-serve-after without -debug-addr accepted")
+	}
+}
+
+// TestServeAfterBlocksUntilSignal: with -serve-after the run finishes, then
+// waits on the (stubbed) signal hook before returning.
+func TestServeAfterBlocksUntilSignal(t *testing.T) {
+	waited := false
+	prev := waitForSignal
+	waitForSignal = func() { waited = true }
+	defer func() { waitForSignal = prev }()
+	var sb strings.Builder
+	o := options{
+		FTL: "pageFTL", Workload: "OLTP", Requests: 100, Seed: 1, GCPolicy: "greedy",
+		DebugAddr: "127.0.0.1:0", ServeAfter: true,
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if !waited {
+		t.Error("run returned without waiting for the signal hook")
+	}
+	if !strings.Contains(sb.String(), "until interrupted") {
+		t.Errorf("run output missing serve-after notice:\n%s", sb.String())
+	}
+}
+
 func TestRunUnknownTraceFormat(t *testing.T) {
 	var sb strings.Builder
 	o := options{

@@ -1,0 +1,308 @@
+// Command flexstat renders structured run reports from the JSON metric
+// dumps of flexbench -metrics and flexsim -metrics, and compares two dumps
+// run for run:
+//
+//	flexstat report  RUN.json                 # per-run latency/WAF table
+//	flexstat compare OLD.json NEW.json        # per-run p99/WAF deltas
+//	flexstat compare -p99 5 -waf 2 OLD NEW    # tighter gating thresholds
+//
+// compare exits nonzero when any matched run's write-ack p99 or WAF moves
+// beyond the thresholds (percent), so CI can gate on it; two runs of the
+// same scheme, workload and seed report zero delta and exit 0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"flexftl/internal/obs"
+	"flexftl/internal/ssd"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: flexstat report FILE.json")
+	fmt.Fprintln(w, "       flexstat compare [-p99 PCT] [-waf PCT] OLD.json NEW.json")
+}
+
+func realMain(args []string, out, errw io.Writer) int {
+	if len(args) < 1 {
+		usage(errw)
+		return 2
+	}
+	switch args[0] {
+	case "report":
+		if len(args) != 2 {
+			usage(errw)
+			return 2
+		}
+		if err := report(out, args[1]); err != nil {
+			fmt.Fprintln(errw, "flexstat:", err)
+			return 2
+		}
+		return 0
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+		fs.SetOutput(errw)
+		p99Thresh := fs.Float64("p99", 10, "max allowed |write-ack p99 delta| in percent")
+		wafThresh := fs.Float64("waf", 5, "max allowed |WAF delta| in percent")
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
+		if fs.NArg() != 2 {
+			usage(errw)
+			return 2
+		}
+		code, err := compare(out, fs.Arg(0), fs.Arg(1), *p99Thresh, *wafThresh)
+		if err != nil {
+			fmt.Fprintln(errw, "flexstat:", err)
+			return 2
+		}
+		return code
+	default:
+		usage(errw)
+		return 2
+	}
+}
+
+// runEntry is one ssd.RunResult found in a metrics dump, addressed by its
+// JSON path (e.g. "fig8/Cells/flexFTL/Varmail/Result"). The path is the
+// join key for compare: it is stable across runs of the same experiment set.
+type runEntry struct {
+	path string
+	run  ssd.RunResult
+}
+
+// loadDump parses a metrics dump, collecting every embedded run result and
+// any registry snapshot (flexsim -metrics attaches one when tracing is on).
+func loadDump(path string) ([]runEntry, *obs.RegistrySnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var runs []runEntry
+	var reg *obs.RegistrySnapshot
+	collect(doc, "", &runs, &reg)
+	sort.Slice(runs, func(i, j int) bool { return runs[i].path < runs[j].path })
+	return runs, reg, nil
+}
+
+// collect walks the decoded JSON tree. An object carrying the RunResult key
+// set is re-marshaled into the typed struct; an object with the registry
+// snapshot key set becomes the blame/instrument section of the report.
+func collect(v any, path string, runs *[]runEntry, reg **obs.RegistrySnapshot) {
+	switch n := v.(type) {
+	case map[string]any:
+		if hasKeys(n, "FTLName", "Workload", "Metrics", "Stats") {
+			var r ssd.RunResult
+			if remarshal(n, &r) == nil {
+				*runs = append(*runs, runEntry{path: path, run: r})
+				return
+			}
+		}
+		if *reg == nil && hasKeys(n, "Counters", "Gauges", "Histograms") {
+			var snap obs.RegistrySnapshot
+			if remarshal(n, &snap) == nil {
+				*reg = &snap
+				return
+			}
+		}
+		keys := make([]string, 0, len(n))
+		for k := range n {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			collect(n[k], join(path, k), runs, reg)
+		}
+	case []any:
+		for i, e := range n {
+			collect(e, join(path, strconv.Itoa(i)), runs, reg)
+		}
+	}
+}
+
+func join(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "/" + key
+}
+
+func hasKeys(m map[string]any, keys ...string) bool {
+	for _, k := range keys {
+		if _, ok := m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func remarshal(m map[string]any, dst any) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, dst)
+}
+
+// report renders the per-run latency/WAF table plus the registry's blame
+// counters when the dump carries them.
+func report(w io.Writer, file string) error {
+	runs, reg, err := loadDump(file)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "flexstat report: %s — %d run(s)\n\n", file, len(runs))
+	if len(runs) > 0 {
+		fmt.Fprintf(w, "%-14s %-12s %8s %9s %7s %9s %9s %9s %9s %9s %8s\n",
+			"scheme", "workload", "reqs", "IOPS", "WAF",
+			"r.p50", "r.p99", "w.p50", "w.p99", "w.p999", "erases")
+		for _, e := range runs {
+			r := e.run
+			lat := r.Latency
+			fmt.Fprintf(w, "%-14s %-12s %8d %9.0f %7.3f %9.1f %9.1f %9.1f %9.1f %9.1f %8d\n",
+				r.FTLName, r.Workload, r.Metrics.Requests, r.Metrics.IOPS, r.WAF,
+				lat.Read.P50, lat.Read.P99,
+				lat.WriteAck.P50, lat.WriteAck.P99, lat.WriteAck.P999,
+				r.Stats.Erases)
+		}
+	}
+	if reg != nil {
+		fmt.Fprintf(w, "\nblame decomposition (µs):\n")
+		names := make([]string, 0, len(reg.Counters))
+		for n := range reg.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "  %-28s %12d\n", n, reg.Counters[n])
+		}
+		hnames := make([]string, 0, len(reg.Histograms))
+		for n := range reg.Histograms {
+			hnames = append(hnames, n)
+		}
+		sort.Strings(hnames)
+		if len(hnames) > 0 {
+			fmt.Fprintf(w, "\nhistograms (count / p50 / p99 / max, µs):\n")
+			for _, n := range hnames {
+				h := reg.Histograms[n]
+				fmt.Fprintf(w, "  %-28s %10d %9d %9d %9d\n", n, h.Count, h.P50, h.P99, h.Max)
+			}
+		}
+	}
+	return nil
+}
+
+// deltaPct is the relative change new vs old in percent; +Inf marks a value
+// appearing from zero (always beyond any threshold).
+func deltaPct(old, new float64) float64 {
+	if old == new {
+		return 0
+	}
+	if old == 0 {
+		return math.Inf(1)
+	}
+	return 100 * (new - old) / old
+}
+
+func fmtDelta(d float64) string {
+	if math.IsInf(d, 1) {
+		return "    +inf"
+	}
+	return fmt.Sprintf("%+7.2f%%", d)
+}
+
+// compare joins two dumps run for run (by JSON path) and gates on the
+// write-ack p99 and WAF deltas. Runs present in only one dump are listed but
+// do not gate. Returns the process exit code.
+func compare(w io.Writer, oldFile, newFile string, p99Thresh, wafThresh float64) (int, error) {
+	oldRuns, _, err := loadDump(oldFile)
+	if err != nil {
+		return 2, err
+	}
+	newRuns, _, err := loadDump(newFile)
+	if err != nil {
+		return 2, err
+	}
+	oldBy := make(map[string]ssd.RunResult, len(oldRuns))
+	for _, e := range oldRuns {
+		oldBy[e.path] = e.run
+	}
+	newBy := make(map[string]ssd.RunResult, len(newRuns))
+	for _, e := range newRuns {
+		newBy[e.path] = e.run
+	}
+	paths := make([]string, 0, len(oldBy)+len(newBy))
+	for p := range oldBy {
+		paths = append(paths, p)
+	}
+	for p := range newBy {
+		if _, ok := oldBy[p]; !ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	fmt.Fprintf(w, "flexstat compare: %s -> %s\n\n", oldFile, newFile)
+	fmt.Fprintf(w, "%-14s %-12s %10s %10s %8s %8s %8s %8s\n",
+		"scheme", "workload", "old p99", "new p99", "Δp99", "old WAF", "new WAF", "ΔWAF")
+	matched, failed := 0, 0
+	maxP99, maxWAF := 0.0, 0.0
+	for _, p := range paths {
+		o, inOld := oldBy[p]
+		n, inNew := newBy[p]
+		switch {
+		case !inNew:
+			fmt.Fprintf(w, "%-14s %-12s  (only in %s)\n", o.FTLName, o.Workload, oldFile)
+			continue
+		case !inOld:
+			fmt.Fprintf(w, "%-14s %-12s  (only in %s)\n", n.FTLName, n.Workload, newFile)
+			continue
+		}
+		matched++
+		dp99 := deltaPct(o.Latency.WriteAck.P99, n.Latency.WriteAck.P99)
+		dwaf := deltaPct(o.WAF, n.WAF)
+		if math.Abs(dp99) > maxP99 {
+			maxP99 = math.Abs(dp99)
+		}
+		if math.Abs(dwaf) > maxWAF {
+			maxWAF = math.Abs(dwaf)
+		}
+		mark := ""
+		if math.Abs(dp99) > p99Thresh || math.Abs(dwaf) > wafThresh {
+			failed++
+			mark = "  << FAIL"
+		}
+		fmt.Fprintf(w, "%-14s %-12s %10.1f %10.1f %s %8.3f %8.3f %s%s\n",
+			n.FTLName, n.Workload,
+			o.Latency.WriteAck.P99, n.Latency.WriteAck.P99, fmtDelta(dp99),
+			o.WAF, n.WAF, fmtDelta(dwaf), mark)
+	}
+	verdict := "OK"
+	if failed > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "\n%d run(s) compared, %d beyond thresholds (|Δp99| <= %g%%, |ΔWAF| <= %g%%): %s\n",
+		matched, failed, p99Thresh, wafThresh, verdict)
+	if matched == 0 {
+		fmt.Fprintln(w, "warning: no runs matched between the two dumps")
+	}
+	if failed > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -38,6 +38,17 @@ type Base struct {
 	bg   bgVictim // in-progress background-GC victim (survives idle windows)
 	hyst bool     // background-GC hysteresis latch
 
+	// Blame counters (nil without a recorder): host-visible stall charged to
+	// foreground GC, backup-program completion extension, and the two-phase
+	// reprogram penalty. Prefetched in SetRecorder so the hot path never
+	// touches the registry maps.
+	ctrBlameGC        *obs.Counter
+	ctrBlameBackup    *obs.Counter
+	ctrBlameReprogram *obs.Counter
+	// reprogPenalty is the extra latency of a slow (MSB) program over a fast
+	// (LSB) one, charged per host MSB data write.
+	reprogPenalty int64
+
 	// Scratch buffers for the per-write payload helpers and the GC
 	// valid-page scan. Safe for the same reason Buf is: the FTLs are
 	// single-threaded and Device.Program copies payload and spare before
@@ -58,10 +69,11 @@ func NewBase(dev *nand.Device, cfg Config) (*Base, error) {
 		return nil, fmt.Errorf("ftl: geometry too small for over-provisioning %v", cfg.OPFraction)
 	}
 	b := &Base{
-		Dev:   dev,
-		Map:   NewMapper(g, logical),
-		Cfg:   cfg,
-		Pools: make([]*FreePool, g.Chips()),
+		Dev:           dev,
+		Map:           NewMapper(g, logical),
+		Cfg:           cfg,
+		Pools:         make([]*FreePool, g.Chips()),
+		reprogPenalty: int64(dev.Timing().ProgMSB - dev.Timing().ProgLSB),
 	}
 	for c := range b.Pools {
 		b.Pools[c] = NewFreePool(c, g.BlocksPerChip)
@@ -114,7 +126,15 @@ func (b *Base) Device() *nand.Device { return b.Dev }
 func (b *Base) SetRecorder(r *obs.Recorder) {
 	b.Obs = r
 	b.Dev.SetRecorder(r)
+	reg := r.Registry()
+	b.ctrBlameGC = reg.Counter(obs.BlameCounterName(obs.CauseGC))
+	b.ctrBlameBackup = reg.Counter(obs.BlameCounterName(obs.CauseBackup))
+	b.ctrBlameReprogram = reg.Counter(obs.BlameCounterName(obs.CauseReprogram))
 }
+
+// WearSpread returns the device's wear imbalance (Max/Mean erase count; 1.0
+// is perfectly even), the sampler's erase-count-spread stream.
+func (b *Base) WearSpread() float64 { return b.Dev.Wear().Imbalance }
 
 // Stats returns the counter snapshot.
 func (b *Base) Stats() Stats { return b.St }
@@ -249,7 +269,11 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 		return now, fmt.Errorf("ftl: re-entrant GC on chip %d", chip)
 	}
 	b.inGC = true
-	defer func() { b.inGC = false }()
+	prevCause := b.Dev.SetCause(obs.CauseGC)
+	defer func() {
+		b.inGC = false
+		b.Dev.SetCause(prevCause)
+	}()
 	gcStart, copiesBefore := now, b.St.GCCopies
 
 	addr := nand.BlockAddr{Chip: chip, Block: victim}

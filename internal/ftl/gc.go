@@ -63,6 +63,8 @@ type bgVictim struct {
 // new victim (chosen by PickNeediestVictim) while shouldRun() holds. It
 // returns the virtual time reached.
 func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc AllocFunc) sim.Time {
+	prevCause := b.Dev.SetCause(obs.CauseGC)
+	defer b.Dev.SetCause(prevCause)
 	t := b.Dev.Timing()
 	perPage := GCPageCopyCost(t)
 	g := b.Dev.Geometry()

@@ -6,6 +6,7 @@ import (
 
 	"flexftl/internal/core"
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -91,6 +92,38 @@ func TestRunBackgroundGCCollectsFullyInvalidVictim(t *testing.T) {
 	// A fully invalid victim needs zero copies.
 	if h.b.St.GCCopies != 0 {
 		t.Errorf("fully invalid victim caused %d copies", h.b.St.GCCopies)
+	}
+}
+
+// TestBackgroundGCTagsCauseGC: every device operation inside the shared GC
+// engine — reads, relocation programs, the erase — is attributed to the GC
+// cause, and the ambient cause is restored afterwards.
+func TestBackgroundGCTagsCauseGC(t *testing.T) {
+	h := newGCHarness(t)
+	rec := obs.NewRecorder(obs.Options{})
+	h.b.SetRecorder(rec)
+	g := h.b.Dev.Geometry()
+	perBlock := g.PagesPerBlock()
+	now := h.writeSeq(t, 0, perBlock, 0)
+	now = h.writeSeq(t, 0, perBlock/2, now)
+	hostBusy := h.b.Dev.CauseBusy()[obs.CauseHost]
+	if hostBusy == 0 {
+		t.Fatal("host writes charged no host busy time")
+	}
+	h.b.RunBackgroundGC(now, now+10*sim.Second, func() bool { return true }, h.alloc)
+	busy := h.b.Dev.CauseBusy()
+	if busy[obs.CauseGC] == 0 {
+		t.Error("background GC charged no gc busy time")
+	}
+	if busy[obs.CauseHost] != hostBusy {
+		t.Errorf("host busy moved during GC: %v -> %v", hostBusy, busy[obs.CauseHost])
+	}
+	if h.b.Dev.Cause() != obs.CauseHost {
+		t.Errorf("ambient cause after GC = %v, want CauseHost", h.b.Dev.Cause())
+	}
+	snap := rec.Registry().Snapshot()
+	if got := snap.Counters[obs.BusyCounterName("nand", obs.CauseGC)]; got != int64(busy[obs.CauseGC]) {
+		t.Errorf("nand.busy_us.gc counter = %d, array = %d", got, busy[obs.CauseGC])
 	}
 }
 

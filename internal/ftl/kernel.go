@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -97,9 +98,15 @@ func (k *Kernel) Name() string { return k.name }
 func (k *Kernel) Write(lpn LPN, now sim.Time, util float64) (sim.Time, error) {
 	chip := k.NextChip()
 	var err error
+	gcStart := now
 	now, err = k.place.foregroundGC(k, chip, now)
 	if err != nil {
 		return now, err
+	}
+	// Host-visible stall from inline reclaim: the write could not be issued
+	// until foreground GC returned the timeline.
+	if now > gcStart {
+		k.ctrBlameGC.Add(int64(now - gcStart))
 	}
 	pref := k.alloc.chooseHost(k, chip, util, now)
 	done, err := k.place.program(k, chip, pref, lpn, k.Token(lpn), k.Spare(lpn), now, false)
@@ -188,7 +195,45 @@ func (k *Kernel) noteData(isLSB, fromGC bool) {
 		k.St.GCCopiesMSB++
 	default:
 		k.St.HostWritesMSB++
+		// The reprogram penalty: this host write paid a slow (MSB) program
+		// where a fast (LSB) page would have served, the two-phase/allocation
+		// cost axis of the paper.
+		k.ctrBlameReprogram.Add(k.reprogPenalty)
 	}
+}
+
+// backupAfterLSB routes the backup strategy's per-LSB hook through the
+// attribution layer: media ops it issues are charged to CauseBackup, and any
+// completion-time extension beyond the data program is blamed on backup.
+func (k *Kernel) backupAfterLSB(chip int, data []byte, done sim.Time) (sim.Time, error) {
+	prev := k.Dev.SetCause(obs.CauseBackup)
+	ext, err := k.bk.afterLSB(k, chip, data, done)
+	k.Dev.SetCause(prev)
+	if ext > done {
+		k.ctrBlameBackup.Add(int64(ext - done))
+	}
+	return ext, err
+}
+
+// backupOnFastComplete is the CauseBackup-attributed wrapper around the
+// fast-block-complete hook (the per-block parity write).
+func (k *Kernel) backupOnFastComplete(chip, fastBlk int, done sim.Time) (sim.Time, error) {
+	prev := k.Dev.SetCause(obs.CauseBackup)
+	ext, err := k.bk.onFastComplete(k, chip, fastBlk, done)
+	k.Dev.SetCause(prev)
+	if ext > done {
+		k.ctrBlameBackup.Add(int64(ext - done))
+	}
+	return ext, err
+}
+
+// backupOnSlowComplete is the CauseBackup-attributed wrapper around the
+// slow-block-complete hook (parity invalidation + backup-block recycling;
+// erases it triggers are media work, not host-visible stall).
+func (k *Kernel) backupOnSlowComplete(chip, blk int) {
+	prev := k.Dev.SetCause(obs.CauseBackup)
+	k.bk.onSlowComplete(k, chip, blk)
+	k.Dev.SetCause(prev)
 }
 
 // PageSize returns the data-page size in bytes (runner bandwidth input).

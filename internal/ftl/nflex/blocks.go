@@ -5,6 +5,7 @@ import (
 
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -63,6 +64,9 @@ func (f *FTL) programAt(chip, level int, lpn ftl.LPN, data, spare []byte, now si
 			f.st.HostWritesLSB++
 		} else {
 			f.st.HostWritesMSB++
+			// Reprogram penalty: a host write landed on a refinement page
+			// instead of a fast level-0 page.
+			f.ctrBlameReprogram.Add(f.reprogPenalty[level])
 		}
 	}
 	if level == 0 {
@@ -93,9 +97,13 @@ func (f *FTL) programAt(chip, level int, lpn ftl.LPN, data, spare []byte, now si
 			snapshot := f.psnap
 			cs.pbuf[level].Reset()
 			cs.queues[level+1].Push(full)
+			preBackup := done
 			done, err = f.writePhaseParity(chip, full, level, snapshot, done)
 			if err != nil {
 				return done, err
+			}
+			if done > preBackup {
+				f.ctrBlameBackup.Add(int64(done - preBackup))
 			}
 		} else {
 			// Final phase: block fully programmed; retire its parities.
@@ -119,7 +127,9 @@ func (f *FTL) writePhaseParity(chip, blk, level int, parityPage []byte, now sim.
 		bk.cur, bk.pos = b, 0
 	}
 	addr := pageFor(chip, bk.cur, bk.pos, 0)
+	prevCause := f.dev.SetCause(obs.CauseBackup)
 	done, err := f.dev.Program(addr, parityPage, spareBlockNo(blk, level), now)
+	f.dev.SetCause(prevCause)
 	if err != nil {
 		return now, err
 	}
@@ -141,6 +151,8 @@ func (f *FTL) writePhaseParity(chip, blk, level int, parityPage []byte, now sim.
 // invalidateParities retires every phase parity of a completed block and
 // recycles stale backup blocks.
 func (f *FTL) invalidateParities(chip, blk int) {
+	prevCause := f.dev.SetCause(obs.CauseBackup)
+	defer f.dev.SetCause(prevCause)
 	cs := &f.chips[chip]
 	flat := f.flatBlock(chip, blk)
 	for _, ref := range f.refs[flat] {
@@ -179,6 +191,8 @@ func (f *FTL) gcAlloc(chip int, lpn ftl.LPN, data []byte, now sim.Time) (sim.Tim
 
 // collectVictim relocates a whole victim inline (foreground).
 func (f *FTL) collectVictim(chip, victim int, now sim.Time) (sim.Time, error) {
+	prevCause := f.dev.SetCause(obs.CauseGC)
+	defer f.dev.SetCause(prevCause)
 	f.pools[chip].TakeFull(victim)
 	a := nand.BlockAddr{Chip: chip, Block: victim}
 	idx := 0
@@ -233,7 +247,11 @@ func (f *FTL) foregroundGC(chip int, now sim.Time) (sim.Time, error) {
 // Idle runs incremental background GC (deepest-phase copies raise q).
 func (f *FTL) Idle(now, until sim.Time) {
 	f.inBGC = true
-	defer func() { f.inBGC = false }()
+	prevCause := f.dev.SetCause(obs.CauseGC)
+	defer func() {
+		f.inBGC = false
+		f.dev.SetCause(prevCause)
+	}()
 	g := f.dev.Geometry()
 	t := f.dev.Timing()
 	perPage := t.Read + 2*t.BusXfer + t.Prog[g.Levels-1]

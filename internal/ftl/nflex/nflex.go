@@ -25,6 +25,7 @@ import (
 	"flexftl/internal/ftl"
 	"flexftl/internal/nand"
 	"flexftl/internal/nandn"
+	"flexftl/internal/obs"
 	"flexftl/internal/parity"
 	"flexftl/internal/sim"
 )
@@ -127,6 +128,13 @@ type FTL struct {
 	tok   [ftl.TokenSize]byte
 	sp    [8]byte
 	psnap []byte
+
+	// Blame counters (nil without a recorder) and the per-level reprogram
+	// penalty Prog[l]-Prog[0], mirroring the MLC kernel's attribution.
+	ctrBlameGC        *obs.Counter
+	ctrBlameBackup    *obs.Counter
+	ctrBlameReprogram *obs.Counter
+	reprogPenalty     []int64
 }
 
 var _ ftl.Host = (*FTL)(nil)
@@ -158,6 +166,10 @@ func New(dev *nandn.Device, cfg ftl.Config, params Params) (*FTL, error) {
 		chips:   make([]chipState, g.Chips()),
 		byLevel: make([]int64, g.Levels),
 		refs:    make(map[int]map[int]parityRef),
+	}
+	f.reprogPenalty = make([]int64, g.Levels)
+	for l := range f.reprogPenalty {
+		f.reprogPenalty[l] = int64(dev.Timing().Prog[l] - dev.Timing().Prog[0])
 	}
 	totalL0 := int64(g.TotalBlocks()) * int64(g.WordLinesPerBlock)
 	f.q = int64(params.QuotaFraction * float64(totalL0))
@@ -201,6 +213,20 @@ func (f *FTL) SetVictimReference(on bool) {
 		p.Reference = on
 	}
 }
+
+// SetRecorder attaches an observability recorder to the FTL and its device,
+// wiring the blame counters (the runner instruments any scheme exposing this
+// method uniformly).
+func (f *FTL) SetRecorder(r *obs.Recorder) {
+	f.dev.SetRecorder(r)
+	reg := r.Registry()
+	f.ctrBlameGC = reg.Counter(obs.BlameCounterName(obs.CauseGC))
+	f.ctrBlameBackup = reg.Counter(obs.BlameCounterName(obs.CauseBackup))
+	f.ctrBlameReprogram = reg.Counter(obs.BlameCounterName(obs.CauseReprogram))
+}
+
+// WearSpread returns the device's wear imbalance (Max/Mean erase count).
+func (f *FTL) WearSpread() float64 { return f.dev.Wear().Imbalance }
 
 // Name identifies the scheme.
 func (f *FTL) Name() string { return fmt.Sprintf("nflexFTL(%d-level)", f.dev.Geometry().Levels) }
@@ -285,9 +311,13 @@ func (f *FTL) Write(lpn ftl.LPN, now sim.Time, util float64) (sim.Time, error) {
 	chip := f.rr
 	f.rr = (f.rr + 1) % f.dev.Geometry().Chips()
 	var err error
+	gcStart := now
 	now, err = f.foregroundGC(chip, now)
 	if err != nil {
 		return now, err
+	}
+	if now > gcStart {
+		f.ctrBlameGC.Add(int64(now - gcStart))
 	}
 	level := f.chooseLevel(chip, util)
 	done, err := f.programAt(chip, level, lpn, f.token(lpn), f.spare(lpn), now, false)

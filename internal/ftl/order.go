@@ -76,7 +76,7 @@ func (o *fpsSingle) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare
 	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
 	if page.Type == core.LSB {
 		k.noteData(true, fromGC)
-		done, err = k.bk.afterLSB(k, chip, data, done)
+		done, err = k.backupAfterLSB(chip, data, done)
 		if err != nil {
 			return done, err
 		}
@@ -199,7 +199,7 @@ func (o *fpsPool) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare [
 	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
 	if page.Type == core.LSB {
 		k.noteData(true, fromGC)
-		done, err = k.bk.afterLSB(k, chip, data, done)
+		done, err = k.backupAfterLSB(chip, data, done)
 		if err != nil {
 			return done, err
 		}
@@ -261,7 +261,9 @@ func (o *fpsPool) padOneMSB(k *Kernel, chip int, now sim.Time) (sim.Time, error)
 	cur := &o.active[chip][slot]
 	page := o.order[cur.pos]
 	addr := nand.PageAddr{BlockAddr: nand.BlockAddr{Chip: chip, Block: cur.blk}, Page: page}
+	prevCause := k.Dev.SetCause(obs.CausePad)
 	done, err := k.Dev.Program(addr, nil, nil, now)
+	k.Dev.SetCause(prevCause)
 	if err != nil {
 		return now, err
 	}
@@ -309,6 +311,10 @@ func (o *fpsPool) chipHasMSBNext(chip int) bool {
 // idleDrain aggressively consumes pending paired MSB pages so subsequent
 // bursts land on fast LSB pages again — the return-to-fast drain.
 func (o *fpsPool) idleDrain(k *Kernel, now, until sim.Time) {
+	// The drain is idle relocation work: charge its media occupancy to GC
+	// (pads inside override to CausePad themselves).
+	prevCause := k.Dev.SetCause(obs.CauseGC)
+	defer k.Dev.SetCause(prevCause)
 	for chip := range o.active {
 		var err error
 		now, err = o.drainMSBSlots(k, chip, now, until)
@@ -470,7 +476,7 @@ func (o *twoPhase) programLSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 		return now, err
 	}
 	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
-	done, err = k.bk.afterLSB(k, chip, data, done)
+	done, err = k.backupAfterLSB(chip, data, done)
 	if err != nil {
 		return done, err
 	}
@@ -485,7 +491,7 @@ func (o *twoPhase) programLSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 		st.sbq.Push(full)
 		st.afb = -1
 		k.Obs.Instant(obs.KindBlockQueued, int32(chip), now, int64(full), int64(st.sbq.Len()))
-		done, err = k.bk.onFastComplete(k, chip, full, done)
+		done, err = k.backupOnFastComplete(chip, full, done)
 		if err != nil {
 			return done, err
 		}
@@ -521,7 +527,7 @@ func (o *twoPhase) programMSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 	st.asbPos++
 	if st.asbPos == k.Dev.Geometry().WordLinesPerBlock {
 		// Slow block complete: its parity backup is no longer needed.
-		k.bk.onSlowComplete(k, chip, blk)
+		k.backupOnSlowComplete(chip, blk)
 		k.Dev.AckProgram(addr.BlockAddr)
 		k.Pools[chip].PushFull(blk)
 		st.sbq.PopFront()

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 
 	"flexftl/internal/sim"
 	"flexftl/internal/stats"
@@ -26,6 +27,8 @@ type Collector struct {
 	respTimes  []float64 // per-request response time, microseconds
 	readTimes  []float64 // read-only response times
 	writeTimes []float64 // write acknowledgement times
+	writeFlush []float64 // write flush times (last page program finished)
+	trimTimes  []float64 // trim completion times
 
 	// Write-bandwidth windows: bytes of host write completions bucketed
 	// into fixed windows of virtual time.
@@ -70,6 +73,7 @@ func (c *Collector) RecordWrite(pages int, arrival, ack, flushed sim.Time) {
 	c.pagesWrit += int64(pages)
 	c.respTimes = append(c.respTimes, float64(ack-arrival))
 	c.writeTimes = append(c.writeTimes, float64(ack-arrival))
+	c.writeFlush = append(c.writeFlush, float64(flushed-arrival))
 	c.windowBytes[int64(flushed/c.windowWidth)] += int64(pages) * int64(c.pageSize)
 	if flushed > c.makespan {
 		c.makespan = flushed
@@ -81,6 +85,7 @@ func (c *Collector) RecordTrim(pages int, arrival, done sim.Time) {
 	c.requests++
 	c.trims++
 	c.respTimes = append(c.respTimes, float64(done-arrival))
+	c.trimTimes = append(c.trimTimes, float64(done-arrival))
 	if done > c.makespan {
 		c.makespan = done
 	}
@@ -151,6 +156,56 @@ func (c *Collector) Finalize() Result {
 	res.ReadResponse = stats.Summarize(c.readTimes)
 	res.WriteResponse = stats.Summarize(c.writeTimes)
 	return res
+}
+
+// Percentiles summarizes one latency class with the tail points the paper's
+// latency claim turns on. All values are microseconds of virtual time,
+// computed exactly (sorted order statistics with linear interpolation), not
+// from histogram buckets.
+type Percentiles struct {
+	Count                    int64
+	Mean, P50, P90, P95, P99 float64
+	P999, Max                float64
+}
+
+// LatencyReport is the per-op-class percentile view of one run: reads
+// complete at data return, write acks at buffer admission, write flushes at
+// the last page program, trims at metadata completion.
+type LatencyReport struct {
+	Read       Percentiles
+	WriteAck   Percentiles
+	WriteFlush Percentiles
+	Trim       Percentiles
+}
+
+// percentilesOf computes an exact summary, sorting a copy of xs once.
+func percentilesOf(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Percentiles{
+		Count: int64(len(sorted)),
+		Mean:  stats.Mean(sorted),
+		P50:   stats.QuantileSorted(sorted, 0.50),
+		P90:   stats.QuantileSorted(sorted, 0.90),
+		P95:   stats.QuantileSorted(sorted, 0.95),
+		P99:   stats.QuantileSorted(sorted, 0.99),
+		P999:  stats.QuantileSorted(sorted, 0.999),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Latency computes the per-class percentile report from the raw per-request
+// samples. Like Finalize it reads the collector without consuming it.
+func (c *Collector) Latency() LatencyReport {
+	return LatencyReport{
+		Read:       percentilesOf(c.readTimes),
+		WriteAck:   percentilesOf(c.writeTimes),
+		WriteFlush: percentilesOf(c.writeFlush),
+		Trim:       percentilesOf(c.trimTimes),
+	}
 }
 
 // String renders a one-line summary.

@@ -110,6 +110,56 @@ func TestTrimRecording(t *testing.T) {
 	}
 }
 
+// TestLatencyReport: the per-class percentile view splits ack from flush and
+// computes exact order statistics.
+func TestLatencyReport(t *testing.T) {
+	c := NewCollector(4096, 50*sim.Millisecond)
+	// 100 writes: ack latency i, flush latency i+1000, i = 1..100.
+	for i := 1; i <= 100; i++ {
+		c.RecordWrite(1, 0, sim.Time(i), sim.Time(i+1000))
+	}
+	c.RecordRead(1, 0, 500)
+	c.RecordTrim(1, 10, 10)
+	lat := c.Latency()
+	if lat.WriteAck.Count != 100 || lat.WriteFlush.Count != 100 {
+		t.Fatalf("write counts = %d/%d", lat.WriteAck.Count, lat.WriteFlush.Count)
+	}
+	if lat.WriteAck.Mean != 50.5 {
+		t.Errorf("ack mean = %v, want 50.5", lat.WriteAck.Mean)
+	}
+	// Linear interpolation over 1..100: q maps to 1 + 99q.
+	if got := lat.WriteAck.P50; got != 50.5 {
+		t.Errorf("ack p50 = %v, want 50.5", got)
+	}
+	if got := lat.WriteAck.P99; got != 1+99*0.99 {
+		t.Errorf("ack p99 = %v, want %v", got, 1+99*0.99)
+	}
+	if lat.WriteAck.Max != 100 {
+		t.Errorf("ack max = %v", lat.WriteAck.Max)
+	}
+	if got := lat.WriteFlush.P50 - lat.WriteAck.P50; got != 1000 {
+		t.Errorf("flush-ack p50 gap = %v, want 1000", got)
+	}
+	if lat.Read.Count != 1 || lat.Read.P999 != 500 || lat.Read.Max != 500 {
+		t.Errorf("read percentiles = %+v", lat.Read)
+	}
+	if lat.Trim.Count != 1 || lat.Trim.Max != 0 {
+		t.Errorf("trim percentiles = %+v", lat.Trim)
+	}
+	// Latency does not consume the collector: Finalize still sees everything.
+	if res := c.Finalize(); res.Writes != 100 || res.Reads != 1 {
+		t.Errorf("finalize after Latency: %+v", res)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	c := NewCollector(4096, 50*sim.Millisecond)
+	lat := c.Latency()
+	if lat != (LatencyReport{}) {
+		t.Errorf("empty collector latency = %+v, want zero", lat)
+	}
+}
+
 func TestResultString(t *testing.T) {
 	c := NewCollector(4096, 50*sim.Millisecond)
 	c.RecordWrite(1, 0, 1, 2)

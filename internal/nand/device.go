@@ -98,12 +98,21 @@ type Device struct {
 	counts   OpCounts
 	busyTime []sim.Time // accumulated busy time per chip (utilization metric)
 
+	// cause is the ambient attribution register: every operation charges its
+	// busy time to the cause in force when it was issued. The FTL sets it
+	// around GC, backup and pad paths (save/restore discipline); CauseHost is
+	// the default. causeBusy accumulates unconditionally — it is pure
+	// accounting on the virtual timeline and never changes timing.
+	cause     obs.Cause
+	causeBusy [obs.CauseCount]sim.Time
+
 	// Observability (nil when tracing is disabled).
 	rec         *obs.Recorder
 	histProgLSB *obs.Histogram
 	histProgMSB *obs.Histogram
 	histRead    *obs.Histogram
 	histErase   *obs.Histogram
+	causeCtr    [obs.CauseCount]*obs.Counter
 }
 
 // NewDevice builds a device from the configuration.
@@ -149,6 +158,39 @@ func (d *Device) SetRecorder(r *obs.Recorder) {
 	d.histProgMSB = reg.Histogram("nand.program_msb_us")
 	d.histRead = reg.Histogram("nand.read_us")
 	d.histErase = reg.Histogram("nand.erase_us")
+	for c := obs.Cause(0); c < obs.CauseCount; c++ {
+		d.causeCtr[c] = reg.Counter(obs.BusyCounterName("nand", c))
+	}
+}
+
+// SetCause switches the device's ambient attribution cause and returns the
+// previous one, so callers bracket a code path with
+//
+//	prev := d.SetCause(obs.CauseGC)
+//	defer d.SetCause(prev)
+//
+// Nested paths (a backup write inside a GC relocation) override and restore
+// naturally. The cause only labels accounting; timing and results never
+// depend on it.
+func (d *Device) SetCause(c obs.Cause) obs.Cause {
+	prev := d.cause
+	d.cause = c
+	return prev
+}
+
+// Cause returns the ambient attribution cause in force.
+func (d *Device) Cause() obs.Cause { return d.cause }
+
+// CauseBusy returns the accumulated media busy time charged to each cause
+// (µs of chip occupancy, indexed by obs.Cause).
+func (d *Device) CauseBusy() [obs.CauseCount]sim.Time { return d.causeBusy }
+
+// chargeBusy attributes one operation's busy time to the ambient cause.
+func (d *Device) chargeBusy(dur sim.Time) {
+	d.causeBusy[d.cause] += dur
+	if d.rec != nil {
+		d.causeCtr[d.cause].Add(int64(dur))
+	}
 }
 
 // Geometry returns the device geometry.
@@ -232,6 +274,7 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	d.chanFree[ch] = xferDone
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
+	d.chargeBusy(done - start)
 	if d.rec != nil {
 		d.rec.Span(obs.KindXfer, int32(ch), start, xferDone, int64(a.Chip), int64(a.Block))
 		kind, hist := obs.KindProgramLSB, d.histProgLSB
@@ -313,6 +356,7 @@ func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
 	d.chanFree[ch] = done
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
+	d.chargeBusy(done - start)
 	d.counts.Reads++
 	if d.rec != nil {
 		d.rec.Span(obs.KindRead, int32(a.Chip), start, senseDone, int64(a.Block), int64(a.Page.WL))
@@ -392,6 +436,7 @@ func (d *Device) Erase(a BlockAddr, now sim.Time) (sim.Time, error) {
 	done := start + d.cfg.Timing.Erase
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
+	d.chargeBusy(done - start)
 
 	blk.state.Reset()
 	for i := range blk.pages {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flexftl/internal/core"
+	"flexftl/internal/obs"
 	"flexftl/internal/rng"
 	"flexftl/internal/sim"
 )
@@ -567,6 +568,119 @@ func TestReadIntoMatchesRead(t *testing.T) {
 	}
 	if len(buf.Data) != 0 || len(buf.Spare) != 0 {
 		t.Error("buffer not truncated after failed ReadInto")
+	}
+}
+
+// TestCauseAttribution: every unit of media busy time lands in the bucket of
+// the ambient cause, SetCause save/restore nests, and the per-cause busy
+// counters mirror the array when a recorder is attached.
+func TestCauseAttribution(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	rec := obs.NewRecorder(obs.Options{})
+	d.SetRecorder(rec)
+	tm := d.Timing()
+
+	// Host (default cause) LSB program.
+	done, err := d.Program(addr(0, 0, 0, core.LSB), []byte("a"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GC-tagged read, with a nested backup-tagged program inside.
+	prev := d.SetCause(obs.CauseGC)
+	if prev != obs.CauseHost {
+		t.Errorf("SetCause returned %v, want CauseHost", prev)
+	}
+	_, _, readDone, err := d.Read(addr(0, 0, 0, core.LSB), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := d.SetCause(obs.CauseBackup)
+	if inner != obs.CauseGC {
+		t.Errorf("nested SetCause returned %v, want CauseGC", inner)
+	}
+	bkDone, err := d.Program(addr(0, 0, 1, core.LSB), []byte("b"), nil, readDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetCause(inner)
+	if d.Cause() != obs.CauseGC {
+		t.Errorf("cause after restore = %v, want CauseGC", d.Cause())
+	}
+	d.SetCause(prev)
+
+	busy := d.CauseBusy()
+	if want := tm.BusXfer + tm.ProgLSB; busy[obs.CauseHost] != want {
+		t.Errorf("host busy = %v, want %v", busy[obs.CauseHost], want)
+	}
+	if want := readDone - done; busy[obs.CauseGC] != want {
+		t.Errorf("gc busy = %v, want %v (read latency)", busy[obs.CauseGC], want)
+	}
+	if want := bkDone - readDone; busy[obs.CauseBackup] != want {
+		t.Errorf("backup busy = %v, want %v", busy[obs.CauseBackup], want)
+	}
+	if busy[obs.CausePad] != 0 {
+		t.Errorf("pad busy = %v, want 0 (never tagged)", busy[obs.CausePad])
+	}
+
+	// The chip's total busy time decomposes exactly into the cause buckets.
+	var sum sim.Time
+	for _, b := range busy {
+		sum += b
+	}
+	if total := d.ChipBusyTime(0); sum != total {
+		t.Errorf("cause buckets sum to %v, chip busy %v", sum, total)
+	}
+
+	// Registry counters mirror the array.
+	snap := rec.Registry().Snapshot()
+	for c := obs.CauseHost; c < obs.CauseCount; c++ {
+		if got := snap.Counters[obs.BusyCounterName("nand", c)]; got != int64(busy[c]) {
+			t.Errorf("counter %s = %d, array %d", obs.BusyCounterName("nand", c), got, busy[c])
+		}
+	}
+}
+
+// TestCauseBusyWithoutRecorder: attribution accumulates deterministically
+// even with tracing off (the array is unconditional; only counters gate).
+func TestCauseBusyWithoutRecorder(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	d.SetCause(obs.CauseGC)
+	if _, err := d.Program(addr(0, 0, 0, core.LSB), []byte("a"), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	busy := d.CauseBusy()
+	if busy[obs.CauseGC] == 0 {
+		t.Error("gc busy not charged without recorder")
+	}
+	if busy[obs.CauseHost] != 0 {
+		t.Errorf("host busy = %v, want 0", busy[obs.CauseHost])
+	}
+}
+
+// TestReadIntoZeroAllocsWithRecorder guards the enabled steady state: reads
+// with the ring recorder, latency histograms and cause counters all live
+// must stay allocation-free.
+func TestReadIntoZeroAllocsWithRecorder(t *testing.T) {
+	d := testDevice(t, core.RPS)
+	d.SetRecorder(obs.NewRecorder(obs.Options{}))
+	a := addr(0, 0, 0, core.LSB)
+	if _, err := d.Program(a, []byte("zero copy payload"), []byte{0x42}, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf PageBuf
+	now := sim.Time(0)
+	if _, err := d.ReadInto(a, &buf, now); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		done, err := d.ReadInto(a, &buf, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented ReadInto allocates %v times per read, want 0", allocs)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"flexftl/internal/nlevel"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -167,6 +168,20 @@ type Device struct {
 	reads    int64
 	programs []int64 // per level
 	erases   int64
+
+	// cause is the ambient attribution register (see nand.Device.SetCause):
+	// the FTL brackets its GC/backup paths with SetCause, and every operation
+	// charges its busy time to the cause in force. Pure accounting on the
+	// virtual timeline; never changes timing.
+	cause     obs.Cause
+	causeBusy [obs.CauseCount]sim.Time
+
+	// Observability (nil when tracing is disabled).
+	rec       *obs.Recorder
+	histProg  *obs.Histogram
+	histRead  *obs.Histogram
+	histErase *obs.Histogram
+	causeCtr  [obs.CauseCount]*obs.Counter
 }
 
 // NewDevice builds a device enforcing the generalized relaxed rules.
@@ -197,6 +212,43 @@ func NewDevice(g Geometry, t Timing) (*Device, error) {
 		d.chips[c].blocks = blocks
 	}
 	return d, nil
+}
+
+// SetRecorder attaches an observability recorder: service-time histograms
+// and per-cause busy counters in the recorder's registry. A nil recorder
+// disables emission. The recorder only observes — timing and results are
+// unchanged.
+func (d *Device) SetRecorder(r *obs.Recorder) {
+	d.rec = r
+	reg := r.Registry()
+	d.histProg = reg.Histogram("nandn.program_us")
+	d.histRead = reg.Histogram("nandn.read_us")
+	d.histErase = reg.Histogram("nandn.erase_us")
+	for c := obs.Cause(0); c < obs.CauseCount; c++ {
+		d.causeCtr[c] = reg.Counter(obs.BusyCounterName("nandn", c))
+	}
+}
+
+// SetCause switches the ambient attribution cause and returns the previous
+// one (save/restore discipline; see nand.Device.SetCause).
+func (d *Device) SetCause(c obs.Cause) obs.Cause {
+	prev := d.cause
+	d.cause = c
+	return prev
+}
+
+// Cause returns the ambient attribution cause in force.
+func (d *Device) Cause() obs.Cause { return d.cause }
+
+// CauseBusy returns the accumulated media busy time charged to each cause.
+func (d *Device) CauseBusy() [obs.CauseCount]sim.Time { return d.causeBusy }
+
+// chargeBusy attributes one operation's busy time to the ambient cause.
+func (d *Device) chargeBusy(dur sim.Time) {
+	d.causeBusy[d.cause] += dur
+	if d.rec != nil {
+		d.causeCtr[d.cause].Add(int64(dur))
+	}
 }
 
 // Geometry returns the device shape.
@@ -254,6 +306,10 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	done := xferDone + d.timing.Prog[a.Page.Level]
 	d.chanFree[ch] = xferDone
 	c.readyAt = done
+	d.chargeBusy(done - start)
+	if d.rec != nil {
+		d.histProg.Record(int64(done - start))
+	}
 
 	blk.state.Mark(a.Page)
 	pg.programmed = true
@@ -295,7 +351,11 @@ func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
 	done := xferStart + d.timing.BusXfer
 	d.chanFree[ch] = done
 	c.readyAt = done
+	d.chargeBusy(done - start)
 	d.reads++
+	if d.rec != nil {
+		d.histRead.Record(int64(done - start))
+	}
 	if !pg.programmed {
 		return nil, done, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
 	}
@@ -344,6 +404,10 @@ func (d *Device) Erase(chipID, blk int, now sim.Time) (sim.Time, error) {
 	start := sim.MaxOf(now, c.readyAt)
 	done := start + d.timing.Erase
 	c.readyAt = done
+	d.chargeBusy(done - start)
+	if d.rec != nil {
+		d.histErase.Record(int64(done - start))
+	}
 	b.state.Reset()
 	for i := range b.pages {
 		b.pages[i] = page{}
@@ -392,4 +456,42 @@ func (d *Device) EraseCount(chipID, blk int) int {
 		return 0
 	}
 	return b.eraseCount
+}
+
+// WearStats summarizes per-block erase counts (mirror of nand.WearStats).
+type WearStats struct {
+	Min, Max int
+	Mean     float64
+	// Imbalance is Max/Mean (1.0 = perfectly even wear); 0 when unworn.
+	Imbalance float64
+}
+
+// Wear computes erase-count statistics over all blocks.
+func (d *Device) Wear() WearStats {
+	var st WearStats
+	first := true
+	total := 0
+	n := 0
+	for c := range d.chips {
+		for b := range d.chips[c].blocks {
+			e := d.chips[c].blocks[b].eraseCount
+			if first {
+				st.Min, st.Max = e, e
+				first = false
+			} else if e < st.Min {
+				st.Min = e
+			} else if e > st.Max {
+				st.Max = e
+			}
+			total += e
+			n++
+		}
+	}
+	if n > 0 {
+		st.Mean = float64(total) / float64(n)
+	}
+	if st.Mean > 0 {
+		st.Imbalance = float64(st.Max) / st.Mean
+	}
+	return st
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flexftl/internal/nlevel"
+	"flexftl/internal/obs"
 	"flexftl/internal/sim"
 )
 
@@ -296,6 +297,75 @@ func TestReadIntoMatchesRead(t *testing.T) {
 	}
 	if len(buf.Data) != 0 || len(buf.Spare) != 0 {
 		t.Error("buffer not truncated after failed ReadInto")
+	}
+}
+
+// TestCauseAttribution mirrors the MLC device's contract on the n-level
+// device: busy time decomposes by ambient cause, SetCause nests, and
+// counters mirror the array when a recorder is attached.
+func TestCauseAttribution(t *testing.T) {
+	d := testDevice(t)
+	rec := obs.NewRecorder(obs.Options{})
+	d.SetRecorder(rec)
+	tm := d.Timing()
+
+	done, err := d.Program(pa(0, 0, 0, 0), []byte("a"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := d.SetCause(obs.CauseGC)
+	if prev != obs.CauseHost {
+		t.Errorf("SetCause returned %v, want CauseHost", prev)
+	}
+	gcDone, err := d.Program(pa(0, 0, 1, 0), []byte("b"), nil, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetCause(prev)
+	if d.Cause() != obs.CauseHost {
+		t.Errorf("cause after restore = %v", d.Cause())
+	}
+
+	busy := d.CauseBusy()
+	if want := tm.BusXfer + tm.Prog[0]; busy[obs.CauseHost] != want {
+		t.Errorf("host busy = %v, want %v", busy[obs.CauseHost], want)
+	}
+	if want := gcDone - done; busy[obs.CauseGC] != want {
+		t.Errorf("gc busy = %v, want %v", busy[obs.CauseGC], want)
+	}
+	snap := rec.Registry().Snapshot()
+	for c := obs.CauseHost; c < obs.CauseCount; c++ {
+		if got := snap.Counters[obs.BusyCounterName("nandn", c)]; got != int64(busy[c]) {
+			t.Errorf("counter %s = %d, array %d", obs.BusyCounterName("nandn", c), got, busy[c])
+		}
+	}
+	if h := snap.Histograms["nandn.program_us"]; h.Count != 2 {
+		t.Errorf("nandn.program_us count = %d, want 2", h.Count)
+	}
+}
+
+// TestWearStats: the erase-count spread accessor mirrors the MLC device's.
+func TestWearStats(t *testing.T) {
+	d := testDevice(t)
+	for i := 0; i < 3; i++ {
+		if _, err := d.Erase(0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Erase(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	w := d.Wear()
+	if w.Min != 0 || w.Max != 3 {
+		t.Errorf("wear min/max = %d/%d, want 0/3", w.Min, w.Max)
+	}
+	total := d.Geometry().TotalBlocks()
+	wantMean := 4.0 / float64(total)
+	if diff := w.Mean - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("wear mean = %v, want %v", w.Mean, wantMean)
+	}
+	if w.Imbalance <= 1 {
+		t.Errorf("imbalance = %v, want > 1 for skewed wear", w.Imbalance)
 	}
 }
 

@@ -1,0 +1,68 @@
+package obs
+
+// Cause classifies why a unit of work was issued — the attribution axis of
+// the latency layer. Every device operation (program, read, erase) runs under
+// the device's ambient cause (set by the FTL around its GC, backup and pad
+// paths; CauseHost is the default), and the device charges the op's busy time
+// to that cause. The runner additionally charges host stall time spent
+// waiting on a full write buffer to CauseBufferFull. Together the causes
+// decompose "why was this op slow" into media busy on the host's own behalf,
+// GC relocation, backup/parity programs, padding, the two-phase reprogram
+// penalty, and buffer backpressure; docs/OBSERVABILITY.md documents the
+// blame semantics.
+type Cause uint8
+
+// Attribution causes.
+const (
+	// CauseHost is the default: a host-issued data operation occupying the
+	// media on its own behalf.
+	CauseHost Cause = iota
+	// CauseGC covers GC relocation reads/programs and reclaim erases,
+	// foreground and background alike.
+	CauseGC
+	// CauseBackup covers parity/backup page programs and backup-block
+	// recycle erases.
+	CauseBackup
+	// CausePad covers dummy pad programs (the return-to-fast padding).
+	CausePad
+	// CauseReprogram is the two-phase reprogram penalty: the extra latency a
+	// host write pays for landing on a slow (MSB/refinement) page instead of
+	// a fast one. It is charged by the kernel, not the device — the device
+	// sees an ordinary host program.
+	CauseReprogram
+	// CauseBufferFull is host stall on a full write buffer, charged by the
+	// runner (the device never sees it).
+	CauseBufferFull
+
+	// CauseCount is the sentinel; arrays indexed by Cause use it as length.
+	CauseCount
+)
+
+var causeNames = [CauseCount]string{
+	CauseHost:       "host",
+	CauseGC:         "gc",
+	CauseBackup:     "backup",
+	CausePad:        "pad",
+	CauseReprogram:  "reprogram",
+	CauseBufferFull: "buffer_full",
+}
+
+// String returns the cause's snake_case name (used in instrument names).
+func (c Cause) String() string {
+	if c >= CauseCount {
+		return "unknown"
+	}
+	return causeNames[c]
+}
+
+// BusyCounterName returns the registry counter a device charges cause-split
+// busy time to: "<device>.busy_us.<cause>" (e.g. "nand.busy_us.gc").
+func BusyCounterName(device string, c Cause) string {
+	return device + ".busy_us." + c.String()
+}
+
+// BlameCounterName returns the registry counter the kernel/runner charge
+// host-visible stall to: "blame.<cause>_us".
+func BlameCounterName(c Cause) string {
+	return "blame." + c.String() + "_us"
+}

@@ -1,0 +1,36 @@
+package obs
+
+import "testing"
+
+func TestCauseNamesAndCounterNames(t *testing.T) {
+	want := map[Cause]string{
+		CauseHost:       "host",
+		CauseGC:         "gc",
+		CauseBackup:     "backup",
+		CausePad:        "pad",
+		CauseReprogram:  "reprogram",
+		CauseBufferFull: "buffer_full",
+	}
+	if len(want) != int(CauseCount) {
+		t.Fatalf("test covers %d causes, enum has %d", len(want), CauseCount)
+	}
+	for c, name := range want {
+		if got := c.String(); got != name {
+			t.Errorf("Cause(%d).String() = %q, want %q", c, got, name)
+		}
+	}
+	if got := Cause(CauseCount).String(); got != "unknown" {
+		t.Errorf("out-of-range cause = %q, want unknown", got)
+	}
+	if got := BusyCounterName("nand", CauseGC); got != "nand.busy_us.gc" {
+		t.Errorf("BusyCounterName = %q", got)
+	}
+	if got := BlameCounterName(CauseBufferFull); got != "blame.buffer_full_us" {
+		t.Errorf("BlameCounterName = %q", got)
+	}
+	// The zero value is the host cause: an un-tagged device charges host time.
+	var zero Cause
+	if zero != CauseHost {
+		t.Error("zero Cause must be CauseHost")
+	}
+}

@@ -149,6 +149,27 @@ func TestDisabledPathAllocates0(t *testing.T) {
 	}
 }
 
+// TestEnabledPathAllocates0 is the enabled-side twin: with the ring
+// recorder live and instruments prefetched (as every SetRecorder
+// implementation does), spans, instants, histogram records and counter adds
+// must still not allocate on the steady-state path.
+func TestEnabledPathAllocates0(t *testing.T) {
+	r := NewRecorder(Options{})
+	h := r.Registry().Histogram("lat")
+	c := r.Registry().Counter("busy")
+	now := sim.Time(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Span(KindProgramLSB, 3, now, now+900, 42, 7)
+		r.Instant(KindPolicy, 0, now, 1, 64)
+		h.Record(900)
+		c.Add(900)
+		now += 1000
+	})
+	if allocs != 0 {
+		t.Errorf("enabled path allocates %v per op, want 0", allocs)
+	}
+}
+
 // BenchmarkRecorderDisabled measures the nil-recorder hot path (satellite
 // requirement: 0 allocs/op).
 func BenchmarkRecorderDisabled(b *testing.B) {

@@ -180,11 +180,11 @@ func (h *Histogram) Quantile(q float64) int64 {
 // HistogramSnapshot is a point-in-time summary, JSON-marshalable for the
 // metric dumps and expvar.
 type HistogramSnapshot struct {
-	Count         int64
-	Min, Max      int64
-	Mean          float64
-	P50, P90, P99 int64
-	P999          int64
+	Count              int64
+	Min, Max           int64
+	Mean               float64
+	P50, P90, P95, P99 int64
+	P999               int64
 }
 
 // Snapshot summarizes the histogram.
@@ -199,6 +199,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Mean:  h.Mean(),
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 		P999:  h.Quantile(0.999),
 	}

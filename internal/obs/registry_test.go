@@ -2,6 +2,9 @@ package obs
 
 import (
 	"math"
+	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 )
 
@@ -106,6 +109,108 @@ func TestHistogramStatsAndQuantiles(t *testing.T) {
 	}
 	if h.Quantile(1) < 1000 {
 		t.Errorf("q1 = %d must bound the max", h.Quantile(1))
+	}
+}
+
+// TestHistogramQuantilePropertyRandom is the accuracy contract of the
+// fixed-bucket design: for any recorded sequence and any q, the reported
+// quantile lands in the same bucket as the exact order statistic (and is
+// that bucket's upper bound, so it never under-reports).
+func TestHistogramQuantilePropertyRandom(t *testing.T) {
+	distributions := []struct {
+		name string
+		gen  func(r *rand.Rand) int64
+	}{
+		{"uniform", func(r *rand.Rand) int64 { return r.Int63n(1_000_000) }},
+		{"exponential", func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 5000) }},
+		{"heavy_tail", func(r *rand.Rand) int64 { return int64(math.Pow(10, r.Float64()*9)) }},
+		{"tiny", func(r *rand.Rand) int64 { return r.Int63n(8) }},
+		{"constant", func(r *rand.Rand) int64 { return 4242 }},
+	}
+	quantiles := []float64{0.001, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for _, dist := range distributions {
+		for seed := int64(1); seed <= 5; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			n := 1 + r.Intn(5000)
+			h := &Histogram{}
+			samples := make([]int64, n)
+			for i := range samples {
+				v := dist.gen(r)
+				samples[i] = v
+				h.Record(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range quantiles {
+				k := int(math.Ceil(q * float64(n)))
+				if k < 1 {
+					k = 1
+				}
+				exact := samples[k-1]
+				got := h.Quantile(q)
+				if got < exact {
+					t.Fatalf("%s seed=%d n=%d q=%v: quantile %d under-reports exact %d",
+						dist.name, seed, n, q, got, exact)
+				}
+				if histIndex(got) != histIndex(exact) {
+					t.Fatalf("%s seed=%d n=%d q=%v: quantile %d (bucket %d) not in exact's bucket %d (exact %d)",
+						dist.name, seed, n, q, got, histIndex(got), histIndex(exact), exact)
+				}
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrentSnapshot exercises recording racing Snapshot; run
+// under -race (CI does) it proves the lock-free instruments are data-race
+// free and snapshots are never torn below what was recorded before start.
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	c := r.Counter("n")
+	const writers = 4
+	const perWriter = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for i := 0; i < perWriter; i++ {
+				h.Record(rng.Int63n(1 << 20))
+				c.Inc()
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		last := int64(0)
+		for {
+			snap := r.Snapshot()
+			hs := snap.Histograms["lat"]
+			if hs.Count < last {
+				t.Error("histogram count went backwards")
+				return
+			}
+			last = hs.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	final := r.Snapshot()
+	if got := final.Histograms["lat"].Count; got != writers*perWriter {
+		t.Errorf("final count = %d, want %d", got, writers*perWriter)
+	}
+	if got := final.Counters["n"]; got != writers*perWriter {
+		t.Errorf("final counter = %d, want %d", got, writers*perWriter)
 	}
 }
 

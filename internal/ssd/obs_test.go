@@ -169,18 +169,117 @@ func TestChromeTraceEndToEnd(t *testing.T) {
 // latency histograms and the buffer keeps its utilization gauge.
 func TestRegistryPopulatedByRun(t *testing.T) {
 	rec := obs.NewRecorder(obs.Options{})
-	runVarmail(t, rec)
+	res := runVarmail(t, rec)
 	snap := rec.Registry().Snapshot()
-	for _, want := range []string{"nand.program_lsb_us", "nand.read_us"} {
+	for _, want := range []string{
+		"nand.program_lsb_us", "nand.read_us",
+		"host.read_us", "host.write_ack_us", "host.write_flush_us",
+	} {
 		h, ok := snap.Histograms[want]
 		if !ok || h.Count == 0 {
 			t.Errorf("histogram %q empty (have %v)", want, snap.Histograms)
 		}
-		if ok && (h.P50 <= 0 || h.P99 < h.P50) {
+		if ok && want != "host.write_ack_us" && (h.P50 <= 0 || h.P99 < h.P50) {
 			t.Errorf("histogram %q quantiles implausible: %+v", want, h)
 		}
 	}
 	if _, ok := snap.Gauges["buffer.u"]; !ok {
 		t.Errorf("buffer.u gauge missing (have %v)", snap.Gauges)
+	}
+
+	// Blame counters: every cause has a registered counter; a flexFTL run
+	// must charge host media time and the two-phase reprogram penalty, and
+	// its pair-parity backups must extend some completions.
+	for c := obs.CauseHost; c < obs.CauseCount; c++ {
+		if _, ok := snap.Counters[obs.BusyCounterName("nand", c)]; !ok {
+			t.Errorf("busy counter %q missing", obs.BusyCounterName("nand", c))
+		}
+	}
+	if v := snap.Counters[obs.BusyCounterName("nand", obs.CauseHost)]; v <= 0 {
+		t.Errorf("nand.busy_us.host = %d, want > 0", v)
+	}
+	if v := snap.Counters[obs.BlameCounterName(obs.CauseReprogram)]; v <= 0 {
+		t.Errorf("blame.reprogram_us = %d, want > 0 (host MSB writes happened)", v)
+	}
+	if v := snap.Counters[obs.BusyCounterName("nand", obs.CauseBackup)]; v <= 0 {
+		t.Errorf("nand.busy_us.backup = %d, want > 0 (flexFTL writes pair parity)", v)
+	}
+	for _, name := range []string{
+		obs.BlameCounterName(obs.CauseGC),
+		obs.BlameCounterName(obs.CauseBackup),
+		obs.BlameCounterName(obs.CauseBufferFull),
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("blame counter %q missing (have %v)", name, snap.Counters)
+		}
+	}
+
+	// Host histograms agree with the always-on exact percentile report on
+	// sample counts (values differ: buckets vs exact).
+	if got, want := snap.Histograms["host.read_us"].Count, res.Latency.Read.Count; got != want {
+		t.Errorf("host.read_us count = %d, Latency.Read.Count = %d", got, want)
+	}
+	if got, want := snap.Histograms["host.write_ack_us"].Count, res.Latency.WriteAck.Count; got != want {
+		t.Errorf("host.write_ack_us count = %d, Latency.WriteAck.Count = %d", got, want)
+	}
+}
+
+// TestLatencyAndWAFAlwaysOn: the percentile report and WAF ride on every run,
+// recorder or not, and agree with the stats the schemes keep.
+func TestLatencyAndWAFAlwaysOn(t *testing.T) {
+	res := runVarmail(t, nil)
+	if res.Latency.Read.Count != res.Metrics.Reads {
+		t.Errorf("read percentile count %d != reads %d", res.Latency.Read.Count, res.Metrics.Reads)
+	}
+	if res.Latency.WriteAck.Count != res.Metrics.Writes {
+		t.Errorf("write-ack percentile count %d != writes %d", res.Latency.WriteAck.Count, res.Metrics.Writes)
+	}
+	lat := res.Latency.WriteFlush
+	if !(lat.P50 <= lat.P90 && lat.P90 <= lat.P95 && lat.P95 <= lat.P99 &&
+		lat.P99 <= lat.P999 && lat.P999 <= lat.Max) {
+		t.Errorf("write-flush percentiles not monotone: %+v", lat)
+	}
+	if lat.Max <= 0 {
+		t.Errorf("write-flush max = %v, want > 0", lat.Max)
+	}
+	if got, want := res.WAF, res.Stats.WriteAmplification(); got != want {
+		t.Errorf("WAF = %v, Stats.WriteAmplification() = %v", got, want)
+	}
+	if res.WAF < 1 {
+		t.Errorf("WAF = %v, want >= 1 (media programs include every host write)", res.WAF)
+	}
+}
+
+// TestSamplerCarriesAccountingSeries: the windowed accounting streams (WAF,
+// GC copy volume, erase count, wear spread) sample alongside the
+// internal-state series.
+func TestSamplerCarriesAccountingSeries(t *testing.T) {
+	samp := obs.NewSampler(5 * sim.Millisecond)
+	rec := obs.NewRecorder(obs.Options{Sampler: samp})
+	runVarmail(t, rec)
+	names := samp.Names()
+	has := func(n string) bool {
+		for _, x := range names {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"waf", "gc_copy_pages", "erase_count", "wear_spread"} {
+		if !has(want) {
+			t.Errorf("sampler missing accounting series %q (got %v)", want, names)
+		}
+	}
+	if waf := samp.Series("waf"); len(waf) > 0 && waf[len(waf)-1] < 1 {
+		t.Errorf("final sampled WAF = %v, want >= 1", waf[len(waf)-1])
+	}
+	if ec := samp.Series("erase_count"); len(ec) > 1 {
+		for i := 1; i < len(ec); i++ {
+			if ec[i] < ec[i-1] {
+				t.Errorf("erase_count series not monotone at %d: %v < %v", i, ec[i], ec[i-1])
+				break
+			}
+		}
 	}
 }

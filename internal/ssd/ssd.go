@@ -64,6 +64,13 @@ type RunResult struct {
 	Workload string
 	Metrics  metrics.Result
 	Stats    ftl.Stats
+	// Latency is the per-op-class percentile report (virtual-time µs),
+	// computed from the always-on collector — identical with or without a
+	// recorder attached.
+	Latency metrics.LatencyReport
+	// WAF is the media-programs-per-host-write amplification factor
+	// (Stats.WriteAmplification, lifted here for run reports).
+	WAF float64
 }
 
 // inflight tracks a buffered page whose program has not completed.
@@ -135,6 +142,15 @@ type System struct {
 	pending  inflightHeap
 	prefillT sim.Time
 	obs      *obs.Recorder
+
+	// Host-op latency histograms and the buffer-full blame counter (nil
+	// without a recorder; prefetched in SetRecorder so the request loop
+	// never touches the registry maps).
+	histRead       *obs.Histogram
+	histWriteAck   *obs.Histogram
+	histWriteFlush *obs.Histogram
+	histTrim       *obs.Histogram
+	ctrBufFull     *obs.Counter
 }
 
 // New builds a System. The FTL must be freshly constructed (the runner owns
@@ -187,7 +203,13 @@ func (s *System) SetRecorder(r *obs.Recorder) {
 	if fr, ok := s.F.(interface{ SetRecorder(r *obs.Recorder) }); ok {
 		fr.SetRecorder(r)
 	}
-	s.buf.Instrument(r.Registry().Gauge("buffer.u"))
+	reg := r.Registry()
+	s.buf.Instrument(reg.Gauge("buffer.u"))
+	s.histRead = reg.Histogram("host.read_us")
+	s.histWriteAck = reg.Histogram("host.write_ack_us")
+	s.histWriteFlush = reg.Histogram("host.write_flush_us")
+	s.histTrim = reg.Histogram("host.trim_us")
+	s.ctrBufFull = reg.Counter(obs.BlameCounterName(obs.CauseBufferFull))
 	samp := r.Sampler()
 	if samp == nil {
 		return
@@ -195,6 +217,15 @@ func (s *System) SetRecorder(r *obs.Recorder) {
 	samp.Register("u", s.buf.Utilization)
 	if fb, ok := s.F.(interface{ TotalFreeBlocks() int }); ok {
 		samp.Register("free_blocks", func() float64 { return float64(fb.TotalFreeBlocks()) })
+	}
+	// Derived accounting streams, sampled per virtual-time window: write
+	// amplification, cumulative GC copy volume, cumulative erases, and the
+	// device's wear imbalance.
+	samp.Register("waf", func() float64 { return s.F.Stats().WriteAmplification() })
+	samp.Register("gc_copy_pages", func() float64 { return float64(s.F.Stats().GCCopies) })
+	samp.Register("erase_count", func() float64 { return float64(s.F.Stats().Erases) })
+	if ws, ok := s.F.(interface{ WearSpread() float64 }); ok {
+		samp.Register("wear_spread", ws.WearSpread)
 	}
 	if q, ok := s.F.(interface{ Quota() int64 }); ok {
 		samp.Register("q", func() float64 { return float64(q.Quota()) })
@@ -272,6 +303,7 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 				}
 			}
 			col.RecordRead(req.Pages, arrival, completion)
+			s.histRead.Record(int64(completion - arrival))
 			if completion > busyUntil {
 				busyUntil = completion
 			}
@@ -308,6 +340,13 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 				}
 			}
 			col.RecordWrite(req.Pages, arrival, admission, flushed)
+			s.histWriteAck.Record(int64(admission - arrival))
+			s.histWriteFlush.Record(int64(flushed - arrival))
+			if admission > arrival {
+				// The host stalled on a full write buffer before the last
+				// page was admitted — buffer-full blame.
+				s.ctrBufFull.Add(int64(admission - arrival))
+			}
 			if flushed > busyUntil {
 				busyUntil = flushed
 			}
@@ -327,6 +366,7 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 				}
 			}
 			col.RecordTrim(req.Pages, arrival, completion)
+			s.histTrim.Record(int64(completion - arrival))
 			if completion > busyUntil {
 				busyUntil = completion
 			}
@@ -341,10 +381,13 @@ func (s *System) Run(gen workload.Generator) (RunResult, error) {
 		return RunResult{}, err
 	}
 	s.obs.Sample(busyUntil)
+	st := s.F.Stats()
 	return RunResult{
 		FTLName:  s.F.Name(),
 		Workload: gen.Name(),
 		Metrics:  col.Finalize(),
-		Stats:    s.F.Stats(),
+		Stats:    st,
+		Latency:  col.Latency(),
+		WAF:      st.WriteAmplification(),
 	}, nil
 }

@@ -53,6 +53,21 @@ func Quantile(xs []float64, q float64) float64 {
 	return quantileSorted(sorted, q)
 }
 
+// QuantileSorted returns the q-quantile of an already-sorted slice without
+// copying — callers that need many quantiles of one sample sort once and use
+// this (0 for an empty slice).
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return quantileSorted(sorted, q)
+}
+
 func quantileSorted(sorted []float64, q float64) float64 {
 	n := len(sorted)
 	if n == 1 {

@@ -52,6 +52,23 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileSorted: the sort-free variant agrees with Quantile on
+// pre-sorted input and clamps/handles empties the same way.
+func TestQuantileSorted(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		if got, want := QuantileSorted(sorted, q), Quantile(sorted, q); got != want {
+			t.Errorf("QuantileSorted(%v) = %v, Quantile = %v", q, got, want)
+		}
+	}
+	if QuantileSorted(nil, 0.5) != 0 {
+		t.Error("QuantileSorted(nil) != 0")
+	}
+	if QuantileSorted(sorted, -1) != 1 || QuantileSorted(sorted, 2) != 5 {
+		t.Error("QuantileSorted clamping wrong")
+	}
+}
+
 func TestQuantileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Quantile(xs, 0.5)

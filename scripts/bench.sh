@@ -10,7 +10,7 @@
 # any machine carries its own before/after comparison. Compare two snapshots
 # with scripts/benchdiff.sh.
 set -eu
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 pattern='BenchmarkSimulateBlock|BenchmarkDeviceRead|BenchmarkRunFig4|BenchmarkRunFig8$|BenchmarkMapperUpdate|BenchmarkSSDRun|BenchmarkPickVictim'
 benchtime="${BENCHTIME:-20x}"
 
