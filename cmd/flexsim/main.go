@@ -54,6 +54,7 @@ type options struct {
 	DebugAddr    string        // pprof/expvar HTTP listen address
 	ServeAfter   bool          // keep the debug server up after the run ends
 	Metrics      string        // structured run-result JSON output file
+	ShardWorkers int           // intra-run epoch-shard workers (<=1 = serial engine)
 }
 
 // listSchemes prints every registered FTL scheme with its rule set and
@@ -88,6 +89,7 @@ func main() {
 	flag.StringVar(&o.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar metrics on this address")
 	flag.BoolVar(&o.ServeAfter, "serve-after", false, "keep the -debug-addr server running after the run until interrupted")
 	flag.StringVar(&o.Metrics, "metrics", "", "write the run result (flexstat-readable JSON) to this file")
+	flag.IntVar(&o.ShardWorkers, "shard-workers", 1, "intra-run epoch-shard workers; results are identical for any value (1 = serial engine)")
 	flag.Parse()
 	if *list {
 		listSchemes(os.Stdout)
@@ -226,17 +228,28 @@ func newRecorder(w io.Writer, o options) (*obs.Recorder, func() error, error) {
 	return rec, cleanup, nil
 }
 
+// normShardWorkers maps every serial-engine setting (<=1) to 1, so dumps
+// produced before and after the epoch-sharded engine compare as equal
+// parallelism.
+func normShardWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
 // writeMetrics dumps the run result (plus the registry snapshot when tracing
 // is on) as the same nested-JSON shape flexbench -metrics emits, so flexstat
 // report/compare reads either tool's output.
-func writeMetrics(path, scheme string, res ssd.RunResult, rec *obs.Recorder, wall time.Duration) error {
+func writeMetrics(path, scheme string, res ssd.RunResult, rec *obs.Recorder, wall time.Duration, shardWorkers int) error {
 	doc := map[string]any{
 		"single": res,
 		"runinfo": map[string]any{
 			"single": map[string]any{
-				"workers": 1,
-				"wall_ms": float64(wall) / float64(time.Millisecond),
-				"schemes": []string{scheme},
+				"workers":       1,
+				"shard_workers": normShardWorkers(shardWorkers),
+				"wall_ms":       float64(wall) / float64(time.Millisecond),
+				"schemes":       []string{scheme},
 			},
 		},
 	}
@@ -335,7 +348,7 @@ func run(w io.Writer, o options) error {
 	}
 	// Attach after Prefill so traces and samples cover the measured run only.
 	sys.SetRecorder(rec)
-	res, err := sys.Run(gen)
+	res, err := sys.RunSharded(gen, o.ShardWorkers)
 	if err != nil {
 		return err
 	}
@@ -357,7 +370,7 @@ func run(w io.Writer, o options) error {
 	fmt.Fprintf(w, "latency  : write-ack p50/p95/p99/p999 = %.1f/%.1f/%.1f/%.1f us, read p99 = %.1f us (WAF %.3f)\n",
 		lat.WriteAck.P50, lat.WriteAck.P95, lat.WriteAck.P99, lat.WriteAck.P999, lat.Read.P99, res.WAF)
 	if o.Metrics != "" {
-		if err := writeMetrics(o.Metrics, o.FTL, res, rec, time.Since(start)); err != nil {
+		if err := writeMetrics(o.Metrics, o.FTL, res, rec, time.Since(start), o.ShardWorkers); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "metrics  : wrote run result to %s\n", o.Metrics)

@@ -20,6 +20,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 
 	"flexftl/internal/obs"
 	"flexftl/internal/ssd"
@@ -82,43 +83,65 @@ type runEntry struct {
 	run  ssd.RunResult
 }
 
-// loadDump parses a metrics dump, collecting every embedded run result and
-// any registry snapshot (flexsim -metrics attaches one when tracing is on).
-func loadDump(path string) ([]runEntry, *obs.RegistrySnapshot, error) {
+// dump is one parsed metrics file: every embedded run result, any registry
+// snapshot (flexsim -metrics attaches one when tracing is on), and the set
+// of intra-run shard-worker counts its runinfo blocks declare.
+type dump struct {
+	runs []runEntry
+	reg  *obs.RegistrySnapshot
+	// shardWorkers holds the distinct shard_workers values of the dump's
+	// runinfo blocks. Dumps predating the epoch-sharded engine carry no
+	// stamp; they ran the serial engine, so absence reads as {1}.
+	shardWorkers map[int]bool
+}
+
+// loadDump parses a metrics dump.
+func loadDump(path string) (dump, error) {
+	d := dump{shardWorkers: map[int]bool{}}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return d, err
 	}
 	var doc any
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return d, fmt.Errorf("%s: %w", path, err)
 	}
-	var runs []runEntry
-	var reg *obs.RegistrySnapshot
-	collect(doc, "", &runs, &reg)
-	sort.Slice(runs, func(i, j int) bool { return runs[i].path < runs[j].path })
-	return runs, reg, nil
+	collect(doc, "", &d)
+	sort.Slice(d.runs, func(i, j int) bool { return d.runs[i].path < d.runs[j].path })
+	if len(d.shardWorkers) == 0 {
+		d.shardWorkers[1] = true
+	}
+	return d, nil
 }
 
 // collect walks the decoded JSON tree. An object carrying the RunResult key
 // set is re-marshaled into the typed struct; an object with the registry
-// snapshot key set becomes the blame/instrument section of the report.
-func collect(v any, path string, runs *[]runEntry, reg **obs.RegistrySnapshot) {
+// snapshot key set becomes the blame/instrument section of the report; a
+// runinfo block contributes its shard_workers stamp.
+func collect(v any, path string, d *dump) {
 	switch n := v.(type) {
 	case map[string]any:
 		if hasKeys(n, "FTLName", "Workload", "Metrics", "Stats") {
 			var r ssd.RunResult
 			if remarshal(n, &r) == nil {
-				*runs = append(*runs, runEntry{path: path, run: r})
+				d.runs = append(d.runs, runEntry{path: path, run: r})
 				return
 			}
 		}
-		if *reg == nil && hasKeys(n, "Counters", "Gauges", "Histograms") {
+		if d.reg == nil && hasKeys(n, "Counters", "Gauges", "Histograms") {
 			var snap obs.RegistrySnapshot
 			if remarshal(n, &snap) == nil {
-				*reg = &snap
+				d.reg = &snap
 				return
 			}
+		}
+		if hasKeys(n, "workers", "wall_ms") {
+			sw := 1
+			if v, ok := n["shard_workers"].(float64); ok && v >= 1 {
+				sw = int(v)
+			}
+			d.shardWorkers[sw] = true
+			return
 		}
 		keys := make([]string, 0, len(n))
 		for k := range n {
@@ -126,13 +149,41 @@ func collect(v any, path string, runs *[]runEntry, reg **obs.RegistrySnapshot) {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			collect(n[k], join(path, k), runs, reg)
+			collect(n[k], join(path, k), d)
 		}
 	case []any:
 		for i, e := range n {
-			collect(e, join(path, strconv.Itoa(i)), runs, reg)
+			collect(e, join(path, strconv.Itoa(i)), d)
 		}
 	}
+}
+
+// shardWorkersLabel renders a dump's shard-worker set for error messages.
+func shardWorkersLabel(set map[int]bool) string {
+	vals := make([]int, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// sameShardWorkers reports whether two dumps ran with identical intra-run
+// parallelism settings (equal shard-worker sets).
+func sameShardWorkers(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
 }
 
 func join(path, key string) string {
@@ -162,10 +213,11 @@ func remarshal(m map[string]any, dst any) error {
 // report renders the per-run latency/WAF table plus the registry's blame
 // counters when the dump carries them.
 func report(w io.Writer, file string) error {
-	runs, reg, err := loadDump(file)
+	d, err := loadDump(file)
 	if err != nil {
 		return err
 	}
+	runs, reg := d.runs, d.reg
 	fmt.Fprintf(w, "flexstat report: %s — %d run(s)\n\n", file, len(runs))
 	if len(runs) > 0 {
 		fmt.Fprintf(w, "%-14s %-12s %8s %9s %7s %9s %9s %9s %9s %9s %8s\n",
@@ -230,14 +282,22 @@ func fmtDelta(d float64) string {
 // write-ack p99 and WAF deltas. Runs present in only one dump are listed but
 // do not gate. Returns the process exit code.
 func compare(w io.Writer, oldFile, newFile string, p99Thresh, wafThresh float64) (int, error) {
-	oldRuns, _, err := loadDump(oldFile)
+	oldDump, err := loadDump(oldFile)
 	if err != nil {
 		return 2, err
 	}
-	newRuns, _, err := loadDump(newFile)
+	newDump, err := loadDump(newFile)
 	if err != nil {
 		return 2, err
 	}
+	// Refuse to join dumps produced with different intra-run parallelism:
+	// results are worker-count independent by contract, but wall-clock and
+	// throughput figures are not, so a silent join would gate on noise.
+	if !sameShardWorkers(oldDump.shardWorkers, newDump.shardWorkers) {
+		return 2, fmt.Errorf("shard-worker mismatch: %s ran shard_workers={%s}, %s ran shard_workers={%s}; re-run one side or compare like with like",
+			oldFile, shardWorkersLabel(oldDump.shardWorkers), newFile, shardWorkersLabel(newDump.shardWorkers))
+	}
+	oldRuns, newRuns := oldDump.runs, newDump.runs
 	oldBy := make(map[string]ssd.RunResult, len(oldRuns))
 	for _, e := range oldRuns {
 		oldBy[e.path] = e.run

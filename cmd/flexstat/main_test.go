@@ -97,10 +97,11 @@ func TestUsageAndBadInput(t *testing.T) {
 // TestCollectFindsNestedRuns checks the walk descends arrays and objects and
 // keys each run by its JSON path.
 func TestCollectFindsNestedRuns(t *testing.T) {
-	runs, reg, err := loadDump("testdata/run_a.json")
+	d, err := loadDump("testdata/run_a.json")
 	if err != nil {
 		t.Fatal(err)
 	}
+	runs, reg := d.runs, d.reg
 	if len(runs) != 2 {
 		t.Fatalf("found %d runs, want 2", len(runs))
 	}
@@ -115,5 +116,26 @@ func TestCollectFindsNestedRuns(t *testing.T) {
 	}
 	if reg.Counters["blame.gc_us"] != 184230 {
 		t.Errorf("blame.gc_us = %d", reg.Counters["blame.gc_us"])
+	}
+}
+
+// TestCompareShardWorkerMismatch: dumps produced with different intra-run
+// parallelism must not be silently joined — compare refuses with exit 2.
+// run_a carries no shard_workers stamp (pre-sharding dump, reads as 1);
+// run_a_sharded is the same dump stamped shard_workers=4.
+func TestCompareShardWorkerMismatch(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := realMain([]string{"compare", "testdata/run_a.json", "testdata/run_a_sharded.json"}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("mismatched-parallelism compare exit=%d, want 2\n%s", code, out.String())
+	}
+	if !bytes.Contains(errw.Bytes(), []byte("shard-worker mismatch")) {
+		t.Errorf("stderr missing mismatch diagnosis: %s", errw.String())
+	}
+	// Equal stamps on both sides still compare fine.
+	out.Reset()
+	errw.Reset()
+	if code := realMain([]string{"compare", "testdata/run_a_sharded.json", "testdata/run_a_sharded.json"}, &out, &errw); code != 0 {
+		t.Fatalf("matching sharded compare exit=%d stderr=%s", code, errw.String())
 	}
 }

@@ -24,6 +24,10 @@ type AblationConfig struct {
 	// each variant is self-contained, so results are worker-count
 	// independent.
 	Workers int
+	// ShardWorkers is the intra-run epoch-shard worker count handed to
+	// ssd.RunSharded (<=1 = the serial engine); results are identical
+	// for any value.
+	ShardWorkers int
 }
 
 // DefaultAblationConfig keeps the sweep quick but distinguishable.
@@ -103,7 +107,7 @@ func RunAblations(cfg AblationConfig) (AblationResult, error) {
 		if err != nil {
 			return err
 		}
-		run, err := sys.Run(gen)
+		run, err := sys.RunSharded(gen, cfg.ShardWorkers)
 		if err != nil {
 			return fmt.Errorf("ablation %q: %w", v.name, err)
 		}

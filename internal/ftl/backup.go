@@ -74,7 +74,7 @@ type pairParity struct {
 	order    []core.Page
 	ring     []backupRing     // per chip
 	pbuf     []*parity.Buffer // per chip: parity of the LSB pair in flight
-	psnap    []byte           // scratch for parity snapshots (Program copies)
+	psnap    [][]byte         // per chip: scratch for parity snapshots (Program copies)
 }
 
 // backupRing is a two-deep rotation of backup blocks: parity pages go to the
@@ -94,6 +94,7 @@ func (b *pairParity) init(k *Kernel) error {
 	b.order = core.FPSOrder(g.WordLinesPerBlock)
 	b.ring = make([]backupRing, g.Chips())
 	b.pbuf = make([]*parity.Buffer, g.Chips())
+	b.psnap = make([][]byte, g.Chips())
 	for c := range b.ring {
 		b.ring[c] = backupRing{cur: -1, prev: -1}
 		// Pages carry TokenSize-byte payloads; the parity accumulator only
@@ -115,8 +116,8 @@ func (b *pairParity) afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (
 	}
 	if b.pbuf[chip].Count() >= b.pairSize {
 		var err error
-		b.psnap = b.pbuf[chip].SnapshotInto(b.psnap)
-		done, err = b.writeBackup(k, chip, b.psnap, done)
+		b.psnap[chip] = b.pbuf[chip].SnapshotInto(b.psnap[chip])
+		done, err = b.writeBackup(k, chip, b.psnap[chip], done)
 		if err != nil {
 			return done, err
 		}
@@ -217,22 +218,47 @@ type backupState struct {
 }
 
 type blockParity struct {
-	pbuf   []*parity.Buffer  // per chip: accumulated parity of the AFB's LSB pages
-	backup []backupState     // per chip
-	refs   map[int]parityRef // flat fast-block index -> parity location
-	psnap  []byte            // scratch for parity snapshots (Program copies)
+	pbuf   []*parity.Buffer // per chip: accumulated parity of the AFB's LSB pages
+	backup []backupState    // per chip
+	// refs maps flat fast-block index -> parity location, as a flat slice
+	// (backupBlk -1 = none) so channel shards of one run can write disjoint
+	// chip-owned entries without sharing a map's internals.
+	refs  []parityRef
+	psnap [][]byte // per chip: scratch for parity snapshots (Program copies)
 }
 
 func (b *blockParity) init(k *Kernel) error {
 	g := k.Dev.Geometry()
 	b.pbuf = make([]*parity.Buffer, g.Chips())
 	b.backup = make([]backupState, g.Chips())
-	b.refs = make(map[int]parityRef)
+	b.psnap = make([][]byte, g.Chips())
+	b.resetRefs(g.TotalBlocks())
 	for c := range b.backup {
 		b.pbuf[c] = parity.New(TokenSize)
 		b.backup[c] = backupState{cur: -1, live: make(map[int]int)}
 	}
 	return nil
+}
+
+// resetRefs clears the parity-ref table to "no parity" for every block.
+func (b *blockParity) resetRefs(blocks int) {
+	if len(b.refs) != blocks {
+		b.refs = make([]parityRef, blocks)
+	}
+	for i := range b.refs {
+		b.refs[i] = parityRef{backupBlk: -1}
+	}
+}
+
+// refLive counts blocks with a live parity reference.
+func (b *blockParity) refLive() int {
+	n := 0
+	for i := range b.refs {
+		if b.refs[i].backupBlk != -1 {
+			n++
+		}
+	}
+	return n
 }
 
 // extraReserve keeps one block for the parity-backup writer (the two-phase
@@ -249,8 +275,8 @@ func (b *blockParity) afterLSB(k *Kernel, chip int, data []byte, done sim.Time) 
 func (b *blockParity) onFastOpen(k *Kernel, chip int) { b.pbuf[chip].Reset() }
 
 func (b *blockParity) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error) {
-	b.psnap = b.pbuf[chip].SnapshotInto(b.psnap)
-	snapshot := b.psnap
+	b.psnap[chip] = b.pbuf[chip].SnapshotInto(b.psnap[chip])
+	snapshot := b.psnap[chip]
 	b.pbuf[chip].Reset()
 	return b.writeBlockParity(k, chip, fastBlk, snapshot, done)
 }
@@ -299,11 +325,11 @@ func (b *blockParity) writeBlockParity(k *Kernel, chip, fastBlk int, parityPage 
 // EraseAndFree at the chip-ready time after the MSB program that freed it).
 func (b *blockParity) onSlowComplete(k *Kernel, chip, blk int) {
 	flat := k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})
-	ref, ok := b.refs[flat]
-	if !ok {
+	ref := b.refs[flat]
+	if ref.backupBlk == -1 {
 		return
 	}
-	delete(b.refs, flat)
+	b.refs[flat] = parityRef{backupBlk: -1}
 	b.backup[chip].live[ref.backupBlk]--
 	b.recycleRetired(k, chip)
 }

@@ -37,6 +37,11 @@ type Base struct {
 	inGC bool     // guards against GC re-entry through alloc callbacks
 	bg   bgVictim // in-progress background-GC victim (survives idle windows)
 	hyst bool     // background-GC hysteresis latch
+	// shardExec marks a per-channel shard clone of the epoch-sharded run
+	// engine (shard.go): the adaptive quota freezes (the barrier replays it)
+	// and GC must be unreachable (the planner's free-block margin guarantees
+	// it; CollectVictim panics if the guarantee breaks).
+	shardExec bool
 
 	// Blame counters (nil without a recorder): host-visible stall charged to
 	// foreground GC, backup-program completion extension, and the two-phase
@@ -265,6 +270,12 @@ type AllocFunc func(chip int, lpn LPN, data, spare []byte, now sim.Time) (sim.Ti
 // alloc, erases it, and returns it to the chip's free pool. The victim must
 // be on the chip's full list. It returns the completion time of the erase.
 func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (sim.Time, error) {
+	if b.shardExec {
+		// The epoch planner's per-chip free margin must make foreground GC
+		// unreachable inside a shard; reaching here is a planner bug, not a
+		// recoverable condition.
+		panic(fmt.Sprintf("ftl: GC on chip %d during shard execution", chip))
+	}
 	if b.inGC {
 		return now, fmt.Errorf("ftl: re-entrant GC on chip %d", chip)
 	}

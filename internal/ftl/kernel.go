@@ -96,28 +96,7 @@ func (k *Kernel) Name() string { return k.name }
 // Write services a host page write. util is the write-buffer utilization the
 // allocation policy consumes (ignored by the fixed allocator).
 func (k *Kernel) Write(lpn LPN, now sim.Time, util float64) (sim.Time, error) {
-	chip := k.NextChip()
-	var err error
-	gcStart := now
-	now, err = k.place.foregroundGC(k, chip, now)
-	if err != nil {
-		return now, err
-	}
-	// Host-visible stall from inline reclaim: the write could not be issued
-	// until foreground GC returned the timeline.
-	if now > gcStart {
-		k.ctrBlameGC.Add(int64(now - gcStart))
-	}
-	pref := k.alloc.chooseHost(k, chip, util, now)
-	done, err := k.place.program(k, chip, pref, lpn, k.Token(lpn), k.Spare(lpn), now, false)
-	if err != nil {
-		return now, err
-	}
-	k.St.HostWrites++
-	if k.pred != nil {
-		k.pred.ObserveWrite()
-	}
-	return done, nil
+	return k.writeOn(k.NextChip(), lpn, now, util)
 }
 
 // Read services a host page read.
@@ -206,9 +185,9 @@ func (k *Kernel) noteData(isLSB, fromGC bool) {
 // attribution layer: media ops it issues are charged to CauseBackup, and any
 // completion-time extension beyond the data program is blamed on backup.
 func (k *Kernel) backupAfterLSB(chip int, data []byte, done sim.Time) (sim.Time, error) {
-	prev := k.Dev.SetCause(obs.CauseBackup)
+	prev := k.Dev.SetCauseChip(chip, obs.CauseBackup)
 	ext, err := k.bk.afterLSB(k, chip, data, done)
-	k.Dev.SetCause(prev)
+	k.Dev.SetCauseChip(chip, prev)
 	if ext > done {
 		k.ctrBlameBackup.Add(int64(ext - done))
 	}
@@ -218,9 +197,9 @@ func (k *Kernel) backupAfterLSB(chip int, data []byte, done sim.Time) (sim.Time,
 // backupOnFastComplete is the CauseBackup-attributed wrapper around the
 // fast-block-complete hook (the per-block parity write).
 func (k *Kernel) backupOnFastComplete(chip, fastBlk int, done sim.Time) (sim.Time, error) {
-	prev := k.Dev.SetCause(obs.CauseBackup)
+	prev := k.Dev.SetCauseChip(chip, obs.CauseBackup)
 	ext, err := k.bk.onFastComplete(k, chip, fastBlk, done)
-	k.Dev.SetCause(prev)
+	k.Dev.SetCauseChip(chip, prev)
 	if ext > done {
 		k.ctrBlameBackup.Add(int64(ext - done))
 	}
@@ -231,9 +210,9 @@ func (k *Kernel) backupOnFastComplete(chip, fastBlk int, done sim.Time) (sim.Tim
 // slow-block-complete hook (parity invalidation + backup-block recycling;
 // erases it triggers are media work, not host-visible stall).
 func (k *Kernel) backupOnSlowComplete(chip, blk int) {
-	prev := k.Dev.SetCause(obs.CauseBackup)
+	prev := k.Dev.SetCauseChip(chip, obs.CauseBackup)
 	k.bk.onSlowComplete(k, chip, blk)
-	k.Dev.SetCause(prev)
+	k.Dev.SetCauseChip(chip, prev)
 }
 
 // PageSize returns the data-page size in bytes (runner bandwidth input).
@@ -417,7 +396,7 @@ func (k *Kernel) LastMSB(chip int) (lpn LPN, prev nand.PPN, fromGC, ok bool) {
 // the invariants notice.
 func (k *Kernel) ParityRef(chip, blk int) (backupBlk, page int, ok bool) {
 	if b, isBP := k.bk.(*blockParity); isBP {
-		if ref, found := b.refs[k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})]; found {
+		if ref := b.refs[k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})]; ref.backupBlk != -1 {
 			return ref.backupBlk, ref.page, true
 		}
 	}

@@ -220,7 +220,7 @@ func (k *Kernel) reconstructLSB(tp *twoPhase, bp *blockParity, chip, blk, lostWL
 	g := k.Dev.Geometry()
 	var parityPage []byte
 	flat := k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: blk})
-	if ref, ok := bp.refs[flat]; ok {
+	if ref := bp.refs[flat]; ref.backupBlk != -1 {
 		// Fast path: the in-memory ref locates the parity page directly.
 		parityAddr := nand.PageAddr{
 			BlockAddr: nand.BlockAddr{Chip: chip, Block: ref.backupBlk},
@@ -327,7 +327,7 @@ func (k *Kernel) scanForParity(bp *blockParity, chip, protectedBlk int, now sim.
 // parity pages by scanning backup-block spare areas.
 func (k *Kernel) ForgetParityRefs() {
 	if bp, ok := k.bk.(*blockParity); ok {
-		bp.refs = make(map[int]parityRef)
+		bp.resetRefs(k.Dev.Geometry().TotalBlocks())
 	}
 }
 
@@ -367,7 +367,7 @@ func (k *Kernel) RebuildParityRefs(now sim.Time) (ParityScanReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	bp.refs = make(map[int]parityRef)
+	bp.resetRefs(k.Dev.Geometry().TotalBlocks())
 	end := now
 	for chip := range tp.chips {
 		chipNow := now
@@ -405,7 +405,7 @@ func (k *Kernel) RebuildParityRefs(now sim.Time) (ParityScanReport, error) {
 					continue
 				}
 				flat := k.Map.FlatBlock(nand.BlockAddr{Chip: chip, Block: protected})
-				if old, dup := bp.refs[flat]; dup {
+				if old := bp.refs[flat]; old.backupBlk != -1 {
 					bk.live[old.backupBlk]-- // superseded by a newer generation
 				}
 				bp.refs[flat] = parityRef{backupBlk: r.blk, page: p}
@@ -419,7 +419,7 @@ func (k *Kernel) RebuildParityRefs(now sim.Time) (ParityScanReport, error) {
 			end = chipNow
 		}
 	}
-	rep.Restored = len(bp.refs)
+	rep.Restored = bp.refLive()
 	rep.End = end
 	return rep, nil
 }

@@ -1,0 +1,322 @@
+package ftl
+
+import (
+	"fmt"
+	"sync"
+
+	"flexftl/internal/core"
+	"flexftl/internal/nand"
+	"flexftl/internal/sim"
+)
+
+// This file is the FTL half of the epoch-sharded run engine (the SSD half —
+// epoch formation — lives in internal/ssd). One simulated SSD executes in
+// parallel by batching host page operations into virtual-time epochs, routing
+// each to its target chip, advancing per-channel state on worker goroutines,
+// and merging the cross-chip effects (mapper updates, quota, stats, the
+// round-robin cursor) at the epoch barrier in deterministic global op order.
+//
+// Shards are CHANNELS, not workers: a channel owns its bus timeline
+// (Device.chanFree) and its chips own everything else chip-indexed (block
+// arrays, pools, placement cursors, backup rings, attribution registers), so
+// two channel shards touch disjoint state. The shard count therefore depends
+// only on the geometry — results are identical at any worker count, and
+// workers merely drain the per-epoch shard task queue.
+//
+// Exactness is the planner's job (internal/ssd): it only admits an op into an
+// epoch when the serial execution provably cannot couple it to another
+// shard's state — unique LPNs per epoch, an arrival window shorter than the
+// fastest program, request-atomic buffer admission, a per-chip free-block
+// margin ruling out foreground GC, and quota-sign stability for the adaptive
+// allocator. Anything else flushes the epoch and takes the exact serial path.
+//
+// One deliberate divergence: payload token sequence numbers. Shards stamp
+// tokens from disjoint per-epoch ranges (base + shardIdx<<32), so the bytes
+// programmed into page payloads differ from a serial run's. Tokens are only
+// parsed by crash-recovery flash scans, which operate on serial runs; run
+// results, mapping hashes, free-block and device op counts never see them.
+
+// EpochOp is one page-granular host operation routed to a chip. The planner
+// appends ops in serial (global) order; Done and Err are filled in by the
+// shard worker that executes the op.
+type EpochOp struct {
+	Write   bool
+	LPN     LPN
+	Chip    int
+	Arrival sim.Time
+	Util    float64 // write-buffer utilization at admission (writes only)
+	Done    sim.Time
+	Err     error
+}
+
+// ShardSupported reports whether this kernel can run under the epoch-sharded
+// engine. The EWMA write predictor observes every host write globally, which
+// would couple shards, so predictive kernels run serial.
+func (k *Kernel) ShardSupported() bool { return k.pred == nil }
+
+// PeekChip previews the chip the i-th future host write will route to,
+// without advancing the round-robin cursor (the planner routes writes; the
+// barrier advances the cursor).
+func (k *Kernel) PeekChip(i int) int {
+	return (k.rr + i) % k.Dev.Geometry().Chips()
+}
+
+// LookupChip returns the chip currently holding lpn (ok false if unmapped).
+// Reads route to the chip of their mapped physical page.
+func (k *Kernel) LookupChip(lpn LPN) (int, bool) {
+	ppn, ok := k.Map.Lookup(lpn)
+	if !ok {
+		return 0, false
+	}
+	return k.Dev.Geometry().AddrOfPPN(ppn).BlockAddr.Chip, true
+}
+
+// ShardWriteHeadroom reports whether the chip can absorb w epoch writes with
+// no possibility of foreground GC, slot-refill exhaustion or backup-ring
+// starvation. The margin is deliberately conservative — one host write can
+// consume free blocks for the data page, an active-pool refill (up to 8
+// slots) and a backup-ring rotation — because a false negative only costs a
+// serial fallback, never correctness.
+func (k *Kernel) ShardWriteHeadroom(chip, w int) bool {
+	reserve := k.Cfg.MinFreeBlocksPerChip + k.bk.extraReserve()
+	return k.Pools[chip].FreeCount() >= reserve+10*w+16
+}
+
+// ShardQuotaStable reports whether the adaptive allocator's LSB-quota sign
+// cannot have changed by the time this write executes, given w prior writes
+// already planned into the epoch. The frozen shard-time quota then yields the
+// same placement decision as the live serial quota; the barrier replays the
+// exact quota arithmetic afterwards. Non-adaptive allocators never read q.
+func (k *Kernel) ShardQuotaStable(util float64, w int) bool {
+	a, ok := k.alloc.(*adaptiveAlloc)
+	if !ok {
+		return true
+	}
+	if util <= a.p.UHigh {
+		// The mid and low utilization bands never consult q.
+		return true
+	}
+	return a.q > int64(w) || a.q+int64(w) <= 0
+}
+
+// writeOn is Kernel.Write with the chip decided by the caller: the epoch
+// planner routes round-robin positions itself so shard execution never
+// touches the shared cursor. It must mirror Write exactly, minus NextChip.
+func (k *Kernel) writeOn(chip int, lpn LPN, now sim.Time, util float64) (sim.Time, error) {
+	var err error
+	gcStart := now
+	now, err = k.place.foregroundGC(k, chip, now)
+	if err != nil {
+		return now, err
+	}
+	if now > gcStart {
+		k.ctrBlameGC.Add(int64(now - gcStart))
+	}
+	pref := k.alloc.chooseHost(k, chip, util, now)
+	done, err := k.place.program(k, chip, pref, lpn, k.Token(lpn), k.Spare(lpn), now, false)
+	if err != nil {
+		return now, err
+	}
+	k.St.HostWrites++
+	if k.pred != nil {
+		k.pred.ObserveWrite()
+	}
+	return done, nil
+}
+
+// newShardClone builds the per-channel kernel a shard worker drives: a
+// shallow Kernel copy over a cloned Base whose mapper is a deferred-update
+// log view, whose stats accumulate separately for the barrier sum, and whose
+// observability is off (the runner falls back to serial whenever a recorder
+// is attached). Policy objects (placement, backup, allocation) are shared —
+// their state is chip-indexed, and the shardExec latch freezes the one global
+// piece (the adaptive quota) until the barrier replays it.
+func (k *Kernel) newShardClone() *Kernel {
+	b := *k.Base
+	b.Map = k.Base.Map.logView()
+	b.St = Stats{}
+	b.Obs = nil
+	b.ctrBlameGC, b.ctrBlameBackup, b.ctrBlameReprogram = nil, nil, nil
+	b.Buf = nand.PageBuf{}
+	b.ppns = nil
+	b.shardExec = true
+	clone := *k
+	clone.Base = &b
+	clone.pred = nil
+	return &clone
+}
+
+// add accumulates o into s — the barrier's deterministic channel-order stats
+// merge. Field-by-field so a new Stats counter fails loudly in review rather
+// than silently summing wrong.
+func (s *Stats) add(o *Stats) {
+	s.HostReads += o.HostReads
+	s.HostWrites += o.HostWrites
+	s.HostTrims += o.HostTrims
+	s.HostWritesLSB += o.HostWritesLSB
+	s.HostWritesMSB += o.HostWritesMSB
+	s.GCCopies += o.GCCopies
+	s.GCCopiesLSB += o.GCCopiesLSB
+	s.GCCopiesMSB += o.GCCopiesMSB
+	s.BackupWrites += o.BackupWrites
+	s.PadWrites += o.PadWrites
+	s.Erases += o.Erases
+	s.RetiredBlocks += o.RetiredBlocks
+	s.ForegroundGCs += o.ForegroundGCs
+	s.BackgroundGCs += o.BackgroundGCs
+}
+
+// ShardRunner owns the per-channel kernel clones and the worker pool that
+// executes one SSD's epochs. It is created once per run (after prefill) and
+// closed when the run finishes.
+type ShardRunner struct {
+	k       *Kernel
+	shards  []*Kernel // one clone per channel
+	tasks   chan func()
+	byShard [][]int // scratch: epoch op indices per shard
+	cursors []int   // scratch: per-shard map-log replay cursor
+}
+
+// NewShardRunner builds the per-channel shard clones of k and starts
+// min(workers, channels) pool goroutines. workers must be >= 1; callers
+// wanting serial execution should not construct a runner at all.
+func NewShardRunner(k *Kernel, workers int) *ShardRunner {
+	g := k.Dev.Geometry()
+	ch := g.Channels
+	r := &ShardRunner{
+		k:       k,
+		shards:  make([]*Kernel, ch),
+		tasks:   make(chan func(), ch),
+		byShard: make([][]int, ch),
+		cursors: make([]int, ch),
+	}
+	for i := range r.shards {
+		r.shards[i] = k.newShardClone()
+	}
+	if workers > ch {
+		workers = ch
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range r.tasks {
+				task()
+			}
+		}()
+	}
+	return r
+}
+
+// Close stops the pool goroutines. The runner must not be used afterwards.
+func (r *ShardRunner) Close() { close(r.tasks) }
+
+// Shards returns the shard (channel) count — the planner's routing modulus
+// for deciding per-chip write fan-out.
+func (r *ShardRunner) Shards() int { return len(r.shards) }
+
+// ExecEpoch executes one epoch: ops (in serial order) fan out to their
+// channel shards, run concurrently, and merge back in global op order. On
+// return with nil error, the real kernel's mapper, stats, quota, sequence
+// and round-robin cursor are exactly what a serial execution of the same ops
+// would have produced, and every op carries its Done time. A non-nil error
+// is the first error in serial order; the run is then aborted, so no merge
+// is attempted.
+func (r *ShardRunner) ExecEpoch(ops []EpochOp) error {
+	g := r.k.Dev.Geometry()
+	for i := range r.byShard {
+		r.byShard[i] = r.byShard[i][:0]
+	}
+	writes := 0
+	for i := range ops {
+		si := g.ChannelOf(ops[i].Chip)
+		r.byShard[si] = append(r.byShard[si], i)
+		if ops[i].Write {
+			writes++
+		}
+	}
+
+	// Disjoint per-shard token sequence ranges for this epoch; the barrier
+	// re-compacts the real cursor below.
+	for si, sk := range r.shards {
+		sk.seq = r.k.seq + int64(si+1)<<32
+		sk.Map.resetLog()
+	}
+
+	var wg sync.WaitGroup
+	for si := range r.shards {
+		if len(r.byShard[si]) == 0 {
+			continue
+		}
+		si := si
+		wg.Add(1)
+		r.tasks <- func() {
+			defer wg.Done()
+			sk := r.shards[si]
+			for _, i := range r.byShard[si] {
+				op := &ops[i]
+				if op.Write {
+					op.Done, op.Err = sk.writeOn(op.Chip, op.LPN, op.Arrival, op.Util)
+				} else {
+					op.Done, op.Err = sk.ReadLPN(op.LPN, op.Arrival)
+				}
+				if op.Err != nil {
+					// Serial execution aborts the run at its first error;
+					// halting the shard keeps its state from running ahead.
+					break
+				}
+			}
+		}
+	}
+	wg.Wait()
+
+	// A shard executes its ops in global order, so its first error is its
+	// earliest; scanning all ops in global order yields the error a serial
+	// run would have hit first.
+	for i := range ops {
+		if ops[i].Err != nil {
+			return ops[i].Err
+		}
+	}
+
+	// Barrier merge, in global op order: replay the deferred mapper updates
+	// (firing the valid-count hooks that re-bucket the GC victim index) and
+	// the frozen quota arithmetic.
+	for i := range r.cursors {
+		r.cursors[i] = 0
+	}
+	for i := range ops {
+		op := &ops[i]
+		if !op.Write {
+			continue
+		}
+		si := g.ChannelOf(op.Chip)
+		sk := r.shards[si]
+		if r.cursors[si] >= len(sk.Map.log) {
+			panic(fmt.Sprintf("ftl: shard %d map log underflow at op %d", si, i))
+		}
+		ent := sk.Map.log[r.cursors[si]]
+		r.cursors[si]++
+		if ent.lpn != op.LPN {
+			panic(fmt.Sprintf("ftl: shard %d map log LPN %d != op LPN %d", si, ent.lpn, op.LPN))
+		}
+		r.k.Map.Update(ent.lpn, ent.ppn)
+		isLSB := g.AddrOfPPN(ent.ppn).Page.Type == core.LSB
+		r.k.alloc.onProgram(r.k, isLSB, false)
+	}
+	for si, sk := range r.shards {
+		if r.cursors[si] != len(sk.Map.log) {
+			panic(fmt.Sprintf("ftl: shard %d map log has %d unconsumed entries", si, len(sk.Map.log)-r.cursors[si]))
+		}
+	}
+	for _, sk := range r.shards {
+		r.k.St.add(&sk.St)
+		sk.St = Stats{}
+	}
+	r.k.seq += int64(writes)
+	if writes > 0 {
+		r.k.rr = (r.k.rr + writes) % g.Chips()
+	}
+	return nil
+}

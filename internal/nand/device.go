@@ -95,16 +95,18 @@ type Device struct {
 	rules    core.RuleSet
 	chips    []chip
 	chanFree []sim.Time // per-channel bus availability
-	counts   OpCounts
+	counts   []OpCounts // per-chip operation counters (Counts sums them)
 	busyTime []sim.Time // accumulated busy time per chip (utilization metric)
 
-	// cause is the ambient attribution register: every operation charges its
-	// busy time to the cause in force when it was issued. The FTL sets it
-	// around GC, backup and pad paths (save/restore discipline); CauseHost is
-	// the default. causeBusy accumulates unconditionally — it is pure
-	// accounting on the virtual timeline and never changes timing.
-	cause     obs.Cause
-	causeBusy [obs.CauseCount]sim.Time
+	// cause is the ambient attribution register, kept per chip so channel
+	// shards of a single run can bracket their own chips without sharing a
+	// register: every operation charges its busy time to the cause in force
+	// on its chip when it was issued. The FTL sets it around GC, backup and
+	// pad paths (save/restore discipline); CauseHost is the default.
+	// causeBusy accumulates unconditionally — it is pure accounting on the
+	// virtual timeline and never changes timing.
+	cause     []obs.Cause
+	causeBusy [][obs.CauseCount]sim.Time
 
 	// Observability (nil when tracing is disabled).
 	rec         *obs.Recorder
@@ -128,11 +130,14 @@ func NewDevice(cfg Config) (*Device, error) {
 		rules = core.FPS
 	}
 	d := &Device{
-		cfg:      cfg,
-		rules:    rules,
-		chips:    make([]chip, cfg.Geometry.Chips()),
-		chanFree: make([]sim.Time, cfg.Geometry.Channels),
-		busyTime: make([]sim.Time, cfg.Geometry.Chips()),
+		cfg:       cfg,
+		rules:     rules,
+		chips:     make([]chip, cfg.Geometry.Chips()),
+		chanFree:  make([]sim.Time, cfg.Geometry.Channels),
+		counts:    make([]OpCounts, cfg.Geometry.Chips()),
+		busyTime:  make([]sim.Time, cfg.Geometry.Chips()),
+		cause:     make([]obs.Cause, cfg.Geometry.Chips()),
+		causeBusy: make([][obs.CauseCount]sim.Time, cfg.Geometry.Chips()),
 	}
 	for c := range d.chips {
 		blocks := make([]block, cfg.Geometry.BlocksPerChip)
@@ -163,33 +168,60 @@ func (d *Device) SetRecorder(r *obs.Recorder) {
 	}
 }
 
-// SetCause switches the device's ambient attribution cause and returns the
-// previous one, so callers bracket a code path with
+// SetCause switches the ambient attribution cause on every chip and returns
+// the previous one, so callers bracket a code path with
 //
 //	prev := d.SetCause(obs.CauseGC)
 //	defer d.SetCause(prev)
 //
 // Nested paths (a backup write inside a GC relocation) override and restore
 // naturally. The cause only labels accounting; timing and results never
-// depend on it.
+// depend on it. Serial callers see the single-register semantics this always
+// had (all chips share one cause between brackets); code paths that must not
+// touch other chips' registers — the channel shards of a parallel run —
+// bracket with SetCauseChip instead.
 func (d *Device) SetCause(c obs.Cause) obs.Cause {
-	prev := d.cause
-	d.cause = c
+	prev := d.cause[0]
+	for i := range d.cause {
+		d.cause[i] = c
+	}
 	return prev
 }
 
-// Cause returns the ambient attribution cause in force.
-func (d *Device) Cause() obs.Cause { return d.cause }
+// SetCauseChip switches the attribution cause of one chip only, returning
+// that chip's previous cause. This is the bracket for paths that touch a
+// single chip (backup writes paired with a host program), and the only legal
+// bracket inside a channel shard.
+func (d *Device) SetCauseChip(chipID int, c obs.Cause) obs.Cause {
+	prev := d.cause[chipID]
+	d.cause[chipID] = c
+	return prev
+}
+
+// Cause returns the ambient attribution cause in force (chip 0's register;
+// outside chip-scoped brackets all chips agree).
+func (d *Device) Cause() obs.Cause { return d.cause[0] }
 
 // CauseBusy returns the accumulated media busy time charged to each cause
-// (µs of chip occupancy, indexed by obs.Cause).
-func (d *Device) CauseBusy() [obs.CauseCount]sim.Time { return d.causeBusy }
+// (µs of chip occupancy, indexed by obs.Cause), summed over chips in chip
+// order.
+func (d *Device) CauseBusy() [obs.CauseCount]sim.Time {
+	var total [obs.CauseCount]sim.Time
+	for chip := range d.causeBusy {
+		for c := range d.causeBusy[chip] {
+			total[c] += d.causeBusy[chip][c]
+		}
+	}
+	return total
+}
 
-// chargeBusy attributes one operation's busy time to the ambient cause.
-func (d *Device) chargeBusy(dur sim.Time) {
-	d.causeBusy[d.cause] += dur
+// chargeBusy attributes one operation's busy time to the chip's ambient
+// cause.
+func (d *Device) chargeBusy(chipID int, dur sim.Time) {
+	cause := d.cause[chipID]
+	d.causeBusy[chipID][cause] += dur
 	if d.rec != nil {
-		d.causeCtr[d.cause].Add(int64(dur))
+		d.causeCtr[cause].Add(int64(dur))
 	}
 }
 
@@ -202,8 +234,17 @@ func (d *Device) Timing() Timing { return d.cfg.Timing }
 // Rules returns the enforced program-order scheme.
 func (d *Device) Rules() core.RuleSet { return d.rules }
 
-// Counts returns the operation counters.
-func (d *Device) Counts() OpCounts { return d.counts }
+// Counts returns the operation counters, summed over chips in chip order.
+func (d *Device) Counts() OpCounts {
+	var total OpCounts
+	for i := range d.counts {
+		total.Reads += d.counts[i].Reads
+		total.ProgramsLSB += d.counts[i].ProgramsLSB
+		total.ProgramsMSB += d.counts[i].ProgramsMSB
+		total.Erases += d.counts[i].Erases
+	}
+	return total
+}
 
 // ChipReadyAt returns when the chip's cell array becomes free.
 func (d *Device) ChipReadyAt(chipID int) sim.Time { return d.chips[chipID].readyAt }
@@ -274,7 +315,7 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	d.chanFree[ch] = xferDone
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
-	d.chargeBusy(done - start)
+	d.chargeBusy(a.Chip, done-start)
 	if d.rec != nil {
 		d.rec.Span(obs.KindXfer, int32(ch), start, xferDone, int64(a.Chip), int64(a.Block))
 		kind, hist := obs.KindProgramLSB, d.histProgLSB
@@ -292,7 +333,7 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	pg.spare = append(pg.spare[:0], spare...)
 
 	if a.Page.Type == core.MSB {
-		d.counts.ProgramsMSB++
+		d.counts[a.Chip].ProgramsMSB++
 		// While the MSB program is unacknowledged the paired LSB data is in
 		// its destructive transient state. Record the window for power-loss
 		// injection; it stays open until AckProgram, a newer MSB program on
@@ -301,7 +342,7 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 		// unaffected by LSB programs elsewhere on the chip.
 		c.win = msbWindow{blk: a.Block, wl: a.Page.WL, open: true}
 	} else {
-		d.counts.ProgramsLSB++
+		d.counts[a.Chip].ProgramsLSB++
 	}
 	return done, nil
 }
@@ -356,8 +397,8 @@ func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
 	d.chanFree[ch] = done
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
-	d.chargeBusy(done - start)
-	d.counts.Reads++
+	d.chargeBusy(a.Chip, done-start)
+	d.counts[a.Chip].Reads++
 	if d.rec != nil {
 		d.rec.Span(obs.KindRead, int32(a.Chip), start, senseDone, int64(a.Block), int64(a.Page.WL))
 		d.rec.Span(obs.KindXfer, int32(ch), xferStart, done, int64(a.Chip), int64(a.Block))
@@ -436,11 +477,19 @@ func (d *Device) Erase(a BlockAddr, now sim.Time) (sim.Time, error) {
 	done := start + d.cfg.Timing.Erase
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
-	d.chargeBusy(done - start)
+	d.chargeBusy(a.Chip, done-start)
 
 	blk.state.Reset()
+	// Truncate rather than drop the payload slices: their capacity is
+	// reused by the next program of the page, keeping the program hot path
+	// allocation-free in steady state (pages are only read behind the
+	// programmed flag, so an empty slice is indistinguishable from nil).
 	for i := range blk.pages {
-		blk.pages[i] = page{}
+		pg := &blk.pages[i]
+		pg.programmed = false
+		pg.corrupted = false
+		pg.data = pg.data[:0]
+		pg.spare = pg.spare[:0]
 	}
 	blk.eraseCount++
 	// Erase barrier: the chip serialized this erase after any pending
@@ -452,7 +501,7 @@ func (d *Device) Erase(a BlockAddr, now sim.Time) (sim.Time, error) {
 	// previous copy of the interrupted page, always on the same chip for GC
 	// relocations, still exists for recovery to roll back to.
 	c.win.open = false
-	d.counts.Erases++
+	d.counts[a.Chip].Erases++
 	if d.rec != nil {
 		d.rec.Span(obs.KindErase, int32(a.Chip), start, done, int64(a.Block), int64(blk.eraseCount))
 		d.histErase.Record(int64(done - start))

@@ -165,16 +165,18 @@ type Device struct {
 	enforce  bool // enforce the relaxed constraint set (always on; field kept for clarity)
 	chips    []chip
 	chanFree []sim.Time
-	reads    int64
-	programs []int64 // per level
-	erases   int64
+	reads    []int64   // per chip
+	programs [][]int64 // per chip, per level
+	erases   []int64   // per chip
 
-	// cause is the ambient attribution register (see nand.Device.SetCause):
-	// the FTL brackets its GC/backup paths with SetCause, and every operation
-	// charges its busy time to the cause in force. Pure accounting on the
-	// virtual timeline; never changes timing.
-	cause     obs.Cause
-	causeBusy [obs.CauseCount]sim.Time
+	// cause is the ambient attribution register (see nand.Device.SetCause),
+	// kept per chip like the MLC device so channel shards never share a
+	// register: the FTL brackets its GC/backup paths with SetCause (all
+	// chips) or SetCauseChip (one chip), and every operation charges its busy
+	// time to the cause in force on its chip. Pure accounting on the virtual
+	// timeline; never changes timing.
+	cause     []obs.Cause
+	causeBusy [][obs.CauseCount]sim.Time
 
 	// Observability (nil when tracing is disabled).
 	rec       *obs.Recorder
@@ -193,12 +195,19 @@ func NewDevice(g Geometry, t Timing) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		geo:      g,
-		timing:   t,
-		enforce:  true,
-		chips:    make([]chip, g.Chips()),
-		chanFree: make([]sim.Time, g.Channels),
-		programs: make([]int64, g.Levels),
+		geo:       g,
+		timing:    t,
+		enforce:   true,
+		chips:     make([]chip, g.Chips()),
+		chanFree:  make([]sim.Time, g.Channels),
+		reads:     make([]int64, g.Chips()),
+		programs:  make([][]int64, g.Chips()),
+		erases:    make([]int64, g.Chips()),
+		cause:     make([]obs.Cause, g.Chips()),
+		causeBusy: make([][obs.CauseCount]sim.Time, g.Chips()),
+	}
+	for c := range d.programs {
+		d.programs[c] = make([]int64, g.Levels)
 	}
 	for c := range d.chips {
 		blocks := make([]block, g.BlocksPerChip)
@@ -229,25 +238,48 @@ func (d *Device) SetRecorder(r *obs.Recorder) {
 	}
 }
 
-// SetCause switches the ambient attribution cause and returns the previous
-// one (save/restore discipline; see nand.Device.SetCause).
+// SetCause switches the ambient attribution cause on every chip and returns
+// the previous one (save/restore discipline; see nand.Device.SetCause).
 func (d *Device) SetCause(c obs.Cause) obs.Cause {
-	prev := d.cause
-	d.cause = c
+	prev := d.cause[0]
+	for i := range d.cause {
+		d.cause[i] = c
+	}
 	return prev
 }
 
-// Cause returns the ambient attribution cause in force.
-func (d *Device) Cause() obs.Cause { return d.cause }
+// SetCauseChip switches one chip's attribution cause, returning that chip's
+// previous cause (the bracket for chip-scoped paths; see
+// nand.Device.SetCauseChip).
+func (d *Device) SetCauseChip(chipID int, c obs.Cause) obs.Cause {
+	prev := d.cause[chipID]
+	d.cause[chipID] = c
+	return prev
+}
 
-// CauseBusy returns the accumulated media busy time charged to each cause.
-func (d *Device) CauseBusy() [obs.CauseCount]sim.Time { return d.causeBusy }
+// Cause returns the ambient attribution cause in force (chip 0's register;
+// outside chip-scoped brackets all chips agree).
+func (d *Device) Cause() obs.Cause { return d.cause[0] }
 
-// chargeBusy attributes one operation's busy time to the ambient cause.
-func (d *Device) chargeBusy(dur sim.Time) {
-	d.causeBusy[d.cause] += dur
+// CauseBusy returns the accumulated media busy time charged to each cause,
+// summed over chips in chip order.
+func (d *Device) CauseBusy() [obs.CauseCount]sim.Time {
+	var total [obs.CauseCount]sim.Time
+	for chip := range d.causeBusy {
+		for c := range d.causeBusy[chip] {
+			total[c] += d.causeBusy[chip][c]
+		}
+	}
+	return total
+}
+
+// chargeBusy attributes one operation's busy time to the chip's ambient
+// cause.
+func (d *Device) chargeBusy(chipID int, dur sim.Time) {
+	cause := d.cause[chipID]
+	d.causeBusy[chipID][cause] += dur
 	if d.rec != nil {
-		d.causeCtr[d.cause].Add(int64(dur))
+		d.causeCtr[cause].Add(int64(dur))
 	}
 }
 
@@ -257,14 +289,34 @@ func (d *Device) Geometry() Geometry { return d.geo }
 // Timing returns the latency set.
 func (d *Device) Timing() Timing { return d.timing }
 
-// Programs returns per-level program counts.
-func (d *Device) Programs() []int64 { return append([]int64(nil), d.programs...) }
+// Programs returns per-level program counts, summed over chips.
+func (d *Device) Programs() []int64 {
+	total := make([]int64, d.geo.Levels)
+	for c := range d.programs {
+		for lvl, n := range d.programs[c] {
+			total[lvl] += n
+		}
+	}
+	return total
+}
 
-// Erases returns the erase count.
-func (d *Device) Erases() int64 { return d.erases }
+// Erases returns the erase count, summed over chips.
+func (d *Device) Erases() int64 {
+	var total int64
+	for _, n := range d.erases {
+		total += n
+	}
+	return total
+}
 
-// Reads returns the read count.
-func (d *Device) Reads() int64 { return d.reads }
+// Reads returns the read count, summed over chips.
+func (d *Device) Reads() int64 {
+	var total int64
+	for _, n := range d.reads {
+		total += n
+	}
+	return total
+}
 
 func (d *Device) blockAt(chipID, blk int) (*block, error) {
 	if chipID < 0 || chipID >= d.geo.Chips() || blk < 0 || blk >= d.geo.BlocksPerChip {
@@ -306,7 +358,7 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	done := xferDone + d.timing.Prog[a.Page.Level]
 	d.chanFree[ch] = xferDone
 	c.readyAt = done
-	d.chargeBusy(done - start)
+	d.chargeBusy(a.Chip, done-start)
 	if d.rec != nil {
 		d.histProg.Record(int64(done - start))
 	}
@@ -316,7 +368,7 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	pg.corrupted = false
 	pg.data = append(pg.data[:0], data...)
 	pg.spare = append(pg.spare[:0], spare...)
-	d.programs[a.Page.Level]++
+	d.programs[a.Chip][a.Page.Level]++
 
 	if a.Page.Level > 0 {
 		// Refinements are destructive to the word line's earlier bits
@@ -351,8 +403,8 @@ func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
 	done := xferStart + d.timing.BusXfer
 	d.chanFree[ch] = done
 	c.readyAt = done
-	d.chargeBusy(done - start)
-	d.reads++
+	d.chargeBusy(a.Chip, done-start)
+	d.reads[a.Chip]++
 	if d.rec != nil {
 		d.histRead.Record(int64(done - start))
 	}
@@ -404,7 +456,7 @@ func (d *Device) Erase(chipID, blk int, now sim.Time) (sim.Time, error) {
 	start := sim.MaxOf(now, c.readyAt)
 	done := start + d.timing.Erase
 	c.readyAt = done
-	d.chargeBusy(done - start)
+	d.chargeBusy(chipID, done-start)
 	if d.rec != nil {
 		d.histErase.Record(int64(done - start))
 	}
@@ -414,7 +466,7 @@ func (d *Device) Erase(chipID, blk int, now sim.Time) (sim.Time, error) {
 	}
 	b.eraseCount++
 	b.inFlightLevel = -1
-	d.erases++
+	d.erases[chipID]++
 	return done, nil
 }
 

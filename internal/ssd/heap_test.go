@@ -1,0 +1,98 @@
+package ssd
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"flexftl/internal/buffer"
+	"flexftl/internal/sim"
+)
+
+// refHeap is a container/heap reference implementation of the inflight
+// min-heap. The property test drives it in lockstep with the hand-rolled
+// inflightHeap: if the open-coded sift-up/sift-down ever diverges from the
+// standard library's ordering, the pop sequences differ.
+type refHeap []inflight
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].done < h[j].done }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(inflight)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	it := old[n]
+	old[n] = inflight{}
+	*h = old[:n]
+	return it
+}
+
+// TestInflightHeapProperty interleaves randomized pushes and pops on the
+// hand-rolled heap and the container/heap reference and demands identical
+// pop sequences. Completion times are drawn from a small range so duplicate
+// done values — the case where sift order bugs hide, because Less is false
+// both ways — occur constantly. Entries are tagged with distinct pointers
+// so equal-time pops are still checked for min-time correctness (equal-time
+// order between the two heaps is unspecified, so only done is compared).
+func TestInflightHeapProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var got inflightHeap
+		ref := &refHeap{}
+		heap.Init(ref)
+		const ops = 5000
+		for i := 0; i < ops; i++ {
+			if got.len() != ref.Len() {
+				t.Fatalf("seed %d op %d: size mismatch got=%d ref=%d", seed, i, got.len(), ref.Len())
+			}
+			// Bias toward pushes early so the heaps grow, then drain.
+			pushP := 60
+			if i > ops*3/4 {
+				pushP = 30
+			}
+			if got.len() == 0 || rng.Intn(100) < pushP {
+				it := inflight{
+					done:  sim.Time(rng.Intn(16)), // tight range: lots of duplicates
+					entry: &buffer.Entry{},
+				}
+				got.push(it)
+				heap.Push(ref, it)
+				continue
+			}
+			g := got.pop()
+			r := heap.Pop(ref).(inflight)
+			if g.done != r.done {
+				t.Fatalf("seed %d op %d: pop mismatch got done=%d ref done=%d", seed, i, g.done, r.done)
+			}
+		}
+		// Drain both completely; the tails must match too.
+		for got.len() > 0 {
+			if ref.Len() == 0 {
+				t.Fatalf("seed %d: reference drained first", seed)
+			}
+			g := got.pop()
+			r := heap.Pop(ref).(inflight)
+			if g.done != r.done {
+				t.Fatalf("seed %d drain: pop mismatch got done=%d ref done=%d", seed, g.done, r.done)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("seed %d: hand-rolled heap drained first (%d left in reference)", seed, ref.Len())
+		}
+	}
+}
+
+// TestInflightHeapPopZeroesSlot pins the anti-leak contract documented on
+// pop: the vacated tail slot must not keep a *buffer.Entry reachable.
+func TestInflightHeapPopZeroesSlot(t *testing.T) {
+	var h inflightHeap
+	for i := 0; i < 4; i++ {
+		h.push(inflight{done: sim.Time(i), entry: &buffer.Entry{}})
+	}
+	h.pop()
+	tail := h[:cap(h)][len(h)] // the slot pop vacated
+	if tail.entry != nil || tail.done != 0 {
+		t.Fatalf("pop left %+v in the vacated slot", tail)
+	}
+}

@@ -1,0 +1,338 @@
+// Epoch-sharded run engine: the SSD half. RunSharded batches host requests
+// into virtual-time epochs, routes each page op to its target chip, and hands
+// the batch to ftl.ShardRunner, which advances per-channel state on worker
+// goroutines and merges cross-chip effects at the epoch barrier in
+// deterministic global op order.
+//
+// The determinism contract is exactness, not mere stability: an epoch is
+// only formed when its serial execution provably decomposes into independent
+// per-channel executions plus a deterministic merge, so RunSharded(gen, N)
+// equals Run(gen) for every N. The planner admits a request into the open
+// epoch only if all of the following hold — anything else flushes the epoch
+// and falls back to the exact serial step:
+//
+//	R1 (unique LPNs)    No two ops in an epoch touch the same LPN, so shard
+//	                    reads against the pre-epoch mapping and deferred
+//	                    mapper updates are exact.
+//	R2 (arrival window) The epoch spans less than min(BusXfer+ProgLSB,
+//	                    IdleThreshold) of virtual time: every in-epoch write
+//	                    completes after every in-epoch arrival (buffer
+//	                    releases can be deferred to the barrier), and no idle
+//	                    window can open mid-epoch.
+//	R4 (atomic admit)   The write buffer has room for the whole request, so
+//	                    backpressure (which serializes on the pending heap)
+//	                    cannot occur mid-epoch.
+//	R5 (free margin)    Every written chip keeps enough free blocks that
+//	                    foreground GC and block exhaustion are impossible
+//	                    during the epoch (ftl.Kernel.ShardWriteHeadroom).
+//	Rq (quota sign)     For the adaptive allocator, the frozen shard-time
+//	                    quota provably yields the same LSB/MSB decisions as
+//	                    the live serial quota (ftl.Kernel.ShardQuotaStable).
+//
+// Trims and unknown ops always break the epoch (they mutate the mapping
+// inline). Runs with a recorder attached, a non-kernel host (nflex), a
+// predictive kernel, or workers <= 1 take the serial path wholesale.
+package ssd
+
+import (
+	"flexftl/internal/buffer"
+	"flexftl/internal/ftl"
+	"flexftl/internal/sim"
+	"flexftl/internal/workload"
+)
+
+// epochState is the open epoch under construction.
+type epochState struct {
+	k      *ftl.Kernel
+	runner *ftl.ShardRunner
+	window sim.Time
+
+	ops     []ftl.EpochOp
+	entries []*buffer.Entry // parallel to ops; nil for reads
+	reqs    []epochReq
+	lpns    map[int64]struct{}
+	start   sim.Time // arrival of the first planned request
+	writes  int      // host page writes planned so far (round-robin offset)
+	chipW   []int    // per-chip planned writes (R5 input)
+	reqW    []int    // scratch: per-chip writes of the request being planned
+}
+
+// epochReq records one planned request for the barrier's in-order accounting.
+type epochReq struct {
+	op             workload.Op
+	pages          int
+	arrival        sim.Time
+	opStart, opEnd int
+}
+
+func (e *epochState) reset() {
+	e.ops = e.ops[:0]
+	e.entries = e.entries[:0]
+	e.reqs = e.reqs[:0]
+	clear(e.lpns)
+	for i := range e.chipW {
+		e.chipW[i] = 0
+	}
+	e.writes = 0
+	e.start = 0
+}
+
+// RunSharded drives the generator like Run, but executes epochs of host ops
+// in parallel across the device's channels on up to `workers` goroutines.
+// Shards are channels, so results are independent of the worker count:
+// RunSharded(gen, N) produces the same RunResult (and the same FTL/device
+// state) as Run(gen) for every N. Configurations the sharded engine cannot
+// prove exact — workers <= 1, a non-kernel host, a predictive kernel, or an
+// attached recorder (whose probes sample mid-epoch state) — run serial.
+//
+// One documented divergence: page payload token sequence numbers come from
+// disjoint per-shard ranges, so flash payload bytes differ from a serial
+// run's. Tokens are only parsed by crash-recovery scans of serial runs;
+// results, mapping hashes and op counts never observe them.
+func (s *System) RunSharded(gen workload.Generator, workers int) (RunResult, error) {
+	k, isKernel := s.F.(*ftl.Kernel)
+	if workers <= 1 || !isKernel || !k.ShardSupported() || s.obs != nil {
+		return s.Run(gen)
+	}
+	runner := ftl.NewShardRunner(k, workers)
+	defer runner.Close()
+	s.shardEpochs, s.shardOps = 0, 0
+
+	t := k.Device().Timing()
+	window := t.BusXfer + t.ProgLSB
+	if s.cfg.IdleThreshold < window {
+		window = s.cfg.IdleThreshold
+	}
+	chips := k.Device().Geometry().Chips()
+	e := &epochState{
+		k:      k,
+		runner: runner,
+		window: window,
+		lpns:   make(map[int64]struct{}),
+		chipW:  make([]int, chips),
+		reqW:   make([]int, chips),
+	}
+
+	rs := s.newRunState()
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := s.shardStep(rs, e, req); err != nil {
+			return RunResult{}, err
+		}
+	}
+	if err := s.flushEpoch(rs, e); err != nil {
+		return RunResult{}, err
+	}
+	return s.finishRun(rs, gen)
+}
+
+// ShardReport returns the planner effectiveness of the last RunSharded
+// call: how many epochs executed on the shard runner and how many page ops
+// they carried in total. Deterministic for a given run, independent of the
+// worker count.
+func (s *System) ShardReport() (epochs, ops int) { return s.shardEpochs, s.shardOps }
+
+// shardStep plans one request into the open epoch, flushing and retrying or
+// falling back to the exact serial step when the epoch rules reject it.
+func (s *System) shardStep(rs *runState, e *epochState, req workload.Request) error {
+	arrival := rs.base + req.Arrival
+	// R2: the epoch window closed — execute it before this request.
+	if len(e.reqs) > 0 && arrival-e.start >= e.window {
+		if err := s.flushEpoch(rs, e); err != nil {
+			return err
+		}
+	}
+	// The prologue's idle check needs an exact busyUntil when it can fire.
+	// With the epoch empty, busyUntil is exact (the flush recomputed it).
+	// With the epoch open, tryPlan bumped busyUntil to at least the epoch's
+	// first arrival, and R2 bounds this arrival within IdleThreshold of
+	// that, so the check is provably false — matching the serial run, whose
+	// busyUntil is at least as large.
+	if err := s.prologue(rs, arrival); err != nil {
+		return err
+	}
+	if s.tryPlan(rs, e, req, arrival) {
+		if len(e.reqs) == 1 {
+			e.start = arrival
+		}
+		return nil
+	}
+	if len(e.reqs) > 0 {
+		// The open epoch blocked the request (LPN conflict, buffer room,
+		// chip headroom, quota sign): execute it and retry once on the
+		// empty epoch. No idle recheck is needed — this arrival is within
+		// the window of the flushed epoch's start, so the gap to the now
+		// exact busyUntil is below the idle threshold.
+		if err := s.flushEpoch(rs, e); err != nil {
+			return err
+		}
+		if err := s.releaseUpTo(arrival); err != nil {
+			return err
+		}
+		if s.tryPlan(rs, e, req, arrival) {
+			if len(e.reqs) == 1 {
+				e.start = arrival
+			}
+			return nil
+		}
+	}
+	// Unshardable even on an empty epoch (trim, self-conflicting request,
+	// thin buffer/chips/quota): take the exact serial path. tryPlan commits
+	// incrementally, so wipe any partial state from the failed attempt.
+	e.reset()
+	return s.stepOp(rs, req, arrival)
+}
+
+// tryPlan admits req into the open epoch if the epoch rules allow it,
+// appending its page ops; it reports success. All rule checks happen before
+// the first mutation except LPN-set inserts on the failing path, which the
+// caller wipes (the epoch is flushed or reset after any failure).
+func (s *System) tryPlan(rs *runState, e *epochState, req workload.Request, arrival sim.Time) bool {
+	// A request longer than the logical space wraps onto its own LPNs;
+	// R1 cannot hold within the request itself.
+	if int64(req.Pages) > rs.logical {
+		return false
+	}
+	switch req.Op {
+	case workload.OpRead:
+		for p := 0; p < req.Pages; p++ {
+			lpn := int64((req.Page + int64(p)) % rs.logical)
+			if _, hit := e.lpns[lpn]; hit {
+				return false // R1
+			}
+		}
+		opStart := len(e.ops)
+		for p := 0; p < req.Pages; p++ {
+			lpn := int64((req.Page + int64(p)) % rs.logical)
+			e.lpns[lpn] = struct{}{}
+			chip, mapped := e.k.LookupChip(ftl.LPN(lpn))
+			if !mapped {
+				continue // unmapped read: served from the zero map, no device op
+			}
+			e.ops = append(e.ops, ftl.EpochOp{LPN: ftl.LPN(lpn), Chip: chip, Arrival: arrival})
+			e.entries = append(e.entries, nil)
+		}
+		e.reqs = append(e.reqs, epochReq{op: req.Op, pages: req.Pages, arrival: arrival, opStart: opStart, opEnd: len(e.ops)})
+		if arrival > rs.busyUntil {
+			rs.busyUntil = arrival // lower bound; flush makes it exact
+		}
+		return true
+
+	case workload.OpWrite:
+		if s.buf.Free() < req.Pages {
+			return false // R4
+		}
+		for p := 0; p < req.Pages; p++ {
+			lpn := int64((req.Page + int64(p)) % rs.logical)
+			if _, hit := e.lpns[lpn]; hit {
+				return false // R1
+			}
+		}
+		// R5 + Rq over the round-robin routing this request would get.
+		occupied := s.cfg.BufferPages - s.buf.Free()
+		ok := true
+		for j := 0; j < req.Pages; j++ {
+			chip := e.k.PeekChip(e.writes + j)
+			e.reqW[chip]++
+			util := float64(occupied+j+1) / float64(s.cfg.BufferPages)
+			if !e.k.ShardQuotaStable(util, e.writes+j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for chip, w := range e.reqW {
+				if w > 0 && !e.k.ShardWriteHeadroom(chip, e.chipW[chip]+w) {
+					ok = false
+					break
+				}
+			}
+		}
+		for i := range e.reqW {
+			e.reqW[i] = 0
+		}
+		if !ok {
+			return false
+		}
+		opStart := len(e.ops)
+		for p := 0; p < req.Pages; p++ {
+			lpn := int64((req.Page + int64(p)) % rs.logical)
+			e.lpns[lpn] = struct{}{}
+			entry, err := s.buf.TryAdmit(lpn, arrival)
+			if err != nil {
+				// R4 guaranteed room; an admit failure is a planner bug.
+				panic("ssd: epoch admit failed with free buffer space: " + err.Error())
+			}
+			util := s.buf.Utilization()
+			chip := e.k.PeekChip(e.writes)
+			e.ops = append(e.ops, ftl.EpochOp{Write: true, LPN: ftl.LPN(lpn), Chip: chip, Arrival: arrival, Util: util})
+			e.entries = append(e.entries, entry)
+			e.chipW[chip]++
+			e.writes++
+		}
+		e.reqs = append(e.reqs, epochReq{op: req.Op, pages: req.Pages, arrival: arrival, opStart: opStart, opEnd: len(e.ops)})
+		if arrival > rs.busyUntil {
+			rs.busyUntil = arrival // lower bound; flush makes it exact
+		}
+		return true
+
+	default:
+		// Trims mutate the mapping inline; unknown ops error serially.
+		return false
+	}
+}
+
+// flushEpoch executes the open epoch across the shards and performs the
+// barrier's in-order host-side accounting: request completions, pending-heap
+// pushes (which release buffer entries on later arrivals), metrics and
+// latency records, and the exact busyUntil.
+func (s *System) flushEpoch(rs *runState, e *epochState) error {
+	if len(e.reqs) == 0 {
+		e.reset()
+		return nil
+	}
+	if len(e.ops) > 0 {
+		if err := e.runner.ExecEpoch(e.ops); err != nil {
+			return err
+		}
+		s.shardEpochs++
+		s.shardOps += len(e.ops)
+	}
+	for _, r := range e.reqs {
+		switch r.op {
+		case workload.OpRead:
+			completion := r.arrival
+			for i := r.opStart; i < r.opEnd; i++ {
+				if e.ops[i].Done > completion {
+					completion = e.ops[i].Done
+				}
+			}
+			rs.col.RecordRead(r.pages, r.arrival, completion)
+			s.histRead.Record(int64(completion - r.arrival))
+			if completion > rs.busyUntil {
+				rs.busyUntil = completion
+			}
+		case workload.OpWrite:
+			flushed := r.arrival
+			for i := r.opStart; i < r.opEnd; i++ {
+				s.pending.push(inflight{done: e.ops[i].Done, entry: e.entries[i]})
+				if e.ops[i].Done > flushed {
+					flushed = e.ops[i].Done
+				}
+			}
+			// R4 ruled out backpressure, so admission == arrival and no
+			// buffer-full blame accrues — exactly the serial accounting.
+			rs.col.RecordWrite(r.pages, r.arrival, r.arrival, flushed)
+			s.histWriteAck.Record(0)
+			s.histWriteFlush.Record(int64(flushed - r.arrival))
+			if flushed > rs.busyUntil {
+				rs.busyUntil = flushed
+			}
+		}
+	}
+	e.reset()
+	return nil
+}

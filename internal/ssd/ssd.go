@@ -143,6 +143,12 @@ type System struct {
 	prefillT sim.Time
 	obs      *obs.Recorder
 
+	// Planner effectiveness of the last RunSharded call: epochs that
+	// executed on the shard runner and the page ops they carried (requests
+	// the planner could not shard ran serial and are not counted).
+	shardEpochs int
+	shardOps    int
+
 	// Host-op latency histograms and the buffer-full blame counter (nil
 	// without a recorder; prefetched in SetRecorder so the request loop
 	// never touches the registry maps).
@@ -255,139 +261,180 @@ func (s *System) releaseUpTo(t sim.Time) error {
 	return nil
 }
 
+// runState is the per-run loop state shared by Run and RunSharded: the
+// metrics collector, the virtual-time cursors of the request loop, and the
+// cached run parameters.
+type runState struct {
+	col         *metrics.Collector
+	base        sim.Time
+	logical     int64
+	busyUntil   sim.Time
+	activeStart sim.Time
+}
+
+// newRunState opens one run's loop state.
+func (s *System) newRunState() *runState {
+	return &runState{
+		col:         metrics.NewCollector(s.F.PageSize(), s.cfg.BandwidthWindow),
+		base:        s.prefillT,
+		logical:     s.F.LogicalPages(),
+		busyUntil:   s.prefillT,
+		activeStart: sim.Time(-1),
+	}
+}
+
+// prologue is the per-request bookkeeping that precedes op service: active
+// interval tracking, the state sampler tick, buffer releases up to the
+// arrival, and the idle-window dispatch.
+func (s *System) prologue(rs *runState, arrival sim.Time) error {
+	if rs.activeStart < 0 {
+		rs.activeStart = arrival
+	}
+	s.obs.Sample(arrival)
+	if err := s.releaseUpTo(arrival); err != nil {
+		return err
+	}
+	// Idle window: the device has drained and the next request is far
+	// away — run background GC, then close the active interval.
+	if arrival > rs.busyUntil+s.cfg.IdleThreshold {
+		s.F.Idle(rs.busyUntil, arrival)
+		rs.col.AddActive(rs.busyUntil - rs.activeStart)
+		rs.activeStart = arrival
+	}
+	return nil
+}
+
+// stepOp services one request serially at its arrival time (the op switch of
+// the classic run loop; the epoch planner also uses it as the exact fallback
+// for anything it cannot shard).
+func (s *System) stepOp(rs *runState, req workload.Request, arrival sim.Time) error {
+	switch req.Op {
+	case workload.OpRead:
+		completion := arrival
+		for p := 0; p < req.Pages; p++ {
+			lpn := ftl.LPN((req.Page + int64(p)) % rs.logical)
+			done, err := s.F.Read(lpn, arrival)
+			if err != nil {
+				if errors.Is(err, ftl.ErrUnmapped) {
+					continue // never-written page: served from the zero map
+				}
+				return fmt.Errorf("ssd: read LPN %d: %w", lpn, err)
+			}
+			if done > completion {
+				completion = done
+			}
+		}
+		rs.col.RecordRead(req.Pages, arrival, completion)
+		s.histRead.Record(int64(completion - arrival))
+		if completion > rs.busyUntil {
+			rs.busyUntil = completion
+		}
+	case workload.OpWrite:
+		admission := arrival
+		flushed := arrival
+		for p := 0; p < req.Pages; p++ {
+			lpn := ftl.LPN((req.Page + int64(p)) % rs.logical)
+			// Backpressure: wait for the earliest in-flight program.
+			for s.buf.Free() == 0 {
+				if s.pending.len() == 0 {
+					return fmt.Errorf("ssd: buffer full with nothing in flight")
+				}
+				it := s.pending.pop()
+				if it.done > admission {
+					admission = it.done
+				}
+				if err := s.buf.Release(it.entry); err != nil {
+					return err
+				}
+			}
+			entry, err := s.buf.TryAdmit(int64(lpn), admission)
+			if err != nil {
+				return err
+			}
+			util := s.buf.Utilization()
+			done, err := s.F.Write(lpn, admission, util)
+			if err != nil {
+				return fmt.Errorf("ssd: write LPN %d: %w", lpn, err)
+			}
+			s.pending.push(inflight{done: done, entry: entry})
+			if done > flushed {
+				flushed = done
+			}
+		}
+		rs.col.RecordWrite(req.Pages, arrival, admission, flushed)
+		s.histWriteAck.Record(int64(admission - arrival))
+		s.histWriteFlush.Record(int64(flushed - arrival))
+		if admission > arrival {
+			// The host stalled on a full write buffer before the last
+			// page was admitted — buffer-full blame.
+			s.ctrBufFull.Add(int64(admission - arrival))
+		}
+		if flushed > rs.busyUntil {
+			rs.busyUntil = flushed
+		}
+	case workload.OpTrim:
+		// Trims of one request are independent mapping operations: all
+		// issue at arrival and the request completes when the slowest
+		// does (max-completion, like reads) — not chained head to tail.
+		completion := arrival
+		for p := 0; p < req.Pages; p++ {
+			lpn := ftl.LPN((req.Page + int64(p)) % rs.logical)
+			done, err := s.F.Trim(lpn, arrival)
+			if err != nil {
+				return fmt.Errorf("ssd: trim LPN %d: %w", lpn, err)
+			}
+			if done > completion {
+				completion = done
+			}
+		}
+		rs.col.RecordTrim(req.Pages, arrival, completion)
+		s.histTrim.Record(int64(completion - arrival))
+		if completion > rs.busyUntil {
+			rs.busyUntil = completion
+		}
+	default:
+		return fmt.Errorf("ssd: unknown op %v", req.Op)
+	}
+	return nil
+}
+
+// finishRun closes the active interval, drains the buffer, and builds the
+// result.
+func (s *System) finishRun(rs *runState, gen workload.Generator) (RunResult, error) {
+	if rs.activeStart >= 0 {
+		rs.col.AddActive(rs.busyUntil - rs.activeStart)
+	}
+	if err := s.releaseUpTo(sim.MaxTime); err != nil {
+		return RunResult{}, err
+	}
+	s.obs.Sample(rs.busyUntil)
+	st := s.F.Stats()
+	return RunResult{
+		FTLName:  s.F.Name(),
+		Workload: gen.Name(),
+		Metrics:  rs.col.Finalize(),
+		Stats:    st,
+		Latency:  rs.col.Latency(),
+		WAF:      st.WriteAmplification(),
+	}, nil
+}
+
 // Run drives the generator to completion and returns the measurements.
 // Arrivals are offset by the prefill time automatically.
 func (s *System) Run(gen workload.Generator) (RunResult, error) {
-	col := metrics.NewCollector(s.F.PageSize(), s.cfg.BandwidthWindow)
-	base := s.prefillT
-	logical := s.F.LogicalPages()
-
-	busyUntil := base
-	activeStart := sim.Time(-1)
-
+	rs := s.newRunState()
 	for {
 		req, ok := gen.Next()
 		if !ok {
 			break
 		}
-		arrival := base + req.Arrival
-		if activeStart < 0 {
-			activeStart = arrival
-		}
-		s.obs.Sample(arrival)
-		if err := s.releaseUpTo(arrival); err != nil {
+		arrival := rs.base + req.Arrival
+		if err := s.prologue(rs, arrival); err != nil {
 			return RunResult{}, err
 		}
-		// Idle window: the device has drained and the next request is far
-		// away — run background GC, then close the active interval.
-		if arrival > busyUntil+s.cfg.IdleThreshold {
-			s.F.Idle(busyUntil, arrival)
-			col.AddActive(busyUntil - activeStart)
-			activeStart = arrival
-		}
-
-		switch req.Op {
-		case workload.OpRead:
-			completion := arrival
-			for p := 0; p < req.Pages; p++ {
-				lpn := ftl.LPN((req.Page + int64(p)) % logical)
-				done, err := s.F.Read(lpn, arrival)
-				if err != nil {
-					if errors.Is(err, ftl.ErrUnmapped) {
-						continue // never-written page: served from the zero map
-					}
-					return RunResult{}, fmt.Errorf("ssd: read LPN %d: %w", lpn, err)
-				}
-				if done > completion {
-					completion = done
-				}
-			}
-			col.RecordRead(req.Pages, arrival, completion)
-			s.histRead.Record(int64(completion - arrival))
-			if completion > busyUntil {
-				busyUntil = completion
-			}
-		case workload.OpWrite:
-			admission := arrival
-			flushed := arrival
-			for p := 0; p < req.Pages; p++ {
-				lpn := ftl.LPN((req.Page + int64(p)) % logical)
-				// Backpressure: wait for the earliest in-flight program.
-				for s.buf.Free() == 0 {
-					if s.pending.len() == 0 {
-						return RunResult{}, fmt.Errorf("ssd: buffer full with nothing in flight")
-					}
-					it := s.pending.pop()
-					if it.done > admission {
-						admission = it.done
-					}
-					if err := s.buf.Release(it.entry); err != nil {
-						return RunResult{}, err
-					}
-				}
-				entry, err := s.buf.TryAdmit(int64(lpn), admission)
-				if err != nil {
-					return RunResult{}, err
-				}
-				util := s.buf.Utilization()
-				done, err := s.F.Write(lpn, admission, util)
-				if err != nil {
-					return RunResult{}, fmt.Errorf("ssd: write LPN %d: %w", lpn, err)
-				}
-				s.pending.push(inflight{done: done, entry: entry})
-				if done > flushed {
-					flushed = done
-				}
-			}
-			col.RecordWrite(req.Pages, arrival, admission, flushed)
-			s.histWriteAck.Record(int64(admission - arrival))
-			s.histWriteFlush.Record(int64(flushed - arrival))
-			if admission > arrival {
-				// The host stalled on a full write buffer before the last
-				// page was admitted — buffer-full blame.
-				s.ctrBufFull.Add(int64(admission - arrival))
-			}
-			if flushed > busyUntil {
-				busyUntil = flushed
-			}
-		case workload.OpTrim:
-			// Trims of one request are independent mapping operations: all
-			// issue at arrival and the request completes when the slowest
-			// does (max-completion, like reads) — not chained head to tail.
-			completion := arrival
-			for p := 0; p < req.Pages; p++ {
-				lpn := ftl.LPN((req.Page + int64(p)) % logical)
-				done, err := s.F.Trim(lpn, arrival)
-				if err != nil {
-					return RunResult{}, fmt.Errorf("ssd: trim LPN %d: %w", lpn, err)
-				}
-				if done > completion {
-					completion = done
-				}
-			}
-			col.RecordTrim(req.Pages, arrival, completion)
-			s.histTrim.Record(int64(completion - arrival))
-			if completion > busyUntil {
-				busyUntil = completion
-			}
-		default:
-			return RunResult{}, fmt.Errorf("ssd: unknown op %v", req.Op)
+		if err := s.stepOp(rs, req, arrival); err != nil {
+			return RunResult{}, err
 		}
 	}
-	if activeStart >= 0 {
-		col.AddActive(busyUntil - activeStart)
-	}
-	if err := s.releaseUpTo(sim.MaxTime); err != nil {
-		return RunResult{}, err
-	}
-	s.obs.Sample(busyUntil)
-	st := s.F.Stats()
-	return RunResult{
-		FTLName:  s.F.Name(),
-		Workload: gen.Name(),
-		Metrics:  col.Finalize(),
-		Stats:    st,
-		Latency:  col.Latency(),
-		WAF:      st.WriteAmplification(),
-	}, nil
+	return s.finishRun(rs, gen)
 }

@@ -7,20 +7,37 @@
 # (SimulateBlock legacy/arena, DeviceRead copy/zerocopy, RunFig4 and
 # RunFig8 at workers-1/workers-auto, PickVictim indexed/reference) plus the
 # MapperUpdate hot path and the end-to-end SSDRun family, so a snapshot from
-# any machine carries its own before/after comparison. Compare two snapshots
-# with scripts/benchdiff.sh.
+# any machine carries its own before/after comparison. The epoch-sharded
+# engine (SSDRunSharded) runs in a second pass under -cpu 1,4 so every
+# snapshot pins the 1-vs-N scaling of its host; for that family the -N
+# GOMAXPROCS suffix is rewritten into a /procsN name segment (instead of
+# stripped) so the cpu sweep's rows keep distinct names. Compare two
+# snapshots with scripts/benchdiff.sh.
 set -eu
-out="${1:-BENCH_PR6.json}"
-pattern='BenchmarkSimulateBlock|BenchmarkDeviceRead|BenchmarkRunFig4|BenchmarkRunFig8$|BenchmarkMapperUpdate|BenchmarkSSDRun|BenchmarkPickVictim'
+out="${1:-BENCH_PR7.json}"
+pattern='BenchmarkSimulateBlock|BenchmarkDeviceRead|BenchmarkRunFig4|BenchmarkRunFig8$|BenchmarkMapperUpdate|BenchmarkSSDRun$|BenchmarkPickVictim'
 benchtime="${BENCHTIME:-20x}"
 
 raw=$(go test -run=NONE -bench="$pattern" -benchmem -benchtime="$benchtime" .)
 echo "$raw"
+rawsharded=$(go test -run=NONE -bench='BenchmarkSSDRunSharded' -benchmem -benchtime="$benchtime" -cpu 1,4 .)
+echo "$rawsharded"
 
-echo "$raw" | awk -v nproc="$(nproc)" '
+printf '%s\n%s\n' "$raw" "$rawsharded" | awk \
+  -v nproc="$(nproc)" -v gomaxprocs="${GOMAXPROCS:-$(nproc)}" '
   /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
   /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
+    name = $1
+    if (name ~ /^BenchmarkSSDRunSharded\//) {
+      procs = "1"
+      if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+      }
+      name = name "/procs" procs
+    } else {
+      sub(/-[0-9]+$/, "", name)
+    }
     ns = $3; bop = "null"; allocs = "null"
     for (i = 4; i <= NF; i++) {
       if ($(i+1) == "B/op") bop = $i
@@ -31,7 +48,7 @@ echo "$raw" | awk -v nproc="$(nproc)" '
       name, ns, bop, allocs
   }
   END {
-    printf "\n  ],\n  \"cpu\": \"%s\",\n  \"cores\": %s\n}\n", cpu, nproc
+    printf "\n  ],\n  \"cpu\": \"%s\",\n  \"cores\": %s,\n  \"gomaxprocs\": %s\n}\n", cpu, nproc, gomaxprocs
   }
   BEGIN { printf "{\n  \"benchmarks\": [\n" }
 ' > "$out"

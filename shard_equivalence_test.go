@@ -1,0 +1,111 @@
+// Shard-equivalence guard for the epoch-sharded run engine: for every
+// registry scheme, RunSharded at workers=N must produce exactly the result
+// of workers=1 (which delegates to the serial Run) — metrics, stats,
+// latency percentiles, final mapping state, free blocks and device op
+// counts, compared with reflect.DeepEqual. Run under -race this also proves
+// the shard workers share no unsynchronized state.
+//
+// The serial goldens themselves are pinned by equivalence_test.go; this file
+// extends the contract from across-task determinism (PR 2) to inside a run.
+package flexftl_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flexftl/internal/experiments"
+	"flexftl/internal/ftl"
+	"flexftl/internal/ssd"
+	"flexftl/internal/workload"
+)
+
+// shardSnapshot is everything one run exposes, for exact 1-vs-N comparison.
+type shardSnapshot struct {
+	Run        ssd.RunResult
+	MapHash    uint64
+	FreeBlocks int
+	Counts     any // device op counters (type varies by device family)
+}
+
+// captureSharded runs one (scheme, workload) cell through RunSharded at the
+// given worker count and snapshots the complete outcome. It also reports the
+// planner effectiveness (sharded epochs, ops) for the vacuity check.
+func captureSharded(t *testing.T, scheme string, prof workload.Profile, requests, workers int) (shardSnapshot, int, int) {
+	t.Helper()
+	h, err := ftl.Build(scheme, ftl.BuildEnv{
+		Geometry: experiments.EvalGeometry(),
+		Config:   ftl.DefaultConfig(),
+		Flex:     ftl.DefaultFlexParams(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ssd.New(h, ssd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Prefill(); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.New(prof, h.LogicalPages(), requests, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.RunSharded(gen, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := shardSnapshot{Run: run}
+	if m, ok := h.(interface{ MappingHash() uint64 }); ok {
+		snap.MapHash = m.MappingHash()
+	}
+	if fb, ok := h.(interface{ TotalFreeBlocks() int }); ok {
+		snap.FreeBlocks = fb.TotalFreeBlocks()
+	}
+	if f, ok := h.(ftl.FTL); ok {
+		snap.Counts = f.Device().Counts()
+	}
+	epochs, ops := sys.ShardReport()
+	return snap, epochs, ops
+}
+
+// TestShardEquivalence pins RunSharded(N) == RunSharded(1) for every
+// registry scheme (MLC kernels shard; nflexTLC exercises the serial
+// fallback) on both guard workloads.
+func TestShardEquivalence(t *testing.T) {
+	const requests = 6000
+	shardedCells := 0
+	for _, scheme := range ftl.Names() {
+		for _, prof := range equivWorkloads() {
+			prof := prof
+			scheme := scheme
+			t.Run(fmt.Sprintf("%s_%s", scheme, prof.Name), func(t *testing.T) {
+				serial, _, _ := captureSharded(t, scheme, prof, requests, 1)
+				for _, workers := range []int{2, 4} {
+					sharded, _, ops := captureSharded(t, scheme, prof, requests, workers)
+					if !reflect.DeepEqual(serial, sharded) {
+						t.Errorf("workers=%d diverged from workers=1:\nserial:  %+v\nsharded: %+v", workers, serial, sharded)
+					}
+					if ops > 0 {
+						shardedCells++
+					}
+				}
+			})
+		}
+	}
+	if shardedCells == 0 {
+		t.Errorf("no cell executed any sharded epoch — the planner degenerated to all-serial and the contract is vacuous")
+	}
+}
+
+// TestShardPlannerEffective pins that the planner actually shards a
+// meaningful share of a write-heavy workload on the evaluation geometry —
+// the parallel engine must not silently rot into a serial fallback.
+func TestShardPlannerEffective(t *testing.T) {
+	_, epochs, ops := captureSharded(t, "flexFTL", workload.OLTP(), 6000, 4)
+	if epochs == 0 || ops == 0 {
+		t.Fatalf("planner sharded nothing (epochs=%d ops=%d)", epochs, ops)
+	}
+	t.Logf("sharded %d ops over %d epochs (%.1f ops/epoch)", ops, epochs, float64(ops)/float64(epochs))
+}
