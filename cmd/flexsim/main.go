@@ -55,6 +55,7 @@ type options struct {
 	ServeAfter   bool          // keep the debug server up after the run ends
 	Metrics      string        // structured run-result JSON output file
 	ShardWorkers int           // intra-run epoch-shard workers (<=1 = serial engine)
+	HostQueues   int           // multi-queue host front-end (>1 splits the workload by channel)
 }
 
 // listSchemes prints every registered FTL scheme with its rule set and
@@ -90,6 +91,7 @@ func main() {
 	flag.BoolVar(&o.ServeAfter, "serve-after", false, "keep the -debug-addr server running after the run until interrupted")
 	flag.StringVar(&o.Metrics, "metrics", "", "write the run result (flexstat-readable JSON) to this file")
 	flag.IntVar(&o.ShardWorkers, "shard-workers", 1, "intra-run epoch-shard workers; results are identical for any value (1 = serial engine)")
+	flag.IntVar(&o.HostQueues, "host-queues", 1, "host queues; >1 splits a generated workload into per-queue generators over disjoint LPN ranges and prefetches them concurrently (results are identical for any value)")
 	flag.Parse()
 	if *list {
 		listSchemes(os.Stdout)
@@ -240,18 +242,24 @@ func normShardWorkers(w int) int {
 
 // writeMetrics dumps the run result (plus the registry snapshot when tracing
 // is on) as the same nested-JSON shape flexbench -metrics emits, so flexstat
-// report/compare reads either tool's output.
-func writeMetrics(path, scheme string, res ssd.RunResult, rec *obs.Recorder, wall time.Duration, shardWorkers int) error {
+// report/compare reads either tool's output. Sharded runs additionally stamp
+// the planner-effectiveness report as a top-level sibling (flexstat's walker
+// never descends into the runinfo block, so it must not nest there).
+func writeMetrics(path, scheme string, res ssd.RunResult, rec *obs.Recorder, wall time.Duration, o options, rep ssd.ShardReport) error {
 	doc := map[string]any{
 		"single": res,
 		"runinfo": map[string]any{
 			"single": map[string]any{
 				"workers":       1,
-				"shard_workers": normShardWorkers(shardWorkers),
+				"shard_workers": normShardWorkers(o.ShardWorkers),
+				"host_queues":   normShardWorkers(o.HostQueues),
 				"wall_ms":       float64(wall) / float64(time.Millisecond),
 				"schemes":       []string{scheme},
 			},
 		},
+	}
+	if normShardWorkers(o.ShardWorkers) > 1 {
+		doc["shard_report"] = rep
 	}
 	if rec != nil {
 		doc["registry"] = rec.Registry().Snapshot()
@@ -297,8 +305,13 @@ func run(w io.Writer, o options) error {
 	fmt.Fprintf(w, "ftl      : %s, logical space %d pages\n", f.Name(), f.LogicalPages())
 
 	var gen workload.Generator
+	var mqGens []workload.Generator // multi-queue front-end (nil = single stream)
+	var mqName string
 	switch {
 	case o.Replay != "":
+		if o.HostQueues > 1 {
+			return fmt.Errorf("-host-queues needs a generated workload (a replayed trace has no profile to split)")
+		}
 		file, err := os.Open(o.Replay)
 		if err != nil {
 			return err
@@ -308,6 +321,39 @@ func run(w io.Writer, o options) error {
 		if err != nil {
 			return err
 		}
+	case o.HostQueues > 1:
+		prof, err := findProfile(o.Workload)
+		if err != nil {
+			return err
+		}
+		split := func() ([]workload.Generator, error) {
+			return workload.SplitByChannel(prof, f.LogicalPages(), o.Requests, o.Seed, o.HostQueues)
+		}
+		mqGens, err = split()
+		if err != nil {
+			return err
+		}
+		mqName = prof.Name
+		if o.DumpWorkload != "" {
+			file, err := os.Create(o.DumpWorkload)
+			if err != nil {
+				return err
+			}
+			n, err := workload.WriteCSV(file, workload.MergeByArrival(mqName, mqGens...))
+			if cerr := file.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "workload : wrote %d requests to %s\n", n, o.DumpWorkload)
+			// Regenerate for the run itself (the writer consumed the queues).
+			mqGens, err = split()
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "queues   : %d host queues over disjoint LPN ranges, merged by arrival\n", o.HostQueues)
 	default:
 		prof, err := findProfile(o.Workload)
 		if err != nil {
@@ -348,7 +394,12 @@ func run(w io.Writer, o options) error {
 	}
 	// Attach after Prefill so traces and samples cover the measured run only.
 	sys.SetRecorder(rec)
-	res, err := sys.RunSharded(gen, o.ShardWorkers)
+	var res ssd.RunResult
+	if mqGens != nil {
+		res, err = sys.RunShardedMQ(mqName, mqGens, o.ShardWorkers)
+	} else {
+		res, err = sys.RunSharded(gen, o.ShardWorkers)
+	}
 	if err != nil {
 		return err
 	}
@@ -369,8 +420,15 @@ func run(w io.Writer, o options) error {
 	lat := res.Latency
 	fmt.Fprintf(w, "latency  : write-ack p50/p95/p99/p999 = %.1f/%.1f/%.1f/%.1f us, read p99 = %.1f us (WAF %.3f)\n",
 		lat.WriteAck.P50, lat.WriteAck.P95, lat.WriteAck.P99, lat.WriteAck.P999, lat.Read.P99, res.WAF)
+	rep := sys.ShardReport()
+	if normShardWorkers(o.ShardWorkers) > 1 {
+		fb := rep.Fallbacks
+		fmt.Fprintf(w, "shard    : %.1f%% sharded (%d epochs, %d GC pre-runs, %d trims; fallbacks R1=%d R2=%d R4=%d R5=%d Rq=%d trim=%d other=%d)\n",
+			100*rep.ShardedShare(), rep.Epochs, rep.GCPreRuns, rep.ShardedTrims,
+			fb.R1, fb.R2, fb.R4, fb.R5, fb.Rq, fb.Trim, fb.Other)
+	}
 	if o.Metrics != "" {
-		if err := writeMetrics(o.Metrics, o.FTL, res, rec, time.Since(start), o.ShardWorkers); err != nil {
+		if err := writeMetrics(o.Metrics, o.FTL, res, rec, time.Since(start), o, rep); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "metrics  : wrote run result to %s\n", o.Metrics)

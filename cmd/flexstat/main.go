@@ -83,12 +83,21 @@ type runEntry struct {
 	run  ssd.RunResult
 }
 
+// shardEntry is one planner-effectiveness report found in a metrics dump
+// (flexsim stamps one per sharded run), addressed by its JSON path.
+type shardEntry struct {
+	path string
+	rep  ssd.ShardReport
+}
+
 // dump is one parsed metrics file: every embedded run result, any registry
-// snapshot (flexsim -metrics attaches one when tracing is on), and the set
-// of intra-run shard-worker counts its runinfo blocks declare.
+// snapshot (flexsim -metrics attaches one when tracing is on), every shard
+// planner report, and the set of intra-run shard-worker counts its runinfo
+// blocks declare.
 type dump struct {
-	runs []runEntry
-	reg  *obs.RegistrySnapshot
+	runs   []runEntry
+	reg    *obs.RegistrySnapshot
+	shards []shardEntry
 	// shardWorkers holds the distinct shard_workers values of the dump's
 	// runinfo blocks. Dumps predating the epoch-sharded engine carry no
 	// stamp; they ran the serial engine, so absence reads as {1}.
@@ -108,6 +117,7 @@ func loadDump(path string) (dump, error) {
 	}
 	collect(doc, "", &d)
 	sort.Slice(d.runs, func(i, j int) bool { return d.runs[i].path < d.runs[j].path })
+	sort.Slice(d.shards, func(i, j int) bool { return d.shards[i].path < d.shards[j].path })
 	if len(d.shardWorkers) == 0 {
 		d.shardWorkers[1] = true
 	}
@@ -125,6 +135,13 @@ func collect(v any, path string, d *dump) {
 			var r ssd.RunResult
 			if remarshal(n, &r) == nil {
 				d.runs = append(d.runs, runEntry{path: path, run: r})
+				return
+			}
+		}
+		if hasKeys(n, "Epochs", "ShardedOps", "SerialOps") {
+			var rep ssd.ShardReport
+			if remarshal(n, &rep) == nil {
+				d.shards = append(d.shards, shardEntry{path: path, rep: rep})
 				return
 			}
 		}
@@ -231,6 +248,23 @@ func report(w io.Writer, file string) error {
 				lat.Read.P50, lat.Read.P99,
 				lat.WriteAck.P50, lat.WriteAck.P99, lat.WriteAck.P999,
 				r.Stats.Erases)
+		}
+	}
+	if len(d.shards) > 0 {
+		fmt.Fprintf(w, "\nshard planner efficiency:\n")
+		fmt.Fprintf(w, "  %-24s %7s %8s %8s %8s %14s %8s %s\n",
+			"path", "share", "epochs", "sharded", "serial", "preruns(cp)", "trims", "fallbacks R1/R2/R4/R5/Rq/trim/other")
+		for _, e := range d.shards {
+			r := e.rep
+			fb := r.Fallbacks
+			path := e.path
+			if path == "" {
+				path = "(top)"
+			}
+			fmt.Fprintf(w, "  %-24s %6.1f%% %8d %8d %8d %8d(%4d) %8d %d/%d/%d/%d/%d/%d/%d\n",
+				path, 100*r.ShardedShare(), r.Epochs, r.ShardedOps, r.SerialOps,
+				r.GCPreRuns, r.GCPreRunCopies, r.ShardedTrims,
+				fb.R1, fb.R2, fb.R4, fb.R5, fb.Rq, fb.Trim, fb.Other)
 		}
 	}
 	if reg != nil {
@@ -351,6 +385,48 @@ func compare(w io.Writer, oldFile, newFile string, p99Thresh, wafThresh float64)
 			n.FTLName, n.Workload,
 			o.Latency.WriteAck.P99, n.Latency.WriteAck.P99, fmtDelta(dp99),
 			o.WAF, n.WAF, fmtDelta(dwaf), mark)
+	}
+	// Shard planner efficiency deltas, joined by path. Non-gating: the share
+	// moves with planner admission width, not with simulated performance.
+	if len(oldDump.shards) > 0 || len(newDump.shards) > 0 {
+		oldSh := make(map[string]ssd.ShardReport, len(oldDump.shards))
+		for _, e := range oldDump.shards {
+			oldSh[e.path] = e.rep
+		}
+		newSh := make(map[string]ssd.ShardReport, len(newDump.shards))
+		for _, e := range newDump.shards {
+			newSh[e.path] = e.rep
+		}
+		shPaths := make([]string, 0, len(oldSh)+len(newSh))
+		for p := range oldSh {
+			shPaths = append(shPaths, p)
+		}
+		for p := range newSh {
+			if _, ok := oldSh[p]; !ok {
+				shPaths = append(shPaths, p)
+			}
+		}
+		sort.Strings(shPaths)
+		fmt.Fprintf(w, "\nshard planner share (non-gating):\n")
+		fmt.Fprintf(w, "  %-24s %10s %10s %8s\n", "path", "old share", "new share", "Δshare")
+		for _, p := range shPaths {
+			o, inOld := oldSh[p]
+			n, inNew := newSh[p]
+			label := p
+			if label == "" {
+				label = "(top)"
+			}
+			switch {
+			case !inNew:
+				fmt.Fprintf(w, "  %-24s %9.1f%% %10s\n", label, 100*o.ShardedShare(), "(gone)")
+			case !inOld:
+				fmt.Fprintf(w, "  %-24s %10s %9.1f%%\n", label, "(new)", 100*n.ShardedShare())
+			default:
+				fmt.Fprintf(w, "  %-24s %9.1f%% %9.1f%% %+7.1fpp\n",
+					label, 100*o.ShardedShare(), 100*n.ShardedShare(),
+					100*(n.ShardedShare()-o.ShardedShare()))
+			}
+		}
 	}
 	verdict := "OK"
 	if failed > 0 {

@@ -30,6 +30,13 @@ type OrderPolicy interface {
 	fastBudget(k *Kernel, chip int) int
 	// slowAvailable reports whether an MSB page can be programmed at all.
 	slowAvailable(k *Kernel, chip int) bool
+	// shardGCTrigger is the free-block level at or above which this policy's
+	// foregroundGC provably does nothing (the epoch planner's R5 threshold).
+	shardGCTrigger(k *Kernel) int
+	// shardWriteImpact bounds, from the chip's current cursor state, the free
+	// blocks w host writes can pop and the data blocks they can complete
+	// (fills drive the per-block backup strategies' own pops).
+	shardWriteImpact(k *Kernel, chip, w int) (pops, fills int)
 }
 
 // cursor tracks one active block's program position.
@@ -119,6 +126,24 @@ func (o *fpsSingle) slowAvailable(k *Kernel, chip int) bool {
 	return cur.blk != -1 && o.order[cur.pos].Type == core.MSB
 }
 
+func (o *fpsSingle) shardGCTrigger(k *Kernel) int {
+	return k.Cfg.MinFreeBlocksPerChip + k.bk.extraReserve()
+}
+
+func (o *fpsSingle) shardWriteImpact(k *Kernel, chip, w int) (pops, fills int) {
+	ppb := len(o.order)
+	cur := o.active[chip]
+	slack, pos := 0, 0
+	if cur.blk != -1 {
+		slack, pos = ppb-cur.pos, cur.pos
+	}
+	if w > slack {
+		pops = (w - slack + ppb - 1) / ppb
+	}
+	fills = (w + pos) / ppb
+	return pops, fills
+}
+
 // FPSPoolOrderPolicy returns the return-to-fast order modeled on Grupp et
 // al.'s Harey Tortoise: each chip keeps a pool of slots active blocks under
 // FPS so successive writes can land on fast LSB pages, and the idle drain
@@ -130,6 +155,11 @@ type fpsPool struct {
 	slots  int
 	order  []core.Page
 	active [][]cursor // [chip][slot]; blk -1 when the slot awaits a block
+
+	// impactScratch backs shardWriteImpact's remaining-page sort. Only the
+	// serial epoch planner calls it, so a single scratch is race-free even
+	// though the policy object is shared with the shard clones.
+	impactScratch []int
 }
 
 func (o *fpsPool) init(k *Kernel) error {
@@ -392,6 +422,47 @@ func (o *fpsPool) fastBudget(k *Kernel, chip int) int {
 
 func (o *fpsPool) slowAvailable(k *Kernel, chip int) bool { return o.chipHasMSBNext(chip) }
 
+func (o *fpsPool) shardGCTrigger(k *Kernel) int {
+	return k.Cfg.MinFreeBlocksPerChip + k.bk.extraReserve()
+}
+
+// shardWriteImpact for the pool order: empty slots each refill with one pop
+// at the next program; filled slots complete after their remaining pages,
+// and every completion triggers at most one refill pop. Packing writes into
+// the fullest slots first matches pickSlot's actual preference, so the fill
+// count is a true upper bound regardless of the LSB/MSB interleaving.
+func (o *fpsPool) shardWriteImpact(k *Kernel, chip, w int) (pops, fills int) {
+	ppb := len(o.order)
+	empty := 0
+	rems := o.impactScratch[:0]
+	for _, cur := range o.active[chip] {
+		if cur.blk == -1 {
+			empty++
+			continue
+		}
+		rems = append(rems, ppb-cur.pos)
+	}
+	o.impactScratch = rems
+	// Ascending remaining-page order = fullest-first completion order.
+	for i := 1; i < len(rems); i++ {
+		for j := i; j > 0 && rems[j] < rems[j-1]; j-- {
+			rems[j], rems[j-1] = rems[j-1], rems[j]
+		}
+	}
+	left := w
+	for _, rem := range rems {
+		if left < rem {
+			left = 0
+			break
+		}
+		fills++
+		left -= rem
+	}
+	fills += left / ppb
+	pops = empty + fills
+	return pops, fills
+}
+
 // TwoPhaseOrderPolicy returns the paper's 2PO block life cycle (Figure 6):
 // each block is first filled with LSB pages only (a "fast block"), then with
 // MSB pages only (a "slow block") — the RPSfull order of Figure 3(a). Free
@@ -581,4 +652,32 @@ func (o *twoPhase) fastBudget(k *Kernel, chip int) int {
 
 func (o *twoPhase) slowAvailable(k *Kernel, chip int) bool {
 	return o.chips[chip].sbq.Len() > 0
+}
+
+// shardGCTrigger: the two-phase foreground collector fires when the chip has
+// no slow block and fewer than reserve+1 free blocks, or fewer than 2 free
+// blocks outright; free >= max(reserve+1, 2) rules out both conditions
+// (Config.Validate guarantees MinFreeBlocksPerChip >= 1).
+func (o *twoPhase) shardGCTrigger(k *Kernel) int {
+	t := k.Cfg.MinFreeBlocksPerChip + 1
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// shardWriteImpact for 2PO: MSB programs never pop free blocks, so the worst
+// case is all w writes landing on LSB pages of the active fast block chain.
+func (o *twoPhase) shardWriteImpact(k *Kernel, chip, w int) (pops, fills int) {
+	wl := k.Dev.Geometry().WordLinesPerBlock
+	st := &o.chips[chip]
+	slack, pos := 0, 0
+	if st.afb != -1 {
+		slack, pos = wl-st.afbPos, st.afbPos
+	}
+	if w > slack {
+		pops = (w - slack + wl - 1) / wl
+	}
+	fills = (w + pos) / wl
+	return pops, fills
 }

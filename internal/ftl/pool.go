@@ -148,6 +148,13 @@ func (p *FreePool) FreeCount() int { return p.free.Len() }
 // FullCount returns the number of full (GC-candidate) blocks.
 func (p *FreePool) FullCount() int { return p.fullLen }
 
+// IsFull reports whether b is currently on the full (GC-candidate) list —
+// i.e. a victim pick could reclaim it. The epoch planner uses this to track
+// planned-but-unexecuted invalidations that would skew a GC pre-run.
+func (p *FreePool) IsFull(b int) bool {
+	return b >= 0 && b < len(p.inFull) && p.inFull[b]
+}
+
 // PopFree takes a free block, or (-1, false) when exhausted.
 func (p *FreePool) PopFree() (int, bool) {
 	if p.free.Len() == 0 {

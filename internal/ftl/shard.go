@@ -38,9 +38,12 @@ import (
 
 // EpochOp is one page-granular host operation routed to a chip. The planner
 // appends ops in serial (global) order; Done and Err are filled in by the
-// shard worker that executes the op.
+// shard worker that executes the op. Trim ops carry no device work at all —
+// they ride the epoch purely so their mapper invalidation replays at the
+// barrier in global order (Chip is unused for them).
 type EpochOp struct {
 	Write   bool
+	Trim    bool
 	LPN     LPN
 	Chip    int
 	Arrival sim.Time
@@ -73,13 +76,51 @@ func (k *Kernel) LookupChip(lpn LPN) (int, bool) {
 
 // ShardWriteHeadroom reports whether the chip can absorb w epoch writes with
 // no possibility of foreground GC, slot-refill exhaustion or backup-ring
-// starvation. The margin is deliberately conservative — one host write can
-// consume free blocks for the data page, an active-pool refill (up to 8
-// slots) and a backup-ring rotation — because a false negative only costs a
-// serial fallback, never correctness.
+// starvation. The order policy bounds the free-block pops and fast-block
+// completions w writes can cause from the chip's current cursor state, the
+// backup strategy adds its own pops, and the check requires the pool to stay
+// at or above the policy's exact foreground-GC trigger throughout — so the
+// serial execution of the same writes provably never collects mid-epoch. A
+// false negative only costs a serial fallback (or, first, a GC pre-run),
+// never correctness.
 func (k *Kernel) ShardWriteHeadroom(chip, w int) bool {
-	reserve := k.Cfg.MinFreeBlocksPerChip + k.bk.extraReserve()
-	return k.Pools[chip].FreeCount() >= reserve+10*w+16
+	pops, fills := k.place.shardWriteImpact(k, chip, w)
+	pops += k.bk.shardPops(k, chip, w, fills)
+	return k.Pools[chip].FreeCount()-pops >= k.place.shardGCTrigger(k)
+}
+
+// ShardPreRunGC runs the chip's foreground collection loop ahead of time, at
+// plan time on the real kernel, exactly as the serial execution's next write
+// on the chip would. The planner only calls it when the open epoch has no
+// device ops on the chip's channel and no planned-but-unexecuted
+// invalidations touching the chip's full blocks, which makes the pre-run
+// byte-identical to the serial run's in-line collection: victim picks see
+// the same valid counts, relocations land on the same pages at the same
+// virtual times, and the quota is untouched (foreground relocations never
+// move q). It returns the collection and copy counts for ShardReport.
+func (k *Kernel) ShardPreRunGC(chip int, now sim.Time) (collections, copies int, err error) {
+	g0, c0 := k.St.ForegroundGCs, k.St.GCCopies
+	if _, err = k.place.foregroundGC(k, chip, now); err != nil {
+		return 0, 0, err
+	}
+	return int(k.St.ForegroundGCs - g0), int(k.St.GCCopies - c0), nil
+}
+
+// ShardInvalHazard reports the chip whose full (GC-candidate) block holds
+// lpn's current physical page, if any. A planned-but-unexecuted write or
+// trim of such an LPN will invalidate that page at the barrier; until then a
+// GC pre-run on that chip would see a stale valid count and diverge from
+// serial execution, so the planner counts these as pre-run blockers.
+func (k *Kernel) ShardInvalHazard(lpn LPN) (int, bool) {
+	ppn, ok := k.Map.Lookup(lpn)
+	if !ok {
+		return 0, false
+	}
+	a := k.Dev.Geometry().AddrOfPPN(ppn).BlockAddr
+	if !k.Pools[a.Chip].IsFull(a.Block) {
+		return 0, false
+	}
+	return a.Chip, true
 }
 
 // ShardQuotaStable reports whether the adaptive allocator's LSB-quota sign
@@ -230,6 +271,10 @@ func (r *ShardRunner) ExecEpoch(ops []EpochOp) error {
 	}
 	writes := 0
 	for i := range ops {
+		if ops[i].Trim {
+			// Trims carry no device work; they replay at the barrier only.
+			continue
+		}
 		si := g.ChannelOf(ops[i].Chip)
 		r.byShard[si] = append(r.byShard[si], i)
 		if ops[i].Write {
@@ -288,6 +333,15 @@ func (r *ShardRunner) ExecEpoch(ops []EpochOp) error {
 	}
 	for i := range ops {
 		op := &ops[i]
+		if op.Trim {
+			// Replay the trim's mapper invalidation (and HostTrims count) on
+			// the real kernel at its global-order position — exactly where
+			// the serial run would have performed it.
+			if op.Done, op.Err = r.k.Trim(op.LPN, op.Arrival); op.Err != nil {
+				return op.Err
+			}
+			continue
+		}
 		if !op.Write {
 			continue
 		}

@@ -1,0 +1,46 @@
+// Multi-queue host front-end for the epoch-sharded run engine. One
+// generator per host queue feeds a background prefetch goroutine, the
+// prefetched streams merge deterministically by (arrival, queue index), and
+// the merged stream drives the standard epoch planner. Host-side request
+// generation thus runs concurrently with planning and shard execution — the
+// serial planner stops paying for RNG draws and Zipf sampling — while the
+// planned op stream, and therefore the run result, stays byte-identical to
+// a serial run of the same merged stream.
+//
+// With workload.SplitByChannel queues, per-queue LPN ranges are disjoint,
+// so cross-queue R1 (unique-LPN) conflicts are structurally impossible and
+// the planner's admission rate is bounded by per-queue behavior only.
+package ssd
+
+import (
+	"fmt"
+
+	"flexftl/internal/workload"
+)
+
+// prefetchDepth is the per-queue buffered-channel depth of the front-end.
+// Deep enough to keep generation off the planner's critical path, shallow
+// enough that an aborted run discards little speculative work.
+const prefetchDepth = 256
+
+// RunShardedMQ is RunSharded with a multi-queue host front-end: gens (one
+// per host queue) are prefetched on background goroutines and merged by
+// arrival time (ties break toward the lowest queue index). The determinism
+// contract extends the single-queue one:
+//
+//	RunShardedMQ(name, gens, N) == RunSharded(MergeByArrival(name, gens...), N)
+//	                            == Run(MergeByArrival(name, gens...))
+//
+// for every worker count N. name labels the merged workload in the result.
+func (s *System) RunShardedMQ(name string, gens []workload.Generator, workers int) (RunResult, error) {
+	if len(gens) == 0 {
+		return RunResult{}, fmt.Errorf("ssd: multi-queue run needs at least one generator")
+	}
+	pre := make([]workload.Generator, len(gens))
+	for i, g := range gens {
+		var stop func()
+		pre[i], stop = workload.Prefetch(g, prefetchDepth)
+		defer stop()
+	}
+	return s.RunSharded(workload.MergeByArrival(name, pre...), workers)
+}

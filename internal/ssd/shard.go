@@ -24,14 +24,30 @@
 //	                    cannot occur mid-epoch.
 //	R5 (free margin)    Every written chip keeps enough free blocks that
 //	                    foreground GC and block exhaustion are impossible
-//	                    during the epoch (ftl.Kernel.ShardWriteHeadroom).
+//	                    during the epoch (ftl.Kernel.ShardWriteHeadroom,
+//	                    which models the order policy's exact pop/fill
+//	                    behavior from the current cursor state).
 //	Rq (quota sign)     For the adaptive allocator, the frozen shard-time
 //	                    quota provably yields the same LSB/MSB decisions as
 //	                    the live serial quota (ftl.Kernel.ShardQuotaStable).
 //
-// Trims and unknown ops always break the epoch (they mutate the mapping
-// inline). Runs with a recorder attached, a non-kernel host (nflex), a
-// predictive kernel, or workers <= 1 take the serial path wholesale.
+// Two widenings keep GC-heavy and trim-heavy workloads sharded:
+//
+//   - GC pre-runs: when R5 fails for a chip whose channel has no planned
+//     device ops in the open epoch and no planned-but-unexecuted
+//     invalidation touches the chip's full blocks, the planner runs the
+//     serial foreground collection ahead of time on the real kernel
+//     (ftl.Kernel.ShardPreRunGC) — provably the same collection, at the
+//     same virtual time, the serial execution would perform at this write —
+//     and rechecks the margin. GC-proximate writes then stay sharded.
+//
+//   - Sharded trims: trims are pure mapping mutations, so they ride the
+//     epoch as device-free ops that the barrier replays on the real kernel
+//     in global order, instead of breaking the epoch.
+//
+// Unknown ops still break the epoch. Runs with a recorder attached, a
+// non-kernel host (nflex), a predictive kernel, or workers <= 1 take the
+// serial path wholesale.
 package ssd
 
 import (
@@ -41,6 +57,59 @@ import (
 	"flexftl/internal/workload"
 )
 
+// FallbackCounts is the planner's fallback-cause taxonomy: how often each
+// admission rule rejected a request (R1/R4/R5/Rq, counted per failed plan
+// attempt, including attempts that succeeded after an epoch flush), how
+// often the arrival window closed an epoch (R2), how many trim page ops
+// still executed serially (Trim), and rejections outside the rule set —
+// self-wrapping requests and unknown ops (Other).
+type FallbackCounts struct {
+	R1    int
+	R2    int
+	R4    int
+	R5    int
+	Rq    int
+	Trim  int
+	Other int
+}
+
+// ShardReport is the planner-effectiveness report of the last RunSharded
+// call. Ops are counted in request pages on both sides, so
+// ShardedOps/(ShardedOps+SerialOps) is the sharded-op share. Deterministic
+// for a given run, independent of the worker count.
+type ShardReport struct {
+	Epochs         int // epochs executed on the shard runner
+	ShardedOps     int // page ops planned into epochs
+	SerialOps      int // page ops that fell back to the exact serial step
+	ShardedTrims   int // of ShardedOps: trim pages merged at the barrier
+	GCPreRuns      int // foreground collections run ahead of plan time
+	GCPreRunCopies int // valid-page relocations those collections performed
+	Fallbacks      FallbackCounts
+}
+
+// ShardedShare returns ShardedOps/(ShardedOps+SerialOps), or 0 when the
+// report is empty.
+func (r ShardReport) ShardedShare() float64 {
+	total := r.ShardedOps + r.SerialOps
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ShardedOps) / float64(total)
+}
+
+// planCause is tryPlan's outcome: planOK or the admission rule that
+// rejected the request.
+type planCause int
+
+const (
+	planOK planCause = iota
+	causeR1
+	causeR4
+	causeR5
+	causeRq
+	causeOther
+)
+
 // epochState is the open epoch under construction.
 type epochState struct {
 	k      *ftl.Kernel
@@ -48,13 +117,26 @@ type epochState struct {
 	window sim.Time
 
 	ops     []ftl.EpochOp
-	entries []*buffer.Entry // parallel to ops; nil for reads
+	entries []*buffer.Entry // parallel to ops; nil for reads and trims
 	reqs    []epochReq
 	lpns    map[int64]struct{}
 	start   sim.Time // arrival of the first planned request
 	writes  int      // host page writes planned so far (round-robin offset)
 	chipW   []int    // per-chip planned writes (R5 input)
-	reqW    []int    // scratch: per-chip writes of the request being planned
+
+	// GC pre-run eligibility tracking: planned device ops per channel, and
+	// planned-but-unexecuted invalidations (write-old-PPN or trim target in
+	// a currently-full block) per chip. A pre-run on a chip is exact only
+	// when both are zero for it — the chip's channel timeline and full-block
+	// valid counts then match what the serial execution would see.
+	chanOps   []int
+	pendInval []int
+
+	// Per-request planning scratch, wiped after every write attempt.
+	reqW     []int  // per-chip writes of the request being planned
+	reqSeen  []bool // chips whose headroom this request already verified
+	reqChan  []int  // request-local device ops per channel, before this page
+	reqInval []int  // request-local invalidation hazards per chip
 }
 
 // epochReq records one planned request for the barrier's in-order accounting.
@@ -73,8 +155,40 @@ func (e *epochState) reset() {
 	for i := range e.chipW {
 		e.chipW[i] = 0
 	}
+	for i := range e.chanOps {
+		e.chanOps[i] = 0
+	}
+	for i := range e.pendInval {
+		e.pendInval[i] = 0
+	}
 	e.writes = 0
 	e.start = 0
+}
+
+// resetReqScratch wipes the per-request planning scratch after a write
+// attempt (successful or not).
+func (e *epochState) resetReqScratch() {
+	for i := range e.reqW {
+		e.reqW[i] = 0
+	}
+	for i := range e.reqSeen {
+		e.reqSeen[i] = false
+	}
+	for i := range e.reqChan {
+		e.reqChan[i] = 0
+	}
+	for i := range e.reqInval {
+		e.reqInval[i] = 0
+	}
+}
+
+// noteInval records a planned-but-unexecuted invalidation of lpn's current
+// physical page, if it lies in a full block (a GC pre-run blocker for that
+// chip until the epoch flushes).
+func (e *epochState) noteInval(lpn int64) {
+	if chip, hazard := e.k.ShardInvalHazard(ftl.LPN(lpn)); hazard {
+		e.pendInval[chip]++
+	}
 }
 
 // RunSharded drives the generator like Run, but executes epochs of host ops
@@ -90,27 +204,33 @@ func (e *epochState) reset() {
 // run's. Tokens are only parsed by crash-recovery scans of serial runs;
 // results, mapping hashes and op counts never observe them.
 func (s *System) RunSharded(gen workload.Generator, workers int) (RunResult, error) {
+	s.shardRep = ShardReport{}
 	k, isKernel := s.F.(*ftl.Kernel)
 	if workers <= 1 || !isKernel || !k.ShardSupported() || s.obs != nil {
 		return s.Run(gen)
 	}
 	runner := ftl.NewShardRunner(k, workers)
 	defer runner.Close()
-	s.shardEpochs, s.shardOps = 0, 0
 
 	t := k.Device().Timing()
 	window := t.BusXfer + t.ProgLSB
 	if s.cfg.IdleThreshold < window {
 		window = s.cfg.IdleThreshold
 	}
-	chips := k.Device().Geometry().Chips()
+	g := k.Device().Geometry()
+	chips := g.Chips()
 	e := &epochState{
-		k:      k,
-		runner: runner,
-		window: window,
-		lpns:   make(map[int64]struct{}),
-		chipW:  make([]int, chips),
-		reqW:   make([]int, chips),
+		k:         k,
+		runner:    runner,
+		window:    window,
+		lpns:      make(map[int64]struct{}),
+		chipW:     make([]int, chips),
+		chanOps:   make([]int, g.Channels),
+		pendInval: make([]int, chips),
+		reqW:      make([]int, chips),
+		reqSeen:   make([]bool, chips),
+		reqChan:   make([]int, g.Channels),
+		reqInval:  make([]int, chips),
 	}
 
 	rs := s.newRunState()
@@ -129,11 +249,24 @@ func (s *System) RunSharded(gen workload.Generator, workers int) (RunResult, err
 	return s.finishRun(rs, gen)
 }
 
-// ShardReport returns the planner effectiveness of the last RunSharded
-// call: how many epochs executed on the shard runner and how many page ops
-// they carried in total. Deterministic for a given run, independent of the
-// worker count.
-func (s *System) ShardReport() (epochs, ops int) { return s.shardEpochs, s.shardOps }
+// ShardReport returns the planner effectiveness of the last RunSharded call.
+func (s *System) ShardReport() ShardReport { return s.shardRep }
+
+// countFallback attributes one failed plan attempt to its rule counter.
+func (s *System) countFallback(cause planCause) {
+	switch cause {
+	case causeR1:
+		s.shardRep.Fallbacks.R1++
+	case causeR4:
+		s.shardRep.Fallbacks.R4++
+	case causeR5:
+		s.shardRep.Fallbacks.R5++
+	case causeRq:
+		s.shardRep.Fallbacks.Rq++
+	default:
+		s.shardRep.Fallbacks.Other++
+	}
+}
 
 // shardStep plans one request into the open epoch, flushing and retrying or
 // falling back to the exact serial step when the epoch rules reject it.
@@ -141,6 +274,7 @@ func (s *System) shardStep(rs *runState, e *epochState, req workload.Request) er
 	arrival := rs.base + req.Arrival
 	// R2: the epoch window closed — execute it before this request.
 	if len(e.reqs) > 0 && arrival-e.start >= e.window {
+		s.shardRep.Fallbacks.R2++
 		if err := s.flushEpoch(rs, e); err != nil {
 			return err
 		}
@@ -154,12 +288,17 @@ func (s *System) shardStep(rs *runState, e *epochState, req workload.Request) er
 	if err := s.prologue(rs, arrival); err != nil {
 		return err
 	}
-	if s.tryPlan(rs, e, req, arrival) {
+	cause, err := s.tryPlan(rs, e, req, arrival)
+	if err != nil {
+		return err
+	}
+	if cause == planOK {
 		if len(e.reqs) == 1 {
 			e.start = arrival
 		}
 		return nil
 	}
+	s.countFallback(cause)
 	if len(e.reqs) > 0 {
 		// The open epoch blocked the request (LPN conflict, buffer room,
 		// chip headroom, quota sign): execute it and retry once on the
@@ -172,36 +311,48 @@ func (s *System) shardStep(rs *runState, e *epochState, req workload.Request) er
 		if err := s.releaseUpTo(arrival); err != nil {
 			return err
 		}
-		if s.tryPlan(rs, e, req, arrival) {
+		cause, err = s.tryPlan(rs, e, req, arrival)
+		if err != nil {
+			return err
+		}
+		if cause == planOK {
 			if len(e.reqs) == 1 {
 				e.start = arrival
 			}
 			return nil
 		}
+		s.countFallback(cause)
 	}
-	// Unshardable even on an empty epoch (trim, self-conflicting request,
-	// thin buffer/chips/quota): take the exact serial path. tryPlan commits
-	// incrementally, so wipe any partial state from the failed attempt.
+	// Unshardable even on an empty epoch (self-conflicting request, thin
+	// buffer/chips/quota, pre-run-ineligible GC pressure): take the exact
+	// serial path. tryPlan commits incrementally, so wipe any partial state.
 	e.reset()
+	s.shardRep.SerialOps += req.Pages
+	if req.Op == workload.OpTrim {
+		s.shardRep.Fallbacks.Trim += req.Pages
+	}
 	return s.stepOp(rs, req, arrival)
 }
 
 // tryPlan admits req into the open epoch if the epoch rules allow it,
-// appending its page ops; it reports success. All rule checks happen before
-// the first mutation except LPN-set inserts on the failing path, which the
-// caller wipes (the epoch is flushed or reset after any failure).
-func (s *System) tryPlan(rs *runState, e *epochState, req workload.Request, arrival sim.Time) bool {
+// appending its page ops; it returns the rejecting rule otherwise. All rule
+// checks happen before the first epoch mutation except LPN-set inserts on
+// the failing path, which the caller wipes (the epoch is flushed or reset
+// after any failure). A non-nil error is a device error from a GC pre-run
+// and aborts the run, exactly as the serial collection it mirrors would.
+func (s *System) tryPlan(rs *runState, e *epochState, req workload.Request, arrival sim.Time) (planCause, error) {
 	// A request longer than the logical space wraps onto its own LPNs;
 	// R1 cannot hold within the request itself.
 	if int64(req.Pages) > rs.logical {
-		return false
+		return causeOther, nil
 	}
+	g := e.k.Device().Geometry()
 	switch req.Op {
 	case workload.OpRead:
 		for p := 0; p < req.Pages; p++ {
 			lpn := int64((req.Page + int64(p)) % rs.logical)
 			if _, hit := e.lpns[lpn]; hit {
-				return false // R1
+				return causeR1, nil
 			}
 		}
 		opStart := len(e.ops)
@@ -214,75 +365,138 @@ func (s *System) tryPlan(rs *runState, e *epochState, req workload.Request, arri
 			}
 			e.ops = append(e.ops, ftl.EpochOp{LPN: ftl.LPN(lpn), Chip: chip, Arrival: arrival})
 			e.entries = append(e.entries, nil)
+			e.chanOps[g.ChannelOf(chip)]++
 		}
 		e.reqs = append(e.reqs, epochReq{op: req.Op, pages: req.Pages, arrival: arrival, opStart: opStart, opEnd: len(e.ops)})
 		if arrival > rs.busyUntil {
 			rs.busyUntil = arrival // lower bound; flush makes it exact
 		}
-		return true
+		return planOK, nil
 
 	case workload.OpWrite:
 		if s.buf.Free() < req.Pages {
-			return false // R4
+			return causeR4, nil
 		}
 		for p := 0; p < req.Pages; p++ {
 			lpn := int64((req.Page + int64(p)) % rs.logical)
 			if _, hit := e.lpns[lpn]; hit {
-				return false // R1
+				return causeR1, nil
 			}
 		}
-		// R5 + Rq over the round-robin routing this request would get.
+		// Rq over the round-robin routing this request would get.
 		occupied := s.cfg.BufferPages - s.buf.Free()
-		ok := true
+		cause := planOK
 		for j := 0; j < req.Pages; j++ {
 			chip := e.k.PeekChip(e.writes + j)
 			e.reqW[chip]++
 			util := float64(occupied+j+1) / float64(s.cfg.BufferPages)
 			if !e.k.ShardQuotaStable(util, e.writes+j) {
-				ok = false
+				cause = causeRq
 				break
 			}
 		}
-		if ok {
-			for chip, w := range e.reqW {
-				if w > 0 && !e.k.ShardWriteHeadroom(chip, e.chipW[chip]+w) {
-					ok = false
-					break
-				}
-			}
+		// R5 with GC pre-runs (the Rq loop completed, so reqW is full).
+		var err error
+		if cause == planOK {
+			cause, err = s.planWriteHeadroom(rs, e, req, arrival)
 		}
-		for i := range e.reqW {
-			e.reqW[i] = 0
-		}
-		if !ok {
-			return false
+		e.resetReqScratch()
+		if err != nil || cause != planOK {
+			return cause, err
 		}
 		opStart := len(e.ops)
 		for p := 0; p < req.Pages; p++ {
 			lpn := int64((req.Page + int64(p)) % rs.logical)
 			e.lpns[lpn] = struct{}{}
-			entry, err := s.buf.TryAdmit(lpn, arrival)
-			if err != nil {
+			entry, admitErr := s.buf.TryAdmit(lpn, arrival)
+			if admitErr != nil {
 				// R4 guaranteed room; an admit failure is a planner bug.
-				panic("ssd: epoch admit failed with free buffer space: " + err.Error())
+				panic("ssd: epoch admit failed with free buffer space: " + admitErr.Error())
 			}
 			util := s.buf.Utilization()
 			chip := e.k.PeekChip(e.writes)
 			e.ops = append(e.ops, ftl.EpochOp{Write: true, LPN: ftl.LPN(lpn), Chip: chip, Arrival: arrival, Util: util})
 			e.entries = append(e.entries, entry)
 			e.chipW[chip]++
+			e.chanOps[g.ChannelOf(chip)]++
+			e.noteInval(lpn)
 			e.writes++
 		}
 		e.reqs = append(e.reqs, epochReq{op: req.Op, pages: req.Pages, arrival: arrival, opStart: opStart, opEnd: len(e.ops)})
 		if arrival > rs.busyUntil {
 			rs.busyUntil = arrival // lower bound; flush makes it exact
 		}
-		return true
+		return planOK, nil
+
+	case workload.OpTrim:
+		// Trims are pure mapping mutations: no device op, no buffer entry.
+		// They ride the epoch under R1 so the barrier can replay their
+		// invalidations on the real kernel in global order.
+		for p := 0; p < req.Pages; p++ {
+			lpn := int64((req.Page + int64(p)) % rs.logical)
+			if _, hit := e.lpns[lpn]; hit {
+				return causeR1, nil
+			}
+		}
+		opStart := len(e.ops)
+		for p := 0; p < req.Pages; p++ {
+			lpn := int64((req.Page + int64(p)) % rs.logical)
+			e.lpns[lpn] = struct{}{}
+			e.noteInval(lpn)
+			e.ops = append(e.ops, ftl.EpochOp{Trim: true, LPN: ftl.LPN(lpn), Arrival: arrival, Done: arrival})
+			e.entries = append(e.entries, nil)
+		}
+		e.reqs = append(e.reqs, epochReq{op: req.Op, pages: req.Pages, arrival: arrival, opStart: opStart, opEnd: len(e.ops)})
+		if arrival > rs.busyUntil {
+			rs.busyUntil = arrival // lower bound; flush makes it exact
+		}
+		return planOK, nil
 
 	default:
-		// Trims mutate the mapping inline; unknown ops error serially.
-		return false
+		return causeOther, nil
 	}
+}
+
+// planWriteHeadroom runs R5 over the request's round-robin fan-out in page
+// order, attempting a GC pre-run at each chip's first touch when the margin
+// fails. A pre-run is exact — byte-identical to the collection the serial
+// execution would perform inline at this very write — iff the chip's
+// channel carries no planned device ops (neither from the open epoch nor
+// from earlier pages of this request; cross-channel ops commute on the
+// device) and no planned-but-unexecuted invalidation touches the chip's
+// full blocks (victim picks then see serial-exact valid counts). Foreground
+// collections never move the adaptive quota, so Rq decisions are unaffected.
+func (s *System) planWriteHeadroom(rs *runState, e *epochState, req workload.Request, arrival sim.Time) (planCause, error) {
+	g := e.k.Device().Geometry()
+	for j := 0; j < req.Pages; j++ {
+		chip := e.k.PeekChip(e.writes + j)
+		ch := g.ChannelOf(chip)
+		if !e.reqSeen[chip] {
+			e.reqSeen[chip] = true
+			w := e.chipW[chip] + e.reqW[chip]
+			if !e.k.ShardWriteHeadroom(chip, w) {
+				ok := false
+				if e.chanOps[ch]+e.reqChan[ch] == 0 && e.pendInval[chip]+e.reqInval[chip] == 0 {
+					gcs, copies, err := e.k.ShardPreRunGC(chip, arrival)
+					if err != nil {
+						return planOK, err
+					}
+					s.shardRep.GCPreRuns += gcs
+					s.shardRep.GCPreRunCopies += copies
+					ok = e.k.ShardWriteHeadroom(chip, w)
+				}
+				if !ok {
+					return causeR5, nil
+				}
+			}
+		}
+		e.reqChan[ch]++
+		lpn := int64((req.Page + int64(j)) % rs.logical)
+		if hc, hazard := e.k.ShardInvalHazard(ftl.LPN(lpn)); hazard {
+			e.reqInval[hc]++
+		}
+	}
+	return planOK, nil
 }
 
 // flushEpoch executes the open epoch across the shards and performs the
@@ -298,10 +512,10 @@ func (s *System) flushEpoch(rs *runState, e *epochState) error {
 		if err := e.runner.ExecEpoch(e.ops); err != nil {
 			return err
 		}
-		s.shardEpochs++
-		s.shardOps += len(e.ops)
+		s.shardRep.Epochs++
 	}
 	for _, r := range e.reqs {
+		s.shardRep.ShardedOps += r.pages
 		switch r.op {
 		case workload.OpRead:
 			completion := r.arrival
@@ -330,6 +544,21 @@ func (s *System) flushEpoch(rs *runState, e *epochState) error {
 			s.histWriteFlush.Record(int64(flushed - r.arrival))
 			if flushed > rs.busyUntil {
 				rs.busyUntil = flushed
+			}
+		case workload.OpTrim:
+			// Trim ops complete at arrival (metadata only, max-completion
+			// semantics) — the barrier already replayed their invalidations.
+			s.shardRep.ShardedTrims += r.pages
+			completion := r.arrival
+			for i := r.opStart; i < r.opEnd; i++ {
+				if e.ops[i].Done > completion {
+					completion = e.ops[i].Done
+				}
+			}
+			rs.col.RecordTrim(r.pages, r.arrival, completion)
+			s.histTrim.Record(int64(completion - r.arrival))
+			if completion > rs.busyUntil {
+				rs.busyUntil = completion
 			}
 		}
 	}

@@ -146,8 +146,7 @@ type System struct {
 	// Planner effectiveness of the last RunSharded call: epochs that
 	// executed on the shard runner and the page ops they carried (requests
 	// the planner could not shard ran serial and are not counted).
-	shardEpochs int
-	shardOps    int
+	shardRep ShardReport
 
 	// Host-op latency histograms and the buffer-full blame counter (nil
 	// without a recorder; prefetched in SetRecorder so the request loop

@@ -1,0 +1,162 @@
+// Multi-queue host front-end: decompose one Table-1 profile into per-queue
+// generators over disjoint LPN ranges, merge several queues back into one
+// deterministic stream, and prefetch request generation onto a background
+// goroutine. ssd.RunShardedMQ composes these so host-side generation runs
+// concurrently with the simulation while the planned op stream — and thus
+// the run result — stays byte-identical to a single merged generator.
+package workload
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SplitByChannel decomposes profile p into `queues` independent generators,
+// one per host queue, each emitting over its own contiguous slice of the
+// logical space (span = space/queues; a remainder shrinks the last queue's
+// share of requests, never its range) with a seed derived from `seed` and
+// the queue index. Disjoint LPN ranges mean requests from different queues
+// can never conflict on an LPN — the epoch planner's R1 rule only ever
+// fires within a queue. Queue i emits total/queues requests (the first
+// total%queues queues emit one more), named "<Name>/q<i>".
+func SplitByChannel(p Profile, space int64, total int, seed uint64, queues int) ([]Generator, error) {
+	if queues < 1 {
+		return nil, fmt.Errorf("workload: split needs >= 1 queue, got %d", queues)
+	}
+	span := space / int64(queues)
+	if span < 1 {
+		return nil, fmt.Errorf("workload: %d pages cannot split into %d queues", space, queues)
+	}
+	gens := make([]Generator, queues)
+	for i := 0; i < queues; i++ {
+		qp := p
+		qp.Name = fmt.Sprintf("%s/q%d", p.Name, i)
+		if qp.PagesCap > int(span) {
+			qp.PagesCap = int(span)
+		}
+		qtotal := total / queues
+		if i < total%queues {
+			qtotal++
+		}
+		if qtotal < 1 {
+			qtotal = 1
+		}
+		qseed := seed ^ (uint64(i+1) * 0x9E3779B97F4A7C15)
+		g, err := New(qp, span, qtotal, qseed)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = &offsetGen{g: g, off: int64(i) * span}
+	}
+	return gens, nil
+}
+
+// offsetGen shifts a generator's pages into its queue's LPN range.
+type offsetGen struct {
+	g   Generator
+	off int64
+}
+
+func (o *offsetGen) Name() string { return o.g.Name() }
+
+func (o *offsetGen) Next() (Request, bool) {
+	r, ok := o.g.Next()
+	if !ok {
+		return Request{}, false
+	}
+	r.Page += o.off
+	return r, ok
+}
+
+// MergeByArrival interleaves several generators into one stream ordered by
+// arrival time, breaking ties by queue index (lowest first). The merge is
+// fully deterministic, so driving a serial run with the merged stream
+// defines the reference result the multi-queue sharded run must equal.
+func MergeByArrival(name string, gens ...Generator) Generator {
+	m := &mergeGen{
+		name:  name,
+		gens:  gens,
+		heads: make([]Request, len(gens)),
+		live:  make([]bool, len(gens)),
+	}
+	for i, g := range gens {
+		m.heads[i], m.live[i] = g.Next()
+	}
+	return m
+}
+
+type mergeGen struct {
+	name  string
+	gens  []Generator
+	heads []Request
+	live  []bool
+}
+
+func (m *mergeGen) Name() string { return m.name }
+
+func (m *mergeGen) Next() (Request, bool) {
+	best := -1
+	for i := range m.heads {
+		if !m.live[i] {
+			continue
+		}
+		if best == -1 || m.heads[i].Arrival < m.heads[best].Arrival {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Request{}, false
+	}
+	r := m.heads[best]
+	m.heads[best], m.live[best] = m.gens[best].Next()
+	return r, true
+}
+
+// Prefetch wraps gen so Next reads from a buffered channel fed by a
+// background goroutine: request generation (RNG draws, Zipf sampling,
+// read-target bookkeeping) runs concurrently with whoever consumes the
+// stream. The sequence and Name are unchanged — a single producer feeding a
+// FIFO channel preserves order exactly. The returned stop function
+// terminates the feeder early and is safe to call multiple times (it always
+// must be called, or the feeder goroutine leaks on abandoned streams).
+func Prefetch(gen Generator, depth int) (Generator, func()) {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &prefetchGen{
+		name: gen.Name(),
+		ch:   make(chan Request, depth),
+		quit: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.ch)
+		for {
+			r, ok := gen.Next()
+			if !ok {
+				return
+			}
+			select {
+			case p.ch <- r:
+			case <-p.quit:
+				return
+			}
+		}
+	}()
+	return p, p.stop
+}
+
+type prefetchGen struct {
+	name     string
+	ch       chan Request
+	quit     chan struct{}
+	stopOnce sync.Once
+}
+
+func (p *prefetchGen) Name() string { return p.name }
+
+func (p *prefetchGen) Next() (Request, bool) {
+	r, ok := <-p.ch
+	return r, ok
+}
+
+func (p *prefetchGen) stop() { p.stopOnce.Do(func() { close(p.quit) }) }

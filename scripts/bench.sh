@@ -14,7 +14,16 @@
 # stripped) so the cpu sweep's rows keep distinct names. Compare two
 # snapshots with scripts/benchdiff.sh.
 set -eu
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
+cores="$(nproc)"
+cores_warning=false
+if [ "$cores" -le 1 ]; then
+  cores_warning=true
+  echo "WARNING: this runner exposes a single core — the shard-scaling rows" >&2
+  echo "         (SSDRunSharded -cpu 4, RunFig8 workers-auto) cannot show any" >&2
+  echo "         parallel speedup here; treat their ratios as meaningless and" >&2
+  echo "         re-collect on a multi-core machine before drawing conclusions." >&2
+fi
 pattern='BenchmarkSimulateBlock|BenchmarkDeviceRead|BenchmarkRunFig4|BenchmarkRunFig8$|BenchmarkMapperUpdate|BenchmarkSSDRun$|BenchmarkPickVictim'
 benchtime="${BENCHTIME:-20x}"
 
@@ -24,7 +33,7 @@ rawsharded=$(go test -run=NONE -bench='BenchmarkSSDRunSharded' -benchmem -bencht
 echo "$rawsharded"
 
 printf '%s\n%s\n' "$raw" "$rawsharded" | awk \
-  -v nproc="$(nproc)" -v gomaxprocs="${GOMAXPROCS:-$(nproc)}" '
+  -v nproc="$cores" -v gomaxprocs="${GOMAXPROCS:-$cores}" -v coreswarn="$cores_warning" '
   /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
   /^Benchmark/ {
     name = $1
@@ -48,7 +57,7 @@ printf '%s\n%s\n' "$raw" "$rawsharded" | awk \
       name, ns, bop, allocs
   }
   END {
-    printf "\n  ],\n  \"cpu\": \"%s\",\n  \"cores\": %s,\n  \"gomaxprocs\": %s\n}\n", cpu, nproc, gomaxprocs
+    printf "\n  ],\n  \"cpu\": \"%s\",\n  \"cores\": %s,\n  \"gomaxprocs\": %s,\n  \"cores_warning\": %s\n}\n", cpu, nproc, gomaxprocs, coreswarn
   }
   BEGIN { printf "{\n  \"benchmarks\": [\n" }
 ' > "$out"
