@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|table1|fig4a|fig4b|fig8a|fig8b|fig8c|summary|all")
+		exp      = flag.String("exp", "all", "experiment: fig1|table1|fig4a|fig4b|fig8a|fig8b|fig8c|summary|placement|all")
 		requests = flag.Int("requests", 150000, "host requests per Figure 8 run")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		full     = flag.Bool("full", false, "use the paper's 16 GB geometry (slow)")
@@ -156,6 +156,27 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		record("ablation", start, par.Workers(workers), append([]string{"flexFTL"}, experiments.Hybrids()...), res)
 		experiments.RenderAblations(w, res)
 	}
+	if want("placement") {
+		experiments.Rule(w, "Placement-axis sweep (hot/cold + wear-aware under Zipf)")
+		cfg := experiments.DefaultPlacementSweepConfig()
+		cfg.Seed = seed
+		// The placement geometry is shrunk, so runs are cheap; keep them at
+		// 4/5 of the Figure-8 request count (120k at the default) — the
+		// wear-spread column needs that much GC steady state to settle.
+		cfg.Requests = requests * 4 / 5
+		if cfg.Requests < 10000 {
+			cfg.Requests = 10000
+		}
+		cfg.Workers = workers
+		cfg.ShardWorkers = shardWorkers
+		start := time.Now()
+		res, err := experiments.RunPlacementSweep(cfg)
+		if err != nil {
+			return err
+		}
+		record("placement", start, par.Workers(workers), cfg.Schemes, res)
+		experiments.RenderPlacementSweep(w, res)
+	}
 	if want("fig8a") || want("fig8b") || want("fig8c") || want("summary") || exp == "fig8" {
 		geometry := experiments.EvalGeometry()
 		if full {
@@ -188,7 +209,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 	}
 	switch exp {
 	case "all", "fig1", "table1", "fig4", "fig4a", "fig4b", "fig4tlc",
-		"fig8", "fig8a", "fig8b", "fig8c", "summary", "ablation", "stress", "sensitivity":
+		"fig8", "fig8a", "fig8b", "fig8c", "summary", "ablation", "stress", "sensitivity", "placement":
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -21,6 +21,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -125,7 +126,24 @@ func findProfile(name string) (workload.Profile, error) {
 			return p, nil
 		}
 	}
-	return workload.Profile{}, fmt.Errorf("unknown workload %q", name)
+	// The skewed placement-study workload is parameterized by its Zipf
+	// theta: "zipf" (the default 0.99 skew) or "zipf-1.10" / "zipf:1.10".
+	if lower := strings.ToLower(name); strings.HasPrefix(lower, "zipf") {
+		theta := 0.99
+		if rest := strings.TrimLeft(lower[len("zipf"):], ":-="); rest != "" {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return workload.Profile{}, fmt.Errorf("bad zipf theta in workload %q: %v", name, err)
+			}
+			theta = v
+		}
+		p := workload.ZipfProfile(theta)
+		if err := p.Validate(); err != nil {
+			return workload.Profile{}, err
+		}
+		return p, nil
+	}
+	return workload.Profile{}, fmt.Errorf("unknown workload %q (profiles: OLTP, NTRX, Webserver, Varmail, Fileserver, zipf[-THETA])", name)
 }
 
 // debugRegistry is the registry the -debug-addr expvar endpoint snapshots.

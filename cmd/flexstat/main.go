@@ -250,10 +250,35 @@ func report(w io.Writer, file string) error {
 				r.Stats.Erases)
 		}
 	}
+	// Placement section: wear spread for every run that reports it, plus the
+	// hot/cold stream split where a multi-stream placement produced one.
+	placed := make([]runEntry, 0, len(runs))
+	for _, e := range runs {
+		if e.run.WearSpread > 0 {
+			placed = append(placed, e)
+		}
+	}
+	if len(placed) > 0 {
+		fmt.Fprintf(w, "\nplacement (wear spread = max/mean erases; streams split hot/cold):\n")
+		fmt.Fprintf(w, "  %-14s %-12s %7s %8s %10s %10s %6s\n",
+			"scheme", "workload", "WAF", "wear", "hot wr", "cold wr", "hot%")
+		for _, e := range placed {
+			r := e.run
+			hot, cold := r.Stats.HostWritesHot, r.Stats.HostWritesCold
+			hotS, coldS, share := "-", "-", "-"
+			if hot+cold > 0 {
+				hotS = fmt.Sprintf("%d", hot)
+				coldS = fmt.Sprintf("%d", cold)
+				share = fmt.Sprintf("%.1f", 100*float64(hot)/float64(hot+cold))
+			}
+			fmt.Fprintf(w, "  %-14s %-12s %7.3f %8.3f %10s %10s %6s\n",
+				r.FTLName, r.Workload, r.WAF, r.WearSpread, hotS, coldS, share)
+		}
+	}
 	if len(d.shards) > 0 {
 		fmt.Fprintf(w, "\nshard planner efficiency:\n")
 		fmt.Fprintf(w, "  %-24s %7s %8s %8s %8s %14s %8s %s\n",
-			"path", "share", "epochs", "sharded", "serial", "preruns(cp)", "trims", "fallbacks R1/R2/R4/R5/Rq/trim/other")
+			"path", "share", "epochs", "sharded", "serial", "preruns(cp)", "trims", "fallbacks R1/R2/R4/R5/Rp/Rq/trim/other")
 		for _, e := range d.shards {
 			r := e.rep
 			fb := r.Fallbacks
@@ -261,10 +286,10 @@ func report(w io.Writer, file string) error {
 			if path == "" {
 				path = "(top)"
 			}
-			fmt.Fprintf(w, "  %-24s %6.1f%% %8d %8d %8d %8d(%4d) %8d %d/%d/%d/%d/%d/%d/%d\n",
+			fmt.Fprintf(w, "  %-24s %6.1f%% %8d %8d %8d %8d(%4d) %8d %d/%d/%d/%d/%d/%d/%d/%d\n",
 				path, 100*r.ShardedShare(), r.Epochs, r.ShardedOps, r.SerialOps,
 				r.GCPreRuns, r.GCPreRunCopies, r.ShardedTrims,
-				fb.R1, fb.R2, fb.R4, fb.R5, fb.Rq, fb.Trim, fb.Other)
+				fb.R1, fb.R2, fb.R4, fb.R5, fb.Rp, fb.Rq, fb.Trim, fb.Other)
 		}
 	}
 	if reg != nil {
@@ -425,6 +450,33 @@ func compare(w io.Writer, oldFile, newFile string, p99Thresh, wafThresh float64)
 				fmt.Fprintf(w, "  %-24s %9.1f%% %9.1f%% %+7.1fpp\n",
 					label, 100*o.ShardedShare(), 100*n.ShardedShare(),
 					100*(n.ShardedShare()-o.ShardedShare()))
+			}
+		}
+	}
+	// Wear-spread deltas, joined by path. Non-gating: wear imbalance is a
+	// lifetime signal the placement axis moves deliberately, not a
+	// regression gate.
+	wearPaths := make([]string, 0, len(paths))
+	for _, p := range paths {
+		if oldBy[p].WearSpread > 0 || newBy[p].WearSpread > 0 {
+			wearPaths = append(wearPaths, p)
+		}
+	}
+	if len(wearPaths) > 0 {
+		fmt.Fprintf(w, "\nwear spread (non-gating):\n")
+		fmt.Fprintf(w, "  %-14s %-12s %9s %9s %8s\n", "scheme", "workload", "old wear", "new wear", "Δwear")
+		for _, p := range wearPaths {
+			o, inOld := oldBy[p]
+			n, inNew := newBy[p]
+			switch {
+			case !inNew:
+				fmt.Fprintf(w, "  %-14s %-12s %9.3f %9s\n", o.FTLName, o.Workload, o.WearSpread, "(gone)")
+			case !inOld:
+				fmt.Fprintf(w, "  %-14s %-12s %9s %9.3f\n", n.FTLName, n.Workload, "(new)", n.WearSpread)
+			default:
+				fmt.Fprintf(w, "  %-14s %-12s %9.3f %9.3f %s\n",
+					n.FTLName, n.Workload, o.WearSpread, n.WearSpread,
+					fmtDelta(deltaPct(o.WearSpread, n.WearSpread)))
 			}
 		}
 	}

@@ -239,7 +239,11 @@ func checkGolden(t *testing.T, name string, got any, fresh func() any) {
 }
 
 func TestEquivalenceMLC(t *testing.T) {
-	for _, scheme := range experiments.Schemes() {
+	// The paper schemes, plus one placement hybrid: flexFTL-hotcold pins the
+	// multi-stream block life cycle (two active fast/slow pairs per chip) the
+	// same way. wearAware shares the classify path and differs only in free-
+	// block choice, so one placement golden suffices.
+	for _, scheme := range append(experiments.Schemes(), "flexFTL-hotcold") {
 		for _, prof := range equivWorkloads() {
 			name := fmt.Sprintf("%s_%s", scheme, prof.Name)
 			t.Run(name, func(t *testing.T) {

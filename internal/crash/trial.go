@@ -157,7 +157,7 @@ func runTrial(cfg Config, spec ftl.Spec, trial int) (Outcome, error) {
 		}
 	}
 	if v.open {
-		if lpn, _, fromGC, ok := k.LastMSB(o.Chip); ok && lpn == v.msbLPN {
+		if lpn, _, fromGC, _, ok := k.LastMSB(o.Chip); ok && lpn == v.msbLPN {
 			o.FromGC = fromGC
 		}
 		o.Injected = k.Dev.InjectPowerLoss(nand.BlockAddr{Chip: o.Chip, Block: v.msbAddr.Block})

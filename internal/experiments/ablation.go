@@ -143,3 +143,157 @@ func RenderAblations(w io.Writer, res AblationResult) {
 			r.Name, r.IOPS, r.PeakMBs, r.Erases, r.ForegroundGCs, r.BackupPerWrit, r.HostLSBShare)
 	}
 }
+
+// The placement sweep is the fourth-axis counterpart of the ablations: the
+// same policy stack with only the placement axis changed, swept over Zipf
+// skews, at a geometry small enough that every run reaches GC steady state.
+
+// PlacementSweepConfig parameterizes the placement-axis sweep.
+type PlacementSweepConfig struct {
+	Geometry nand.Geometry
+	Requests int
+	Seed     uint64
+	// OPFraction is the over-provisioning the whole sweep runs at. Placement
+	// policies pin extra captive blocks (a second active fast/slow pair per
+	// chip), so the sweep needs honest spare capacity: at the default 12.5%
+	// on the shrunken device the captive overhead alone collapses effective
+	// OP and every multi-stream scheme thrashes, drowning the signal.
+	OPFraction float64
+	// Thetas are the Zipf skews swept (workload.ZipfProfile).
+	Thetas []float64
+	// Schemes are the registry names compared; order is report order and
+	// each family's stock scheme should precede its placement variants so
+	// the renderer can compute deltas.
+	Schemes      []string
+	Workers      int
+	ShardWorkers int
+}
+
+// DefaultPlacementSweepConfig compares the stock schemes against their
+// hot/cold and wear-aware variants under a moderate and a hot-head skew.
+// The device is shrunk (fewer blocks per chip) so the runs reach GC steady
+// state — on the full evaluation geometry the free-block reserve would
+// absorb the whole run and WAF would pin at ~1 for every scheme.
+func DefaultPlacementSweepConfig() PlacementSweepConfig {
+	g := EvalGeometry()
+	g.BlocksPerChip = 32
+	return PlacementSweepConfig{
+		Geometry: g,
+		// 120k requests: wear-spread is a max/mean statistic and needs mean
+		// erase counts well past the prefill transient before scheme
+		// comparisons are out of the noise; shorter runs reorder the wear
+		// column run-to-run.
+		Requests:   120000,
+		Seed:       42,
+		OPFraction: 0.25,
+		Thetas:     []float64{0.95, 1.1, 1.2},
+		Schemes: []string{
+			"flexFTL", "flexFTL-hotcold", "flexFTL-wearAware",
+			"pageFTL", "pageFTL-hotcold", "pageFTL-wearAware",
+		},
+	}
+}
+
+// PlacementRow is one (scheme, theta) outcome.
+type PlacementRow struct {
+	Scheme     string
+	Theta      float64
+	WAF        float64
+	WearSpread float64 // max/mean erase count (1.0 = perfectly level)
+	Erases     int64   // lifetime proxy: media erases for the fixed request count
+	GCCopies   int64
+	HotShare   float64 // hot-stream share of host writes (0 for single-stream)
+	IOPS       float64
+}
+
+// PlacementSweepResult carries the sweep.
+type PlacementSweepResult struct {
+	Config PlacementSweepConfig
+	Rows   []PlacementRow
+}
+
+// RunPlacementSweep runs every configured scheme under every Zipf skew.
+func RunPlacementSweep(cfg PlacementSweepConfig) (PlacementSweepResult, error) {
+	res := PlacementSweepResult{Config: cfg}
+	type cell struct {
+		scheme string
+		theta  float64
+	}
+	var cells []cell
+	for _, theta := range cfg.Thetas {
+		for _, scheme := range cfg.Schemes {
+			cells = append(cells, cell{scheme, theta})
+		}
+	}
+	rows := make([]PlacementRow, len(cells))
+	err := par.Run(par.Workers(cfg.Workers), len(cells), func(_, i int) error {
+		c := cells[i]
+		fcfg := ftl.DefaultConfig()
+		if cfg.OPFraction > 0 {
+			fcfg.OPFraction = cfg.OPFraction
+		}
+		f, err := BuildFTLWith(c.scheme, cfg.Geometry, fcfg)
+		if err != nil {
+			return err
+		}
+		sys, err := ssd.New(f, ssd.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Prefill(); err != nil {
+			return fmt.Errorf("placement %q: %w", c.scheme, err)
+		}
+		gen, err := workload.NewZipf(c.theta, f.LogicalPages(), cfg.Requests, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		run, err := sys.RunSharded(gen, cfg.ShardWorkers)
+		if err != nil {
+			return fmt.Errorf("placement %q theta=%.2f: %w", c.scheme, c.theta, err)
+		}
+		st := run.Stats
+		row := PlacementRow{
+			Scheme:     c.scheme,
+			Theta:      c.theta,
+			WAF:        run.WAF,
+			WearSpread: run.WearSpread,
+			Erases:     st.Erases,
+			GCCopies:   st.GCCopies,
+			IOPS:       run.Metrics.IOPS,
+		}
+		if hot := st.HostWritesHot + st.HostWritesCold; hot > 0 {
+			row.HotShare = float64(st.HostWritesHot) / float64(hot)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// RenderPlacementSweep prints the sweep with per-family deltas: each row's
+// WAF and wear spread are compared against the most recent preceding
+// single-stream scheme of the same skew (the family's stock baseline).
+func RenderPlacementSweep(w io.Writer, res PlacementSweepResult) {
+	fmt.Fprintf(w, "placement-axis sweep (Zipf workloads, %d requests, OP %.0f%%)\n",
+		res.Config.Requests, res.Config.OPFraction*100)
+	fmt.Fprintf(w, "  %-20s %6s %7s %8s %8s %8s %8s %6s %8s\n",
+		"scheme", "theta", "WAF", "dWAF%", "wear", "dwear%", "erases", "hot%", "IOPS")
+	var baseWAF, baseWear float64
+	for _, r := range res.Rows {
+		spec, _ := ftl.Lookup(r.Scheme)
+		if spec.Placement == "" {
+			baseWAF, baseWear = r.WAF, r.WearSpread
+		}
+		dWAF, dWear := "-", "-"
+		if spec.Placement != "" && baseWAF > 0 && baseWear > 0 {
+			dWAF = fmt.Sprintf("%+.1f", (r.WAF/baseWAF-1)*100)
+			dWear = fmt.Sprintf("%+.1f", (r.WearSpread/baseWear-1)*100)
+		}
+		fmt.Fprintf(w, "  %-20s %6.2f %7.3f %8s %8.3f %8s %8d %6.1f %8.0f\n",
+			r.Scheme, r.Theta, r.WAF, dWAF, r.WearSpread, dWear, r.Erases, r.HotShare*100, r.IOPS)
+	}
+}

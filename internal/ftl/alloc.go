@@ -142,13 +142,13 @@ func (a *adaptiveAlloc) chooseHost(k *Kernel, chip int, util float64, now sim.Ti
 
 func (a *adaptiveAlloc) choose(k *Kernel, chip int, util float64) bool {
 	// Corner case (footnote 1): with no slow block MSB pages do not exist.
-	if !k.place.slowAvailable(k, chip) {
+	if !k.ord.slowAvailable(k, chip) {
 		return true
 	}
 	// Drain mode: with no fast capacity left beyond the GC reserve, spend
 	// MSB pages — they consume no free blocks, and completing slow blocks
 	// feeds the GC candidate list.
-	if k.place.fastBudget(k, chip) <= 0 {
+	if k.ord.fastBudget(k, chip) <= 0 {
 		return false
 	}
 	alternate := func() bool {

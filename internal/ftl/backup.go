@@ -22,14 +22,16 @@ type BackupStrategy interface {
 	// extraReserve is how many free blocks beyond the GC minimum the
 	// foreground collector must keep available for the backup writer.
 	extraReserve() int
-	// afterLSB observes one completed LSB data program and may emit backup
-	// programs, returning the (possibly extended) completion time.
-	afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (sim.Time, error)
-	// onFastOpen fires when a two-phase fast block opens.
-	onFastOpen(k *Kernel, chip int)
+	// afterLSB observes one completed LSB data program on the chip's given
+	// placement stream and may emit backup programs, returning the
+	// (possibly extended) completion time.
+	afterLSB(k *Kernel, chip, stream int, data []byte, done sim.Time) (sim.Time, error)
+	// onFastOpen fires when a two-phase fast block opens on a stream.
+	onFastOpen(k *Kernel, chip, stream int)
 	// onFastComplete fires when a two-phase fast block fills (all LSB pages
-	// written); the per-block parity scheme persists the accumulated parity.
-	onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error)
+	// written); the per-block parity scheme persists the accumulated parity
+	// of that stream's block.
+	onFastComplete(k *Kernel, chip, stream, fastBlk int, done sim.Time) (sim.Time, error)
 	// onSlowComplete fires when a two-phase slow block finishes its MSB
 	// phase, retiring any backup that protected it.
 	onSlowComplete(k *Kernel, chip, blk int)
@@ -55,11 +57,11 @@ type noBackup struct{}
 
 func (noBackup) init(*Kernel) error { return nil }
 func (noBackup) extraReserve() int  { return 0 }
-func (noBackup) afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (sim.Time, error) {
+func (noBackup) afterLSB(k *Kernel, chip, stream int, data []byte, done sim.Time) (sim.Time, error) {
 	return done, nil
 }
-func (noBackup) onFastOpen(*Kernel, int) {}
-func (noBackup) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error) {
+func (noBackup) onFastOpen(*Kernel, int, int) {}
+func (noBackup) onFastComplete(k *Kernel, chip, stream, fastBlk int, done sim.Time) (sim.Time, error) {
 	return done, nil
 }
 func (noBackup) onSlowComplete(*Kernel, int, int) {}
@@ -98,6 +100,12 @@ func (b *pairParity) init(k *Kernel) error {
 	if b.pairSize < 1 {
 		return fmt.Errorf("ftl: parity pair size %d < 1", b.pairSize)
 	}
+	if k.placement.streams() != 1 {
+		// The pair accumulator assumes LSB programs arrive in one global
+		// per-chip order; interleaved streams would pair LSBs whose MSB
+		// windows open at unrelated times, voiding the footnote-4 bound.
+		return fmt.Errorf("%s: pair-parity backup requires the single-stream placement", k.name)
+	}
 	g := k.Dev.Geometry()
 	b.order = core.FPSOrder(g.WordLinesPerBlock)
 	b.ring = make([]backupRing, g.Chips())
@@ -116,7 +124,7 @@ func (b *pairParity) init(k *Kernel) error {
 // claim a block at any moment.
 func (b *pairParity) extraReserve() int { return 1 }
 
-func (b *pairParity) afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (sim.Time, error) {
+func (b *pairParity) afterLSB(k *Kernel, chip, stream int, data []byte, done sim.Time) (sim.Time, error) {
 	// Accumulate the pre-backup parity; every pairSize LSB pages emit one
 	// parity page before their paired MSB programs begin.
 	if err := b.pbuf[chip].Add(data); err != nil {
@@ -180,8 +188,8 @@ func (b *pairParity) writeBackup(k *Kernel, chip int, page []byte, now sim.Time)
 	return done, nil
 }
 
-func (b *pairParity) onFastOpen(*Kernel, int) {}
-func (b *pairParity) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error) {
+func (b *pairParity) onFastOpen(*Kernel, int, int) {}
+func (b *pairParity) onFastComplete(k *Kernel, chip, stream, fastBlk int, done sim.Time) (sim.Time, error) {
 	return done, nil
 }
 func (b *pairParity) onSlowComplete(*Kernel, int, int) {}
@@ -247,23 +255,32 @@ type backupState struct {
 }
 
 type blockParity struct {
-	pbuf   []*parity.Buffer // per chip: accumulated parity of the AFB's LSB pages
-	backup []backupState    // per chip
+	// pbuf accumulates each stream's open fast block's LSB parity,
+	// [chip][stream] — streams fill fast blocks independently, so each needs
+	// its own accumulator. The backup blocks themselves (backupState) stay
+	// per chip: parity pages from all streams share one backup block.
+	pbuf   [][]*parity.Buffer
+	backup []backupState // per chip
 	// refs maps flat fast-block index -> parity location, as a flat slice
 	// (backupBlk -1 = none) so channel shards of one run can write disjoint
 	// chip-owned entries without sharing a map's internals.
 	refs  []parityRef
-	psnap [][]byte // per chip: scratch for parity snapshots (Program copies)
+	psnap [][][]byte // [chip][stream]: scratch for parity snapshots (Program copies)
 }
 
 func (b *blockParity) init(k *Kernel) error {
 	g := k.Dev.Geometry()
-	b.pbuf = make([]*parity.Buffer, g.Chips())
+	streams := k.placement.streams()
+	b.pbuf = make([][]*parity.Buffer, g.Chips())
 	b.backup = make([]backupState, g.Chips())
-	b.psnap = make([][]byte, g.Chips())
+	b.psnap = make([][][]byte, g.Chips())
 	b.resetRefs(g.TotalBlocks())
 	for c := range b.backup {
-		b.pbuf[c] = parity.New(TokenSize)
+		b.pbuf[c] = make([]*parity.Buffer, streams)
+		for s := range b.pbuf[c] {
+			b.pbuf[c][s] = parity.New(TokenSize)
+		}
+		b.psnap[c] = make([][]byte, streams)
 		b.backup[c] = backupState{cur: -1, live: make(map[int]int)}
 	}
 	return nil
@@ -294,19 +311,19 @@ func (b *blockParity) refLive() int {
 // foreground collector folds this into its own emergency level).
 func (b *blockParity) extraReserve() int { return 1 }
 
-func (b *blockParity) afterLSB(k *Kernel, chip int, data []byte, done sim.Time) (sim.Time, error) {
-	if err := b.pbuf[chip].Add(data); err != nil {
+func (b *blockParity) afterLSB(k *Kernel, chip, stream int, data []byte, done sim.Time) (sim.Time, error) {
+	if err := b.pbuf[chip][stream].Add(data); err != nil {
 		return done, err
 	}
 	return done, nil
 }
 
-func (b *blockParity) onFastOpen(k *Kernel, chip int) { b.pbuf[chip].Reset() }
+func (b *blockParity) onFastOpen(k *Kernel, chip, stream int) { b.pbuf[chip][stream].Reset() }
 
-func (b *blockParity) onFastComplete(k *Kernel, chip, fastBlk int, done sim.Time) (sim.Time, error) {
-	b.psnap[chip] = b.pbuf[chip].SnapshotInto(b.psnap[chip])
-	snapshot := b.psnap[chip]
-	b.pbuf[chip].Reset()
+func (b *blockParity) onFastComplete(k *Kernel, chip, stream, fastBlk int, done sim.Time) (sim.Time, error) {
+	b.psnap[chip][stream] = b.pbuf[chip][stream].SnapshotInto(b.psnap[chip][stream])
+	snapshot := b.psnap[chip][stream]
+	b.pbuf[chip][stream].Reset()
 	return b.writeBlockParity(k, chip, fastBlk, snapshot, done)
 }
 

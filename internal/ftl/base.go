@@ -141,6 +141,12 @@ func (b *Base) SetRecorder(r *obs.Recorder) {
 // is perfectly even), the sampler's erase-count-spread stream.
 func (b *Base) WearSpread() float64 { return b.Dev.Wear().Imbalance }
 
+// EraseCountOf returns one block's lifetime erase count (the wear-aware
+// placement's block-choice input).
+func (b *Base) EraseCountOf(chip, blk int) int {
+	return b.Dev.EraseCount(nand.BlockAddr{Chip: chip, Block: blk})
+}
+
 // Stats returns the counter snapshot.
 func (b *Base) Stats() Stats { return b.St }
 

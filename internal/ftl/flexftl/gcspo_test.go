@@ -70,7 +70,7 @@ func TestRecoveryRollsBackInterruptedGCRelocation(t *testing.T) {
 			if !open {
 				continue
 			}
-			lpn, prev, fromGC, ok := f.LastMSB(chip)
+			lpn, prev, fromGC, _, ok := f.LastMSB(chip)
 			if !ok || !fromGC || prev == nand.InvalidPPN {
 				continue
 			}

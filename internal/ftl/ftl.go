@@ -37,6 +37,12 @@ type Stats struct {
 	RetiredBlocks int64 // blocks retired after exceeding the erase budget
 	ForegroundGCs int64 // GC invocations that stalled a host write
 	BackgroundGCs int64 // GC invocations during idle windows
+
+	// Stream-split host-write counters, maintained only by multi-stream
+	// placement policies (zero for single-stream schemes, so their stats
+	// stay byte-identical to the pre-placement-axis kernel).
+	HostWritesHot  int64 // host writes routed to the hot stream
+	HostWritesCold int64 // host writes routed to the cold stream
 }
 
 // TotalPrograms returns all page programs the FTL caused.

@@ -360,6 +360,12 @@ func checkStatsConsistency(t *testing.T, f ftl.Host) ftl.Stats {
 	if st.GCCopiesLSB+st.GCCopiesMSB != st.GCCopies {
 		t.Errorf("GC copy type split %d+%d != %d", st.GCCopiesLSB, st.GCCopiesMSB, st.GCCopies)
 	}
+	// Multi-stream placement classifies every host write as hot or cold;
+	// single-stream schemes leave both counters at zero.
+	if split := st.HostWritesHot + st.HostWritesCold; split > 0 && split != st.HostWrites {
+		t.Errorf("host write temperature split %d+%d != %d",
+			st.HostWritesHot, st.HostWritesCold, st.HostWrites)
+	}
 	return st
 }
 

@@ -9,17 +9,20 @@ import (
 )
 
 // Kernel is the composable FTL engine: one write/read/trim/GC/idle machine
-// parameterized by three policies. The order policy owns page placement and
+// parameterized by four policies. The order policy owns page ordering and
 // the block life cycle, the backup strategy owns paired-page power-cut
-// protection, and the allocation policy owns the LSB/MSB preference of every
-// program. Every scheme the paper evaluates — and any hybrid — is a Kernel
-// with a different policy triple (see schemes.go and the registry).
+// protection, the allocation policy owns the LSB/MSB preference of every
+// program, and the placement policy owns destination-block choice (data
+// streams and free-block selection). Every scheme the paper evaluates — and
+// any hybrid — is a Kernel with a different policy tuple (see schemes.go and
+// the registry).
 type Kernel struct {
 	*Base
-	name  string
-	place OrderPolicy
-	bk    BackupStrategy
-	alloc AllocPolicy
+	name      string
+	ord       OrderPolicy
+	bk        BackupStrategy
+	alloc     AllocPolicy
+	placement PlacementPolicy
 	// retokenizeGC makes GC relocations carry a fresh sequence number so a
 	// flash-scan rebuild can always tell the live copy from the
 	// not-yet-erased original (flexFTL's choice; the FPS schemes relocate
@@ -31,17 +34,20 @@ type Kernel struct {
 
 var _ FTL = (*Kernel)(nil)
 
-// KernelSpec bundles the policy triple and the kernel-level switches a
+// KernelSpec bundles the policy tuple and the kernel-level switches a
 // scheme constructor passes to NewKernel.
 type KernelSpec struct {
 	// Name identifies the scheme ("pageFTL", "flexFTL", ...).
 	Name string
-	// Order, Backup and Alloc are the three policies. All are required;
-	// use NoBackupStrategy() and FixedAllocPolicy(PrefOrder, PrefOrder)
-	// for schemes that don't care.
+	// Order, Backup and Alloc are the three mandatory policies; use
+	// NoBackupStrategy() and FixedAllocPolicy(PrefOrder, PrefOrder) for
+	// schemes that don't care.
 	Order  OrderPolicy
 	Backup BackupStrategy
 	Alloc  AllocPolicy
+	// Place is the placement policy (nil = SinglePlacementPolicy, the
+	// pre-placement-axis behavior).
+	Place PlacementPolicy
 	// RetokenizeGC gives GC relocations fresh sequence numbers (see
 	// Kernel.retokenizeGC).
 	RetokenizeGC bool
@@ -52,9 +58,10 @@ type KernelSpec struct {
 	PredictorAlpha float64
 }
 
-// NewKernel assembles an FTL from a policy triple over the device. Policies
-// initialize in placement, backup, allocation order; each may reject the
-// device or configuration.
+// NewKernel assembles an FTL from a policy tuple over the device. Policies
+// initialize in placement, order, backup, allocation sequence — placement
+// first because the order and backup policies size their per-stream state
+// from placement.streams(); each may reject the device or configuration.
 func NewKernel(dev *nand.Device, cfg Config, spec KernelSpec) (*Kernel, error) {
 	if spec.Order == nil || spec.Backup == nil || spec.Alloc == nil {
 		return nil, fmt.Errorf("ftl: kernel %q needs order, backup and allocation policies", spec.Name)
@@ -63,15 +70,23 @@ func NewKernel(dev *nand.Device, cfg Config, spec KernelSpec) (*Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
+	place := spec.Place
+	if place == nil {
+		place = SinglePlacementPolicy()
+	}
 	k := &Kernel{
 		Base:         base,
 		name:         spec.Name,
-		place:        spec.Order,
+		ord:          spec.Order,
 		bk:           spec.Backup,
 		alloc:        spec.Alloc,
+		placement:    place,
 		retokenizeGC: spec.RetokenizeGC,
 	}
-	if err := k.place.init(k); err != nil {
+	if err := k.placement.init(k); err != nil {
+		return nil, err
+	}
+	if err := k.ord.init(k); err != nil {
 		return nil, err
 	}
 	if err := k.bk.init(k); err != nil {
@@ -92,6 +107,9 @@ func NewKernel(dev *nand.Device, cfg Config, spec KernelSpec) (*Kernel, error) {
 
 // Name identifies the scheme.
 func (k *Kernel) Name() string { return k.name }
+
+// Streams returns the placement policy's data-stream count per chip.
+func (k *Kernel) Streams() int { return k.placement.streams() }
 
 // Write services a host page write. util is the write-buffer utilization the
 // allocation policy consumes (ignored by the fixed allocator).
@@ -128,20 +146,22 @@ func (k *Kernel) Idle(now, until sim.Time) {
 		}
 	}
 	now = k.RunBackgroundGC(now, until, shouldRun, k.gcAlloc)
-	k.place.idleDrain(k, now, until)
+	k.ord.idleDrain(k, now, until)
 }
 
 // gcAlloc is the relocation path the shared GC engine calls for every valid
-// page it moves: the allocation policy picks the page type, then the order
-// policy places it.
+// page it moves: the allocation policy picks the page type, the placement
+// policy routes the stream (always cold, by contract), then the order policy
+// places it.
 func (k *Kernel) gcAlloc(chip int, lpn LPN, data, spare []byte, now sim.Time) (sim.Time, error) {
 	pref := k.alloc.chooseGC(k, chip)
+	stream := k.placement.classify(k, lpn, now, true)
 	if k.retokenizeGC {
 		// A fresh sequence number lets a flash-scan rebuild always tell the
 		// live copy from the not-yet-erased original.
 		data = k.Token(lpn)
 	}
-	return k.place.program(k, chip, pref, lpn, data, spare, now, true)
+	return k.ord.program(k, chip, stream, pref, lpn, data, spare, now, true)
 }
 
 // reserveGC is the plain foreground-reclaim loop the FPS order policies use:
@@ -184,9 +204,9 @@ func (k *Kernel) noteData(isLSB, fromGC bool) {
 // backupAfterLSB routes the backup strategy's per-LSB hook through the
 // attribution layer: media ops it issues are charged to CauseBackup, and any
 // completion-time extension beyond the data program is blamed on backup.
-func (k *Kernel) backupAfterLSB(chip int, data []byte, done sim.Time) (sim.Time, error) {
+func (k *Kernel) backupAfterLSB(chip, stream int, data []byte, done sim.Time) (sim.Time, error) {
 	prev := k.Dev.SetCauseChip(chip, obs.CauseBackup)
-	ext, err := k.bk.afterLSB(k, chip, data, done)
+	ext, err := k.bk.afterLSB(k, chip, stream, data, done)
 	k.Dev.SetCauseChip(chip, prev)
 	if ext > done {
 		k.ctrBlameBackup.Add(int64(ext - done))
@@ -196,9 +216,9 @@ func (k *Kernel) backupAfterLSB(chip int, data []byte, done sim.Time) (sim.Time,
 
 // backupOnFastComplete is the CauseBackup-attributed wrapper around the
 // fast-block-complete hook (the per-block parity write).
-func (k *Kernel) backupOnFastComplete(chip, fastBlk int, done sim.Time) (sim.Time, error) {
+func (k *Kernel) backupOnFastComplete(chip, stream, fastBlk int, done sim.Time) (sim.Time, error) {
 	prev := k.Dev.SetCauseChip(chip, obs.CauseBackup)
-	ext, err := k.bk.onFastComplete(k, chip, fastBlk, done)
+	ext, err := k.bk.onFastComplete(k, chip, stream, fastBlk, done)
 	k.Dev.SetCauseChip(chip, prev)
 	if ext > done {
 		k.ctrBlameBackup.Add(int64(ext - done))
@@ -225,7 +245,10 @@ func (k *Kernel) Chips() int { return k.Dev.Geometry().Chips() }
 //
 // White-box tests and the recovery tooling inspect policy internals through
 // these; each degrades to a neutral value when the mounted policy has no such
-// state.
+// state. Stream-indexed internals surface either aggregated (queue depths,
+// block censuses) or per-stream via the *On variants; the plain accessors
+// read stream 0 — exactly the pre-placement-axis state for single-stream
+// schemes.
 
 // Quota returns the adaptive allocator's current LSB budget q (0 when the
 // fixed allocator is mounted).
@@ -245,55 +268,76 @@ func (k *Kernel) InitialQuota() int64 {
 }
 
 // SlowQueueLen returns the chip's slow block queue depth under two-phase
-// ordering (0 otherwise).
+// ordering, summed over placement streams (0 otherwise).
 func (k *Kernel) SlowQueueLen(chip int) int {
-	if o, ok := k.place.(*twoPhase); ok {
-		return o.chips[chip].sbq.Len()
+	o, ok := k.ord.(*twoPhase)
+	if !ok {
+		return 0
 	}
-	return 0
+	total := 0
+	for s := range o.chips[chip].streams {
+		total += o.chips[chip].streams[s].sbq.Len()
+	}
+	return total
 }
 
-// ActiveSlowBlock returns the chip's active slow block (the head of its slow
-// block queue), or -1 when there is none.
-func (k *Kernel) ActiveSlowBlock(chip int) int {
-	if o, ok := k.place.(*twoPhase); ok && o.chips[chip].sbq.Len() > 0 {
-		return o.chips[chip].sbq.Front()
+// ActiveSlowBlock returns the stream-0 active slow block (the head of its
+// slow block queue), or -1 when there is none.
+func (k *Kernel) ActiveSlowBlock(chip int) int { return k.ActiveSlowBlockOn(chip, 0) }
+
+// ActiveSlowBlockOn is ActiveSlowBlock for one placement stream.
+func (k *Kernel) ActiveSlowBlockOn(chip, stream int) int {
+	if o, ok := k.ord.(*twoPhase); ok {
+		if st := &o.chips[chip].streams[stream]; st.sbq.Len() > 0 {
+			return st.sbq.Front()
+		}
 	}
 	return -1
 }
 
-// SlowQueueBlock returns the i-th block of the chip's slow block queue under
-// two-phase ordering (-1 otherwise). Index 0 is the active slow block.
+// SlowQueueBlock returns the i-th block of the stream-0 slow block queue
+// under two-phase ordering (-1 otherwise). Index 0 is the active slow block.
 func (k *Kernel) SlowQueueBlock(chip, i int) int {
-	if o, ok := k.place.(*twoPhase); ok {
-		return o.chips[chip].sbq.At(i)
+	if o, ok := k.ord.(*twoPhase); ok {
+		return o.chips[chip].streams[0].sbq.At(i)
 	}
 	return -1
 }
 
-// ActiveSlowProgress returns how many MSB pages of the active slow block have
-// been programmed.
-func (k *Kernel) ActiveSlowProgress(chip int) int {
-	if o, ok := k.place.(*twoPhase); ok {
-		return o.chips[chip].asbPos
+// ActiveSlowProgress returns how many MSB pages of the stream-0 active slow
+// block have been programmed.
+func (k *Kernel) ActiveSlowProgress(chip int) int { return k.ActiveSlowProgressOn(chip, 0) }
+
+// ActiveSlowProgressOn is ActiveSlowProgress for one placement stream.
+func (k *Kernel) ActiveSlowProgressOn(chip, stream int) int {
+	if o, ok := k.ord.(*twoPhase); ok {
+		return o.chips[chip].streams[stream].asbPos
 	}
 	return 0
 }
 
-// ActiveFastBlock returns the chip's active fast block under two-phase
+// ActiveFastBlock returns the stream-0 active fast block under two-phase
 // ordering, or -1 when there is none.
-func (k *Kernel) ActiveFastBlock(chip int) int {
-	if o, ok := k.place.(*twoPhase); ok {
-		return o.chips[chip].afb
+func (k *Kernel) ActiveFastBlock(chip int) int { return k.ActiveFastBlockOn(chip, 0) }
+
+// ActiveFastBlockOn is ActiveFastBlock for one placement stream.
+func (k *Kernel) ActiveFastBlockOn(chip, stream int) int {
+	if o, ok := k.ord.(*twoPhase); ok {
+		return o.chips[chip].streams[stream].afb
 	}
 	return -1
 }
 
-// ActiveFastProgress returns how many LSB pages of the active fast block have
-// been programmed.
-func (k *Kernel) ActiveFastProgress(chip int) int {
-	if o, ok := k.place.(*twoPhase); ok && o.chips[chip].afb != -1 {
-		return o.chips[chip].afbPos
+// ActiveFastProgress returns how many LSB pages of the stream-0 active fast
+// block have been programmed.
+func (k *Kernel) ActiveFastProgress(chip int) int { return k.ActiveFastProgressOn(chip, 0) }
+
+// ActiveFastProgressOn is ActiveFastProgress for one placement stream.
+func (k *Kernel) ActiveFastProgressOn(chip, stream int) int {
+	if o, ok := k.ord.(*twoPhase); ok {
+		if st := &o.chips[chip].streams[stream]; st.afb != -1 {
+			return st.afbPos
+		}
 	}
 	return 0
 }
@@ -354,7 +398,7 @@ func (k *Kernel) BackupRing(chip int) (cur, prev int) {
 // PoolHasMSBNext reports whether the FPS-pool order has an active slot
 // waiting on an MSB page (false for other orders).
 func (k *Kernel) PoolHasMSBNext(chip int) bool {
-	if o, ok := k.place.(*fpsPool); ok {
+	if o, ok := k.ord.(*fpsPool); ok {
 		return o.chipHasMSBNext(chip)
 	}
 	return false
@@ -363,7 +407,7 @@ func (k *Kernel) PoolHasMSBNext(chip int) bool {
 // LSBReadySlots returns how many of the FPS-pool order's active slots will
 // next program an LSB page (0 for other orders).
 func (k *Kernel) LSBReadySlots(chip int) int {
-	if o, ok := k.place.(*fpsPool); ok {
+	if o, ok := k.ord.(*fpsPool); ok {
 		return o.lsbReadyCount(chip)
 	}
 	return 0
@@ -375,19 +419,33 @@ func (k *Kernel) LSBReadySlots(chip int) int {
 func (k *Kernel) BackupCoversMSB() bool { return k.bk.coversMSB() }
 
 // LastMSB returns the chip's most recent MSB program under two-phase
-// ordering: its LPN, the physical page it superseded (InvalidPPN if none)
-// and whether it was a GC relocation. ok is false for other orders or before
-// the first MSB program.
-func (k *Kernel) LastMSB(chip int) (lpn LPN, prev nand.PPN, fromGC, ok bool) {
-	o, isTP := k.place.(*twoPhase)
+// ordering: its LPN, the physical page it superseded (InvalidPPN if none),
+// whether it was a GC relocation, and which placement stream issued it. ok
+// is false for other orders or before the first MSB program. The record is
+// per chip, not per stream: the device keeps at most one destructive MSB
+// window per chip (a newer program supersedes the previous window), so only
+// the newest MSB program is ever at risk.
+func (k *Kernel) LastMSB(chip int) (lpn LPN, prev nand.PPN, fromGC bool, stream int, ok bool) {
+	o, isTP := k.ord.(*twoPhase)
 	if !isTP {
-		return 0, nand.InvalidPPN, false, false
+		return 0, nand.InvalidPPN, false, 0, false
 	}
-	st := &o.chips[chip]
-	if st.lastMSBPrev == nand.InvalidPPN && st.lastMSBLPN == 0 && st.asbPos == 0 && st.sbq.Len() == 0 {
-		return 0, nand.InvalidPPN, false, false
+	ch := &o.chips[chip]
+	if ch.lastMSBPrev == nand.InvalidPPN && ch.lastMSBLPN == 0 {
+		// Heuristic for "no MSB program yet": every stream still sits at the
+		// start of an empty slow phase.
+		noMSB := true
+		for s := range ch.streams {
+			if ch.streams[s].asbPos != 0 || ch.streams[s].sbq.Len() != 0 {
+				noMSB = false
+				break
+			}
+		}
+		if noMSB {
+			return 0, nand.InvalidPPN, false, 0, false
+		}
 	}
-	return st.lastMSBLPN, st.lastMSBPrev, st.lastMSBGC, true
+	return ch.lastMSBLPN, ch.lastMSBPrev, ch.lastMSBGC, ch.lastMSBStream, true
 }
 
 // ParityRef locates the parity backup page protecting the given fast/slow
@@ -404,17 +462,20 @@ func (k *Kernel) ParityRef(chip, blk int) (backupBlk, page int, ok bool) {
 }
 
 // AccountBlocks is the chip's block census: free and full pool sizes, active
-// data blocks held by the order policy, backup blocks held by the backup
-// strategy, and the in-flight background-GC victim (0 or 1). The crash
-// campaign asserts the five sum to BlocksPerChip (minus retired blocks) at
-// every crash point — leaked blocks are recovery-path bugs.
+// data blocks held by the order policy (summed over placement streams),
+// backup blocks held by the backup strategy, and the in-flight
+// background-GC victim (0 or 1). The crash campaign asserts the five sum to
+// BlocksPerChip (minus retired blocks) at every crash point — leaked blocks
+// are recovery-path bugs.
 func (k *Kernel) AccountBlocks(chip int) (free, full, active, backup, bg int) {
 	free = k.Pools[chip].FreeCount()
 	full = k.Pools[chip].FullCount()
-	switch o := k.place.(type) {
+	switch o := k.ord.(type) {
 	case *fpsSingle:
-		if o.active[chip].blk != -1 {
-			active++
+		for _, cur := range o.active[chip] {
+			if cur.blk != -1 {
+				active++
+			}
 		}
 	case *fpsPool:
 		for _, cur := range o.active[chip] {
@@ -423,11 +484,13 @@ func (k *Kernel) AccountBlocks(chip int) (free, full, active, backup, bg int) {
 			}
 		}
 	case *twoPhase:
-		st := &o.chips[chip]
-		if st.afb != -1 {
-			active++
+		for s := range o.chips[chip].streams {
+			st := &o.chips[chip].streams[s]
+			if st.afb != -1 {
+				active++
+			}
+			active += st.sbq.Len()
 		}
-		active += st.sbq.Len()
 	}
 	switch b := k.bk.(type) {
 	case *pairParity:

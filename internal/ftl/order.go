@@ -9,16 +9,19 @@ import (
 	"flexftl/internal/sim"
 )
 
-// OrderPolicy owns page placement: which block and which page each program
-// lands on, the block life cycle around it (free pool -> active -> full),
-// foreground reclaim, and any order-specific idle work. The interface is
-// sealed — implementations come from FPSOrderPolicy / FPSPoolOrderPolicy /
-// TwoPhaseOrderPolicy.
+// OrderPolicy owns page ordering: which page of a stream's active block each
+// program lands on, the block life cycle around it (free pool -> active ->
+// full), foreground reclaim, and any order-specific idle work. Which stream
+// a program rides — and which free block opens a stream's next active block —
+// belongs to the PlacementPolicy; single-stream order policies may reject a
+// multi-stream placement at init. The interface is sealed — implementations
+// come from FPSOrderPolicy / FPSPoolOrderPolicy / TwoPhaseOrderPolicy.
 type OrderPolicy interface {
 	init(k *Kernel) error
-	// program writes one data page on the chip under the policy's order,
-	// honoring pref where the order leaves a choice.
-	program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error)
+	// program writes one data page on the chip's given placement stream
+	// under the policy's order, honoring pref where the order leaves a
+	// choice.
+	program(k *Kernel, chip, stream int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error)
 	// foregroundGC reclaims blocks inline until the chip can absorb the
 	// next program without stalling.
 	foregroundGC(k *Kernel, chip int, now sim.Time) (sim.Time, error)
@@ -35,8 +38,16 @@ type OrderPolicy interface {
 	shardGCTrigger(k *Kernel) int
 	// shardWriteImpact bounds, from the chip's current cursor state, the free
 	// blocks w host writes can pop and the data blocks they can complete
-	// (fills drive the per-block backup strategies' own pops).
+	// (fills drive the per-block backup strategies' own pops), under the
+	// worst-case routing of the writes across placement streams.
 	shardWriteImpact(k *Kernel, chip, w int) (pops, fills int)
+	// shardWriteImpactMin is shardWriteImpact's best-case-routing
+	// counterpart: the fewest pops/fills *some* stream routing of the w
+	// writes could cause. The planner uses the gap between the two to
+	// attribute a failed headroom check to placement uncertainty (Rp)
+	// rather than true GC proximity (R5). Single-stream policies have no
+	// routing freedom, so both bounds coincide.
+	shardWriteImpactMin(k *Kernel, chip, w int) (pops, fills int)
 }
 
 // cursor tracks one active block's program position.
@@ -45,30 +56,68 @@ type cursor struct {
 	pos int
 }
 
+// worstCaseUnits bounds how many unit events (free-block pops or block
+// fills) w same-type writes can force across placement streams, where
+// stream i's first event costs firstCosts[i] writes and every further event
+// on any stream costs ppb writes (a fresh block's full page count). The
+// adversary routes writes to trigger events as cheaply as possible: for m
+// streams engaged it pays the m smallest first-event costs, then buys extra
+// events at ppb apiece; the maximum over m is the bound. With one stream
+// this is exactly the pre-placement-axis arithmetic: ceil((w-slack)/ppb)
+// pops and (w+pos)/ppb fills.
+func worstCaseUnits(firstCosts []int, w, ppb int) int {
+	// Insertion sort: stream counts are tiny (1–2).
+	for i := 1; i < len(firstCosts); i++ {
+		for j := i; j > 0 && firstCosts[j] < firstCosts[j-1]; j-- {
+			firstCosts[j], firstCosts[j-1] = firstCosts[j-1], firstCosts[j]
+		}
+	}
+	best, spent := 0, 0
+	for m := 1; m <= len(firstCosts); m++ {
+		spent += firstCosts[m-1]
+		if spent > w {
+			break
+		}
+		if got := m + (w-spent)/ppb; got > best {
+			best = got
+		}
+	}
+	return best
+}
+
 // FPSOrderPolicy returns the strict fixed-program-sequence order: one active
-// block per chip, pages written in the vendor FPS order (pageFTL and
+// block per chip stream, pages written in the vendor FPS order (pageFTL and
 // parityFTL). Pref is ignored — FPS leaves no choice.
 func FPSOrderPolicy() OrderPolicy { return &fpsSingle{} }
 
 type fpsSingle struct {
 	order  []core.Page // the canonical FPS order, shared by every block
-	active []cursor    // per chip
+	active [][]cursor  // [chip][stream]
+
+	// impactScratch backs shardWriteImpact's first-cost accumulation. Only
+	// the serial epoch planner calls it, so a single scratch is race-free
+	// even though the policy object is shared with the shard clones.
+	impactScratch []int
 }
 
 func (o *fpsSingle) init(k *Kernel) error {
 	g := k.Dev.Geometry()
 	o.order = core.FPSOrder(g.WordLinesPerBlock)
-	o.active = make([]cursor, g.Chips())
+	o.active = make([][]cursor, g.Chips())
 	for c := range o.active {
-		o.active[c] = cursor{blk: -1}
+		cs := make([]cursor, k.placement.streams())
+		for s := range cs {
+			cs[s] = cursor{blk: -1}
+		}
+		o.active[c] = cs
 	}
 	return nil
 }
 
-func (o *fpsSingle) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
-	cur := &o.active[chip]
+func (o *fpsSingle) program(k *Kernel, chip, stream int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	cur := &o.active[chip][stream]
 	if cur.blk == -1 {
-		blk, ok := k.Pools[chip].PopFree()
+		blk, ok := k.placement.pickFree(k, chip, stream)
 		if !ok {
 			return now, fmt.Errorf("%s: chip %d out of free blocks", k.name, chip)
 		}
@@ -83,7 +132,7 @@ func (o *fpsSingle) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare
 	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
 	if page.Type == core.LSB {
 		k.noteData(true, fromGC)
-		done, err = k.backupAfterLSB(chip, data, done)
+		done, err = k.backupAfterLSB(chip, stream, data, done)
 		if err != nil {
 			return done, err
 		}
@@ -105,50 +154,94 @@ func (o *fpsSingle) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare
 }
 
 func (o *fpsSingle) foregroundGC(k *Kernel, chip int, now sim.Time) (sim.Time, error) {
-	return k.reserveGC(chip, now, k.Cfg.MinFreeBlocksPerChip+k.bk.extraReserve())
+	// Each placement stream beyond the first holds one more active block
+	// open, so the reserve grows with it — streams share one free pool.
+	return k.reserveGC(chip, now, k.Cfg.MinFreeBlocksPerChip+k.bk.extraReserve()+k.placement.streams()-1)
 }
 
 func (o *fpsSingle) idleDrain(*Kernel, sim.Time, sim.Time) {}
 
 func (o *fpsSingle) fastBudget(k *Kernel, chip int) int {
 	budget := 0
-	if cur := o.active[chip]; cur.blk != -1 && o.order[cur.pos].Type == core.LSB {
-		budget++
+	for _, cur := range o.active[chip] {
+		if cur.blk != -1 && o.order[cur.pos].Type == core.LSB {
+			budget++
+		}
 	}
-	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - 1; spare > 0 {
+	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - k.placement.streams(); spare > 0 {
 		budget += spare
 	}
 	return budget
 }
 
 func (o *fpsSingle) slowAvailable(k *Kernel, chip int) bool {
-	cur := o.active[chip]
-	return cur.blk != -1 && o.order[cur.pos].Type == core.MSB
+	for _, cur := range o.active[chip] {
+		if cur.blk != -1 && o.order[cur.pos].Type == core.MSB {
+			return true
+		}
+	}
+	return false
 }
 
 func (o *fpsSingle) shardGCTrigger(k *Kernel) int {
-	return k.Cfg.MinFreeBlocksPerChip + k.bk.extraReserve()
+	return k.Cfg.MinFreeBlocksPerChip + k.bk.extraReserve() + k.placement.streams() - 1
 }
 
 func (o *fpsSingle) shardWriteImpact(k *Kernel, chip, w int) (pops, fills int) {
 	ppb := len(o.order)
-	cur := o.active[chip]
-	slack, pos := 0, 0
-	if cur.blk != -1 {
-		slack, pos = ppb-cur.pos, cur.pos
+	costs := o.impactScratch[:0]
+	// First-pop costs: writing a stream's remaining slack fills its block
+	// and the next write pops (slack 0 for a streams with no active block).
+	for _, cur := range o.active[chip] {
+		slack := 0
+		if cur.blk != -1 {
+			slack = ppb - cur.pos
+		}
+		costs = append(costs, slack+1)
+	}
+	pops = worstCaseUnits(costs, w, ppb)
+	// First-fill costs: a stream's open block completes after its remaining
+	// pages (a fresh stream needs a whole block's worth).
+	costs = costs[:0]
+	for _, cur := range o.active[chip] {
+		fc := ppb
+		if cur.blk != -1 {
+			fc = ppb - cur.pos
+		}
+		costs = append(costs, fc)
+	}
+	fills = worstCaseUnits(costs, w, ppb)
+	o.impactScratch = costs
+	return pops, fills
+}
+
+// shardWriteImpactMin: best-case routing spreads writes over the pooled
+// slack of every stream before any pop, and completes no block at all
+// (fills 0) by round-robining below each block's capacity.
+func (o *fpsSingle) shardWriteImpactMin(k *Kernel, chip, w int) (pops, fills int) {
+	if len(o.active[chip]) == 1 {
+		return o.shardWriteImpact(k, chip, w)
+	}
+	ppb := len(o.order)
+	slack := 0
+	for _, cur := range o.active[chip] {
+		if cur.blk != -1 {
+			slack += ppb - cur.pos
+		}
 	}
 	if w > slack {
 		pops = (w - slack + ppb - 1) / ppb
 	}
-	fills = (w + pos) / ppb
-	return pops, fills
+	return pops, 0
 }
 
 // FPSPoolOrderPolicy returns the return-to-fast order modeled on Grupp et
 // al.'s Harey Tortoise: each chip keeps a pool of slots active blocks under
 // FPS so successive writes can land on fast LSB pages, and the idle drain
 // aggressively consumes paired MSB pages so the pool "returns to fast"
-// (rtfFTL uses 8 slots).
+// (rtfFTL uses 8 slots). The pool is itself a placement mechanism (slots are
+// picked by fill level, not by stream), so it requires the single-stream
+// placement.
 func FPSPoolOrderPolicy(slots int) OrderPolicy { return &fpsPool{slots: slots} }
 
 type fpsPool struct {
@@ -166,6 +259,9 @@ func (o *fpsPool) init(k *Kernel) error {
 	g := k.Dev.Geometry()
 	if o.slots < 1 {
 		return fmt.Errorf("%s: active pool needs at least one slot", k.name)
+	}
+	if k.placement.streams() != 1 {
+		return fmt.Errorf("%s: the FPS-pool order routes by slot fill, not stream; it needs the single-stream placement", k.name)
 	}
 	if g.BlocksPerChip < o.slots+k.Cfg.MinFreeBlocksPerChip+2 {
 		return fmt.Errorf("%s: %d blocks/chip too few for %d active blocks",
@@ -204,7 +300,7 @@ func (o *fpsPool) pickSlot(chip int, wantLSB bool) int {
 	return best
 }
 
-func (o *fpsPool) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+func (o *fpsPool) program(k *Kernel, chip, stream int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
 	var err error
 	now, err = o.refillSlots(k, chip, now)
 	if err != nil {
@@ -229,7 +325,7 @@ func (o *fpsPool) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare [
 	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
 	if page.Type == core.LSB {
 		k.noteData(true, fromGC)
-		done, err = k.backupAfterLSB(chip, data, done)
+		done, err = k.backupAfterLSB(chip, stream, data, done)
 		if err != nil {
 			return done, err
 		}
@@ -402,7 +498,7 @@ func (o *fpsPool) drainMSBSlots(k *Kernel, chip int, now, until sim.Time) (sim.T
 		if err != nil {
 			return now, err
 		}
-		done, err := o.program(k, chip, PrefSlow, lpn, k.Buf.Data, k.Buf.Spare, tRead, true)
+		done, err := o.program(k, chip, 0, PrefSlow, lpn, k.Buf.Data, k.Buf.Spare, tRead, true)
 		if err != nil {
 			return now, err
 		}
@@ -414,7 +510,7 @@ func (o *fpsPool) drainMSBSlots(k *Kernel, chip int, now, until sim.Time) (sim.T
 
 func (o *fpsPool) fastBudget(k *Kernel, chip int) int {
 	budget := o.lsbReadyCount(chip)
-	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - 1; spare > 0 {
+	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - k.placement.streams(); spare > 0 {
 		budget += spare
 	}
 	return budget
@@ -463,34 +559,56 @@ func (o *fpsPool) shardWriteImpact(k *Kernel, chip, w int) (pops, fills int) {
 	return pops, fills
 }
 
+// shardWriteImpactMin: the pool order is single-stream (enforced at init),
+// so placement has no routing freedom and both bounds coincide.
+func (o *fpsPool) shardWriteImpactMin(k *Kernel, chip, w int) (pops, fills int) {
+	return o.shardWriteImpact(k, chip, w)
+}
+
 // TwoPhaseOrderPolicy returns the paper's 2PO block life cycle (Figure 6):
 // each block is first filled with LSB pages only (a "fast block"), then with
 // MSB pages only (a "slow block") — the RPSfull order of Figure 3(a). Free
-// pool -> one active fast block per chip -> slow block queue (FIFO) -> one
-// active slow block per chip -> full pool. Requires an RPS device.
+// pool -> one active fast block per chip stream -> slow block queue (FIFO)
+// -> one active slow block per chip stream -> full pool. Requires an RPS
+// device.
 func TwoPhaseOrderPolicy() OrderPolicy { return &twoPhase{} }
 
-// twoPhaseChip is the per-chip block bookkeeping of the block pool manager.
-type twoPhaseChip struct {
+// twoPhaseStream is one placement stream's block bookkeeping on a chip: its
+// own fast block and slow-block queue, so hot and cold data never share a
+// block.
+type twoPhaseStream struct {
 	afb    int      // active fast block, -1 when none
 	afbPos int      // next LSB word line of the AFB
 	sbq    IntQueue // slow block queue; head is the active slow block
 	asbPos int      // next MSB word line of the head slow block
+}
+
+// twoPhaseChip is the per-chip block bookkeeping of the block pool manager.
+type twoPhaseChip struct {
+	streams []twoPhaseStream
 
 	// Crash-recovery bookkeeping for the chip's open destructive window: the
 	// LPN of the most recent MSB program, the physical page it superseded
-	// (InvalidPPN if the LPN had no prior copy), and whether the program was
-	// a GC relocation. A power cut during that program loses the new copy;
-	// recovery rolls the mapping back to lastMSBPrev, which the device's
-	// erase barrier keeps intact while the window is open (GC relocations
-	// stay on-chip, and an on-chip erase would have closed the window).
-	lastMSBLPN  LPN
-	lastMSBPrev nand.PPN
-	lastMSBGC   bool
+	// (InvalidPPN if the LPN had no prior copy), whether the program was a
+	// GC relocation, and which stream issued it. A power cut during that
+	// program loses the new copy; recovery rolls the mapping back to
+	// lastMSBPrev, which the device's erase barrier keeps intact while the
+	// window is open (GC relocations stay on-chip, and an on-chip erase
+	// would have closed the window). The record is per chip, not per
+	// stream: the device serializes cell operations, so at most one window
+	// exists per chip and a newer MSB program supersedes the previous one.
+	lastMSBLPN    LPN
+	lastMSBPrev   nand.PPN
+	lastMSBGC     bool
+	lastMSBStream int
 }
 
 type twoPhase struct {
 	chips []twoPhaseChip
+
+	// impactScratch backs shardWriteImpact's first-cost accumulation (serial
+	// planner only, like the other policies' scratch).
+	impactScratch []int
 }
 
 func (o *twoPhase) init(k *Kernel) error {
@@ -499,43 +617,62 @@ func (o *twoPhase) init(k *Kernel) error {
 	}
 	o.chips = make([]twoPhaseChip, k.Dev.Geometry().Chips())
 	for c := range o.chips {
-		o.chips[c] = twoPhaseChip{afb: -1, lastMSBPrev: nand.InvalidPPN}
+		sts := make([]twoPhaseStream, k.placement.streams())
+		for s := range sts {
+			sts[s] = twoPhaseStream{afb: -1}
+		}
+		o.chips[c] = twoPhaseChip{streams: sts, lastMSBPrev: nand.InvalidPPN}
 	}
 	return nil
 }
 
-// program writes one page of the requested type on the chip, falling back to
-// the other type when the requested one is infeasible, and maintaining the
-// 2PO block life cycle of Figure 6.
-func (o *twoPhase) program(k *Kernel, chip int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
-	st := &o.chips[chip]
+// program writes one page of the requested type on the chip's stream,
+// falling back to the other type when the requested one is infeasible, and
+// maintaining the 2PO block life cycle of Figure 6.
+func (o *twoPhase) program(k *Kernel, chip, stream int, pref Pref, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	st := &o.chips[chip].streams[stream]
 	useLSB := pref != PrefSlow
 	if useLSB {
 		// Opening a new fast block must leave at least one free block for
-		// the parity-backup writer; redirect to a slow page otherwise.
-		if st.afb == -1 && k.Pools[chip].FreeCount() <= 1 {
+		// the parity-backup writer — and one per sibling stream, since the
+		// streams drain a single shared pool; redirect to a slow page
+		// otherwise.
+		if st.afb == -1 && k.Pools[chip].FreeCount() <= k.placement.streams() {
 			useLSB = false
 		}
 	}
 	if !useLSB && st.sbq.Len() == 0 {
 		useLSB = true // no slow block exists (footnote 1)
 	}
-	if useLSB {
-		return o.programLSB(k, chip, lpn, data, spare, now, fromGC)
+	if useLSB && st.afb == -1 && k.Pools[chip].FreeCount() == 0 {
+		// Emergency valve: the stream needs a new fast block but the shared
+		// pool is dry. An MSB program consumes no free block, so drain a
+		// sibling stream's slow block instead of failing — cross-stream
+		// pollution beats block exhaustion. Single-stream kernels cannot
+		// take this path with a non-empty queue (the MSB fallback above
+		// already caught it), so pre-placement behavior is untouched.
+		for s := range o.chips[chip].streams {
+			if o.chips[chip].streams[s].sbq.Len() > 0 {
+				return o.programMSB(k, chip, s, lpn, data, spare, now, fromGC)
+			}
+		}
 	}
-	return o.programMSB(k, chip, lpn, data, spare, now, fromGC)
+	if useLSB {
+		return o.programLSB(k, chip, stream, lpn, data, spare, now, fromGC)
+	}
+	return o.programMSB(k, chip, stream, lpn, data, spare, now, fromGC)
 }
 
-// programLSB writes the next LSB page of the active fast block.
-func (o *twoPhase) programLSB(k *Kernel, chip int, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
-	st := &o.chips[chip]
+// programLSB writes the next LSB page of the stream's active fast block.
+func (o *twoPhase) programLSB(k *Kernel, chip, stream int, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	st := &o.chips[chip].streams[stream]
 	if st.afb == -1 {
-		blk, ok := k.Pools[chip].PopFree()
+		blk, ok := k.placement.pickFree(k, chip, stream)
 		if !ok {
 			return now, fmt.Errorf("%s: chip %d out of free blocks for a fast block", k.name, chip)
 		}
 		st.afb, st.afbPos = blk, 0
-		k.bk.onFastOpen(k, chip)
+		k.bk.onFastOpen(k, chip, stream)
 		k.Obs.Instant(obs.KindBlockFast, int32(chip), now, int64(blk), int64(k.Pools[chip].FreeCount()))
 	}
 	addr := nand.PageAddr{
@@ -547,7 +684,7 @@ func (o *twoPhase) programLSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 		return now, err
 	}
 	k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
-	done, err = k.backupAfterLSB(chip, data, done)
+	done, err = k.backupAfterLSB(chip, stream, data, done)
 	if err != nil {
 		return done, err
 	}
@@ -562,7 +699,7 @@ func (o *twoPhase) programLSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 		st.sbq.Push(full)
 		st.afb = -1
 		k.Obs.Instant(obs.KindBlockQueued, int32(chip), now, int64(full), int64(st.sbq.Len()))
-		done, err = k.backupOnFastComplete(chip, full, done)
+		done, err = k.backupOnFastComplete(chip, stream, full, done)
 		if err != nil {
 			return done, err
 		}
@@ -570,10 +707,11 @@ func (o *twoPhase) programLSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 	return done, nil
 }
 
-// programMSB writes the next MSB page of the active slow block (the head of
-// the slow block queue).
-func (o *twoPhase) programMSB(k *Kernel, chip int, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
-	st := &o.chips[chip]
+// programMSB writes the next MSB page of the stream's active slow block (the
+// head of its slow block queue).
+func (o *twoPhase) programMSB(k *Kernel, chip, stream int, lpn LPN, data, spare []byte, now sim.Time, fromGC bool) (sim.Time, error) {
+	ch := &o.chips[chip]
+	st := &ch.streams[stream]
 	if st.sbq.Len() == 0 {
 		return now, fmt.Errorf("%s: chip %d has no slow block for an MSB write", k.name, chip)
 	}
@@ -590,9 +728,10 @@ func (o *twoPhase) programMSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 	// the block's parity page, and the recovery procedure (recover2po.go)
 	// reconstructs it after a power cut. This is the point of the design —
 	// no per-MSB backup writes.
-	st.lastMSBLPN = lpn
-	st.lastMSBPrev = k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
-	st.lastMSBGC = fromGC
+	ch.lastMSBLPN = lpn
+	ch.lastMSBPrev = k.Map.Update(lpn, k.Dev.Geometry().PPNOf(addr))
+	ch.lastMSBGC = fromGC
+	ch.lastMSBStream = stream
 	k.noteData(false, fromGC)
 	k.alloc.onProgram(k, false, fromGC)
 	st.asbPos++
@@ -612,13 +751,42 @@ func (o *twoPhase) programMSB(k *Kernel, chip int, lpn LPN, data, spare []byte, 
 // alternative: MSB writes consume no free blocks, so as long as a slow block
 // exists the policy redirects traffic there instead of stalling. Foreground
 // collection therefore runs only when LSB capacity is genuinely required
-// (no slow block) with a thin pool, or when the pool is at the emergency
-// level needed by the parity-backup writer.
+// (some stream has no slow block) with a thin pool, or when the pool is at
+// the emergency level needed by the parity-backup writer.
 func (o *twoPhase) foregroundGC(k *Kernel, chip int, now sim.Time) (sim.Time, error) {
-	needsLSB := o.chips[chip].sbq.Len() == 0
-	reserve := k.Cfg.MinFreeBlocksPerChip
-	for (needsLSB && k.Pools[chip].FreeCount() < reserve+1) ||
-		k.Pools[chip].FreeCount() < 2 {
+	// The chip genuinely requires LSB capacity only when EVERY stream is out
+	// of slow blocks — a single stream's empty queue is a stream-local state
+	// the redirect guard and the emergency valve absorb. Triggering on "any
+	// stream empty" would keep the collector running continuously under
+	// skewed traffic (the cold-heavy regime leaves the hot queue empty
+	// almost permanently) and collapse into a GC spiral. For one stream the
+	// two readings coincide.
+	//
+	// needsLSB is re-evaluated every iteration, not latched at entry: a
+	// collection's own relocations move slow-block-queue state (an MSB
+	// relocation completing the active slow block pops the queue), and a
+	// latched value would make the loop's outcome depend on how many calls
+	// the same state is spread over. Re-evaluating makes foregroundGC a
+	// pure function of chip state — in particular idempotent, which the
+	// epoch planner's GC pre-run relies on: when a pre-run's headroom
+	// recheck fails and the write falls back to serial execution, the
+	// write's in-line foregroundGC call must be a provable no-op, not a
+	// second collection the serial schedule would have run one write later.
+	needsLSB := func() bool {
+		for s := range o.chips[chip].streams {
+			if o.chips[chip].streams[s].sbq.Len() > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// The thin-pool and emergency levels scale with the placement streams:
+	// every stream holds its own active fast block against the one shared
+	// pool, and GC's cold-stream relocations must never find it empty.
+	streams := k.placement.streams()
+	reserve := k.Cfg.MinFreeBlocksPerChip + streams - 1
+	for (needsLSB() && k.Pools[chip].FreeCount() < reserve+1) ||
+		k.Pools[chip].FreeCount() < 1+streams {
 		victim, ok := k.Pools[chip].PickVictim()
 		if !ok {
 			break
@@ -636,48 +804,87 @@ func (o *twoPhase) foregroundGC(k *Kernel, chip int, now sim.Time) (sim.Time, er
 func (o *twoPhase) idleDrain(*Kernel, sim.Time, sim.Time) {}
 
 // fastBudget returns how many LSB pages the chip can still serve without
-// eating into the GC/backup block reserve.
+// eating into the GC/backup block reserve, summed over placement streams.
 func (o *twoPhase) fastBudget(k *Kernel, chip int) int {
-	st := &o.chips[chip]
 	w := k.Dev.Geometry().WordLinesPerBlock
 	budget := 0
-	if st.afb != -1 {
-		budget += w - st.afbPos
+	for s := range o.chips[chip].streams {
+		if st := &o.chips[chip].streams[s]; st.afb != -1 {
+			budget += w - st.afbPos
+		}
 	}
-	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - 1; spare > 0 {
+	if spare := k.Pools[chip].FreeCount() - k.Cfg.MinFreeBlocksPerChip - k.placement.streams(); spare > 0 {
 		budget += spare * w
 	}
 	return budget
 }
 
 func (o *twoPhase) slowAvailable(k *Kernel, chip int) bool {
-	return o.chips[chip].sbq.Len() > 0
+	for s := range o.chips[chip].streams {
+		if o.chips[chip].streams[s].sbq.Len() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
-// shardGCTrigger: the two-phase foreground collector fires when the chip has
-// no slow block and fewer than reserve+1 free blocks, or fewer than 2 free
-// blocks outright; free >= max(reserve+1, 2) rules out both conditions
-// (Config.Validate guarantees MinFreeBlocksPerChip >= 1).
+// shardGCTrigger: the two-phase foreground collector fires when some stream
+// has no slow block and the chip has fewer than reserve+1 free blocks, or
+// fewer than 2 free blocks outright; free >= max(reserve+1, 2) rules out
+// both conditions (Config.Validate guarantees MinFreeBlocksPerChip >= 1).
 func (o *twoPhase) shardGCTrigger(k *Kernel) int {
-	t := k.Cfg.MinFreeBlocksPerChip + 1
-	if t < 2 {
-		t = 2
+	streams := k.placement.streams()
+	t := k.Cfg.MinFreeBlocksPerChip + streams
+	if t < 1+streams {
+		t = 1 + streams
 	}
 	return t
 }
 
 // shardWriteImpact for 2PO: MSB programs never pop free blocks, so the worst
-// case is all w writes landing on LSB pages of the active fast block chain.
+// case is all w writes landing on LSB pages, routed adversarially across the
+// streams' active fast block chains.
 func (o *twoPhase) shardWriteImpact(k *Kernel, chip, w int) (pops, fills int) {
 	wl := k.Dev.Geometry().WordLinesPerBlock
-	st := &o.chips[chip]
-	slack, pos := 0, 0
-	if st.afb != -1 {
-		slack, pos = wl-st.afbPos, st.afbPos
+	sts := o.chips[chip].streams
+	costs := o.impactScratch[:0]
+	for s := range sts {
+		slack := 0
+		if sts[s].afb != -1 {
+			slack = wl - sts[s].afbPos
+		}
+		costs = append(costs, slack+1)
+	}
+	pops = worstCaseUnits(costs, w, wl)
+	costs = costs[:0]
+	for s := range sts {
+		fc := wl
+		if sts[s].afb != -1 {
+			fc = wl - sts[s].afbPos
+		}
+		costs = append(costs, fc)
+	}
+	fills = worstCaseUnits(costs, w, wl)
+	o.impactScratch = costs
+	return pops, fills
+}
+
+// shardWriteImpactMin: best-case routing fills the pooled LSB slack of every
+// stream before popping, and completes no fast block (fills 0).
+func (o *twoPhase) shardWriteImpactMin(k *Kernel, chip, w int) (pops, fills int) {
+	sts := o.chips[chip].streams
+	if len(sts) == 1 {
+		return o.shardWriteImpact(k, chip, w)
+	}
+	wl := k.Dev.Geometry().WordLinesPerBlock
+	slack := 0
+	for s := range sts {
+		if sts[s].afb != -1 {
+			slack += wl - sts[s].afbPos
+		}
 	}
 	if w > slack {
 		pops = (w - slack + wl - 1) / wl
 	}
-	fills = (w + pos) / wl
-	return pops, fills
+	return pops, 0
 }

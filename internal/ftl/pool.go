@@ -163,6 +163,25 @@ func (p *FreePool) PopFree() (int, bool) {
 	return p.free.PopFront(), true
 }
 
+// PopFreeWorn takes the free block extremizing wear: the most-erased block
+// when mostWorn is true (cold-data destinations), the least-erased otherwise
+// (hot-data destinations). Ties break toward the FIFO head so the choice is
+// deterministic and degrades to PopFree on uniformly worn pools.
+func (p *FreePool) PopFreeWorn(eraseCount func(blk int) int, mostWorn bool) (int, bool) {
+	n := p.free.Len()
+	if n == 0 {
+		return -1, false
+	}
+	best, bestWear := 0, eraseCount(p.free.Front())
+	for i := 1; i < n; i++ {
+		w := eraseCount(p.free.At(i))
+		if (mostWorn && w > bestWear) || (!mostWorn && w < bestWear) {
+			best, bestWear = i, w
+		}
+	}
+	return p.free.RemoveAt(best), true
+}
+
 // PushFree returns an erased block to the free list.
 func (p *FreePool) PushFree(b int) { p.free.Push(b) }
 

@@ -47,6 +47,21 @@ func (q *IntQueue) PopFront() int {
 	return v
 }
 
+// RemoveAt removes and returns the i-th value from the front, shifting the
+// values behind it forward. O(n-i); the free lists that use it stay short and
+// the wear-aware placement that needs it already scanned the queue anyway.
+func (q *IntQueue) RemoveAt(i int) int {
+	v := q.At(i) // bounds-checked
+	for j := i; j < q.n-1; j++ {
+		q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+	}
+	q.n--
+	if q.n == 0 {
+		q.head = 0
+	}
+	return v
+}
+
 // Cap returns the current backing-array capacity (tests assert it stays
 // bounded over many push/pop cycles).
 func (q *IntQueue) Cap() int { return len(q.buf) }

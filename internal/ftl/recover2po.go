@@ -58,7 +58,7 @@ func (r RebuildReport) Duration() sim.Time { return r.End - r.Start }
 // recoveryPolicies returns the two-phase order policy and block-parity backup
 // the reboot procedures operate on.
 func (k *Kernel) recoveryPolicies() (*twoPhase, *blockParity, error) {
-	tp, okOrder := k.place.(*twoPhase)
+	tp, okOrder := k.ord.(*twoPhase)
 	bp, okBackup := k.bk.(*blockParity)
 	if !okOrder || !okBackup {
 		return nil, nil, fmt.Errorf("%s: recovery requires two-phase ordering with per-block parity", k.name)
@@ -92,7 +92,7 @@ func (k *Kernel) Recover(now sim.Time) (RecoveryReport, error) {
 }
 
 func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Time, rep *RecoveryReport) (sim.Time, error) {
-	st := &tp.chips[chip]
+	ch := &tp.chips[chip]
 	g := k.Dev.Geometry()
 	wl := g.WordLinesPerBlock
 
@@ -100,8 +100,10 @@ func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Ti
 	// completed, so its new copy is gone. If the copy it superseded still
 	// exists on flash the mapping rolls back to it — mandatory when the
 	// program was a GC relocation (that data was acknowledged long ago) —
-	// otherwise the LPN is dropped: the host was never acknowledged.
-	if st.sbq.Len() > 0 && st.asbPos > 0 {
+	// otherwise the LPN is dropped: the host was never acknowledged. The
+	// device holds at most one destructive window per chip, so only the
+	// stream of the chip's most recent MSB program can be interrupted.
+	if st := &ch.streams[ch.lastMSBStream]; st.sbq.Len() > 0 && st.asbPos > 0 {
 		blk := st.sbq.Front()
 		msbAddr := nand.PageAddr{
 			BlockAddr: nand.BlockAddr{Chip: chip, Block: blk},
@@ -109,14 +111,18 @@ func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Ti
 		}
 		if k.Dev.IsCorrupted(msbAddr) {
 			if lpn, ok := k.Map.LPNAt(g.PPNOf(msbAddr)); ok {
-				now = k.dropOrRollBack(st, chip, lpn, now, rep)
+				now = k.dropOrRollBack(ch, st, chip, lpn, now, rep)
 			}
 		}
 	}
 
-	// 2. Scan the active slow block: read every LSB page, recomputing the
-	// accumulated parity; reconstruct at most one lost page.
-	if st.sbq.Len() > 0 {
+	// 2. Scan every stream's active slow block: read every LSB page;
+	// reconstruct at most one lost page per block.
+	for si := range ch.streams {
+		st := &ch.streams[si]
+		if st.sbq.Len() == 0 {
+			continue
+		}
 		blk := st.sbq.Front()
 		var survivors [][]byte
 		lostWL := -1
@@ -149,9 +155,14 @@ func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Ti
 		}
 	}
 
-	// 3. Recompute the partial parity accumulation of the active fast block.
-	if st.afb != -1 && st.afbPos > 0 {
-		bp.pbuf[chip].Reset()
+	// 3. Recompute the partial parity accumulation of every stream's active
+	// fast block.
+	for si := range ch.streams {
+		st := &ch.streams[si]
+		if st.afb == -1 || st.afbPos == 0 {
+			continue
+		}
+		bp.pbuf[chip][si].Reset()
 		for p := 0; p < st.afbPos; p++ {
 			addr := nand.PageAddr{
 				BlockAddr: nand.BlockAddr{Chip: chip, Block: st.afb},
@@ -163,7 +174,7 @@ func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Ti
 			if err != nil {
 				return now, fmt.Errorf("%s: fast-block rescan %v: %w", k.name, addr, err)
 			}
-			if err := bp.pbuf[chip].Add(k.Buf.Data); err != nil {
+			if err := bp.pbuf[chip][si].Add(k.Buf.Data); err != nil {
 				return now, err
 			}
 		}
@@ -178,10 +189,10 @@ func (k *Kernel) recoverChip(tp *twoPhase, bp *blockParity, chip int, now sim.Ti
 // of the interrupted program itself (an in-block rewrite) — that page is
 // parity-recoverable, so the rollback stands and the step-2 scan re-homes
 // it. Only when no prior copy survives is the LPN dropped.
-func (k *Kernel) dropOrRollBack(st *twoPhaseChip, chip int, lpn LPN, now sim.Time, rep *RecoveryReport) sim.Time {
+func (k *Kernel) dropOrRollBack(ch *twoPhaseChip, st *twoPhaseStream, chip int, lpn LPN, now sim.Time, rep *RecoveryReport) sim.Time {
 	g := k.Dev.Geometry()
-	if st.lastMSBLPN == lpn && st.lastMSBPrev != nand.InvalidPPN {
-		prevAddr := g.AddrOfPPN(st.lastMSBPrev)
+	if ch.lastMSBLPN == lpn && ch.lastMSBPrev != nand.InvalidPPN {
+		prevAddr := g.AddrOfPPN(ch.lastMSBPrev)
 		pairAddr := nand.PageAddr{
 			BlockAddr: nand.BlockAddr{Chip: chip, Block: st.sbq.Front()},
 			Page:      core.Page{WL: st.asbPos - 1, Type: core.LSB},
@@ -190,7 +201,7 @@ func (k *Kernel) dropOrRollBack(st *twoPhaseChip, chip int, lpn LPN, now sim.Tim
 			// In-block rewrite: the prior copy is the destroyed pair itself.
 			// Parity reconstructs it, so point the mapping back at it now
 			// and let the slow-block scan re-home it under this LPN.
-			k.Map.Update(lpn, st.lastMSBPrev)
+			k.Map.Update(lpn, ch.lastMSBPrev)
 			rep.RolledBack = append(rep.RolledBack, lpn)
 			return now
 		}
@@ -203,7 +214,7 @@ func (k *Kernel) dropOrRollBack(st *twoPhaseChip, chip int, lpn LPN, now sim.Tim
 			// prior copies of host writes; GC relocations stay on-chip,
 			// where the device's erase barrier keeps the copy intact).
 			if tokLPN, ok := TokenLPN(k.Buf.Data); ok && tokLPN == lpn {
-				k.Map.Update(lpn, st.lastMSBPrev)
+				k.Map.Update(lpn, ch.lastMSBPrev)
 				rep.RolledBack = append(rep.RolledBack, lpn)
 				return now
 			}
@@ -269,7 +280,9 @@ func (k *Kernel) reconstructLSB(tp *twoPhase, bp *blockParity, chip, blk, lostWL
 	if tokLPN, ok := TokenLPN(recovered); !ok || tokLPN != lpn {
 		return now, fmt.Errorf("%s: recovered payload LPN %v does not match mapping %v", k.name, tokLPN, lpn)
 	}
-	now, err = tp.program(k, chip, PrefFast, lpn, recovered, SpareForLPN(lpn), now, false)
+	// Re-home on the cold stream: recovered data just survived a crash on a
+	// slow block, and stream 0 always exists.
+	now, err = tp.program(k, chip, streamCold, PrefFast, lpn, recovered, SpareForLPN(lpn), now, false)
 	if err != nil {
 		return now, fmt.Errorf("%s: re-homing recovered LPN %d: %w", k.name, lpn, err)
 	}
@@ -382,10 +395,17 @@ func (k *Kernel) RebuildParityRefs(now sim.Time) (ParityScanReport, error) {
 			}
 			bk.cur, bk.pos = -1, 0
 		}
-		st := &tp.chips[chip]
-		need := make(map[int]bool, st.sbq.Len())
-		for i := 0; i < st.sbq.Len(); i++ {
-			need[st.sbq.At(i)] = true
+		// The blocks still awaiting their slow phase — across every placement
+		// stream's queue; a hot-stream block's parity is as live as a cold
+		// one's (the pre-placement-axis code read only one queue here, which
+		// would silently drop hot-stream refs and leak their backup blocks).
+		ch2 := &tp.chips[chip]
+		need := make(map[int]bool)
+		for si := range ch2.streams {
+			sbq := &ch2.streams[si].sbq
+			for i := 0; i < sbq.Len(); i++ {
+				need[sbq.At(i)] = true
+			}
 		}
 		bk.live = make(map[int]int, len(bk.retired))
 		for _, r := range bk.retired {

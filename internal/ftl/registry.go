@@ -39,6 +39,9 @@ type Spec struct {
 	// Hybrid marks policy combinations that exist only as registry entries
 	// (no paper counterpart); the ablation driver reports them separately.
 	Hybrid bool
+	// Placement names the scheme's placement policy when it is not the
+	// single-stream default ("hotcold", "wearAware"; empty = "single").
+	Placement string
 	// IdleSpendsFree marks schemes whose idle work consumes capacity (the
 	// return-to-fast padding); conformance tests relax free-space checks.
 	IdleSpendsFree bool
@@ -173,6 +176,58 @@ func init() {
 				Predictive:     env.Flex.PredictiveBGC,
 				PredictorAlpha: env.Flex.PredictorAlpha,
 			})
+		}),
+	})
+	// Placement hybrids: the same flexFTL / pageFTL policy stacks writing
+	// through two temperature streams per chip (satellites of the placement
+	// axis). "hotcold" separates frequently-rewritten LPNs from cold data;
+	// "wearAware" additionally steers cold data onto worn blocks.
+	Register(Spec{
+		Name:        "flexFTL-hotcold",
+		Backup:      "blockParity",
+		Rules:       "RPS",
+		Description: "flexFTL with hot/cold stream separation per chip",
+		Hybrid:      true,
+		Placement:   "hotcold",
+		New: mlcEntry("RPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			return NewFlexFTLPlaced(dev, env.Config, env.Flex, "flexFTL-hotcold",
+				HotColdPlacementPolicy(DefaultHotColdParams()))
+		}),
+	})
+	Register(Spec{
+		Name:        "flexFTL-wearAware",
+		Backup:      "blockParity",
+		Rules:       "RPS",
+		Description: "flexFTL hot/cold streams with wear-directed block choice",
+		Hybrid:      true,
+		Placement:   "wearAware",
+		New: mlcEntry("RPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			return NewFlexFTLPlaced(dev, env.Config, env.Flex, "flexFTL-wearAware",
+				WearAwarePlacementPolicy(DefaultHotColdParams()))
+		}),
+	})
+	Register(Spec{
+		Name:        "pageFTL-hotcold",
+		Backup:      "none",
+		Rules:       "FPS",
+		Description: "pageFTL with hot/cold stream separation per chip",
+		Hybrid:      true,
+		Placement:   "hotcold",
+		New: mlcEntry("FPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			return NewPageFTLPlaced(dev, env.Config, "pageFTL-hotcold",
+				HotColdPlacementPolicy(DefaultHotColdParams()))
+		}),
+	})
+	Register(Spec{
+		Name:        "pageFTL-wearAware",
+		Backup:      "none",
+		Rules:       "FPS",
+		Description: "pageFTL hot/cold streams with wear-directed block choice",
+		Hybrid:      true,
+		Placement:   "wearAware",
+		New: mlcEntry("FPS", func(dev *nand.Device, env BuildEnv) (*Kernel, error) {
+			return NewPageFTLPlaced(dev, env.Config, "pageFTL-wearAware",
+				WearAwarePlacementPolicy(DefaultHotColdParams()))
 		}),
 	})
 	Register(Spec{

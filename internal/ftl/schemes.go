@@ -62,3 +62,34 @@ func NewFlexFTL(dev *nand.Device, cfg Config, p FlexParams) (*Kernel, error) {
 		PredictorAlpha: p.PredictorAlpha,
 	})
 }
+
+// NewFlexFTLPlaced builds flexFTL with a non-default placement policy —
+// identical order/backup/alloc configuration, plus the fourth axis. The name
+// is the registry key so crash repros and reports stay distinguishable.
+func NewFlexFTLPlaced(dev *nand.Device, cfg Config, p FlexParams, name string, place PlacementPolicy) (*Kernel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return NewKernel(dev, cfg, KernelSpec{
+		Name:           name,
+		Order:          TwoPhaseOrderPolicy(),
+		Backup:         BlockParityBackup(),
+		Alloc:          AdaptiveAllocPolicy(p),
+		Place:          place,
+		RetokenizeGC:   true,
+		Predictive:     p.PredictiveBGC,
+		PredictorAlpha: p.PredictorAlpha,
+	})
+}
+
+// NewPageFTLPlaced builds pageFTL with a non-default placement policy: the
+// same strict-order no-backup baseline, writing through per-chip streams.
+func NewPageFTLPlaced(dev *nand.Device, cfg Config, name string, place PlacementPolicy) (*Kernel, error) {
+	return NewKernel(dev, cfg, KernelSpec{
+		Name:   name,
+		Order:  FPSOrderPolicy(),
+		Backup: NoBackupStrategy(),
+		Alloc:  FixedAllocPolicy(PrefOrder, PrefOrder),
+		Place:  place,
+	})
+}

@@ -84,9 +84,25 @@ func (k *Kernel) LookupChip(lpn LPN) (int, bool) {
 // false negative only costs a serial fallback (or, first, a GC pre-run),
 // never correctness.
 func (k *Kernel) ShardWriteHeadroom(chip, w int) bool {
-	pops, fills := k.place.shardWriteImpact(k, chip, w)
+	pops, fills := k.ord.shardWriteImpact(k, chip, w)
 	pops += k.bk.shardPops(k, chip, w, fills)
-	return k.Pools[chip].FreeCount()-pops >= k.place.shardGCTrigger(k)
+	return k.Pools[chip].FreeCount()-pops >= k.ord.shardGCTrigger(k)
+}
+
+// ShardPlacementHazard reports whether a failed ShardWriteHeadroom check is a
+// placement artifact: under the *best-case* routing of the w writes across
+// placement streams the chip would have had headroom, so the failure stems
+// from the planner having to assume adversarial stream routing — not from
+// true GC proximity. The planner counts these separately (Rp) in the
+// fallback taxonomy; single-stream placements have no routing freedom and
+// never report a placement hazard.
+func (k *Kernel) ShardPlacementHazard(chip, w int) bool {
+	if k.placement.streams() <= 1 {
+		return false
+	}
+	pops, fills := k.ord.shardWriteImpactMin(k, chip, w)
+	pops += k.bk.shardPops(k, chip, w, fills)
+	return k.Pools[chip].FreeCount()-pops >= k.ord.shardGCTrigger(k)
 }
 
 // ShardPreRunGC runs the chip's foreground collection loop ahead of time, at
@@ -100,7 +116,7 @@ func (k *Kernel) ShardWriteHeadroom(chip, w int) bool {
 // move q). It returns the collection and copy counts for ShardReport.
 func (k *Kernel) ShardPreRunGC(chip int, now sim.Time) (collections, copies int, err error) {
 	g0, c0 := k.St.ForegroundGCs, k.St.GCCopies
-	if _, err = k.place.foregroundGC(k, chip, now); err != nil {
+	if _, err = k.ord.foregroundGC(k, chip, now); err != nil {
 		return 0, 0, err
 	}
 	return int(k.St.ForegroundGCs - g0), int(k.St.GCCopies - c0), nil
@@ -144,9 +160,15 @@ func (k *Kernel) ShardQuotaStable(util float64, w int) bool {
 // planner routes round-robin positions itself so shard execution never
 // touches the shared cursor. It must mirror Write exactly, minus NextChip.
 func (k *Kernel) writeOn(chip int, lpn LPN, now sim.Time, util float64) (sim.Time, error) {
+	// Classify at arrival, before foreground GC can advance the clock: a
+	// write the planner admits after a GC pre-run executes on its shard at
+	// the arrival time, while the serial path would reach classification
+	// only after the in-line collection — the heat decay must see the same
+	// virtual time on both paths.
+	stream := k.placement.classify(k, lpn, now, false)
 	var err error
 	gcStart := now
-	now, err = k.place.foregroundGC(k, chip, now)
+	now, err = k.ord.foregroundGC(k, chip, now)
 	if err != nil {
 		return now, err
 	}
@@ -154,11 +176,20 @@ func (k *Kernel) writeOn(chip int, lpn LPN, now sim.Time, util float64) (sim.Tim
 		k.ctrBlameGC.Add(int64(now - gcStart))
 	}
 	pref := k.alloc.chooseHost(k, chip, util, now)
-	done, err := k.place.program(k, chip, pref, lpn, k.Token(lpn), k.Spare(lpn), now, false)
+	done, err := k.ord.program(k, chip, stream, pref, lpn, k.Token(lpn), k.Spare(lpn), now, false)
 	if err != nil {
 		return now, err
 	}
 	k.St.HostWrites++
+	if k.placement.streams() > 1 {
+		// Stream-split accounting only where placement actually separates
+		// streams, so single-stream schemes keep byte-identical stats.
+		if stream == streamHot {
+			k.St.HostWritesHot++
+		} else {
+			k.St.HostWritesCold++
+		}
+	}
 	if k.pred != nil {
 		k.pred.ObserveWrite()
 	}
@@ -205,6 +236,8 @@ func (s *Stats) add(o *Stats) {
 	s.RetiredBlocks += o.RetiredBlocks
 	s.ForegroundGCs += o.ForegroundGCs
 	s.BackgroundGCs += o.BackgroundGCs
+	s.HostWritesHot += o.HostWritesHot
+	s.HostWritesCold += o.HostWritesCold
 }
 
 // ShardRunner owns the per-channel kernel clones and the worker pool that

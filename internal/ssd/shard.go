@@ -26,7 +26,17 @@
 //	                    foreground GC and block exhaustion are impossible
 //	                    during the epoch (ftl.Kernel.ShardWriteHeadroom,
 //	                    which models the order policy's exact pop/fill
-//	                    behavior from the current cursor state).
+//	                    behavior from the current cursor state; for
+//	                    multi-stream placements the model assumes
+//	                    adversarial stream routing, so the margin is an
+//	                    upper bound rather than exact).
+//	Rp (placement)      The sub-case of a failed R5 where the *best-case*
+//	                    stream routing would still have had headroom
+//	                    (ftl.Kernel.ShardPlacementHazard): the fallback is
+//	                    an artifact of the planner's adversarial routing
+//	                    assumption, not of true GC proximity. Counted
+//	                    separately so placement-induced serialization is
+//	                    visible in the report.
 //	Rq (quota sign)     For the adaptive allocator, the frozen shard-time
 //	                    quota provably yields the same LSB/MSB decisions as
 //	                    the live serial quota (ftl.Kernel.ShardQuotaStable).
@@ -60,14 +70,17 @@ import (
 // FallbackCounts is the planner's fallback-cause taxonomy: how often each
 // admission rule rejected a request (R1/R4/R5/Rq, counted per failed plan
 // attempt, including attempts that succeeded after an epoch flush), how
-// often the arrival window closed an epoch (R2), how many trim page ops
-// still executed serially (Trim), and rejections outside the rule set —
-// self-wrapping requests and unknown ops (Other).
+// often a failed free-margin check was a placement-routing artifact rather
+// than true GC proximity (Rp — disjoint from R5), how often the arrival
+// window closed an epoch (R2), how many trim page ops still executed
+// serially (Trim), and rejections outside the rule set — self-wrapping
+// requests and unknown ops (Other).
 type FallbackCounts struct {
 	R1    int
 	R2    int
 	R4    int
 	R5    int
+	Rp    int
 	Rq    int
 	Trim  int
 	Other int
@@ -106,6 +119,7 @@ const (
 	causeR1
 	causeR4
 	causeR5
+	causeRp
 	causeRq
 	causeOther
 )
@@ -261,6 +275,8 @@ func (s *System) countFallback(cause planCause) {
 		s.shardRep.Fallbacks.R4++
 	case causeR5:
 		s.shardRep.Fallbacks.R5++
+	case causeRp:
+		s.shardRep.Fallbacks.Rp++
 	case causeRq:
 		s.shardRep.Fallbacks.Rq++
 	default:
@@ -486,6 +502,9 @@ func (s *System) planWriteHeadroom(rs *runState, e *epochState, req workload.Req
 					ok = e.k.ShardWriteHeadroom(chip, w)
 				}
 				if !ok {
+					if e.k.ShardPlacementHazard(chip, w) {
+						return causeRp, nil
+					}
 					return causeR5, nil
 				}
 			}

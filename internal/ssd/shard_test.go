@@ -1,10 +1,11 @@
 // Table tests for the epoch planner's fallback-cause taxonomy: each
 // admission rule is driven to rejection in isolation — duplicate LPN (R1),
 // a closed arrival window (R2), missing buffer room (R4), a failing free
-// margin on a pre-run-ineligible chip (R5), an unstable adaptive quota
-// (Rq), and a self-wrapping request (Other, with serial trim pages
+// margin on a pre-run-ineligible chip (R5), the same margin failure caused
+// only by adversarial placement-stream routing (Rp), an unstable adaptive
+// quota (Rq), and a self-wrapping request (Other, with serial trim pages
 // attributed to the Trim counter). R1/R2/R4/Other run end-to-end through
-// RunSharded and assert the report counters; R5/Rq need doctored kernel
+// RunSharded and assert the report counters; R5/Rp/Rq need doctored kernel
 // state, so they drive tryPlan directly and assert the returned cause.
 package ssd
 
@@ -162,6 +163,72 @@ func TestShardFallbackTaxonomy(t *testing.T) {
 		}
 		if cause != causeR5 {
 			t.Errorf("want causeR5, got %v", cause)
+		}
+		if rep := sys.ShardReport(); rep.GCPreRuns != 0 {
+			t.Errorf("pre-run fired on a dirty channel: %+v", rep)
+		}
+	})
+
+	t.Run("Rp_placement_hazard", func(t *testing.T) {
+		// The R5 doctoring on a hot/cold kernel straight out of prefill:
+		// every prefill write is a first touch, so the hot stream has no
+		// active fast block yet. Worst-case routing (the write goes hot)
+		// pops a free block immediately while best-case routing rides the
+		// cold stream's slack, so at the boundary free count the margin
+		// failure is a placement artifact — the cause is Rp, not R5.
+		h, err := ftl.Build("flexFTL-hotcold", ftl.BuildEnv{
+			Geometry: nand.TestGeometry(),
+			Config:   ftl.DefaultConfig(),
+			Flex:     ftl.DefaultFlexParams(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := New(h.(ftl.FTL), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Prefill(); err != nil {
+			t.Fatal(err)
+		}
+		k := sys.F.(*ftl.Kernel)
+		g := k.Device().Geometry()
+		e := newEpochForTest(sys)
+		rs := sys.newRunState()
+
+		chip0 := k.PeekChip(0)
+		ch0 := g.ChannelOf(chip0)
+		readLPN := int64(-1)
+		for lpn := int64(0); lpn < rs.logical; lpn++ {
+			if c, ok := k.LookupChip(ftl.LPN(lpn)); ok && g.ChannelOf(c) == ch0 {
+				readLPN = lpn
+				break
+			}
+		}
+		if readLPN < 0 {
+			t.Fatalf("no prefilled LPN maps to channel %d", ch0)
+		}
+		cause, err := sys.tryPlan(rs, e, workload.Request{Op: workload.OpRead, Page: readLPN, Pages: 1}, rs.base)
+		if err != nil || cause != planOK {
+			t.Fatalf("planning the channel-occupying read: cause=%v err=%v", cause, err)
+		}
+		pool := k.Pools[chip0]
+		for pool.FreeCount() > 0 && k.ShardWriteHeadroom(chip0, 1) {
+			pool.PopFree()
+		}
+		if k.ShardWriteHeadroom(chip0, 1) {
+			t.Fatal("draining the free pool never failed the margin")
+		}
+		if !k.ShardPlacementHazard(chip0, 1) {
+			t.Fatal("margin failure is not a placement hazard; the hot stream unexpectedly holds an active block")
+		}
+		writeLPN := (readLPN + 1) % rs.logical
+		cause, err = sys.tryPlan(rs, e, workload.Request{Op: workload.OpWrite, Page: writeLPN, Pages: 1}, rs.base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cause != causeRp {
+			t.Errorf("want causeRp, got %v", cause)
 		}
 		if rep := sys.ShardReport(); rep.GCPreRuns != 0 {
 			t.Errorf("pre-run fired on a dirty channel: %+v", rep)

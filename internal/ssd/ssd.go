@@ -71,6 +71,9 @@ type RunResult struct {
 	// WAF is the media-programs-per-host-write amplification factor
 	// (Stats.WriteAmplification, lifted here for run reports).
 	WAF float64
+	// WearSpread is the device's end-of-run wear imbalance (max/mean erase
+	// count; 1.0 = perfectly level, 0 when the host doesn't expose it).
+	WearSpread float64
 }
 
 // inflight tracks a buffered page whose program has not completed.
@@ -408,14 +411,18 @@ func (s *System) finishRun(rs *runState, gen workload.Generator) (RunResult, err
 	}
 	s.obs.Sample(rs.busyUntil)
 	st := s.F.Stats()
-	return RunResult{
+	res := RunResult{
 		FTLName:  s.F.Name(),
 		Workload: gen.Name(),
 		Metrics:  rs.col.Finalize(),
 		Stats:    st,
 		Latency:  rs.col.Latency(),
 		WAF:      st.WriteAmplification(),
-	}, nil
+	}
+	if ws, ok := s.F.(interface{ WearSpread() float64 }); ok {
+		res.WearSpread = ws.WearSpread()
+	}
+	return res, nil
 }
 
 // Run drives the generator to completion and returns the measurements.

@@ -63,3 +63,36 @@ func FuzzCSVReplay(f *testing.F) {
 		}
 	})
 }
+
+// FuzzZipf: any (theta, space, total, seed) either fails validation or
+// yields a well-formed in-bounds request stream.
+func FuzzZipf(f *testing.F) {
+	f.Add(0.99, int64(4096), 500, uint64(1))
+	f.Add(0.5, int64(1), 1, uint64(0))
+	f.Add(1.2, int64(1<<20), 100, uint64(42))
+	f.Add(-1.0, int64(100), 10, uint64(3))
+	f.Add(1.0, int64(100), 10, uint64(3))
+	f.Fuzz(func(t *testing.T, theta float64, space int64, total int, seed uint64) {
+		if total > 5000 {
+			total = 5000
+		}
+		gen, err := NewZipf(theta, space, total, seed)
+		if err != nil {
+			return
+		}
+		n := 0
+		for {
+			req, ok := gen.Next()
+			if !ok {
+				break
+			}
+			n++
+			if req.Page < 0 || req.Page >= space || req.Pages < 1 {
+				t.Fatalf("out-of-bounds request %+v for space %d", req, space)
+			}
+		}
+		if n != total {
+			t.Fatalf("emitted %d of %d requests", n, total)
+		}
+	})
+}

@@ -182,6 +182,27 @@ func All() []Profile {
 	return []Profile{OLTP(), NTRX(), Webserver(), Varmail(), Fileserver()}
 }
 
+// ZipfProfile returns the skewed write-dominant workload the placement-axis
+// studies sweep: Table-1-compatible arrival, burst and request-size
+// parameters (the NTRX envelope, so GC pressure builds quickly), no trims,
+// and a caller-chosen Zipf theta dialing the locality from near-uniform
+// (0.5) to hot-head (1.2). The theta is part of the name so runs over
+// different skews stay distinguishable in reports.
+func ZipfProfile(theta float64) Profile {
+	return Profile{
+		Name: fmt.Sprintf("Zipf-%.2f", theta), ReadFraction: 0.2, Intensity: IntensityVeryHigh,
+		BurstLen: 512, IntraGap: 150 * sim.Microsecond, IdleGap: 2 * sim.Millisecond,
+		PagesMean: 1.5, PagesCap: 4, ZipfTheta: theta,
+	}
+}
+
+// NewZipf builds a deterministic skewed generator over `space` logical pages
+// emitting `total` requests — ZipfProfile(theta) under the standard seeded
+// construction (same seed, same stream).
+func NewZipf(theta float64, space int64, total int, seed uint64) (Generator, error) {
+	return New(ZipfProfile(theta), space, total, seed)
+}
+
 // synthetic is the Profile-driven Generator.
 type synthetic struct {
 	p        Profile
@@ -268,6 +289,11 @@ func (s *synthetic) Next() (Request, bool) {
 		} else {
 			s.written[s.src.Intn(s.maxHist)] = page
 		}
+	}
+	if int64(pages) > s.space {
+		// A tiny logical space (smaller than one request) must not push the
+		// extent clamp below page 0.
+		pages = int(s.space)
 	}
 	if page+int64(pages) > s.space {
 		page = s.space - int64(pages)

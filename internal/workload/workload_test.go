@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"flexftl/internal/sim"
@@ -295,5 +296,67 @@ func TestIntensityString(t *testing.T) {
 		IntensityHigh.String() != "High" ||
 		IntensityVeryHigh.String() != "Very high" {
 		t.Error("intensity strings wrong")
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	for _, theta := range []float64{0.6, 0.99, 1.2} {
+		a, err := NewZipf(theta, 5000, 1000, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewZipf(theta, 5000, 1000, 99)
+		var reqsA, reqsB []Request
+		for {
+			ra, okA := a.Next()
+			rb, okB := b.Next()
+			if okA != okB {
+				t.Fatal("lengths differ")
+			}
+			if !okA {
+				break
+			}
+			reqsA, reqsB = append(reqsA, ra), append(reqsB, rb)
+		}
+		if !reflect.DeepEqual(reqsA, reqsB) {
+			t.Fatalf("theta=%v: same seed diverged", theta)
+		}
+		if len(reqsA) != 1000 {
+			t.Fatalf("theta=%v: emitted %d requests, want 1000", theta, len(reqsA))
+		}
+	}
+}
+
+// TestZipfSkew pins the property the placement studies rely on: a higher
+// theta concentrates more writes on fewer pages.
+func TestZipfSkew(t *testing.T) {
+	headShare := func(theta float64) float64 {
+		gen, err := NewZipf(theta, 10000, 20000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int64]int{}
+		writes := 0
+		for {
+			req, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if req.Op == OpWrite {
+				counts[req.Page]++
+				writes++
+			}
+		}
+		head := 0
+		for _, c := range counts {
+			if c >= 10 {
+				head += c
+			}
+		}
+		return float64(head) / float64(writes)
+	}
+	low, high := headShare(0.6), headShare(1.2)
+	if high <= low {
+		t.Fatalf("theta=1.2 head share %.3f not above theta=0.6 share %.3f", high, low)
 	}
 }
