@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|table1|fig4a|fig4b|fig8a|fig8b|fig8c|summary|placement|all")
+		exp      = flag.String("exp", "all", "experiment: fig1|table1|fig4a|fig4b|fig8a|fig8b|fig8c|summary|placement|reliability|all")
 		requests = flag.Int("requests", 150000, "host requests per Figure 8 run")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		full     = flag.Bool("full", false, "use the paper's 16 GB geometry (slow)")
@@ -177,6 +177,16 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 		record("placement", start, par.Workers(workers), cfg.Schemes, res)
 		experiments.RenderPlacementSweep(w, res)
 	}
+	if want("reliability") {
+		experiments.Rule(w, "Reliability aging sweep (refresh/scrub vs detect-only)")
+		start := time.Now()
+		reps, err := experiments.AgingSweep([]string{"pageFTL", "flexFTL"}, seed)
+		if err != nil {
+			return err
+		}
+		record("reliability", start, 1, []string{"pageFTL", "flexFTL"}, reps)
+		experiments.RenderAging(w, reps)
+	}
 	if want("fig8a") || want("fig8b") || want("fig8c") || want("summary") || exp == "fig8" {
 		geometry := experiments.EvalGeometry()
 		if full {
@@ -209,7 +219,7 @@ func run(w io.Writer, exp string, requests int, seed uint64, full bool, fig4Bloc
 	}
 	switch exp {
 	case "all", "fig1", "table1", "fig4", "fig4a", "fig4b", "fig4tlc",
-		"fig8", "fig8a", "fig8b", "fig8c", "summary", "ablation", "stress", "sensitivity", "placement":
+		"fig8", "fig8a", "fig8b", "fig8c", "summary", "ablation", "stress", "sensitivity", "placement", "reliability":
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -6,6 +6,7 @@
 //	flexsim -ftl flexFTL -trace run.jsonl -trace-format jsonl
 //	flexsim -ftl pageFTL -workload NTRX -dump-workload t.csv # dump the workload
 //	flexsim -ftl flexFTL -replay t.csv                       # replay a dump
+//	flexsim -ftl flexFTL -rel -rel-wear 6000                 # BER model + responses on a worn device
 //
 // A -trace file in the default chrome format loads directly in
 // chrome://tracing or https://ui.perfetto.dev; see docs/OBSERVABILITY.md.
@@ -32,6 +33,7 @@ import (
 	_ "flexftl/internal/ftl/nflex" // registers the nflexTLC scheme
 	"flexftl/internal/nand"
 	"flexftl/internal/obs"
+	"flexftl/internal/rel"
 	"flexftl/internal/sim"
 	"flexftl/internal/ssd"
 	"flexftl/internal/workload"
@@ -39,24 +41,28 @@ import (
 
 // options bundles everything run needs; flags map onto it one to one.
 type options struct {
-	FTL          string
-	Workload     string
-	Requests     int
-	Seed         uint64
-	Full         bool
-	GCPolicy     string
-	Predictive   bool
-	DumpWorkload string        // write the generated workload as CSV
-	Replay       string        // replay a CSV workload instead of generating
-	Trace        string        // event-trace output file
-	TraceFormat  string        // chrome|jsonl
-	Sample       time.Duration // internal-state sampling cadence (0 = off)
-	SampleOut    string        // sampled series CSV output file
-	DebugAddr    string        // pprof/expvar HTTP listen address
-	ServeAfter   bool          // keep the debug server up after the run ends
-	Metrics      string        // structured run-result JSON output file
-	ShardWorkers int           // intra-run epoch-shard workers (<=1 = serial engine)
-	HostQueues   int           // multi-queue host front-end (>1 splits the workload by channel)
+	FTL           string
+	Workload      string
+	Requests      int
+	Seed          uint64
+	Full          bool
+	GCPolicy      string
+	Predictive    bool
+	DumpWorkload  string        // write the generated workload as CSV
+	Replay        string        // replay a CSV workload instead of generating
+	Trace         string        // event-trace output file
+	TraceFormat   string        // chrome|jsonl
+	Sample        time.Duration // internal-state sampling cadence (0 = off)
+	SampleOut     string        // sampled series CSV output file
+	DebugAddr     string        // pprof/expvar HTTP listen address
+	ServeAfter    bool          // keep the debug server up after the run ends
+	Metrics       string        // structured run-result JSON output file
+	ShardWorkers  int           // intra-run epoch-shard workers (<=1 = serial engine)
+	HostQueues    int           // multi-queue host front-end (>1 splits the workload by channel)
+	Rel           bool          // mount the BER model and the kernel's reliability responses
+	RelSeed       uint64        // per-read hash seed of the BER model
+	RelWear       int           // pre-wear every block this many P/E cycles before the run
+	RelDetectOnly bool          // model on, kernel responses off (detect-only baseline)
 }
 
 // listSchemes prints every registered FTL scheme with its rule set and
@@ -93,6 +99,10 @@ func main() {
 	flag.StringVar(&o.Metrics, "metrics", "", "write the run result (flexstat-readable JSON) to this file")
 	flag.IntVar(&o.ShardWorkers, "shard-workers", 1, "intra-run epoch-shard workers; results are identical for any value (1 = serial engine)")
 	flag.IntVar(&o.HostQueues, "host-queues", 1, "host queues; >1 splits a generated workload into per-queue generators over disjoint LPN ranges and prefetches them concurrently (results are identical for any value)")
+	flag.BoolVar(&o.Rel, "rel", false, "mount the per-page BER model and the kernel's scrub/refresh/retire responses")
+	flag.Uint64Var(&o.RelSeed, "rel-seed", 1, "BER model per-read hash seed (with -rel)")
+	flag.IntVar(&o.RelWear, "rel-wear", 0, "pre-wear every block this many P/E cycles before the run (with -rel)")
+	flag.BoolVar(&o.RelDetectOnly, "rel-detect-only", false, "with -rel: model the errors but disable the kernel's responses")
 	flag.Parse()
 	if *list {
 		listSchemes(os.Stdout)
@@ -106,18 +116,48 @@ func main() {
 
 // buildFTL resolves the scheme through the ftl registry, layering the
 // CLI-only policy knobs onto the build environment.
-func buildFTL(name string, g nand.Geometry, gcPolicy string, predictive bool) (ftl.Host, error) {
+func buildFTL(o options, g nand.Geometry) (ftl.Host, error) {
 	cfg := ftl.DefaultConfig()
-	switch gcPolicy {
+	switch o.GCPolicy {
 	case "greedy":
 	case "costbenefit":
 		cfg.GC = ftl.GCCostBenefit
 	default:
-		return nil, fmt.Errorf("unknown GC policy %q (greedy|costbenefit)", gcPolicy)
+		return nil, fmt.Errorf("unknown GC policy %q (greedy|costbenefit)", o.GCPolicy)
 	}
 	flex := ftl.DefaultFlexParams()
-	flex.PredictiveBGC = predictive
-	return ftl.Build(name, ftl.BuildEnv{Geometry: g, Config: cfg, Flex: flex})
+	flex.PredictiveBGC = o.Predictive
+	env := ftl.BuildEnv{Geometry: g, Config: cfg, Flex: flex}
+	if o.Rel {
+		rc := rel.DefaultConfig(o.RelSeed)
+		env.Reliability = &rc
+		if !o.RelDetectOnly {
+			env.Config.Reliability = ftl.DefaultRelPolicy()
+		}
+	}
+	f, err := ftl.Build(o.FTL, env)
+	if err != nil {
+		return nil, err
+	}
+	if o.Rel && o.RelWear > 0 {
+		mlc, ok := f.(ftl.FTL)
+		if !ok {
+			return nil, fmt.Errorf("-rel-wear needs an MLC scheme (device access), %q is not one", o.FTL)
+		}
+		dev := mlc.Device()
+		dg := dev.Geometry()
+		for chip := 0; chip < dg.Chips(); chip++ {
+			for blk := 0; blk < dg.BlocksPerChip; blk++ {
+				a := nand.BlockAddr{Chip: chip, Block: blk}
+				for i := 0; i < o.RelWear; i++ {
+					if _, err := dev.Erase(a, 0); err != nil {
+						return nil, fmt.Errorf("pre-wear %v: %w", a, err)
+					}
+				}
+			}
+		}
+	}
+	return f, nil
 }
 
 func findProfile(name string) (workload.Profile, error) {
@@ -306,7 +346,7 @@ func run(w io.Writer, o options) error {
 	if o.Full {
 		geometry = nand.DefaultGeometry()
 	}
-	f, err := buildFTL(o.FTL, geometry, o.GCPolicy, o.Predictive)
+	f, err := buildFTL(o, geometry)
 	if err != nil {
 		return err
 	}
@@ -438,6 +478,15 @@ func run(w io.Writer, o options) error {
 	lat := res.Latency
 	fmt.Fprintf(w, "latency  : write-ack p50/p95/p99/p999 = %.1f/%.1f/%.1f/%.1f us, read p99 = %.1f us (WAF %.3f)\n",
 		lat.WriteAck.P50, lat.WriteAck.P95, lat.WriteAck.P99, lat.WriteAck.P999, lat.Read.P99, res.WAF)
+	if rr := res.Reliability; rr != nil {
+		retryPct := 0.0
+		if rr.Reads > 0 {
+			retryPct = 100 * float64(rr.RetriedReads) / float64(rr.Reads)
+		}
+		fmt.Fprintf(w, "reliability: %d reads classified (%.2f%% retried, %d uncorrectable); scrubs %d, refreshed blocks %d, rebuilds %d, retired %d\n",
+			rr.Reads, retryPct, rr.Uncorrectable,
+			rr.ScrubReads, rr.RefreshedBlocks, rr.ECCRebuilds, rr.RetiredBlocks)
+	}
 	rep := sys.ShardReport()
 	if normShardWorkers(o.ShardWorkers) > 1 {
 		fb := rep.Fallbacks

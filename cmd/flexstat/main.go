@@ -3,12 +3,18 @@
 // run for run:
 //
 //	flexstat report  RUN.json                 # per-run latency/WAF table
+//	flexstat report -assert-reliability RUN   # + reliability table, CI gate
 //	flexstat compare OLD.json NEW.json        # per-run p99/WAF deltas
 //	flexstat compare -p99 5 -waf 2 OLD NEW    # tighter gating thresholds
 //
 // compare exits nonzero when any matched run's write-ack p99 or WAF moves
 // beyond the thresholds (percent), so CI can gate on it; two runs of the
-// same scheme, workload and seed report zero delta and exit 0.
+// same scheme, workload and seed report zero delta and exit 0. report
+// prints a reliability section for runs that carried a BER model
+// (reads/retries/uncorrectables plus the FTL's scrub/refresh/retire
+// responses); -assert-reliability turns that section into a gate: at least
+// one modelled run, every one exercising the retry ladder and losing no
+// read.
 package main
 
 import (
@@ -31,7 +37,7 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: flexstat report FILE.json")
+	fmt.Fprintln(w, "usage: flexstat report [-assert-reliability] FILE.json")
 	fmt.Fprintln(w, "       flexstat compare [-p99 PCT] [-waf PCT] OLD.json NEW.json")
 }
 
@@ -42,15 +48,23 @@ func realMain(args []string, out, errw io.Writer) int {
 	}
 	switch args[0] {
 	case "report":
-		if len(args) != 2 {
+		fs := flag.NewFlagSet("report", flag.ContinueOnError)
+		fs.SetOutput(errw)
+		assertRel := fs.Bool("assert-reliability", false,
+			"exit nonzero unless every reliability-modelled run retried at least one read and lost none (CI smoke gate)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
+		if fs.NArg() != 1 {
 			usage(errw)
 			return 2
 		}
-		if err := report(out, args[1]); err != nil {
+		code, err := report(out, fs.Arg(0), *assertRel)
+		if err != nil {
 			fmt.Fprintln(errw, "flexstat:", err)
 			return 2
 		}
-		return 0
+		return code
 	case "compare":
 		fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 		fs.SetOutput(errw)
@@ -228,11 +242,14 @@ func remarshal(m map[string]any, dst any) error {
 }
 
 // report renders the per-run latency/WAF table plus the registry's blame
-// counters when the dump carries them.
-func report(w io.Writer, file string) error {
+// counters when the dump carries them. With assertRel it additionally gates
+// on the reliability sections (the CI smoke contract): every
+// reliability-modelled run must have classified reads, retried at least one,
+// and lost none. Returns the process exit code.
+func report(w io.Writer, file string, assertRel bool) (int, error) {
 	d, err := loadDump(file)
 	if err != nil {
-		return err
+		return 2, err
 	}
 	runs, reg := d.runs, d.reg
 	fmt.Fprintf(w, "flexstat report: %s — %d run(s)\n\n", file, len(runs))
@@ -275,6 +292,35 @@ func report(w io.Writer, file string) error {
 				r.FTLName, r.Workload, r.WAF, r.WearSpread, hotS, coldS, share)
 		}
 	}
+	// Reliability section: read-outcome classification and the kernel's
+	// responses, for every run whose device carried the BER model.
+	relRuns := make([]runEntry, 0, len(runs))
+	for _, e := range runs {
+		if e.run.Reliability != nil {
+			relRuns = append(relRuns, e)
+		}
+	}
+	relFailures := 0
+	if len(relRuns) > 0 {
+		fmt.Fprintf(w, "\nreliability (ECC read outcomes and FTL responses):\n")
+		fmt.Fprintf(w, "  %-14s %-12s %10s %8s %8s %7s %7s %9s %8s %8s\n",
+			"scheme", "workload", "reads", "retried", "uncorr", "lost", "scrubs", "refreshed", "rebuilt", "retired")
+		for _, e := range relRuns {
+			r := e.run
+			rr := r.Reliability
+			fmt.Fprintf(w, "  %-14s %-12s %10d %8d %8d %7d %7d %9d %8d %8d\n",
+				r.FTLName, r.Workload, rr.Reads, rr.RetriedReads, rr.Uncorrectable,
+				rr.UncorrectableReads, rr.ScrubReads, rr.RefreshedBlocks, rr.ECCRebuilds, rr.RetiredBlocks)
+			if assertRel && (rr.Reads == 0 || rr.RetriedReads == 0 || rr.Uncorrectable != 0) {
+				relFailures++
+				fmt.Fprintf(w, "  ^ FAIL: want reads > 0, retried > 0, uncorrectable == 0\n")
+			}
+		}
+	}
+	if assertRel && len(relRuns) == 0 {
+		fmt.Fprintf(w, "\nreliability assertion FAILED: the dump carries no reliability-modelled runs\n")
+		relFailures++
+	}
 	if len(d.shards) > 0 {
 		fmt.Fprintf(w, "\nshard planner efficiency:\n")
 		fmt.Fprintf(w, "  %-24s %7s %8s %8s %8s %14s %8s %s\n",
@@ -315,7 +361,14 @@ func report(w io.Writer, file string) error {
 			}
 		}
 	}
-	return nil
+	if relFailures > 0 {
+		fmt.Fprintf(w, "\nreliability assertion: %d run(s) failed\n", relFailures)
+		return 1, nil
+	}
+	if assertRel {
+		fmt.Fprintf(w, "\nreliability assertion: %d run(s) OK\n", len(relRuns))
+	}
+	return 0, nil
 }
 
 // deltaPct is the relative change new vs old in percent; +Inf marks a value

@@ -52,8 +52,10 @@ func (c Code) CodewordsPerPage(pageBytes int) int {
 
 // PageFailureProb returns the probability that a page of the given size is
 // uncorrectable when each bit flips independently with probability ber.
-// Computed as 1 - P(codeword ok)^codewords with a numerically careful
-// binomial tail.
+// The per-codeword failure tail is combined across the page's codewords as
+// 1 - (1-cwFail)^n via -expm1(n*log1p(-cwFail)), which keeps full relative
+// precision at realistic low BERs where cwFail is 1e-25..1e-6 and the naive
+// 1 - Pow(cwOK, n) collapses to exactly 0.
 func (c Code) PageFailureProb(ber float64, pageBytes int) float64 {
 	if ber <= 0 {
 		return 0
@@ -61,28 +63,111 @@ func (c Code) PageFailureProb(ber float64, pageBytes int) float64 {
 	if ber >= 1 {
 		return 1
 	}
-	cwOK := c.codewordOKProb(ber)
 	n := c.CodewordsPerPage(pageBytes)
-	return 1 - math.Pow(cwOK, float64(n))
+	if n <= 0 {
+		return 0
+	}
+	cwFail := c.CodewordFailureProb(ber)
+	if cwFail <= 0 {
+		return 0
+	}
+	if cwFail >= 1 {
+		return 1
+	}
+	return -math.Expm1(float64(n) * math.Log1p(-cwFail))
 }
 
-// codewordOKProb computes P(errors <= T) for Binomial(CodewordBits, ber),
-// summing log-space terms to avoid underflow at realistic BERs.
+// CodewordFailureProb computes P(errors > T) for Binomial(CodewordBits, ber):
+// the probability one codeword exceeds the correction budget. Whichever
+// binomial tail is the small one is summed directly (the other would lose it
+// to cancellation against 1), so the result keeps full relative precision on
+// both sides of the knee.
+func (c Code) CodewordFailureProb(ber float64) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	n, t := c.CodewordBits, c.CorrectableBits
+	if t >= n {
+		return 0
+	}
+	// The pmf peaks at floor((n+1)p); above it terms decrease toward k=n,
+	// below it they decrease toward k=0, so each tail sum starting at T+1
+	// (resp. T) converges monotonically from its first term.
+	mode := int(float64(n+1) * ber)
+	if t+1 > mode {
+		return binomUpperTail(n, ber, t+1)
+	}
+	return 1 - binomLowerTail(n, ber, t)
+}
+
+// codewordOKProb is P(errors <= T), the complement of the failure tail.
 func (c Code) codewordOKProb(ber float64) float64 {
-	n := c.CodewordBits
-	logP := math.Log(ber)
-	logQ := math.Log1p(-ber)
-	// Accumulate terms of the binomial pmf from k=0..T.
-	total := 0.0
-	logChoose := 0.0 // log C(n,0)
-	for k := 0; k <= c.CorrectableBits; k++ {
-		if k > 0 {
-			logChoose += math.Log(float64(n-k+1)) - math.Log(float64(k))
+	return 1 - c.CodewordFailureProb(ber)
+}
+
+// logChoose returns log C(n,k) via lgamma, avoiding the accumulated error of
+// an incremental product walk when k runs into the thousands.
+func logChoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	d, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - d
+}
+
+// binomUpperTail sums P(X >= k0) for X ~ Binomial(n, p), valid when k0 is at
+// or above the pmf mode so successive terms decrease. The first term is
+// computed in log space; the rest accumulate through the pmf ratio
+// recurrence relative to it, so underflow only occurs when the whole tail is
+// below the smallest positive float.
+func binomUpperTail(n int, p float64, k0 int) float64 {
+	if k0 > n {
+		return 0
+	}
+	if k0 <= 0 {
+		return 1
+	}
+	logFirst := logChoose(n, k0) + float64(k0)*math.Log(p) + float64(n-k0)*math.Log1p(-p)
+	ratio := p / (1 - p)
+	rel, sum := 1.0, 1.0
+	for k := k0; k < n; k++ {
+		rel *= float64(n-k) / float64(k+1) * ratio
+		sum += rel
+		if rel < sum*1e-18 {
+			break
 		}
-		total += math.Exp(logChoose + float64(k)*logP + float64(n-k)*logQ)
 	}
-	if total > 1 {
-		total = 1
+	v := math.Exp(logFirst + math.Log(sum))
+	if v > 1 {
+		v = 1
 	}
-	return total
+	return v
+}
+
+// binomLowerTail sums P(X <= k0) for X ~ Binomial(n, p), valid when k0 is at
+// or below the pmf mode so terms decrease toward k=0.
+func binomLowerTail(n int, p float64, k0 int) float64 {
+	if k0 < 0 {
+		return 0
+	}
+	if k0 >= n {
+		return 1
+	}
+	logFirst := logChoose(n, k0) + float64(k0)*math.Log(p) + float64(n-k0)*math.Log1p(-p)
+	ratio := (1 - p) / p
+	rel, sum := 1.0, 1.0
+	for k := k0; k > 0; k-- {
+		rel *= float64(k) / float64(n-k+1) * ratio
+		sum += rel
+		if rel < sum*1e-18 {
+			break
+		}
+	}
+	v := math.Exp(logFirst + math.Log(sum))
+	if v > 1 {
+		v = 1
+	}
+	return v
 }

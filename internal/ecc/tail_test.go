@@ -1,0 +1,214 @@
+package ecc
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+const refPrec = 1200
+
+// bigPow raises x to a non-negative integer power by squaring at refPrec.
+func bigPow(x *big.Float, k int) *big.Float {
+	r := new(big.Float).SetPrec(refPrec).SetInt64(1)
+	base := new(big.Float).SetPrec(refPrec).Set(x)
+	for k > 0 {
+		if k&1 == 1 {
+			r.Mul(r, base)
+		}
+		base.Mul(base, base)
+		k >>= 1
+	}
+	return r
+}
+
+// refPageFailureProb is the big.Float reference: the exact binomial OK mass
+// summed with 1200-bit arithmetic, raised to the page's codeword count and
+// complemented. The complement 1 - cwOK^n inherits the sum's rounding noise,
+// so the reference floor is ~1e-360 — far below any tail float64 can carry.
+func refPageFailureProb(c Code, ber float64, pageBytes int) float64 {
+	p := new(big.Float).SetPrec(refPrec).SetFloat64(ber)
+	q := new(big.Float).SetPrec(refPrec).SetInt64(1)
+	q.Sub(q, p)
+	n := c.CodewordBits
+	cwOK := new(big.Float).SetPrec(refPrec)
+	choose := big.NewInt(1)
+	for k := 0; k <= c.CorrectableBits; k++ {
+		if k > 0 {
+			choose.Mul(choose, big.NewInt(int64(n-k+1)))
+			choose.Quo(choose, big.NewInt(int64(k)))
+		}
+		term := new(big.Float).SetPrec(refPrec).SetInt(choose)
+		term.Mul(term, bigPow(p, k))
+		term.Mul(term, bigPow(q, n-k))
+		cwOK.Add(cwOK, term)
+	}
+	page := bigPow(cwOK, c.CodewordsPerPage(pageBytes))
+	one := new(big.Float).SetPrec(refPrec).SetInt64(1)
+	one.Sub(one, page)
+	v, _ := one.Float64()
+	return v
+}
+
+// oldPageFailureProb reproduces the pre-fix implementation: P(codeword ok)
+// summed k=0..T with an incremental logChoose walk, combined across the page
+// as 1 - Pow(cwOK, n). It collapses to exactly 0 once cwFail*n drops below
+// float64 epsilon — the bug the regression test below pins.
+func oldPageFailureProb(c Code, ber float64, pageBytes int) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	n := c.CodewordBits
+	logP := math.Log(ber)
+	logQ := math.Log1p(-ber)
+	total := 0.0
+	lc := 0.0
+	for k := 0; k <= c.CorrectableBits; k++ {
+		if k > 0 {
+			lc += math.Log(float64(n-k+1)) - math.Log(float64(k))
+		}
+		total += math.Exp(lc + float64(k)*logP + float64(n-k)*logQ)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return 1 - math.Pow(total, float64(c.CodewordsPerPage(pageBytes)))
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestPageFailureProbLowBERRegression pins low-BER page failure against the
+// big.Float reference. The old 1 - Pow implementation fails this test: at
+// BER 5e-4 the true failure (~4e-25) rounds to exactly 0, and at 1e-3 the
+// surviving value keeps only ~2 decimal digits.
+func TestPageFailureProbLowBERRegression(t *testing.T) {
+	c := Default40BitPer1K()
+	const page = 4096
+	for _, ber := range []float64{2e-4, 5e-4, 1e-3, 2e-3, 4e-3} {
+		want := refPageFailureProb(c, ber, page)
+		got := c.PageFailureProb(ber, page)
+		if re := relErr(got, want); re > 1e-9 {
+			t.Errorf("BER %g: PageFailureProb = %g, reference %g (rel err %g)", ber, got, want, re)
+		}
+	}
+	// The old implementation must fail the same pins — a regression test
+	// that cannot distinguish the implementations proves nothing.
+	oldFailed := false
+	for _, ber := range []float64{5e-4, 1e-3} {
+		want := refPageFailureProb(c, ber, page)
+		if re := relErr(oldPageFailureProb(c, ber, page), want); re > 1e-9 {
+			oldFailed = true
+		}
+	}
+	if !oldFailed {
+		t.Error("old 1-Pow implementation passes the low-BER pins; the regression test has lost its teeth")
+	}
+	// And the headline symptom: a BER whose true failure is far from zero in
+	// any meaningful reliability budget reads as exactly 0 on the old path.
+	if old := oldPageFailureProb(c, 5e-4, page); old != 0 {
+		t.Logf("note: old implementation returned %g at BER 5e-4 (expected exact 0 collapse)", old)
+	}
+	if want := refPageFailureProb(c, 5e-4, page); want <= 0 || want > 1e-20 {
+		t.Errorf("reference at BER 5e-4 = %g, expected a tiny positive value", want)
+	}
+}
+
+// TestCodewordFailureProbMatchesReference checks the single-codeword tail
+// across the knee, including codes with T near the codeword size.
+func TestCodewordFailureProbMatchesReference(t *testing.T) {
+	codes := []Code{
+		Default40BitPer1K(),
+		{CodewordBits: 512, CorrectableBits: 5},
+		{CodewordBits: 512, CorrectableBits: 500},
+		{CodewordBits: 256, CorrectableBits: 0},
+	}
+	bers := []float64{1e-6, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 0.9, 0.99, 0.999}
+	for _, c := range codes {
+		for _, ber := range bers {
+			// Single codeword == page of CodewordBits/8 bytes.
+			want := refPageFailureProb(c, ber, c.CodewordBits/8)
+			got := c.CodewordFailureProb(ber)
+			// Below float64's reach both sides must agree the tail is ~0.
+			if want < 1e-250 {
+				if got > 1e-240 {
+					t.Errorf("%+v BER %g: tail %g, reference ~0", c, ber, got)
+				}
+				continue
+			}
+			if re := relErr(got, want); re > 1e-9 {
+				t.Errorf("%+v BER %g: tail %g, reference %g (rel err %g)", c, ber, got, want, re)
+			}
+		}
+	}
+}
+
+// monotoneBERGrid spans subnormal-tail through near-certain-failure BERs,
+// with dense coverage near 1 where the old pmf walk accumulated error.
+func monotoneBERGrid() []float64 {
+	grid := []float64{}
+	for _, exp := range []float64{-9, -8, -7, -6, -5, -4, -3.5, -3, -2.5, -2, -1.5, -1} {
+		grid = append(grid, math.Pow(10, exp), 3*math.Pow(10, exp))
+	}
+	return append(grid, 0.5, 0.7, 0.9, 0.99, 0.999, 1-1e-6, 1-1e-9, 1-1e-12)
+}
+
+// TestPageFailureProbMonotoneInBER property-tests monotonicity in BER for
+// codes across the T spectrum, including T near CodewordBits and BER near 1
+// — the regime the issue flagged for the old clamp-masked walk.
+func TestPageFailureProbMonotoneInBER(t *testing.T) {
+	codes := []Code{
+		Default40BitPer1K(),
+		{CodewordBits: 512, CorrectableBits: 0},
+		{CodewordBits: 512, CorrectableBits: 5},
+		{CodewordBits: 512, CorrectableBits: 256},
+		{CodewordBits: 512, CorrectableBits: 505},
+		{CodewordBits: 512, CorrectableBits: 511},
+	}
+	const tol = 1e-12
+	for _, c := range codes {
+		prev := -1.0
+		for _, ber := range monotoneBERGrid() {
+			p := c.PageFailureProb(ber, 4096)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("%+v BER %g: failure prob %g out of [0,1]", c, ber, p)
+			}
+			if p < prev-tol {
+				t.Errorf("%+v: failure prob not monotone in BER at %g: %g < %g", c, ber, p, prev)
+			}
+			if p > prev {
+				prev = p
+			}
+		}
+	}
+}
+
+// TestPageFailureProbMonotoneInT: a stronger code never fails more, at any
+// BER, all the way to T = CodewordBits-1.
+func TestPageFailureProbMonotoneInT(t *testing.T) {
+	const n = 512
+	const tol = 1e-12
+	for _, ber := range []float64{1e-5, 1e-3, 0.05, 0.3, 0.9, 0.999} {
+		prev := 2.0
+		for tcap := 0; tcap < n; tcap += 7 {
+			c := Code{CodewordBits: n, CorrectableBits: tcap}
+			p := c.PageFailureProb(ber, 4096)
+			if p > prev+tol {
+				t.Errorf("BER %g: failure prob not monotone in T at %d: %g > %g", ber, tcap, p, prev)
+			}
+			if p < prev {
+				prev = p
+			}
+		}
+	}
+}

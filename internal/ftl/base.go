@@ -7,6 +7,7 @@ import (
 
 	"flexftl/internal/nand"
 	"flexftl/internal/obs"
+	"flexftl/internal/rel"
 	"flexftl/internal/sim"
 )
 
@@ -31,6 +32,25 @@ type Base struct {
 	// buffer is safe because the FTLs are single-threaded per instance
 	// and no alloc callback performs a nested device read.
 	Buf nand.PageBuf
+
+	// Reliability-response state (zero when Cfg.Reliability is nil). The
+	// thresholds are raw-BER lines derived from the device model's ECC
+	// budget in initReliability; the cursors persist across idle windows so
+	// scrubbing and refresh rotate over the whole device.
+	relEnabled     bool
+	relBudget      float64
+	relRefreshBER  float64
+	relRetireBER   float64
+	scrubCursor    int64
+	refreshCursor  int
+	relLostPending bool // a GC relocation in flight carries a placeholder for lost data
+	// repairRead attempts an in-place parity rebuild of an ECC-lost page,
+	// leaving the payload in Buf on success. Set by NewKernel when the
+	// mounted backup strategy can rebuild (blockParity) and the reliability
+	// policy is on; nil otherwise. It takes the Base explicitly — shard
+	// clones copy Base by value, and a closure over the original kernel
+	// would repair into the wrong buffer and stats.
+	repairRead func(b *Base, lpn LPN, lost nand.PageAddr, now sim.Time) (sim.Time, bool)
 
 	seq  int64    // global write sequence number (payload uniqueness)
 	rr   int      // round-robin chip cursor for host writes
@@ -85,6 +105,11 @@ func NewBase(dev *nand.Device, cfg Config) (*Base, error) {
 		b.Pools[c].Policy = cfg.GC
 	}
 	b.wireVictimIndex()
+	if cfg.Reliability != nil {
+		if err := b.initReliability(cfg.Reliability); err != nil {
+			return nil, err
+		}
+	}
 	return b, nil
 }
 
@@ -276,6 +301,13 @@ type AllocFunc func(chip int, lpn LPN, data, spare []byte, now sim.Time) (sim.Ti
 // alloc, erases it, and returns it to the chip's free pool. The victim must
 // be on the chip's full list. It returns the completion time of the erase.
 func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (sim.Time, error) {
+	return b.collectVictim(chip, victim, now, alloc, obs.CauseGC)
+}
+
+// collectVictim is CollectVictim under an explicit attribution cause — the
+// refresh scan reuses the whole collection machinery but charges its media
+// work to scrub, not GC.
+func (b *Base) collectVictim(chip, victim int, now sim.Time, alloc AllocFunc, cause obs.Cause) (sim.Time, error) {
 	if b.shardExec {
 		// The epoch planner's per-chip free margin must make foreground GC
 		// unreachable inside a shard; reaching here is a planner bug, not a
@@ -286,7 +318,7 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 		return now, fmt.Errorf("ftl: re-entrant GC on chip %d", chip)
 	}
 	b.inGC = true
-	prevCause := b.Dev.SetCause(obs.CauseGC)
+	prevCause := b.Dev.SetCause(cause)
 	defer func() {
 		b.inGC = false
 		b.Dev.SetCause(prevCause)
@@ -308,18 +340,28 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 		pa := g.AddrOfPPN(ppn)
 		t, err := b.Dev.ReadInto(pa, &b.Buf, now)
 		if err != nil {
-			// Abort the collection but keep the victim on the candidate
-			// list — its remaining valid pages must not be leaked.
-			b.Pools[chip].PushFull(victim)
-			return now, fmt.Errorf("ftl: GC read %v: %w", pa, err)
+			if errors.Is(err, rel.ErrUncorrectable) {
+				// ECC loss mid-relocation: rebuild from parity when covered,
+				// otherwise relocate a placeholder token and pin the loss at
+				// the new location — the LPN stays mapped so a later host
+				// read fails (detected loss), never silently vanishes.
+				now = b.relocateLost(lpn, pa, t)
+			} else {
+				// Abort the collection but keep the victim on the candidate
+				// list — its remaining valid pages must not be leaked.
+				b.Pools[chip].PushFull(victim)
+				return now, fmt.Errorf("ftl: GC read %v: %w", pa, err)
+			}
+		} else {
+			now = t
 		}
-		now = t
 		now, err = alloc(chip, lpn, b.Buf.Data, b.Buf.Spare, now)
 		if err != nil {
 			b.Pools[chip].PushFull(victim)
 			return now, fmt.Errorf("ftl: GC relocation of LPN %d: %w", lpn, err)
 		}
 		b.St.GCCopies++
+		b.markRelocatedLoss(lpn)
 	}
 	b.Map.ClearBlock(addr)
 	done, err := b.Dev.Erase(addr, now)
@@ -334,7 +376,9 @@ func (b *Base) CollectVictim(chip, victim int, now sim.Time, alloc AllocFunc) (s
 		return now, err
 	}
 	b.St.Erases++
-	b.Pools[chip].PushFree(victim)
+	if !b.maybeRetire(chip, victim) {
+		b.Pools[chip].PushFree(victim)
+	}
 	b.Obs.Span(obs.KindGCCollect, int32(chip), gcStart, done, int64(victim), b.St.GCCopies-copiesBefore)
 	return done, nil
 }
@@ -352,7 +396,9 @@ func (b *Base) EraseAndFree(chip, blk int, now sim.Time) (sim.Time, error) {
 		return now, err
 	}
 	b.St.Erases++
-	b.Pools[chip].PushFree(blk)
+	if !b.maybeRetire(chip, blk) {
+		b.Pools[chip].PushFree(blk)
+	}
 	return done, nil
 }
 
@@ -366,14 +412,31 @@ func (b *Base) Trim(lpn LPN, now sim.Time) (sim.Time, error) {
 	return now, nil
 }
 
-// ReadLPN performs the shared host-read path.
+// ReadLPN performs the shared host-read path. A read that fails the ECC
+// retry ladder is rebuilt in place from parity when the page is covered (the
+// payload lands in Buf exactly as on a clean read); an unrepairable loss
+// pins the page and surfaces rel.ErrUncorrectable with the real completion
+// time — the host paid the full ladder before learning the data is gone.
 func (b *Base) ReadLPN(lpn LPN, now sim.Time) (sim.Time, error) {
 	ppn, ok := b.Map.Lookup(lpn)
 	if !ok {
 		return now, fmt.Errorf("%w: %d", ErrUnmapped, lpn)
 	}
-	done, err := b.Dev.ReadInto(b.Dev.Geometry().AddrOfPPN(ppn), &b.Buf, now)
+	addr := b.Dev.Geometry().AddrOfPPN(ppn)
+	done, err := b.Dev.ReadInto(addr, &b.Buf, now)
 	if err != nil {
+		if errors.Is(err, rel.ErrUncorrectable) {
+			if b.repairRead != nil {
+				if t, ok := b.repairRead(b, lpn, addr, done); ok {
+					b.St.ECCRebuilds++
+					b.St.HostReads++
+					return t, nil
+				}
+			}
+			b.St.UncorrectableReads++
+			_ = b.Dev.MarkLost(addr)
+			return done, fmt.Errorf("ftl: host read of LPN %d: %w", lpn, err)
+		}
 		return now, err
 	}
 	b.St.HostReads++

@@ -34,7 +34,7 @@ type Stats struct {
 	BackupWrites  int64 // parity or copy backup page programs
 	PadWrites     int64 // dummy programs spending unwanted pages (rtfFTL's return-to-fast padding)
 	Erases        int64 // block erases (the Figure 8(b) lifetime metric)
-	RetiredBlocks int64 // blocks retired after exceeding the erase budget
+	RetiredBlocks int64 // blocks retired: erase budget exceeded, or post-erase BER over the retire line
 	ForegroundGCs int64 // GC invocations that stalled a host write
 	BackgroundGCs int64 // GC invocations during idle windows
 
@@ -43,6 +43,15 @@ type Stats struct {
 	// stay byte-identical to the pre-placement-axis kernel).
 	HostWritesHot  int64 // host writes routed to the hot stream
 	HostWritesCold int64 // host writes routed to the cold stream
+
+	// Reliability-response counters, maintained only when Config.Reliability
+	// is set (all zero otherwise, keeping disabled-path stats byte-identical).
+	UncorrectableReads int64 // host/scrub reads lost after the full ECC ladder (no rebuild possible)
+	ECCRebuilds        int64 // ECC-lost pages reconstructed from the per-block parity
+	ScrubReads         int64 // idle-window patrol reads
+	RefreshCopies      int64 // page programs caused by refresh/scrub relocations (subset of GCCopies)
+	RefreshedBlocks    int64 // full blocks relocated because predicted BER crossed the refresh line
+	GCReadLosses       int64 // GC relocations that carried a placeholder for unrepairable data
 }
 
 // TotalPrograms returns all page programs the FTL caused.
@@ -112,6 +121,11 @@ type Config struct {
 	// GC selects the victim heuristic (default GCGreedy, the paper's
 	// policy; GCCostBenefit for the ablation).
 	GC GCPolicy
+	// Reliability enables the kernel's responses to the device BER model —
+	// idle-time scrubbing, refresh-before-retention-loss, high-wear block
+	// retirement, and parity rebuild of ECC-lost reads. nil (the default)
+	// disables all of them; the device must carry a rel.Config when set.
+	Reliability *RelPolicy
 }
 
 // DefaultConfig mirrors the paper's settings.
@@ -133,6 +147,11 @@ func (c Config) Validate() error {
 	}
 	if c.MinFreeBlocksPerChip < 1 {
 		return fmt.Errorf("ftl: MinFreeBlocksPerChip %d < 1", c.MinFreeBlocksPerChip)
+	}
+	if c.Reliability != nil {
+		if err := c.Reliability.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"flexftl/internal/nand"
 	"flexftl/internal/obs"
+	"flexftl/internal/rel"
 	"flexftl/internal/sim"
 )
 
@@ -110,7 +111,9 @@ func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc
 				return now
 			}
 			b.St.Erases++
-			b.Pools[b.bg.chip].PushFree(b.bg.blk)
+			if !b.maybeRetire(b.bg.chip, b.bg.blk) {
+				b.Pools[b.bg.chip].PushFree(b.bg.blk)
+			}
 			b.Obs.Instant(obs.KindBGCFinish, int32(b.bg.chip), now, int64(b.bg.blk), int64(b.Pools[b.bg.chip].FreeCount()))
 			b.bg = bgVictim{}
 			now = done
@@ -119,16 +122,24 @@ func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc
 		if now+perPage > until {
 			return now
 		}
-		tRead, err := b.Dev.ReadInto(b.Dev.Geometry().AddrOfPPN(ppn), &b.Buf, now)
+		pa := b.Dev.Geometry().AddrOfPPN(ppn)
+		tRead, err := b.Dev.ReadInto(pa, &b.Buf, now)
 		if err != nil {
-			// Unreadable victim page (e.g. injected corruption): abandon
-			// the victim but return it to the candidate list so its valid
-			// pages are not leaked.
-			b.Pools[b.bg.chip].PushFull(b.bg.blk)
-			b.bg = bgVictim{}
-			return now
+			if errors.Is(err, rel.ErrUncorrectable) {
+				// ECC loss on a victim page: rebuild or relocate a pinned
+				// placeholder (see collectVictim) and keep collecting.
+				now = b.relocateLost(lpn, pa, tRead)
+			} else {
+				// Unreadable victim page (e.g. injected corruption): abandon
+				// the victim but return it to the candidate list so its valid
+				// pages are not leaked.
+				b.Pools[b.bg.chip].PushFull(b.bg.blk)
+				b.bg = bgVictim{}
+				return now
+			}
+		} else {
+			now = tRead
 		}
-		now = tRead
 		now, err = alloc(b.bg.chip, lpn, b.Buf.Data, b.Buf.Spare, now)
 		if err != nil {
 			// A relocation failure mid-victim would leave FTL block state
@@ -137,6 +148,7 @@ func (b *Base) RunBackgroundGC(now, until sim.Time, shouldRun func() bool, alloc
 			panic(fmt.Sprintf("ftl: background GC relocation of LPN %d failed: %v", lpn, err))
 		}
 		b.St.GCCopies++
+		b.markRelocatedLoss(lpn)
 		b.bg.nextIdx++
 	}
 	return now

@@ -102,6 +102,14 @@ func NewKernel(dev *nand.Device, cfg Config, spec KernelSpec) (*Kernel, error) {
 		}
 		k.pred = newWritePredictor(alpha)
 	}
+	if base.relEnabled {
+		// The per-block parity strategy can rebuild an ECC-lost LSB page
+		// from its stripe; other strategies leave repairRead nil (losses are
+		// detected, not masked).
+		if bp, ok := k.bk.(*blockParity); ok {
+			base.repairRead = bp.rebuildRead
+		}
+	}
 	return k, nil
 }
 
@@ -146,6 +154,7 @@ func (k *Kernel) Idle(now, until sim.Time) {
 		}
 	}
 	now = k.RunBackgroundGC(now, until, shouldRun, k.gcAlloc)
+	now = k.relIdle(now, until)
 	k.ord.idleDrain(k, now, until)
 }
 

@@ -486,7 +486,9 @@ func (o *fpsPool) drainMSBSlots(k *Kernel, chip int, now, until sim.Time) (sim.T
 				return now, err
 			}
 			k.St.Erases++
-			k.Pools[chip].PushFree(victim)
+			if !k.maybeRetire(chip, victim) {
+				k.Pools[chip].PushFree(victim)
+			}
 			now = done
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 
 	"flexftl/internal/core"
 	"flexftl/internal/nand"
+	"flexftl/internal/rel"
 )
 
 // BuildEnv carries everything a registered FTL constructor may need. Specs
@@ -18,6 +19,11 @@ type BuildEnv struct {
 	Config Config
 	// Flex parameterizes the adaptive allocator for schemes that mount it.
 	Flex FlexParams
+	// Reliability, when non-nil, mounts the calibrated BER model on the
+	// device the spec builds, so reads classify into clean / corrected-with-
+	// retry / uncorrectable. Pair it with Config.Reliability to also enable
+	// the kernel's responses.
+	Reliability *rel.Config
 }
 
 // Spec describes one registered FTL: its name, the program-order scheme its
@@ -100,7 +106,12 @@ func mlcDevice(env BuildEnv, rules string) (*nand.Device, error) {
 	default:
 		return nil, fmt.Errorf("ftl: unknown rule set %q", rules)
 	}
-	return nand.NewDevice(nand.Config{Geometry: env.Geometry, Timing: nand.DefaultTiming(), Rules: rs})
+	return nand.NewDevice(nand.Config{
+		Geometry:    env.Geometry,
+		Timing:      nand.DefaultTiming(),
+		Rules:       rs,
+		Reliability: env.Reliability,
+	})
 }
 
 // mlcEntry wraps an MLC kernel constructor as a registry constructor.

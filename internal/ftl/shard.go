@@ -1,11 +1,13 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"flexftl/internal/core"
 	"flexftl/internal/nand"
+	"flexftl/internal/rel"
 	"flexftl/internal/sim"
 )
 
@@ -238,6 +240,12 @@ func (s *Stats) add(o *Stats) {
 	s.BackgroundGCs += o.BackgroundGCs
 	s.HostWritesHot += o.HostWritesHot
 	s.HostWritesCold += o.HostWritesCold
+	s.UncorrectableReads += o.UncorrectableReads
+	s.ECCRebuilds += o.ECCRebuilds
+	s.ScrubReads += o.ScrubReads
+	s.RefreshCopies += o.RefreshCopies
+	s.RefreshedBlocks += o.RefreshedBlocks
+	s.GCReadLosses += o.GCReadLosses
 }
 
 // ShardRunner owns the per-channel kernel clones and the worker pool that
@@ -340,6 +348,13 @@ func (r *ShardRunner) ExecEpoch(ops []EpochOp) error {
 					op.Done, op.Err = sk.ReadLPN(op.LPN, op.Arrival)
 				}
 				if op.Err != nil {
+					if !op.Write && errors.Is(op.Err, rel.ErrUncorrectable) {
+						// A detected data loss is a completed read, not an
+						// abort: the host folds Done into the request's
+						// completion and the run carries on — exactly the
+						// serial engine's continue-on-uncorrectable.
+						continue
+					}
 					// Serial execution aborts the run at its first error;
 					// halting the shard keeps its state from running ahead.
 					break
@@ -351,9 +366,10 @@ func (r *ShardRunner) ExecEpoch(ops []EpochOp) error {
 
 	// A shard executes its ops in global order, so its first error is its
 	// earliest; scanning all ops in global order yields the error a serial
-	// run would have hit first.
+	// run would have hit first. Uncorrectable reads are completed ops (the
+	// loss is the result), not aborts.
 	for i := range ops {
-		if ops[i].Err != nil {
+		if ops[i].Err != nil && !(!ops[i].Write && errors.Is(ops[i].Err, rel.ErrUncorrectable)) {
 			return ops[i].Err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"flexftl/internal/core"
 	"flexftl/internal/obs"
+	"flexftl/internal/rel"
 	"flexftl/internal/sim"
 )
 
@@ -34,6 +35,13 @@ type Config struct {
 	// surfacing ErrBadBlock. 0 disables retirement (lifetime experiments
 	// count erases instead).
 	EraseBudget int
+	// Reliability, when non-nil, enables the per-page BER model: every read
+	// of a programmed page gets a deterministic ECC outcome — clean,
+	// corrected (possibly after retry rounds that each add one array read of
+	// latency, charged to obs.CauseReadRetry), or uncorrectable
+	// (rel.ErrUncorrectable after paying the full ladder). nil keeps the
+	// device bit-exact with the pre-reliability simulator.
+	Reliability *rel.Config
 }
 
 // DefaultConfig returns the paper's device with the given rule set.
@@ -45,8 +53,16 @@ func DefaultConfig(rules core.RuleSet) Config {
 type page struct {
 	programmed bool
 	corrupted  bool // data destroyed (power-off during paired MSB program)
-	data       []byte
-	spare      []byte
+	// lost pins the page ECC-uncorrectable: once a read of it failed the
+	// retry ladder, every later read must fail too (the model's hash varies
+	// per read, so without the pin a lost page could "recover"). Set by the
+	// FTL via MarkLost after an unrepairable loss; cleared by erase/program.
+	lost  bool
+	data  []byte
+	spare []byte
+	// progAt is the virtual time the page was last programmed — the zero of
+	// its retention clock. Only maintained when the reliability model is on.
+	progAt sim.Time
 }
 
 // block is the physical state of one erase block.
@@ -55,6 +71,13 @@ type block struct {
 	pages      []page
 	eraseCount int
 	retired    bool
+	// readCount counts reads of the block since its last erase (the
+	// read-disturb stress axis); firstProgAt is the retention clock of the
+	// block's oldest data. Both only maintained when the reliability model
+	// is on; readCount resets on erase.
+	readCount   uint64
+	firstProgAt sim.Time
+	hasProg     bool
 }
 
 // msbWindow is a chip's destructive-program window: the most recent MSB
@@ -108,6 +131,10 @@ type Device struct {
 	cause     []obs.Cause
 	causeBusy [][obs.CauseCount]sim.Time
 
+	// relCounts aggregates reliability read outcomes per chip (chip-local so
+	// channel shards never share a counter); nil when the model is off.
+	relCounts []rel.Counts
+
 	// Observability (nil when tracing is disabled).
 	rec         *obs.Recorder
 	histProgLSB *obs.Histogram
@@ -129,6 +156,11 @@ func NewDevice(cfg Config) (*Device, error) {
 	if rules == nil {
 		rules = core.FPS
 	}
+	if cfg.Reliability != nil {
+		if err := cfg.Reliability.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	d := &Device{
 		cfg:       cfg,
 		rules:     rules,
@@ -148,6 +180,9 @@ func NewDevice(cfg Config) (*Device, error) {
 			}
 		}
 		d.chips[c].blocks = blocks
+	}
+	if cfg.Reliability != nil {
+		d.relCounts = make([]rel.Counts, cfg.Geometry.Chips())
 	}
 	return d, nil
 }
@@ -218,7 +253,13 @@ func (d *Device) CauseBusy() [obs.CauseCount]sim.Time {
 // chargeBusy attributes one operation's busy time to the chip's ambient
 // cause.
 func (d *Device) chargeBusy(chipID int, dur sim.Time) {
-	cause := d.cause[chipID]
+	d.chargeBusyCause(chipID, d.cause[chipID], dur)
+}
+
+// chargeBusyCause attributes busy time to an explicit cause, bypassing the
+// ambient register — the device's own retry latency is read_retry no matter
+// what path issued the read.
+func (d *Device) chargeBusyCause(chipID int, cause obs.Cause, dur sim.Time) {
 	d.causeBusy[chipID][cause] += dur
 	if d.rec != nil {
 		d.causeCtr[cause].Add(int64(dur))
@@ -329,8 +370,16 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	blk.state.Mark(a.Page)
 	pg.programmed = true
 	pg.corrupted = false
+	pg.lost = false
 	pg.data = append(pg.data[:0], data...)
 	pg.spare = append(pg.spare[:0], spare...)
+	if d.cfg.Reliability != nil {
+		pg.progAt = done
+		if !blk.hasProg {
+			blk.hasProg = true
+			blk.firstProgAt = done
+		}
+	}
 
 	if a.Page.Type == core.MSB {
 		d.counts[a.Chip].ProgramsMSB++
@@ -380,10 +429,40 @@ func (d *Device) OpenMSBWindow(chipID int) (PageAddr, bool) {
 	}, true
 }
 
+// relOutcome evaluates the reliability model for one read of a programmed
+// page: the predicted BER from the block's wear, the page's retention age
+// and the block's read-disturb count, classified through the ECC retry
+// ladder by a hash of the read's chip-local identity. Only called when the
+// model is enabled.
+func (d *Device) relOutcome(a PageAddr, blk *block, pg *page, at sim.Time) rel.Outcome {
+	rc := d.cfg.Reliability
+	blk.readCount++
+	age := at - pg.progAt
+	if age < 0 {
+		age = 0
+	}
+	ber := rc.Model.BER(blk.eraseCount, age, blk.readCount)
+	u := rc.Sample(a.Chip, a.Block, a.Page.Index(d.cfg.Geometry.WordLinesPerBlock), blk.readCount)
+	o := rc.ReadOutcome(ber, d.cfg.Geometry.PageSizeBytes, u)
+	rcs := &d.relCounts[a.Chip]
+	rcs.Reads++
+	if o.Corrected {
+		rcs.Corrected++
+	}
+	if o.Retries > 0 {
+		rcs.RetriedReads++
+		rcs.RetryRounds += int64(o.Retries)
+	}
+	if o.Uncorrectable {
+		rcs.Uncorrectable++
+	}
+	return o
+}
+
 // readPage performs the timing, accounting and validity checks shared by
 // Read and ReadInto, returning the sensed page.
 func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
-	_, pg, err := d.pageAt(a)
+	blk, pg, err := d.pageAt(a)
 	if err != nil {
 		return nil, now, err
 	}
@@ -391,13 +470,25 @@ func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
 	ch := g.ChannelOf(a.Chip)
 	c := &d.chips[a.Chip]
 	start := sim.MaxOf(now, c.readyAt)
-	senseDone := start + d.cfg.Timing.Read
+	// The reliability outcome is known before timing is committed so retry
+	// rounds extend the sense phase: each round re-occupies the cell array
+	// for another read. The extra occupancy is charged to read_retry; the
+	// base read keeps the ambient cause.
+	var outcome rel.Outcome
+	if d.cfg.Reliability != nil && pg.programmed && !pg.corrupted && !pg.lost {
+		outcome = d.relOutcome(a, blk, pg, start)
+	}
+	retryDur := sim.Time(outcome.Retries) * d.cfg.Timing.Read
+	senseDone := start + d.cfg.Timing.Read + retryDur
 	xferStart := sim.MaxOf(senseDone, d.chanFree[ch])
 	done := xferStart + d.cfg.Timing.BusXfer
 	d.chanFree[ch] = done
 	c.readyAt = done
 	d.busyTime[a.Chip] += done - start
-	d.chargeBusy(a.Chip, done-start)
+	d.chargeBusy(a.Chip, done-start-retryDur)
+	if retryDur > 0 {
+		d.chargeBusyCause(a.Chip, obs.CauseReadRetry, retryDur)
+	}
 	d.counts[a.Chip].Reads++
 	if d.rec != nil {
 		d.rec.Span(obs.KindRead, int32(a.Chip), start, senseDone, int64(a.Block), int64(a.Page.WL))
@@ -410,6 +501,12 @@ func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
 	}
 	if pg.corrupted {
 		return nil, done, fmt.Errorf("%w: %v", ErrUncorrectable, a)
+	}
+	if pg.lost {
+		return nil, done, fmt.Errorf("%w: %v", rel.ErrUncorrectable, a)
+	}
+	if outcome.Uncorrectable {
+		return nil, done, fmt.Errorf("%w: %v", rel.ErrUncorrectable, a)
 	}
 	return pg, done, nil
 }
@@ -488,10 +585,13 @@ func (d *Device) Erase(a BlockAddr, now sim.Time) (sim.Time, error) {
 		pg := &blk.pages[i]
 		pg.programmed = false
 		pg.corrupted = false
+		pg.lost = false
 		pg.data = pg.data[:0]
 		pg.spare = pg.spare[:0]
 	}
 	blk.eraseCount++
+	blk.readCount = 0
+	blk.hasProg = false
 	// Erase barrier: the chip serialized this erase after any pending
 	// program, so that program's destructive transient is physically over by
 	// the time the erase begins. Closing the window here (unlike for LSB
@@ -516,6 +616,72 @@ func (d *Device) EraseCount(a BlockAddr) int {
 		return 0
 	}
 	return blk.eraseCount
+}
+
+// Reliability returns the device's reliability configuration (nil when the
+// model is off). FTL policies use it to derive ECC budgets.
+func (d *Device) Reliability() *rel.Config { return d.cfg.Reliability }
+
+// RelCounts returns the aggregated reliability read outcomes, summed over
+// chips in chip order. Zero value when the model is off.
+func (d *Device) RelCounts() rel.Counts {
+	var total rel.Counts
+	for i := range d.relCounts {
+		total.Add(d.relCounts[i])
+	}
+	return total
+}
+
+// BlockReadCount returns the block's read-disturb counter (reads since last
+// erase; maintained only when the reliability model is on).
+func (d *Device) BlockReadCount(a BlockAddr) uint64 {
+	blk, err := d.blockAt(a)
+	if err != nil {
+		return 0
+	}
+	return blk.readCount
+}
+
+// PredictBlockBER returns the model's BER prediction for the block's oldest
+// data at the given time — the quantity the kernel's refresh policy steers
+// under the ECC budget. Returns 0 when the model is off or the block holds
+// no data since its last erase.
+func (d *Device) PredictBlockBER(a BlockAddr, now sim.Time) float64 {
+	rc := d.cfg.Reliability
+	blk, err := d.blockAt(a)
+	if rc == nil || err != nil || !blk.hasProg {
+		return 0
+	}
+	age := now - blk.firstProgAt
+	if age < 0 {
+		age = 0
+	}
+	return rc.Model.BER(blk.eraseCount, age, blk.readCount)
+}
+
+// PredictFreshBER returns the model's BER prediction for data written to the
+// block right now — pure wear, no retention or disturb. The retirement
+// policy compares it against the ECC budget after each erase. Returns 0 when
+// the model is off.
+func (d *Device) PredictFreshBER(a BlockAddr) float64 {
+	rc := d.cfg.Reliability
+	blk, err := d.blockAt(a)
+	if rc == nil || err != nil {
+		return 0
+	}
+	return rc.Model.BER(blk.eraseCount, 0, 0)
+}
+
+// RetireBlock takes a block out of service: further programs and erases fail
+// with ErrBadBlock. The kernel's retirement policy calls it when a block's
+// post-erase predicted BER stays over the ECC budget.
+func (d *Device) RetireBlock(a BlockAddr) error {
+	blk, err := d.blockAt(a)
+	if err != nil {
+		return err
+	}
+	blk.retired = true
+	return nil
 }
 
 // TotalErases sums wear over all blocks (equals Counts().Erases; kept as a
@@ -623,6 +789,23 @@ func (d *Device) InjectPowerLoss(a BlockAddr) bool {
 	blk.pages[msbIdx].corrupted = true
 	c.win.open = false
 	return true
+}
+
+// MarkLost pins a programmed page ECC-uncorrectable: every future read fails
+// with rel.ErrUncorrectable at base read latency (the controller knows the
+// page is beyond the ladder and does not retry). The FTL calls it when a
+// reliability loss could not be repaired, so the loss stays visible instead
+// of flickering with the per-read outcome hash. Cleared by erase or program.
+func (d *Device) MarkLost(a PageAddr) error {
+	_, pg, err := d.pageAt(a)
+	if err != nil {
+		return err
+	}
+	if !pg.programmed {
+		return fmt.Errorf("%w: cannot mark erased page %v lost", ErrNotProgrammed, a)
+	}
+	pg.lost = true
+	return nil
 }
 
 // CorruptPage marks any programmed page as ECC-uncorrectable. Fault

@@ -17,6 +17,7 @@ import (
 
 	"flexftl/internal/nlevel"
 	"flexftl/internal/obs"
+	"flexftl/internal/rel"
 	"flexftl/internal/sim"
 )
 
@@ -142,6 +143,9 @@ type page struct {
 	corrupted  bool
 	data       []byte
 	spare      []byte
+	// progAt is the retention clock zero (maintained when the reliability
+	// model is on).
+	progAt sim.Time
 }
 
 type block struct {
@@ -151,6 +155,9 @@ type block struct {
 	// inFlight marks an unacknowledged refinement: level and word line.
 	inFlightLevel int // -1 when none
 	inFlightWL    int
+	// readCount is the read-disturb counter (reads since last erase;
+	// maintained when the reliability model is on).
+	readCount uint64
 }
 
 type chip struct {
@@ -177,6 +184,10 @@ type Device struct {
 	// timeline; never changes timing.
 	cause     []obs.Cause
 	causeBusy [][obs.CauseCount]sim.Time
+
+	// Reliability model (nil when off); relCounts is per chip.
+	relCfg    *rel.Config
+	relCounts []rel.Counts
 
 	// Observability (nil when tracing is disabled).
 	rec       *obs.Recorder
@@ -276,11 +287,46 @@ func (d *Device) CauseBusy() [obs.CauseCount]sim.Time {
 // chargeBusy attributes one operation's busy time to the chip's ambient
 // cause.
 func (d *Device) chargeBusy(chipID int, dur sim.Time) {
-	cause := d.cause[chipID]
+	d.chargeBusyCause(chipID, d.cause[chipID], dur)
+}
+
+// chargeBusyCause attributes busy time to an explicit cause (the device's
+// own retry latency is read_retry regardless of the issuing path).
+func (d *Device) chargeBusyCause(chipID int, cause obs.Cause, dur sim.Time) {
 	d.causeBusy[chipID][cause] += dur
 	if d.rec != nil {
 		d.causeCtr[cause].Add(int64(dur))
 	}
+}
+
+// SetReliability enables (or, with nil, disables) the per-page BER model:
+// reads of programmed pages get deterministic ECC outcomes with read-retry
+// latency, exactly as on the MLC device. Pair the config's model with
+// rel.DeriveNLevelModel at the device's bits-per-cell density.
+func (d *Device) SetReliability(rc *rel.Config) error {
+	if rc == nil {
+		d.relCfg, d.relCounts = nil, nil
+		return nil
+	}
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	d.relCfg = rc
+	d.relCounts = make([]rel.Counts, d.geo.Chips())
+	return nil
+}
+
+// Reliability returns the active reliability configuration (nil when off).
+func (d *Device) Reliability() *rel.Config { return d.relCfg }
+
+// RelCounts returns aggregated reliability read outcomes, summed over chips
+// in chip order. Zero value when the model is off.
+func (d *Device) RelCounts() rel.Counts {
+	var total rel.Counts
+	for i := range d.relCounts {
+		total.Add(d.relCounts[i])
+	}
+	return total
 }
 
 // Geometry returns the device shape.
@@ -368,6 +414,9 @@ func (d *Device) Program(a PageAddr, data, spare []byte, now sim.Time) (sim.Time
 	pg.corrupted = false
 	pg.data = append(pg.data[:0], data...)
 	pg.spare = append(pg.spare[:0], spare...)
+	if d.relCfg != nil {
+		pg.progAt = done
+	}
 	d.programs[a.Chip][a.Page.Level]++
 
 	if a.Page.Level > 0 {
@@ -391,19 +440,48 @@ func (d *Device) AckProgram(chipID, blk int) {
 // readPage performs the timing and validity checks shared by Read and
 // ReadInto, returning the sensed page.
 func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
-	_, pg, err := d.pageAt(a)
+	blk, pg, err := d.pageAt(a)
 	if err != nil {
 		return nil, now, err
 	}
 	ch := d.geo.ChannelOf(a.Chip)
 	c := &d.chips[a.Chip]
 	start := sim.MaxOf(now, c.readyAt)
-	senseDone := start + d.timing.Read
+	// Reliability outcome before timing commits, so retry rounds extend the
+	// sense phase (see nand.Device.readPage).
+	var outcome rel.Outcome
+	if rc := d.relCfg; rc != nil && pg.programmed && !pg.corrupted {
+		blk.readCount++
+		age := start - pg.progAt
+		if age < 0 {
+			age = 0
+		}
+		ber := rc.Model.BER(blk.eraseCount, age, blk.readCount)
+		u := rc.Sample(a.Chip, a.Block, d.geo.Scheme().Index(a.Page), blk.readCount)
+		outcome = rc.ReadOutcome(ber, d.geo.PageSizeBytes, u)
+		rcs := &d.relCounts[a.Chip]
+		rcs.Reads++
+		if outcome.Corrected {
+			rcs.Corrected++
+		}
+		if outcome.Retries > 0 {
+			rcs.RetriedReads++
+			rcs.RetryRounds += int64(outcome.Retries)
+		}
+		if outcome.Uncorrectable {
+			rcs.Uncorrectable++
+		}
+	}
+	retryDur := sim.Time(outcome.Retries) * d.timing.Read
+	senseDone := start + d.timing.Read + retryDur
 	xferStart := sim.MaxOf(senseDone, d.chanFree[ch])
 	done := xferStart + d.timing.BusXfer
 	d.chanFree[ch] = done
 	c.readyAt = done
-	d.chargeBusy(a.Chip, done-start)
+	d.chargeBusy(a.Chip, done-start-retryDur)
+	if retryDur > 0 {
+		d.chargeBusyCause(a.Chip, obs.CauseReadRetry, retryDur)
+	}
 	d.reads[a.Chip]++
 	if d.rec != nil {
 		d.histRead.Record(int64(done - start))
@@ -413,6 +491,9 @@ func (d *Device) readPage(a PageAddr, now sim.Time) (*page, sim.Time, error) {
 	}
 	if pg.corrupted {
 		return nil, done, fmt.Errorf("%w: %v", ErrUncorrectable, a)
+	}
+	if outcome.Uncorrectable {
+		return nil, done, fmt.Errorf("%w: %v", rel.ErrUncorrectable, a)
 	}
 	return pg, done, nil
 }
@@ -465,6 +546,7 @@ func (d *Device) Erase(chipID, blk int, now sim.Time) (sim.Time, error) {
 		b.pages[i] = page{}
 	}
 	b.eraseCount++
+	b.readCount = 0
 	b.inFlightLevel = -1
 	d.erases[chipID]++
 	return done, nil

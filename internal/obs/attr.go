@@ -33,6 +33,14 @@ const (
 	// CauseBufferFull is host stall on a full write buffer, charged by the
 	// runner (the device never sees it).
 	CauseBufferFull
+	// CauseReadRetry is the extra sensing latency of ECC read-retry rounds:
+	// when the reliability model is enabled and a page's raw bit errors
+	// exceed the fast-path correction strength, each recalibrated re-read
+	// occupies the chip for another array read. Charged by the device.
+	CauseReadRetry
+	// CauseScrub covers patrol reads and refresh relocations issued by the
+	// kernel's idle-time scrubber (reliability model enabled).
+	CauseScrub
 
 	// CauseCount is the sentinel; arrays indexed by Cause use it as length.
 	CauseCount
@@ -45,6 +53,8 @@ var causeNames = [CauseCount]string{
 	CausePad:        "pad",
 	CauseReprogram:  "reprogram",
 	CauseBufferFull: "buffer_full",
+	CauseReadRetry:  "read_retry",
+	CauseScrub:      "scrub",
 }
 
 // String returns the cause's snake_case name (used in instrument names).

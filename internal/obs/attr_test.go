@@ -10,6 +10,8 @@ func TestCauseNamesAndCounterNames(t *testing.T) {
 		CausePad:        "pad",
 		CauseReprogram:  "reprogram",
 		CauseBufferFull: "buffer_full",
+		CauseReadRetry:  "read_retry",
+		CauseScrub:      "scrub",
 	}
 	if len(want) != int(CauseCount) {
 		t.Fatalf("test covers %d causes, enum has %d", len(want), CauseCount)

@@ -1,0 +1,354 @@
+// Package rel closes the loop between the vth reliability study and the
+// running FTL: it derives a cheap, closed-form per-page bit-error-rate model
+// from the calibrated Monte-Carlo parameters, and turns each device read
+// into a deterministic ECC outcome — clean, corrected (possibly after
+// read-retry rounds that cost real latency), or uncorrectable.
+//
+// The model is the Gaussian boundary-crossing approximation of the vth
+// simulation: each state is a normal distribution around its (retention-
+// shifted) nominal level whose spread widens with P/E cycling, retention
+// age, and read disturb; a bit error is a tail crossing of an adjacent read
+// reference, flipping exactly one Gray-coded bit. That keeps a read's BER to
+// a handful of erfc evaluations — cheap enough to run on every simulated
+// read — while tracking the same stress axes the Monte-Carlo model was
+// calibrated on (DefaultParams: fresh blocks read back near-error-free, the
+// paper's 3K-P/E + 1-year worst case lands in the 1e-4..1e-2 decade).
+//
+// Outcomes are a pure function of (seed, chip, block, page, per-block read
+// count), so serial and epoch-sharded runs see identical results without any
+// barrier replay: all inputs are chip-local and advance in per-chip op
+// order.
+package rel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"flexftl/internal/ecc"
+	"flexftl/internal/sim"
+	"flexftl/internal/vth"
+)
+
+// ErrUncorrectable reports a read whose bit errors exceeded the ECC budget
+// after every retry round. It is deliberately distinct from the devices'
+// power-loss corruption sentinels: a crash-destroyed page and a worn-out
+// page are different failures with different recovery stories, and the crash
+// campaign's invariants must not absorb model-induced ECC failures.
+var ErrUncorrectable = errors.New("rel: uncorrectable page (ECC budget exceeded after retries)")
+
+// Year is one year of virtual time, the natural unit of retention age.
+const Year = 365 * 24 * 3600 * sim.Second
+
+// Model is the closed-form BER surface. Levels holds the nominal state
+// placements in ascending Vth order; Refs the read references between them
+// (len(Levels)-1 boundaries).
+type Model struct {
+	Levels []float64
+	Refs   []float64
+	// BitsPerCell is the cell density (2 = MLC); with Gray coding an
+	// adjacent-state misread flips exactly one of the cell's bits.
+	BitsPerCell int
+	// ProgramSigma is the fresh program placement spread.
+	ProgramSigma float64
+	// WearSigmaPerKCycle widens every state per 1000 P/E cycles.
+	WearSigmaPerKCycle float64
+	// RetentionShiftPerYear moves programmed states down per year of
+	// retention, scaled by how high the state sits (charge loss).
+	RetentionShiftPerYear float64
+	// RetentionSigmaPerYear adds spread per year of retention.
+	RetentionSigmaPerYear float64
+	// ReadDisturbSigmaPerKRead widens every state per 1000 reads of the
+	// block since its last erase (pass-through stress on unselected word
+	// lines). The Monte-Carlo model has no read-disturb axis, so DeriveModel
+	// supplies DefaultReadDisturbSigmaPerKRead.
+	ReadDisturbSigmaPerKRead float64
+}
+
+// DefaultReadDisturbSigmaPerKRead is the read-disturb widening used when the
+// source parameter set carries no read-disturb constant: mild enough that
+// ordinary workloads never notice, strong enough that a read-disturb storm
+// (hundreds of thousands of reads of one block) measurably degrades it.
+const DefaultReadDisturbSigmaPerKRead = 0.002
+
+// DeriveModel builds the closed-form surface from the calibrated MLC
+// Monte-Carlo parameters.
+func DeriveModel(p vth.Params) Model {
+	refs := p.ReadReferences()
+	return Model{
+		Levels:                   append([]float64(nil), p.Levels[:]...),
+		Refs:                     append([]float64(nil), refs[:]...),
+		BitsPerCell:              2,
+		ProgramSigma:             p.ProgramSigma,
+		WearSigmaPerKCycle:       p.WearSigmaPerKCycle,
+		RetentionShiftPerYear:    p.RetentionShiftPerYear,
+		RetentionSigmaPerYear:    p.RetentionSigmaPerYear,
+		ReadDisturbSigmaPerKRead: DefaultReadDisturbSigmaPerKRead,
+	}
+}
+
+// DeriveNLevelModel builds the surface for a 2^bitsPerCell-state part whose
+// levels are evenly placed across the n-level window (the vth n-level
+// model's placement rule).
+func DeriveNLevelModel(p vth.NLevelParams, bitsPerCell int) Model {
+	n := 1 << bitsPerCell
+	levels := make([]float64, n)
+	span := p.WindowHigh - p.WindowLow
+	for i := range levels {
+		levels[i] = p.WindowLow + span*float64(i)/float64(n-1)
+	}
+	refs := make([]float64, n-1)
+	for i := range refs {
+		refs[i] = (levels[i] + levels[i+1]) / 2
+	}
+	return Model{
+		Levels:                   levels,
+		Refs:                     refs,
+		BitsPerCell:              bitsPerCell,
+		ProgramSigma:             p.ProgramSigma,
+		WearSigmaPerKCycle:       p.WearSigmaPerKCycle,
+		RetentionShiftPerYear:    p.RetentionShiftPerYear,
+		RetentionSigmaPerYear:    p.RetentionSigmaPerYear,
+		ReadDisturbSigmaPerKRead: DefaultReadDisturbSigmaPerKRead,
+	}
+}
+
+// Validate rejects unusable models.
+func (m Model) Validate() error {
+	if len(m.Levels) < 2 || len(m.Refs) != len(m.Levels)-1 {
+		return fmt.Errorf("rel: model needs >=2 levels and len(levels)-1 refs, got %d/%d", len(m.Levels), len(m.Refs))
+	}
+	if m.BitsPerCell < 1 {
+		return fmt.Errorf("rel: bits per cell %d < 1", m.BitsPerCell)
+	}
+	if m.ProgramSigma <= 0 {
+		return fmt.Errorf("rel: program sigma %g must be positive", m.ProgramSigma)
+	}
+	for i := range m.Refs {
+		if !(m.Levels[i] < m.Refs[i] && m.Refs[i] < m.Levels[i+1]) {
+			return fmt.Errorf("rel: ref %d (%g) outside (%g,%g)", i, m.Refs[i], m.Levels[i], m.Levels[i+1])
+		}
+	}
+	return nil
+}
+
+// qfunc is the Gaussian upper-tail probability Q(x) = P(N(0,1) > x).
+func qfunc(x float64) float64 { return 0.5 * math.Erfc(x/math.Sqrt2) }
+
+// BER returns the predicted raw bit error rate of a page programmed
+// age ago on a block with the given P/E cycle count and post-erase read
+// count. It is monotone in all three stress axes.
+func (m Model) BER(peCycles int, age sim.Time, reads uint64) float64 {
+	years := float64(age) / float64(Year)
+	if years < 0 {
+		years = 0
+	}
+	wear := m.WearSigmaPerKCycle * float64(peCycles) / 1000
+	ret := m.RetentionSigmaPerYear * years
+	rd := m.ReadDisturbSigmaPerKRead * float64(reads) / 1000
+	sigma := math.Sqrt(m.ProgramSigma*m.ProgramSigma + wear*wear + ret*ret + rd*rd)
+	shift := m.RetentionShiftPerYear * years
+	top := float64(len(m.Levels) - 1)
+	sum := 0.0
+	for s := range m.Levels {
+		// Charge loss scales with how much charge the state holds.
+		mu := m.Levels[s] - shift*float64(s)/top
+		if s > 0 {
+			sum += qfunc((mu - m.Refs[s-1]) / sigma)
+		}
+		if s < len(m.Levels)-1 {
+			sum += qfunc((m.Refs[s] - mu) / sigma)
+		}
+	}
+	// States are equiprobable under random data; each boundary crossing
+	// flips one of the cell's BitsPerCell Gray-coded bits.
+	ber := sum / float64(len(m.Levels)*m.BitsPerCell)
+	if ber > 0.5 {
+		ber = 0.5
+	}
+	return ber
+}
+
+// Config enables the reliability model on a device.
+type Config struct {
+	// Model is the BER surface.
+	Model Model
+	// Code is the controller's ECC envelope, applied per page.
+	Code ecc.Code
+	// FastCorrectableBits is the hard-decision first-pass correction
+	// strength: error counts beyond it (but within Code.CorrectableBits)
+	// engage read-retry rounds with progressively finer sensing. It must be
+	// at most Code.CorrectableBits.
+	FastCorrectableBits int
+	// MaxRetries bounds the retry ladder; a page still failing the full
+	// code after MaxRetries rounds is uncorrectable.
+	MaxRetries int
+	// RetryBERScale is the effective-BER reduction per retry round
+	// (threshold recalibration), in (0,1).
+	RetryBERScale float64
+	// Seed makes outcomes deterministic per device.
+	Seed uint64
+}
+
+// DefaultConfig pairs the MLC model with the default 40-bit/1KB code: a
+// 20-bit fast path, four retry rounds at 0.7x effective BER each.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Model:               DeriveModel(vth.DefaultParams()),
+		Code:                ecc.Default40BitPer1K(),
+		FastCorrectableBits: 20,
+		MaxRetries:          4,
+		RetryBERScale:       0.7,
+		Seed:                seed,
+	}
+}
+
+// Validate is the construction seam that keeps degenerate ECC configurations
+// out of the devices: it is the one place ecc.Code.Validate is enforced
+// before use.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if err := c.Code.Validate(); err != nil {
+		return err
+	}
+	if c.FastCorrectableBits < 0 || c.FastCorrectableBits > c.Code.CorrectableBits {
+		return fmt.Errorf("rel: fast correctable bits %d outside [0,%d]", c.FastCorrectableBits, c.Code.CorrectableBits)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("rel: max retries %d < 0", c.MaxRetries)
+	}
+	if c.MaxRetries > 0 && !(c.RetryBERScale > 0 && c.RetryBERScale < 1) {
+		return fmt.Errorf("rel: retry BER scale %g outside (0,1)", c.RetryBERScale)
+	}
+	return nil
+}
+
+// fastCode is the first-pass envelope.
+func (c *Config) fastCode() ecc.Code {
+	return ecc.Code{CodewordBits: c.Code.CodewordBits, CorrectableBits: c.FastCorrectableBits}
+}
+
+// Outcome classifies one page read.
+type Outcome struct {
+	// Corrected reports that ECC corrected at least one bit error.
+	Corrected bool
+	// Retries is how many extra sensing rounds the read needed (each costs
+	// one more array read of latency).
+	Retries int
+	// Uncorrectable reports that the page failed the full code after every
+	// retry round; the data is lost unless a higher layer can rebuild it.
+	Uncorrectable bool
+}
+
+// ReadOutcome classifies a read of a pageBytes-sized page at raw bit error
+// rate ber, using the uniform sample u in [0,1). The event ladder is nested
+// — uncorrectable ⊂ needs-retry ⊂ has-errors — so small u means a bad read:
+//
+//	u >= P(any bit error)          -> clean
+//	u >= P(fast-path failure)      -> corrected in-line
+//	u >= P(full-code fail @ retry r) -> corrected after r rounds
+//	otherwise                      -> uncorrectable
+func (c *Config) ReadOutcome(ber float64, pageBytes int, u float64) Outcome {
+	if ber <= 0 {
+		return Outcome{}
+	}
+	bits := float64(pageBytes * 8)
+	pAny := -math.Expm1(bits * math.Log1p(-ber))
+	if u >= pAny {
+		return Outcome{}
+	}
+	fast := c.fastCode()
+	threshold := fast.PageFailureProb(ber, pageBytes)
+	if u >= threshold {
+		return Outcome{Corrected: true}
+	}
+	eff := ber
+	for r := 1; r <= c.MaxRetries; r++ {
+		eff *= c.RetryBERScale
+		// The ladder is forced monotone: a deeper retry can only help.
+		if p := c.Code.PageFailureProb(eff, pageBytes); p < threshold {
+			threshold = p
+		}
+		if u >= threshold {
+			return Outcome{Corrected: true, Retries: r}
+		}
+	}
+	return Outcome{Corrected: true, Retries: c.MaxRetries, Uncorrectable: true}
+}
+
+// BERBudget returns the largest raw BER at which a page read (after the full
+// retry ladder) still fails with probability at most target — the budget
+// line the FTL's refresh and retirement policies steer under. Found by
+// bisection; the failure probability is monotone in BER.
+func (c *Config) BERBudget(pageBytes int, target float64) float64 {
+	scale := 1.0
+	for r := 0; r < c.MaxRetries; r++ {
+		scale *= c.RetryBERScale
+	}
+	fails := func(ber float64) bool {
+		return c.Code.PageFailureProb(ber*scale, pageBytes) > target
+	}
+	lo, hi := 1e-9, 0.5
+	if fails(lo) {
+		return lo
+	}
+	if !fails(hi) {
+		return hi
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // bisect in log space
+		if fails(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// mix64 is the SplitMix64 finalizer, a full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Sample derives the uniform [0,1) sample for one read from its identity.
+// Every input is chip-local state, so per-chip op order alone fixes the
+// sequence of samples — the property the epoch-sharded engine relies on.
+func (c *Config) Sample(chip, block, page int, readCount uint64) float64 {
+	h := c.Seed
+	h = mix64(h ^ (uint64(chip)+1)*0x9e3779b97f4a7c15)
+	h = mix64(h ^ (uint64(block)+1)*0xbf58476d1ce4e5b9)
+	h = mix64(h ^ (uint64(page)+1)*0x94d049bb133111eb)
+	h = mix64(h ^ readCount)
+	return float64(h>>11) / (1 << 53)
+}
+
+// Counts aggregates a device's read outcomes.
+type Counts struct {
+	// Reads is the number of model-evaluated page reads.
+	Reads int64
+	// Corrected counts reads ECC had to correct (with or without retries).
+	Corrected int64
+	// RetriedReads counts reads that needed at least one retry round.
+	RetriedReads int64
+	// RetryRounds sums the retry rounds across all reads (latency volume).
+	RetryRounds int64
+	// Uncorrectable counts reads that failed the full ladder.
+	Uncorrectable int64
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Reads += other.Reads
+	c.Corrected += other.Corrected
+	c.RetriedReads += other.RetriedReads
+	c.RetryRounds += other.RetryRounds
+	c.Uncorrectable += other.Uncorrectable
+}

@@ -13,6 +13,7 @@ import (
 	"flexftl/internal/ftl"
 	"flexftl/internal/metrics"
 	"flexftl/internal/obs"
+	"flexftl/internal/rel"
 	"flexftl/internal/sim"
 	"flexftl/internal/workload"
 )
@@ -74,6 +75,31 @@ type RunResult struct {
 	// WearSpread is the device's end-of-run wear imbalance (max/mean erase
 	// count; 1.0 = perfectly level, 0 when the host doesn't expose it).
 	WearSpread float64
+	// Reliability summarizes the BER model's read outcomes and the FTL's
+	// responses. nil unless the device carries a reliability model, so
+	// baseline results (and their serialized goldens) are unchanged.
+	Reliability *ReliabilityReport
+}
+
+// ReliabilityReport is the end-of-run reliability summary: how the device's
+// ECC read ladder classified reads, and what the FTL did about the losses.
+type ReliabilityReport struct {
+	// Device-side read-outcome counters (every read of a programmed page).
+	Reads         int64 // reads classified by the BER model
+	Corrected     int64 // reads needing correction within the fast-decode bit budget
+	RetriedReads  int64 // reads that entered the read-retry ladder
+	RetryRounds   int64 // total retry rounds across those reads
+	Uncorrectable int64 // reads that failed the full ladder (raw device count)
+
+	// FTL-side response counters (zero when ftl.Config.Reliability is nil —
+	// the detect-only configuration).
+	UncorrectableReads int64 // host/scrub reads lost for good (no rebuild possible)
+	ECCRebuilds        int64 // lost pages reconstructed from per-block parity
+	ScrubReads         int64 // idle-window patrol reads
+	RefreshCopies      int64 // page programs from refresh/scrub relocation
+	RefreshedBlocks    int64 // whole blocks refreshed past the BER line
+	GCReadLosses       int64 // GC relocations that carried a pinned placeholder
+	RetiredBlocks      int64 // blocks retired (erase budget or post-erase BER)
 }
 
 // inflight tracks a buffered page whose program has not completed.
@@ -320,6 +346,16 @@ func (s *System) stepOp(rs *runState, req workload.Request, arrival sim.Time) er
 				if errors.Is(err, ftl.ErrUnmapped) {
 					continue // never-written page: served from the zero map
 				}
+				if errors.Is(err, rel.ErrUncorrectable) {
+					// Detected data loss: the read completed (full ECC retry
+					// ladder, ending in a media-error response) — count its
+					// latency and carry on. The loss itself is reported in
+					// Stats.UncorrectableReads and the reliability report.
+					if done > completion {
+						completion = done
+					}
+					continue
+				}
 				return fmt.Errorf("ssd: read LPN %d: %w", lpn, err)
 			}
 			if done > completion {
@@ -421,6 +457,25 @@ func (s *System) finishRun(rs *runState, gen workload.Generator) (RunResult, err
 	}
 	if ws, ok := s.F.(interface{ WearSpread() float64 }); ok {
 		res.WearSpread = ws.WearSpread()
+	}
+	if fd, ok := s.F.(ftl.FTL); ok {
+		if dev := fd.Device(); dev.Reliability() != nil {
+			rc := dev.RelCounts()
+			res.Reliability = &ReliabilityReport{
+				Reads:              rc.Reads,
+				Corrected:          rc.Corrected,
+				RetriedReads:       rc.RetriedReads,
+				RetryRounds:        rc.RetryRounds,
+				Uncorrectable:      rc.Uncorrectable,
+				UncorrectableReads: st.UncorrectableReads,
+				ECCRebuilds:        st.ECCRebuilds,
+				ScrubReads:         st.ScrubReads,
+				RefreshCopies:      st.RefreshCopies,
+				RefreshedBlocks:    st.RefreshedBlocks,
+				GCReadLosses:       st.GCReadLosses,
+				RetiredBlocks:      st.RetiredBlocks,
+			}
+		}
 	}
 	return res, nil
 }

@@ -14,7 +14,7 @@
 # stripped) so the cpu sweep's rows keep distinct names. Compare two
 # snapshots with scripts/benchdiff.sh.
 set -eu
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 cores="$(nproc)"
 cores_warning=false
 if [ "$cores" -le 1 ]; then
